@@ -1,0 +1,106 @@
+// E6 — FPRAS accuracy harness (Theorem 1's (1±ε) guarantee): runs
+// PQEEstimate across randomized instances at several ε targets, compares
+// against the exact Shannon-expansion oracle, and prints the empirical error
+// distribution. Expected shape: the bulk of runs inside the (1±ε) band.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/pqe.h"
+#include "cq/builders.h"
+#include "lineage/karp_luby.h"
+#include "lineage/lineage.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace pqe {
+namespace {
+
+struct TrialResult {
+  double relative_error = 0.0;  // estimate/truth − 1
+};
+
+QueryInstance PickFamily(Rng* rng) {
+  switch (rng->NextBounded(3)) {
+    case 0:
+      return MakePathQuery(3).MoveValue();
+    case 1:
+      return MakeH0Query().MoveValue();
+    default:
+      return MakeCycleQuery(3).MoveValue();
+  }
+}
+
+void RunBand(double epsilon, size_t trials) {
+  std::vector<double> errors;
+  size_t inside = 0;
+  Rng rng(2024);
+  size_t attempted = 0;
+  uint64_t seed = 1;
+  while (errors.size() < trials && attempted < trials * 4) {
+    ++attempted;
+    ++seed;
+    QueryInstance qi = PickFamily(&rng);
+    RandomDatabaseOptions ropt;
+    ropt.domain_size = 3;
+    ropt.facts_per_relation = 4;
+    ropt.seed = seed * 13 + 5;
+    auto db = MakeRandomDatabase(qi.schema, ropt).MoveValue();
+    ProbabilityModel pm;
+    pm.max_denominator = 12;
+    pm.seed = seed * 7 + 3;
+    ProbabilisticDatabase pdb = AttachProbabilities(std::move(db), pm);
+
+    auto lineage = BuildLineage(qi.query, pdb.database()).MoveValue();
+    const double truth =
+        ExactDnfProbability(lineage, pdb).MoveValue().ToDouble();
+    if (truth <= 0.0) continue;  // trivially-zero instance: skip
+
+    EstimatorConfig cfg;
+    cfg.epsilon = epsilon;
+    cfg.seed = seed * 31 + 1;
+    // Pools scale as Θ(1/ε²) with an explicit constant so the two ε bands
+    // actually differ (the auto rule would clamp both to the same cap).
+    cfg.pool_size =
+        static_cast<size_t>(std::ceil(24.0 / (epsilon * epsilon)));
+    auto est = PqeEstimate(qi.query, pdb, cfg).MoveValue();
+    const double rel = est.probability / truth - 1.0;
+    errors.push_back(rel);
+    if (std::abs(rel) <= epsilon) ++inside;
+  }
+  std::sort(errors.begin(), errors.end(),
+            [](double a, double b) { return std::abs(a) < std::abs(b); });
+  auto abs_quantile = [&](double q) {
+    if (errors.empty()) return 0.0;
+    size_t idx = static_cast<size_t>(q * (errors.size() - 1));
+    return std::abs(errors[idx]);
+  };
+  std::printf("%-8.2f %-8zu %-12.3f %-12.3f %-12.3f %-10.1f%%\n", epsilon,
+              errors.size(), abs_quantile(0.5), abs_quantile(0.9),
+              abs_quantile(1.0),
+              100.0 * static_cast<double>(inside) /
+                  static_cast<double>(std::max<size_t>(errors.size(), 1)));
+}
+
+}  // namespace
+}  // namespace pqe
+
+int main() {
+  setvbuf(stdout, nullptr, _IONBF, 0);
+  std::printf(
+      "E6 — Empirical (1±ε) accuracy of PQEEstimate vs exact oracle\n"
+      "============================================================\n\n");
+  std::printf("%-8s %-8s %-12s %-12s %-12s %-10s\n", "eps", "trials",
+              "|err| p50", "|err| p90", "|err| max", "within band");
+  pqe::RunBand(0.3, 40);
+  pqe::RunBand(0.15, 40);
+  std::printf(
+      "\n  shape check: median and p90 relative errors sit well inside ε;\n"
+      "  the within-band fraction reflects the estimator's 'with high\n"
+      "  probability' guarantee (not a certainty) at practical pool sizes.\n");
+  return 0;
+}

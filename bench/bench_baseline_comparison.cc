@@ -1,0 +1,121 @@
+// E8 — Head-to-head with the classical intensional approach (Section 1,
+// Corollary 1): our combined FPRAS vs Karp–Luby over the DNF lineage vs the
+// exact Shannon-expansion oracle, as the query length grows on a fixed data
+// shape. Expected crossover: lineage-based methods degrade exponentially
+// with query length (clause count multiplies per atom) while PQEEstimate
+// grows polynomially.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/pqe.h"
+#include "cq/builders.h"
+#include "lineage/karp_luby.h"
+#include "lineage/monte_carlo.h"
+#include "lineage/lineage.h"
+#include "util/check.h"
+#include "workload/generators.h"
+
+namespace pqe {
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+}  // namespace pqe
+
+int main() {
+  setvbuf(stdout, nullptr, _IONBF, 0);
+  using namespace pqe;
+  std::printf(
+      "E8 — PQEEstimate (combined FPRAS) vs lineage-based baselines\n"
+      "============================================================\n\n"
+      "Layered graph, width 4 per layer, complete joins; query length "
+      "sweep.\n\n");
+  std::printf("%-4s %-6s %-10s %-12s %-12s %-12s %-12s %-10s %-10s %-12s\n",
+              "i", "|D|", "clauses", "fpras(ms)", "fpras P", "KL(ms)",
+              "KL P", "MC(ms)", "MC P", "exactDNF(ms)");
+  EstimatorConfig cfg;
+  cfg.epsilon = 0.25;
+  cfg.seed = 17;
+  cfg.pool_size = 160;
+  cfg.repetitions = 3;  // median-of-3 keeps single-run variance in check
+  for (uint32_t i = 2; i <= 7; ++i) {
+    auto qi = MakePathQuery(i).MoveValue();
+    LayeredGraphOptions opt;
+    opt.width = 4;
+    opt.density = 1.0;
+    opt.seed = 2;
+    auto db = MakeLayeredPathDatabase(qi, opt).MoveValue();
+    ProbabilityModel pm;
+    pm.max_denominator = 8;
+    pm.seed = i;
+    ProbabilisticDatabase pdb = AttachProbabilities(std::move(db), pm);
+
+    auto t0 = std::chrono::steady_clock::now();
+    auto est = PqeEstimate(qi.query, pdb, cfg).MoveValue();
+    const double fpras_ms = MillisSince(t0);
+
+    // Naive Monte Carlo (unbiased, additive accuracy only).
+    MonteCarloConfig mcc;
+    mcc.seed = 31;
+    mcc.num_samples = 20'000;
+    t0 = std::chrono::steady_clock::now();
+    auto mc = MonteCarloPqe(qi.query, pdb, mcc).MoveValue();
+    const double mc_ms = MillisSince(t0);
+
+    // Lineage-based baselines (construction cost included — that is the
+    // point of the comparison).
+    t0 = std::chrono::steady_clock::now();
+    auto lineage = BuildLineage(qi.query, pdb.database(), 2'000'000);
+    double kl_ms = -1.0, kl_p = -1.0, exact_ms = -1.0;
+    size_t clauses = 0;
+    if (lineage.ok()) {
+      clauses = lineage->NumClauses();
+      KarpLubyConfig klc;
+      klc.epsilon = 0.25;
+      klc.seed = 29;
+      klc.max_samples = 50'000;
+      auto kl = KarpLubyEstimate(*lineage, pdb, klc).MoveValue();
+      kl_ms = MillisSince(t0);
+      kl_p = kl.probability;
+      if (clauses <= 5000) {
+        t0 = std::chrono::steady_clock::now();
+        auto exact = ExactDnfProbability(*lineage, pdb, 600'000);
+        exact_ms = exact.ok() ? MillisSince(t0) : -1.0;
+      }
+    }
+    char kl_ms_s[32], kl_p_s[32], ex_s[32], cl_s[32];
+    std::snprintf(cl_s, sizeof(cl_s), "%zu", clauses);
+    if (kl_ms < 0) {
+      std::snprintf(kl_ms_s, sizeof(kl_ms_s), "blowup");
+      std::snprintf(kl_p_s, sizeof(kl_p_s), "-");
+      std::snprintf(cl_s, sizeof(cl_s), ">2e6");
+    } else {
+      std::snprintf(kl_ms_s, sizeof(kl_ms_s), "%.1f", kl_ms);
+      std::snprintf(kl_p_s, sizeof(kl_p_s), "%.5f", kl_p);
+    }
+    if (exact_ms < 0) {
+      std::snprintf(ex_s, sizeof(ex_s), "-");
+    } else {
+      std::snprintf(ex_s, sizeof(ex_s), "%.1f", exact_ms);
+    }
+    std::printf(
+        "%-4u %-6zu %-10s %-12.1f %-12.5f %-12s %-12s %-10.1f %-10.5f "
+        "%-12s\n",
+        i, pdb.NumFacts(), cl_s, fpras_ms, est.probability, kl_ms_s, kl_p_s,
+        mc_ms, mc.probability, ex_s);
+  }
+  std::printf(
+      "\n  shape check: Karp-Luby's cost multiplies with the clause count\n"
+      "  (≈4x per extra atom here) and eventually blows past the lineage\n"
+      "  cap; PQEEstimate's cost grows polynomially with i and its estimate\n"
+      "  stays consistent with the baselines where both are available.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// E9 — Construction costs (Proposition 1, Remarks 1–2): hypertree
+// decomposition time, the size |T⁺| of the augmented NFTA, and the size of
+// the gadget-expanded NFTA T', as functions of |Q| and |D|. Verifies the
+// paper's polynomial-size claims with measured counters.
+
+#include <benchmark/benchmark.h>
+
+#include "core/pqe.h"
+#include "core/ur_construction.h"
+#include "cq/builders.h"
+#include "hypertree/decomposition.h"
+#include "workload/generators.h"
+
+namespace pqe {
+namespace {
+
+void BM_DecomposeVsQueryLength(benchmark::State& state) {
+  const uint32_t length = static_cast<uint32_t>(state.range(0));
+  auto qi = MakeCaterpillarQuery(length).MoveValue();
+  size_t width = 0;
+  size_t nodes = 0;
+  for (auto _ : state) {
+    auto hd = Decompose(qi.query, 3).MoveValue();
+    width = hd.Width();
+    nodes = hd.NumNodes();
+  }
+  state.counters["query_atoms"] = static_cast<double>(qi.query.NumAtoms());
+  state.counters["hd_nodes"] = static_cast<double>(nodes);
+  state.counters["hd_width"] = static_cast<double>(width);
+}
+BENCHMARK(BM_DecomposeVsQueryLength)
+    ->DenseRange(2, 14, 3)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_DecomposeCycleWidthTwo(benchmark::State& state) {
+  const uint32_t n = static_cast<uint32_t>(state.range(0));
+  auto qi = MakeCycleQuery(n).MoveValue();
+  size_t nodes = 0;
+  for (auto _ : state) {
+    auto hd = Decompose(qi.query, 2).MoveValue();
+    nodes = hd.NumNodes();
+  }
+  state.counters["cycle_len"] = n;
+  state.counters["hd_nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_DecomposeCycleWidthTwo)
+    ->DenseRange(3, 9, 2)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BuildUrAutomaton(benchmark::State& state) {
+  const uint32_t width = static_cast<uint32_t>(state.range(0));
+  auto qi = MakePathQuery(4).MoveValue();
+  LayeredGraphOptions opt;
+  opt.width = width;
+  opt.density = 0.6;
+  opt.seed = width;
+  auto db = MakeLayeredPathDatabase(qi, opt).MoveValue();
+  size_t states = 0;
+  size_t transitions = 0;
+  size_t aug_size = 0;
+  for (auto _ : state) {
+    auto automaton =
+        BuildUrAutomaton(qi.query, db, UrConstructionOptions{}).MoveValue();
+    states = automaton.nfta.NumStates();
+    transitions = automaton.nfta.NumTransitions();
+    aug_size = automaton.augmented.SizeMeasure();
+  }
+  state.counters["db_facts"] = static_cast<double>(db.NumFacts());
+  state.counters["aug_size"] = static_cast<double>(aug_size);
+  state.counters["nfta_states"] = static_cast<double>(states);
+  state.counters["nfta_transitions"] = static_cast<double>(transitions);
+}
+BENCHMARK(BM_BuildUrAutomaton)
+    ->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BuildPqeAutomaton(benchmark::State& state) {
+  const uint32_t width = static_cast<uint32_t>(state.range(0));
+  auto qi = MakePathQuery(4).MoveValue();
+  LayeredGraphOptions opt;
+  opt.width = width;
+  opt.density = 0.6;
+  opt.seed = width;
+  auto db = MakeLayeredPathDatabase(qi, opt).MoveValue();
+  ProbabilityModel pm;
+  pm.max_denominator = 64;
+  pm.seed = width;
+  ProbabilisticDatabase pdb = AttachProbabilities(std::move(db), pm);
+  size_t states = 0;
+  size_t k = 0;
+  for (auto _ : state) {
+    auto automaton =
+        BuildPqeAutomaton(qi.query, pdb, UrConstructionOptions{}).MoveValue();
+    states = automaton.weighted.NumStates();
+    k = automaton.tree_size;
+  }
+  state.counters["db_facts"] = static_cast<double>(pdb.NumFacts());
+  state.counters["weighted_states"] = static_cast<double>(states);
+  state.counters["tree_size_k"] = static_cast<double>(k);
+}
+BENCHMARK(BM_BuildPqeAutomaton)
+    ->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace pqe

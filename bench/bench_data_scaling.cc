@@ -1,0 +1,78 @@
+// E4 — Data-complexity side of Theorem 1: FPRAS runtime as |D| grows at a
+// fixed query (path of length 4, a #P-hard 3Path member). Expected shape:
+// polynomial growth in the number of facts.
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "core/pqe.h"
+#include "core/ur_construction.h"
+#include "cq/builders.h"
+#include "workload/generators.h"
+
+namespace pqe {
+namespace {
+
+EstimatorConfig ScalingConfig() {
+  EstimatorConfig cfg;
+  cfg.epsilon = 0.25;
+  cfg.seed = 11;
+  cfg.pool_size = 96;
+  return cfg;
+}
+
+void BM_PqeEstimateVsDatabaseSize(benchmark::State& state) {
+  const uint32_t width = static_cast<uint32_t>(state.range(0));
+  auto qi = MakePathQuery(4).MoveValue();
+  LayeredGraphOptions opt;
+  opt.width = width;
+  opt.density = 0.6;
+  opt.seed = width;
+  auto db = MakeLayeredPathDatabase(qi, opt).MoveValue();
+  ProbabilityModel pm;
+  pm.max_denominator = 8;
+  pm.seed = width + 2;
+  ProbabilisticDatabase pdb = AttachProbabilities(std::move(db), pm);
+  double probability = 0.0;
+  size_t states = 0;
+  for (auto _ : state) {
+    auto est = PqeEstimate(qi.query, pdb, ScalingConfig()).MoveValue();
+    probability = est.probability;
+    states = est.nfta_states;
+  }
+  state.counters["db_facts"] = static_cast<double>(pdb.NumFacts());
+  state.counters["nfta_states"] = static_cast<double>(states);
+  state.counters["probability"] = probability;
+}
+BENCHMARK(BM_PqeEstimateVsDatabaseSize)
+    ->DenseRange(2, 7, 1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// Uniform reliability variant (Theorem 3) on the same sweep.
+void BM_UrEstimateVsDatabaseSize(benchmark::State& state) {
+  const uint32_t width = static_cast<uint32_t>(state.range(0));
+  auto qi = MakePathQuery(4).MoveValue();
+  LayeredGraphOptions opt;
+  opt.width = width;
+  opt.density = 0.6;
+  opt.seed = width;
+  auto db = MakeLayeredPathDatabase(qi, opt).MoveValue();
+  double ur = 0.0;
+  for (auto _ : state) {
+    auto est =
+        UrEstimate(qi.query, db, ScalingConfig(), UrConstructionOptions{})
+            .MoveValue();
+    ur = est.ur.ToDouble();
+  }
+  state.counters["db_facts"] = static_cast<double>(db.NumFacts());
+  state.counters["ur_estimate_log2"] = ur > 0 ? std::log2(ur) : -1.0;
+}
+BENCHMARK(BM_UrEstimateVsDatabaseSize)
+    ->DenseRange(2, 7, 1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace pqe

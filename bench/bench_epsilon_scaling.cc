@@ -1,0 +1,63 @@
+// E5 — Accuracy-cost tradeoff of Theorem 1: runtime as a function of the
+// target relative error ε (pool sizes auto-derived from ε, uncapped so the
+// ε-dependence is visible). Expected shape: poly(1/ε) — here ~1/ε² through
+// the per-stratum sample pools.
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "core/pqe.h"
+#include "cq/builders.h"
+#include "workload/generators.h"
+
+namespace pqe {
+namespace {
+
+ProbabilisticDatabase Instance() {
+  auto qi = MakePathQuery(3).MoveValue();
+  LayeredGraphOptions opt;
+  opt.width = 2;
+  opt.density = 0.8;
+  opt.seed = 5;
+  auto db = MakeLayeredPathDatabase(qi, opt).MoveValue();
+  ProbabilityModel pm;
+  pm.max_denominator = 8;
+  pm.seed = 6;
+  return AttachProbabilities(std::move(db), pm);
+}
+
+// range(0) encodes 1/ε ∈ {2, 4, 6, 8, 12}.
+void BM_PqeEstimateVsEpsilon(benchmark::State& state) {
+  const double inv_eps = static_cast<double>(state.range(0));
+  const double epsilon = 1.0 / inv_eps;
+  auto qi = MakePathQuery(3).MoveValue();
+  ProbabilisticDatabase pdb = Instance();
+  EstimatorConfig cfg;
+  cfg.epsilon = epsilon;
+  cfg.seed = 13;
+  // Pools scale as Θ(1/ε²); fixed modest constant so the sweep finishes in
+  // seconds while the asymptotic shape stays visible.
+  cfg.pool_size = static_cast<size_t>(std::ceil(24.0 * inv_eps * inv_eps));
+  double probability = 0.0;
+  size_t pool_entries = 0;
+  for (auto _ : state) {
+    auto est = PqeEstimate(qi.query, pdb, cfg).MoveValue();
+    probability = est.probability;
+    pool_entries = est.stats.pool_entries;
+  }
+  state.counters["epsilon"] = epsilon;
+  state.counters["pool_entries"] = static_cast<double>(pool_entries);
+  state.counters["probability"] = probability;
+}
+BENCHMARK(BM_PqeEstimateVsEpsilon)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(6)
+    ->Arg(8)
+    ->Arg(12)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace pqe

@@ -1,0 +1,99 @@
+// E2 — The lineage blowup of Section 1: the DNF lineage of the path query
+// Q_i has Θ(|D|^i) clauses (exponential in the query length), while the
+// Proposition 1 automaton stays polynomial. Also reproduces the intro's
+// "five atoms, a few hundred rows → 10^12 clauses" arithmetic.
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/ur_construction.h"
+#include "cq/builders.h"
+#include "lineage/lineage.h"
+#include "util/check.h"
+#include "workload/generators.h"
+
+namespace pqe {
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void MeasuredBlowup() {
+  std::printf(
+      "Measured: complete layered graph, width w=4 per layer. The lineage\n"
+      "of Q_i has w^(i+1) clauses; the automaton of Proposition 1 grows\n"
+      "polynomially in i.\n\n");
+  std::printf("%-6s %-8s %-14s %-14s %-12s %-14s %-14s\n", "i", "|D|",
+              "clauses", "literals", "lineage(ms)", "nfta-states",
+              "nfta-trans");
+  for (uint32_t i = 2; i <= 8; ++i) {
+    auto qi = MakePathQuery(i).MoveValue();
+    LayeredGraphOptions opt;
+    opt.width = 4;
+    opt.density = 1.0;  // complete: worst-case lineage
+    opt.seed = 1;
+    auto db = MakeLayeredPathDatabase(qi, opt).MoveValue();
+
+    auto t0 = std::chrono::steady_clock::now();
+    auto lineage = BuildLineage(qi.query, db, /*max_clauses=*/3'000'000);
+    const double lineage_ms = MillisSince(t0);
+
+    UrConstructionOptions opts;
+    auto automaton = BuildUrAutomaton(qi.query, db, opts).MoveValue();
+
+    if (lineage.ok()) {
+      std::printf("%-6u %-8zu %-14zu %-14zu %-12.2f %-14zu %-14zu\n", i,
+                  db.NumFacts(), lineage->NumClauses(),
+                  lineage->NumLiterals(), lineage_ms,
+                  automaton.nfta.NumStates(),
+                  automaton.nfta.NumTransitions());
+    } else {
+      std::printf("%-6u %-8zu %-14s %-14s %-12.2f %-14zu %-14zu\n", i,
+                  db.NumFacts(), ">3e6 (cap)", "-", lineage_ms,
+                  automaton.nfta.NumStates(),
+                  automaton.nfta.NumTransitions());
+    }
+  }
+  std::printf(
+      "\n  shape check: clauses multiply by w=4 per extra atom "
+      "(exponential);\n"
+      "  automaton states/transitions grow by a roughly constant additive\n"
+      "  amount per atom (polynomial).\n\n");
+}
+
+void IntroArithmetic() {
+  std::printf(
+      "Analytic (intro claim): a conjunctive query of five atoms over a\n"
+      "database with a few hundred rows per relation:\n\n");
+  std::printf("%-22s %-10s %-22s\n", "rows/relation", "atoms",
+              "lineage clauses (worst case)");
+  for (double rows : {100.0, 250.0, 400.0}) {
+    // A length-5 path over a complete join structure has rows^(atoms+1)/...
+    // conservatively rows^atoms full witness combinations, each a clause.
+    const double clauses = std::pow(rows, 5);
+    std::printf("%-22.0f %-10d %-22.3e\n", rows, 5, clauses);
+  }
+  std::printf(
+      "\n  At ~250 rows the worst-case DNF hits ~1e12 clauses — the paper's\n"
+      "  'one trillion clauses' example — while the same instance's\n"
+      "  Proposition 1 automaton needs only poly(|Q|,|D|) transitions.\n");
+}
+
+}  // namespace
+}  // namespace pqe
+
+int main() {
+  setvbuf(stdout, nullptr, _IONBF, 0);
+  std::printf(
+      "E2 — Lineage blowup Θ(|D|^i) vs polynomial automata (Section 1, "
+      "Corollary 1)\n"
+      "==========================================================================\n\n");
+  pqe::MeasuredBlowup();
+  pqe::IntroArithmetic();
+  return 0;
+}

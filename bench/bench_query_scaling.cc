@@ -1,0 +1,90 @@
+// E3 — Combined-complexity headline (Theorems 1/2): FPRAS runtime as the
+// query length i grows, at a fixed database shape. The paper's claim is
+// poly(|Q|); classical lineage approaches are exponential in i (see E2/E8).
+
+#include <benchmark/benchmark.h>
+
+#include "core/path_pqe.h"
+#include "core/pqe.h"
+#include "cq/builders.h"
+#include "util/check.h"
+#include "workload/generators.h"
+
+namespace pqe {
+namespace {
+
+EstimatorConfig ScalingConfig() {
+  EstimatorConfig cfg;
+  cfg.epsilon = 0.25;
+  cfg.seed = 7;
+  cfg.pool_size = 96;  // fixed pool: measures the structural scaling shape
+  return cfg;
+}
+
+ProbabilisticDatabase MakeInstance(const QueryInstance& qi, uint32_t width,
+                                   uint64_t seed) {
+  LayeredGraphOptions opt;
+  opt.width = width;
+  opt.density = 1.0;
+  opt.seed = seed;
+  auto db = MakeLayeredPathDatabase(qi, opt).MoveValue();
+  ProbabilityModel pm;
+  pm.max_denominator = 8;
+  pm.seed = seed + 1;
+  return AttachProbabilities(std::move(db), pm);
+}
+
+// Theorem 1 pipeline (decomposition + NFTA + multipliers + CountNFTA) as a
+// function of query length.
+void BM_PqeEstimateVsQueryLength(benchmark::State& state) {
+  const uint32_t length = static_cast<uint32_t>(state.range(0));
+  auto qi = MakePathQuery(length).MoveValue();
+  ProbabilisticDatabase pdb = MakeInstance(qi, /*width=*/3, /*seed=*/length);
+  double probability = 0.0;
+  size_t states = 0;
+  size_t tree_size = 0;
+  for (auto _ : state) {
+    auto est = PqeEstimate(qi.query, pdb, ScalingConfig()).MoveValue();
+    probability = est.probability;
+    states = est.nfta_states;
+    tree_size = est.tree_size;
+  }
+  state.counters["query_atoms"] = length;
+  state.counters["db_facts"] = static_cast<double>(pdb.NumFacts());
+  state.counters["nfta_states"] = static_cast<double>(states);
+  state.counters["tree_size_k"] = static_cast<double>(tree_size);
+  state.counters["probability"] = probability;
+}
+BENCHMARK(BM_PqeEstimateVsQueryLength)
+    ->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+// Theorem 2's string-automaton special case as a function of query length.
+void BM_PathEstimateVsQueryLength(benchmark::State& state) {
+  const uint32_t length = static_cast<uint32_t>(state.range(0));
+  auto qi = MakePathQuery(length).MoveValue();
+  LayeredGraphOptions opt;
+  opt.width = 3;
+  opt.density = 1.0;
+  opt.seed = length;
+  auto db = MakeLayeredPathDatabase(qi, opt).MoveValue();
+  double ur = 0.0;
+  size_t states = 0;
+  for (auto _ : state) {
+    auto est = PathEstimate(qi.query, db, ScalingConfig()).MoveValue();
+    ur = est.ur.ToDouble();
+    states = est.nfa_states;
+  }
+  state.counters["query_atoms"] = length;
+  state.counters["db_facts"] = static_cast<double>(db.NumFacts());
+  state.counters["nfa_states"] = static_cast<double>(states);
+  state.counters["ur_estimate"] = ur;
+}
+BENCHMARK(BM_PathEstimateVsQueryLength)
+    ->DenseRange(2, 12, 2)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace pqe

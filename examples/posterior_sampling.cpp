@@ -1,0 +1,60 @@
+// Posterior world sampling: "given that the query DID hold, what did the
+// world probably look like?" The counting pools of the Theorem 1 automaton
+// double as a sampler for Pr_H(D' | D' ⊨ Q) — useful for explanation and
+// debugging of probabilistic data. We diagnose which hop of a flaky pipeline
+// was most likely present given that a delivery happened.
+//
+//   $ ./posterior_sampling
+
+#include <cstdio>
+#include <vector>
+
+#include "core/sampling.h"
+#include "cq/builders.h"
+#include "pdb/probabilistic_database.h"
+#include "util/check.h"
+
+int main() {
+  using namespace pqe;
+
+  // A 2-hop pipeline with redundant links; the middle machine "m2" is flaky.
+  auto qi = MakePathQuery(2).MoveValue();
+  Database db(qi.schema);
+  ProbabilisticDatabase pdb = ProbabilisticDatabase::Uniform(std::move(db));
+  PQE_CHECK(pdb.AddFact("R1", {"src", "m1"}, Probability{9, 10}).ok());
+  PQE_CHECK(pdb.AddFact("R1", {"src", "m2"}, Probability{9, 10}).ok());
+  PQE_CHECK(pdb.AddFact("R2", {"m1", "dst"}, Probability{1, 10}).ok());
+  PQE_CHECK(pdb.AddFact("R2", {"m2", "dst"}, Probability{6, 10}).ok());
+  std::printf("query: %s\n", qi.query.ToString(qi.schema).c_str());
+  std::printf("prior link probabilities: 0.9, 0.9, 0.1, 0.6\n\n");
+
+  EstimatorConfig cfg;
+  cfg.epsilon = 0.1;
+  cfg.seed = 17;
+  const size_t kSamples = 4000;
+  auto posterior =
+      SampleConditionedWorlds(qi.query, pdb, cfg, kSamples).MoveValue();
+  PQE_CHECK(!posterior.worlds.empty());
+
+  std::vector<size_t> present(posterior.projected_db.NumFacts(), 0);
+  for (const auto& world : posterior.worlds) {
+    for (size_t f = 0; f < world.size(); ++f) {
+      if (world[f]) ++present[f];
+    }
+  }
+  std::printf("posterior link marginals given \"delivery happened\" (%zu "
+              "samples):\n",
+              posterior.worlds.size());
+  for (FactId f = 0; f < posterior.projected_db.NumFacts(); ++f) {
+    std::printf("  %-14s prior %.2f -> posterior ~%.2f\n",
+                posterior.projected_db.FactToString(f).c_str(),
+                pdb.probability(posterior.original_fact[f]).ToDouble(),
+                static_cast<double>(present[f]) /
+                    static_cast<double>(posterior.worlds.size()));
+  }
+  std::printf(
+      "\n  reading: conditioning on success pulls the m2 route's links up\n"
+      "  (it is the plausible path) while the m1->dst link stays unlikely —\n"
+      "  evidence flows backwards through the query, at FPRAS cost.\n");
+  return 0;
+}

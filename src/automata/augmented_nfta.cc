@@ -1,0 +1,81 @@
+#include "automata/augmented_nfta.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace pqe {
+
+StateId AugmentedNfta::AddState() {
+  return static_cast<StateId>(num_states_++);
+}
+
+void AugmentedNfta::EnsureAlphabetSize(size_t size) {
+  alphabet_size_ = std::max(alphabet_size_, size);
+}
+
+void AugmentedNfta::SetInitialState(StateId s) {
+  PQE_CHECK(s < num_states_);
+  initial_ = s;
+}
+
+void AugmentedNfta::AddTransition(StateId from,
+                                  std::vector<AnnotatedSymbol> annotation,
+                                  std::vector<StateId> children) {
+  PQE_CHECK(from < num_states_);
+  for (StateId c : children) PQE_CHECK(c < num_states_);
+  for (const AnnotatedSymbol& a : annotation) {
+    EnsureAlphabetSize(static_cast<size_t>(a.symbol) + 1);
+  }
+  transitions_.push_back(
+      Transition{from, std::move(annotation), std::move(children)});
+}
+
+size_t AugmentedNfta::SizeMeasure() const {
+  size_t size = 0;
+  for (const Transition& t : transitions_) {
+    size += 2 + t.annotation.size() + t.children.size();
+  }
+  return size;
+}
+
+Result<Nfta> AugmentedNfta::ToNfta(bool eliminate_lambda) const {
+  Nfta out;
+  out.EnsureAlphabetSize(2 * alphabet_size_);
+  for (size_t s = 0; s < num_states_; ++s) out.AddState();
+  out.SetInitialState(initial_);
+
+  for (const Transition& t : transitions_) {
+    if (t.annotation.empty()) {
+      // λ-transition: carried over as-is; eliminated below.
+      out.AddTransition(t.from, Nfta::kLambdaSymbol, t.children);
+      continue;
+    }
+    // Stage 1: thread fresh states r1..r_{j-1} along the annotation string.
+    // Stage 2 (fused): each symbol emits its positive literal, plus the
+    // negative literal when ?-annotated.
+    StateId current = t.from;
+    for (size_t i = 0; i < t.annotation.size(); ++i) {
+      const AnnotatedSymbol& a = t.annotation[i];
+      const bool last = (i + 1 == t.annotation.size());
+      std::vector<StateId> next_children;
+      if (last) {
+        next_children = t.children;
+      } else {
+        next_children = {out.AddState()};
+      }
+      out.AddTransition(current, PositiveLiteral(a.symbol), next_children);
+      if (a.optional) {
+        out.AddTransition(current, NegativeLiteral(a.symbol), next_children);
+      }
+      if (!last) current = next_children[0];
+    }
+  }
+
+  if (eliminate_lambda) {
+    PQE_RETURN_IF_ERROR(out.EliminateLambda());
+  }
+  return out;
+}
+
+}  // namespace pqe

@@ -1,0 +1,76 @@
+#ifndef PQE_AUTOMATA_AUGMENTED_NFTA_H_
+#define PQE_AUTOMATA_AUGMENTED_NFTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "automata/nfta.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// One symbol of an augmented-NFTA transition string: a base-alphabet symbol
+/// optionally annotated with "?" (Section 4.1), meaning "accept either the
+/// symbol or its negation".
+struct AnnotatedSymbol {
+  SymbolId symbol = 0;
+  bool optional = false;  // true = carries the ? annotation
+};
+
+/// Literal encoding used by augmented-NFTA translation: the ordinary NFTA's
+/// alphabet is Σ' = {α, ¬α | α ∈ Σ}, encoded as 2·α (positive literal) and
+/// 2·α + 1 (negative literal).
+inline SymbolId PositiveLiteral(SymbolId base) { return 2 * base; }
+inline SymbolId NegativeLiteral(SymbolId base) { return 2 * base + 1; }
+inline bool IsNegativeLiteral(SymbolId literal) { return literal % 2 == 1; }
+inline SymbolId LiteralBase(SymbolId literal) { return literal / 2; }
+
+/// An augmented (top-down) NFTA T⁺ (Definition 1): transitions carry a
+/// possibly-empty string of ?-annotatable symbols instead of a single symbol.
+/// Semantics are defined by translation to an ordinary NFTA (ToNfta), which
+/// (1) threads fresh intermediate states along each annotation string, and
+/// (2) expands each ?-annotated symbol into its positive and negative
+/// literal.
+class AugmentedNfta {
+ public:
+  struct Transition {
+    StateId from;
+    std::vector<AnnotatedSymbol> annotation;  // empty = λ-transition
+    std::vector<StateId> children;
+  };
+
+  AugmentedNfta() = default;
+
+  StateId AddState();
+  void EnsureAlphabetSize(size_t size);
+  void SetInitialState(StateId s);
+  void AddTransition(StateId from, std::vector<AnnotatedSymbol> annotation,
+                     std::vector<StateId> children);
+
+  size_t NumStates() const { return num_states_; }
+  size_t NumTransitions() const { return transitions_.size(); }
+  size_t AlphabetSize() const { return alphabet_size_; }
+  StateId initial_state() const { return initial_; }
+  const std::vector<Transition>& transitions() const { return transitions_; }
+
+  /// The size measure |T⁺|: Σ over transitions of (2 + |annotation| +
+  /// #children).
+  size_t SizeMeasure() const;
+
+  /// The two-stage translation of Section 4.1 to an ordinary NFTA over the
+  /// literal alphabet (see PositiveLiteral/NegativeLiteral). Per Remark 1
+  /// this is polynomial in |T⁺|. λ-transitions in the result (from empty
+  /// annotations) are eliminated; `eliminate_lambda` can be disabled for
+  /// inspection/testing of the raw translation.
+  Result<Nfta> ToNfta(bool eliminate_lambda = true) const;
+
+ private:
+  size_t num_states_ = 0;
+  size_t alphabet_size_ = 0;
+  StateId initial_ = 0;
+  std::vector<Transition> transitions_;
+};
+
+}  // namespace pqe
+
+#endif  // PQE_AUTOMATA_AUGMENTED_NFTA_H_

@@ -1,0 +1,108 @@
+#include "automata/dot_export.h"
+
+#include <sstream>
+
+namespace pqe {
+
+namespace {
+
+std::string Symbol(const SymbolNamer& namer, SymbolId s) {
+  if (namer) return namer(s);
+  return std::to_string(s);
+}
+
+// Escapes double quotes for DOT labels.
+std::string Escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == '"') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string NfaToDot(const Nfa& nfa, const SymbolNamer& namer) {
+  std::ostringstream out;
+  out << "digraph nfa {\n  rankdir=LR;\n  node [shape=circle];\n";
+  for (StateId s = 0; s < nfa.NumStates(); ++s) {
+    out << "  q" << s << " [";
+    if (nfa.IsInitial(s)) out << "shape=diamond,";
+    if (nfa.IsAccepting(s)) out << "peripheries=2,";
+    out << "label=\"" << s << "\"];\n";
+  }
+  for (const Nfa::Transition& t : nfa.transitions()) {
+    out << "  q" << t.from << " -> q" << t.to << " [label=\""
+        << Escape(Symbol(namer, t.symbol)) << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string NftaToDot(const Nfta& nfta, const SymbolNamer& namer) {
+  std::ostringstream out;
+  out << "digraph nfta {\n  node [shape=circle];\n";
+  for (StateId s = 0; s < nfta.NumStates(); ++s) {
+    out << "  q" << s << " [";
+    if (s == nfta.initial_state()) out << "shape=diamond,";
+    out << "label=\"" << s << "\"];\n";
+  }
+  for (uint32_t i = 0; i < nfta.NumTransitions(); ++i) {
+    const Nfta::Transition& t = nfta.transition(i);
+    const std::string label = t.symbol == Nfta::kLambdaSymbol
+                                  ? std::string("λ")
+                                  : Symbol(namer, t.symbol);
+    if (t.children.empty()) {
+      out << "  leaf" << i << " [shape=point];\n";
+      out << "  q" << t.from << " -> leaf" << i << " [label=\""
+          << Escape(label) << "\"];\n";
+      continue;
+    }
+    if (t.children.size() == 1) {
+      out << "  q" << t.from << " -> q" << t.children[0] << " [label=\""
+          << Escape(label) << "\"];\n";
+      continue;
+    }
+    out << "  h" << i << " [shape=point,label=\"\"];\n";
+    out << "  q" << t.from << " -> h" << i << " [label=\"" << Escape(label)
+        << "\"];\n";
+    for (size_t c = 0; c < t.children.size(); ++c) {
+      out << "  h" << i << " -> q" << t.children[c] << " [label=\"" << c
+          << "\",style=dashed];\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string DecompositionToDot(const HypertreeDecomposition& hd,
+                               const ConjunctiveQuery& query,
+                               const Schema& schema) {
+  std::ostringstream out;
+  out << "digraph hd {\n  node [shape=box];\n";
+  for (uint32_t p = 0; p < hd.NumNodes(); ++p) {
+    const auto& node = hd.node(p);
+    out << "  n" << p << " [label=\"χ={";
+    for (size_t i = 0; i < node.chi.size(); ++i) {
+      if (i > 0) out << ",";
+      out << Escape(query.VarName(node.chi[i]));
+    }
+    out << "}\\nξ={";
+    for (size_t i = 0; i < node.xi.size(); ++i) {
+      if (i > 0) out << ",";
+      out << Escape(schema.Name(query.atom(node.xi[i]).relation));
+    }
+    out << "}\"];\n";
+  }
+  for (uint32_t p = 0; p < hd.NumNodes(); ++p) {
+    for (uint32_t c : hd.node(p).children) {
+      out << "  n" << p << " -> n" << c << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace pqe

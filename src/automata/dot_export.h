@@ -1,0 +1,33 @@
+#ifndef PQE_AUTOMATA_DOT_EXPORT_H_
+#define PQE_AUTOMATA_DOT_EXPORT_H_
+
+#include <functional>
+#include <string>
+
+#include "automata/nfa.h"
+#include "automata/nfta.h"
+#include "hypertree/decomposition.h"
+
+namespace pqe {
+
+/// Callback rendering a symbol id as a label ("R1(a,b)", "¬R1(a,b)", "0"...).
+/// Defaults to the numeric id when unset.
+using SymbolNamer = std::function<std::string(SymbolId)>;
+
+/// Graphviz rendering of a string automaton: states as nodes (initial =
+/// diamond, accepting = double circle), transitions as labelled edges.
+std::string NfaToDot(const Nfa& nfa, const SymbolNamer& namer = nullptr);
+
+/// Graphviz rendering of a tree automaton. Hyperedge transitions are drawn
+/// through small intermediate points carrying the symbol label, with ordered
+/// child edges labelled by position.
+std::string NftaToDot(const Nfta& nfta, const SymbolNamer& namer = nullptr);
+
+/// Graphviz rendering of a hypertree decomposition: each node shows χ and ξ.
+std::string DecompositionToDot(const HypertreeDecomposition& hd,
+                               const ConjunctiveQuery& query,
+                               const Schema& schema);
+
+}  // namespace pqe
+
+#endif  // PQE_AUTOMATA_DOT_EXPORT_H_

@@ -1,0 +1,112 @@
+#include "automata/multiplier_nfa.h"
+
+#include <algorithm>
+
+#include "automata/multiplier_nfta.h"  // shared GadgetDepth semantics
+#include "util/check.h"
+
+namespace pqe {
+
+MultiplierNfa MultiplierNfa::FromSkeleton(const Nfa& base) {
+  MultiplierNfa out;
+  out.num_states_ = base.NumStates();
+  out.alphabet_size_ = base.AlphabetSize();
+  for (StateId s = 0; s < base.NumStates(); ++s) {
+    if (base.IsInitial(s)) out.initial_.push_back(s);
+    if (base.IsAccepting(s)) out.accepting_.push_back(s);
+  }
+  return out;
+}
+
+StateId MultiplierNfa::AddState() {
+  return static_cast<StateId>(num_states_++);
+}
+
+void MultiplierNfa::EnsureAlphabetSize(size_t size) {
+  alphabet_size_ = std::max(alphabet_size_, size);
+}
+
+void MultiplierNfa::MarkInitial(StateId s) {
+  PQE_CHECK(s < num_states_);
+  initial_.push_back(s);
+}
+
+void MultiplierNfa::MarkAccepting(StateId s) {
+  PQE_CHECK(s < num_states_);
+  accepting_.push_back(s);
+}
+
+Status MultiplierNfa::AddTransition(StateId from, SymbolId symbol,
+                                    uint64_t multiplier, StateId to,
+                                    uint64_t width) {
+  if (from >= num_states_ || to >= num_states_) {
+    return Status::InvalidArgument("transition endpoint unknown");
+  }
+  if (multiplier == 0) {
+    return Status::InvalidArgument(
+        "multiplier must be >= 1; omit the transition to model multiplier 0");
+  }
+  const uint64_t min_width = GadgetDepth(multiplier);
+  if (width == 0) width = min_width;
+  if (width < min_width) {
+    return Status::InvalidArgument("comparator width too small");
+  }
+  EnsureAlphabetSize(static_cast<size_t>(symbol) + 1);
+  transitions_.push_back(Transition{from, symbol, multiplier, width, to});
+  return Status::OK();
+}
+
+SymbolId MultiplierNfa::BitSymbol(int bit) const {
+  PQE_CHECK(bit == 0 || bit == 1);
+  return static_cast<SymbolId>(alphabet_size_ + static_cast<size_t>(bit));
+}
+
+uint64_t MultiplierNfa::GadgetDepth(uint64_t multiplier) {
+  return MultiplierNfta::GadgetDepth(multiplier);
+}
+
+Result<Nfa> MultiplierNfa::ToNfa() const {
+  Nfa out;
+  const SymbolId bit0 = BitSymbol(0);
+  const SymbolId bit1 = BitSymbol(1);
+  out.EnsureAlphabetSize(alphabet_size_ + 2);
+  for (size_t s = 0; s < num_states_; ++s) out.AddState();
+  for (StateId s : initial_) out.MarkInitial(s);
+  for (StateId s : accepting_) out.MarkAccepting(s);
+
+  for (const Transition& t : transitions_) {
+    if (t.width == 0) {
+      out.AddTransition(t.from, t.symbol, t.to);
+      continue;
+    }
+    // Binary comparator: after t.symbol, spell a width-bit string with
+    // value <= bound; eq-track follows the bound's bits, lt-track is free.
+    const uint64_t bound = t.multiplier - 1;
+    const uint64_t k = t.width;
+    std::vector<StateId> eq(k);
+    std::vector<StateId> lt(k);
+    for (uint64_t i = 0; i < k; ++i) eq[i] = out.AddState();
+    for (uint64_t i = 1; i < k; ++i) lt[i] = out.AddState();
+    out.AddTransition(t.from, t.symbol, eq[0]);
+    for (uint64_t i = 0; i < k; ++i) {
+      const bool last = (i + 1 == k);
+      const uint64_t pos = k - 1 - i;
+      const int b = pos >= 64 ? 0 : static_cast<int>((bound >> pos) & 1);
+      const StateId eq_next = last ? t.to : eq[i + 1];
+      const StateId lt_next = last ? t.to : lt[i + 1];
+      if (b == 1) {
+        out.AddTransition(eq[i], bit1, eq_next);
+        out.AddTransition(eq[i], bit0, lt_next);
+      } else {
+        out.AddTransition(eq[i], bit0, eq_next);
+      }
+      if (i >= 1) {
+        out.AddTransition(lt[i], bit0, lt_next);
+        out.AddTransition(lt[i], bit1, lt_next);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace pqe

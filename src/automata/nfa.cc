@@ -1,0 +1,176 @@
+#include "automata/nfa.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace pqe {
+
+StateId Nfa::AddState() {
+  StateId id = static_cast<StateId>(num_states_);
+  ++num_states_;
+  out_transitions_.emplace_back();
+  in_transitions_.emplace_back();
+  is_initial_.push_back(false);
+  is_accepting_.push_back(false);
+  return id;
+}
+
+void Nfa::EnsureAlphabetSize(size_t size) {
+  alphabet_size_ = std::max(alphabet_size_, size);
+}
+
+void Nfa::EnsureState(StateId s) { PQE_CHECK(s < num_states_); }
+
+void Nfa::AddTransition(StateId from, SymbolId symbol, StateId to) {
+  EnsureState(from);
+  EnsureState(to);
+  EnsureAlphabetSize(static_cast<size_t>(symbol) + 1);
+  uint32_t idx = static_cast<uint32_t>(transitions_.size());
+  transitions_.push_back(Transition{from, symbol, to});
+  out_transitions_[from].push_back(idx);
+  in_transitions_[to].push_back(idx);
+}
+
+void Nfa::MarkInitial(StateId s) {
+  EnsureState(s);
+  if (!is_initial_[s]) {
+    is_initial_[s] = true;
+    initial_.push_back(s);
+  }
+}
+
+void Nfa::MarkAccepting(StateId s) {
+  EnsureState(s);
+  is_accepting_[s] = true;
+}
+
+const std::vector<uint32_t>& Nfa::OutTransitions(StateId s) const {
+  return out_transitions_.at(s);
+}
+
+const std::vector<uint32_t>& Nfa::InTransitions(StateId s) const {
+  return in_transitions_.at(s);
+}
+
+std::vector<bool> Nfa::StatesAfter(const std::vector<SymbolId>& word) const {
+  std::vector<bool> current = is_initial_;
+  std::vector<bool> next(num_states_, false);
+  for (SymbolId symbol : word) {
+    std::fill(next.begin(), next.end(), false);
+    for (const Transition& t : transitions_) {
+      if (t.symbol == symbol && current[t.from]) next[t.to] = true;
+    }
+    std::swap(current, next);
+  }
+  return current;
+}
+
+std::vector<StateId> Nfa::ActiveStatesAfter(
+    const std::vector<SymbolId>& word) const {
+  std::vector<StateId> current = initial_;
+  std::sort(current.begin(), current.end());
+  std::vector<StateId> next;
+  for (SymbolId symbol : word) {
+    next.clear();
+    for (StateId s : current) {
+      for (uint32_t idx : out_transitions_[s]) {
+        const Transition& t = transitions_[idx];
+        if (t.symbol == symbol) next.push_back(t.to);
+      }
+    }
+    std::sort(next.begin(), next.end());
+    next.erase(std::unique(next.begin(), next.end()), next.end());
+    std::swap(current, next);
+    if (current.empty()) break;
+  }
+  return current;
+}
+
+bool Nfa::Accepts(const std::vector<SymbolId>& word) const {
+  std::vector<bool> states = StatesAfter(word);
+  for (StateId s = 0; s < num_states_; ++s) {
+    if (states[s] && is_accepting_[s]) return true;
+  }
+  return false;
+}
+
+void Nfa::Trim() {
+  // Forward reachability from initial states.
+  std::vector<bool> fwd(num_states_, false);
+  std::vector<StateId> stack;
+  for (StateId s : initial_) {
+    fwd[s] = true;
+    stack.push_back(s);
+  }
+  while (!stack.empty()) {
+    StateId s = stack.back();
+    stack.pop_back();
+    for (uint32_t idx : out_transitions_[s]) {
+      StateId to = transitions_[idx].to;
+      if (!fwd[to]) {
+        fwd[to] = true;
+        stack.push_back(to);
+      }
+    }
+  }
+  // Backward reachability from accepting states.
+  std::vector<bool> bwd(num_states_, false);
+  for (StateId s = 0; s < num_states_; ++s) {
+    if (is_accepting_[s]) {
+      bwd[s] = true;
+      stack.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    StateId s = stack.back();
+    stack.pop_back();
+    for (uint32_t idx : in_transitions_[s]) {
+      StateId from = transitions_[idx].from;
+      if (!bwd[from]) {
+        bwd[from] = true;
+        stack.push_back(from);
+      }
+    }
+  }
+  // Rebuild with only useful states.
+  std::vector<int64_t> remap(num_states_, -1);
+  Nfa trimmed;
+  trimmed.EnsureAlphabetSize(alphabet_size_);
+  for (StateId s = 0; s < num_states_; ++s) {
+    if (fwd[s] && bwd[s]) {
+      remap[s] = trimmed.AddState();
+      if (is_initial_[s]) trimmed.MarkInitial(static_cast<StateId>(remap[s]));
+      if (is_accepting_[s]) {
+        trimmed.MarkAccepting(static_cast<StateId>(remap[s]));
+      }
+    }
+  }
+  for (const Transition& t : transitions_) {
+    if (remap[t.from] >= 0 && remap[t.to] >= 0) {
+      trimmed.AddTransition(static_cast<StateId>(remap[t.from]), t.symbol,
+                            static_cast<StateId>(remap[t.to]));
+    }
+  }
+  *this = std::move(trimmed);
+}
+
+std::string Nfa::DebugString() const {
+  std::ostringstream out;
+  out << "NFA states=" << num_states_ << " transitions="
+      << transitions_.size() << " alphabet=" << alphabet_size_ << "\n";
+  for (const Transition& t : transitions_) {
+    out << "  " << t.from << " --" << t.symbol << "--> " << t.to << "\n";
+  }
+  out << "  initial:";
+  for (StateId s : initial_) out << " " << s;
+  out << "\n  accepting:";
+  for (StateId s = 0; s < num_states_; ++s) {
+    if (is_accepting_[s]) out << " " << s;
+  }
+  out << "\n";
+  return out.str();
+}
+
+}  // namespace pqe

@@ -1,0 +1,93 @@
+#ifndef PQE_AUTOMATA_NFA_H_
+#define PQE_AUTOMATA_NFA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace pqe {
+
+/// State index within an automaton.
+using StateId = uint32_t;
+/// Input symbol. Symbol meaning is owned by the construction that builds the
+/// automaton (e.g. fact literals for the Section 3 reduction).
+using SymbolId = uint32_t;
+
+/// A non-deterministic finite string automaton (S, Σ, δ, I, F) (Section 2).
+/// Supports multiple initial states, as used by the path-query construction.
+class Nfa {
+ public:
+  struct Transition {
+    StateId from;
+    SymbolId symbol;
+    StateId to;
+  };
+
+  Nfa() = default;
+
+  /// Adds a fresh state and returns its id.
+  StateId AddState();
+  /// Declares the alphabet size; symbols must be < alphabet_size. Growing is
+  /// implicit when AddTransition sees a larger symbol.
+  void EnsureAlphabetSize(size_t size);
+
+  void AddTransition(StateId from, SymbolId symbol, StateId to);
+  void MarkInitial(StateId s);
+  void MarkAccepting(StateId s);
+
+  size_t NumStates() const { return num_states_; }
+  size_t NumTransitions() const { return transitions_.size(); }
+  size_t AlphabetSize() const { return alphabet_size_; }
+  const std::vector<Transition>& transitions() const { return transitions_; }
+  const std::vector<StateId>& initial_states() const { return initial_; }
+  bool IsInitial(StateId s) const { return is_initial_.at(s); }
+  bool IsAccepting(StateId s) const { return is_accepting_.at(s); }
+
+  /// Outgoing transitions of a state (indices into transitions()).
+  const std::vector<uint32_t>& OutTransitions(StateId s) const;
+  /// Incoming transitions of a state (indices into transitions()).
+  const std::vector<uint32_t>& InTransitions(StateId s) const;
+
+  /// Subset simulation: the set of states reachable from the initial states
+  /// by reading `word`, as a bitvector indexed by StateId.
+  std::vector<bool> StatesAfter(const std::vector<SymbolId>& word) const;
+
+  /// Sparse subset simulation: the same reachable set as a sorted state
+  /// list. Cost tracks the active-set size times out-degree per step rather
+  /// than the automaton size — the membership oracle the counting estimator
+  /// leans on.
+  std::vector<StateId> ActiveStatesAfter(
+      const std::vector<SymbolId>& word) const;
+
+  /// Standard acceptance test.
+  bool Accepts(const std::vector<SymbolId>& word) const;
+
+  /// The paper's |M| measure: a proxy for the encoding size of δ
+  /// (one entry = from + symbol + to).
+  size_t SizeMeasure() const { return 3 * transitions_.size(); }
+
+  /// Removes states that are not both reachable from an initial state and
+  /// co-reachable to an accepting state. Counting algorithms assume trimmed
+  /// automata so that every stratum is "useful".
+  void Trim();
+
+  std::string DebugString() const;
+
+ private:
+  void EnsureState(StateId s);
+
+  size_t num_states_ = 0;
+  size_t alphabet_size_ = 0;
+  std::vector<Transition> transitions_;
+  std::vector<std::vector<uint32_t>> out_transitions_;
+  std::vector<std::vector<uint32_t>> in_transitions_;
+  std::vector<StateId> initial_;
+  std::vector<bool> is_initial_;
+  std::vector<bool> is_accepting_;
+};
+
+}  // namespace pqe
+
+#endif  // PQE_AUTOMATA_NFA_H_

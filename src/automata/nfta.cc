@@ -1,0 +1,309 @@
+#include "automata/nfta.h"
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace pqe {
+
+StateId Nfta::AddState() {
+  StateId id = static_cast<StateId>(num_states_);
+  ++num_states_;
+  out_transitions_.emplace_back();
+  return id;
+}
+
+void Nfta::EnsureAlphabetSize(size_t size) {
+  alphabet_size_ = std::max(alphabet_size_, size);
+}
+
+void Nfta::SetInitialState(StateId s) {
+  PQE_CHECK(s < num_states_);
+  initial_ = s;
+}
+
+void Nfta::AddTransition(StateId from, SymbolId symbol,
+                         std::vector<StateId> children) {
+  PQE_CHECK(from < num_states_);
+  for (StateId c : children) PQE_CHECK(c < num_states_);
+  if (symbol != kLambdaSymbol) {
+    EnsureAlphabetSize(static_cast<size_t>(symbol) + 1);
+  }
+  uint32_t idx = static_cast<uint32_t>(transitions_.size());
+  transitions_.push_back(Transition{from, symbol, std::move(children)});
+  out_transitions_[from].push_back(idx);
+  if (symbol != kLambdaSymbol) {
+    if (by_symbol_.size() < alphabet_size_) by_symbol_.resize(alphabet_size_);
+    by_symbol_[symbol].push_back(idx);
+  }
+  run_index_valid_ = false;
+}
+
+const std::vector<uint32_t>& Nfta::TransitionsWithSymbol(
+    SymbolId symbol) const {
+  if (symbol >= by_symbol_.size()) return empty_;
+  return by_symbol_[symbol];
+}
+
+const std::vector<uint32_t>& Nfta::OutTransitions(StateId s) const {
+  return out_transitions_.at(s);
+}
+
+size_t Nfta::SizeMeasure() const {
+  size_t size = 0;
+  for (const Transition& t : transitions_) size += 2 + t.children.size();
+  return size;
+}
+
+bool Nfta::HasLambdaTransitions() const {
+  for (const Transition& t : transitions_) {
+    if (t.symbol == kLambdaSymbol) return true;
+  }
+  return false;
+}
+
+Status Nfta::EliminateLambda(size_t max_transitions) {
+  if (!HasLambdaTransitions()) return Status::OK();
+
+  // λ-rules per state.
+  std::vector<std::vector<std::vector<StateId>>> lambda_rules(num_states_);
+  for (const Transition& t : transitions_) {
+    if (t.symbol == kLambdaSymbol) lambda_rules[t.from].push_back(t.children);
+  }
+
+  // Worklist over non-λ transitions; dedup by (from, symbol, children).
+  using Key = std::tuple<StateId, SymbolId, std::vector<StateId>>;
+  std::set<Key> seen;
+  std::vector<Transition> work;
+  for (const Transition& t : transitions_) {
+    if (t.symbol == kLambdaSymbol) continue;
+    Key key{t.from, t.symbol, t.children};
+    if (seen.insert(key).second) work.push_back(t);
+  }
+
+  for (size_t i = 0; i < work.size(); ++i) {
+    if (work.size() > max_transitions) {
+      return Status::ResourceExhausted(
+          "λ-elimination exceeded transition budget");
+    }
+    // Copy: `work` may reallocate as we append.
+    const Transition t = work[i];
+    for (size_t pos = 0; pos < t.children.size(); ++pos) {
+      StateId c = t.children[pos];
+      for (const std::vector<StateId>& rhs : lambda_rules[c]) {
+        std::vector<StateId> spliced;
+        spliced.reserve(t.children.size() + rhs.size());
+        spliced.insert(spliced.end(), t.children.begin(),
+                       t.children.begin() + pos);
+        spliced.insert(spliced.end(), rhs.begin(), rhs.end());
+        spliced.insert(spliced.end(), t.children.begin() + pos + 1,
+                       t.children.end());
+        Key key{t.from, t.symbol, spliced};
+        if (seen.insert(key).second) {
+          work.push_back(Transition{t.from, t.symbol, std::move(spliced)});
+        }
+      }
+    }
+  }
+
+  // The initial state absorbs rules through single-state λ-chains:
+  // (s, λ, [r]) lets s generate whatever tree r generates.
+  std::vector<bool> init_closure(num_states_, false);
+  std::vector<StateId> stack = {initial_};
+  init_closure[initial_] = true;
+  while (!stack.empty()) {
+    StateId s = stack.back();
+    stack.pop_back();
+    for (const std::vector<StateId>& rhs : lambda_rules[s]) {
+      if (rhs.size() == 1 && !init_closure[rhs[0]]) {
+        init_closure[rhs[0]] = true;
+        stack.push_back(rhs[0]);
+      }
+    }
+  }
+  const size_t base_count = work.size();
+  for (size_t i = 0; i < base_count; ++i) {
+    const Transition& t = work[i];
+    if (t.from != initial_ && init_closure[t.from]) {
+      Key key{initial_, t.symbol, t.children};
+      if (seen.insert(key).second) {
+        work.push_back(Transition{initial_, t.symbol, t.children});
+      }
+    }
+  }
+
+  // Rebuild.
+  transitions_.clear();
+  for (auto& v : out_transitions_) v.clear();
+  for (auto& v : by_symbol_) v.clear();
+  for (Transition& t : work) {
+    AddTransition(t.from, t.symbol, std::move(t.children));
+  }
+  return Status::OK();
+}
+
+void Nfta::EnsureRunIndex() const {
+  if (run_index_valid_) return;
+  leaf_by_symbol_.clear();
+  by_symbol_child0_.clear();
+  for (uint32_t idx = 0; idx < transitions_.size(); ++idx) {
+    const Transition& t = transitions_[idx];
+    if (t.symbol == kLambdaSymbol) continue;
+    if (t.children.empty()) {
+      leaf_by_symbol_[t.symbol].push_back(idx);
+    } else {
+      const uint64_t key =
+          (static_cast<uint64_t>(t.symbol) << 32) | t.children[0];
+      by_symbol_child0_[key].push_back(idx);
+    }
+  }
+  run_index_valid_ = true;
+}
+
+std::vector<std::vector<StateId>> Nfta::RunStates(
+    const LabeledTree& t) const {
+  PQE_CHECK(!HasLambdaTransitions());
+  EnsureRunIndex();
+  std::vector<std::vector<StateId>> states(t.size());
+  // LabeledTree node ids are topologically ordered (children after parents),
+  // so a descending sweep is bottom-up. Candidate transitions are found via
+  // the (symbol, first-child-state) index, so cost scales with the node's
+  // sparse run-state sets rather than the automaton size.
+  for (uint32_t node = static_cast<uint32_t>(t.size()); node-- > 0;) {
+    const SymbolId label = t.label(node);
+    const auto& kids = t.children(node);
+    std::vector<StateId>& out = states[node];
+    if (kids.empty()) {
+      auto it = leaf_by_symbol_.find(label);
+      if (it != leaf_by_symbol_.end()) {
+        for (uint32_t idx : it->second) {
+          out.push_back(transitions_[idx].from);
+        }
+      }
+    } else {
+      for (StateId first_child_state : states[kids[0]]) {
+        const uint64_t key =
+            (static_cast<uint64_t>(label) << 32) | first_child_state;
+        auto it = by_symbol_child0_.find(key);
+        if (it == by_symbol_child0_.end()) continue;
+        for (uint32_t idx : it->second) {
+          const Transition& tr = transitions_[idx];
+          if (tr.children.size() != kids.size()) continue;
+          bool ok = true;
+          for (size_t i = 1; i < kids.size() && ok; ++i) {
+            const auto& child_states = states[kids[i]];
+            ok = std::binary_search(child_states.begin(), child_states.end(),
+                                    tr.children[i]);
+          }
+          if (ok) out.push_back(tr.from);
+        }
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+  return states;
+}
+
+bool Nfta::Accepts(const LabeledTree& t) const {
+  const auto root_states = RunStates(t)[t.root()];
+  return std::binary_search(root_states.begin(), root_states.end(),
+                            initial_);
+}
+
+bool Nfta::AcceptsFrom(StateId state, const LabeledTree& t) const {
+  const auto root_states = RunStates(t)[t.root()];
+  return std::binary_search(root_states.begin(), root_states.end(), state);
+}
+
+void Nfta::Trim() {
+  PQE_CHECK(!HasLambdaTransitions());
+  // Productive states: can generate some finite tree.
+  std::vector<bool> productive(num_states_, false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Transition& t : transitions_) {
+      if (productive[t.from]) continue;
+      bool ok = true;
+      for (StateId c : t.children) ok = ok && productive[c];
+      if (ok) {
+        productive[t.from] = true;
+        changed = true;
+      }
+    }
+  }
+  // Reachable states from the initial state, moving only through transitions
+  // with all-productive children (others can never occur in a run).
+  std::vector<bool> reachable(num_states_, false);
+  std::vector<StateId> stack = {initial_};
+  reachable[initial_] = true;
+  while (!stack.empty()) {
+    StateId s = stack.back();
+    stack.pop_back();
+    for (uint32_t idx : out_transitions_[s]) {
+      const Transition& t = transitions_[idx];
+      bool ok = true;
+      for (StateId c : t.children) ok = ok && productive[c];
+      if (!ok) continue;
+      for (StateId c : t.children) {
+        if (!reachable[c]) {
+          reachable[c] = true;
+          stack.push_back(c);
+        }
+      }
+    }
+  }
+  // Rebuild (always keep the initial state so the automaton stays valid even
+  // when the language is empty).
+  std::vector<int64_t> remap(num_states_, -1);
+  Nfta trimmed;
+  trimmed.EnsureAlphabetSize(alphabet_size_);
+  for (StateId s = 0; s < num_states_; ++s) {
+    if ((reachable[s] && productive[s]) || s == initial_) {
+      remap[s] = trimmed.AddState();
+    }
+  }
+  trimmed.SetInitialState(static_cast<StateId>(remap[initial_]));
+  for (const Transition& t : transitions_) {
+    if (remap[t.from] < 0) continue;
+    bool ok = true;
+    for (StateId c : t.children) ok = ok && remap[c] >= 0;
+    if (!ok) continue;
+    std::vector<StateId> children;
+    children.reserve(t.children.size());
+    for (StateId c : t.children) {
+      children.push_back(static_cast<StateId>(remap[c]));
+    }
+    trimmed.AddTransition(static_cast<StateId>(remap[t.from]), t.symbol,
+                          std::move(children));
+  }
+  *this = std::move(trimmed);
+}
+
+std::string Nfta::DebugString() const {
+  std::ostringstream out;
+  out << "NFTA states=" << num_states_ << " transitions="
+      << transitions_.size() << " alphabet=" << alphabet_size_
+      << " initial=" << initial_ << "\n";
+  for (const Transition& t : transitions_) {
+    out << "  " << t.from << " --";
+    if (t.symbol == kLambdaSymbol) {
+      out << "λ";
+    } else {
+      out << t.symbol;
+    }
+    out << "--> (";
+    for (size_t i = 0; i < t.children.size(); ++i) {
+      if (i > 0) out << " ";
+      out << t.children[i];
+    }
+    out << ")\n";
+  }
+  return out.str();
+}
+
+}  // namespace pqe

@@ -1,0 +1,30 @@
+#ifndef PQE_AUTOMATA_OPS_H_
+#define PQE_AUTOMATA_OPS_H_
+
+#include "automata/nfa.h"
+#include "automata/nfta.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// Language union of two NFAs: disjoint state union, both initial/accepting
+/// sets kept. Alphabets are identified by symbol id.
+Nfa UnionNfa(const Nfa& a, const Nfa& b);
+
+/// Language intersection via the product construction, restricted to pairs
+/// reachable from the initial pairs. Useful for cross-checking constructions
+/// (e.g. emptiness of L(M) ∩ L(M') witnesses disjointness).
+Nfa IntersectNfa(const Nfa& a, const Nfa& b);
+
+/// Language reversal: transitions flipped, initial and accepting swapped.
+/// |L_n| is preserved for every n (reversal is a bijection on strings).
+Nfa ReverseNfa(const Nfa& a);
+
+/// Language union of two λ-free NFTAs: disjoint state union plus a fresh
+/// initial state carrying copies of both automata's initial-state
+/// transitions. Fails if either automaton still has λ-transitions.
+Result<Nfta> UnionNfta(const Nfta& a, const Nfta& b);
+
+}  // namespace pqe
+
+#endif  // PQE_AUTOMATA_OPS_H_

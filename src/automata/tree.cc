@@ -1,0 +1,59 @@
+#include "automata/tree.h"
+
+#include <functional>
+
+#include "util/check.h"
+
+namespace pqe {
+
+LabeledTree::LabeledTree(SymbolId root_label) {
+  nodes_.push_back(Node{root_label, {}});
+}
+
+uint32_t LabeledTree::AddChild(uint32_t parent, SymbolId label) {
+  PQE_CHECK(parent < nodes_.size());
+  uint32_t id = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(Node{label, {}});
+  nodes_[parent].children.push_back(id);
+  return id;
+}
+
+uint32_t LabeledTree::GraftChild(uint32_t parent, const LabeledTree& sub) {
+  PQE_CHECK(parent < nodes_.size());
+  // Copy nodes of `sub` into this pool, remapping child indices.
+  const uint32_t offset = static_cast<uint32_t>(nodes_.size());
+  for (const Node& n : sub.nodes_) {
+    Node copy;
+    copy.label = n.label;
+    copy.children.reserve(n.children.size());
+    for (uint32_t c : n.children) copy.children.push_back(c + offset);
+    nodes_.push_back(std::move(copy));
+  }
+  nodes_[parent].children.push_back(offset);
+  return offset;
+}
+
+void LabeledTree::SerializeNode(uint32_t id, std::string* out) const {
+  const Node& n = nodes_[id];
+  out->push_back('(');
+  out->append(std::to_string(n.label));
+  for (uint32_t c : n.children) {
+    out->push_back(' ');
+    SerializeNode(c, out);
+  }
+  out->push_back(')');
+}
+
+std::string LabeledTree::Serialize() const {
+  std::string out;
+  out.reserve(nodes_.size() * 6);
+  SerializeNode(0, &out);
+  return out;
+}
+
+bool LabeledTree::operator==(const LabeledTree& o) const {
+  if (nodes_.size() != o.nodes_.size()) return false;
+  return Serialize() == o.Serialize();
+}
+
+}  // namespace pqe

@@ -1,0 +1,68 @@
+#ifndef PQE_AUTOMATA_TREE_H_
+#define PQE_AUTOMATA_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "automata/nfa.h"  // StateId / SymbolId
+
+namespace pqe {
+
+/// An ordered, labelled k-tree t ∈ Trees_k[Σ] (Section 2). Nodes are stored
+/// in a flat pool; node 0 is always the root. Children are ordered, matching
+/// the paper's prefix-closed-subset-of-[k]* definition.
+class LabeledTree {
+ public:
+  struct Node {
+    SymbolId label = 0;
+    std::vector<uint32_t> children;
+  };
+
+  /// Creates a single-node tree with the given root label.
+  explicit LabeledTree(SymbolId root_label);
+
+  LabeledTree(const LabeledTree&) = default;
+  LabeledTree& operator=(const LabeledTree&) = default;
+  LabeledTree(LabeledTree&&) = default;
+  LabeledTree& operator=(LabeledTree&&) = default;
+
+  /// Appends a child with `label` under `parent`; returns the new node id.
+  uint32_t AddChild(uint32_t parent, SymbolId label);
+
+  /// Grafts a whole subtree (copy of `sub`) as the last child of `parent`;
+  /// returns the id of the grafted root.
+  uint32_t GraftChild(uint32_t parent, const LabeledTree& sub);
+
+  uint32_t root() const { return 0; }
+  size_t size() const { return nodes_.size(); }
+  const Node& node(uint32_t id) const { return nodes_.at(id); }
+  SymbolId label(uint32_t id) const { return nodes_.at(id).label; }
+  const std::vector<uint32_t>& children(uint32_t id) const {
+    return nodes_.at(id).children;
+  }
+
+  /// Canonical serialization: "(label child1 child2 ...)". Equal trees have
+  /// equal serializations; used for hashing and sample identity in the
+  /// counting algorithms.
+  std::string Serialize() const;
+
+  /// Structural equality.
+  bool operator==(const LabeledTree& o) const;
+
+ private:
+  void SerializeNode(uint32_t id, std::string* out) const;
+
+  std::vector<Node> nodes_;
+};
+
+/// Hash functor over canonical serialization.
+struct LabeledTreeHash {
+  size_t operator()(const LabeledTree& t) const {
+    return std::hash<std::string>()(t.Serialize());
+  }
+};
+
+}  // namespace pqe
+
+#endif  // PQE_AUTOMATA_TREE_H_

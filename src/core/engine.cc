@@ -1,0 +1,208 @@
+#include "core/engine.h"
+
+#include <sstream>
+
+#include "core/path_pqe.h"
+#include "core/pqe.h"
+#include "core/ur_construction.h"
+#include "eval/eval.h"
+#include "eval/ucq_eval.h"
+#include "lineage/compiled_wmc.h"
+#include "lineage/lineage.h"
+#include "lineage/monte_carlo.h"
+#include "safeplan/safe_plan.h"
+
+namespace pqe {
+
+const char* PqeMethodToString(PqeMethod method) {
+  switch (method) {
+    case PqeMethod::kAuto:
+      return "auto";
+    case PqeMethod::kFpras:
+      return "fpras";
+    case PqeMethod::kSafePlan:
+      return "safe-plan";
+    case PqeMethod::kEnumeration:
+      return "enumeration";
+    case PqeMethod::kKarpLubyLineage:
+      return "karp-luby-lineage";
+    case PqeMethod::kExactLineage:
+      return "exact-lineage";
+    case PqeMethod::kMonteCarlo:
+      return "monte-carlo";
+  }
+  return "unknown";
+}
+
+EstimatorConfig PqeEngine::MakeEstimatorConfig() const {
+  EstimatorConfig cfg;
+  cfg.epsilon = options_.epsilon;
+  cfg.seed = options_.seed;
+  cfg.pool_size = options_.pool_size;
+  cfg.max_pool_size = options_.max_pool_size;
+  cfg.repetitions = options_.repetitions;
+  return cfg;
+}
+
+Result<PqeAnswer> PqeEngine::Evaluate(const ConjunctiveQuery& query,
+                                      const ProbabilisticDatabase& pdb) const {
+  PqeMethod method = options_.method;
+  if (method == PqeMethod::kAuto) {
+    if (IsSafeQuery(query)) {
+      method = PqeMethod::kSafePlan;
+    } else if (pdb.NumFacts() <= options_.enumeration_threshold) {
+      method = PqeMethod::kEnumeration;
+    } else {
+      method = PqeMethod::kFpras;
+    }
+  }
+  PqeAnswer out;
+  out.method_used = method;
+  std::ostringstream diag;
+  switch (method) {
+    case PqeMethod::kSafePlan: {
+      PQE_ASSIGN_OR_RETURN(out.probability, SafePlanProbability(query, pdb));
+      out.is_exact = true;
+      diag << "extensional safe plan (exact)";
+      break;
+    }
+    case PqeMethod::kEnumeration: {
+      PQE_ASSIGN_OR_RETURN(
+          BigRational p,
+          ExactProbabilityByEnumeration(pdb, query,
+                                        options_.enumeration_threshold + 8));
+      out.probability = p.ToDouble();
+      out.is_exact = true;
+      diag << "possible-world enumeration over 2^" << pdb.NumFacts()
+           << " worlds (exact)";
+      break;
+    }
+    case PqeMethod::kFpras: {
+      if (query.IsPathQuery() && query.IsSelfJoinFree()) {
+        // Path queries stay in string automata end to end (Section 3 +
+        // string-side multiplier gadgets) — same guarantee, cheaper.
+        PQE_ASSIGN_OR_RETURN(
+            PathPqeResult r,
+            PathPqeEstimate(query, pdb, MakeEstimatorConfig()));
+        out.probability = r.probability;
+        diag << "combined FPRAS (Theorem 1, string specialization): k="
+             << r.word_length << " states=" << r.nfa_states
+             << " transitions=" << r.nfa_transitions << "; "
+             << r.stats.ToString();
+        break;
+      }
+      UrConstructionOptions opts;
+      opts.max_width = options_.max_width;
+      PQE_ASSIGN_OR_RETURN(
+          PqeEstimateResult r,
+          PqeEstimate(query, pdb, MakeEstimatorConfig(), opts));
+      out.probability = r.probability;
+      diag << "combined FPRAS (Theorem 1): width=" << r.decomposition_width
+           << " k=" << r.tree_size << " states=" << r.nfta_states
+           << " transitions=" << r.nfta_transitions << "; "
+           << r.stats.ToString();
+      break;
+    }
+    case PqeMethod::kKarpLubyLineage: {
+      KarpLubyConfig cfg;
+      cfg.epsilon = options_.epsilon;
+      cfg.seed = options_.seed;
+      PQE_ASSIGN_OR_RETURN(KarpLubyResult r, KarpLubyPqe(query, pdb, cfg));
+      out.probability = r.probability;
+      diag << "Karp–Luby over DNF lineage: clauses=" << r.clauses
+           << " samples=" << r.samples;
+      break;
+    }
+    case PqeMethod::kExactLineage: {
+      PQE_ASSIGN_OR_RETURN(DnfLineage lineage,
+                           BuildLineage(query, pdb.database()));
+      PQE_ASSIGN_OR_RETURN(CompiledWmcResult r,
+                           ExactDnfProbabilityDecomposed(lineage, pdb));
+      out.probability = r.probability.ToDouble();
+      out.is_exact = true;
+      diag << "decomposed model count over lineage: clauses="
+           << lineage.NumClauses() << " splits=" << r.stats.shannon_splits
+           << "+" << r.stats.component_splits << " (exact)";
+      break;
+    }
+    case PqeMethod::kMonteCarlo: {
+      MonteCarloConfig cfg;
+      cfg.seed = options_.seed;
+      cfg.num_samples = 20'000;
+      PQE_ASSIGN_OR_RETURN(MonteCarloResult r,
+                           MonteCarloPqe(query, pdb, cfg));
+      out.probability = r.probability;
+      diag << "naive Monte Carlo: " << r.hits << "/" << r.samples
+           << " worlds satisfied Q";
+      break;
+    }
+    case PqeMethod::kAuto:
+      return Status::Internal("auto method not resolved");
+  }
+  out.diagnostics = diag.str();
+  return out;
+}
+
+Result<PqeAnswer> PqeEngine::EvaluateUnion(
+    const UnionQuery& query, const ProbabilisticDatabase& pdb) const {
+  PqeAnswer out;
+  std::ostringstream diag;
+  if (pdb.NumFacts() <= options_.enumeration_threshold) {
+    PQE_ASSIGN_OR_RETURN(
+        BigRational p,
+        ExactUnionProbabilityByEnumeration(pdb, query,
+                                           options_.enumeration_threshold +
+                                               8));
+    out.probability = p.ToDouble();
+    out.is_exact = true;
+    out.method_used = PqeMethod::kEnumeration;
+    diag << "possible-world enumeration over 2^" << pdb.NumFacts()
+         << " worlds (exact)";
+    out.diagnostics = diag.str();
+    return out;
+  }
+  // Union lineage: exact where tractable, Karp–Luby beyond.
+  constexpr size_t kExactClauseBudget = 20'000;
+  auto lineage = BuildUnionLineage(query, pdb.database(),
+                                   kExactClauseBudget);
+  if (lineage.ok()) {
+    auto exact = ExactDnfProbabilityDecomposed(*lineage, pdb);
+    if (exact.ok()) {
+      out.probability = exact->probability.ToDouble();
+      out.is_exact = true;
+      out.method_used = PqeMethod::kExactLineage;
+      diag << "decomposed model count over union lineage: clauses="
+           << lineage->NumClauses() << " (exact)";
+      out.diagnostics = diag.str();
+      return out;
+    }
+  }
+  KarpLubyConfig cfg;
+  cfg.epsilon = options_.epsilon;
+  cfg.seed = options_.seed;
+  PQE_ASSIGN_OR_RETURN(KarpLubyResult r, KarpLubyUnionPqe(query, pdb, cfg));
+  out.probability = r.probability;
+  out.method_used = PqeMethod::kKarpLubyLineage;
+  diag << "Karp–Luby over union lineage: clauses=" << r.clauses
+       << " samples=" << r.samples;
+  out.diagnostics = diag.str();
+  return out;
+}
+
+Result<double> PqeEngine::EvaluateUniformReliability(
+    const ConjunctiveQuery& query, const Database& db) const {
+  if (db.NumFacts() <= options_.enumeration_threshold) {
+    PQE_ASSIGN_OR_RETURN(
+        BigUint ur,
+        UniformReliabilityByEnumeration(db, query,
+                                        options_.enumeration_threshold + 8));
+    return ur.ToDouble();
+  }
+  UrConstructionOptions opts;
+  opts.max_width = options_.max_width;
+  PQE_ASSIGN_OR_RETURN(UrEstimateResult r,
+                       UrEstimate(query, db, MakeEstimatorConfig(), opts));
+  return r.ur.ToDouble();
+}
+
+}  // namespace pqe

@@ -1,0 +1,97 @@
+#ifndef PQE_CORE_ENGINE_H_
+#define PQE_CORE_ENGINE_H_
+
+#include <string>
+
+#include "counting/config.h"
+#include "cq/ucq.h"
+#include "cq/query.h"
+#include "lineage/karp_luby.h"
+#include "pdb/probabilistic_database.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// Evaluation strategies offered by the engine.
+enum class PqeMethod {
+  /// Pick automatically: safe queries run the exact extensional plan; small
+  /// instances run exact enumeration; everything else runs the paper's
+  /// combined FPRAS.
+  kAuto,
+  /// Theorem 1: hypertree decomposition → NFTA → CountNFTA (FPRAS).
+  kFpras,
+  /// Dalvi–Suciu extensional plan (exact; safe queries only).
+  kSafePlan,
+  /// Possible-world enumeration (exact; 2^|D| — tiny instances only).
+  kEnumeration,
+  /// Classical intensional baseline: DNF lineage + Karp–Luby (FPRAS whose
+  /// lineage is exponential in |Q|).
+  kKarpLubyLineage,
+  /// Lineage + exact Shannon-expansion model counting (with independent-
+  /// component decomposition).
+  kExactLineage,
+  /// Naive Monte Carlo over worlds: unbiased but only additive accuracy —
+  /// included as the classical non-FPRAS contrast.
+  kMonteCarlo,
+};
+
+const char* PqeMethodToString(PqeMethod method);
+
+/// One evaluation answer with provenance.
+struct PqeAnswer {
+  double probability = 0.0;
+  PqeMethod method_used = PqeMethod::kAuto;
+  bool is_exact = false;
+  std::string diagnostics;  // human-readable run info
+};
+
+/// High-level facade over every evaluation strategy in the library.
+/// Thread-compatible: construct one engine per thread.
+class PqeEngine {
+ public:
+  struct Options {
+    PqeMethod method = PqeMethod::kAuto;
+    /// FPRAS accuracy target and seed (also seeds Karp–Luby).
+    double epsilon = 0.2;
+    uint64_t seed = 0x5eed;
+    /// Hypertree-width budget for the decomposer.
+    size_t max_width = 3;
+    /// kAuto switches to enumeration below this fact count.
+    size_t enumeration_threshold = 16;
+    /// Overrides forwarded to the counting estimator (0 = auto).
+    size_t pool_size = 0;
+    size_t max_pool_size = 768;
+    /// Median-of-R amplification for the FPRAS (1 = single run).
+    size_t repetitions = 3;
+  };
+
+  explicit PqeEngine(Options options) : options_(options) {}
+  PqeEngine() : PqeEngine(Options{}) {}
+
+  const Options& options() const { return options_; }
+
+  /// Evaluates Pr_H(Q) with the configured (or auto-selected) method.
+  Result<PqeAnswer> Evaluate(const ConjunctiveQuery& query,
+                             const ProbabilisticDatabase& pdb) const;
+
+  /// Evaluates the uniform reliability UR(Q, D) (as a double; may be huge).
+  Result<double> EvaluateUniformReliability(const ConjunctiveQuery& query,
+                                            const Database& db) const;
+
+  /// Evaluates Pr_H(Q₁ ∨ ... ∨ Q_m) for a union of CQs. The paper's FPRAS
+  /// does not extend to unions; this routes through the lineage-based
+  /// methods: exact decomposed model counting when the union lineage is
+  /// small, Karp–Luby otherwise (enumeration below the tiny-instance
+  /// threshold).
+  Result<PqeAnswer> EvaluateUnion(const UnionQuery& query,
+                                  const ProbabilisticDatabase& pdb) const;
+
+ private:
+  EstimatorConfig MakeEstimatorConfig() const;
+
+  Options options_;
+};
+
+}  // namespace pqe
+
+#endif  // PQE_CORE_ENGINE_H_

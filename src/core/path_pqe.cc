@@ -1,0 +1,217 @@
+#include "core/path_pqe.h"
+
+#include <vector>
+
+#include <cmath>
+
+#include "automata/augmented_nfta.h"  // literal encoding helpers
+#include "automata/multiplier_nfa.h"
+#include "core/projection.h"
+#include "counting/count_nfa.h"
+#include "counting/exact.h"
+#include "util/check.h"
+
+namespace pqe {
+
+namespace {
+
+Status ValidatePathQuery(const ConjunctiveQuery& query) {
+  if (!query.IsSelfJoinFree()) {
+    return Status::NotSupported(
+        "the Section 3 construction requires a self-join-free query");
+  }
+  if (!query.IsPathQuery()) {
+    return Status::NotSupported(
+        "BuildPathQueryNfa requires a path query R1(x1,x2),...,Rn(xn,xn+1)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PathQueryNfa> BuildPathQueryNfa(const ConjunctiveQuery& query,
+                                       const Database& db) {
+  PQE_RETURN_IF_ERROR(ValidatePathQuery(query));
+  PQE_ASSIGN_OR_RETURN(ProjectedDatabase proj, ProjectDatabase(db, query));
+  const Database& d = proj.db;
+  const size_t n = query.NumAtoms();
+
+  PathQueryNfa out;
+  out.word_length = d.NumFacts();
+  out.dropped_facts = proj.dropped_facts;
+  Nfa& nfa = out.nfa;
+  nfa.EnsureAlphabetSize(2 * d.NumFacts());
+
+  // Facts of each query atom's relation, in ≺_i (= FactId) order.
+  std::vector<const std::vector<FactId>*> block(n);
+  for (size_t i = 0; i < n; ++i) {
+    block[i] = &d.FactsOf(query.atom(i).relation);
+    if (block[i]->empty()) {
+      // Some relation is empty: the query is unsatisfiable on every
+      // subinstance, and the automaton's language is empty.
+      return out;
+    }
+  }
+
+  // State [i, j, k]: in atom block i, about to emit the presence/absence of
+  // the j-th R_i-fact, having committed to the k-th R_i-fact as the witness
+  // for atom i. Plus a single accepting end state.
+  std::vector<std::vector<StateId>> state(n);  // [i][j * c_i + k]
+  for (size_t i = 0; i < n; ++i) {
+    const size_t c = block[i]->size();
+    state[i].resize(c * c);
+    for (size_t jk = 0; jk < c * c; ++jk) state[i][jk] = nfa.AddState();
+  }
+  const StateId s_end = nfa.AddState();
+  nfa.MarkAccepting(s_end);
+  for (size_t k = 0; k < block[0]->size(); ++k) {
+    nfa.MarkInitial(state[0][0 * block[0]->size() + k]);
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    const auto& facts = *block[i];
+    const size_t c = facts.size();
+    for (size_t k = 0; k < c; ++k) {
+      const Fact& witness = d.fact(facts[k]);
+      for (size_t j = 0; j < c; ++j) {
+        const StateId from = state[i][j * c + k];
+        const SymbolId pos = PositiveLiteral(facts[j]);
+        const SymbolId neg = NegativeLiteral(facts[j]);
+        const bool is_witness = (j == k);
+        if (j + 1 < c) {
+          const StateId to = state[i][(j + 1) * c + k];
+          nfa.AddTransition(from, pos, to);
+          if (!is_witness) nfa.AddTransition(from, neg, to);
+        } else if (i + 1 < n) {
+          // Block boundary: commit to a joining witness of atom i+1.
+          const auto& next_facts = *block[i + 1];
+          for (size_t m = 0; m < next_facts.size(); ++m) {
+            const Fact& next_witness = d.fact(next_facts[m]);
+            if (next_witness.args[0] != witness.args[1]) continue;
+            const StateId to = state[i + 1][0 * next_facts.size() + m];
+            nfa.AddTransition(from, pos, to);
+            if (!is_witness) nfa.AddTransition(from, neg, to);
+          }
+        } else {
+          nfa.AddTransition(from, pos, s_end);
+          if (!is_witness) nfa.AddTransition(from, neg, s_end);
+        }
+      }
+    }
+  }
+  nfa.Trim();
+  return out;
+}
+
+Result<PathEstimateResult> PathEstimate(const ConjunctiveQuery& query,
+                                        const Database& db,
+                                        const EstimatorConfig& config) {
+  PQE_ASSIGN_OR_RETURN(PathQueryNfa m, BuildPathQueryNfa(query, db));
+  PathEstimateResult out;
+  out.nfa_states = m.nfa.NumStates();
+  out.nfa_transitions = m.nfa.NumTransitions();
+  out.word_length = m.word_length;
+  PQE_ASSIGN_OR_RETURN(CountEstimate count,
+                       CountNfaStrings(m.nfa, m.word_length, config));
+  out.stats = count.stats;
+  // UR(Q, D) = |L_{|D'|}(M)| · 2^{|D| − |D'|}.
+  out.ur = count.value.Mul(
+      ExtFloat::FromBigUint(BigUint::PowerOfTwo(m.dropped_facts)));
+  return out;
+}
+
+Result<BigUint> PathUniformReliabilityExact(const ConjunctiveQuery& query,
+                                            const Database& db) {
+  PQE_ASSIGN_OR_RETURN(PathQueryNfa m, BuildPathQueryNfa(query, db));
+  PQE_ASSIGN_OR_RETURN(BigUint count,
+                       ExactCountNfaStrings(m.nfa, m.word_length));
+  return count.Mul(BigUint::PowerOfTwo(m.dropped_facts));
+}
+
+namespace {
+
+// The weighted path automaton M' of the Theorem 1 string specialization,
+// plus the common denominator d and stratum length k.
+struct WeightedPathNfa {
+  Nfa nfa;
+  size_t word_length = 0;
+  BigUint denominator;
+};
+
+uint64_t FactGadgetWidth(const Probability& p) {
+  uint64_t width = 0;
+  if (p.num >= 1) {
+    width = std::max(width, MultiplierNfa::GadgetDepth(p.num));
+  }
+  if (p.den - p.num >= 1) {
+    width = std::max(width, MultiplierNfa::GadgetDepth(p.den - p.num));
+  }
+  return width;
+}
+
+Result<WeightedPathNfa> BuildWeightedPathNfa(
+    const ConjunctiveQuery& query, const ProbabilisticDatabase& pdb) {
+  PQE_ASSIGN_OR_RETURN(ProjectedProbabilisticDatabase proj,
+                       ProjectProbabilisticDatabase(pdb, query));
+  const ProbabilisticDatabase& ppdb = proj.pdb;
+  PQE_ASSIGN_OR_RETURN(PathQueryNfa base,
+                       BuildPathQueryNfa(query, ppdb.database()));
+
+  WeightedPathNfa out;
+  out.denominator = BigUint(1);
+  std::vector<uint64_t> width(ppdb.NumFacts(), 0);
+  for (FactId f = 0; f < ppdb.NumFacts(); ++f) {
+    const Probability p = ppdb.probability(f);
+    width[f] = FactGadgetWidth(p);
+    out.denominator = out.denominator.MulU64(p.den);
+  }
+  out.word_length = base.word_length;
+  for (FactId f = 0; f < ppdb.NumFacts(); ++f) {
+    out.word_length += static_cast<size_t>(width[f]);
+  }
+
+  MultiplierNfa mult = MultiplierNfa::FromSkeleton(base.nfa);
+  for (const Nfa::Transition& t : base.nfa.transitions()) {
+    const FactId f = LiteralBase(t.symbol);
+    PQE_CHECK(f < ppdb.NumFacts());
+    const Probability p = ppdb.probability(f);
+    const uint64_t multiplier =
+        IsNegativeLiteral(t.symbol) ? (p.den - p.num) : p.num;
+    if (multiplier == 0) continue;
+    PQE_RETURN_IF_ERROR(mult.AddTransition(t.from, t.symbol, multiplier,
+                                           t.to, width[f]));
+  }
+  PQE_ASSIGN_OR_RETURN(out.nfa, mult.ToNfa());
+  out.nfa.Trim();
+  return out;
+}
+
+}  // namespace
+
+Result<PathPqeResult> PathPqeEstimate(const ConjunctiveQuery& query,
+                                      const ProbabilisticDatabase& pdb,
+                                      const EstimatorConfig& config) {
+  PQE_ASSIGN_OR_RETURN(WeightedPathNfa m, BuildWeightedPathNfa(query, pdb));
+  PathPqeResult out;
+  out.word_length = m.word_length;
+  out.nfa_states = m.nfa.NumStates();
+  out.nfa_transitions = m.nfa.NumTransitions();
+  PQE_ASSIGN_OR_RETURN(CountEstimate count,
+                       CountNfaStrings(m.nfa, m.word_length, config));
+  out.stats = count.stats;
+  out.string_count = count.value;
+  const double log2_d = ExtFloat::FromBigUint(m.denominator).Log2();
+  out.log2_probability = count.value.Log2() - log2_d;
+  out.probability = std::min(std::exp2(out.log2_probability), 1.0);
+  return out;
+}
+
+Result<BigRational> PathPqeExact(const ConjunctiveQuery& query,
+                                 const ProbabilisticDatabase& pdb) {
+  PQE_ASSIGN_OR_RETURN(WeightedPathNfa m, BuildWeightedPathNfa(query, pdb));
+  PQE_ASSIGN_OR_RETURN(BigUint count,
+                       ExactCountNfaStrings(m.nfa, m.word_length));
+  return BigRational(std::move(count), m.denominator);
+}
+
+}  // namespace pqe

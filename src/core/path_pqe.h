@@ -1,0 +1,78 @@
+#ifndef PQE_CORE_PATH_PQE_H_
+#define PQE_CORE_PATH_PQE_H_
+
+#include <cstddef>
+
+#include "automata/nfa.h"
+#include "counting/config.h"
+#include "counting/config.h"
+#include "cq/query.h"
+#include "pdb/database.h"
+#include "pdb/probabilistic_database.h"
+#include "util/bigint.h"
+#include "util/extfloat.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// The string automaton M of Section 3, together with the bookkeeping needed
+/// to interpret counts over it. Strings of length `word_length` accepted by
+/// `nfa` correspond one-to-one to subinstances of the projected database D'
+/// that satisfy the path query; symbols are fact literals
+/// (PositiveLiteral/NegativeLiteral over projected FactIds).
+struct PathQueryNfa {
+  Nfa nfa;
+  size_t word_length = 0;     // |D'|
+  size_t dropped_facts = 0;   // |D| − |D'| (facts over non-query relations)
+};
+
+/// Builds the Section 3 NFA for a self-join-free path query over a database
+/// whose query relations are binary. Fails with NotSupported for non-path or
+/// non-self-join-free queries.
+Result<PathQueryNfa> BuildPathQueryNfa(const ConjunctiveQuery& query,
+                                       const Database& db);
+
+/// PathEstimate (Theorem 2): (1±ε)-approximates the uniform reliability
+/// UR(Q, D) of a self-join-free path query by counting accepted strings of
+/// the Section 3 automaton with CountNFA and rescaling by 2^{|D|−|D'|}.
+struct PathEstimateResult {
+  ExtFloat ur;                // the UR(Q, D) estimate
+  size_t nfa_states = 0;
+  size_t nfa_transitions = 0;
+  size_t word_length = 0;
+  CountStats stats;
+};
+Result<PathEstimateResult> PathEstimate(const ConjunctiveQuery& query,
+                                        const Database& db,
+                                        const EstimatorConfig& config);
+
+/// Exact companion (test oracle): counts the accepted strings exactly by
+/// on-the-fly determinization. Exponential worst case.
+Result<BigUint> PathUniformReliabilityExact(const ConjunctiveQuery& query,
+                                            const Database& db);
+
+/// Theorem 1 specialized to path queries, entirely in *string* automata:
+/// the Section 3 NFA plus string-side multiplier gadgets (the paper's
+/// footnote 2 observes the Section 5.1 gadget is a degenerate path
+/// automaton). Often far cheaper than the generic tree pipeline on path
+/// queries; `bench_ablation`/tests compare the two.
+struct PathPqeResult {
+  double probability = 0.0;     // projected into [0, 1]
+  double log2_probability = 0.0;
+  ExtFloat string_count;        // |L_k(M')| estimate
+  size_t word_length = 0;       // k = |D'| + Σ width_i
+  size_t nfa_states = 0;
+  size_t nfa_transitions = 0;
+  CountStats stats;
+};
+Result<PathPqeResult> PathPqeEstimate(const ConjunctiveQuery& query,
+                                      const ProbabilisticDatabase& pdb,
+                                      const EstimatorConfig& config);
+
+/// Exact companion for PathPqeEstimate (test oracle).
+Result<BigRational> PathPqeExact(const ConjunctiveQuery& query,
+                                 const ProbabilisticDatabase& pdb);
+
+}  // namespace pqe
+
+#endif  // PQE_CORE_PATH_PQE_H_

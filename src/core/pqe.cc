@@ -1,0 +1,127 @@
+#include "core/pqe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "automata/augmented_nfta.h"  // literal encoding helpers
+#include "automata/multiplier_nfta.h"
+#include "core/projection.h"
+#include "counting/count_nfta.h"
+#include "counting/exact.h"
+#include "util/check.h"
+
+namespace pqe {
+
+namespace {
+
+// The per-fact comparator width: both branches must contribute the same
+// number of gadget nodes so that every accepted tree lands in the same size
+// stratum. Branches with multiplier 0 do not exist and impose no width.
+uint64_t FactGadgetWidth(const Probability& p) {
+  uint64_t width = 0;
+  if (p.num >= 1) {
+    width = std::max(width, MultiplierNfta::GadgetDepth(p.num));
+  }
+  if (p.den - p.num >= 1) {
+    width = std::max(width, MultiplierNfta::GadgetDepth(p.den - p.num));
+  }
+  return width;
+}
+
+}  // namespace
+
+Result<PqeAutomaton> BuildPqeAutomaton(const ConjunctiveQuery& query,
+                                       const ProbabilisticDatabase& pdb,
+                                       const UrConstructionOptions& options) {
+  PqeAutomaton out;
+  // Projected probabilities (Theorem 1's WLOG: facts over relations outside
+  // Q marginalize to 1 and are dropped before building d).
+  PQE_ASSIGN_OR_RETURN(ProjectedProbabilisticDatabase proj,
+                       ProjectProbabilisticDatabase(pdb, query));
+  const ProbabilisticDatabase& ppdb = proj.pdb;
+
+  PQE_ASSIGN_OR_RETURN(
+      out.ur, BuildUrAutomaton(query, ppdb.database(), options));
+  // BuildUrAutomaton projects again internally; it is a no-op here, and the
+  // projected FactIds used as symbols line up with ppdb's FactIds.
+
+  const Nfta& base = out.ur.nfta;
+  MultiplierNfta mult = MultiplierNfta::FromSkeleton(base);
+
+  // Per-fact gadget widths and the common denominator d.
+  std::vector<uint64_t> width(ppdb.NumFacts(), 0);
+  out.denominator = BigUint(1);
+  for (FactId f = 0; f < ppdb.NumFacts(); ++f) {
+    const Probability p = ppdb.probability(f);
+    width[f] = FactGadgetWidth(p);
+    out.denominator = out.denominator.MulU64(p.den);
+  }
+
+  // Every transition of the translated Proposition 1 automaton consumes one
+  // fact literal; attach w_i to positive literals and d_i − w_i to negative
+  // ones, dropping impossible (multiplier 0) branches.
+  for (const Nfta::Transition& t : base.transitions()) {
+    PQE_CHECK(t.symbol != Nfta::kLambdaSymbol);
+    const FactId f = LiteralBase(t.symbol);
+    PQE_CHECK(f < ppdb.NumFacts());
+    const Probability p = ppdb.probability(f);
+    const uint64_t multiplier =
+        IsNegativeLiteral(t.symbol) ? (p.den - p.num) : p.num;
+    if (multiplier == 0) continue;
+    PQE_RETURN_IF_ERROR(
+        mult.AddTransition(t.from, t.symbol, multiplier, t.children,
+                           width[f] == 0 ? 0 : width[f]));
+  }
+
+  // k = |D'| + Σ width_i: each fact contributes its literal node plus a
+  // fixed number of comparator nodes regardless of presence/absence.
+  out.tree_size = out.ur.tree_size;
+  for (FactId f = 0; f < ppdb.NumFacts(); ++f) {
+    out.tree_size += static_cast<size_t>(width[f]);
+  }
+
+  PQE_ASSIGN_OR_RETURN(out.weighted, mult.ToNfta());
+  out.weighted.Trim();
+  return out;
+}
+
+Result<PqeEstimateResult> PqeEstimate(const ConjunctiveQuery& query,
+                                      const ProbabilisticDatabase& pdb,
+                                      const EstimatorConfig& config,
+                                      const UrConstructionOptions& options) {
+  PQE_ASSIGN_OR_RETURN(PqeAutomaton automaton,
+                       BuildPqeAutomaton(query, pdb, options));
+  PqeEstimateResult out;
+  out.tree_size = automaton.tree_size;
+  out.nfta_states = automaton.weighted.NumStates();
+  out.nfta_transitions = automaton.weighted.NumTransitions();
+  out.decomposition_width = automaton.ur.hd.Width();
+  PQE_ASSIGN_OR_RETURN(
+      CountEstimate count,
+      CountNftaTrees(automaton.weighted, automaton.tree_size, config));
+  out.stats = count.stats;
+  out.tree_count = count.value;
+  // Pr_H(Q) = d⁻¹ · |L_k(T')|.
+  const double log2_d =
+      ExtFloat::FromBigUint(automaton.denominator).Log2();
+  out.log2_probability = count.value.Log2() - log2_d;
+  // Project into [0, 1]: the raw estimate can exceed 1 within its ε band,
+  // and projecting a probability onto the feasible set never increases the
+  // error. log2_probability stays unclamped for diagnostics.
+  out.probability = std::min(std::exp2(out.log2_probability), 1.0);
+  return out;
+}
+
+Result<BigRational> PqeExactViaAutomaton(const ConjunctiveQuery& query,
+                                         const ProbabilisticDatabase& pdb,
+                                         const UrConstructionOptions& options) {
+  PQE_ASSIGN_OR_RETURN(PqeAutomaton automaton,
+                       BuildPqeAutomaton(query, pdb, options));
+  PQE_ASSIGN_OR_RETURN(
+      BigUint count,
+      ExactCountNftaTrees(automaton.weighted, automaton.tree_size));
+  return BigRational(std::move(count), automaton.denominator);
+}
+
+}  // namespace pqe

@@ -1,0 +1,71 @@
+#ifndef PQE_CORE_PQE_H_
+#define PQE_CORE_PQE_H_
+
+#include <cstddef>
+
+#include "automata/nfta.h"
+#include "core/ur_construction.h"
+#include "counting/config.h"
+#include "cq/query.h"
+#include "pdb/probabilistic_database.h"
+#include "util/bigint.h"
+#include "util/extfloat.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// The Theorem 1 artifact: the Proposition 1 automaton with the Section 5
+/// multiplier gadgets attached, so that
+///   Pr_H(Q) = d⁻¹ · |L_k(T')|,
+/// where d = Π d_i is the common denominator of the (projected) fact labels
+/// and k = |D'| + Σ_i width_i is the uniform tree size after padding.
+///
+/// Note on padding: the paper states k = |D| + Σ u(w_i), implicitly assuming
+/// that the positive branch (multiplier w_i) and the negative branch
+/// (multiplier d_i − w_i) of a fact add the same number of gadget nodes. In
+/// general u(w_i) ≠ u(d_i − w_i), which would scatter the accepted trees
+/// across different size strata; we therefore pad both branches of fact i to
+/// a common comparator width width_i = max(u(w_i), u(d_i − w_i)) — the count
+/// identity then holds exactly at stratum k.
+struct PqeAutomaton {
+  UrAutomaton ur;          // the underlying Proposition 1 construction
+  Nfta weighted;           // T' — gadget-expanded, trimmed
+  size_t tree_size = 0;    // k
+  BigUint denominator;     // d = Π d_i over projected facts
+};
+
+/// Builds the Theorem 1 automaton for a self-join-free conjunctive query of
+/// bounded hypertree width over a probabilistic database.
+Result<PqeAutomaton> BuildPqeAutomaton(const ConjunctiveQuery& query,
+                                       const ProbabilisticDatabase& pdb,
+                                       const UrConstructionOptions& options);
+
+/// PQEEstimate (Theorem 1): (1±ε)-approximates Pr_H(Q) with high
+/// probability, in time poly(|Q|, |H|, 1/ε).
+struct PqeEstimateResult {
+  /// The probability estimate, projected into [0, 1] (the raw count ratio
+  /// can exceed 1 within its ε band; see log2_probability for the raw value).
+  double probability = 0.0;
+  /// log2 of the estimate (finite even when the probability underflows).
+  double log2_probability = 0.0;
+  ExtFloat tree_count;      // |L_k(T')| estimate
+  size_t tree_size = 0;     // k
+  size_t nfta_states = 0;   // of T'
+  size_t nfta_transitions = 0;
+  size_t decomposition_width = 0;
+  CountStats stats;
+};
+Result<PqeEstimateResult> PqeEstimate(const ConjunctiveQuery& query,
+                                      const ProbabilisticDatabase& pdb,
+                                      const EstimatorConfig& config,
+                                      const UrConstructionOptions& options = {});
+
+/// Exact companion (test oracle): counts |L_k(T')| exactly and returns the
+/// exact rational d⁻¹·|L_k|. Exponential worst case.
+Result<BigRational> PqeExactViaAutomaton(
+    const ConjunctiveQuery& query, const ProbabilisticDatabase& pdb,
+    const UrConstructionOptions& options = {});
+
+}  // namespace pqe
+
+#endif  // PQE_CORE_PQE_H_

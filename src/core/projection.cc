@@ -1,0 +1,62 @@
+#include "core/projection.h"
+
+#include <unordered_set>
+
+namespace pqe {
+
+namespace {
+
+std::unordered_set<RelationId> QueryRelations(const ConjunctiveQuery& query) {
+  std::unordered_set<RelationId> rels;
+  for (const Atom& a : query.atoms()) rels.insert(a.relation);
+  return rels;
+}
+
+}  // namespace
+
+Result<ProjectedDatabase> ProjectDatabase(const Database& db,
+                                          const ConjunctiveQuery& query) {
+  for (const Atom& a : query.atoms()) {
+    if (a.relation >= db.schema().NumRelations()) {
+      return Status::InvalidArgument(
+          "query mentions a relation outside the database schema");
+    }
+  }
+  std::unordered_set<RelationId> rels = QueryRelations(query);
+  ProjectedDatabase out{Database(db.schema()), {}, 0};
+  for (FactId fid = 0; fid < db.NumFacts(); ++fid) {
+    const Fact& f = db.fact(fid);
+    if (rels.count(f.relation) == 0) {
+      ++out.dropped_facts;
+      continue;
+    }
+    // Re-intern constants so the projected instance is self-contained.
+    std::vector<ValueId> args;
+    args.reserve(f.args.size());
+    for (ValueId v : f.args) {
+      args.push_back(out.db.InternValue(db.ValueName(v)));
+    }
+    PQE_ASSIGN_OR_RETURN(FactId nid, out.db.AddFact(f.relation, args));
+    (void)nid;
+    out.original_fact.push_back(fid);
+  }
+  return out;
+}
+
+Result<ProjectedProbabilisticDatabase> ProjectProbabilisticDatabase(
+    const ProbabilisticDatabase& pdb, const ConjunctiveQuery& query) {
+  PQE_ASSIGN_OR_RETURN(ProjectedDatabase proj,
+                       ProjectDatabase(pdb.database(), query));
+  std::vector<Probability> probs;
+  probs.reserve(proj.original_fact.size());
+  for (FactId orig : proj.original_fact) {
+    probs.push_back(pdb.probability(orig));
+  }
+  PQE_ASSIGN_OR_RETURN(
+      ProbabilisticDatabase ppdb,
+      ProbabilisticDatabase::Make(std::move(proj.db), std::move(probs)));
+  return ProjectedProbabilisticDatabase{
+      std::move(ppdb), std::move(proj.original_fact), proj.dropped_facts};
+}
+
+}  // namespace pqe

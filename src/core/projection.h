@@ -1,0 +1,38 @@
+#ifndef PQE_CORE_PROJECTION_H_
+#define PQE_CORE_PROJECTION_H_
+
+#include <vector>
+
+#include "cq/query.h"
+#include "pdb/database.h"
+#include "pdb/probabilistic_database.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// A database restricted to the relations occurring in a query ("projected"
+/// in the sense of Theorem 3's proof: facts over other relations marginalize
+/// away). FactIds in `db` are dense and ordered like the originals;
+/// `original_fact` maps them back.
+struct ProjectedDatabase {
+  Database db;
+  std::vector<FactId> original_fact;  // projected FactId -> original FactId
+  size_t dropped_facts = 0;           // |D| − |D'|
+};
+
+/// Restricts `db` to the relations mentioned by `query`.
+Result<ProjectedDatabase> ProjectDatabase(const Database& db,
+                                          const ConjunctiveQuery& query);
+
+/// As above, carrying fact probabilities along.
+struct ProjectedProbabilisticDatabase {
+  ProbabilisticDatabase pdb;
+  std::vector<FactId> original_fact;
+  size_t dropped_facts = 0;
+};
+Result<ProjectedProbabilisticDatabase> ProjectProbabilisticDatabase(
+    const ProbabilisticDatabase& pdb, const ConjunctiveQuery& query);
+
+}  // namespace pqe
+
+#endif  // PQE_CORE_PROJECTION_H_

@@ -1,0 +1,74 @@
+#include "core/sampling.h"
+
+#include "automata/augmented_nfta.h"  // literal encoding helpers
+#include "core/pqe.h"
+#include "core/projection.h"
+#include "counting/count_nfta.h"
+#include "util/check.h"
+
+namespace pqe {
+
+namespace {
+
+// Decodes an accepted tree into a subinstance bitvector: every literal-
+// labelled node asserts the presence/absence of its fact; comparator bit
+// nodes (symbols >= 2·|D'|) are gadget bookkeeping and carry no world
+// information.
+std::vector<bool> DecodeWorld(const LabeledTree& tree, size_t num_facts) {
+  std::vector<bool> present(num_facts, false);
+  for (uint32_t node = 0; node < tree.size(); ++node) {
+    const SymbolId symbol = tree.label(node);
+    if (symbol >= 2 * num_facts) continue;  // gadget bit symbol
+    const FactId fact = LiteralBase(symbol);
+    PQE_CHECK(fact < num_facts);
+    if (!IsNegativeLiteral(symbol)) present[fact] = true;
+  }
+  return present;
+}
+
+}  // namespace
+
+Result<WorldSampleResult> SampleSatisfyingSubinstances(
+    const ConjunctiveQuery& query, const Database& db,
+    const EstimatorConfig& config, size_t num_samples,
+    const UrConstructionOptions& options) {
+  PQE_ASSIGN_OR_RETURN(UrAutomaton automaton,
+                       BuildUrAutomaton(query, db, options));
+  PQE_ASSIGN_OR_RETURN(
+      NftaSampleResult sampled,
+      CountAndSampleNftaTrees(automaton.nfta, automaton.tree_size, config,
+                              num_samples));
+  PQE_ASSIGN_OR_RETURN(ProjectedDatabase proj, ProjectDatabase(db, query));
+  const size_t num_facts = proj.db.NumFacts();
+  WorldSampleResult out{std::move(proj.db), std::move(proj.original_fact),
+                        {}};
+  out.worlds.reserve(sampled.samples.size());
+  for (const LabeledTree& tree : sampled.samples) {
+    out.worlds.push_back(DecodeWorld(tree, num_facts));
+  }
+  return out;
+}
+
+Result<WorldSampleResult> SampleConditionedWorlds(
+    const ConjunctiveQuery& query, const ProbabilisticDatabase& pdb,
+    const EstimatorConfig& config, size_t num_samples,
+    const UrConstructionOptions& options) {
+  PQE_ASSIGN_OR_RETURN(PqeAutomaton automaton,
+                       BuildPqeAutomaton(query, pdb, options));
+  PQE_ASSIGN_OR_RETURN(
+      NftaSampleResult sampled,
+      CountAndSampleNftaTrees(automaton.weighted, automaton.tree_size,
+                              config, num_samples));
+  PQE_ASSIGN_OR_RETURN(ProjectedProbabilisticDatabase proj,
+                       ProjectProbabilisticDatabase(pdb, query));
+  const size_t num_facts = proj.pdb.NumFacts();
+  WorldSampleResult out{proj.pdb.database(), std::move(proj.original_fact),
+                        {}};
+  out.worlds.reserve(sampled.samples.size());
+  for (const LabeledTree& tree : sampled.samples) {
+    out.worlds.push_back(DecodeWorld(tree, num_facts));
+  }
+  return out;
+}
+
+}  // namespace pqe

@@ -1,0 +1,49 @@
+#ifndef PQE_CORE_SAMPLING_H_
+#define PQE_CORE_SAMPLING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/ur_construction.h"
+#include "counting/config.h"
+#include "cq/query.h"
+#include "pdb/database.h"
+#include "pdb/probabilistic_database.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// Sampled worlds from the Proposition 1 / Theorem 1 automata: the counting
+/// pools double as (near-)uniform generators, so conditioning on "Q holds"
+/// comes for free. Worlds are bitvectors over the *projected* database D'
+/// (facts over the query's relations, in projected FactId order); facts over
+/// other relations are unconstrained by Q and can be resampled independently
+/// by the caller.
+struct WorldSampleResult {
+  /// The projected database the bitvectors index into.
+  Database projected_db;
+  /// Maps projected FactIds back to the input database's FactIds.
+  std::vector<FactId> original_fact;
+  /// Sampled subinstances; each satisfies Q by construction.
+  std::vector<std::vector<bool>> worlds;
+};
+
+/// Samples `num_samples` near-uniform satisfying subinstances of D
+/// (conditioned models of the uniform-reliability distribution). Returns
+/// fewer (possibly zero) worlds when Q is unsatisfiable on D.
+Result<WorldSampleResult> SampleSatisfyingSubinstances(
+    const ConjunctiveQuery& query, const Database& db,
+    const EstimatorConfig& config, size_t num_samples,
+    const UrConstructionOptions& options = {});
+
+/// Samples `num_samples` worlds approximately distributed as
+/// Pr_H(D' | D' ⊨ Q) — the posterior world distribution conditioned on the
+/// query holding — via the Theorem 1 multiplier automaton.
+Result<WorldSampleResult> SampleConditionedWorlds(
+    const ConjunctiveQuery& query, const ProbabilisticDatabase& pdb,
+    const EstimatorConfig& config, size_t num_samples,
+    const UrConstructionOptions& options = {});
+
+}  // namespace pqe
+
+#endif  // PQE_CORE_SAMPLING_H_

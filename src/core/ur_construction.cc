@@ -1,0 +1,304 @@
+#include "core/ur_construction.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/projection.h"
+#include "counting/count_nfta.h"
+#include "counting/exact.h"
+#include "util/check.h"
+
+namespace pqe {
+
+namespace {
+
+// All mutually consistent witness-fact tuples for the atoms ξ(p) of one
+// decomposition vertex: S(p) of Proposition 1. A tuple induces a partial
+// assignment of query variables (vars(ξ(p))) to constants.
+struct VertexStates {
+  std::vector<std::vector<FactId>> tuples;
+  std::vector<std::vector<int64_t>> assignments;  // indexed by VarId, -1 free
+};
+
+constexpr int64_t kFree = -1;
+
+// Extends `assignment` with atom := fact; returns false on conflict.
+// Records touched vars for rollback.
+bool TryBind(const Atom& atom, const Fact& fact,
+             std::vector<int64_t>* assignment,
+             std::vector<VarId>* touched) {
+  for (size_t i = 0; i < atom.vars.size(); ++i) {
+    const VarId v = atom.vars[i];
+    const int64_t val = static_cast<int64_t>(fact.args[i]);
+    if ((*assignment)[v] == kFree) {
+      (*assignment)[v] = val;
+      touched->push_back(v);
+    } else if ((*assignment)[v] != val) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void EnumerateStates(const ConjunctiveQuery& query, const Database& db,
+                     const std::vector<uint32_t>& xi, size_t pos,
+                     std::vector<FactId>* tuple,
+                     std::vector<int64_t>* assignment, VertexStates* out) {
+  if (pos == xi.size()) {
+    out->tuples.push_back(*tuple);
+    out->assignments.push_back(*assignment);
+    return;
+  }
+  const Atom& atom = query.atom(xi[pos]);
+  for (FactId fid : db.FactsOf(atom.relation)) {
+    std::vector<VarId> touched;
+    if (TryBind(atom, db.fact(fid), assignment, &touched)) {
+      tuple->push_back(fid);
+      EnumerateStates(query, db, xi, pos + 1, tuple, assignment, out);
+      tuple->pop_back();
+    }
+    for (VarId v : touched) (*assignment)[v] = kFree;
+  }
+}
+
+// True iff two partial assignments agree on every variable both assign.
+bool Consistent(const std::vector<int64_t>& a, const std::vector<int64_t>& b) {
+  for (size_t v = 0; v < a.size(); ++v) {
+    if (a[v] != kFree && b[v] != kFree && a[v] != b[v]) return false;
+  }
+  return true;
+}
+
+// Key of an assignment restricted to `vars` (all of which it must assign).
+std::vector<int64_t> ProjectKey(const std::vector<int64_t>& assignment,
+                                const std::vector<VarId>& vars) {
+  std::vector<int64_t> key;
+  key.reserve(vars.size());
+  for (VarId v : vars) key.push_back(assignment[v]);
+  return key;
+}
+
+// Sorted variables of the atoms ξ(p).
+std::vector<VarId> XiVars(const ConjunctiveQuery& query,
+                          const std::vector<uint32_t>& xi) {
+  std::vector<VarId> vars;
+  for (uint32_t a : xi) {
+    for (VarId v : query.atom(a).vars) vars.push_back(v);
+  }
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
+}
+
+}  // namespace
+
+Result<UrAutomaton> BuildUrAutomaton(const ConjunctiveQuery& query,
+                                     const Database& db,
+                                     const UrConstructionOptions& options) {
+  if (!query.IsSelfJoinFree()) {
+    return Status::NotSupported(
+        "the Proposition 1 construction requires a self-join-free query "
+        "(Theorem 1's precondition)");
+  }
+  for (const Atom& a : query.atoms()) {
+    if (a.relation >= db.schema().NumRelations() ||
+        a.vars.size() != db.schema().Arity(a.relation)) {
+      return Status::InvalidArgument("query/schema mismatch");
+    }
+  }
+
+  UrAutomaton out;
+
+  // 1. Project D onto the relations of Q (Theorem 3's proof step).
+  PQE_ASSIGN_OR_RETURN(ProjectedDatabase proj, ProjectDatabase(db, query));
+  const Database& d = proj.db;
+  out.tree_size = d.NumFacts();
+  out.dropped_facts = proj.dropped_facts;
+
+  // 2. Complete hypertree decomposition of width <= k; re-root at a covering
+  // vertex (so the root's annotation is non-empty) and binarize (so the
+  // transition relation stays polynomial).
+  PQE_ASSIGN_OR_RETURN(HypertreeDecomposition hd,
+                       Decompose(query, options.max_width));
+  {
+    std::vector<int32_t> cover = hd.MinimalCoveringVertices(query);
+    bool root_covers = false;
+    for (uint32_t a = 0; a < query.NumAtoms(); ++a) {
+      if (cover[a] == static_cast<int32_t>(hd.root())) root_covers = true;
+    }
+    if (!root_covers) {
+      PQE_CHECK(cover[0] >= 0);  // completeness guarantees a covering vertex
+      hd.ReRoot(static_cast<uint32_t>(cover[0]));
+    }
+  }
+  hd.Binarize();
+  if (options.validate_decomposition) {
+    PQE_RETURN_IF_ERROR(hd.Validate(query, /*generalized=*/true));
+    if (!hd.IsComplete(query)) {
+      return Status::Internal("decomposition lost completeness");
+    }
+  }
+
+  // Which atoms each vertex emits: its ≺_vertices-minimal covering role.
+  std::vector<int32_t> min_cover = hd.MinimalCoveringVertices(query);
+  std::vector<std::vector<uint32_t>> emits(hd.NumNodes());
+  for (uint32_t a = 0; a < query.NumAtoms(); ++a) {
+    PQE_CHECK(min_cover[a] >= 0);
+    emits[static_cast<uint32_t>(min_cover[a])].push_back(a);  // atom order
+  }
+
+  // 3. Witness states S(p) per vertex.
+  std::vector<VertexStates> states(hd.NumNodes());
+  for (uint32_t p = 0; p < hd.NumNodes(); ++p) {
+    std::vector<FactId> tuple;
+    std::vector<int64_t> assignment(query.NumVars(), kFree);
+    EnumerateStates(query, d, hd.node(p).xi, 0, &tuple, &assignment,
+                    &states[p]);
+    out.num_witness_states += states[p].tuples.size();
+  }
+
+  // 4. Assemble T⁺. State ids: per-vertex blocks, plus a super-initial state
+  // that λ-dispatches to the root's witness states (the paper's s_init is
+  // the whole set S(p_0)).
+  AugmentedNfta& aug = out.augmented;
+  aug.EnsureAlphabetSize(d.NumFacts());
+  std::vector<StateId> base(hd.NumNodes());
+  {
+    StateId next = 0;
+    for (uint32_t p = 0; p < hd.NumNodes(); ++p) {
+      base[p] = next;
+      for (size_t i = 0; i < states[p].tuples.size(); ++i) aug.AddState();
+      next += static_cast<StateId>(states[p].tuples.size());
+    }
+  }
+  const StateId super_init = aug.AddState();
+  aug.SetInitialState(super_init);
+  for (size_t i = 0; i < states[hd.root()].tuples.size(); ++i) {
+    aug.AddTransition(super_init, {},
+                      {static_cast<StateId>(base[hd.root()] + i)});
+  }
+
+  // The annotation string L for vertex p with witness tuple `tuple`:
+  // for every atom p emits (in ≺_atoms order), all facts of its relation in
+  // ≺_i order, the witness mandatory and every other fact ?-annotated.
+  auto MakeAnnotation = [&](uint32_t p, const std::vector<FactId>& tuple) {
+    std::vector<AnnotatedSymbol> ann;
+    const auto& xi = hd.node(p).xi;
+    for (uint32_t atom : emits[p]) {
+      const size_t xi_pos = static_cast<size_t>(
+          std::find(xi.begin(), xi.end(), atom) - xi.begin());
+      PQE_CHECK(xi_pos < xi.size());
+      const FactId witness = tuple[xi_pos];
+      for (FactId fid : d.FactsOf(query.atom(atom).relation)) {
+        ann.push_back(AnnotatedSymbol{fid, fid != witness});
+      }
+    }
+    return ann;
+  };
+
+  // 5. Transitions: parent state × consistent child-state combinations.
+  for (uint32_t p = 0; p < hd.NumNodes(); ++p) {
+    const auto& children = hd.node(p).children;
+    PQE_CHECK(children.size() <= 2);
+    if (children.empty()) {
+      for (size_t i = 0; i < states[p].tuples.size(); ++i) {
+        aug.AddTransition(static_cast<StateId>(base[p] + i),
+                          MakeAnnotation(p, states[p].tuples[i]), {});
+      }
+      continue;
+    }
+    // Index child states by their assignment restricted to the variables
+    // shared with the parent's state variables.
+    const std::vector<VarId> pvars = XiVars(query, hd.node(p).xi);
+    struct ChildIndex {
+      std::vector<VarId> shared;
+      std::map<std::vector<int64_t>, std::vector<size_t>> by_key;
+    };
+    std::vector<ChildIndex> index(children.size());
+    for (size_t ci = 0; ci < children.size(); ++ci) {
+      const uint32_t c = children[ci];
+      const std::vector<VarId> cvars = XiVars(query, hd.node(c).xi);
+      std::set_intersection(pvars.begin(), pvars.end(), cvars.begin(),
+                            cvars.end(),
+                            std::back_inserter(index[ci].shared));
+      for (size_t si = 0; si < states[c].assignments.size(); ++si) {
+        index[ci].by_key[ProjectKey(states[c].assignments[si],
+                                    index[ci].shared)]
+            .push_back(si);
+      }
+    }
+    static const std::vector<size_t> kNone;
+    for (size_t i = 0; i < states[p].tuples.size(); ++i) {
+      const auto& passign = states[p].assignments[i];
+      const std::vector<AnnotatedSymbol> ann =
+          MakeAnnotation(p, states[p].tuples[i]);
+      auto Lookup = [&](size_t ci) -> const std::vector<size_t>& {
+        auto it = index[ci].by_key.find(ProjectKey(passign,
+                                                   index[ci].shared));
+        return it == index[ci].by_key.end() ? kNone : it->second;
+      };
+      if (children.size() == 1) {
+        for (size_t s1 : Lookup(0)) {
+          aug.AddTransition(static_cast<StateId>(base[p] + i), ann,
+                            {static_cast<StateId>(base[children[0]] + s1)});
+        }
+      } else {
+        const auto& left = Lookup(0);
+        const auto& right = Lookup(1);
+        for (size_t s1 : left) {
+          for (size_t s2 : right) {
+            // Cross-child consistency (Proposition 1 condition (4)).
+            if (!Consistent(states[children[0]].assignments[s1],
+                            states[children[1]].assignments[s2])) {
+              continue;
+            }
+            aug.AddTransition(
+                static_cast<StateId>(base[p] + i), ann,
+                {static_cast<StateId>(base[children[0]] + s1),
+                 static_cast<StateId>(base[children[1]] + s2)});
+          }
+        }
+      }
+    }
+  }
+
+  // 6. Translate to an ordinary NFTA (Section 4.1 semantics) and trim.
+  PQE_ASSIGN_OR_RETURN(out.nfta, aug.ToNfta());
+  out.nfta.Trim();
+  out.hd = std::move(hd);
+  return out;
+}
+
+Result<UrEstimateResult> UrEstimate(const ConjunctiveQuery& query,
+                                    const Database& db,
+                                    const EstimatorConfig& config,
+                                    const UrConstructionOptions& options) {
+  PQE_ASSIGN_OR_RETURN(UrAutomaton automaton,
+                       BuildUrAutomaton(query, db, options));
+  UrEstimateResult out;
+  out.nfta_states = automaton.nfta.NumStates();
+  out.nfta_transitions = automaton.nfta.NumTransitions();
+  out.tree_size = automaton.tree_size;
+  out.decomposition_width = automaton.hd.Width();
+  PQE_ASSIGN_OR_RETURN(
+      CountEstimate count,
+      CountNftaTrees(automaton.nfta, automaton.tree_size, config));
+  out.stats = count.stats;
+  out.ur = count.value.Mul(
+      ExtFloat::FromBigUint(BigUint::PowerOfTwo(automaton.dropped_facts)));
+  return out;
+}
+
+Result<BigUint> UrExactViaAutomaton(const ConjunctiveQuery& query,
+                                    const Database& db,
+                                    const UrConstructionOptions& options) {
+  PQE_ASSIGN_OR_RETURN(UrAutomaton automaton,
+                       BuildUrAutomaton(query, db, options));
+  PQE_ASSIGN_OR_RETURN(
+      BigUint count,
+      ExactCountNftaTrees(automaton.nfta, automaton.tree_size));
+  return count.Mul(BigUint::PowerOfTwo(automaton.dropped_facts));
+}
+
+}  // namespace pqe

@@ -1,0 +1,72 @@
+#ifndef PQE_CORE_UR_CONSTRUCTION_H_
+#define PQE_CORE_UR_CONSTRUCTION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "automata/augmented_nfta.h"
+#include "automata/nfta.h"
+#include "counting/config.h"
+#include "cq/query.h"
+#include "hypertree/decomposition.h"
+#include "pdb/database.h"
+#include "util/bigint.h"
+#include "util/extfloat.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// Options for the Proposition 1 construction.
+struct UrConstructionOptions {
+  /// Hypertree-width budget handed to the decomposer.
+  size_t max_width = 3;
+  /// Validate the decomposition (generalized conditions + completeness)
+  /// before building; cheap insurance, on by default.
+  bool validate_decomposition = true;
+};
+
+/// The Proposition 1 artifact: an augmented NFTA T⁺ whose accepted trees of
+/// size |D'| are in bijection with the subinstances of the projected
+/// database D' that satisfy Q, plus its ordinary-NFTA translation.
+struct UrAutomaton {
+  AugmentedNfta augmented;       // T⁺ as constructed
+  Nfta nfta;                     // translated, λ-free, trimmed
+  HypertreeDecomposition hd;     // complete, re-rooted, binarized
+  size_t tree_size = 0;          // |D'|: the size stratum to count
+  size_t dropped_facts = 0;      // |D| − |D'|
+  size_t num_witness_states = 0; // Σ_p |S(p)| before translation
+};
+
+/// Builds the Proposition 1 augmented NFTA for a self-join-free conjunctive
+/// query of hypertree width <= options.max_width over `db`. The symbols of
+/// the translated NFTA are fact literals over projected FactIds
+/// (PositiveLiteral / NegativeLiteral).
+Result<UrAutomaton> BuildUrAutomaton(const ConjunctiveQuery& query,
+                                     const Database& db,
+                                     const UrConstructionOptions& options);
+
+/// UREstimate (Theorem 3): (1±ε)-approximates UR(Q, D) by counting the
+/// accepted trees of the Proposition 1 automaton with CountNFTA and
+/// rescaling by 2^{|D|−|D'|}.
+struct UrEstimateResult {
+  ExtFloat ur;
+  size_t nfta_states = 0;
+  size_t nfta_transitions = 0;
+  size_t tree_size = 0;
+  size_t decomposition_width = 0;
+  CountStats stats;
+};
+Result<UrEstimateResult> UrEstimate(const ConjunctiveQuery& query,
+                                    const Database& db,
+                                    const EstimatorConfig& config,
+                                    const UrConstructionOptions& options = {});
+
+/// Exact companion (test oracle): counts the accepted trees exactly.
+/// Exponential worst case.
+Result<BigUint> UrExactViaAutomaton(const ConjunctiveQuery& query,
+                                    const Database& db,
+                                    const UrConstructionOptions& options = {});
+
+}  // namespace pqe
+
+#endif  // PQE_CORE_UR_CONSTRUCTION_H_

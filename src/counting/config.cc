@@ -1,0 +1,28 @@
+#include "counting/config.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace pqe {
+
+size_t EstimatorConfig::ResolvePoolSize(size_t n) const {
+  if (pool_size > 0) return pool_size;
+  const double eps = std::min(std::max(epsilon, 1e-3), 1.0);
+  double m = 8.0 * static_cast<double>(std::max<size_t>(n, 1)) / (eps * eps);
+  size_t resolved = static_cast<size_t>(std::ceil(m));
+  resolved = std::max(resolved, min_pool_size);
+  if (max_pool_size > 0) resolved = std::min(resolved, max_pool_size);
+  return resolved;
+}
+
+std::string CountStats::ToString() const {
+  std::ostringstream out;
+  out << "strata=" << strata_live << "/" << strata_total
+      << " pool_entries=" << pool_entries << " attempts=" << attempts
+      << " accepted=" << accepted << " forced=" << forced_samples
+      << " membership_checks=" << membership_checks;
+  return out.str();
+}
+
+}  // namespace pqe

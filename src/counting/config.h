@@ -1,0 +1,73 @@
+#ifndef PQE_COUNTING_CONFIG_H_
+#define PQE_COUNTING_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/extfloat.h"
+
+namespace pqe {
+
+/// Tuning knobs for the CountNFA / CountNFTA estimators.
+///
+/// The implementations follow the Arenas–Croquevielle–Jayaram–Riveros
+/// framework: per-stratum cardinality estimates plus uniform sample pools,
+/// combined with Karp–Luby union estimation (canonical-witness rejection).
+/// The theoretical polynomial sample bounds of the original papers are far
+/// too large to run (as the paper's Section 6 concedes); `pool_size` (or the
+/// auto-sizing rule) trades accuracy for time the way any practical FPRAS
+/// implementation must. The estimator's guarantee degrades gracefully: more
+/// samples → tighter (1±ε).
+struct EstimatorConfig {
+  /// Target relative error ε ∈ (0, 1).
+  double epsilon = 0.2;
+  /// Informational confidence level (1 − δ); used by the auto-sizing rule.
+  double confidence = 0.9;
+  /// RNG seed; all randomness derives from it (runs are reproducible).
+  uint64_t seed = 0x5eed;
+  /// Per-stratum sample pool size. 0 = auto: ~8·n/ε², clamped to
+  /// [min_pool_size, max_pool_size].
+  size_t pool_size = 0;
+  size_t min_pool_size = 48;
+  /// Practical cap on the auto-sized pool (0 = uncapped "theory mode").
+  size_t max_pool_size = 768;
+  /// Rejection-sampling attempt budget: attempts <= attempt_factor * pool
+  /// target (+ a small constant).
+  size_t attempt_factor = 24;
+  /// Median-of-R amplification: the counter runs `repetitions` independent
+  /// estimates (seeds derived from `seed`) and returns the median — the
+  /// standard FPRAS confidence boost. 1 = single run.
+  size_t repetitions = 1;
+  /// Ablation switch: disable the backward-usefulness pruning of strata
+  /// (forward feasibility is load-bearing and always on). With pruning off,
+  /// every (state, size) stratum with a non-empty language is processed,
+  /// even those that cannot occur inside an accepted object of size n.
+  bool disable_backward_pruning = false;
+
+  /// Resolves the pool size for a run of target size n.
+  size_t ResolvePoolSize(size_t n) const;
+};
+
+/// Run statistics reported by the counters (for benchmarks and diagnostics).
+struct CountStats {
+  size_t strata_total = 0;      // all (state, size) strata
+  size_t strata_live = 0;       // strata surviving feasibility pruning
+  size_t pool_entries = 0;      // samples stored across all pools
+  size_t attempts = 0;          // rejection-sampling attempts
+  size_t accepted = 0;          // accepted (canonical) samples
+  size_t forced_samples = 0;    // zero-accept fallbacks (should be rare)
+  size_t membership_checks = 0; // exact membership oracle invocations
+
+  std::string ToString() const;
+};
+
+/// An approximate count with its run statistics.
+struct CountEstimate {
+  ExtFloat value;
+  CountStats stats;
+};
+
+}  // namespace pqe
+
+#endif  // PQE_COUNTING_CONFIG_H_

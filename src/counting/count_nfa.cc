@@ -1,0 +1,353 @@
+#include "counting/count_nfa.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "counting/weighted_pick.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace pqe {
+
+namespace {
+
+// A pooled sample of A(q, l), stored as a derivation reference: the incoming
+// transition taken and the index of the prefix sample in the predecessor
+// stratum's pool. Strings are materialized on demand (O(l)), so pools cost
+// O(1) memory per sample.
+struct SampleRef {
+  uint32_t transition = 0;  // index into nfa.transitions()
+  uint32_t prefix = 0;      // index into pool[from][l-1]
+};
+
+class NfaCounter {
+ public:
+  NfaCounter(const Nfa& nfa, size_t n, const EstimatorConfig& config)
+      : nfa_(nfa), n_(n), config_(config), rng_(config.seed) {}
+
+  Result<CountEstimate> Run() {
+    const size_t S = nfa_.NumStates();
+    if (nfa_.initial_states().empty()) {
+      return CountEstimate{ExtFloat(), stats_};
+    }
+    pool_target_ = config_.ResolvePoolSize(n_);
+
+    ComputeFeasibility();
+
+    est_.assign(n_ + 1, std::vector<ExtFloat>(S));
+    pools_.assign(n_ + 1, std::vector<std::vector<SampleRef>>(S));
+    // Level 0: A(q, 0) = {λ} iff q is initial.
+    for (StateId q = 0; q < S; ++q) {
+      if (nfa_.IsInitial(q) && live_[0][q]) {
+        est_[0][q] = ExtFloat::FromUint64(1);
+        pools_[0][q].push_back(SampleRef{});  // the empty string
+      }
+    }
+    for (size_t l = 1; l <= n_; ++l) {
+      for (StateId q = 0; q < S; ++q) {
+        if (live_[l][q]) ProcessStratum(q, l);
+      }
+    }
+    return Finalize();
+  }
+
+ private:
+  // live_[l][q]: A(q, l) is non-empty AND the stratum can still contribute to
+  // an accepting state at length n (forward-feasible ∧ backward-useful).
+  void ComputeFeasibility() {
+    const size_t S = nfa_.NumStates();
+    std::vector<std::vector<bool>> fwd(n_ + 1, std::vector<bool>(S, false));
+    for (StateId q : nfa_.initial_states()) fwd[0][q] = true;
+    for (size_t l = 1; l <= n_; ++l) {
+      for (const Nfa::Transition& t : nfa_.transitions()) {
+        if (fwd[l - 1][t.from]) fwd[l][t.to] = true;
+      }
+    }
+    std::vector<std::vector<bool>> bwd(n_ + 1, std::vector<bool>(S, false));
+    if (config_.disable_backward_pruning) {
+      bwd = fwd;  // ablation mode: no usefulness pruning
+    } else {
+      for (StateId q = 0; q < S; ++q) {
+        if (nfa_.IsAccepting(q)) bwd[n_][q] = true;
+      }
+      for (size_t l = n_; l-- > 0;) {
+        for (const Nfa::Transition& t : nfa_.transitions()) {
+          if (bwd[l + 1][t.to]) bwd[l][t.from] = true;
+        }
+      }
+    }
+    live_.assign(n_ + 1, std::vector<bool>(S, false));
+    for (size_t l = 0; l <= n_; ++l) {
+      for (StateId q = 0; q < S; ++q) {
+        live_[l][q] = fwd[l][q] && bwd[l][q];
+        ++stats_.strata_total;
+        if (live_[l][q]) ++stats_.strata_live;
+      }
+    }
+  }
+
+  // Materializes the string of pools_[l][q][idx] (length l).
+  std::vector<SymbolId> Materialize(StateId q, size_t l, uint32_t idx) const {
+    std::vector<SymbolId> out(l);
+    size_t cur_l = l;
+    StateId cur_q = q;
+    uint32_t cur_idx = idx;
+    while (cur_l > 0) {
+      const SampleRef& ref = pools_[cur_l][cur_q][cur_idx];
+      const Nfa::Transition& t = nfa_.transitions()[ref.transition];
+      out[cur_l - 1] = t.symbol;
+      cur_q = t.from;
+      cur_idx = ref.prefix;
+      --cur_l;
+    }
+    return out;
+  }
+
+  // Subset simulation over all prefixes of `word`: result[i] = states after
+  // reading the first i symbols.
+  std::vector<std::vector<bool>> PrefixStates(
+      const std::vector<SymbolId>& word) const {
+    std::vector<std::vector<bool>> out(word.size() + 1);
+    std::vector<bool> current(nfa_.NumStates(), false);
+    for (StateId q : nfa_.initial_states()) current[q] = true;
+    out[0] = current;
+    for (size_t i = 0; i < word.size(); ++i) {
+      std::vector<bool> next(nfa_.NumStates(), false);
+      for (const Nfa::Transition& t : nfa_.transitions()) {
+        if (t.symbol == word[i] && current[t.from]) next[t.to] = true;
+      }
+      current = std::move(next);
+      out[i + 1] = current;
+    }
+    return out;
+  }
+
+  // Stratum estimate for A(q, l) = ∪_t A(from(t), l−1)·symbol(t).
+  // Transitions with distinct symbols append distinct last characters, so
+  // the union decomposes into an exact sum over symbol groups; only within
+  // a group of same-symbol incoming transitions is the Karp–Luby canonical-
+  // witness estimator (with its exact prefix-membership oracle) needed.
+  void ProcessStratum(StateId q, size_t l) {
+    struct Group {
+      std::vector<uint32_t> transitions;
+      std::vector<ExtFloat> weights;
+      ExtFloat weight_sum;
+      ExtFloat estimate;
+      std::vector<SampleRef> accepted;
+    };
+    std::map<SymbolId, Group> groups;
+    for (uint32_t idx : nfa_.InTransitions(q)) {
+      const Nfa::Transition& t = nfa_.transitions()[idx];
+      if (!live_[l - 1][t.from]) continue;
+      const ExtFloat& w = est_[l - 1][t.from];
+      if (w.IsZero()) continue;
+      Group& g = groups[t.symbol];
+      g.transitions.push_back(idx);
+      g.weights.push_back(w);
+      g.weight_sum = g.weight_sum.Add(w);
+    }
+    if (groups.empty()) return;  // estimate stays 0
+
+    auto DrawRef = [&](uint32_t trans_idx, SampleRef* out) {
+      const Nfa::Transition& t = nfa_.transitions()[trans_idx];
+      const auto& prev_pool = pools_[l - 1][t.from];
+      if (prev_pool.empty()) return false;
+      out->transition = trans_idx;
+      out->prefix =
+          static_cast<uint32_t>(rng_.NextBounded(prev_pool.size()));
+      return true;
+    };
+
+    ExtFloat total_estimate;
+    for (auto& [symbol, g] : groups) {
+      (void)symbol;
+      if (g.transitions.size() == 1) {
+        g.estimate = g.weight_sum;  // no overlap possible
+        total_estimate = total_estimate.Add(g.estimate);
+        continue;
+      }
+      const size_t max_attempts = config_.attempt_factor * pool_target_ + 64;
+      size_t attempts = 0;
+      while (g.accepted.size() < pool_target_ && attempts < max_attempts) {
+        ++attempts;
+        const size_t pick = PickWeightedIndex(&rng_, g.weights);
+        SampleRef candidate;
+        if (!DrawRef(g.transitions[pick], &candidate)) continue;
+        const Nfa::Transition& t =
+            nfa_.transitions()[candidate.transition];
+        // Canonical check: the chosen transition must be the first (by
+        // transition index) in the group whose predecessor state can be
+        // reached on the sampled prefix — decided exactly by simulation.
+        std::vector<SymbolId> prefix =
+            Materialize(t.from, l - 1, candidate.prefix);
+        ++stats_.membership_checks;
+        const std::vector<StateId> reach = nfa_.ActiveStatesAfter(prefix);
+        uint32_t canonical = candidate.transition;
+        for (uint32_t other_idx : g.transitions) {
+          const Nfa::Transition& o = nfa_.transitions()[other_idx];
+          if (std::binary_search(reach.begin(), reach.end(), o.from)) {
+            canonical = other_idx;
+            break;
+          }
+        }
+        if (canonical == candidate.transition) {
+          g.accepted.push_back(candidate);
+        }
+      }
+      stats_.attempts += attempts;
+      stats_.accepted += g.accepted.size();
+      if (g.accepted.empty()) {
+        // Statistically negligible when attempts >> group size (acceptance
+        // is >= 1/|group|); force one biased sample so a live stratum never
+        // reports a false zero.
+        ++stats_.forced_samples;
+        const size_t pick = PickWeightedIndex(&rng_, g.weights);
+        SampleRef forced;
+        if (DrawRef(g.transitions[pick], &forced)) {
+          g.accepted.push_back(forced);
+          g.estimate = g.weight_sum.Scale(
+              1.0 / static_cast<double>(attempts + 1));
+        }
+      } else {
+        g.estimate = g.weight_sum.Scale(
+            static_cast<double>(g.accepted.size()) /
+            static_cast<double>(attempts));
+      }
+      total_estimate = total_estimate.Add(g.estimate);
+    }
+    est_[l][q] = total_estimate;
+    if (total_estimate.IsZero()) return;
+
+    // Pool: mixture over groups proportional to their estimates; singleton
+    // groups draw fresh, overlapping groups resample their canonical hits.
+    std::vector<const Group*> group_list;
+    std::vector<ExtFloat> group_weights;
+    for (const auto& [symbol, g] : groups) {
+      (void)symbol;
+      if (g.estimate.IsZero()) continue;
+      group_list.push_back(&g);
+      group_weights.push_back(g.estimate);
+    }
+    auto& pool = pools_[l][q];
+    pool.reserve(pool_target_);
+    for (size_t i = 0; i < pool_target_; ++i) {
+      const Group& g = group_list.size() == 1
+                           ? *group_list[0]
+                           : *group_list[PickWeightedIndex(&rng_,
+                                                           group_weights)];
+      if (g.transitions.size() == 1) {
+        SampleRef sample;
+        if (DrawRef(g.transitions[0], &sample)) pool.push_back(sample);
+      } else if (!g.accepted.empty()) {
+        pool.push_back(g.accepted[rng_.NextBounded(g.accepted.size())]);
+      }
+    }
+    stats_.pool_entries += pool.size();
+  }
+
+  // |L_n| = |∪_{q ∈ F} A(q, n)| via the same canonical-witness estimator
+  // (canonical = smallest accepting state reachable on the string).
+  Result<CountEstimate> Finalize() {
+    std::vector<StateId> finals;
+    std::vector<ExtFloat> weights;
+    for (StateId q = 0; q < nfa_.NumStates(); ++q) {
+      if (!nfa_.IsAccepting(q) || !live_[n_][q]) continue;
+      if (est_[n_][q].IsZero()) continue;
+      finals.push_back(q);
+      weights.push_back(est_[n_][q]);
+    }
+    if (finals.empty()) {
+      return CountEstimate{ExtFloat(), stats_};
+    }
+    const ExtFloat total = SumExtFloats(weights);
+    if (finals.size() == 1) {
+      return CountEstimate{total, stats_};
+    }
+    const size_t target = pool_target_;
+    const size_t max_attempts = config_.attempt_factor * target + 64;
+    size_t attempts = 0;
+    size_t accepted = 0;
+    while (attempts < max_attempts && accepted < target) {
+      ++attempts;
+      const size_t pick = PickWeightedIndex(&rng_, weights);
+      const StateId q = finals[pick];
+      const auto& pool = pools_[n_][q];
+      if (pool.empty()) continue;
+      const uint32_t idx =
+          static_cast<uint32_t>(rng_.NextBounded(pool.size()));
+      std::vector<SymbolId> word = Materialize(q, n_, idx);
+      ++stats_.membership_checks;
+      const std::vector<StateId> reach = nfa_.ActiveStatesAfter(word);
+      StateId canonical = q;
+      for (StateId other : finals) {
+        if (std::binary_search(reach.begin(), reach.end(), other)) {
+          canonical = other;
+          break;
+        }
+      }
+      if (canonical == q) ++accepted;
+    }
+    stats_.attempts += attempts;
+    stats_.accepted += accepted;
+    if (accepted == 0) {
+      ++stats_.forced_samples;
+      accepted = 1;
+    }
+    ExtFloat value = total.Scale(static_cast<double>(accepted) /
+                                 static_cast<double>(attempts));
+    return CountEstimate{value, stats_};
+  }
+
+  const Nfa& nfa_;
+  const size_t n_;
+  const EstimatorConfig& config_;
+  Rng rng_;
+  size_t pool_target_ = 0;
+  CountStats stats_;
+  std::vector<std::vector<bool>> live_;                       // [l][q]
+  std::vector<std::vector<ExtFloat>> est_;                    // [l][q]
+  std::vector<std::vector<std::vector<SampleRef>>> pools_;    // [l][q]
+};
+
+}  // namespace
+
+Result<CountEstimate> CountNfaStrings(const Nfa& nfa, size_t n,
+                                      const EstimatorConfig& config) {
+  if (config.epsilon <= 0.0 || config.epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  const size_t reps = std::max<size_t>(config.repetitions, 1);
+  if (reps == 1) {
+    NfaCounter counter(nfa, n, config);
+    return counter.Run();
+  }
+  // Median-of-R amplification over independent seeds.
+  std::vector<CountEstimate> runs;
+  runs.reserve(reps);
+  CountStats aggregate;
+  for (size_t r = 0; r < reps; ++r) {
+    EstimatorConfig rep_config = config;
+    rep_config.repetitions = 1;
+    rep_config.seed = config.seed + 0x9e3779b97f4a7c15ULL * (r + 1);
+    NfaCounter counter(nfa, n, rep_config);
+    PQE_ASSIGN_OR_RETURN(CountEstimate est, counter.Run());
+    aggregate.strata_total = est.stats.strata_total;
+    aggregate.strata_live = est.stats.strata_live;
+    aggregate.pool_entries += est.stats.pool_entries;
+    aggregate.attempts += est.stats.attempts;
+    aggregate.accepted += est.stats.accepted;
+    aggregate.forced_samples += est.stats.forced_samples;
+    aggregate.membership_checks += est.stats.membership_checks;
+    runs.push_back(std::move(est));
+  }
+  std::sort(runs.begin(), runs.end(),
+            [](const CountEstimate& a, const CountEstimate& b) {
+              return a.value < b.value;
+            });
+  CountEstimate out = runs[runs.size() / 2];
+  out.stats = aggregate;
+  return out;
+}
+
+}  // namespace pqe

@@ -1,0 +1,31 @@
+#ifndef PQE_COUNTING_COUNT_NFA_H_
+#define PQE_COUNTING_COUNT_NFA_H_
+
+#include <cstddef>
+
+#include "automata/nfa.h"
+#include "counting/config.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// CountNFA (Section 2, citing Arenas et al., JACM '21): approximates
+/// |L_n(M)|, the number of strings of length exactly n accepted by the NFA,
+/// within (1 ± ε) with high probability, in time poly(n, |M|, 1/ε).
+///
+/// Implementation: length-stratified dynamic programming. For each state q
+/// and length l, the algorithm maintains an estimate of |A(q, l)| (strings of
+/// length l that can drive some initial state to q) together with a pool of
+/// (near-)uniform samples. A(q, l) = ∪_{(p,a,q)∈δ} A(p, l−1)·a is a union of
+/// overlapping sets, estimated Karp–Luby style: sample a predecessor
+/// transition proportional to its estimate, extend a pooled sample, and
+/// accept iff the chosen transition is the *canonical* one for the resulting
+/// string — decided exactly by subset simulation (membership in A(p, l−1) is
+/// "p is reachable on the prefix", a poly-time oracle). The final answer
+/// applies the same estimator to the union over accepting states.
+Result<CountEstimate> CountNfaStrings(const Nfa& nfa, size_t n,
+                                      const EstimatorConfig& config);
+
+}  // namespace pqe
+
+#endif  // PQE_COUNTING_COUNT_NFA_H_

@@ -1,0 +1,554 @@
+#include "counting/count_nfta.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "automata/tree.h"
+#include "counting/weighted_pick.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace pqe {
+
+namespace {
+
+// Derivation reference for a pooled tree sample of A(q, s): the transition
+// taken at the root and the forest sample index in F(τ, arity, s−1).
+struct TreeSample {
+  uint32_t transition = 0;
+  uint32_t forest = 0;
+};
+
+// Derivation reference for a pooled forest sample of F(τ, j, s): the prefix
+// forest sample in F(τ, j−1, s − split) and the tree sample in
+// A(child_j(τ), split).
+struct ForestSample {
+  uint32_t prefix = 0;
+  uint32_t tree = 0;
+  uint32_t split = 0;  // size of the j-th child tree
+};
+
+class NftaCounter {
+ public:
+  NftaCounter(const Nfta& nfta, size_t n, const EstimatorConfig& config)
+      : nfta_(nfta), n_(n), config_(config), rng_(config.seed) {}
+
+  Result<CountEstimate> Run() {
+    if (nfta_.HasLambdaTransitions()) {
+      return Status::InvalidArgument(
+          "CountNftaTrees requires a λ-free NFTA (run EliminateLambda)");
+    }
+    if (n_ == 0) return CountEstimate{ExtFloat(), stats_};
+    pool_target_ = config_.ResolvePoolSize(n_);
+
+    ComputeForwardFeasibility();
+    ComputeBackwardUsefulness();
+    CountLiveStrata();
+
+    AllocateTables();
+    for (size_t s = 1; s <= n_; ++s) {
+      for (StateId q = 0; q < nfta_.NumStates(); ++q) {
+        if (LiveA(q, s)) ProcessTreeStratum(q, s);
+      }
+      for (uint32_t tau = 0; tau < nfta_.NumTransitions(); ++tau) {
+        const size_t arity = nfta_.transition(tau).children.size();
+        for (size_t j = 1; j <= arity; ++j) {
+          if (LiveF(tau, j, s)) ProcessForestStratum(tau, j, s);
+        }
+      }
+    }
+    CountEstimate out;
+    out.value = EstA(nfta_.initial_state(), n_);
+    out.stats = stats_;
+    return out;
+  }
+
+  // Materializes `count` (near-uniform) accepted trees of size n_ from the
+  // root stratum's sample pool. Must be called after Run(); returns fewer
+  // trees (possibly none) when the language is empty.
+  std::vector<LabeledTree> SampleAccepted(size_t count) {
+    std::vector<LabeledTree> out;
+    const auto& pool = TreePool(pool_a_[nfta_.initial_state()], n_);
+    if (pool.empty()) return out;
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      const uint32_t idx =
+          static_cast<uint32_t>(rng_.NextBounded(pool.size()));
+      out.push_back(MaterializeTree(nfta_.initial_state(), n_, idx));
+    }
+    return out;
+  }
+
+ private:
+  // --- Feasibility -----------------------------------------------------
+
+  // fwd_a_[q][s]: A(q, s) non-empty; fwd_f_[τ][j][s]: F(τ, j, s) non-empty.
+  // Alongside the bitvectors, sparse sorted lists of feasible sizes are kept
+  // per stratum: gadget-expanded automata are size-determined (one or two
+  // live sizes per stratum), and the naive split loops would cost
+  // O(n²·|Δ|).
+  void ComputeForwardFeasibility() {
+    const size_t S = nfta_.NumStates();
+    fwd_a_.assign(S, std::vector<bool>(n_ + 1, false));
+    fwd_a_sizes_.assign(S, {});
+    fwd_f_.resize(nfta_.NumTransitions());
+    fwd_f_sizes_.resize(nfta_.NumTransitions());
+    for (uint32_t tau = 0; tau < nfta_.NumTransitions(); ++tau) {
+      const size_t arity = nfta_.transition(tau).children.size();
+      fwd_f_[tau].assign(arity + 1, std::vector<bool>(n_ + 1, false));
+      fwd_f_sizes_[tau].assign(arity + 1, {});
+      fwd_f_[tau][0][0] = true;
+      fwd_f_sizes_[tau][0].push_back(0);
+    }
+    for (size_t s = 1; s <= n_; ++s) {
+      for (uint32_t tau = 0; tau < nfta_.NumTransitions(); ++tau) {
+        const Nfta::Transition& t = nfta_.transition(tau);
+        if (fwd_f_[tau][t.children.size()][s - 1] && !fwd_a_[t.from][s]) {
+          fwd_a_[t.from][s] = true;
+          fwd_a_sizes_[t.from].push_back(static_cast<uint32_t>(s));
+        }
+      }
+      for (uint32_t tau = 0; tau < nfta_.NumTransitions(); ++tau) {
+        const Nfta::Transition& t = nfta_.transition(tau);
+        for (size_t j = 1; j <= t.children.size(); ++j) {
+          // s = prev + split over the sparse feasible prev sizes.
+          for (uint32_t prev : fwd_f_sizes_[tau][j - 1]) {
+            if (prev >= s) break;
+            if (fwd_a_[t.children[j - 1]][s - prev]) {
+              fwd_f_[tau][j][s] = true;
+              fwd_f_sizes_[tau][j].push_back(static_cast<uint32_t>(s));
+              break;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // bwd_a_/bwd_f_: the stratum can occur inside some accepted tree of total
+  // size n. Seeded at (initial, n) and propagated down through transitions
+  // and feasible splits.
+  void ComputeBackwardUsefulness() {
+    const size_t S = nfta_.NumStates();
+    bwd_a_.assign(S, std::vector<bool>(n_ + 1, false));
+    bwd_f_.resize(nfta_.NumTransitions());
+    for (uint32_t tau = 0; tau < nfta_.NumTransitions(); ++tau) {
+      const size_t arity = nfta_.transition(tau).children.size();
+      bwd_f_[tau].assign(arity + 1, std::vector<bool>(n_ + 1, false));
+    }
+    if (config_.disable_backward_pruning) {
+      // Ablation mode: everything forward-feasible counts as useful.
+      bwd_a_ = fwd_a_;
+      bwd_f_ = fwd_f_;
+      return;
+    }
+    bwd_a_[nfta_.initial_state()][n_] = true;
+    // Process A-strata from large sizes down; each A(q, s) marks the full
+    // forests F(τ, m, s−1), and each F(τ, j, s) marks its feasible splits.
+    for (size_t s = n_ + 1; s-- > 1;) {
+      for (StateId q = 0; q < S; ++q) {
+        if (!bwd_a_[q][s] || !fwd_a_[q][s]) continue;
+        for (uint32_t tau_idx : nfta_.OutTransitions(q)) {
+          const Nfta::Transition& t = nfta_.transition(tau_idx);
+          const size_t m = t.children.size();
+          if (fwd_f_[tau_idx][m][s - 1]) bwd_f_[tau_idx][m][s - 1] = true;
+        }
+      }
+      // Forest strata at sizes <= s−1 get marked by the loop below once all
+      // A-strata of larger size were handled; process forest sizes equal to
+      // s−1 now (they only feed A-strata of size s which are all done).
+      const size_t fs = s - 1;
+      for (uint32_t tau = 0; tau < nfta_.NumTransitions(); ++tau) {
+        const Nfta::Transition& t = nfta_.transition(tau);
+        for (size_t j = t.children.size(); j >= 1; --j) {
+          if (!bwd_f_[tau][j][fs] || !fwd_f_[tau][j][fs]) continue;
+          // Feasible splits via the sparse prev-size lists.
+          for (uint32_t prev : fwd_f_sizes_[tau][j - 1]) {
+            if (prev > fs) break;
+            const size_t split = fs - prev;
+            if (split >= 1 && fwd_a_[t.children[j - 1]][split]) {
+              bwd_f_[tau][j - 1][prev] = true;
+              bwd_a_[t.children[j - 1]][split] = true;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  bool LiveA(StateId q, size_t s) const {
+    return fwd_a_[q][s] && bwd_a_[q][s];
+  }
+  bool LiveF(uint32_t tau, size_t j, size_t s) const {
+    return fwd_f_[tau][j][s] && bwd_f_[tau][j][s];
+  }
+
+  void CountLiveStrata() {
+    for (StateId q = 0; q < nfta_.NumStates(); ++q) {
+      for (size_t s = 1; s <= n_; ++s) {
+        ++stats_.strata_total;
+        if (LiveA(q, s)) ++stats_.strata_live;
+      }
+    }
+    for (uint32_t tau = 0; tau < nfta_.NumTransitions(); ++tau) {
+      const size_t arity = nfta_.transition(tau).children.size();
+      for (size_t j = 1; j <= arity; ++j) {
+        for (size_t s = 0; s <= n_; ++s) {
+          ++stats_.strata_total;
+          if (LiveF(tau, j, s)) ++stats_.strata_live;
+        }
+      }
+    }
+  }
+
+  // --- Tables -----------------------------------------------------------
+
+  // Tables are sparse: gadget-expanded automata are size-determined, so only
+  // a handful of sizes per stratum are live; dense (state x size) tables
+  // would dominate memory.
+  void AllocateTables() {
+    est_a_.resize(nfta_.NumStates());
+    pool_a_.resize(nfta_.NumStates());
+    est_f_.resize(nfta_.NumTransitions());
+    pool_f_.resize(nfta_.NumTransitions());
+    for (uint32_t tau = 0; tau < nfta_.NumTransitions(); ++tau) {
+      const size_t arity = nfta_.transition(tau).children.size();
+      est_f_[tau].resize(arity + 1);
+      pool_f_[tau].resize(arity + 1);
+      est_f_[tau][0].emplace(0, ExtFloat::FromUint64(1));
+    }
+  }
+
+  ExtFloat EstA(StateId q, size_t s) const {
+    auto it = est_a_[q].find(static_cast<uint32_t>(s));
+    return it == est_a_[q].end() ? ExtFloat() : it->second;
+  }
+  ExtFloat EstF(uint32_t tau, size_t j, size_t s) const {
+    auto it = est_f_[tau][j].find(static_cast<uint32_t>(s));
+    return it == est_f_[tau][j].end() ? ExtFloat() : it->second;
+  }
+  static const std::vector<TreeSample>& TreePool(
+      const std::unordered_map<uint32_t, std::vector<TreeSample>>& m,
+      size_t s) {
+    static const std::vector<TreeSample> kEmptyTrees;
+    auto it = m.find(static_cast<uint32_t>(s));
+    return it == m.end() ? kEmptyTrees : it->second;
+  }
+  static const std::vector<ForestSample>& ForestPool(
+      const std::unordered_map<uint32_t, std::vector<ForestSample>>& m,
+      size_t s) {
+    static const std::vector<ForestSample> kEmptyForests;
+    auto it = m.find(static_cast<uint32_t>(s));
+    return it == m.end() ? kEmptyForests : it->second;
+  }
+
+  // --- Materialization ---------------------------------------------------
+
+  // Appends the forest sample pool_f_[tau][j][s][idx] as children of
+  // `parent` in `out` (left to right).
+  void MaterializeForest(uint32_t tau, size_t j, size_t s, uint32_t idx,
+                         LabeledTree* out, uint32_t parent) const {
+    if (j == 0) return;  // empty forest
+    const ForestSample& ref = ForestPool(pool_f_[tau][j], s)[idx];
+    MaterializeForest(tau, j - 1, s - ref.split, ref.prefix, out, parent);
+    const Nfta::Transition& t = nfta_.transition(tau);
+    MaterializeTreeInto(t.children[j - 1], ref.split, ref.tree, out, parent);
+  }
+
+  // Appends the tree sample pool_a_[q][s][idx] as a child of `parent`
+  // (or as the root when parent == kNoParent).
+  static constexpr uint32_t kNoParent = 0xffffffffu;
+  void MaterializeTreeInto(StateId q, size_t s, uint32_t idx,
+                           LabeledTree* out, uint32_t parent) const {
+    const TreeSample& ref = TreePool(pool_a_[q], s)[idx];
+    const Nfta::Transition& t = nfta_.transition(ref.transition);
+    uint32_t node;
+    if (parent == kNoParent) {
+      node = out->root();
+    } else {
+      node = out->AddChild(parent, t.symbol);
+    }
+    MaterializeForest(ref.transition, t.children.size(), s - 1, ref.forest,
+                      out, node);
+  }
+
+  LabeledTree MaterializeTree(StateId q, size_t s, uint32_t idx) const {
+    const TreeSample& ref = TreePool(pool_a_[q], s)[idx];
+    const Nfta::Transition& t = nfta_.transition(ref.transition);
+    LabeledTree out(t.symbol);
+    MaterializeForest(ref.transition, t.children.size(), s - 1, ref.forest,
+                      &out, out.root());
+    return out;
+  }
+
+  // --- Strata processing --------------------------------------------------
+
+  // A(q, s) = ∪_{τ ∈ out(q)} { α_τ-rooted trees with child forest in
+  // F(τ, m_τ, s−1) }. Transitions with distinct symbols generate disjoint
+  // tree sets, so the union decomposes into an exact sum over symbol groups;
+  // the Karp–Luby canonical-witness estimator is only needed *within* a
+  // group of same-symbol transitions (rare outside witness-choice states).
+  void ProcessTreeStratum(StateId q, size_t s) {
+    // Group candidate transitions by symbol.
+    struct Group {
+      std::vector<uint32_t> taus;
+      std::vector<ExtFloat> weights;
+      ExtFloat weight_sum;
+      ExtFloat estimate;
+      std::vector<TreeSample> accepted;  // only for multi-τ groups
+    };
+    std::map<SymbolId, Group> groups;
+    for (uint32_t tau_idx : nfta_.OutTransitions(q)) {
+      const Nfta::Transition& t = nfta_.transition(tau_idx);
+      const ExtFloat w = EstF(tau_idx, t.children.size(), s - 1);
+      if (w.IsZero()) continue;
+      Group& g = groups[t.symbol];
+      g.taus.push_back(tau_idx);
+      g.weights.push_back(w);
+      g.weight_sum = g.weight_sum.Add(w);
+    }
+    if (groups.empty()) return;
+
+    // Draws a candidate sample for transition tau (random forest ref);
+    // returns false if the forest pool is empty.
+    auto DrawCandidate = [&](uint32_t tau_idx, TreeSample* out) {
+      const Nfta::Transition& t = nfta_.transition(tau_idx);
+      out->transition = tau_idx;
+      out->forest = 0;
+      if (!t.children.empty()) {
+        const auto& fpool =
+            ForestPool(pool_f_[tau_idx][t.children.size()], s - 1);
+        if (fpool.empty()) return false;
+        out->forest = static_cast<uint32_t>(rng_.NextBounded(fpool.size()));
+      }
+      return true;
+    };
+
+    // Per-group estimates: exact for singleton groups, Karp–Luby within
+    // overlapping (same-symbol) groups.
+    ExtFloat total_estimate;
+    for (auto& [symbol, g] : groups) {
+      (void)symbol;
+      if (g.taus.size() == 1) {
+        g.estimate = g.weight_sum;
+        total_estimate = total_estimate.Add(g.estimate);
+        continue;
+      }
+      const size_t target = pool_target_;
+      const size_t max_attempts = config_.attempt_factor * target + 64;
+      size_t attempts = 0;
+      while (g.accepted.size() < target && attempts < max_attempts) {
+        ++attempts;
+        const size_t pick = PickWeightedIndex(&rng_, g.weights);
+        TreeSample candidate;
+        if (!DrawCandidate(g.taus[pick], &candidate)) continue;
+        if (CanonicalTransition(q, s, candidate) == candidate.transition) {
+          g.accepted.push_back(candidate);
+        }
+      }
+      stats_.attempts += attempts;
+      stats_.accepted += g.accepted.size();
+      if (g.accepted.empty()) {
+        // Statistically negligible when attempts >> group size (acceptance
+        // is >= 1/|group|); force one biased sample so a live stratum never
+        // reports a false zero.
+        ++stats_.forced_samples;
+        const size_t pick = PickWeightedIndex(&rng_, g.weights);
+        TreeSample forced;
+        if (DrawCandidate(g.taus[pick], &forced)) {
+          g.accepted.push_back(forced);
+          g.estimate = g.weight_sum.Scale(
+              1.0 / static_cast<double>(attempts + 1));
+        }
+      } else {
+        g.estimate = g.weight_sum.Scale(static_cast<double>(g.accepted.size()) /
+                                        static_cast<double>(attempts));
+      }
+      total_estimate = total_estimate.Add(g.estimate);
+    }
+    est_a_[q].emplace(static_cast<uint32_t>(s), total_estimate);
+    if (total_estimate.IsZero()) return;
+
+    // Pool: a mixture over groups proportional to their estimates. Samples
+    // from singleton groups are drawn fresh; overlapping groups resample
+    // their accepted (canonical) candidates.
+    std::vector<const Group*> group_list;
+    std::vector<ExtFloat> group_weights;
+    for (const auto& [symbol, g] : groups) {
+      (void)symbol;
+      if (g.estimate.IsZero()) continue;
+      group_list.push_back(&g);
+      group_weights.push_back(g.estimate);
+    }
+    auto& pool = pool_a_[q][static_cast<uint32_t>(s)];
+    pool.reserve(pool_target_);
+    for (size_t i = 0; i < pool_target_; ++i) {
+      const Group& g = group_list.size() == 1
+                           ? *group_list[0]
+                           : *group_list[PickWeightedIndex(&rng_,
+                                                           group_weights)];
+      if (g.taus.size() == 1) {
+        TreeSample sample;
+        if (DrawCandidate(g.taus[0], &sample)) pool.push_back(sample);
+      } else if (!g.accepted.empty()) {
+        pool.push_back(g.accepted[rng_.NextBounded(g.accepted.size())]);
+      }
+    }
+    stats_.pool_entries += pool.size();
+  }
+
+  // The canonical generating transition for the tree denoted by `candidate`
+  // at stratum (q, s): the smallest-index τ' ∈ out(q) whose symbol and arity
+  // match and whose child states accept the respective subtrees (decided
+  // exactly by bottom-up simulation).
+  uint32_t CanonicalTransition(StateId q, size_t s,
+                               const TreeSample& candidate) {
+    LabeledTree tree = [&] {
+      const Nfta::Transition& t = nfta_.transition(candidate.transition);
+      LabeledTree out(t.symbol);
+      MaterializeForest(candidate.transition, t.children.size(), s - 1,
+                        candidate.forest, &out, out.root());
+      return out;
+    }();
+    ++stats_.membership_checks;
+    const std::vector<std::vector<StateId>> run = nfta_.RunStates(tree);
+    const auto& kids = tree.children(tree.root());
+    const SymbolId label = tree.label(tree.root());
+    for (uint32_t tau_idx : nfta_.OutTransitions(q)) {
+      const Nfta::Transition& t = nfta_.transition(tau_idx);
+      if (t.symbol != label || t.children.size() != kids.size()) continue;
+      bool ok = true;
+      for (size_t i = 0; i < kids.size() && ok; ++i) {
+        const auto& child_states = run[kids[i]];
+        ok = std::binary_search(child_states.begin(), child_states.end(),
+                                t.children[i]);
+      }
+      if (ok) return tau_idx;
+    }
+    // The candidate itself always matches; unreachable.
+    PQE_CHECK(false);
+    return candidate.transition;
+  }
+
+  // F(τ, j, s) = ⊎_split F(τ, j−1, s−split) × A(child_j, split): exact
+  // disjoint sum of products; samples compose without rejection.
+  void ProcessForestStratum(uint32_t tau, size_t j, size_t s) {
+    const Nfta::Transition& t = nfta_.transition(tau);
+    const StateId child = t.children[j - 1];
+    std::vector<uint32_t> splits;
+    std::vector<ExtFloat> weights;
+    ExtFloat total;
+    for (size_t split = 1; split <= s; ++split) {
+      const ExtFloat prev = EstF(tau, j - 1, s - split);
+      const ExtFloat sub = EstA(child, split);
+      if (prev.IsZero() || sub.IsZero()) continue;
+      ExtFloat w = prev.Mul(sub);
+      splits.push_back(static_cast<uint32_t>(split));
+      weights.push_back(w);
+      total = total.Add(w);
+    }
+    est_f_[tau][j].emplace(static_cast<uint32_t>(s), total);
+    if (splits.empty()) return;
+
+    auto& pool = pool_f_[tau][j][static_cast<uint32_t>(s)];
+    pool.reserve(pool_target_);
+    for (size_t i = 0; i < pool_target_; ++i) {
+      const uint32_t split =
+          splits.size() == 1 ? splits[0]
+                             : splits[PickWeightedIndex(&rng_, weights)];
+      uint32_t prefix_idx = 0;
+      if (j - 1 > 0) {
+        const auto& prev_pool = ForestPool(pool_f_[tau][j - 1], s - split);
+        if (prev_pool.empty()) continue;
+        prefix_idx =
+            static_cast<uint32_t>(rng_.NextBounded(prev_pool.size()));
+      }
+      const auto& tree_pool = TreePool(pool_a_[child], split);
+      if (tree_pool.empty()) continue;
+      const uint32_t tree_idx =
+          static_cast<uint32_t>(rng_.NextBounded(tree_pool.size()));
+      pool.push_back(ForestSample{prefix_idx, tree_idx, split});
+    }
+    stats_.pool_entries += pool.size();
+  }
+
+  const Nfta& nfta_;
+  const size_t n_;
+  const EstimatorConfig& config_;
+  Rng rng_;
+  size_t pool_target_ = 0;
+  CountStats stats_;
+
+  std::vector<std::vector<bool>> fwd_a_;                // [q][s]
+  std::vector<std::vector<uint32_t>> fwd_a_sizes_;      // sparse live sizes
+  std::vector<std::vector<std::vector<bool>>> fwd_f_;   // [τ][j][s]
+  std::vector<std::vector<std::vector<uint32_t>>> fwd_f_sizes_;
+  std::vector<std::vector<bool>> bwd_a_;
+  std::vector<std::vector<std::vector<bool>>> bwd_f_;
+  // Sparse per-stratum tables, keyed by size.
+  std::vector<std::unordered_map<uint32_t, ExtFloat>> est_a_;  // [q]{s}
+  std::vector<std::unordered_map<uint32_t, std::vector<TreeSample>>> pool_a_;
+  std::vector<std::vector<std::unordered_map<uint32_t, ExtFloat>>>
+      est_f_;  // [τ][j]{s}
+  std::vector<std::vector<
+      std::unordered_map<uint32_t, std::vector<ForestSample>>>>
+      pool_f_;
+};
+
+}  // namespace
+
+Result<NftaSampleResult> CountAndSampleNftaTrees(
+    const Nfta& nfta, size_t n, const EstimatorConfig& config,
+    size_t num_samples) {
+  if (config.epsilon <= 0.0 || config.epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  NftaCounter counter(nfta, n, config);
+  NftaSampleResult out;
+  PQE_ASSIGN_OR_RETURN(out.estimate, counter.Run());
+  out.samples = counter.SampleAccepted(num_samples);
+  return out;
+}
+
+Result<CountEstimate> CountNftaTrees(const Nfta& nfta, size_t n,
+                                     const EstimatorConfig& config) {
+  if (config.epsilon <= 0.0 || config.epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  const size_t reps = std::max<size_t>(config.repetitions, 1);
+  if (reps == 1) {
+    NftaCounter counter(nfta, n, config);
+    return counter.Run();
+  }
+  // Median-of-R amplification over independent seeds — the standard FPRAS
+  // confidence boost.
+  std::vector<CountEstimate> runs;
+  runs.reserve(reps);
+  CountStats aggregate;
+  for (size_t r = 0; r < reps; ++r) {
+    EstimatorConfig rep_config = config;
+    rep_config.repetitions = 1;
+    rep_config.seed = config.seed + 0x9e3779b97f4a7c15ULL * (r + 1);
+    NftaCounter counter(nfta, n, rep_config);
+    PQE_ASSIGN_OR_RETURN(CountEstimate est, counter.Run());
+    aggregate.strata_total = est.stats.strata_total;
+    aggregate.strata_live = est.stats.strata_live;
+    aggregate.pool_entries += est.stats.pool_entries;
+    aggregate.attempts += est.stats.attempts;
+    aggregate.accepted += est.stats.accepted;
+    aggregate.forced_samples += est.stats.forced_samples;
+    aggregate.membership_checks += est.stats.membership_checks;
+    runs.push_back(std::move(est));
+  }
+  std::sort(runs.begin(), runs.end(),
+            [](const CountEstimate& a, const CountEstimate& b) {
+              return a.value < b.value;
+            });
+  CountEstimate out = runs[runs.size() / 2];
+  out.stats = aggregate;
+  return out;
+}
+
+}  // namespace pqe

@@ -1,0 +1,51 @@
+#ifndef PQE_COUNTING_COUNT_NFTA_H_
+#define PQE_COUNTING_COUNT_NFTA_H_
+
+#include <cstddef>
+
+#include <vector>
+
+#include "automata/nfta.h"
+#include "automata/tree.h"
+#include "counting/config.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// CountNFTA (Section 2, citing Arenas et al., STOC '21): approximates
+/// |L_n(T)|, the number of labelled trees of size exactly n accepted by the
+/// (λ-free) top-down NFTA T, within (1 ± ε) with high probability, in time
+/// poly(n, |T|, 1/ε).
+///
+/// Implementation: size-stratified dynamic programming over two families of
+/// strata:
+///   A(q, s)     — trees of size s generable from state q;
+///   F(τ, j, s)  — ordered forests for the first j children of transition τ
+///                 with total size s.
+/// F-strata combine by an exact disjoint product rule (the size of the last
+/// child determines the split), so their estimates multiply and their
+/// samples compose without rejection. A-strata are overlapping unions over
+/// the out-transitions of q and use the Karp–Luby canonical-witness
+/// estimator; membership of a subtree in A(q', s') is decided exactly by
+/// bottom-up simulation (Nfta::RunStates). Samples are stored as O(1)
+/// derivation references and materialized on demand.
+///
+/// Fails with InvalidArgument if the automaton still has λ-transitions
+/// (call Nfta::EliminateLambda first).
+Result<CountEstimate> CountNftaTrees(const Nfta& nfta, size_t n,
+                                     const EstimatorConfig& config);
+
+/// A count estimate together with (near-)uniform samples of accepted trees —
+/// the counting pools double as samplers (the "uniform generation" half of
+/// the Arenas et al. results). `samples` is empty when the language is.
+struct NftaSampleResult {
+  CountEstimate estimate;
+  std::vector<LabeledTree> samples;
+};
+Result<NftaSampleResult> CountAndSampleNftaTrees(
+    const Nfta& nfta, size_t n, const EstimatorConfig& config,
+    size_t num_samples);
+
+}  // namespace pqe
+
+#endif  // PQE_COUNTING_COUNT_NFTA_H_

@@ -1,0 +1,149 @@
+#include "counting/exact.h"
+
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pqe {
+
+Result<BigUint> ExactCountNfaStrings(const Nfa& nfa, size_t n,
+                                     size_t max_subsets) {
+  using StateSet = std::vector<bool>;
+  // memo[l] : subset -> number of accepted completions of length l.
+  std::vector<std::map<StateSet, BigUint>> memo(n + 1);
+  size_t subsets = 0;
+
+  // Transition table grouped by symbol for the subset step.
+  std::vector<std::vector<const Nfa::Transition*>> by_symbol(
+      nfa.AlphabetSize());
+  for (const Nfa::Transition& t : nfa.transitions()) {
+    by_symbol[t.symbol].push_back(&t);
+  }
+
+  std::function<Result<BigUint>(const StateSet&, size_t)> count =
+      [&](const StateSet& states, size_t remaining) -> Result<BigUint> {
+    auto it = memo[remaining].find(states);
+    if (it != memo[remaining].end()) return it->second;
+    if (++subsets > max_subsets) {
+      return Status::ResourceExhausted(
+          "exact NFA counting exceeded subset budget");
+    }
+    BigUint total;
+    if (remaining == 0) {
+      bool accepted = false;
+      for (StateId q = 0; q < nfa.NumStates(); ++q) {
+        if (states[q] && nfa.IsAccepting(q)) accepted = true;
+      }
+      total = accepted ? BigUint(1) : BigUint();
+    } else {
+      for (SymbolId a = 0; a < nfa.AlphabetSize(); ++a) {
+        StateSet next(nfa.NumStates(), false);
+        bool any = false;
+        for (const Nfa::Transition* t : by_symbol[a]) {
+          if (states[t->from]) {
+            next[t->to] = true;
+            any = true;
+          }
+        }
+        if (!any) continue;
+        PQE_ASSIGN_OR_RETURN(BigUint sub, count(next, remaining - 1));
+        total = total.Add(sub);
+      }
+    }
+    memo[remaining].emplace(states, total);
+    return total;
+  };
+
+  StateSet initial(nfa.NumStates(), false);
+  for (StateId q : nfa.initial_states()) initial[q] = true;
+  return count(initial, n);
+}
+
+Result<BigUint> ExactCountNftaTrees(const Nfta& nfta, size_t n,
+                                    size_t max_entries) {
+  if (nfta.HasLambdaTransitions()) {
+    return Status::InvalidArgument(
+        "ExactCountNftaTrees requires a λ-free NFTA");
+  }
+  using StateSet = std::vector<bool>;
+  // trees[s] : exact run-state-set -> number of distinct trees of size s.
+  std::vector<std::map<StateSet, BigUint>> trees(n + 1);
+  size_t entries = 0;
+
+  // Group transitions by (symbol, arity).
+  std::map<std::pair<SymbolId, size_t>, std::vector<uint32_t>> groups;
+  for (uint32_t tau = 0; tau < nfta.NumTransitions(); ++tau) {
+    const Nfta::Transition& t = nfta.transition(tau);
+    groups[{t.symbol, t.children.size()}].push_back(tau);
+  }
+
+  for (size_t s = 1; s <= n; ++s) {
+    for (const auto& [key, taus] : groups) {
+      const size_t arity = key.second;
+      if (s < 1 + arity) continue;  // each child subtree needs >= 1 node
+      // Forest DP: alive[j] : (alive transition subset of `taus`, used size)
+      // -> forest count. Alive = transitions whose first j child states
+      // accept the respective child subtrees.
+      using AliveKey = std::pair<std::vector<bool>, size_t>;
+      std::map<AliveKey, BigUint> alive;
+      alive[{std::vector<bool>(taus.size(), true), 0}] = BigUint(1);
+      for (size_t j = 0; j < arity; ++j) {
+        std::map<AliveKey, BigUint> next;
+        for (const auto& [akey, cnt] : alive) {
+          const auto& [mask, used] = akey;
+          // Child j+1 can take any size s_c with enough room for the rest.
+          const size_t remaining_children = arity - j - 1;
+          for (size_t sc = 1; used + sc + remaining_children <= s - 1; ++sc) {
+            for (const auto& [child_set, child_cnt] : trees[sc]) {
+              std::vector<bool> new_mask(taus.size(), false);
+              bool any = false;
+              for (size_t ti = 0; ti < taus.size(); ++ti) {
+                if (!mask[ti]) continue;
+                const Nfta::Transition& t = nfta.transition(taus[ti]);
+                if (child_set[t.children[j]]) {
+                  new_mask[ti] = true;
+                  any = true;
+                }
+              }
+              if (!any) continue;
+              AliveKey nk{std::move(new_mask), used + sc};
+              auto [it, inserted] = next.emplace(nk, BigUint());
+              it->second = it->second.Add(cnt.Mul(child_cnt));
+              if (inserted && ++entries > max_entries) {
+                return Status::ResourceExhausted(
+                    "exact NFTA counting exceeded entry budget");
+              }
+            }
+          }
+        }
+        alive = std::move(next);
+      }
+      // Fold finished forests into tree counts.
+      for (const auto& [akey, cnt] : alive) {
+        const auto& [mask, used] = akey;
+        if (used != s - 1) continue;
+        StateSet run_set(nfta.NumStates(), false);
+        for (size_t ti = 0; ti < taus.size(); ++ti) {
+          if (mask[ti]) run_set[nfta.transition(taus[ti]).from] = true;
+        }
+        auto [it, inserted] = trees[s].emplace(run_set, BigUint());
+        it->second = it->second.Add(cnt);
+        if (inserted && ++entries > max_entries) {
+          return Status::ResourceExhausted(
+              "exact NFTA counting exceeded entry budget");
+        }
+      }
+    }
+  }
+
+  BigUint total;
+  for (const auto& [run_set, cnt] : trees[n]) {
+    if (run_set[nfta.initial_state()]) total = total.Add(cnt);
+  }
+  return total;
+}
+
+}  // namespace pqe

@@ -1,0 +1,31 @@
+#ifndef PQE_COUNTING_EXACT_H_
+#define PQE_COUNTING_EXACT_H_
+
+#include <cstddef>
+
+#include "automata/nfa.h"
+#include "automata/nfta.h"
+#include "util/bigint.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// Exact |L_n(M)| by on-the-fly determinization: DP over (reachable state
+/// subset, remaining length) with memoization. Worst-case exponential in
+/// |M| (exact #NFA is #P-hard) — intended as a test oracle. Fails with
+/// ResourceExhausted if more than `max_subsets` distinct subsets arise.
+Result<BigUint> ExactCountNfaStrings(const Nfa& nfa, size_t n,
+                                     size_t max_subsets = 2'000'000);
+
+/// Exact |L_n(T)| for a λ-free NFTA by bottom-up determinization: for each
+/// size s it tabulates, per exact run-state-set S, the number of distinct
+/// trees of size s whose set of generating states is S; forests are combined
+/// through per-(symbol, arity) alive-transition-set DP. Worst-case
+/// exponential — a test oracle. Fails with ResourceExhausted if the tables
+/// exceed `max_entries`.
+Result<BigUint> ExactCountNftaTrees(const Nfta& nfta, size_t n,
+                                    size_t max_entries = 2'000'000);
+
+}  // namespace pqe
+
+#endif  // PQE_COUNTING_EXACT_H_

@@ -1,0 +1,33 @@
+#include "counting/weighted_pick.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pqe {
+
+ExtFloat SumExtFloats(const std::vector<ExtFloat>& weights) {
+  ExtFloat sum;
+  for (const ExtFloat& w : weights) sum = sum.Add(w);
+  return sum;
+}
+
+size_t PickWeightedIndex(Rng* rng, const std::vector<ExtFloat>& weights) {
+  PQE_CHECK(!weights.empty());
+  // Renormalize by the maximum weight so the double conversions are stable.
+  size_t max_idx = 0;
+  for (size_t i = 1; i < weights.size(); ++i) {
+    if (weights[max_idx] < weights[i]) max_idx = i;
+  }
+  PQE_CHECK(!weights[max_idx].IsZero());
+  const double max_log = weights[max_idx].Log2();
+  std::vector<double> scaled(weights.size(), 0.0);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i].IsZero()) continue;
+    const double rel = weights[i].Log2() - max_log;
+    scaled[i] = rel < -512.0 ? 0.0 : std::exp2(rel);
+  }
+  return rng->NextDiscrete(scaled);
+}
+
+}  // namespace pqe

@@ -1,0 +1,21 @@
+#ifndef PQE_COUNTING_WEIGHTED_PICK_H_
+#define PQE_COUNTING_WEIGHTED_PICK_H_
+
+#include <vector>
+
+#include "util/extfloat.h"
+#include "util/rng.h"
+
+namespace pqe {
+
+/// Sum of extended-range weights.
+ExtFloat SumExtFloats(const std::vector<ExtFloat>& weights);
+
+/// Samples an index with probability proportional to the extended-range
+/// weights (at least one must be non-zero). Weights are renormalized by the
+/// maximum before conversion to double, so huge exponents are safe.
+size_t PickWeightedIndex(Rng* rng, const std::vector<ExtFloat>& weights);
+
+}  // namespace pqe
+
+#endif  // PQE_COUNTING_WEIGHTED_PICK_H_

@@ -1,0 +1,60 @@
+#ifndef PQE_CQ_BUILDERS_H_
+#define PQE_CQ_BUILDERS_H_
+
+#include <cstdint>
+
+#include "cq/query.h"
+#include "pdb/schema.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// A query bundled with the schema it is defined over. The builders below
+/// generate the query families used throughout the paper and its benchmarks.
+struct QueryInstance {
+  Schema schema;
+  ConjunctiveQuery query;
+};
+
+/// The class 3Path's member Q_n (Section 1.1): the self-join-free path query
+///   Q_n = R1(x1,x2), R2(x2,x3), ..., Rn(xn,xn+1).
+/// For n >= 3 the query is non-hierarchical, hence #P-hard in data
+/// complexity, yet has hypertree width 1. Requires n >= 1.
+Result<QueryInstance> MakePathQuery(uint32_t n);
+
+/// Star query R1(x0,x1), R2(x0,x2), ..., Rn(x0,xn): hierarchical (safe),
+/// self-join-free, acyclic. The FP representative for Table 1 row 1.
+/// Requires n >= 1.
+Result<QueryInstance> MakeStarQuery(uint32_t n);
+
+/// Cycle query R1(x1,x2), ..., Rn(xn,x1): self-join-free, hypertree width 2
+/// for n >= 3 (width 1 for n <= 2). Exercises the width-2 decomposer.
+/// Requires n >= 2.
+Result<QueryInstance> MakeCycleQuery(uint32_t n);
+
+/// The canonical unsafe acyclic query H0 = R(x), S(x,y), T(y): self-join-free,
+/// hypertree width 1, non-hierarchical (hence #P-hard in data complexity).
+/// Table 1 row 2's smallest representative.
+Result<QueryInstance> MakeH0Query();
+
+/// A self-join path query R(x1,x2), R(x2,x3), ..., R(xn,xn+1) over a single
+/// relation: *not* self-join-free. Used to exercise the NotSupported paths
+/// of the FPRAS and the Table 1 row 4 discussion. Requires n >= 2.
+Result<QueryInstance> MakeSelfJoinPathQuery(uint32_t n);
+
+/// Chain-of-stars ("caterpillar") query: a path R1(x1,x2)...Rn(xn,xn+1) where
+/// each joint variable x2..xn additionally carries a unary label atom
+/// L_i(x_i). Acyclic, self-join-free, non-hierarchical for n >= 3; a larger
+/// width-1 family with |Q| = 2n - 1 atoms. Requires n >= 2.
+Result<QueryInstance> MakeCaterpillarQuery(uint32_t n);
+
+/// Snowflake query: a central variable x0 with `arms` chains of `depth`
+/// binary atoms each: R_{a,1}(x0, y_{a,1}), R_{a,2}(y_{a,1}, y_{a,2}), ...
+/// Acyclic (width 1), self-join-free; non-hierarchical once arms >= 2 and
+/// depth >= 2 (interior chain variables break the nesting). A star query is
+/// the depth-1 special case. Requires arms >= 1, depth >= 1.
+Result<QueryInstance> MakeSnowflakeQuery(uint32_t arms, uint32_t depth);
+
+}  // namespace pqe
+
+#endif  // PQE_CQ_BUILDERS_H_

@@ -1,0 +1,83 @@
+#include "cq/containment.h"
+
+#include <string>
+#include <vector>
+
+#include "eval/eval.h"
+
+namespace pqe {
+
+Result<Database> CanonicalDatabase(const Schema& schema,
+                                   const ConjunctiveQuery& query) {
+  Database db(schema);
+  for (const Atom& atom : query.atoms()) {
+    if (atom.relation >= schema.NumRelations()) {
+      return Status::InvalidArgument("query relation outside schema");
+    }
+    std::vector<ValueId> args;
+    args.reserve(atom.vars.size());
+    for (VarId v : atom.vars) {
+      // Freeze each variable to a distinct constant named after it.
+      args.push_back(db.InternValue("~" + query.VarName(v)));
+    }
+    PQE_RETURN_IF_ERROR(db.AddFact(atom.relation, std::move(args)).status());
+  }
+  return db;
+}
+
+Result<bool> IsContainedIn(const Schema& schema, const ConjunctiveQuery& sub,
+                           const ConjunctiveQuery& super) {
+  // Chandra–Merlin: sub ⊑ super ⟺ canonical(sub) ⊨ super.
+  PQE_ASSIGN_OR_RETURN(Database canonical, CanonicalDatabase(schema, sub));
+  return Satisfies(canonical, super);
+}
+
+Result<bool> AreEquivalent(const Schema& schema, const ConjunctiveQuery& a,
+                           const ConjunctiveQuery& b) {
+  PQE_ASSIGN_OR_RETURN(bool ab, IsContainedIn(schema, a, b));
+  if (!ab) return false;
+  return IsContainedIn(schema, b, a);
+}
+
+Result<ConjunctiveQuery> MinimizeQuery(const Schema& schema,
+                                       const ConjunctiveQuery& query) {
+  // Working copy as an atom list; rebuild queries via the Builder.
+  std::vector<Atom> atoms = query.atoms();
+  auto rebuild = [&](const std::vector<Atom>& list)
+      -> Result<ConjunctiveQuery> {
+    ConjunctiveQuery::Builder builder(&schema);
+    for (const Atom& a : list) {
+      std::vector<std::string> vars;
+      vars.reserve(a.vars.size());
+      for (VarId v : a.vars) vars.push_back(query.VarName(v));
+      PQE_RETURN_IF_ERROR(builder.AddAtom(a.relation, vars));
+    }
+    return builder.Build();
+  };
+
+  bool changed = true;
+  while (changed && atoms.size() > 1) {
+    changed = false;
+    for (size_t drop = 0; drop < atoms.size(); ++drop) {
+      std::vector<Atom> candidate;
+      candidate.reserve(atoms.size() - 1);
+      for (size_t i = 0; i < atoms.size(); ++i) {
+        if (i != drop) candidate.push_back(atoms[i]);
+      }
+      PQE_ASSIGN_OR_RETURN(ConjunctiveQuery full, rebuild(atoms));
+      PQE_ASSIGN_OR_RETURN(ConjunctiveQuery smaller, rebuild(candidate));
+      // Dropping an atom weakens the query (full ⊑ smaller holds always);
+      // the atom is redundant iff smaller ⊑ full too.
+      PQE_ASSIGN_OR_RETURN(bool redundant,
+                           IsContainedIn(schema, smaller, full));
+      if (redundant) {
+        atoms = std::move(candidate);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return rebuild(atoms);
+}
+
+}  // namespace pqe

@@ -1,0 +1,38 @@
+#ifndef PQE_CQ_CONTAINMENT_H_
+#define PQE_CQ_CONTAINMENT_H_
+
+#include "cq/query.h"
+#include "pdb/database.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// The canonical (frozen) database of a Boolean CQ: one fact per atom, with
+/// each variable frozen to a distinct constant. The classical
+/// Chandra–Merlin / Kolaitis–Vardi device: homomorphisms into Q correspond
+/// to satisfaction over its canonical database — the same connection the
+/// paper's "Key Ideas" section builds on.
+Result<Database> CanonicalDatabase(const Schema& schema,
+                                   const ConjunctiveQuery& query);
+
+/// Containment of Boolean CQs over a shared schema: `sub` ⊑ `super` iff
+/// every database satisfying `sub` satisfies `super` — decided by the
+/// Chandra–Merlin test (a homomorphism from `super` into `sub`, i.e.
+/// canonical(sub) ⊨ super). NP-complete in general; fine at query scale.
+Result<bool> IsContainedIn(const Schema& schema, const ConjunctiveQuery& sub,
+                           const ConjunctiveQuery& super);
+
+/// Logical equivalence: mutual containment.
+Result<bool> AreEquivalent(const Schema& schema, const ConjunctiveQuery& a,
+                           const ConjunctiveQuery& b);
+
+/// Computes the core of a Boolean CQ: greedily drops atoms whose removal
+/// keeps the query equivalent, until no atom is redundant. Self-join-free
+/// queries are already cores; minimization matters before feeding queries
+/// with redundancy into the (length-sensitive) evaluation pipeline.
+Result<ConjunctiveQuery> MinimizeQuery(const Schema& schema,
+                                       const ConjunctiveQuery& query);
+
+}  // namespace pqe
+
+#endif  // PQE_CQ_CONTAINMENT_H_

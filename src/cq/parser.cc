@@ -1,0 +1,128 @@
+#include "cq/parser.h"
+
+#include <cctype>
+#include <vector>
+
+namespace pqe {
+
+namespace {
+
+struct ParsedAtom {
+  std::string relation;
+  std::vector<std::string> vars;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<std::string> Identifier() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+      if (pos_ == start) {
+        ok = std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+      }
+      if (!ok) break;
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected identifier at position " +
+                                     std::to_string(start) + " in query");
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+Result<std::vector<ParsedAtom>> ParseAtoms(const std::string& text) {
+  Lexer lex(text);
+  std::vector<ParsedAtom> atoms;
+  if (lex.AtEnd()) return Status::InvalidArgument("empty query text");
+  for (;;) {
+    ParsedAtom atom;
+    PQE_ASSIGN_OR_RETURN(atom.relation, lex.Identifier());
+    if (!lex.Consume('(')) {
+      return Status::InvalidArgument("expected '(' after relation name '" +
+                                     atom.relation + "'");
+    }
+    for (;;) {
+      PQE_ASSIGN_OR_RETURN(std::string var, lex.Identifier());
+      atom.vars.push_back(std::move(var));
+      if (lex.Consume(')')) break;
+      if (!lex.Consume(',')) {
+        return Status::InvalidArgument("expected ',' or ')' in atom over '" +
+                                       atom.relation + "'");
+      }
+    }
+    atoms.push_back(std::move(atom));
+    if (lex.AtEnd()) break;
+    if (!lex.Consume(',')) {
+      return Status::InvalidArgument("expected ',' between atoms at position " +
+                                     std::to_string(lex.pos()));
+    }
+    if (lex.AtEnd()) {
+      return Status::InvalidArgument("trailing ',' in query text");
+    }
+  }
+  return atoms;
+}
+
+}  // namespace
+
+Result<ConjunctiveQuery> ParseQuery(const Schema& schema,
+                                    const std::string& text) {
+  PQE_ASSIGN_OR_RETURN(std::vector<ParsedAtom> atoms, ParseAtoms(text));
+  ConjunctiveQuery::Builder builder(&schema);
+  for (const ParsedAtom& a : atoms) {
+    PQE_RETURN_IF_ERROR(builder.AddAtom(a.relation, a.vars));
+  }
+  return builder.Build();
+}
+
+Result<ConjunctiveQuery> ParseQueryExtendingSchema(Schema* schema,
+                                                   const std::string& text) {
+  PQE_ASSIGN_OR_RETURN(std::vector<ParsedAtom> atoms, ParseAtoms(text));
+  for (const ParsedAtom& a : atoms) {
+    if (!schema->HasRelation(a.relation)) {
+      PQE_RETURN_IF_ERROR(
+          schema->AddRelation(a.relation, static_cast<uint32_t>(a.vars.size()))
+              .status());
+    }
+  }
+  ConjunctiveQuery::Builder builder(schema);
+  for (const ParsedAtom& a : atoms) {
+    PQE_RETURN_IF_ERROR(builder.AddAtom(a.relation, a.vars));
+  }
+  return builder.Build();
+}
+
+}  // namespace pqe

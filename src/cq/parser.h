@@ -1,0 +1,26 @@
+#ifndef PQE_CQ_PARSER_H_
+#define PQE_CQ_PARSER_H_
+
+#include <string>
+
+#include "cq/query.h"
+#include "pdb/schema.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// Parses a Boolean conjunctive query in the textual form used throughout the
+/// paper, e.g. "R1(x1,x2), R2(x2,x3)". Identifiers are [A-Za-z_][A-Za-z0-9_]*;
+/// whitespace is insignificant. All relations must exist in `schema` with
+/// matching arity.
+Result<ConjunctiveQuery> ParseQuery(const Schema& schema,
+                                    const std::string& text);
+
+/// Like ParseQuery, but *extends* `schema` with any relation it does not yet
+/// contain, inferring the arity from the first atom that mentions it.
+Result<ConjunctiveQuery> ParseQueryExtendingSchema(Schema* schema,
+                                                   const std::string& text);
+
+}  // namespace pqe
+
+#endif  // PQE_CQ_PARSER_H_

@@ -1,0 +1,145 @@
+#include "cq/query.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace pqe {
+
+namespace {
+
+// Interns `name` in the query's variable table.
+VarId InternVar(std::vector<std::string>* names,
+                std::unordered_map<std::string, VarId>* by_name,
+                const std::string& name) {
+  auto it = by_name->find(name);
+  if (it != by_name->end()) return it->second;
+  VarId id = static_cast<VarId>(names->size());
+  names->push_back(name);
+  by_name->emplace(name, id);
+  return id;
+}
+
+}  // namespace
+
+Status ConjunctiveQuery::Builder::AddAtom(
+    const std::string& relation, const std::vector<std::string>& vars) {
+  auto rel = schema_->FindRelation(relation);
+  if (!rel.ok()) {
+    failed_ = true;
+    if (first_error_.ok()) first_error_ = rel.status();
+    return rel.status();
+  }
+  return AddAtom(rel.value(), vars);
+}
+
+Status ConjunctiveQuery::Builder::AddAtom(
+    RelationId relation, const std::vector<std::string>& vars) {
+  auto fail = [&](Status s) {
+    failed_ = true;
+    if (first_error_.ok()) first_error_ = s;
+    return s;
+  };
+  if (relation >= schema_->NumRelations()) {
+    return fail(Status::InvalidArgument("unknown relation id in atom"));
+  }
+  if (vars.size() != schema_->Arity(relation)) {
+    std::ostringstream msg;
+    msg << "arity mismatch for atom over " << schema_->Name(relation)
+        << ": expected " << schema_->Arity(relation) << " variables, got "
+        << vars.size();
+    return fail(Status::InvalidArgument(msg.str()));
+  }
+  for (const std::string& v : vars) {
+    if (v.empty()) {
+      return fail(Status::InvalidArgument("empty variable name in atom"));
+    }
+  }
+  Atom atom;
+  atom.relation = relation;
+  std::unordered_map<std::string, VarId> by_name;
+  for (VarId i = 0; i < var_names_.size(); ++i) {
+    by_name.emplace(var_names_[i], i);
+  }
+  for (const std::string& v : vars) {
+    atom.vars.push_back(InternVar(&var_names_, &by_name, v));
+  }
+  atoms_.push_back(std::move(atom));
+  return Status::OK();
+}
+
+Result<ConjunctiveQuery> ConjunctiveQuery::Builder::Build() {
+  if (failed_) return first_error_;
+  if (atoms_.empty()) {
+    return Status::InvalidArgument("conjunctive query must have >= 1 atom");
+  }
+  ConjunctiveQuery query;
+  query.atoms_ = std::move(atoms_);
+  query.var_names_ = std::move(var_names_);
+  query.atoms_of_var_.assign(query.var_names_.size(), {});
+  for (uint32_t a = 0; a < query.atoms_.size(); ++a) {
+    std::unordered_set<VarId> seen;
+    for (VarId v : query.atoms_[a].vars) {
+      if (seen.insert(v).second) query.atoms_of_var_[v].push_back(a);
+    }
+  }
+  return query;
+}
+
+bool ConjunctiveQuery::IsSelfJoinFree() const {
+  std::unordered_set<RelationId> seen;
+  for (const Atom& a : atoms_) {
+    if (!seen.insert(a.relation).second) return false;
+  }
+  return true;
+}
+
+bool ConjunctiveQuery::IsHierarchical() const {
+  for (VarId x = 0; x < var_names_.size(); ++x) {
+    for (VarId y = x + 1; y < var_names_.size(); ++y) {
+      const auto& ax = atoms_of_var_[x];
+      const auto& ay = atoms_of_var_[y];
+      std::vector<uint32_t> inter;
+      std::set_intersection(ax.begin(), ax.end(), ay.begin(), ay.end(),
+                            std::back_inserter(inter));
+      if (inter.empty()) continue;
+      if (inter.size() == ax.size() || inter.size() == ay.size()) continue;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool ConjunctiveQuery::IsPathQuery() const {
+  if (atoms_.empty()) return false;
+  for (const Atom& a : atoms_) {
+    if (a.vars.size() != 2) return false;
+    if (a.vars[0] == a.vars[1]) return false;
+  }
+  // Chained: atom i ends where atom i+1 begins, and the x_i are distinct
+  // (n atoms require exactly n+1 distinct variables).
+  for (size_t i = 0; i + 1 < atoms_.size(); ++i) {
+    if (atoms_[i].vars[1] != atoms_[i + 1].vars[0]) return false;
+  }
+  std::unordered_set<VarId> distinct;
+  distinct.insert(atoms_[0].vars[0]);
+  for (const Atom& a : atoms_) distinct.insert(a.vars[1]);
+  return distinct.size() == atoms_.size() + 1;
+}
+
+std::string ConjunctiveQuery::ToString(const Schema& schema) const {
+  std::ostringstream out;
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << schema.Name(atoms_[i].relation) << "(";
+    for (size_t j = 0; j < atoms_[i].vars.size(); ++j) {
+      if (j > 0) out << ",";
+      out << var_names_[atoms_[i].vars[j]];
+    }
+    out << ")";
+  }
+  return out.str();
+}
+
+}  // namespace pqe

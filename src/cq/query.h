@@ -1,0 +1,99 @@
+#ifndef PQE_CQ_QUERY_H_
+#define PQE_CQ_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pdb/schema.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// Identifier of a variable within one ConjunctiveQuery.
+using VarId = uint32_t;
+
+/// An atom R(x1, ..., xk) of a conjunctive query. Queries in the paper are
+/// constant-free, so arguments are variables only.
+struct Atom {
+  RelationId relation = 0;
+  std::vector<VarId> vars;
+
+  bool operator==(const Atom& o) const {
+    return relation == o.relation && vars == o.vars;
+  }
+};
+
+/// A Boolean conjunctive query Q = R1(x̄1), ..., Rn(x̄n) (Section 2):
+/// an existentially quantified conjunction of atoms. |Q| is the number of
+/// atoms. Construct via Builder, MakePathQuery (builders.h), or ParseQuery
+/// (parser.h).
+class ConjunctiveQuery {
+ public:
+  /// Incremental construction helper; variables are interned by name.
+  class Builder {
+   public:
+    explicit Builder(const Schema* schema) : schema_(schema) {}
+
+    /// Adds atom `relation(vars...)`; variables are created on first use.
+    Status AddAtom(const std::string& relation,
+                   const std::vector<std::string>& vars);
+    Status AddAtom(RelationId relation, const std::vector<std::string>& vars);
+
+    /// Finalizes; fails if no atom was added.
+    Result<ConjunctiveQuery> Build();
+
+   private:
+    const Schema* schema_;
+    std::vector<Atom> atoms_;
+    std::vector<std::string> var_names_;
+    bool failed_ = false;
+    Status first_error_;
+  };
+
+  ConjunctiveQuery(const ConjunctiveQuery&) = default;
+  ConjunctiveQuery& operator=(const ConjunctiveQuery&) = default;
+  ConjunctiveQuery(ConjunctiveQuery&&) = default;
+  ConjunctiveQuery& operator=(ConjunctiveQuery&&) = default;
+
+  /// Query length |Q| = number of atoms.
+  size_t NumAtoms() const { return atoms_.size(); }
+  const Atom& atom(size_t i) const { return atoms_.at(i); }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+
+  size_t NumVars() const { return var_names_.size(); }
+  const std::string& VarName(VarId v) const { return var_names_.at(v); }
+
+  /// Atoms (by index) in which variable v occurs — at(v) in the
+  /// Dalvi–Suciu hierarchy test.
+  const std::vector<uint32_t>& AtomsOfVar(VarId v) const {
+    return atoms_of_var_.at(v);
+  }
+
+  /// True iff no relation name repeats (Section 2, "self-join-free").
+  bool IsSelfJoinFree() const;
+
+  /// True iff the query is hierarchical: for all variables x, y, the atom
+  /// sets at(x), at(y) are nested or disjoint. For self-join-free CQs this is
+  /// exactly the safe/#P-hard boundary of Dalvi–Suciu (Table 1's "Safe?").
+  bool IsHierarchical() const;
+
+  /// True iff the query is a path query R1(x1,x2), ..., Rn(xn,xn+1)
+  /// (Section 2) — atoms binary, consecutively chained, variables distinct.
+  bool IsPathQuery() const;
+
+  /// Renders "R(x,y), S(y,z)" against `schema`.
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  ConjunctiveQuery() = default;
+  friend class Builder;
+
+  std::vector<Atom> atoms_;
+  std::vector<std::string> var_names_;
+  std::vector<std::vector<uint32_t>> atoms_of_var_;
+};
+
+}  // namespace pqe
+
+#endif  // PQE_CQ_QUERY_H_

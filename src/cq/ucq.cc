@@ -1,0 +1,50 @@
+#include "cq/ucq.h"
+
+#include <sstream>
+
+#include "cq/parser.h"
+
+namespace pqe {
+
+Result<UnionQuery> UnionQuery::Make(
+    std::vector<ConjunctiveQuery> disjuncts) {
+  if (disjuncts.empty()) {
+    return Status::InvalidArgument("a union query needs >= 1 disjunct");
+  }
+  return UnionQuery(std::move(disjuncts));
+}
+
+bool UnionQuery::AllDisjunctsSelfJoinFree() const {
+  for (const ConjunctiveQuery& q : disjuncts_) {
+    if (!q.IsSelfJoinFree()) return false;
+  }
+  return true;
+}
+
+std::string UnionQuery::ToString(const Schema& schema) const {
+  std::ostringstream out;
+  for (size_t i = 0; i < disjuncts_.size(); ++i) {
+    if (i > 0) out << " | ";
+    out << disjuncts_[i].ToString(schema);
+  }
+  return out.str();
+}
+
+Result<UnionQuery> ParseUnionQuery(const Schema& schema,
+                                   const std::string& text) {
+  std::vector<ConjunctiveQuery> disjuncts;
+  size_t start = 0;
+  for (;;) {
+    const size_t bar = text.find('|', start);
+    const std::string part = bar == std::string::npos
+                                 ? text.substr(start)
+                                 : text.substr(start, bar - start);
+    PQE_ASSIGN_OR_RETURN(ConjunctiveQuery q, ParseQuery(schema, part));
+    disjuncts.push_back(std::move(q));
+    if (bar == std::string::npos) break;
+    start = bar + 1;
+  }
+  return UnionQuery::Make(std::move(disjuncts));
+}
+
+}  // namespace pqe

@@ -1,0 +1,54 @@
+#ifndef PQE_CQ_UCQ_H_
+#define PQE_CQ_UCQ_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cq/query.h"
+#include "pdb/schema.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// A union of Boolean conjunctive queries Q = Q₁ ∨ ... ∨ Q_m — the query
+/// class of the Dalvi–Suciu dichotomy the paper builds on (Table 1 cites the
+/// UCQ dichotomy for the self-join row). The paper's FPRAS targets a single
+/// self-join-free CQ; this library evaluates UCQs through the lineage-based
+/// and enumeration baselines (see eval/ucq_eval.h), and per-disjunct
+/// bounds through the CQ pipeline.
+class UnionQuery {
+ public:
+  /// Builds a union from at least one disjunct.
+  static Result<UnionQuery> Make(std::vector<ConjunctiveQuery> disjuncts);
+
+  size_t NumDisjuncts() const { return disjuncts_.size(); }
+  const ConjunctiveQuery& disjunct(size_t i) const {
+    return disjuncts_.at(i);
+  }
+  const std::vector<ConjunctiveQuery>& disjuncts() const {
+    return disjuncts_;
+  }
+
+  /// True iff every disjunct is self-join-free (atoms may repeat relations
+  /// *across* disjuncts; that is still fine for the baselines).
+  bool AllDisjunctsSelfJoinFree() const;
+
+  /// "Q1 v Q2 v ..." rendering.
+  std::string ToString(const Schema& schema) const;
+
+ private:
+  explicit UnionQuery(std::vector<ConjunctiveQuery> disjuncts)
+      : disjuncts_(std::move(disjuncts)) {}
+
+  std::vector<ConjunctiveQuery> disjuncts_;
+};
+
+/// Parses "R(x,y), S(y,z) | T(u)" — disjuncts separated by '|', each in the
+/// ParseQuery syntax.
+Result<UnionQuery> ParseUnionQuery(const Schema& schema,
+                                   const std::string& text);
+
+}  // namespace pqe
+
+#endif  // PQE_CQ_UCQ_H_

@@ -1,0 +1,199 @@
+#include "eval/eval.h"
+
+#include <algorithm>
+
+namespace pqe {
+
+namespace {
+
+// Shared backtracking join engine. Visits homomorphisms of q into the facts
+// of db enabled by `present` (nullptr = all facts). Returns true if the
+// visitor ever returns true ("stop early").
+class JoinSearch {
+ public:
+  JoinSearch(const Database& db, const ConjunctiveQuery& q,
+             const std::vector<bool>* present)
+      : db_(db), q_(q), present_(present) {
+    assignment_.assign(q.NumVars(), kNoValue);
+    // Atom order: greedily pick the atom sharing the most variables with
+    // already-placed atoms (reduces branching on chained queries).
+    std::vector<bool> used(q.NumAtoms(), false);
+    std::vector<bool> bound(q.NumVars(), false);
+    for (size_t step = 0; step < q.NumAtoms(); ++step) {
+      size_t best = q.NumAtoms();
+      int best_score = -1;
+      for (size_t a = 0; a < q.NumAtoms(); ++a) {
+        if (used[a]) continue;
+        int score = 0;
+        for (VarId v : q.atom(a).vars) score += bound[v] ? 1 : 0;
+        if (score > best_score) {
+          best_score = score;
+          best = a;
+        }
+      }
+      used[best] = true;
+      for (VarId v : q.atom(best).vars) bound[v] = true;
+      order_.push_back(best);
+    }
+  }
+
+  template <typename Visitor>
+  bool Run(Visitor&& visit) {
+    return Recurse(0, visit);
+  }
+
+ private:
+  template <typename Visitor>
+  bool Recurse(size_t depth, Visitor&& visit) {
+    if (depth == order_.size()) return visit(assignment_);
+    const Atom& atom = q_.atom(order_[depth]);
+    for (FactId fid : db_.FactsOf(atom.relation)) {
+      if (present_ != nullptr && !(*present_)[fid]) continue;
+      const Fact& f = db_.fact(fid);
+      // Try to extend the assignment with this fact; record which variables
+      // this frame binds so they can be unbound on backtrack.
+      bool consistent = true;
+      std::vector<VarId> newly_bound;
+      for (size_t i = 0; i < atom.vars.size(); ++i) {
+        VarId v = atom.vars[i];
+        int64_t val = static_cast<int64_t>(f.args[i]);
+        if (assignment_[v] == kNoValue) {
+          assignment_[v] = val;
+          newly_bound.push_back(v);
+        } else if (assignment_[v] != val) {
+          consistent = false;
+          break;
+        }
+      }
+      if (consistent && Recurse(depth + 1, visit)) return true;
+      for (VarId v : newly_bound) assignment_[v] = kNoValue;
+    }
+    return false;
+  }
+
+  const Database& db_;
+  const ConjunctiveQuery& q_;
+  const std::vector<bool>* present_;
+  Assignment assignment_;
+  std::vector<size_t> order_;
+};
+
+Status ValidateQueryAgainstSchema(const Database& db,
+                                  const ConjunctiveQuery& q) {
+  for (const Atom& a : q.atoms()) {
+    if (a.relation >= db.schema().NumRelations()) {
+      return Status::InvalidArgument(
+          "query mentions a relation outside the database schema");
+    }
+    if (a.vars.size() != db.schema().Arity(a.relation)) {
+      return Status::InvalidArgument("query atom arity mismatch for relation " +
+                                     db.schema().Name(a.relation));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<bool> Satisfies(const Database& db, const ConjunctiveQuery& q) {
+  PQE_RETURN_IF_ERROR(ValidateQueryAgainstSchema(db, q));
+  JoinSearch search(db, q, nullptr);
+  return search.Run([](const Assignment&) { return true; });
+}
+
+Result<bool> SatisfiesSubinstance(const Database& db,
+                                  const ConjunctiveQuery& q,
+                                  const std::vector<bool>& present) {
+  PQE_RETURN_IF_ERROR(ValidateQueryAgainstSchema(db, q));
+  if (present.size() != db.NumFacts()) {
+    return Status::InvalidArgument("present bitvector size != |D|");
+  }
+  JoinSearch search(db, q, &present);
+  return search.Run([](const Assignment&) { return true; });
+}
+
+Result<WitnessResult> FindWitness(const Database& db,
+                                  const ConjunctiveQuery& q) {
+  PQE_RETURN_IF_ERROR(ValidateQueryAgainstSchema(db, q));
+  WitnessResult out;
+  JoinSearch search(db, q, nullptr);
+  search.Run([&](const Assignment& a) {
+    out.found = true;
+    out.assignment = a;
+    return true;
+  });
+  return out;
+}
+
+Result<std::vector<Assignment>> AllWitnesses(const Database& db,
+                                             const ConjunctiveQuery& q) {
+  PQE_RETURN_IF_ERROR(ValidateQueryAgainstSchema(db, q));
+  std::vector<Assignment> out;
+  JoinSearch search(db, q, nullptr);
+  search.Run([&](const Assignment& a) {
+    out.push_back(a);
+    return false;
+  });
+  // The search can revisit the same total assignment via different atom
+  // orders only when an atom repeats facts; deduplicate for a clean API.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+Result<BigUint> UniformReliabilityByEnumeration(const Database& db,
+                                                const ConjunctiveQuery& q,
+                                                size_t max_facts) {
+  PQE_RETURN_IF_ERROR(ValidateQueryAgainstSchema(db, q));
+  const size_t n = db.NumFacts();
+  if (n > max_facts) {
+    return Status::ResourceExhausted(
+        "enumeration oracle limited to " + std::to_string(max_facts) +
+        " facts, database has " + std::to_string(n));
+  }
+  BigUint count;
+  std::vector<bool> present(n, false);
+  const uint64_t worlds = 1ULL << n;
+  for (uint64_t mask = 0; mask < worlds; ++mask) {
+    for (size_t i = 0; i < n; ++i) present[i] = (mask >> i) & 1;
+    JoinSearch search(db, q, &present);
+    if (search.Run([](const Assignment&) { return true; })) {
+      count = count.Add(BigUint(1));
+    }
+  }
+  return count;
+}
+
+Result<BigRational> ExactProbabilityByEnumeration(
+    const ProbabilisticDatabase& pdb, const ConjunctiveQuery& q,
+    size_t max_facts) {
+  const Database& db = pdb.database();
+  PQE_RETURN_IF_ERROR(ValidateQueryAgainstSchema(db, q));
+  const size_t n = db.NumFacts();
+  if (n > max_facts) {
+    return Status::ResourceExhausted(
+        "enumeration oracle limited to " + std::to_string(max_facts) +
+        " facts, database has " + std::to_string(n));
+  }
+  // All worlds share the common denominator d = Π d_i (Section 5.2), so the
+  // sum is accumulated over numerators only: Pr_H(Q) = (Σ_world Π w_i or
+  // (d_i − w_i)) / d.
+  BigUint numerator_sum;
+  std::vector<bool> present(n, false);
+  const uint64_t worlds = 1ULL << n;
+  for (uint64_t mask = 0; mask < worlds; ++mask) {
+    for (size_t i = 0; i < n; ++i) present[i] = (mask >> i) & 1;
+    JoinSearch search(db, q, &present);
+    if (search.Run([](const Assignment&) { return true; })) {
+      BigUint world_num(1);
+      for (size_t i = 0; i < n; ++i) {
+        const Probability p = pdb.probability(static_cast<FactId>(i));
+        world_num = world_num.MulU64(present[i] ? p.num : p.den - p.num);
+      }
+      numerator_sum = numerator_sum.Add(world_num);
+    }
+  }
+  return BigRational(std::move(numerator_sum), pdb.CommonDenominator());
+}
+
+}  // namespace pqe

@@ -1,0 +1,60 @@
+#ifndef PQE_EVAL_EVAL_H_
+#define PQE_EVAL_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cq/query.h"
+#include "pdb/database.h"
+#include "pdb/probabilistic_database.h"
+#include "util/bigint.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// A homomorphism from query variables to database constants; index by VarId,
+/// kNoValue for unassigned.
+using Assignment = std::vector<int64_t>;
+inline constexpr int64_t kNoValue = -1;
+
+/// Checks D ⊨ Q under the usual CQ semantics (existence of a homomorphism).
+/// Fails if the query mentions a relation id outside the database schema or
+/// with mismatched arity.
+Result<bool> Satisfies(const Database& db, const ConjunctiveQuery& q);
+
+/// Checks D' ⊨ Q for the subinstance D' ⊆ D given by `present` (bitvector
+/// indexed by FactId, size |D|).
+Result<bool> SatisfiesSubinstance(const Database& db,
+                                  const ConjunctiveQuery& q,
+                                  const std::vector<bool>& present);
+
+/// Returns one satisfying assignment (witness) if any, as values indexed by
+/// VarId; empty optional-style: `found` false means unsatisfied.
+struct WitnessResult {
+  bool found = false;
+  Assignment assignment;
+};
+Result<WitnessResult> FindWitness(const Database& db,
+                                  const ConjunctiveQuery& q);
+
+/// Enumerates all witnesses (distinct homomorphisms) of Q on D. Intended for
+/// tests/small inputs; the count can be |D|^|Q| in the worst case.
+Result<std::vector<Assignment>> AllWitnesses(const Database& db,
+                                             const ConjunctiveQuery& q);
+
+/// Exact uniform reliability UR(Q, D) = #{D' ⊆ D : D' ⊨ Q} by enumerating
+/// all 2^|D| subinstances (Section 2). Guarded: fails with ResourceExhausted
+/// if |D| > max_facts (default 25).
+Result<BigUint> UniformReliabilityByEnumeration(const Database& db,
+                                                const ConjunctiveQuery& q,
+                                                size_t max_facts = 25);
+
+/// Exact Pr_H(Q) = Σ_{D' ⊨ Q} Pr_H(D') by enumerating possible worlds.
+/// Same guard as above.
+Result<BigRational> ExactProbabilityByEnumeration(
+    const ProbabilisticDatabase& pdb, const ConjunctiveQuery& q,
+    size_t max_facts = 25);
+
+}  // namespace pqe
+
+#endif  // PQE_EVAL_EVAL_H_

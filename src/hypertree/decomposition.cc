@@ -1,0 +1,656 @@
+#include "hypertree/decomposition.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace pqe {
+
+namespace {
+
+// Sorted variable set of one atom.
+std::vector<VarId> AtomVars(const ConjunctiveQuery& q, uint32_t atom) {
+  std::vector<VarId> vars(q.atom(atom).vars);
+  std::sort(vars.begin(), vars.end());
+  vars.erase(std::unique(vars.begin(), vars.end()), vars.end());
+  return vars;
+}
+
+// Sorted union of the variable sets of `atoms`.
+std::vector<VarId> VarsOfAtoms(const ConjunctiveQuery& q,
+                               const std::vector<uint32_t>& atoms) {
+  std::set<VarId> vars;
+  for (uint32_t a : atoms) {
+    for (VarId v : q.atom(a).vars) vars.insert(v);
+  }
+  return std::vector<VarId>(vars.begin(), vars.end());
+}
+
+bool IsSubset(const std::vector<VarId>& a, const std::vector<VarId>& b) {
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+std::vector<VarId> Intersect(const std::vector<VarId>& a,
+                             const std::vector<VarId>& b) {
+  std::vector<VarId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<VarId> Union(const std::vector<VarId>& a,
+                         const std::vector<VarId>& b) {
+  std::vector<VarId> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+uint32_t HypertreeDecomposition::AddNode(std::vector<VarId> chi,
+                                         std::vector<uint32_t> xi,
+                                         int32_t parent) {
+  std::sort(chi.begin(), chi.end());
+  chi.erase(std::unique(chi.begin(), chi.end()), chi.end());
+  std::sort(xi.begin(), xi.end());
+  xi.erase(std::unique(xi.begin(), xi.end()), xi.end());
+  Node node;
+  node.chi = std::move(chi);
+  node.xi = std::move(xi);
+  node.parent = parent;
+  uint32_t id = static_cast<uint32_t>(nodes_.size());
+  if (parent < 0) {
+    root_ = id;
+    node.depth = 0;
+  } else {
+    PQE_CHECK(static_cast<size_t>(parent) < nodes_.size());
+    nodes_[parent].children.push_back(id);
+    node.depth = nodes_[parent].depth + 1;
+  }
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+void HypertreeDecomposition::RecomputeDepths() {
+  if (nodes_.empty()) return;
+  std::vector<uint32_t> stack = {root_};
+  nodes_[root_].depth = 0;
+  while (!stack.empty()) {
+    uint32_t p = stack.back();
+    stack.pop_back();
+    for (uint32_t c : nodes_[p].children) {
+      nodes_[c].depth = nodes_[p].depth + 1;
+      stack.push_back(c);
+    }
+  }
+}
+
+void HypertreeDecomposition::ReRoot(uint32_t new_root) {
+  PQE_CHECK(new_root < nodes_.size());
+  if (new_root == root_) return;
+  // Reverse parent links along the path new_root -> old root.
+  std::vector<uint32_t> path;
+  int32_t cur = static_cast<int32_t>(new_root);
+  while (cur >= 0) {
+    path.push_back(static_cast<uint32_t>(cur));
+    cur = nodes_[cur].parent;
+  }
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    uint32_t child = path[i];     // becomes the parent
+    uint32_t parent = path[i + 1];  // becomes the child
+    // Remove `child` from parent's child list and link the other way.
+    auto& siblings = nodes_[parent].children;
+    siblings.erase(std::find(siblings.begin(), siblings.end(), child));
+    nodes_[child].children.push_back(parent);
+    nodes_[parent].parent = static_cast<int32_t>(child);
+  }
+  nodes_[new_root].parent = -1;
+  root_ = new_root;
+  RecomputeDepths();
+}
+
+void HypertreeDecomposition::Binarize() {
+  // Iterate with an explicit worklist; fresh copies may themselves need
+  // further splitting (they take all surplus children).
+  std::vector<uint32_t> work;
+  for (uint32_t p = 0; p < nodes_.size(); ++p) work.push_back(p);
+  for (size_t i = 0; i < work.size(); ++i) {
+    uint32_t p = work[i];
+    if (nodes_[p].children.size() <= 2) continue;
+    // Keep the first child; move the rest under a fresh copy of p.
+    std::vector<uint32_t> surplus(nodes_[p].children.begin() + 1,
+                                  nodes_[p].children.end());
+    nodes_[p].children.resize(1);
+    uint32_t copy = AddNode(nodes_[p].chi, nodes_[p].xi,
+                            static_cast<int32_t>(p));
+    for (uint32_t c : surplus) {
+      nodes_[copy].children.push_back(c);
+      nodes_[c].parent = static_cast<int32_t>(copy);
+    }
+    work.push_back(copy);
+  }
+  RecomputeDepths();
+}
+
+size_t HypertreeDecomposition::Width() const {
+  size_t width = 0;
+  for (const Node& n : nodes_) width = std::max(width, n.xi.size());
+  return width;
+}
+
+Status HypertreeDecomposition::Validate(const ConjunctiveQuery& query,
+                                        bool generalized) const {
+  if (nodes_.empty()) return Status::InvalidArgument("empty decomposition");
+  // Structural sanity: exactly one root, parent/child links consistent.
+  size_t roots = 0;
+  for (size_t p = 0; p < nodes_.size(); ++p) {
+    if (nodes_[p].parent < 0) {
+      ++roots;
+      if (p != root_) return Status::Internal("root link mismatch");
+    }
+    for (uint32_t c : nodes_[p].children) {
+      if (c >= nodes_.size() ||
+          nodes_[c].parent != static_cast<int32_t>(p)) {
+        return Status::Internal("child/parent link mismatch");
+      }
+    }
+    for (uint32_t a : nodes_[p].xi) {
+      if (a >= query.NumAtoms()) {
+        return Status::InvalidArgument("ξ refers to a non-existent atom");
+      }
+    }
+    for (VarId v : nodes_[p].chi) {
+      if (v >= query.NumVars()) {
+        return Status::InvalidArgument("χ refers to a non-existent variable");
+      }
+    }
+  }
+  if (roots != 1) return Status::Internal("decomposition must have one root");
+
+  // Condition (1): every atom's variables inside some χ(p).
+  for (uint32_t a = 0; a < query.NumAtoms(); ++a) {
+    std::vector<VarId> av = AtomVars(query, a);
+    bool found = false;
+    for (const Node& n : nodes_) {
+      if (IsSubset(av, n.chi)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument(
+          "condition 1 violated: atom " + std::to_string(a) +
+          " not contained in any χ(p)");
+    }
+  }
+
+  // Condition (2): nodes containing each variable induce a connected subtree.
+  for (VarId v = 0; v < query.NumVars(); ++v) {
+    std::vector<uint32_t> holders;
+    for (uint32_t p = 0; p < nodes_.size(); ++p) {
+      if (std::binary_search(nodes_[p].chi.begin(), nodes_[p].chi.end(), v)) {
+        holders.push_back(p);
+      }
+    }
+    if (holders.size() <= 1) continue;
+    // The subtree is connected iff exactly one holder has a non-holder
+    // parent (the subtree's top) and every other holder's parent holds v.
+    size_t tops = 0;
+    for (uint32_t p : holders) {
+      int32_t par = nodes_[p].parent;
+      bool parent_holds =
+          par >= 0 && std::binary_search(nodes_[par].chi.begin(),
+                                         nodes_[par].chi.end(), v);
+      if (!parent_holds) ++tops;
+    }
+    if (tops != 1) {
+      return Status::InvalidArgument(
+          "condition 2 violated: variable " + query.VarName(v) +
+          " does not induce a connected subtree");
+    }
+  }
+
+  // Condition (3): χ(p) ⊆ vars(ξ(p)).
+  for (uint32_t p = 0; p < nodes_.size(); ++p) {
+    std::vector<VarId> cover_vars = VarsOfAtoms(query, nodes_[p].xi);
+    if (!IsSubset(nodes_[p].chi, cover_vars)) {
+      return Status::InvalidArgument(
+          "condition 3 violated at node " + std::to_string(p));
+    }
+  }
+
+  // Condition (4): vars(ξ(p)) ∩ χ(T_p) ⊆ χ(p).
+  if (!generalized) {
+    // χ(T_p) via post-order accumulation.
+    std::vector<std::vector<VarId>> subtree_chi(nodes_.size());
+    std::vector<uint32_t> order = DepthOrderedVertices();
+    for (size_t i = order.size(); i-- > 0;) {
+      uint32_t p = order[i];
+      std::vector<VarId> acc = nodes_[p].chi;
+      for (uint32_t c : nodes_[p].children) acc = Union(acc, subtree_chi[c]);
+      subtree_chi[p] = std::move(acc);
+    }
+    for (uint32_t p = 0; p < nodes_.size(); ++p) {
+      std::vector<VarId> cover_vars = VarsOfAtoms(query, nodes_[p].xi);
+      std::vector<VarId> inter = Intersect(cover_vars, subtree_chi[p]);
+      if (!IsSubset(inter, nodes_[p].chi)) {
+        return Status::InvalidArgument(
+            "condition 4 (special condition) violated at node " +
+            std::to_string(p));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool HypertreeDecomposition::IsCoveringVertex(const ConjunctiveQuery& query,
+                                              uint32_t p,
+                                              uint32_t atom) const {
+  const Node& n = nodes_.at(p);
+  if (!std::binary_search(n.xi.begin(), n.xi.end(), atom)) return false;
+  return IsSubset(AtomVars(query, atom), n.chi);
+}
+
+bool HypertreeDecomposition::IsComplete(const ConjunctiveQuery& query) const {
+  for (uint32_t a = 0; a < query.NumAtoms(); ++a) {
+    bool covered = false;
+    for (uint32_t p = 0; p < nodes_.size(); ++p) {
+      if (IsCoveringVertex(query, p, a)) {
+        covered = true;
+        break;
+      }
+    }
+    if (!covered) return false;
+  }
+  return true;
+}
+
+Status HypertreeDecomposition::MakeComplete(const ConjunctiveQuery& query) {
+  for (uint32_t a = 0; a < query.NumAtoms(); ++a) {
+    bool covered = false;
+    for (uint32_t p = 0; p < nodes_.size() && !covered; ++p) {
+      covered = IsCoveringVertex(query, p, a);
+    }
+    if (covered) continue;
+    std::vector<VarId> av = AtomVars(query, a);
+    // Condition (1) guarantees a host node with vars(A) ⊆ χ(p).
+    int32_t host = -1;
+    for (uint32_t p = 0; p < nodes_.size(); ++p) {
+      if (IsSubset(av, nodes_[p].chi)) {
+        host = static_cast<int32_t>(p);
+        break;
+      }
+    }
+    if (host < 0) {
+      return Status::InvalidArgument(
+          "cannot complete: no node covers the variables of atom " +
+          std::to_string(a) + " (condition 1 violated)");
+    }
+    AddNode(std::move(av), {a}, host);
+  }
+  RecomputeDepths();
+  return Status::OK();
+}
+
+std::vector<uint32_t> HypertreeDecomposition::DepthOrderedVertices() const {
+  std::vector<uint32_t> order(nodes_.size());
+  for (uint32_t i = 0; i < nodes_.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    return nodes_[a].depth < nodes_[b].depth;
+  });
+  return order;
+}
+
+std::vector<int32_t> HypertreeDecomposition::MinimalCoveringVertices(
+    const ConjunctiveQuery& query) const {
+  std::vector<int32_t> out(query.NumAtoms(), -1);
+  std::vector<uint32_t> order = DepthOrderedVertices();
+  for (uint32_t a = 0; a < query.NumAtoms(); ++a) {
+    for (uint32_t p : order) {
+      if (IsCoveringVertex(query, p, a)) {
+        out[a] = static_cast<int32_t>(p);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string HypertreeDecomposition::ToString(const ConjunctiveQuery& query,
+                                             const Schema& schema) const {
+  std::ostringstream out;
+  for (uint32_t p = 0; p < nodes_.size(); ++p) {
+    const Node& n = nodes_[p];
+    out << "node " << p << " (parent " << n.parent << ", depth " << n.depth
+        << "): chi={";
+    for (size_t i = 0; i < n.chi.size(); ++i) {
+      if (i > 0) out << ",";
+      out << query.VarName(n.chi[i]);
+    }
+    out << "} xi={";
+    for (size_t i = 0; i < n.xi.size(); ++i) {
+      if (i > 0) out << ",";
+      out << schema.Name(query.atom(n.xi[i]).relation);
+    }
+    out << "}\n";
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// GYO join-tree construction for acyclic queries.
+// ---------------------------------------------------------------------------
+
+Result<HypertreeDecomposition> DecomposeAcyclic(
+    const ConjunctiveQuery& query) {
+  const size_t n = query.NumAtoms();
+  std::vector<std::vector<VarId>> edge_vars(n);
+  for (uint32_t a = 0; a < n; ++a) edge_vars[a] = AtomVars(query, a);
+
+  std::vector<bool> removed(n, false);
+  // witness[e]: the surviving edge e was attached to when removed as an ear.
+  std::vector<int32_t> witness(n, -1);
+  std::vector<uint32_t> removal_order;
+  size_t remaining = n;
+
+  while (remaining > 1) {
+    bool progress = false;
+    for (uint32_t e = 0; e < n && !progress; ++e) {
+      if (removed[e]) continue;
+      // Vertices of e shared with other remaining edges.
+      std::set<VarId> shared;
+      for (VarId v : edge_vars[e]) {
+        for (uint32_t f = 0; f < n; ++f) {
+          if (f == e || removed[f]) continue;
+          if (std::binary_search(edge_vars[f].begin(), edge_vars[f].end(),
+                                 v)) {
+            shared.insert(v);
+            break;
+          }
+        }
+      }
+      std::vector<VarId> shared_vec(shared.begin(), shared.end());
+      // e is an ear iff some other remaining edge contains all shared vars.
+      for (uint32_t f = 0; f < n; ++f) {
+        if (f == e || removed[f]) continue;
+        if (IsSubset(shared_vec, edge_vars[f])) {
+          removed[e] = true;
+          witness[e] = static_cast<int32_t>(f);
+          removal_order.push_back(e);
+          --remaining;
+          progress = true;
+          break;
+        }
+      }
+    }
+    if (!progress) {
+      return Status::NotSupported(
+          "query hypergraph is cyclic: no width-1 hypertree decomposition");
+    }
+  }
+
+  // The last remaining edge is the join-tree root; rebuild the tree top-down.
+  uint32_t root_atom = 0;
+  for (uint32_t e = 0; e < n; ++e) {
+    if (!removed[e]) root_atom = e;
+  }
+  HypertreeDecomposition hd;
+  std::vector<int32_t> node_of_atom(n, -1);
+  node_of_atom[root_atom] =
+      static_cast<int32_t>(hd.AddNode(edge_vars[root_atom], {root_atom}, -1));
+  // Ears were removed leaves-first; adding in reverse removal order
+  // guarantees each witness already has a node.
+  for (size_t i = removal_order.size(); i-- > 0;) {
+    uint32_t e = removal_order[i];
+    int32_t w = witness[e];
+    PQE_CHECK(w >= 0 && node_of_atom[w] >= 0);
+    node_of_atom[e] = static_cast<int32_t>(
+        hd.AddNode(edge_vars[e], {e}, node_of_atom[w]));
+  }
+  hd.RecomputeDepths();
+  return hd;
+}
+
+// ---------------------------------------------------------------------------
+// Width-k decomposer: recursive separator search (det-k-decomp style).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// One subproblem: decompose `comp` (atom indices, sorted) whose interface to
+// the already-built part is `conn` (variables, sorted).
+struct Subproblem {
+  std::vector<uint32_t> comp;
+  std::vector<VarId> conn;
+  bool operator<(const Subproblem& o) const {
+    if (comp != o.comp) return comp < o.comp;
+    return conn < o.conn;
+  }
+};
+
+class WidthKDecomposer {
+ public:
+  WidthKDecomposer(const ConjunctiveQuery& query, size_t k)
+      : query_(query), k_(k) {
+    edge_vars_.resize(query.NumAtoms());
+    for (uint32_t a = 0; a < query.NumAtoms(); ++a) {
+      edge_vars_[a] = AtomVars(query, a);
+    }
+  }
+
+  Result<HypertreeDecomposition> Run() {
+    std::vector<uint32_t> all(query_.NumAtoms());
+    for (uint32_t a = 0; a < all.size(); ++a) all[a] = a;
+    HypertreeDecomposition hd;
+    if (!DecomposeComponent({all, {}}, -1, &hd)) {
+      if (budget_exceeded_) {
+        return Status::ResourceExhausted(
+            "width-k decomposition search budget exceeded");
+      }
+      return Status::NotSupported(
+          "no (generalized) hypertree decomposition of width <= " +
+          std::to_string(k_));
+    }
+    hd.RecomputeDepths();
+    return hd;
+  }
+
+ private:
+  // Tries to decompose `sub`, attaching nodes under `parent` in `hd`.
+  // Returns false (and records the failure) if impossible.
+  bool DecomposeComponent(const Subproblem& sub, int32_t parent,
+                          HypertreeDecomposition* hd) {
+    if (failed_.count(sub) > 0) return false;
+    // A subproblem already on the recursion stack cannot help solve itself.
+    if (!in_progress_.insert(sub).second) return false;
+    if (++search_nodes_ > kSearchBudget) {
+      budget_exceeded_ = true;
+      in_progress_.erase(sub);
+      return false;
+    }
+
+    const std::vector<VarId> comp_vars = VarsOfAtoms(query_, sub.comp);
+    const std::vector<VarId> relevant = Union(comp_vars, sub.conn);
+
+    // Candidate cover edges: any atom touching the relevant variables.
+    std::vector<uint32_t> candidates;
+    for (uint32_t a = 0; a < query_.NumAtoms(); ++a) {
+      if (!Intersect(edge_vars_[a], relevant).empty()) candidates.push_back(a);
+    }
+
+    // Enumerate covers of size 1..k (lexicographic subsets of candidates).
+    std::vector<uint32_t> cover;
+    if (TryCovers(sub, comp_vars, relevant, candidates, 0, &cover, parent,
+                  hd)) {
+      in_progress_.erase(sub);
+      return true;
+    }
+    in_progress_.erase(sub);
+    failed_.insert(sub);
+    return false;
+  }
+
+  bool TryCovers(const Subproblem& sub, const std::vector<VarId>& comp_vars,
+                 const std::vector<VarId>& relevant,
+                 const std::vector<uint32_t>& candidates, size_t start,
+                 std::vector<uint32_t>* cover, int32_t parent,
+                 HypertreeDecomposition* hd) {
+    if (!cover->empty() && TryOneCover(sub, comp_vars, relevant, *cover,
+                                       parent, hd)) {
+      return true;
+    }
+    if (cover->size() == k_ || budget_exceeded_) return false;
+    for (size_t i = start; i < candidates.size(); ++i) {
+      cover->push_back(candidates[i]);
+      if (TryCovers(sub, comp_vars, relevant, candidates, i + 1, cover,
+                    parent, hd)) {
+        cover->pop_back();
+        return true;
+      }
+      cover->pop_back();
+      if (budget_exceeded_) return false;
+    }
+    return false;
+  }
+
+  bool TryOneCover(const Subproblem& sub, const std::vector<VarId>& comp_vars,
+                   const std::vector<VarId>& relevant,
+                   const std::vector<uint32_t>& cover, int32_t parent,
+                   HypertreeDecomposition* hd) {
+    (void)comp_vars;
+    std::vector<VarId> cover_vars = VarsOfAtoms(query_, cover);
+    // The interface must be covered, otherwise condition (2) would break.
+    if (!IsSubset(sub.conn, cover_vars)) return false;
+    std::vector<VarId> chi = Intersect(cover_vars, relevant);
+
+    // Split the uncovered part of the component by connectivity via
+    // variables outside χ.
+    std::vector<uint32_t> open;
+    for (uint32_t e : sub.comp) {
+      if (!IsSubset(edge_vars_[e], chi)) open.push_back(e);
+    }
+
+    // Union-find over `open` edges.
+    std::map<uint32_t, uint32_t> uf;
+    for (uint32_t e : open) uf[e] = e;
+    std::function<uint32_t(uint32_t)> find = [&](uint32_t x) {
+      while (uf[x] != x) x = uf[x] = uf[uf[x]];
+      return x;
+    };
+    for (size_t i = 0; i < open.size(); ++i) {
+      for (size_t j = i + 1; j < open.size(); ++j) {
+        std::vector<VarId> shared =
+            Intersect(edge_vars_[open[i]], edge_vars_[open[j]]);
+        bool linked = false;
+        for (VarId v : shared) {
+          if (!std::binary_search(chi.begin(), chi.end(), v)) {
+            linked = true;
+            break;
+          }
+        }
+        if (linked) uf[find(open[i])] = find(open[j]);
+      }
+    }
+    std::map<uint32_t, std::vector<uint32_t>> comps;
+    for (uint32_t e : open) comps[find(e)].push_back(e);
+
+    // Progress requirement: either some component edge became covered, or
+    // the component split. (The in-progress guard additionally prevents
+    // cycling through identical subproblems with alternating interfaces.)
+    if (open.size() == sub.comp.size() && comps.size() <= 1) return false;
+
+    // Tentatively add this node, then recurse into each child component;
+    // roll back on failure.
+    const size_t checkpoint = hd->NumNodes();
+    uint32_t node = hd->AddNode(chi, cover, parent);
+    bool ok = true;
+    for (auto& [rep, comp_edges] : comps) {
+      (void)rep;
+      std::sort(comp_edges.begin(), comp_edges.end());
+      Subproblem child;
+      child.comp = comp_edges;
+      child.conn = Intersect(VarsOfAtoms(query_, comp_edges), chi);
+      if (!DecomposeComponent(child, static_cast<int32_t>(node), hd)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) {
+      RollbackTo(hd, checkpoint, parent);
+      return false;
+    }
+    return true;
+  }
+
+  // Removes nodes added after `checkpoint` (they form a suffix) and detaches
+  // them from `parent`'s child list.
+  void RollbackTo(HypertreeDecomposition* hd, size_t checkpoint,
+                  int32_t parent) {
+    // HypertreeDecomposition has no removal API by design; rebuild instead.
+    HypertreeDecomposition rebuilt;
+    std::vector<int32_t> remap(hd->NumNodes(), -1);
+    for (uint32_t p = 0; p < checkpoint; ++p) {
+      const auto& n = hd->node(p);
+      int32_t new_parent = n.parent < 0 ? -1 : remap[n.parent];
+      remap[p] = static_cast<int32_t>(
+          rebuilt.AddNode(n.chi, n.xi, new_parent));
+    }
+    (void)parent;
+    *hd = std::move(rebuilt);
+  }
+
+  static constexpr size_t kSearchBudget = 2'000'000;
+
+  const ConjunctiveQuery& query_;
+  const size_t k_;
+  std::vector<std::vector<VarId>> edge_vars_;
+  std::set<Subproblem> failed_;
+  std::set<Subproblem> in_progress_;
+  size_t search_nodes_ = 0;
+  bool budget_exceeded_ = false;
+};
+
+}  // namespace
+
+Result<HypertreeDecomposition> Decompose(const ConjunctiveQuery& query,
+                                         size_t max_width) {
+  if (max_width == 0) {
+    return Status::InvalidArgument("max_width must be >= 1");
+  }
+  // Width 1 first: GYO is exact and fast for acyclic queries.
+  auto acyclic = DecomposeAcyclic(query);
+  if (acyclic.ok()) {
+    HypertreeDecomposition hd = acyclic.MoveValue();
+    PQE_RETURN_IF_ERROR(hd.MakeComplete(query));
+    return hd;
+  }
+  for (size_t k = 2; k <= max_width; ++k) {
+    WidthKDecomposer decomposer(query, k);
+    auto result = decomposer.Run();
+    if (result.ok()) {
+      HypertreeDecomposition hd = result.MoveValue();
+      PQE_RETURN_IF_ERROR(hd.MakeComplete(query));
+      return hd;
+    }
+    if (result.status().code() == StatusCode::kResourceExhausted) {
+      return result.status();
+    }
+  }
+  return Status::NotSupported(
+      "no (generalized) hypertree decomposition of width <= " +
+      std::to_string(max_width));
+}
+
+Result<size_t> HypertreeWidthUpTo(const ConjunctiveQuery& query,
+                                  size_t max_width) {
+  PQE_ASSIGN_OR_RETURN(HypertreeDecomposition hd,
+                       Decompose(query, max_width));
+  return hd.Width();
+}
+
+}  // namespace pqe

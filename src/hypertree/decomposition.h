@@ -1,0 +1,112 @@
+#ifndef PQE_HYPERTREE_DECOMPOSITION_H_
+#define PQE_HYPERTREE_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cq/query.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// A hypertree ⟨T, χ, ξ⟩ for a conjunctive query (Section 2): a rooted tree
+/// whose nodes carry a variable label χ(p) ⊆ vars(Q) and an atom label
+/// ξ(p) ⊆ atoms(Q). Atom labels are indices into query.atoms().
+class HypertreeDecomposition {
+ public:
+  struct Node {
+    std::vector<VarId> chi;        // χ(p), sorted
+    std::vector<uint32_t> xi;      // ξ(p), sorted atom indices
+    std::vector<uint32_t> children;
+    int32_t parent = -1;           // -1 for the root
+    uint32_t depth = 0;            // distance from the root
+  };
+
+  HypertreeDecomposition() = default;
+
+  size_t NumNodes() const { return nodes_.size(); }
+  const Node& node(uint32_t p) const { return nodes_.at(p); }
+  uint32_t root() const { return root_; }
+
+  /// Width of this decomposition: max_p |ξ(p)|.
+  size_t Width() const;
+
+  /// Checks the four conditions of Section 2 against `query`:
+  ///   (1) every atom's variables are contained in some χ(p);
+  ///   (2) each variable's nodes induce a connected subtree;
+  ///   (3) χ(p) ⊆ vars(ξ(p));
+  ///   (4) vars(ξ(p)) ∩ χ(T_p) ⊆ χ(p)  (the "special condition").
+  /// If `generalized` is true, condition (4) is skipped (generalized HDs;
+  /// the paper notes its results apply equally to bounded ghtw).
+  Status Validate(const ConjunctiveQuery& query, bool generalized = false) const;
+
+  /// True iff node p is a covering vertex for atom a: a ∈ ξ(p) and
+  /// vars(a) ⊆ χ(p).
+  bool IsCoveringVertex(const ConjunctiveQuery& query, uint32_t p,
+                        uint32_t atom) const;
+
+  /// True iff every atom has a covering vertex (a *complete* decomposition).
+  bool IsComplete(const ConjunctiveQuery& query) const;
+
+  /// The paper's completeness transform: for each atom A without a covering
+  /// vertex, attach a fresh child p_A with χ(p_A) = vars(A), ξ(p_A) = {A}
+  /// under a node whose χ contains vars(A). Recomputes depths.
+  Status MakeComplete(const ConjunctiveQuery& query);
+
+  /// Node ids ordered by non-decreasing depth (a valid ≺_vertices order for
+  /// Section 4.2); ties broken by node id.
+  std::vector<uint32_t> DepthOrderedVertices() const;
+
+  /// For each atom, the ≺_vertices-minimal covering vertex, or -1 if none.
+  std::vector<int32_t> MinimalCoveringVertices(
+      const ConjunctiveQuery& query) const;
+
+  /// Debug rendering.
+  std::string ToString(const ConjunctiveQuery& query,
+                       const Schema& schema) const;
+
+  /// Construction API used by the decomposers. Returns the new node's id;
+  /// parent == -1 designates the root (allowed exactly once).
+  uint32_t AddNode(std::vector<VarId> chi, std::vector<uint32_t> xi,
+                   int32_t parent);
+
+  /// Recomputes depths from the parent links (call after manual edits).
+  void RecomputeDepths();
+
+  /// Re-roots the tree at `new_root` by reversing the parent links on the
+  /// root path. All four HD conditions except the rooted condition (4) are
+  /// preserved (they are undirected); used by the automaton construction,
+  /// which needs the root to be a covering vertex of some atom.
+  void ReRoot(uint32_t new_root);
+
+  /// Rewrites the tree so every node has at most two children, by chaining
+  /// surplus children under fresh copies of their parent (same χ and ξ).
+  /// Keeps all four conditions and completeness; needed so the number of
+  /// NFTA transitions built from the decomposition stays polynomial.
+  void Binarize();
+
+ private:
+  std::vector<Node> nodes_;
+  uint32_t root_ = 0;
+};
+
+/// Computes a width-1 hypertree decomposition (a join tree) for an acyclic
+/// query via GYO ear removal. Fails with NotSupported if the query's
+/// hypergraph is cyclic.
+Result<HypertreeDecomposition> DecomposeAcyclic(const ConjunctiveQuery& query);
+
+/// Computes a complete (generalized) hypertree decomposition of width <= k
+/// by recursive separator search with memoization — polynomial for constant
+/// k. Tries k = 1 (GYO) first. Fails with NotSupported if no decomposition
+/// of width <= k exists.
+Result<HypertreeDecomposition> Decompose(const ConjunctiveQuery& query,
+                                         size_t max_width);
+
+/// Convenience: smallest width <= `max_width` for which Decompose succeeds.
+Result<size_t> HypertreeWidthUpTo(const ConjunctiveQuery& query,
+                                  size_t max_width);
+
+}  // namespace pqe
+
+#endif  // PQE_HYPERTREE_DECOMPOSITION_H_

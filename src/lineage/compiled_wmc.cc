@@ -1,0 +1,189 @@
+#include "lineage/compiled_wmc.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pqe {
+
+namespace {
+
+using Clause = std::vector<FactId>;
+using ClauseSet = std::vector<Clause>;
+
+Status ValidateLineage(const DnfLineage& lineage,
+                       const ProbabilisticDatabase& pdb) {
+  if (lineage.num_facts != pdb.NumFacts()) {
+    return Status::InvalidArgument(
+        "lineage and probabilistic database disagree on |D|");
+  }
+  for (const auto& clause : lineage.clauses) {
+    for (FactId f : clause) {
+      if (f >= pdb.NumFacts()) {
+        return Status::InvalidArgument("lineage mentions unknown fact");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// Removes subsumed clauses: if clause a ⊆ clause b, b is redundant in a
+// positive DNF (absorption). Input clauses must be sorted; output is sorted
+// and deduplicated.
+ClauseSet Absorb(ClauseSet clauses) {
+  std::sort(clauses.begin(), clauses.end(),
+            [](const Clause& a, const Clause& b) {
+              if (a.size() != b.size()) return a.size() < b.size();
+              return a < b;
+            });
+  ClauseSet kept;
+  for (const Clause& c : clauses) {
+    bool subsumed = false;
+    for (const Clause& k : kept) {
+      if (std::includes(c.begin(), c.end(), k.begin(), k.end())) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) kept.push_back(c);
+  }
+  std::sort(kept.begin(), kept.end());
+  kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+  return kept;
+}
+
+class WmcSolver {
+ public:
+  WmcSolver(const ProbabilisticDatabase& pdb, size_t max_cache_entries)
+      : pdb_(pdb), max_cache_entries_(max_cache_entries) {}
+
+  Result<BigRational> Solve(const ClauseSet& clauses) {
+    if (clauses.empty()) return BigRational::Zero();
+    for (const Clause& c : clauses) {
+      if (c.empty()) return BigRational::One();
+    }
+    auto it = cache_.find(clauses);
+    if (it != cache_.end()) {
+      ++stats_.cache_hits;
+      return it->second;
+    }
+    if (cache_.size() > max_cache_entries_) {
+      return Status::ResourceExhausted("WMC cache budget exceeded");
+    }
+
+    // (1) Independent components: clauses connected via shared facts.
+    std::vector<ClauseSet> components = SplitComponents(clauses);
+    BigRational value;
+    if (components.size() > 1) {
+      ++stats_.component_splits;
+      // P(∨ comps) = 1 − Π(1 − P_c); components touch disjoint facts.
+      BigRational none = BigRational::One();
+      for (const ClauseSet& comp : components) {
+        PQE_ASSIGN_OR_RETURN(BigRational pc, Solve(comp));
+        none = none.Mul(BigRational::One().Sub(pc)).Normalized();
+      }
+      value = BigRational::One().Sub(none).Normalized();
+    } else {
+      // (2) Shannon split on the most frequent fact.
+      ++stats_.shannon_splits;
+      const FactId v = MostFrequentFact(clauses);
+      ClauseSet on_true;
+      on_true.reserve(clauses.size());
+      for (const Clause& c : clauses) {
+        Clause reduced;
+        reduced.reserve(c.size());
+        for (FactId f : c) {
+          if (f != v) reduced.push_back(f);
+        }
+        on_true.push_back(std::move(reduced));
+      }
+      on_true = Absorb(std::move(on_true));
+      ClauseSet on_false;
+      for (const Clause& c : clauses) {
+        if (!std::binary_search(c.begin(), c.end(), v)) on_false.push_back(c);
+      }
+      PQE_ASSIGN_OR_RETURN(BigRational pt, Solve(on_true));
+      PQE_ASSIGN_OR_RETURN(BigRational pf, Solve(on_false));
+      const Probability pv = pdb_.probability(v);
+      BigRational p(pv.num, pv.den);
+      BigRational q(pv.den - pv.num, pv.den);
+      value = p.Mul(pt).Add(q.Mul(pf)).Normalized();
+    }
+    cache_.emplace(clauses, value);
+    stats_.cache_entries = cache_.size();
+    return value;
+  }
+
+  const WmcStats& stats() const { return stats_; }
+
+ private:
+  static std::vector<ClauseSet> SplitComponents(const ClauseSet& clauses) {
+    // Union-find over clause indices through shared facts.
+    std::vector<size_t> parent(clauses.size());
+    for (size_t i = 0; i < clauses.size(); ++i) parent[i] = i;
+    std::function<size_t(size_t)> find = [&](size_t x) {
+      while (parent[x] != x) x = parent[x] = parent[parent[x]];
+      return x;
+    };
+    std::unordered_map<FactId, size_t> first_owner;
+    for (size_t i = 0; i < clauses.size(); ++i) {
+      for (FactId f : clauses[i]) {
+        auto [it, inserted] = first_owner.emplace(f, i);
+        if (!inserted) parent[find(i)] = find(it->second);
+      }
+    }
+    std::map<size_t, ClauseSet> by_root;
+    for (size_t i = 0; i < clauses.size(); ++i) {
+      by_root[find(i)].push_back(clauses[i]);
+    }
+    std::vector<ClauseSet> out;
+    out.reserve(by_root.size());
+    for (auto& [root, comp] : by_root) {
+      (void)root;
+      std::sort(comp.begin(), comp.end());
+      out.push_back(std::move(comp));
+    }
+    return out;
+  }
+
+  static FactId MostFrequentFact(const ClauseSet& clauses) {
+    std::unordered_map<FactId, size_t> counts;
+    for (const Clause& c : clauses) {
+      for (FactId f : c) ++counts[f];
+    }
+    FactId best = clauses[0][0];
+    size_t best_count = 0;
+    for (const auto& [f, n] : counts) {
+      if (n > best_count || (n == best_count && f < best)) {
+        best = f;
+        best_count = n;
+      }
+    }
+    return best;
+  }
+
+  const ProbabilisticDatabase& pdb_;
+  const size_t max_cache_entries_;
+  std::map<ClauseSet, BigRational> cache_;
+  WmcStats stats_;
+};
+
+}  // namespace
+
+Result<CompiledWmcResult> ExactDnfProbabilityDecomposed(
+    const DnfLineage& lineage, const ProbabilisticDatabase& pdb,
+    size_t max_cache_entries) {
+  PQE_RETURN_IF_ERROR(ValidateLineage(lineage, pdb));
+  ClauseSet normalized = Absorb(lineage.clauses);
+  WmcSolver solver(pdb, max_cache_entries);
+  CompiledWmcResult out;
+  PQE_ASSIGN_OR_RETURN(out.probability, solver.Solve(normalized));
+  out.stats = solver.stats();
+  return out;
+}
+
+}  // namespace pqe

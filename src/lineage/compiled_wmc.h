@@ -1,0 +1,41 @@
+#ifndef PQE_LINEAGE_COMPILED_WMC_H_
+#define PQE_LINEAGE_COMPILED_WMC_H_
+
+#include <cstddef>
+
+#include "lineage/lineage.h"
+#include "pdb/probabilistic_database.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// Statistics from a decomposition-based exact model count.
+struct WmcStats {
+  size_t shannon_splits = 0;     // variable branchings
+  size_t component_splits = 0;   // independent-component factorizations
+  size_t cache_hits = 0;
+  size_t cache_entries = 0;
+};
+
+/// Exact Pr[lineage] via knowledge-compilation-style counting: DPLL over the
+/// positive DNF with
+///   (1) independent-component decomposition — clause sets sharing no facts
+///       multiply as 1 − Π(1 − P_c),
+///   (2) Shannon expansion on the most-frequent fact otherwise,
+///   (3) clause subsumption/absorption,
+///   (4) caching keyed on the residual clause set.
+/// This is the standard d-DNNF-style upgrade of plain Shannon expansion
+/// (ExactDnfProbability) and handles substantially larger lineages; still
+/// exponential in the worst case (#P-hardness is real). Arithmetic is exact
+/// rational.
+struct CompiledWmcResult {
+  BigRational probability;
+  WmcStats stats;
+};
+Result<CompiledWmcResult> ExactDnfProbabilityDecomposed(
+    const DnfLineage& lineage, const ProbabilisticDatabase& pdb,
+    size_t max_cache_entries = 4'000'000);
+
+}  // namespace pqe
+
+#endif  // PQE_LINEAGE_COMPILED_WMC_H_

@@ -1,0 +1,167 @@
+#include "lineage/karp_luby.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "counting/weighted_pick.h"
+#include "util/check.h"
+#include "util/extfloat.h"
+#include "util/rng.h"
+
+namespace pqe {
+
+namespace {
+
+Status ValidateLineage(const DnfLineage& lineage,
+                       const ProbabilisticDatabase& pdb) {
+  if (lineage.num_facts != pdb.NumFacts()) {
+    return Status::InvalidArgument(
+        "lineage and probabilistic database disagree on |D|");
+  }
+  for (const auto& clause : lineage.clauses) {
+    for (FactId f : clause) {
+      if (f >= pdb.NumFacts()) {
+        return Status::InvalidArgument("lineage mentions unknown fact");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<KarpLubyResult> KarpLubyEstimate(const DnfLineage& lineage,
+                                        const ProbabilisticDatabase& pdb,
+                                        const KarpLubyConfig& config) {
+  PQE_RETURN_IF_ERROR(ValidateLineage(lineage, pdb));
+  if (config.epsilon <= 0.0 || config.epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  KarpLubyResult out;
+  out.clauses = lineage.NumClauses();
+  if (lineage.clauses.empty()) return out;
+
+  // Clause marginals Pr(C_j) = Π_{i ∈ C_j} p_i, in extended range.
+  std::vector<ExtFloat> weights;
+  weights.reserve(lineage.clauses.size());
+  ExtFloat total;
+  for (const auto& clause : lineage.clauses) {
+    ExtFloat w = ExtFloat::FromUint64(1);
+    for (FactId f : clause) {
+      w = w.Scale(pdb.probability(f).ToDouble());
+    }
+    weights.push_back(w);
+    total = total.Add(w);
+  }
+  if (total.IsZero()) return out;
+
+  size_t samples = config.num_samples;
+  if (samples == 0) {
+    const double eps = std::max(config.epsilon, 1e-3);
+    samples = static_cast<size_t>(
+        std::ceil(8.0 * static_cast<double>(lineage.NumClauses()) /
+                  (eps * eps)));
+    samples = std::max(samples, config.min_samples);
+    if (config.max_samples > 0) samples = std::min(samples,
+                                                   config.max_samples);
+  }
+  out.samples = samples;
+
+  Rng rng(config.seed);
+  std::vector<bool> world(pdb.NumFacts(), false);
+  size_t hits = 0;
+  for (size_t s = 0; s < samples; ++s) {
+    const size_t j = PickWeightedIndex(&rng, weights);
+    // Draw a world conditioned on clause j being satisfied.
+    for (FactId f = 0; f < pdb.NumFacts(); ++f) {
+      world[f] = rng.NextBernoulli(pdb.probability(f).ToDouble());
+    }
+    for (FactId f : lineage.clauses[j]) world[f] = true;
+    // Coverage estimator: count iff j is the first satisfied clause.
+    bool canonical = true;
+    for (size_t k = 0; k < j && canonical; ++k) {
+      bool sat = true;
+      for (FactId f : lineage.clauses[k]) sat = sat && world[f];
+      if (sat) canonical = false;
+    }
+    if (canonical) ++hits;
+  }
+  out.probability = total.Scale(static_cast<double>(hits) /
+                                static_cast<double>(samples))
+                        .ToDouble();
+  return out;
+}
+
+Result<KarpLubyResult> KarpLubyPqe(const ConjunctiveQuery& query,
+                                   const ProbabilisticDatabase& pdb,
+                                   const KarpLubyConfig& config,
+                                   size_t max_clauses) {
+  PQE_ASSIGN_OR_RETURN(DnfLineage lineage,
+                       BuildLineage(query, pdb.database(), max_clauses));
+  return KarpLubyEstimate(lineage, pdb, config);
+}
+
+Result<BigRational> ExactDnfProbability(const DnfLineage& lineage,
+                                        const ProbabilisticDatabase& pdb,
+                                        size_t max_memo_entries) {
+  PQE_RETURN_IF_ERROR(ValidateLineage(lineage, pdb));
+  if (lineage.clauses.empty()) return BigRational::Zero();
+
+  using ClauseSet = std::vector<std::vector<FactId>>;
+  std::map<ClauseSet, BigRational> memo;
+
+  // Shannon expansion, always splitting on the smallest fact mentioned:
+  // the residual probability then depends on the residual clause set alone.
+  std::function<Result<BigRational>(const ClauseSet&)> eval =
+      [&](const ClauseSet& clauses) -> Result<BigRational> {
+    if (clauses.empty()) return BigRational::Zero();
+    for (const auto& c : clauses) {
+      if (c.empty()) return BigRational::One();
+    }
+    auto it = memo.find(clauses);
+    if (it != memo.end()) return it->second;
+    if (memo.size() > max_memo_entries) {
+      return Status::ResourceExhausted(
+          "Shannon expansion exceeded memo budget");
+    }
+    FactId v = clauses[0][0];
+    for (const auto& c : clauses) v = std::min(v, c[0]);
+    // v := true — drop v from clauses (clauses without v keep all literals).
+    ClauseSet on_true;
+    for (const auto& c : clauses) {
+      std::vector<FactId> reduced;
+      for (FactId f : c) {
+        if (f != v) reduced.push_back(f);
+      }
+      on_true.push_back(std::move(reduced));
+    }
+    std::sort(on_true.begin(), on_true.end());
+    on_true.erase(std::unique(on_true.begin(), on_true.end()),
+                  on_true.end());
+    // Absorption: a clause that became empty makes the branch certain.
+    // v := false — delete clauses containing v.
+    ClauseSet on_false;
+    for (const auto& c : clauses) {
+      if (!std::binary_search(c.begin(), c.end(), v)) on_false.push_back(c);
+    }
+    PQE_ASSIGN_OR_RETURN(BigRational pt, eval(on_true));
+    PQE_ASSIGN_OR_RETURN(BigRational pf, eval(on_false));
+    const Probability pv = pdb.probability(v);
+    BigRational p(pv.num, pv.den);
+    BigRational q(pv.den - pv.num, pv.den);
+    BigRational value = p.Mul(pt).Add(q.Mul(pf)).Normalized();
+    memo.emplace(clauses, value);
+    return value;
+  };
+
+  ClauseSet normalized = lineage.clauses;
+  std::sort(normalized.begin(), normalized.end());
+  normalized.erase(std::unique(normalized.begin(), normalized.end()),
+                   normalized.end());
+  return eval(normalized);
+}
+
+}  // namespace pqe

@@ -1,0 +1,86 @@
+#include "lineage/lineage.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "eval/eval.h"
+
+namespace pqe {
+
+size_t DnfLineage::NumLiterals() const {
+  size_t total = 0;
+  for (const auto& c : clauses) total += c.size();
+  return total;
+}
+
+std::string DnfLineage::ToString(const Database& db) const {
+  std::ostringstream out;
+  for (size_t i = 0; i < clauses.size(); ++i) {
+    if (i > 0) out << " v ";
+    out << "(";
+    for (size_t j = 0; j < clauses[i].size(); ++j) {
+      if (j > 0) out << " ^ ";
+      out << db.FactToString(clauses[i][j]);
+    }
+    out << ")";
+  }
+  return out.str();
+}
+
+Result<DnfLineage> BuildLineage(const ConjunctiveQuery& query,
+                                const Database& db, size_t max_clauses) {
+  PQE_ASSIGN_OR_RETURN(std::vector<Assignment> witnesses,
+                       AllWitnesses(db, query));
+  DnfLineage out;
+  out.num_facts = db.NumFacts();
+  std::set<std::vector<FactId>> seen;
+  for (const Assignment& w : witnesses) {
+    std::vector<FactId> clause;
+    clause.reserve(query.NumAtoms());
+    bool valid = true;
+    for (const Atom& atom : query.atoms()) {
+      Fact f;
+      f.relation = atom.relation;
+      f.args.reserve(atom.vars.size());
+      for (VarId v : atom.vars) {
+        if (w[v] < 0) {
+          valid = false;
+          break;
+        }
+        f.args.push_back(static_cast<ValueId>(w[v]));
+      }
+      if (!valid) break;
+      // A witness assignment always maps to existing facts; resolve the id.
+      const int64_t fid = db.FindFact(f);
+      if (fid < 0) {
+        valid = false;
+        break;
+      }
+      clause.push_back(static_cast<FactId>(fid));
+    }
+    if (!valid) continue;
+    std::sort(clause.begin(), clause.end());
+    clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+    if (seen.insert(clause).second) {
+      if (seen.size() > max_clauses) {
+        return Status::ResourceExhausted(
+            "lineage exceeds " + std::to_string(max_clauses) + " clauses");
+      }
+      out.clauses.push_back(std::move(clause));
+    }
+  }
+  return out;
+}
+
+Result<size_t> CountWitnesses(const ConjunctiveQuery& query,
+                              const Database& db, size_t cap) {
+  PQE_ASSIGN_OR_RETURN(std::vector<Assignment> witnesses,
+                       AllWitnesses(db, query));
+  if (witnesses.size() > cap) {
+    return Status::ResourceExhausted("witness count exceeds cap");
+  }
+  return witnesses.size();
+}
+
+}  // namespace pqe

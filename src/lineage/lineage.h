@@ -1,0 +1,43 @@
+#ifndef PQE_LINEAGE_LINEAGE_H_
+#define PQE_LINEAGE_LINEAGE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "cq/query.h"
+#include "pdb/database.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// The lineage of a Boolean CQ over a database as a positive DNF over fact
+/// variables: one clause (set of FactIds) per witness of Q on D. This is the
+/// classical "intensional" object the paper's introduction argues against:
+/// its size is Θ(|D|^|Q|) for path queries (one clause per witnessing fact
+/// sequence), exponential in the query length.
+struct DnfLineage {
+  size_t num_facts = 0;                    // variables are FactIds < this
+  std::vector<std::vector<FactId>> clauses;  // each sorted, deduplicated
+
+  size_t NumClauses() const { return clauses.size(); }
+  /// Total number of literal occurrences.
+  size_t NumLiterals() const;
+  std::string ToString(const Database& db) const;
+};
+
+/// Computes the DNF lineage by witness enumeration. Fails with
+/// ResourceExhausted once more than `max_clauses` distinct clauses arise
+/// (the blowup the benchmarks measure).
+Result<DnfLineage> BuildLineage(const ConjunctiveQuery& query,
+                                const Database& db,
+                                size_t max_clauses = 5'000'000);
+
+/// Number of witnesses of Q on D — the clause count of the lineage before
+/// deduplication; cheap lower-bound diagnostic for the blowup benchmarks.
+Result<size_t> CountWitnesses(const ConjunctiveQuery& query,
+                              const Database& db, size_t cap = SIZE_MAX);
+
+}  // namespace pqe
+
+#endif  // PQE_LINEAGE_LINEAGE_H_

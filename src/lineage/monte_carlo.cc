@@ -1,0 +1,40 @@
+#include "lineage/monte_carlo.h"
+
+#include <vector>
+
+#include "eval/eval.h"
+#include "util/rng.h"
+
+namespace pqe {
+
+Result<MonteCarloResult> MonteCarloPqe(const ConjunctiveQuery& query,
+                                       const ProbabilisticDatabase& pdb,
+                                       const MonteCarloConfig& config) {
+  if (config.num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be >= 1");
+  }
+  const Database& db = pdb.database();
+  // Validate once; SatisfiesSubinstance would re-validate per sample.
+  PQE_RETURN_IF_ERROR(Satisfies(db, query).status());
+
+  Rng rng(config.seed);
+  std::vector<double> marginals(pdb.NumFacts());
+  for (FactId f = 0; f < pdb.NumFacts(); ++f) {
+    marginals[f] = pdb.probability(f).ToDouble();
+  }
+  MonteCarloResult out;
+  out.samples = config.num_samples;
+  std::vector<bool> world(pdb.NumFacts(), false);
+  for (size_t s = 0; s < config.num_samples; ++s) {
+    for (FactId f = 0; f < pdb.NumFacts(); ++f) {
+      world[f] = rng.NextBernoulli(marginals[f]);
+    }
+    PQE_ASSIGN_OR_RETURN(bool sat, SatisfiesSubinstance(db, query, world));
+    if (sat) ++out.hits;
+  }
+  out.probability = static_cast<double>(out.hits) /
+                    static_cast<double>(out.samples);
+  return out;
+}
+
+}  // namespace pqe

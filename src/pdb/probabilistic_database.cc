@@ -1,0 +1,102 @@
+#include "pdb/probabilistic_database.h"
+
+#include "util/check.h"
+
+namespace pqe {
+
+namespace {
+
+size_t BitWidth(uint64_t v) {
+  size_t bits = 0;
+  do {
+    ++bits;
+    v >>= 1;
+  } while (v);
+  return bits;
+}
+
+}  // namespace
+
+Result<Probability> Probability::Make(uint64_t num, uint64_t den) {
+  if (den == 0) return Status::InvalidArgument("probability denominator is 0");
+  if (num > den) {
+    return Status::InvalidArgument("probability numerator exceeds denominator");
+  }
+  return Probability{num, den};
+}
+
+ProbabilisticDatabase ProbabilisticDatabase::Uniform(Database db) {
+  ProbabilisticDatabase out(std::move(db));
+  out.probs_.assign(out.db_.NumFacts(), Probability::Half());
+  return out;
+}
+
+Result<ProbabilisticDatabase> ProbabilisticDatabase::Make(
+    Database db, std::vector<Probability> probs) {
+  if (probs.size() != db.NumFacts()) {
+    return Status::InvalidArgument(
+        "probability vector size does not match fact count");
+  }
+  for (const Probability& p : probs) {
+    if (p.den == 0 || p.num > p.den) {
+      return Status::InvalidArgument("invalid probability label");
+    }
+  }
+  ProbabilisticDatabase out(std::move(db));
+  out.probs_ = std::move(probs);
+  return out;
+}
+
+Status ProbabilisticDatabase::SetProbability(FactId id, Probability p) {
+  if (id >= probs_.size()) return Status::NotFound("no such fact");
+  if (p.den == 0 || p.num > p.den) {
+    return Status::InvalidArgument("invalid probability label");
+  }
+  probs_[id] = p;
+  return Status::OK();
+}
+
+Result<FactId> ProbabilisticDatabase::AddFact(
+    const std::string& relation, const std::vector<std::string>& constants,
+    Probability p) {
+  if (p.den == 0 || p.num > p.den) {
+    return Status::InvalidArgument("invalid probability label");
+  }
+  PQE_ASSIGN_OR_RETURN(FactId id, db_.AddFactByName(relation, constants));
+  if (id == probs_.size()) {
+    probs_.push_back(p);
+  } else {
+    // Duplicate fact: keep the original label unless caller overrides.
+    probs_[id] = p;
+  }
+  return id;
+}
+
+BigUint ProbabilisticDatabase::CommonDenominator() const {
+  BigUint d(1);
+  for (const Probability& p : probs_) d = d.MulU64(p.den);
+  return d;
+}
+
+BigRational ProbabilisticDatabase::SubinstanceProbability(
+    const std::vector<bool>& present) const {
+  PQE_CHECK(present.size() == probs_.size());
+  BigUint num(1);
+  BigUint den(1);
+  for (size_t i = 0; i < probs_.size(); ++i) {
+    const Probability& p = probs_[i];
+    num = num.MulU64(present[i] ? p.num : p.den - p.num);
+    den = den.MulU64(p.den);
+  }
+  return BigRational(std::move(num), std::move(den));
+}
+
+size_t ProbabilisticDatabase::SizeInBits() const {
+  size_t bits = db_.NumFacts();
+  for (const Probability& p : probs_) {
+    bits += BitWidth(p.num) + BitWidth(p.den);
+  }
+  return bits;
+}
+
+}  // namespace pqe

@@ -1,0 +1,88 @@
+#ifndef PQE_PDB_PROBABILISTIC_DATABASE_H_
+#define PQE_PDB_PROBABILISTIC_DATABASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pdb/database.h"
+#include "util/bigint.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// A rational probability label w/d with 0 <= w <= d, d >= 1 (the paper
+/// assumes rational labels, Section 2). Stored unreduced: the reduction of
+/// Section 5 works with the numerator w and denominator d as given.
+struct Probability {
+  uint64_t num = 1;
+  uint64_t den = 2;
+
+  static Result<Probability> Make(uint64_t num, uint64_t den);
+
+  /// The uniform label 1/2 used by uniform reliability.
+  static Probability Half() { return Probability{1, 2}; }
+  static Probability One() { return Probability{1, 1}; }
+  static Probability Zero() { return Probability{0, 1}; }
+
+  double ToDouble() const {
+    return static_cast<double>(num) / static_cast<double>(den);
+  }
+  BigRational ToRational() const { return BigRational(num, den); }
+
+  bool operator==(const Probability& o) const {
+    // Compare as rationals (1/2 == 2/4).
+    return static_cast<unsigned __int128>(num) * o.den ==
+           static_cast<unsigned __int128>(o.num) * den;
+  }
+};
+
+/// A tuple-independent probabilistic database instance H = (D, π): a database
+/// plus an independent rational probability per fact (Section 2).
+class ProbabilisticDatabase {
+ public:
+  /// Wraps `db`, assigning every fact the uniform probability 1/2 (so that
+  /// Pr_H(Q) = UR(Q, D) / 2^|D|).
+  static ProbabilisticDatabase Uniform(Database db);
+
+  /// Wraps `db` with explicit per-fact probabilities; `probs` must have one
+  /// entry per fact, indexed by FactId.
+  static Result<ProbabilisticDatabase> Make(Database db,
+                                            std::vector<Probability> probs);
+
+  const Database& database() const { return db_; }
+  Database& mutable_database() { return db_; }
+  const Schema& schema() const { return db_.schema(); }
+  size_t NumFacts() const { return db_.NumFacts(); }
+
+  Probability probability(FactId id) const { return probs_.at(id); }
+
+  /// Sets the probability of an existing fact.
+  Status SetProbability(FactId id, Probability p);
+
+  /// Adds a fact with its probability; see Database::AddFactByName.
+  Result<FactId> AddFact(const std::string& relation,
+                         const std::vector<std::string>& constants,
+                         Probability p);
+
+  /// The common denominator d = Π_i d_i over all facts (Section 5.2).
+  BigUint CommonDenominator() const;
+
+  /// Probability Pr_H(D') of the subinstance identified by `present`
+  /// (bitvector over FactIds): Π_{in} π(f) · Π_{out} (1 − π(f)).
+  BigRational SubinstanceProbability(const std::vector<bool>& present) const;
+
+  /// The paper's size measure |H|: |D| plus total bits of the probability
+  /// encodings.
+  size_t SizeInBits() const;
+
+ private:
+  explicit ProbabilisticDatabase(Database db) : db_(std::move(db)) {}
+
+  Database db_;
+  std::vector<Probability> probs_;
+};
+
+}  // namespace pqe
+
+#endif  // PQE_PDB_PROBABILISTIC_DATABASE_H_

@@ -1,0 +1,35 @@
+#include "pdb/schema.h"
+
+namespace pqe {
+
+Result<RelationId> Schema::AddRelation(const std::string& name,
+                                       uint32_t arity) {
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  if (arity == 0) {
+    return Status::InvalidArgument("relation arity must be positive: " + name);
+  }
+  if (by_name_.count(name) > 0) {
+    return Status::InvalidArgument("duplicate relation name: " + name);
+  }
+  RelationId id = static_cast<RelationId>(names_.size());
+  names_.push_back(name);
+  arities_.push_back(arity);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+Result<RelationId> Schema::FindRelation(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("no such relation: " + name);
+  }
+  return it->second;
+}
+
+bool Schema::HasRelation(const std::string& name) const {
+  return by_name_.count(name) > 0;
+}
+
+}  // namespace pqe

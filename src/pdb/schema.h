@@ -1,0 +1,47 @@
+#ifndef PQE_PDB_SCHEMA_H_
+#define PQE_PDB_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace pqe {
+
+/// Identifier of a relation name within a Schema.
+using RelationId = uint32_t;
+
+/// A relational schema: a collection of relation names, each with a fixed
+/// arity (Section 2 of the paper).
+class Schema {
+ public:
+  Schema() = default;
+  Schema(const Schema&) = default;
+  Schema& operator=(const Schema&) = default;
+  Schema(Schema&&) = default;
+  Schema& operator=(Schema&&) = default;
+
+  /// Registers a relation. Fails if the name is already taken or empty, or
+  /// the arity is zero.
+  Result<RelationId> AddRelation(const std::string& name, uint32_t arity);
+
+  /// Looks up a relation by name.
+  Result<RelationId> FindRelation(const std::string& name) const;
+
+  bool HasRelation(const std::string& name) const;
+
+  size_t NumRelations() const { return arities_.size(); }
+  uint32_t Arity(RelationId id) const { return arities_.at(id); }
+  const std::string& Name(RelationId id) const { return names_.at(id); }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<uint32_t> arities_;
+  std::unordered_map<std::string, RelationId> by_name_;
+};
+
+}  // namespace pqe
+
+#endif  // PQE_PDB_SCHEMA_H_

@@ -1,0 +1,218 @@
+#include "safeplan/safe_plan.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pqe {
+
+namespace {
+
+constexpr int64_t kFree = -1;
+
+// Facts of `atom`'s relation consistent with the partial assignment σ.
+std::vector<FactId> MatchingFacts(const ProbabilisticDatabase& pdb,
+                                  const ConjunctiveQuery& query,
+                                  uint32_t atom,
+                                  const std::vector<int64_t>& sigma) {
+  std::vector<FactId> out;
+  const Atom& a = query.atom(atom);
+  for (FactId fid : pdb.database().FactsOf(a.relation)) {
+    const Fact& f = pdb.database().fact(fid);
+    bool ok = true;
+    // Consistency with σ and with repeated variables inside the atom.
+    std::vector<int64_t> local = sigma;
+    for (size_t i = 0; i < a.vars.size() && ok; ++i) {
+      const int64_t val = static_cast<int64_t>(f.args[i]);
+      if (local[a.vars[i]] == kFree) {
+        local[a.vars[i]] = val;
+      } else if (local[a.vars[i]] != val) {
+        ok = false;
+      }
+    }
+    if (ok) out.push_back(fid);
+  }
+  return out;
+}
+
+class SafePlanEvaluator {
+ public:
+  SafePlanEvaluator(const ConjunctiveQuery& query,
+                    const ProbabilisticDatabase& pdb)
+      : query_(query), pdb_(pdb) {}
+
+  Result<double> Evaluate() {
+    std::vector<uint32_t> atoms(query_.NumAtoms());
+    for (uint32_t a = 0; a < atoms.size(); ++a) atoms[a] = a;
+    std::vector<int64_t> sigma(query_.NumVars(), kFree);
+    return EvalConjunction(atoms, sigma);
+  }
+
+ private:
+  // P(∧ atoms | σ): independent across ground atoms and connected
+  // components (distinct relations by self-join-freeness).
+  Result<double> EvalConjunction(const std::vector<uint32_t>& atoms,
+                                 const std::vector<int64_t>& sigma) {
+    double p = 1.0;
+    std::vector<uint32_t> open;
+    for (uint32_t a : atoms) {
+      if (IsGround(a, sigma)) {
+        p *= GroundProbability(a, sigma);
+        if (p == 0.0) return 0.0;
+      } else {
+        open.push_back(a);
+      }
+    }
+    // Connected components via shared free variables.
+    std::vector<bool> used(open.size(), false);
+    for (size_t i = 0; i < open.size(); ++i) {
+      if (used[i]) continue;
+      std::vector<uint32_t> comp;
+      std::vector<size_t> stack = {i};
+      used[i] = true;
+      while (!stack.empty()) {
+        size_t cur = stack.back();
+        stack.pop_back();
+        comp.push_back(open[cur]);
+        for (size_t j = 0; j < open.size(); ++j) {
+          if (used[j]) continue;
+          if (ShareFreeVar(open[cur], open[j], sigma)) {
+            used[j] = true;
+            stack.push_back(j);
+          }
+        }
+      }
+      PQE_ASSIGN_OR_RETURN(double cp, EvalComponent(comp, sigma));
+      p *= cp;
+      if (p == 0.0) return 0.0;
+    }
+    return p;
+  }
+
+  // P(component | σ): single atom → independent-or over matching facts;
+  // otherwise independent-project over a root variable.
+  Result<double> EvalComponent(const std::vector<uint32_t>& comp,
+                               const std::vector<int64_t>& sigma) {
+    if (comp.size() == 1 && CountFreeVars(comp[0], sigma) >= 1) {
+      // ∃ free vars: the event is an OR over independent matching facts
+      // (distinct facts of one relation are independent tuples).
+      double none = 1.0;
+      for (FactId fid : MatchingFacts(pdb_, query_, comp[0], sigma)) {
+        none *= 1.0 - pdb_.probability(fid).ToDouble();
+      }
+      return 1.0 - none;
+    }
+    // Root variable: free and occurring in every atom of the component.
+    int64_t root = -1;
+    for (VarId v = 0; v < query_.NumVars(); ++v) {
+      if (sigma[v] != kFree) continue;
+      bool in_all = true;
+      for (uint32_t a : comp) {
+        const auto& vars = query_.atom(a).vars;
+        if (std::find(vars.begin(), vars.end(), v) == vars.end()) {
+          in_all = false;
+          break;
+        }
+      }
+      if (in_all) {
+        root = static_cast<int64_t>(v);
+        break;
+      }
+    }
+    if (root < 0) {
+      return Status::NotSupported(
+          "query is unsafe: connected component without a root variable "
+          "(non-hierarchical)");
+    }
+    // Independent project: values of the root variable partition the
+    // relevant facts into independent groups.
+    std::set<int64_t> domain;
+    for (uint32_t a : comp) {
+      const auto& vars = query_.atom(a).vars;
+      for (FactId fid : MatchingFacts(pdb_, query_, a, sigma)) {
+        const Fact& f = pdb_.database().fact(fid);
+        for (size_t i = 0; i < vars.size(); ++i) {
+          if (vars[i] == static_cast<VarId>(root)) {
+            domain.insert(static_cast<int64_t>(f.args[i]));
+          }
+        }
+      }
+    }
+    double none = 1.0;
+    for (int64_t value : domain) {
+      std::vector<int64_t> extended = sigma;
+      extended[root] = value;
+      PQE_ASSIGN_OR_RETURN(double pc, EvalConjunction(comp, extended));
+      none *= 1.0 - pc;
+    }
+    return 1.0 - none;
+  }
+
+  bool IsGround(uint32_t atom, const std::vector<int64_t>& sigma) const {
+    for (VarId v : query_.atom(atom).vars) {
+      if (sigma[v] == kFree) return false;
+    }
+    return true;
+  }
+
+  size_t CountFreeVars(uint32_t atom,
+                       const std::vector<int64_t>& sigma) const {
+    std::set<VarId> free;
+    for (VarId v : query_.atom(atom).vars) {
+      if (sigma[v] == kFree) free.insert(v);
+    }
+    return free.size();
+  }
+
+  double GroundProbability(uint32_t atom,
+                           const std::vector<int64_t>& sigma) const {
+    const Atom& a = query_.atom(atom);
+    Fact f;
+    f.relation = a.relation;
+    for (VarId v : a.vars) {
+      f.args.push_back(static_cast<ValueId>(sigma[v]));
+    }
+    const int64_t fid = pdb_.database().FindFact(f);
+    if (fid < 0) return 0.0;
+    return pdb_.probability(static_cast<FactId>(fid)).ToDouble();
+  }
+
+  bool ShareFreeVar(uint32_t a, uint32_t b,
+                    const std::vector<int64_t>& sigma) const {
+    for (VarId va : query_.atom(a).vars) {
+      if (sigma[va] != kFree) continue;
+      const auto& vars = query_.atom(b).vars;
+      if (std::find(vars.begin(), vars.end(), va) != vars.end()) return true;
+    }
+    return false;
+  }
+
+  const ConjunctiveQuery& query_;
+  const ProbabilisticDatabase& pdb_;
+};
+
+}  // namespace
+
+bool IsSafeQuery(const ConjunctiveQuery& query) {
+  return query.IsSelfJoinFree() && query.IsHierarchical();
+}
+
+Result<double> SafePlanProbability(const ConjunctiveQuery& query,
+                                   const ProbabilisticDatabase& pdb) {
+  if (!query.IsSelfJoinFree()) {
+    return Status::NotSupported(
+        "safe-plan evaluation requires a self-join-free query");
+  }
+  for (const Atom& a : query.atoms()) {
+    if (a.relation >= pdb.schema().NumRelations() ||
+        a.vars.size() != pdb.schema().Arity(a.relation)) {
+      return Status::InvalidArgument("query/schema mismatch");
+    }
+  }
+  SafePlanEvaluator evaluator(query, pdb);
+  return evaluator.Evaluate();
+}
+
+}  // namespace pqe

@@ -1,0 +1,28 @@
+#ifndef PQE_SAFEPLAN_SAFE_PLAN_H_
+#define PQE_SAFEPLAN_SAFE_PLAN_H_
+
+#include "cq/query.h"
+#include "pdb/probabilistic_database.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// True iff the extensional (safe-plan) evaluator applies: the query is
+/// self-join-free and hierarchical — exactly the Dalvi–Suciu "safe" SJF
+/// queries (the FP rows of the paper's Table 1).
+bool IsSafeQuery(const ConjunctiveQuery& query);
+
+/// Exact Pr_H(Q) for a safe (self-join-free, hierarchical) query via the
+/// Dalvi–Suciu extensional plan: independent joins across connected
+/// components and ground atoms, independent projects over root variables.
+/// Polynomial in |Q| and |H|. Fails with NotSupported on unsafe queries
+/// (a connected multi-atom component without a root variable).
+///
+/// Arithmetic is IEEE double; results are exact up to floating-point
+/// rounding (the plan performs only +, ×, and 1−x on probabilities).
+Result<double> SafePlanProbability(const ConjunctiveQuery& query,
+                                   const ProbabilisticDatabase& pdb);
+
+}  // namespace pqe
+
+#endif  // PQE_SAFEPLAN_SAFE_PLAN_H_

@@ -1,0 +1,167 @@
+#include "tools/fact_file.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace pqe {
+
+namespace {
+
+struct ParsedFact {
+  std::string relation;
+  std::vector<std::string> constants;
+  Probability probability = Probability::Half();
+};
+
+// Parses "w/d" or a decimal like "0.75" into an exact rational.
+Result<Probability> ParseProbability(const std::string& token, int line_no) {
+  auto fail = [&](const std::string& why) {
+    return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                   why + ": '" + token + "'");
+  };
+  const size_t slash = token.find('/');
+  if (slash != std::string::npos) {
+    uint64_t num = 0, den = 0;
+    try {
+      num = std::stoull(token.substr(0, slash));
+      den = std::stoull(token.substr(slash + 1));
+    } catch (...) {
+      return fail("malformed rational probability");
+    }
+    auto p = Probability::Make(num, den);
+    if (!p.ok()) return fail(p.status().message());
+    return p;
+  }
+  // Decimal: integer part must be 0 or 1.
+  const size_t dot = token.find('.');
+  std::string int_part = dot == std::string::npos ? token
+                                                  : token.substr(0, dot);
+  std::string frac = dot == std::string::npos ? "" : token.substr(dot + 1);
+  if (int_part != "0" && int_part != "1") {
+    return fail("probability must be in [0, 1]");
+  }
+  if (frac.size() > 18) frac = frac.substr(0, 18);
+  uint64_t den = 1;
+  uint64_t num = 0;
+  for (char c : frac) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return fail("malformed decimal probability");
+    }
+    den *= 10;
+    num = num * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (int_part == "1") {
+    if (num != 0) return fail("probability must be in [0, 1]");
+    return Probability::One();
+  }
+  if (den == 1) return Probability::Zero();  // "0"
+  auto p = Probability::Make(num, den);
+  if (!p.ok()) return fail(p.status().message());
+  return p;
+}
+
+Result<ParsedFact> ParseLine(const std::string& line, int line_no) {
+  auto fail = [&](const std::string& why) {
+    return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                   why);
+  };
+  ParsedFact out;
+  size_t pos = 0;
+  auto skip_space = [&] {
+    while (pos < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[pos]))) {
+      ++pos;
+    }
+  };
+  skip_space();
+  size_t start = pos;
+  while (pos < line.size() &&
+         (std::isalnum(static_cast<unsigned char>(line[pos])) ||
+          line[pos] == '_')) {
+    ++pos;
+  }
+  if (pos == start) return fail("expected relation name");
+  out.relation = line.substr(start, pos - start);
+  skip_space();
+  if (pos >= line.size() || line[pos] != '(') return fail("expected '('");
+  ++pos;
+  for (;;) {
+    skip_space();
+    start = pos;
+    while (pos < line.size() && line[pos] != ',' && line[pos] != ')') ++pos;
+    if (pos >= line.size()) return fail("unterminated fact");
+    std::string constant = line.substr(start, pos - start);
+    while (!constant.empty() &&
+           std::isspace(static_cast<unsigned char>(constant.back()))) {
+      constant.pop_back();
+    }
+    if (constant.empty()) return fail("empty constant");
+    out.constants.push_back(std::move(constant));
+    if (line[pos] == ')') {
+      ++pos;
+      break;
+    }
+    ++pos;  // ','
+  }
+  skip_space();
+  if (pos < line.size()) {
+    std::string token = line.substr(pos);
+    while (!token.empty() &&
+           std::isspace(static_cast<unsigned char>(token.back()))) {
+      token.pop_back();
+    }
+    if (!token.empty()) {
+      PQE_ASSIGN_OR_RETURN(out.probability,
+                           ParseProbability(token, line_no));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ProbabilisticDatabase> ParseFactText(const std::string& text) {
+  Schema schema;
+  std::vector<ParsedFact> facts;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    bool blank = true;
+    for (char c : line) {
+      if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+    }
+    if (blank) continue;
+    PQE_ASSIGN_OR_RETURN(ParsedFact f, ParseLine(line, line_no));
+    if (!schema.HasRelation(f.relation)) {
+      PQE_RETURN_IF_ERROR(
+          schema
+              .AddRelation(f.relation,
+                           static_cast<uint32_t>(f.constants.size()))
+              .status());
+    }
+    facts.push_back(std::move(f));
+  }
+  Database db(schema);
+  ProbabilisticDatabase pdb = ProbabilisticDatabase::Uniform(std::move(db));
+  for (const ParsedFact& f : facts) {
+    PQE_RETURN_IF_ERROR(
+        pdb.AddFact(f.relation, f.constants, f.probability).status());
+  }
+  return pdb;
+}
+
+Result<ProbabilisticDatabase> LoadFactFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open fact file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseFactText(buffer.str());
+}
+
+}  // namespace pqe

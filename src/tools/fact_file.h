@@ -1,0 +1,28 @@
+#ifndef PQE_TOOLS_FACT_FILE_H_
+#define PQE_TOOLS_FACT_FILE_H_
+
+#include <string>
+
+#include "pdb/probabilistic_database.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// Parses the textual probabilistic-database format used by the CLI and
+/// examples. One fact per line:
+///
+///     Follows(ann, bob) 9/10
+///     Likes(bob, jazz) 0.75
+///     Edge(a, b)               # probability defaults to 1/2
+///
+/// Probabilities may be rationals "w/d" or decimals (converted exactly to
+/// w/10^k). '#' starts a comment; blank lines are ignored. Relations are
+/// added to the schema on first use with the observed arity.
+Result<ProbabilisticDatabase> ParseFactText(const std::string& text);
+
+/// Reads `path` and parses it with ParseFactText.
+Result<ProbabilisticDatabase> LoadFactFile(const std::string& path);
+
+}  // namespace pqe
+
+#endif  // PQE_TOOLS_FACT_FILE_H_

@@ -1,0 +1,186 @@
+// pqe_cli — evaluate the probability of a Boolean conjunctive query over a
+// tuple-independent probabilistic database given as a text file.
+//
+//   pqe_cli --data facts.txt --query "Follows(x,y), Likes(y,z)"
+//           [--method auto|fpras|safe-plan|enumeration|karp-luby|
+//            exact-lineage|monte-carlo]
+//           [--epsilon 0.1] [--seed 42] [--max-width 3] [--ur]
+//           [--sample K]
+//
+// With --ur the uniform reliability UR(Q, D) is reported instead (fact
+// probabilities in the file are ignored). With --sample K, K posterior
+// worlds conditioned on the query holding are printed.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/engine.h"
+#include "core/sampling.h"
+#include "cq/parser.h"
+#include "tools/fact_file.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: pqe_cli --data FILE --query 'R(x,y), S(y,z)' [options]\n"
+      "  --method auto|fpras|safe-plan|enumeration|karp-luby|exact-lineage\n"
+      "  --epsilon E      target relative error (default 0.2)\n"
+      "  --seed N         RNG seed (default 42)\n"
+      "  --max-width W    hypertree width budget (default 3)\n"
+      "  --ur             report uniform reliability instead of probability\n"
+      "  --sample K       print K sampled worlds conditioned on Q holding\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pqe;
+  std::string data_path;
+  std::string query_text;
+  std::string method = "auto";
+  double epsilon = 0.2;
+  uint64_t seed = 42;
+  size_t max_width = 3;
+  bool uniform_reliability = false;
+  size_t sample_worlds = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", flag);
+        Usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--data") == 0) {
+      data_path = need_value("--data");
+    } else if (std::strcmp(argv[i], "--query") == 0) {
+      query_text = need_value("--query");
+    } else if (std::strcmp(argv[i], "--method") == 0) {
+      method = need_value("--method");
+    } else if (std::strcmp(argv[i], "--epsilon") == 0) {
+      epsilon = std::atof(need_value("--epsilon"));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = std::strtoull(need_value("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--max-width") == 0) {
+      max_width = std::strtoull(need_value("--max-width"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--ur") == 0) {
+      uniform_reliability = true;
+    } else if (std::strcmp(argv[i], "--sample") == 0) {
+      sample_worlds = std::strtoull(need_value("--sample"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      Usage();
+      return 2;
+    }
+  }
+  if (data_path.empty() || query_text.empty()) {
+    Usage();
+    return 2;
+  }
+
+  auto pdb_or = LoadFactFile(data_path);
+  if (!pdb_or.ok()) {
+    std::fprintf(stderr, "error loading data: %s\n",
+                 pdb_or.status().ToString().c_str());
+    return 1;
+  }
+  ProbabilisticDatabase pdb = pdb_or.MoveValue();
+
+  // The query parser needs the schema from the data file; relations used
+  // only in the query get added with inferred arities.
+  Schema schema = pdb.schema();
+  auto query_or = ParseQuery(schema, query_text);
+  if (!query_or.ok()) {
+    std::fprintf(stderr, "error parsing query: %s\n",
+                 query_or.status().ToString().c_str());
+    return 1;
+  }
+  ConjunctiveQuery query = query_or.MoveValue();
+
+  PqeEngine::Options opts;
+  opts.epsilon = epsilon;
+  opts.seed = seed;
+  opts.max_width = max_width;
+  if (method == "auto") {
+    opts.method = PqeMethod::kAuto;
+  } else if (method == "fpras") {
+    opts.method = PqeMethod::kFpras;
+  } else if (method == "safe-plan") {
+    opts.method = PqeMethod::kSafePlan;
+  } else if (method == "enumeration") {
+    opts.method = PqeMethod::kEnumeration;
+  } else if (method == "karp-luby") {
+    opts.method = PqeMethod::kKarpLubyLineage;
+  } else if (method == "exact-lineage") {
+    opts.method = PqeMethod::kExactLineage;
+  } else if (method == "monte-carlo") {
+    opts.method = PqeMethod::kMonteCarlo;
+  } else {
+    std::fprintf(stderr, "unknown method: %s\n", method.c_str());
+    return 2;
+  }
+  PqeEngine engine(opts);
+
+  std::printf("query:    %s\n", query.ToString(schema).c_str());
+  std::printf("database: %zu facts (|H| = %zu bits)\n", pdb.NumFacts(),
+              pdb.SizeInBits());
+  if (uniform_reliability) {
+    auto ur = engine.EvaluateUniformReliability(query, pdb.database());
+    if (!ur.ok()) {
+      std::fprintf(stderr, "error: %s\n", ur.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("UR(Q, D) ~ %.6g of 2^%zu subinstances\n", *ur,
+                pdb.NumFacts());
+    return 0;
+  }
+  auto answer = engine.Evaluate(query, pdb);
+  if (!answer.ok()) {
+    std::fprintf(stderr, "error: %s\n", answer.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Pr(Q) %s %.6f   [%s]\n", answer->is_exact ? "=" : "~",
+              answer->probability, PqeMethodToString(answer->method_used));
+  if (!answer->diagnostics.empty()) {
+    std::printf("  %s\n", answer->diagnostics.c_str());
+  }
+
+  if (sample_worlds > 0) {
+    EstimatorConfig cfg;
+    cfg.epsilon = epsilon;
+    cfg.seed = seed;
+    UrConstructionOptions uropts;
+    uropts.max_width = max_width;
+    auto worlds =
+        SampleConditionedWorlds(query, pdb, cfg, sample_worlds, uropts);
+    if (!worlds.ok()) {
+      std::fprintf(stderr, "sampling error: %s\n",
+                   worlds.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n%zu sampled worlds conditioned on Q (facts present):\n",
+                worlds->worlds.size());
+    for (const auto& world : worlds->worlds) {
+      std::printf("  {");
+      bool first = true;
+      for (size_t f = 0; f < world.size(); ++f) {
+        if (!world[f]) continue;
+        std::printf("%s%s", first ? "" : ", ",
+                    worlds->projected_db.FactToString(
+                        static_cast<FactId>(f)).c_str());
+        first = false;
+      }
+      std::printf("}\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,314 @@
+#include "util/bigint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace pqe {
+
+namespace {
+constexpr uint64_t kLimbBase = 1ULL << 32;
+}  // namespace
+
+BigUint::BigUint(uint64_t value) {
+  if (value > 0) limbs_.push_back(static_cast<uint32_t>(value & 0xffffffffu));
+  if (value >> 32) limbs_.push_back(static_cast<uint32_t>(value >> 32));
+}
+
+void BigUint::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+Result<BigUint> BigUint::FromDecimalString(const std::string& s) {
+  if (s.empty()) return Status::InvalidArgument("empty decimal string");
+  BigUint out;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("non-digit in decimal string: " + s);
+    }
+    out = out.MulU64(10).Add(BigUint(static_cast<uint64_t>(c - '0')));
+  }
+  return out;
+}
+
+BigUint BigUint::PowerOfTwo(uint64_t exponent) {
+  BigUint out;
+  size_t limb = static_cast<size_t>(exponent / 32);
+  out.limbs_.assign(limb + 1, 0);
+  out.limbs_[limb] = 1u << (exponent % 32);
+  return out;
+}
+
+size_t BigUint::BitLength() const {
+  if (limbs_.empty()) return 0;
+  uint32_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 32;
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigUint::Bit(size_t i) const {
+  size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1u;
+}
+
+int BigUint::Compare(const BigUint& other) const {
+  if (limbs_.size() != other.limbs_.size()) {
+    return limbs_.size() < other.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigUint BigUint::Add(const BigUint& other) const {
+  BigUint out;
+  const size_t n = std::max(limbs_.size(), other.limbs_.size());
+  out.limbs_.reserve(n + 1);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < other.limbs_.size()) sum += other.limbs_[i];
+    out.limbs_.push_back(static_cast<uint32_t>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry) out.limbs_.push_back(static_cast<uint32_t>(carry));
+  return out;
+}
+
+BigUint BigUint::Sub(const BigUint& other) const {
+  PQE_CHECK(Compare(other) >= 0);
+  BigUint out;
+  out.limbs_.reserve(limbs_.size());
+  int64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(limbs_[i]) - borrow;
+    if (i < other.limbs_.size()) diff -= other.limbs_[i];
+    if (diff < 0) {
+      diff += static_cast<int64_t>(kLimbBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_.push_back(static_cast<uint32_t>(diff));
+  }
+  PQE_CHECK(borrow == 0);
+  out.Trim();
+  return out;
+}
+
+BigUint BigUint::Mul(const BigUint& other) const {
+  if (IsZero() || other.IsZero()) return BigUint();
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + other.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    const uint64_t a = limbs_[i];
+    for (size_t j = 0; j < other.limbs_.size(); ++j) {
+      uint64_t cur = out.limbs_[i + j] + a * other.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    size_t k = i + other.limbs_.size();
+    while (carry) {
+      uint64_t cur = out.limbs_[k] + carry;
+      out.limbs_[k] = static_cast<uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.Trim();
+  return out;
+}
+
+BigUint BigUint::MulU64(uint64_t other) const { return Mul(BigUint(other)); }
+
+BigUint BigUint::ShiftLeft(size_t bits) const {
+  if (IsZero() || bits == 0) {
+    BigUint out = *this;
+    return out;
+  }
+  const size_t limb_shift = bits / 32;
+  const size_t bit_shift = bits % 32;
+  BigUint out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t v = static_cast<uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<uint32_t>(v & 0xffffffffu);
+    out.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(v >> 32);
+  }
+  out.Trim();
+  return out;
+}
+
+BigUint BigUint::ShiftRight(size_t bits) const {
+  const size_t limb_shift = bits / 32;
+  const size_t bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) return BigUint();
+  BigUint out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift > 0 && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<uint64_t>(limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<uint32_t>(v);
+  }
+  out.Trim();
+  return out;
+}
+
+BigUintDivMod BigUint::DivMod(const BigUint& divisor) const {
+  PQE_CHECK(!divisor.IsZero());
+  BigUintDivMod result;
+  if (Compare(divisor) < 0) {
+    result.remainder = *this;
+    return result;
+  }
+  // Schoolbook binary long division: scan bits of the dividend from the most
+  // significant down, shifting the remainder left and subtracting the divisor
+  // when it fits. O(bits * limbs) — adequate for the sizes this library sees.
+  const size_t nbits = BitLength();
+  BigUint quotient;
+  quotient.limbs_.assign((nbits + 31) / 32, 0);
+  BigUint rem;
+  for (size_t i = nbits; i-- > 0;) {
+    rem = rem.ShiftLeft(1);
+    if (Bit(i)) {
+      if (rem.limbs_.empty()) rem.limbs_.push_back(0);
+      rem.limbs_[0] |= 1u;
+    }
+    if (rem.Compare(divisor) >= 0) {
+      rem = rem.Sub(divisor);
+      quotient.limbs_[i / 32] |= 1u << (i % 32);
+    }
+  }
+  quotient.Trim();
+  result.quotient = std::move(quotient);
+  result.remainder = std::move(rem);
+  return result;
+}
+
+BigUint BigUint::Gcd(BigUint a, BigUint b) {
+  while (!b.IsZero()) {
+    BigUint r = a.DivMod(b).remainder;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+double BigUint::ToDouble() const {
+  double out = 0.0;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    out = out * static_cast<double>(kLimbBase) + static_cast<double>(limbs_[i]);
+    if (!std::isfinite(out)) return out;
+  }
+  return out;
+}
+
+uint64_t BigUint::ToU64() const {
+  PQE_CHECK(FitsUint64());
+  uint64_t out = 0;
+  if (limbs_.size() >= 2) out = static_cast<uint64_t>(limbs_[1]) << 32;
+  if (limbs_.size() >= 1) out |= limbs_[0];
+  return out;
+}
+
+std::string BigUint::ToDecimalString() const {
+  if (IsZero()) return "0";
+  // Repeated division by 10^9 (fits in a limb-sized chunk loop).
+  std::vector<uint32_t> work(limbs_.begin(), limbs_.end());
+  std::string out;
+  while (!work.empty()) {
+    uint64_t rem = 0;
+    for (size_t i = work.size(); i-- > 0;) {
+      uint64_t cur = (rem << 32) | work[i];
+      work[i] = static_cast<uint32_t>(cur / 1000000000ULL);
+      rem = cur % 1000000000ULL;
+    }
+    while (!work.empty() && work.back() == 0) work.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      out.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (out.size() > 1 && out.back() == '0') out.pop_back();
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+double BigRatioToDouble(const BigUint& a, const BigUint& b) {
+  PQE_CHECK(!b.IsZero());
+  if (a.IsZero()) return 0.0;
+  // Align both operands so their top ~62 bits become machine words, then
+  // divide; exponent difference restores the scale.
+  const size_t abits = a.BitLength();
+  const size_t bbits = b.BitLength();
+  auto Top64 = [](const BigUint& x, size_t bits) -> double {
+    size_t shift = bits > 62 ? bits - 62 : 0;
+    return x.ShiftRight(shift).ToDouble();
+  };
+  const double atop = Top64(a, abits);
+  const double btop = Top64(b, bbits);
+  const int64_t aexp = abits > 62 ? static_cast<int64_t>(abits) - 62 : 0;
+  const int64_t bexp = bbits > 62 ? static_cast<int64_t>(bbits) - 62 : 0;
+  return (atop / btop) * std::exp2(static_cast<double>(aexp - bexp));
+}
+
+BigRational::BigRational(BigUint num, BigUint den)
+    : num_(std::move(num)), den_(std::move(den)) {
+  PQE_CHECK(!den_.IsZero());
+}
+
+BigRational::BigRational(uint64_t num, uint64_t den)
+    : num_(num), den_(den) {
+  PQE_CHECK(den != 0);
+}
+
+BigRational BigRational::Add(const BigRational& o) const {
+  return BigRational(num_.Mul(o.den_).Add(o.num_.Mul(den_)),
+                     den_.Mul(o.den_));
+}
+
+BigRational BigRational::Sub(const BigRational& o) const {
+  BigUint lhs = num_.Mul(o.den_);
+  BigUint rhs = o.num_.Mul(den_);
+  return BigRational(lhs.Sub(rhs), den_.Mul(o.den_));
+}
+
+BigRational BigRational::Mul(const BigRational& o) const {
+  return BigRational(num_.Mul(o.num_), den_.Mul(o.den_));
+}
+
+BigRational BigRational::Div(const BigRational& o) const {
+  PQE_CHECK(!o.num_.IsZero());
+  return BigRational(num_.Mul(o.den_), den_.Mul(o.num_));
+}
+
+int BigRational::Compare(const BigRational& o) const {
+  return num_.Mul(o.den_).Compare(o.num_.Mul(den_));
+}
+
+BigRational BigRational::Normalized() const {
+  if (num_.IsZero()) return BigRational();
+  BigUint g = BigUint::Gcd(num_, den_);
+  if (g.IsOne()) return *this;
+  return BigRational(num_.DivMod(g).quotient, den_.DivMod(g).quotient);
+}
+
+std::string BigRational::ToString() const {
+  return num_.ToDecimalString() + "/" + den_.ToDecimalString();
+}
+
+}  // namespace pqe

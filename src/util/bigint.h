@@ -1,0 +1,151 @@
+#ifndef PQE_UTIL_BIGINT_H_
+#define PQE_UTIL_BIGINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace pqe {
+
+struct BigUintDivMod;
+
+/// Arbitrary-precision unsigned integer. Used for the exact arithmetic in the
+/// PQE reduction (Section 5 of the paper): the common denominator d = Π d_i
+/// and the tree-count scaling factors can be astronomically large, far beyond
+/// any fixed-width type.
+///
+/// Representation: little-endian vector of 32-bit limbs with no trailing zero
+/// limbs; the value zero is the empty vector.
+class BigUint {
+ public:
+  /// Constructs zero.
+  BigUint() = default;
+  /// Constructs from a machine word.
+  explicit BigUint(uint64_t value);
+
+  BigUint(const BigUint&) = default;
+  BigUint& operator=(const BigUint&) = default;
+  BigUint(BigUint&&) = default;
+  BigUint& operator=(BigUint&&) = default;
+
+  /// Parses a non-empty base-10 digit string.
+  static Result<BigUint> FromDecimalString(const std::string& s);
+
+  /// Returns 2^exponent.
+  static BigUint PowerOfTwo(uint64_t exponent);
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOne() const { return limbs_.size() == 1 && limbs_[0] == 1; }
+
+  /// Number of significant bits (0 for zero).
+  size_t BitLength() const;
+
+  /// Value of bit i (i < BitLength()).
+  bool Bit(size_t i) const;
+
+  /// Three-way comparison: negative/zero/positive as *this <,==,> other.
+  int Compare(const BigUint& other) const;
+
+  BigUint Add(const BigUint& other) const;
+  /// Requires *this >= other (checked).
+  BigUint Sub(const BigUint& other) const;
+  BigUint Mul(const BigUint& other) const;
+  BigUint MulU64(uint64_t other) const;
+  BigUint ShiftLeft(size_t bits) const;
+  BigUint ShiftRight(size_t bits) const;
+
+  /// Long division; requires divisor non-zero (checked). Returns {quotient,
+  /// remainder}.
+  BigUintDivMod DivMod(const BigUint& divisor) const;
+
+  /// Greatest common divisor (Euclid). Gcd(0, x) == x.
+  static BigUint Gcd(BigUint a, BigUint b);
+
+  /// Lossy conversion; returns +inf if the value exceeds double range.
+  double ToDouble() const;
+
+  /// Fits in uint64? If yes ToU64 is exact.
+  bool FitsUint64() const { return limbs_.size() <= 2; }
+  uint64_t ToU64() const;
+
+  /// Base-10 rendering ("0" for zero).
+  std::string ToDecimalString() const;
+
+  bool operator==(const BigUint& o) const { return Compare(o) == 0; }
+  bool operator!=(const BigUint& o) const { return Compare(o) != 0; }
+  bool operator<(const BigUint& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigUint& o) const { return Compare(o) <= 0; }
+  bool operator>(const BigUint& o) const { return Compare(o) > 0; }
+  bool operator>=(const BigUint& o) const { return Compare(o) >= 0; }
+
+ private:
+  void Trim();
+
+  std::vector<uint32_t> limbs_;
+};
+
+/// Quotient and remainder of BigUint::DivMod.
+struct BigUintDivMod {
+  BigUint quotient;
+  BigUint remainder;
+};
+
+/// Computes the ratio a / b as a double without materializing the quotient;
+/// correct to ~52 bits even when both operands have millions of bits.
+/// b must be non-zero (checked).
+double BigRatioToDouble(const BigUint& a, const BigUint& b);
+
+/// Non-negative arbitrary-precision rational. Used for exact probabilities
+/// (the paper assumes rational fact labels w_i / d_i) and for exact
+/// possible-world sums in the test oracles.
+class BigRational {
+ public:
+  /// Constructs zero (0/1).
+  BigRational() : num_(), den_(1) {}
+  /// num/den; den must be non-zero (checked). Not normalized automatically;
+  /// call Normalize() or use the comparison helpers which cross-multiply.
+  BigRational(BigUint num, BigUint den);
+  /// Convenience for small rationals.
+  BigRational(uint64_t num, uint64_t den);
+
+  static BigRational Zero() { return BigRational(); }
+  static BigRational One() { return BigRational(1, 1); }
+
+  const BigUint& numerator() const { return num_; }
+  const BigUint& denominator() const { return den_; }
+
+  bool IsZero() const { return num_.IsZero(); }
+
+  BigRational Add(const BigRational& o) const;
+  /// Requires *this >= other as rationals (checked).
+  BigRational Sub(const BigRational& o) const;
+  BigRational Mul(const BigRational& o) const;
+  /// Requires o non-zero (checked).
+  BigRational Div(const BigRational& o) const;
+
+  /// Three-way comparison by cross-multiplication.
+  int Compare(const BigRational& o) const;
+
+  /// Divides numerator and denominator by their gcd.
+  BigRational Normalized() const;
+
+  double ToDouble() const { return BigRatioToDouble(num_, den_); }
+
+  /// "num/den".
+  std::string ToString() const;
+
+  bool operator==(const BigRational& o) const { return Compare(o) == 0; }
+  bool operator!=(const BigRational& o) const { return Compare(o) != 0; }
+  bool operator<(const BigRational& o) const { return Compare(o) < 0; }
+  bool operator<=(const BigRational& o) const { return Compare(o) <= 0; }
+
+ private:
+  BigUint num_;
+  BigUint den_;
+};
+
+}  // namespace pqe
+
+#endif  // PQE_UTIL_BIGINT_H_

@@ -1,0 +1,32 @@
+#ifndef PQE_UTIL_CHECK_H_
+#define PQE_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+
+#include "util/status.h"
+
+/// Aborts with a message if `cond` is false. For invariants whose violation
+/// indicates a bug in this library (not bad user input — use Status there).
+#define PQE_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::cerr << __FILE__ << ":" << __LINE__ << " PQE_CHECK failed: "     \
+                << #cond << std::endl;                                      \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+/// Aborts if a Status-returning expression fails. For examples, benchmarks,
+/// and tests where an error is unrecoverable.
+#define PQE_CHECK_OK(expr)                                                  \
+  do {                                                                      \
+    ::pqe::Status _st = (expr);                                             \
+    if (!_st.ok()) {                                                        \
+      std::cerr << __FILE__ << ":" << __LINE__ << " PQE_CHECK_OK failed: "  \
+                << _st.ToString() << std::endl;                             \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (false)
+
+#endif  // PQE_UTIL_CHECK_H_

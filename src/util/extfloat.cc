@@ -1,0 +1,111 @@
+#include "util/extfloat.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace pqe {
+
+void ExtFloat::Normalize() {
+  if (mantissa_ == 0.0) {
+    exponent_ = 0;
+    return;
+  }
+  int exp = 0;
+  mantissa_ = std::frexp(mantissa_, &exp);  // mantissa in [0.5, 1)
+  mantissa_ *= 2.0;                         // [1, 2)
+  exponent_ += exp - 1;
+}
+
+ExtFloat ExtFloat::FromDouble(double value) {
+  PQE_CHECK(std::isfinite(value) && value >= 0.0);
+  ExtFloat out(value, 0);
+  out.Normalize();
+  return out;
+}
+
+ExtFloat ExtFloat::FromUint64(uint64_t value) {
+  return FromDouble(static_cast<double>(value));
+}
+
+ExtFloat ExtFloat::FromBigUint(const BigUint& value) {
+  if (value.IsZero()) return ExtFloat();
+  const size_t bits = value.BitLength();
+  if (bits <= 62) return FromUint64(value.ToU64());
+  const size_t shift = bits - 62;
+  ExtFloat out = FromUint64(value.ShiftRight(shift).ToU64());
+  out.exponent_ += static_cast<int64_t>(shift);
+  return out;
+}
+
+ExtFloat ExtFloat::Mul(const ExtFloat& o) const {
+  if (IsZero() || o.IsZero()) return ExtFloat();
+  ExtFloat out(mantissa_ * o.mantissa_, exponent_ + o.exponent_);
+  out.Normalize();
+  return out;
+}
+
+ExtFloat ExtFloat::Div(const ExtFloat& o) const {
+  PQE_CHECK(!o.IsZero());
+  if (IsZero()) return ExtFloat();
+  ExtFloat out(mantissa_ / o.mantissa_, exponent_ - o.exponent_);
+  out.Normalize();
+  return out;
+}
+
+ExtFloat ExtFloat::Add(const ExtFloat& o) const {
+  if (IsZero()) return o;
+  if (o.IsZero()) return *this;
+  // Align to the larger exponent; beyond ~64 bits the smaller term vanishes.
+  const ExtFloat& hi = exponent_ >= o.exponent_ ? *this : o;
+  const ExtFloat& lo = exponent_ >= o.exponent_ ? o : *this;
+  int64_t diff = hi.exponent_ - lo.exponent_;
+  if (diff > 80) return hi;
+  ExtFloat out(hi.mantissa_ + std::ldexp(lo.mantissa_,
+                                         -static_cast<int>(diff)),
+               hi.exponent_);
+  out.Normalize();
+  return out;
+}
+
+ExtFloat ExtFloat::Scale(double factor) const {
+  PQE_CHECK(std::isfinite(factor) && factor >= 0.0);
+  if (IsZero() || factor == 0.0) return ExtFloat();
+  ExtFloat out(mantissa_ * factor, exponent_);
+  out.Normalize();
+  return out;
+}
+
+int ExtFloat::Compare(const ExtFloat& o) const {
+  if (IsZero() && o.IsZero()) return 0;
+  if (IsZero()) return -1;
+  if (o.IsZero()) return 1;
+  if (exponent_ != o.exponent_) return exponent_ < o.exponent_ ? -1 : 1;
+  if (mantissa_ != o.mantissa_) return mantissa_ < o.mantissa_ ? -1 : 1;
+  return 0;
+}
+
+double ExtFloat::ToDouble() const {
+  if (IsZero()) return 0.0;
+  if (exponent_ > 1023) return HUGE_VAL;
+  if (exponent_ < -1073) return 0.0;
+  return std::ldexp(mantissa_, static_cast<int>(exponent_));
+}
+
+double ExtFloat::Log2() const {
+  if (IsZero()) return -HUGE_VAL;
+  return std::log2(mantissa_) + static_cast<double>(exponent_);
+}
+
+std::string ExtFloat::ToString() const {
+  std::ostringstream out;
+  if (exponent_ >= -30 && exponent_ <= 62) {
+    out << ToDouble();
+  } else {
+    out << mantissa_ << "*2^" << exponent_;
+  }
+  return out.str();
+}
+
+}  // namespace pqe

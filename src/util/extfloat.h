@@ -1,0 +1,62 @@
+#ifndef PQE_UTIL_EXTFLOAT_H_
+#define PQE_UTIL_EXTFLOAT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/bigint.h"
+
+namespace pqe {
+
+/// A non-negative floating-point number with an extended exponent range:
+/// value = mantissa · 2^exponent with mantissa ∈ [1, 2) (or exactly 0).
+/// Tree/string counts reach |Σ|^n and overflow IEEE doubles long before the
+/// benchmarks' instance sizes do; all counting estimates use ExtFloat.
+class ExtFloat {
+ public:
+  /// Zero.
+  ExtFloat() : mantissa_(0.0), exponent_(0) {}
+
+  /// From a finite non-negative double.
+  static ExtFloat FromDouble(double value);
+  /// From an unsigned integer.
+  static ExtFloat FromUint64(uint64_t value);
+  /// From a BigUint (rounded to 53 bits).
+  static ExtFloat FromBigUint(const BigUint& value);
+
+  bool IsZero() const { return mantissa_ == 0.0; }
+
+  ExtFloat Mul(const ExtFloat& o) const;
+  /// o must be non-zero (checked).
+  ExtFloat Div(const ExtFloat& o) const;
+  ExtFloat Add(const ExtFloat& o) const;
+  /// Multiplication by a plain double factor (must be finite, >= 0).
+  ExtFloat Scale(double factor) const;
+
+  /// Three-way comparison.
+  int Compare(const ExtFloat& o) const;
+
+  /// Lossy conversion; +inf/0 on overflow/underflow of the double range.
+  double ToDouble() const;
+
+  /// log2 of the value; -inf for zero.
+  double Log2() const;
+
+  /// Scientific-style rendering "m*2^e" (or a plain decimal when it fits).
+  std::string ToString() const;
+
+  bool operator<(const ExtFloat& o) const { return Compare(o) < 0; }
+  bool operator==(const ExtFloat& o) const { return Compare(o) == 0; }
+
+ private:
+  ExtFloat(double mantissa, int64_t exponent)
+      : mantissa_(mantissa), exponent_(exponent) {}
+  void Normalize();
+
+  double mantissa_;   // in [1, 2), or 0
+  int64_t exponent_;
+};
+
+}  // namespace pqe
+
+#endif  // PQE_UTIL_EXTFLOAT_H_

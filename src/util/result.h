@@ -1,0 +1,98 @@
+#ifndef PQE_UTIL_RESULT_H_
+#define PQE_UTIL_RESULT_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <variant>
+
+#include "util/status.h"
+
+namespace pqe {
+
+/// Result<T> holds either a value of type T or a non-OK Status. This is the
+/// return type of every fallible value-producing API in the library (the
+/// Arrow `Result` / absl `StatusOr` idiom).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `return my_t;`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error: `return Status::InvalidArgument(..)`.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT(runtime/explicit)
+    if (std::get<Status>(repr_).ok()) {
+      // An OK status carries no value; this is a caller bug.
+      std::cerr << "Result<T> constructed from OK status" << std::endl;
+      std::abort();
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns the error (OK if a value is held).
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// Accessors; must only be called when ok(). Checked, aborts otherwise
+  /// (library-bug class of failure, like a failed assert).
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    CheckOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Moves the value out; must only be called when ok().
+  T MoveValue() {
+    CheckOk();
+    return std::get<T>(std::move(repr_));
+  }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::cerr << "Result::value() on error result: "
+                << std::get<Status>(repr_).ToString() << std::endl;
+      std::abort();
+    }
+  }
+
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace pqe
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the status to the
+/// caller, otherwise assigns the moved value to `lhs`. `lhs` may be a
+/// declaration: PQE_ASSIGN_OR_RETURN(auto x, MakeX());
+#define PQE_ASSIGN_OR_RETURN(lhs, rexpr)                          \
+  PQE_ASSIGN_OR_RETURN_IMPL_(                                     \
+      PQE_RESULT_CONCAT_(_pqe_result_, __LINE__), lhs, rexpr)
+
+#define PQE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).MoveValue()
+
+#define PQE_RESULT_CONCAT_(a, b) PQE_RESULT_CONCAT_IMPL_(a, b)
+#define PQE_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // PQE_UTIL_RESULT_H_

@@ -1,0 +1,47 @@
+#ifndef PQE_UTIL_RNG_H_
+#define PQE_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pqe {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256**). Every
+/// randomized component of the library takes an explicit Rng (or seed); there
+/// is no global RNG state, so runs are reproducible.
+class Rng {
+ public:
+  /// Seeds the four 64-bit words of state from `seed` via splitmix64.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  Rng(const Rng&) = default;
+  Rng& operator=(const Rng&) = default;
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound). bound must be > 0. Uses rejection to avoid
+  /// modulo bias.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Samples an index in [0, weights.size()) with probability proportional
+  /// to weights[i] (weights must be non-negative, not all zero).
+  size_t NextDiscrete(const std::vector<double>& weights);
+
+  /// Derives an independent child generator (for parallel-safe splitting).
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace pqe
+
+#endif  // PQE_UTIL_RNG_H_

@@ -1,0 +1,84 @@
+#ifndef PQE_WORKLOAD_GENERATORS_H_
+#define PQE_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+
+#include "cq/builders.h"
+#include "pdb/database.h"
+#include "pdb/probabilistic_database.h"
+#include "util/result.h"
+
+namespace pqe {
+
+/// Seeded layered graph for path queries: layer 0..n of `width` nodes each;
+/// an R_i edge between consecutive layers is present independently with
+/// probability `density`. Guarantees at least one complete source-to-sink
+/// path when `ensure_path` is set, so benchmarks never degenerate to
+/// probability 0.
+struct LayeredGraphOptions {
+  uint32_t width = 4;       // nodes per layer
+  double density = 0.5;     // edge inclusion probability
+  bool ensure_path = true;
+  uint64_t seed = 1;
+};
+Result<Database> MakeLayeredPathDatabase(const QueryInstance& path_query,
+                                         const LayeredGraphOptions& options);
+
+/// Random facts for an arbitrary schema: for each relation, `facts_per_rel`
+/// tuples drawn uniformly (with replacement, then deduplicated) over a
+/// domain of `domain_size` constants shared across relations.
+struct RandomDatabaseOptions {
+  uint32_t domain_size = 8;
+  uint32_t facts_per_relation = 12;
+  uint64_t seed = 1;
+};
+Result<Database> MakeRandomDatabase(const Schema& schema,
+                                    const RandomDatabaseOptions& options);
+
+/// Star-shaped data for star queries: `hubs` hub constants; each hub gets
+/// `spokes_per_hub` leaf edges per relation with probability `density`.
+struct StarDataOptions {
+  uint32_t hubs = 3;
+  uint32_t spokes_per_hub = 3;
+  double density = 0.7;
+  uint64_t seed = 1;
+};
+Result<Database> MakeStarDatabase(const QueryInstance& star_query,
+                                  const StarDataOptions& options);
+
+/// Probability models for turning a Database into a tuple-independent
+/// probabilistic database.
+struct ProbabilityModel {
+  enum class Kind {
+    kUniformHalf,     // every fact 1/2 (uniform reliability)
+    kFixed,           // every fact `fixed`
+    kRandomRational,  // w/d with d uniform in [2, max_denominator],
+                      // w uniform in [1, d-1]
+    kSkewed,          // extraction-like: 80% high-confidence facts
+                      // ((d-1)/d), 20% low-confidence (1/d), d =
+                      // max_denominator
+  };
+  Kind kind = Kind::kRandomRational;
+  Probability fixed = Probability::Half();
+  uint64_t max_denominator = 16;
+  uint64_t seed = 7;
+};
+ProbabilisticDatabase AttachProbabilities(Database db,
+                                          const ProbabilityModel& model);
+
+/// Snowflake-shaped data for MakeSnowflakeQuery instances: `hubs` central
+/// constants; each relation R_{a,d} links level d-1 to level d entities with
+/// `fanout` children per parent, each edge kept with probability `density`.
+struct SnowflakeDataOptions {
+  uint32_t hubs = 2;
+  uint32_t fanout = 2;
+  double density = 0.8;
+  uint64_t seed = 1;
+};
+Result<Database> MakeSnowflakeDatabase(const QueryInstance& snowflake_query,
+                                       uint32_t arms, uint32_t depth,
+                                       const SnowflakeDataOptions& options);
+
+}  // namespace pqe
+
+#endif  // PQE_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,119 @@
+// Tests for automata set operations, cross-validated with the exact
+// counters: |L_n(A∪B)| = |L_n(A)| + |L_n(B)| − |L_n(A∩B)|, reversal
+// preserves counts, products decide disjointness.
+
+#include <gtest/gtest.h>
+
+#include "automata/ops.h"
+#include "counting/exact.h"
+#include "util/rng.h"
+
+namespace pqe {
+namespace {
+
+Nfa RandomNfa(Rng* rng, size_t states, size_t alphabet, size_t transitions) {
+  Nfa nfa;
+  for (size_t i = 0; i < states; ++i) nfa.AddState();
+  nfa.EnsureAlphabetSize(alphabet);
+  nfa.MarkInitial(0);
+  nfa.MarkAccepting(static_cast<StateId>(rng->NextBounded(states)));
+  for (size_t i = 0; i < transitions; ++i) {
+    nfa.AddTransition(static_cast<StateId>(rng->NextBounded(states)),
+                      static_cast<SymbolId>(rng->NextBounded(alphabet)),
+                      static_cast<StateId>(rng->NextBounded(states)));
+  }
+  return nfa;
+}
+
+class NfaAlgebraSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NfaAlgebraSweep, InclusionExclusionHolds) {
+  Rng rng(GetParam());
+  Nfa a = RandomNfa(&rng, 3 + rng.NextBounded(3), 2, 6 + rng.NextBounded(6));
+  Nfa b = RandomNfa(&rng, 3 + rng.NextBounded(3), 2, 6 + rng.NextBounded(6));
+  const size_t n = 3 + rng.NextBounded(4);
+  auto ca = ExactCountNfaStrings(a, n).MoveValue();
+  auto cb = ExactCountNfaStrings(b, n).MoveValue();
+  auto cu = ExactCountNfaStrings(UnionNfa(a, b), n).MoveValue();
+  auto ci = ExactCountNfaStrings(IntersectNfa(a, b), n).MoveValue();
+  // |A| + |B| = |A ∪ B| + |A ∩ B|.
+  EXPECT_EQ(ca.Add(cb).Compare(cu.Add(ci)), 0) << "seed=" << GetParam();
+}
+
+TEST_P(NfaAlgebraSweep, ReversalPreservesCounts) {
+  Rng rng(GetParam() + 500);
+  Nfa a = RandomNfa(&rng, 4, 2, 8);
+  const size_t n = 4;
+  auto forward = ExactCountNfaStrings(a, n).MoveValue();
+  auto backward = ExactCountNfaStrings(ReverseNfa(a), n).MoveValue();
+  EXPECT_EQ(forward.Compare(backward), 0) << "seed=" << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NfaAlgebraSweep,
+                         ::testing::Range<uint64_t>(1, 21));
+
+TEST(NfaOpsTest, IntersectionOfDisjointLanguagesIsEmpty) {
+  // L(a) = {0^n}, L(b) = {1^n}.
+  Nfa zeros;
+  StateId z = zeros.AddState();
+  zeros.MarkInitial(z);
+  zeros.MarkAccepting(z);
+  zeros.AddTransition(z, 0, z);
+  Nfa ones;
+  StateId o = ones.AddState();
+  ones.MarkInitial(o);
+  ones.MarkAccepting(o);
+  ones.AddTransition(o, 1, o);
+  Nfa both = IntersectNfa(zeros, ones);
+  EXPECT_EQ(ExactCountNfaStrings(both, 3)->ToDecimalString(), "0");
+  // Length 0: the empty string is in both.
+  EXPECT_EQ(ExactCountNfaStrings(both, 0)->ToDecimalString(), "1");
+}
+
+TEST(NftaOpsTest, UnionCountsMatchInclusionExclusion) {
+  // A accepts the single leaf 'x'; B accepts leaves 'x' and 'y'.
+  Nfta a;
+  StateId qa = a.AddState();
+  a.SetInitialState(qa);
+  a.AddTransition(qa, 0, {});
+  Nfta b;
+  StateId qb = b.AddState();
+  b.SetInitialState(qb);
+  b.AddTransition(qb, 0, {});
+  b.AddTransition(qb, 1, {});
+  auto u = UnionNfta(a, b).MoveValue();
+  // Union language at size 1: {x, y} → 2 trees, overlap counted once.
+  EXPECT_EQ(ExactCountNftaTrees(u, 1)->ToDecimalString(), "2");
+}
+
+TEST(NftaOpsTest, UnionRejectsLambda) {
+  Nfta a;
+  StateId q = a.AddState();
+  StateId r = a.AddState();
+  a.SetInitialState(q);
+  a.AddTransition(q, Nfta::kLambdaSymbol, {r});
+  Nfta b;
+  StateId qb = b.AddState();
+  b.SetInitialState(qb);
+  b.AddTransition(qb, 0, {});
+  EXPECT_FALSE(UnionNfta(a, b).ok());
+}
+
+TEST(NftaOpsTest, UnionPreservesDeepTrees) {
+  // A: unary chain x(x(x...)); B: leaf y. Union accepts both shapes.
+  Nfta a;
+  StateId q = a.AddState();
+  a.SetInitialState(q);
+  a.AddTransition(q, 0, {q});
+  a.AddTransition(q, 0, {});
+  Nfta b;
+  StateId qb = b.AddState();
+  b.SetInitialState(qb);
+  b.AddTransition(qb, 1, {});
+  auto u = UnionNfta(a, b).MoveValue();
+  EXPECT_EQ(ExactCountNftaTrees(u, 3)->ToDecimalString(), "1");  // x-chain
+  EXPECT_EQ(ExactCountNftaTrees(u, 1)->ToDecimalString(), "2");  // x or y
+}
+
+}  // namespace
+}  // namespace pqe

@@ -1,0 +1,103 @@
+// Tests for CQ containment and minimization (Chandra–Merlin homomorphism
+// test over canonical databases).
+
+#include <gtest/gtest.h>
+
+#include "cq/builders.h"
+#include "cq/containment.h"
+#include "cq/parser.h"
+
+namespace pqe {
+namespace {
+
+Schema GraphSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddRelation("E", 2).ok());
+  EXPECT_TRUE(schema.AddRelation("L", 1).ok());
+  return schema;
+}
+
+TEST(CanonicalDatabaseTest, OneFactPerAtomWithFrozenVariables) {
+  Schema schema = GraphSchema();
+  auto q = ParseQuery(schema, "E(x,y), E(y,x), L(x)").MoveValue();
+  auto db = CanonicalDatabase(schema, q).MoveValue();
+  EXPECT_EQ(db.NumFacts(), 3u);
+  // Frozen constants are shared across atoms mentioning the same variable.
+  EXPECT_EQ(db.NumValues(), 2u);
+}
+
+TEST(ContainmentTest, LongerPathsAreContainedInShorterOnes) {
+  // Over a single edge relation, a length-3 path query implies a length-2
+  // path query (every 3-path contains a 2-path): P3 ⊑ P2.
+  Schema schema = GraphSchema();
+  auto p2 = ParseQuery(schema, "E(x,y), E(y,z)").MoveValue();
+  auto p3 = ParseQuery(schema, "E(x,y), E(y,z), E(z,w)").MoveValue();
+  EXPECT_TRUE(IsContainedIn(schema, p3, p2).value());
+  EXPECT_FALSE(IsContainedIn(schema, p2, p3).value());
+  EXPECT_FALSE(AreEquivalent(schema, p2, p3).value());
+}
+
+TEST(ContainmentTest, SelfLoopIsContainedInEverything) {
+  Schema schema = GraphSchema();
+  auto loop = ParseQuery(schema, "E(x,x)").MoveValue();
+  auto p2 = ParseQuery(schema, "E(x,y), E(y,z)").MoveValue();
+  EXPECT_TRUE(IsContainedIn(schema, loop, p2).value());
+  EXPECT_FALSE(IsContainedIn(schema, p2, loop).value());
+}
+
+TEST(ContainmentTest, RenamedVariablesAreEquivalent) {
+  Schema schema = GraphSchema();
+  auto a = ParseQuery(schema, "E(x,y), L(x)").MoveValue();
+  auto b = ParseQuery(schema, "E(u,v), L(u)").MoveValue();
+  EXPECT_TRUE(AreEquivalent(schema, a, b).value());
+}
+
+TEST(ContainmentTest, DisjointRelationsAreIncomparable) {
+  Schema schema = GraphSchema();
+  auto e = ParseQuery(schema, "E(x,y)").MoveValue();
+  auto l = ParseQuery(schema, "L(x)").MoveValue();
+  EXPECT_FALSE(IsContainedIn(schema, e, l).value());
+  EXPECT_FALSE(IsContainedIn(schema, l, e).value());
+}
+
+TEST(MinimizeTest, RedundantAtomIsDropped) {
+  // E(x,y), E(u,v): the second atom folds onto the first — core is E(x,y).
+  Schema schema = GraphSchema();
+  auto q = ParseQuery(schema, "E(x,y), E(u,v)").MoveValue();
+  auto core = MinimizeQuery(schema, q).MoveValue();
+  EXPECT_EQ(core.NumAtoms(), 1u);
+  EXPECT_TRUE(AreEquivalent(schema, q, core).value());
+}
+
+TEST(MinimizeTest, ChainFoldsOntoSelfLoop) {
+  // E(x,x), E(x,y): y can map to x — core is the self-loop alone.
+  Schema schema = GraphSchema();
+  auto q = ParseQuery(schema, "E(x,x), E(x,y)").MoveValue();
+  auto core = MinimizeQuery(schema, q).MoveValue();
+  EXPECT_EQ(core.NumAtoms(), 1u);
+}
+
+TEST(MinimizeTest, CoresAreFixedPoints) {
+  Schema schema = GraphSchema();
+  // A genuine 2-path (no self-loops): already a core.
+  auto p2 = ParseQuery(schema, "E(x,y), E(y,z)").MoveValue();
+  auto core = MinimizeQuery(schema, p2).MoveValue();
+  EXPECT_EQ(core.NumAtoms(), 2u);
+  // Self-join-free queries are always cores.
+  auto path = MakePathQuery(4).MoveValue();
+  auto core2 = MinimizeQuery(path.schema, path.query).MoveValue();
+  EXPECT_EQ(core2.NumAtoms(), 4u);
+}
+
+TEST(MinimizeTest, PreservesSemanticsOnTriangleWithChord) {
+  Schema schema = GraphSchema();
+  // Triangle plus an extra edge atom that folds into it.
+  auto q =
+      ParseQuery(schema, "E(x,y), E(y,z), E(z,x), E(a,b)").MoveValue();
+  auto core = MinimizeQuery(schema, q).MoveValue();
+  EXPECT_EQ(core.NumAtoms(), 3u);
+  EXPECT_TRUE(AreEquivalent(schema, q, core).value());
+}
+
+}  // namespace
+}  // namespace pqe

@@ -1,0 +1,166 @@
+// Tests for the PqeEngine facade: method auto-selection, forcing, and the
+// agreement of every strategy on shared instances.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "cq/parser.h"
+#include "cq/ucq.h"
+#include "eval/ucq_eval.h"
+#include "cq/builders.h"
+#include "eval/eval.h"
+#include "workload/generators.h"
+
+namespace pqe {
+namespace {
+
+ProbabilisticDatabase SmallPathPdb(const QueryInstance& qi, uint64_t seed) {
+  LayeredGraphOptions opt;
+  opt.width = 2;
+  opt.density = 0.8;
+  opt.seed = seed;
+  auto db = MakeLayeredPathDatabase(qi, opt).MoveValue();
+  ProbabilityModel pm;
+  pm.seed = seed + 1;
+  return AttachProbabilities(std::move(db), pm);
+}
+
+TEST(EngineTest, AutoPicksSafePlanForHierarchical) {
+  auto star = MakeStarQuery(3).MoveValue();
+  StarDataOptions sopt;
+  auto db = MakeStarDatabase(star, sopt).MoveValue();
+  ProbabilityModel pm;
+  ProbabilisticDatabase pdb = AttachProbabilities(std::move(db), pm);
+  PqeEngine engine;
+  auto answer = engine.Evaluate(star.query, pdb).MoveValue();
+  EXPECT_EQ(answer.method_used, PqeMethod::kSafePlan);
+  EXPECT_TRUE(answer.is_exact);
+}
+
+TEST(EngineTest, AutoPicksEnumerationForTinyUnsafe) {
+  auto qi = MakePathQuery(3).MoveValue();
+  ProbabilisticDatabase pdb = SmallPathPdb(qi, 3);
+  ASSERT_LE(pdb.NumFacts(), 16u);
+  PqeEngine engine;
+  auto answer = engine.Evaluate(qi.query, pdb).MoveValue();
+  EXPECT_EQ(answer.method_used, PqeMethod::kEnumeration);
+  EXPECT_TRUE(answer.is_exact);
+}
+
+TEST(EngineTest, AutoPicksFprasForLargerUnsafe) {
+  auto qi = MakePathQuery(3).MoveValue();
+  LayeredGraphOptions opt;
+  opt.width = 3;
+  opt.density = 0.9;
+  opt.seed = 4;
+  auto db = MakeLayeredPathDatabase(qi, opt).MoveValue();
+  ProbabilityModel pm;
+  pm.kind = ProbabilityModel::Kind::kUniformHalf;
+  ProbabilisticDatabase pdb = AttachProbabilities(std::move(db), pm);
+  ASSERT_GT(pdb.NumFacts(), 16u);
+  PqeEngine::Options opts;
+  opts.epsilon = 0.25;
+  PqeEngine engine(opts);
+  auto answer = engine.Evaluate(qi.query, pdb);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->method_used, PqeMethod::kFpras);
+  EXPECT_FALSE(answer->is_exact);
+  EXPECT_FALSE(answer->diagnostics.empty());
+}
+
+TEST(EngineTest, AllMethodsAgreeOnSharedInstance) {
+  auto qi = MakePathQuery(3).MoveValue();
+  ProbabilisticDatabase pdb = SmallPathPdb(qi, 7);
+  auto truth =
+      ExactProbabilityByEnumeration(pdb, qi.query).MoveValue().ToDouble();
+  ASSERT_GT(truth, 0.0);
+  for (PqeMethod method :
+       {PqeMethod::kEnumeration, PqeMethod::kFpras,
+        PqeMethod::kKarpLubyLineage, PqeMethod::kExactLineage,
+        PqeMethod::kMonteCarlo}) {
+    PqeEngine::Options opts;
+    opts.method = method;
+    opts.epsilon = 0.1;
+    opts.seed = 99;
+    PqeEngine engine(opts);
+    auto answer = engine.Evaluate(qi.query, pdb);
+    ASSERT_TRUE(answer.ok())
+        << PqeMethodToString(method) << ": " << answer.status().ToString();
+    EXPECT_NEAR(answer->probability / truth, 1.0, 0.3)
+        << PqeMethodToString(method);
+  }
+}
+
+TEST(EngineTest, SafePlanForcedOnUnsafeFails) {
+  auto qi = MakePathQuery(3).MoveValue();
+  ProbabilisticDatabase pdb = SmallPathPdb(qi, 5);
+  PqeEngine::Options opts;
+  opts.method = PqeMethod::kSafePlan;
+  PqeEngine engine(opts);
+  EXPECT_EQ(engine.Evaluate(qi.query, pdb).status().code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(EngineTest, UniformReliabilityHelper) {
+  auto qi = MakePathQuery(2).MoveValue();
+  LayeredGraphOptions opt;
+  opt.width = 2;
+  opt.density = 0.9;
+  opt.seed = 6;
+  auto db = MakeLayeredPathDatabase(qi, opt).MoveValue();
+  auto truth = UniformReliabilityByEnumeration(db, qi.query).MoveValue();
+  PqeEngine engine;
+  auto ur = engine.EvaluateUniformReliability(qi.query, db);
+  ASSERT_TRUE(ur.ok());
+  EXPECT_DOUBLE_EQ(*ur, truth.ToDouble());
+}
+
+TEST(EngineTest, EvaluateUnionAgreesWithEnumeration) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("E", 2).ok());
+  ASSERT_TRUE(schema.AddRelation("F", 1).ok());
+  auto u = ParseUnionQuery(schema, "E(x,y) | F(z)").MoveValue();
+  Database db(schema);
+  ASSERT_TRUE(db.AddFactByName("E", {"a", "b"}).ok());
+  ASSERT_TRUE(db.AddFactByName("F", {"c"}).ok());
+  ProbabilisticDatabase pdb = ProbabilisticDatabase::Uniform(std::move(db));
+  PqeEngine engine;
+  auto answer = engine.EvaluateUnion(u, pdb);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_TRUE(answer->is_exact);
+  EXPECT_NEAR(answer->probability, 0.75, 1e-12);  // 1 - (1/2)(1/2)
+}
+
+TEST(EngineTest, EvaluateUnionLargerInstanceUsesLineage) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("E", 2).ok());
+  ASSERT_TRUE(schema.AddRelation("F", 2).ok());
+  auto u = ParseUnionQuery(schema, "E(x,y), F(y,z) | F(a,a)").MoveValue();
+  RandomDatabaseOptions ropt;
+  ropt.domain_size = 4;
+  ropt.facts_per_relation = 14;
+  ropt.seed = 7;
+  auto db = MakeRandomDatabase(schema, ropt).MoveValue();
+  ASSERT_GT(db.NumFacts(), 16u);
+  ProbabilityModel pm;
+  pm.seed = 8;
+  ProbabilisticDatabase pdb = AttachProbabilities(std::move(db), pm);
+  PqeEngine engine;
+  auto answer = engine.EvaluateUnion(u, pdb);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_EQ(answer->method_used, PqeMethod::kExactLineage);
+  // Cross-check against the standalone exact union evaluator.
+  auto truth = ExactUnionProbability(u, pdb).MoveValue();
+  EXPECT_NEAR(answer->probability, truth.ToDouble(), 1e-9);
+}
+
+TEST(EngineTest, MethodNamesAreStable) {
+  EXPECT_STREQ(PqeMethodToString(PqeMethod::kFpras), "fpras");
+  EXPECT_STREQ(PqeMethodToString(PqeMethod::kMonteCarlo), "monte-carlo");
+  EXPECT_STREQ(PqeMethodToString(PqeMethod::kSafePlan), "safe-plan");
+  EXPECT_STREQ(PqeMethodToString(PqeMethod::kKarpLubyLineage),
+               "karp-luby-lineage");
+}
+
+}  // namespace
+}  // namespace pqe

@@ -1,0 +1,147 @@
+// Unit tests for the eval module: query satisfaction, witnesses, and the
+// exact possible-world oracles.
+
+#include <gtest/gtest.h>
+
+#include "cq/builders.h"
+#include "cq/parser.h"
+#include "eval/eval.h"
+#include "pdb/probabilistic_database.h"
+
+namespace pqe {
+namespace {
+
+struct PathFixture {
+  QueryInstance qi = MakePathQuery(2).MoveValue();
+  Database db{qi.schema};
+
+  PathFixture() {
+    EXPECT_TRUE(db.AddFactByName("R1", {"a", "b"}).ok());
+    EXPECT_TRUE(db.AddFactByName("R2", {"b", "c"}).ok());
+    EXPECT_TRUE(db.AddFactByName("R2", {"x", "y"}).ok());
+  }
+};
+
+TEST(SatisfiesTest, FindsChainedWitness) {
+  PathFixture f;
+  auto sat = Satisfies(f.db, f.qi.query);
+  ASSERT_TRUE(sat.ok());
+  EXPECT_TRUE(*sat);
+}
+
+TEST(SatisfiesTest, FailsWithoutJoin) {
+  PathFixture f;
+  Database db(f.qi.schema);
+  ASSERT_TRUE(db.AddFactByName("R1", {"a", "b"}).ok());
+  ASSERT_TRUE(db.AddFactByName("R2", {"c", "d"}).ok());  // does not join
+  EXPECT_FALSE(Satisfies(db, f.qi.query).value());
+}
+
+TEST(SatisfiesTest, SubinstanceRespectsPresence) {
+  PathFixture f;
+  EXPECT_TRUE(
+      SatisfiesSubinstance(f.db, f.qi.query, {true, true, false}).value());
+  EXPECT_FALSE(
+      SatisfiesSubinstance(f.db, f.qi.query, {true, false, true}).value());
+  EXPECT_FALSE(
+      SatisfiesSubinstance(f.db, f.qi.query, {false, true, true}).value());
+  // Wrong bitvector size is an error.
+  EXPECT_FALSE(SatisfiesSubinstance(f.db, f.qi.query, {true}).ok());
+}
+
+TEST(SatisfiesTest, ValidatesSchemaCompatibility) {
+  PathFixture f;
+  Schema other;
+  ASSERT_TRUE(other.AddRelation("R1", 2).ok());
+  ASSERT_TRUE(other.AddRelation("R2", 2).ok());
+  ASSERT_TRUE(other.AddRelation("R3", 2).ok());
+  auto q3 = MakePathQuery(3).MoveValue();
+  // Query over 3 relations, database schema has only 2.
+  EXPECT_EQ(Satisfies(f.db, q3.query).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WitnessTest, FindAndEnumerate) {
+  PathFixture f;
+  auto w = FindWitness(f.db, f.qi.query);
+  ASSERT_TRUE(w.ok());
+  ASSERT_TRUE(w->found);
+  // x1=a, x2=b, x3=c in some variable order.
+  auto all = AllWitnesses(f.db, f.qi.query);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 1u);
+}
+
+TEST(WitnessTest, CountsCrossProducts) {
+  auto qi = MakePathQuery(2).MoveValue();
+  Database db(qi.schema);
+  // Two R1 edges into b, two R2 edges out of b: 4 witnesses.
+  ASSERT_TRUE(db.AddFactByName("R1", {"a1", "b"}).ok());
+  ASSERT_TRUE(db.AddFactByName("R1", {"a2", "b"}).ok());
+  ASSERT_TRUE(db.AddFactByName("R2", {"b", "c1"}).ok());
+  ASSERT_TRUE(db.AddFactByName("R2", {"b", "c2"}).ok());
+  EXPECT_EQ(AllWitnesses(db, qi.query)->size(), 4u);
+}
+
+TEST(WitnessTest, RepeatedVariableInAtom) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("E", 2).ok());
+  auto q = ParseQuery(schema, "E(x,x)");
+  ASSERT_TRUE(q.ok());
+  Database db(schema);
+  ASSERT_TRUE(db.AddFactByName("E", {"a", "b"}).ok());
+  EXPECT_FALSE(Satisfies(db, *q).value());
+  ASSERT_TRUE(db.AddFactByName("E", {"c", "c"}).ok());
+  EXPECT_TRUE(Satisfies(db, *q).value());
+}
+
+TEST(EnumerationTest, UniformReliabilityKnownValue) {
+  // Single atom R1(x,y) with two facts: satisfying subsets are those
+  // containing at least one fact: 2^2 - 1 = 3.
+  auto qi = MakePathQuery(1).MoveValue();
+  Database db(qi.schema);
+  ASSERT_TRUE(db.AddFactByName("R1", {"a", "b"}).ok());
+  ASSERT_TRUE(db.AddFactByName("R1", {"c", "d"}).ok());
+  EXPECT_EQ(UniformReliabilityByEnumeration(db, qi.query)->ToDecimalString(),
+            "3");
+}
+
+TEST(EnumerationTest, ChainKnownValue) {
+  PathFixture f;
+  // Satisfying subsets must contain facts 0 and 1; fact 2 free: 2 subsets.
+  EXPECT_EQ(
+      UniformReliabilityByEnumeration(f.db, f.qi.query)->ToDecimalString(),
+      "2");
+}
+
+TEST(EnumerationTest, GuardsLargeDatabases) {
+  PathFixture f;
+  EXPECT_EQ(UniformReliabilityByEnumeration(f.db, f.qi.query, 2)
+                .status()
+                .code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(EnumerationTest, ExactProbabilityMatchesHandComputation) {
+  PathFixture f;
+  ProbabilisticDatabase pdb = ProbabilisticDatabase::Uniform(f.db);
+  ASSERT_TRUE(pdb.SetProbability(0, Probability{1, 2}).ok());
+  ASSERT_TRUE(pdb.SetProbability(1, Probability{1, 3}).ok());
+  ASSERT_TRUE(pdb.SetProbability(2, Probability{1, 5}).ok());
+  // Query satisfied iff facts 0 and 1 both present: 1/2 * 1/3 = 1/6.
+  auto p = ExactProbabilityByEnumeration(pdb, f.qi.query);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->Normalized().ToString(), "1/6");
+}
+
+TEST(EnumerationTest, EmptyDatabaseMeansZero) {
+  auto qi = MakePathQuery(2).MoveValue();
+  Database db(qi.schema);
+  EXPECT_EQ(UniformReliabilityByEnumeration(db, qi.query)->ToDecimalString(),
+            "0");
+  ProbabilisticDatabase pdb = ProbabilisticDatabase::Uniform(db);
+  EXPECT_TRUE(ExactProbabilityByEnumeration(pdb, qi.query)->IsZero());
+}
+
+}  // namespace
+}  // namespace pqe

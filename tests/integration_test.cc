@@ -1,0 +1,119 @@
+// Cross-module integration sweeps: every evaluation strategy in the library
+// is run against randomized instances and checked for mutual agreement —
+// the library-level analogue of the paper's correctness claims.
+
+#include <gtest/gtest.h>
+
+#include "core/pqe.h"
+#include "core/ur_construction.h"
+#include "cq/builders.h"
+#include "eval/eval.h"
+#include "lineage/karp_luby.h"
+#include "lineage/lineage.h"
+#include "safeplan/safe_plan.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace pqe {
+namespace {
+
+// One random instance of a random family; all exact methods must agree bit
+// for bit, and both FPRAS methods must land within a generous band.
+class FullPipelineSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FullPipelineSweep, AllStrategiesAgree) {
+  const uint64_t seed = GetParam();
+  Rng rng(seed);
+  QueryInstance qi = [&]() -> QueryInstance {
+    switch (rng.NextBounded(4)) {
+      case 0:
+        return MakePathQuery(2 + static_cast<uint32_t>(rng.NextBounded(2)))
+            .MoveValue();
+      case 1:
+        return MakeStarQuery(2 + static_cast<uint32_t>(rng.NextBounded(2)))
+            .MoveValue();
+      case 2:
+        return MakeH0Query().MoveValue();
+      default:
+        return MakeCycleQuery(3).MoveValue();
+    }
+  }();
+  RandomDatabaseOptions ropt;
+  ropt.domain_size = 3;
+  ropt.facts_per_relation =
+      static_cast<uint32_t>(2 + rng.NextBounded(2));
+  ropt.seed = seed * 17 + 3;
+  auto db = MakeRandomDatabase(qi.schema, ropt).MoveValue();
+  if (db.NumFacts() > 13) GTEST_SKIP();
+  ProbabilityModel pm;
+  pm.max_denominator = 8;
+  pm.seed = seed * 11 + 5;
+  ProbabilisticDatabase pdb = AttachProbabilities(std::move(db), pm);
+
+  // Ground truth by enumeration.
+  auto truth = ExactProbabilityByEnumeration(pdb, qi.query).MoveValue();
+  const double t = truth.ToDouble();
+
+  // Exact via the Theorem 1 automaton.
+  auto via_automaton = PqeExactViaAutomaton(qi.query, pdb);
+  ASSERT_TRUE(via_automaton.ok()) << via_automaton.status().ToString();
+  EXPECT_EQ(via_automaton->Compare(truth), 0) << "seed=" << seed;
+
+  // Exact via lineage + Shannon expansion.
+  auto lineage = BuildLineage(qi.query, pdb.database()).MoveValue();
+  auto via_lineage = ExactDnfProbability(lineage, pdb).MoveValue();
+  EXPECT_EQ(via_lineage.Compare(truth), 0) << "seed=" << seed;
+
+  // Exact via safe plan where applicable.
+  if (IsSafeQuery(qi.query)) {
+    EXPECT_NEAR(SafePlanProbability(qi.query, pdb).value(), t, 1e-9);
+  }
+
+  if (t > 0.0) {
+    // FPRAS via the paper's pipeline.
+    EstimatorConfig cfg;
+    cfg.epsilon = 0.1;
+    cfg.seed = seed * 31 + 7;
+    auto est = PqeEstimate(qi.query, pdb, cfg).MoveValue();
+    EXPECT_GT(est.probability, t / 1.4) << "seed=" << seed;
+    EXPECT_LT(est.probability, t * 1.4) << "seed=" << seed;
+
+    // FPRAS via Karp–Luby on the lineage.
+    KarpLubyConfig klc;
+    klc.epsilon = 0.05;
+    klc.seed = seed * 13 + 11;
+    auto kl = KarpLubyEstimate(lineage, pdb, klc).MoveValue();
+    EXPECT_NEAR(kl.probability / t, 1.0, 0.25) << "seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FullPipelineSweep,
+                         ::testing::Range<uint64_t>(1, 25));
+
+// Uniform reliability consistency: enumeration == Prop. 1 automaton count ==
+// 2^|D| · PQE at uniform 1/2 labels.
+class UrConsistencySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UrConsistencySweep, UrAndPqeViewsCoincide) {
+  const uint64_t seed = GetParam();
+  auto qi = MakePathQuery(3).MoveValue();
+  LayeredGraphOptions opt;
+  opt.width = 2;
+  opt.density = 0.5 + 0.1 * (seed % 4);
+  opt.seed = seed;
+  auto db = MakeLayeredPathDatabase(qi, opt).MoveValue();
+  if (db.NumFacts() > 13) GTEST_SKIP();
+  auto ur = UniformReliabilityByEnumeration(db, qi.query).MoveValue();
+  auto ur_automaton = UrExactViaAutomaton(qi.query, db).MoveValue();
+  EXPECT_EQ(ur.ToDecimalString(), ur_automaton.ToDecimalString());
+  ProbabilisticDatabase pdb = ProbabilisticDatabase::Uniform(db);
+  auto p = PqeExactViaAutomaton(qi.query, pdb).MoveValue();
+  BigRational expected(ur, BigUint::PowerOfTwo(db.NumFacts()));
+  EXPECT_EQ(p.Compare(expected), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UrConsistencySweep,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace pqe

@@ -1,0 +1,118 @@
+// Regression tests for the indexed sparse bottom-up membership oracle
+// (Nfta::RunStates): it must agree exactly with a naive all-transitions
+// reference on random automata and random labelled trees. The oracle is the
+// exactness backbone of the Karp–Luby canonical checks, so silent divergence
+// here would bias the whole FPRAS.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "automata/nfta.h"
+#include "automata/tree.h"
+#include "util/rng.h"
+
+namespace pqe {
+namespace {
+
+// Naive reference: per node, scan every transition.
+std::vector<std::vector<bool>> NaiveRunStates(const Nfta& nfta,
+                                              const LabeledTree& t) {
+  std::vector<std::vector<bool>> states(
+      t.size(), std::vector<bool>(nfta.NumStates(), false));
+  for (uint32_t node = static_cast<uint32_t>(t.size()); node-- > 0;) {
+    const auto& kids = t.children(node);
+    for (const Nfta::Transition& tr : nfta.transitions()) {
+      if (tr.symbol != t.label(node) || tr.children.size() != kids.size()) {
+        continue;
+      }
+      bool ok = true;
+      for (size_t i = 0; i < kids.size() && ok; ++i) {
+        ok = states[kids[i]][tr.children[i]];
+      }
+      if (ok) states[node][tr.from] = true;
+    }
+  }
+  return states;
+}
+
+Nfta RandomNfta(Rng* rng, size_t states, size_t alphabet,
+                size_t transitions) {
+  Nfta t;
+  for (size_t i = 0; i < states; ++i) t.AddState();
+  t.EnsureAlphabetSize(alphabet);
+  t.SetInitialState(0);
+  for (size_t q = 0; q < states; ++q) {
+    t.AddTransition(static_cast<StateId>(q),
+                    static_cast<SymbolId>(rng->NextBounded(alphabet)), {});
+  }
+  for (size_t i = 0; i < transitions; ++i) {
+    const size_t arity = 1 + rng->NextBounded(3);
+    std::vector<StateId> children;
+    for (size_t j = 0; j < arity; ++j) {
+      children.push_back(static_cast<StateId>(rng->NextBounded(states)));
+    }
+    t.AddTransition(static_cast<StateId>(rng->NextBounded(states)),
+                    static_cast<SymbolId>(rng->NextBounded(alphabet)),
+                    std::move(children));
+  }
+  return t;
+}
+
+// Random labelled tree with `nodes` nodes over `alphabet` symbols.
+LabeledTree RandomTree(Rng* rng, size_t nodes, size_t alphabet) {
+  LabeledTree t(static_cast<SymbolId>(rng->NextBounded(alphabet)));
+  for (size_t i = 1; i < nodes; ++i) {
+    const uint32_t parent = static_cast<uint32_t>(rng->NextBounded(i));
+    t.AddChild(parent, static_cast<SymbolId>(rng->NextBounded(alphabet)));
+  }
+  return t;
+}
+
+class RunStatesAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RunStatesAgreement, IndexedMatchesNaive) {
+  Rng rng(GetParam() * 97 + 13);
+  Nfta nfta = RandomNfta(&rng, 3 + rng.NextBounded(5),
+                         2 + rng.NextBounded(3), 5 + rng.NextBounded(10));
+  for (int trial = 0; trial < 8; ++trial) {
+    LabeledTree t =
+        RandomTree(&rng, 1 + rng.NextBounded(12), nfta.AlphabetSize());
+    const auto sparse = nfta.RunStates(t);
+    const auto naive = NaiveRunStates(nfta, t);
+    ASSERT_EQ(sparse.size(), t.size());
+    for (uint32_t node = 0; node < t.size(); ++node) {
+      for (StateId q = 0; q < nfta.NumStates(); ++q) {
+        const bool in_sparse = std::binary_search(sparse[node].begin(),
+                                                  sparse[node].end(), q);
+        EXPECT_EQ(in_sparse, naive[node][q])
+            << "seed=" << GetParam() << " trial=" << trial << " node="
+            << node << " state=" << q;
+      }
+      // Sparse lists must be sorted and duplicate-free.
+      for (size_t i = 1; i < sparse[node].size(); ++i) {
+        EXPECT_LT(sparse[node][i - 1], sparse[node][i]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RunStatesAgreement,
+                         ::testing::Range<uint64_t>(1, 25));
+
+TEST(RunStatesTest, IndexSurvivesMutation) {
+  // The (symbol, child) index is lazy; adding transitions after a query must
+  // invalidate it.
+  Nfta t;
+  StateId q = t.AddState();
+  StateId r = t.AddState();
+  t.SetInitialState(q);
+  t.AddTransition(r, 1, {});
+  LabeledTree leaf(0);
+  EXPECT_FALSE(t.Accepts(leaf));  // builds the index
+  t.AddTransition(q, 0, {});      // must invalidate it
+  EXPECT_TRUE(t.Accepts(leaf));
+}
+
+}  // namespace
+}  // namespace pqe

@@ -1,0 +1,123 @@
+// Tests for the safe-plan (extensional) evaluator: exactness on hierarchical
+// queries, rejection of unsafe ones.
+
+#include <gtest/gtest.h>
+
+#include "cq/builders.h"
+#include "cq/parser.h"
+#include "eval/eval.h"
+#include "safeplan/safe_plan.h"
+#include "workload/generators.h"
+
+namespace pqe {
+namespace {
+
+TEST(SafeQueryTest, ClassifiesFamilies) {
+  EXPECT_TRUE(IsSafeQuery(MakeStarQuery(4)->query));
+  EXPECT_TRUE(IsSafeQuery(MakePathQuery(1)->query));
+  EXPECT_TRUE(IsSafeQuery(MakePathQuery(2)->query));
+  EXPECT_FALSE(IsSafeQuery(MakePathQuery(3)->query));
+  EXPECT_FALSE(IsSafeQuery(MakeH0Query()->query));
+  EXPECT_FALSE(IsSafeQuery(MakeSelfJoinPathQuery(2)->query));  // self-join
+}
+
+TEST(SafePlanTest, SingleAtomIndependentOr) {
+  auto qi = MakePathQuery(1).MoveValue();
+  Database db(qi.schema);
+  ASSERT_TRUE(db.AddFactByName("R1", {"a", "b"}).ok());
+  ASSERT_TRUE(db.AddFactByName("R1", {"c", "d"}).ok());
+  ProbabilisticDatabase pdb = ProbabilisticDatabase::Uniform(std::move(db));
+  ASSERT_TRUE(pdb.SetProbability(0, Probability{1, 2}).ok());
+  ASSERT_TRUE(pdb.SetProbability(1, Probability{1, 4}).ok());
+  // 1 - (1/2)(3/4) = 5/8.
+  EXPECT_NEAR(SafePlanProbability(qi.query, pdb).value(), 0.625, 1e-12);
+}
+
+TEST(SafePlanTest, RejectsUnsafeQueries) {
+  auto h0 = MakeH0Query().MoveValue();
+  Database db(h0.schema);
+  ASSERT_TRUE(db.AddFactByName("R", {"a"}).ok());
+  ASSERT_TRUE(db.AddFactByName("S", {"a", "b"}).ok());
+  ASSERT_TRUE(db.AddFactByName("T", {"b"}).ok());
+  ProbabilisticDatabase pdb = ProbabilisticDatabase::Uniform(std::move(db));
+  EXPECT_EQ(SafePlanProbability(h0.query, pdb).status().code(),
+            StatusCode::kNotSupported);
+}
+
+TEST(SafePlanTest, RejectsSelfJoins) {
+  auto sj = MakeSelfJoinPathQuery(2).MoveValue();
+  Database db(sj.schema);
+  ASSERT_TRUE(db.AddFactByName("R", {"a", "b"}).ok());
+  ProbabilisticDatabase pdb = ProbabilisticDatabase::Uniform(std::move(db));
+  EXPECT_EQ(SafePlanProbability(sj.query, pdb).status().code(),
+            StatusCode::kNotSupported);
+}
+
+// Property: safe plan == enumeration across random hierarchical instances.
+class SafePlanAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SafePlanAgreement, StarQueriesMatchEnumeration) {
+  const uint64_t seed = GetParam();
+  auto star = MakeStarQuery(2 + seed % 3).MoveValue();
+  StarDataOptions sopt;
+  sopt.hubs = 2;
+  sopt.spokes_per_hub = 2;
+  sopt.density = 0.7;
+  sopt.seed = seed;
+  auto db = MakeStarDatabase(star, sopt).MoveValue();
+  if (db.NumFacts() > 15) GTEST_SKIP();
+  ProbabilityModel pm;
+  pm.seed = seed * 3 + 1;
+  ProbabilisticDatabase pdb = AttachProbabilities(std::move(db), pm);
+  auto truth = ExactProbabilityByEnumeration(pdb, star.query).MoveValue();
+  auto sp = SafePlanProbability(star.query, pdb);
+  ASSERT_TRUE(sp.ok()) << sp.status().ToString();
+  EXPECT_NEAR(*sp, truth.ToDouble(), 1e-9) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SafePlanAgreement,
+                         ::testing::Range<uint64_t>(1, 17));
+
+TEST_P(SafePlanAgreement, Path2MatchesEnumeration) {
+  const uint64_t seed = GetParam();
+  auto qi = MakePathQuery(2).MoveValue();  // length 2 is hierarchical
+  RandomDatabaseOptions ropt;
+  ropt.domain_size = 3;
+  ropt.facts_per_relation = 5;
+  ropt.seed = seed;
+  auto db = MakeRandomDatabase(qi.schema, ropt).MoveValue();
+  if (db.NumFacts() > 15) GTEST_SKIP();
+  ProbabilityModel pm;
+  pm.seed = seed * 7 + 2;
+  ProbabilisticDatabase pdb = AttachProbabilities(std::move(db), pm);
+  auto truth = ExactProbabilityByEnumeration(pdb, qi.query).MoveValue();
+  auto sp = SafePlanProbability(qi.query, pdb);
+  ASSERT_TRUE(sp.ok()) << sp.status().ToString();
+  EXPECT_NEAR(*sp, truth.ToDouble(), 1e-9) << "seed=" << seed;
+}
+
+TEST(SafePlanTest, DisjointComponentsMultiply) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("A", 1).ok());
+  ASSERT_TRUE(schema.AddRelation("B", 1).ok());
+  auto q = ParseQuery(schema, "A(x), B(y)").MoveValue();
+  Database db(schema);
+  ASSERT_TRUE(db.AddFactByName("A", {"a"}).ok());
+  ASSERT_TRUE(db.AddFactByName("B", {"b"}).ok());
+  ProbabilisticDatabase pdb = ProbabilisticDatabase::Uniform(std::move(db));
+  ASSERT_TRUE(pdb.SetProbability(0, Probability{1, 2}).ok());
+  ASSERT_TRUE(pdb.SetProbability(1, Probability{1, 3}).ok());
+  EXPECT_NEAR(SafePlanProbability(q, pdb).value(), 1.0 / 6.0, 1e-12);
+}
+
+TEST(SafePlanTest, EmptyRelationGivesZero) {
+  auto star = MakeStarQuery(2).MoveValue();
+  Database db(star.schema);
+  ASSERT_TRUE(db.AddFactByName("R1", {"h", "l"}).ok());
+  // R2 empty → no hub can satisfy both atoms.
+  ProbabilisticDatabase pdb = ProbabilisticDatabase::Uniform(std::move(db));
+  EXPECT_NEAR(SafePlanProbability(star.query, pdb).value(), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pqe

@@ -1,0 +1,100 @@
+// Tests for the CLI-facing utilities: the fact-file parser and the DOT
+// exporters.
+
+#include <gtest/gtest.h>
+
+#include "automata/dot_export.h"
+#include "cq/builders.h"
+#include "hypertree/decomposition.h"
+#include "tools/fact_file.h"
+
+namespace pqe {
+namespace {
+
+TEST(FactFileTest, ParsesRationalsDecimalsAndDefaults) {
+  auto pdb = ParseFactText(
+      "# comment line\n"
+      "Follows(ann, bob) 9/10\n"
+      "Likes(bob, jazz) 0.75\n"
+      "\n"
+      "Edge(a, b)   # default probability\n");
+  ASSERT_TRUE(pdb.ok()) << pdb.status().ToString();
+  EXPECT_EQ(pdb->NumFacts(), 3u);
+  EXPECT_TRUE(pdb->probability(0) == (Probability{9, 10}));
+  EXPECT_TRUE(pdb->probability(1) == (Probability{75, 100}));
+  EXPECT_TRUE(pdb->probability(2) == Probability::Half());
+  EXPECT_EQ(pdb->schema().Arity(pdb->schema().FindRelation("Edge").value()),
+            2u);
+}
+
+TEST(FactFileTest, ParsesBoundaryProbabilities) {
+  auto pdb = ParseFactText(
+      "A(x) 0\n"
+      "B(x) 1\n"
+      "C(x) 1.0\n"
+      "D(x) 0.0\n");
+  ASSERT_TRUE(pdb.ok()) << pdb.status().ToString();
+  EXPECT_TRUE(pdb->probability(0) == Probability::Zero());
+  EXPECT_TRUE(pdb->probability(1) == Probability::One());
+  EXPECT_TRUE(pdb->probability(2) == Probability::One());
+  EXPECT_TRUE(pdb->probability(3) == Probability::Zero());
+}
+
+TEST(FactFileTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseFactText("NoParens a b\n").ok());
+  EXPECT_FALSE(ParseFactText("R(a,b\n").ok());
+  EXPECT_FALSE(ParseFactText("R(a,) 0.5\n").ok());
+  EXPECT_FALSE(ParseFactText("R(a,b) 5/4\n").ok());   // > 1
+  EXPECT_FALSE(ParseFactText("R(a,b) 2.5\n").ok());   // > 1
+  EXPECT_FALSE(ParseFactText("R(a,b) x/y\n").ok());
+  // Arity conflict across lines.
+  EXPECT_FALSE(ParseFactText("R(a,b) 0.5\nR(a) 0.5\n").ok());
+}
+
+TEST(FactFileTest, MissingFileIsNotFound) {
+  EXPECT_EQ(LoadFactFile("/nonexistent/file.facts").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DotExportTest, NfaRendersStatesAndEdges) {
+  Nfa nfa;
+  StateId a = nfa.AddState();
+  StateId b = nfa.AddState();
+  nfa.MarkInitial(a);
+  nfa.MarkAccepting(b);
+  nfa.AddTransition(a, 7, b);
+  std::string dot = NfaToDot(nfa, [](SymbolId s) {
+    return "sym" + std::to_string(s);
+  });
+  EXPECT_NE(dot.find("digraph nfa"), std::string::npos);
+  EXPECT_NE(dot.find("q0 -> q1"), std::string::npos);
+  EXPECT_NE(dot.find("sym7"), std::string::npos);
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);
+  EXPECT_NE(dot.find("peripheries=2"), std::string::npos);
+}
+
+TEST(DotExportTest, NftaRendersHyperedges) {
+  Nfta t;
+  StateId q = t.AddState();
+  StateId a = t.AddState();
+  StateId b = t.AddState();
+  t.SetInitialState(q);
+  t.AddTransition(q, 0, {a, b});
+  t.AddTransition(a, 1, {});
+  std::string dot = NftaToDot(t);
+  EXPECT_NE(dot.find("digraph nfta"), std::string::npos);
+  EXPECT_NE(dot.find("h0"), std::string::npos);    // hyperedge point
+  EXPECT_NE(dot.find("leaf1"), std::string::npos); // leaf marker
+}
+
+TEST(DotExportTest, DecompositionShowsChiAndXi) {
+  auto qi = MakePathQuery(2).MoveValue();
+  auto hd = Decompose(qi.query, 1).MoveValue();
+  std::string dot = DecompositionToDot(hd, qi.query, qi.schema);
+  EXPECT_NE(dot.find("digraph hd"), std::string::npos);
+  EXPECT_NE(dot.find("R1"), std::string::npos);
+  EXPECT_NE(dot.find("x1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pqe
