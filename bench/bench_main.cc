@@ -1,0 +1,29 @@
+// Shared main() for the google-benchmark binaries. Identical to
+// benchmark_main plus one extra flag: --metrics_out=FILE dumps the global
+// metric registry (pqe.count_nfta.*, pqe.engine.*, ...) as JSON after the
+// run, so scaling experiments can correlate wall-time with sampler effort.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "obs/export.h"
+
+int main(int argc, char** argv) {
+  const std::string metrics_out =
+      pqe::obs::ConsumeMetricsOutFlag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!metrics_out.empty()) {
+    pqe::Status status = pqe::obs::WriteMetricsJsonFile(metrics_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--metrics_out: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

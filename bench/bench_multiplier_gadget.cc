@@ -7,10 +7,12 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "core/pqe.h"
 #include "core/ur_construction.h"
 #include "cq/builders.h"
+#include "obs/export.h"
 #include "util/check.h"
 #include "workload/generators.h"
 
@@ -26,9 +28,10 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
 }  // namespace
 }  // namespace pqe
 
-int main() {
+int main(int argc, char** argv) {
   setvbuf(stdout, nullptr, _IONBF, 0);
   using namespace pqe;
+  const std::string metrics_out = obs::ConsumeMetricsOutFlag(&argc, argv);
   std::printf(
       "E7 — Multiplier-gadget overhead vs probability denominator (Sec 5.1)\n"
       "=====================================================================\n\n");
@@ -83,5 +86,12 @@ int main() {
       "\n  shape check: states/transitions/k grow by an additive O(log den)\n"
       "  per doubling ladder step — the gadget is logarithmic in the\n"
       "  probability numerators, exactly as Remark 2 promises.\n");
+  if (!metrics_out.empty()) {
+    Status status = obs::WriteMetricsJsonFile(metrics_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--metrics_out: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
   return 0;
 }

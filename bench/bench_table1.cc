@@ -16,6 +16,7 @@
 #include <string>
 
 #include "core/engine.h"
+#include "obs/export.h"
 #include "core/pqe.h"
 #include "cq/builders.h"
 #include "eval/eval.h"
@@ -175,8 +176,10 @@ void Row4SelfJoins() {
 }  // namespace
 }  // namespace pqe
 
-int main() {
+int main(int argc, char** argv) {
   setvbuf(stdout, nullptr, _IONBF, 0);
+  const std::string metrics_out =
+      pqe::obs::ConsumeMetricsOutFlag(&argc, argv);
   std::printf(
       "E1 — Table 1 of van Bremen & Meel, PODS'23: the combined FPRAS "
       "landscape\n"
@@ -196,5 +199,12 @@ int main() {
       "(gated, row 3)\n"
       "  self-joins                 : prior Depends     | Open        "
       "(rejected, row 4)\n");
+  if (!metrics_out.empty()) {
+    pqe::Status status = pqe::obs::WriteMetricsJsonFile(metrics_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--metrics_out: %s\n", status.ToString().c_str());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify (default build + full test suite), the
+# tracing-disabled configuration, and an ASan/UBSan pass over the test suite.
+#
+#   ./ci.sh            # all three configurations
+#   ./ci.sh tier1      # just the tier-1 verify
+#   ./ci.sh notrace    # just PQE_ENABLE_TRACING=OFF
+#   ./ci.sh sanitize   # just ASan/UBSan
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_config() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==== ${name}: configure (${dir}) ===="
+  cmake -B "${dir}" -S . "$@"
+  echo "==== ${name}: build ===="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "==== ${name}: ctest ===="
+  ctest --test-dir "${dir}" --output-on-failure -j "${JOBS}"
+}
+
+tier1() {
+  run_config "tier-1" build
+}
+
+notrace() {
+  run_config "no-tracing" build-notrace -DPQE_ENABLE_TRACING=OFF
+}
+
+sanitize() {
+  # Benchmarks are excluded: google-benchmark is not built with sanitizers
+  # here and the point is to scrub the library + tests.
+  run_config "asan/ubsan" build-asan \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DPQE_BUILD_BENCHMARKS=OFF \
+    -DPQE_BUILD_EXAMPLES=OFF \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+}
+
+if [[ $# -eq 0 ]]; then
+  tier1
+  notrace
+  sanitize
+else
+  for target in "$@"; do
+    "${target}"
+  done
+fi
+echo "==== ci.sh: all requested configurations passed ===="

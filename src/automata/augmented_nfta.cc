@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace pqe {
@@ -40,6 +41,9 @@ size_t AugmentedNfta::SizeMeasure() const {
 }
 
 Result<Nfta> AugmentedNfta::ToNfta(bool eliminate_lambda) const {
+  PQE_TRACE_SPAN_VAR(span, "nfta.translate");
+  span.AttrUint("augmented_states", num_states_);
+  span.AttrUint("augmented_transitions", transitions_.size());
   Nfta out;
   out.EnsureAlphabetSize(2 * alphabet_size_);
   for (size_t s = 0; s < num_states_; ++s) out.AddState();
@@ -75,6 +79,8 @@ Result<Nfta> AugmentedNfta::ToNfta(bool eliminate_lambda) const {
   if (eliminate_lambda) {
     PQE_RETURN_IF_ERROR(out.EliminateLambda());
   }
+  span.AttrUint("nfta_states", out.NumStates());
+  span.AttrUint("nfta_transitions", out.NumTransitions());
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <tuple>
 #include <sstream>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace pqe {
@@ -221,6 +222,9 @@ bool Nfta::AcceptsFrom(StateId state, const LabeledTree& t) const {
 
 void Nfta::Trim() {
   PQE_CHECK(!HasLambdaTransitions());
+  PQE_TRACE_SPAN_VAR(span, "nfta.trim");
+  span.AttrUint("states_before", num_states_);
+  span.AttrUint("transitions_before", transitions_.size());
   // Productive states: can generate some finite tree.
   std::vector<bool> productive(num_states_, false);
   bool changed = true;
@@ -282,6 +286,8 @@ void Nfta::Trim() {
                           std::move(children));
   }
   *this = std::move(trimmed);
+  span.AttrUint("states_after", num_states_);
+  span.AttrUint("transitions_after", transitions_.size());
 }
 
 std::string Nfta::DebugString() const {

@@ -1,6 +1,8 @@
 #include "core/engine.h"
 
+#include <optional>
 #include <sstream>
+#include <utility>
 
 #include "core/path_pqe.h"
 #include "core/pqe.h"
@@ -10,9 +12,46 @@
 #include "lineage/compiled_wmc.h"
 #include "lineage/lineage.h"
 #include "lineage/monte_carlo.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "safeplan/safe_plan.h"
 
 namespace pqe {
+
+namespace {
+
+// Renders the human-readable summary line from the structured answer
+// fields. `detail` carries the method-specific prefix.
+std::string RenderDiagnostics(const PqeAnswer& answer, std::string detail) {
+  std::ostringstream out;
+  out << detail;
+  if (answer.automaton.has_value()) {
+    if (answer.automaton->decomposition_width > 0) {
+      out << " width=" << answer.automaton->decomposition_width;
+    }
+    out << " k=" << answer.automaton->tree_size
+        << " states=" << answer.automaton->states
+        << " transitions=" << answer.automaton->transitions;
+  }
+  if (answer.count_stats.has_value()) {
+    out << "; " << answer.count_stats->ToString();
+  }
+  if (answer.karp_luby.has_value()) {
+    out << " clauses=" << answer.karp_luby->clauses
+        << " samples=" << answer.karp_luby->samples
+        << " hits=" << answer.karp_luby->hits;
+  }
+  return out.str();
+}
+
+void CountMethodEvaluation(PqeMethod method) {
+  obs::MetricRegistry::Global()
+      .GetCounter(std::string("pqe.engine.evaluations.") +
+                  PqeMethodToString(method))
+      .Increment();
+}
+
+}  // namespace
 
 const char* PqeMethodToString(PqeMethod method) {
   switch (method) {
@@ -56,25 +95,35 @@ Result<PqeAnswer> PqeEngine::Evaluate(const ConjunctiveQuery& query,
       method = PqeMethod::kFpras;
     }
   }
+  std::optional<obs::TraceSession> session;
+  if (options_.collect_trace) {
+    session.emplace("engine.evaluate");
+    obs::SpanAttrText("method", PqeMethodToString(method));
+    obs::SpanAttrUint("facts", pdb.NumFacts());
+    obs::SpanAttrFloat("epsilon", options_.epsilon);
+  }
+  CountMethodEvaluation(method);
+
   PqeAnswer out;
   out.method_used = method;
-  std::ostringstream diag;
+  std::string detail;
   switch (method) {
     case PqeMethod::kSafePlan: {
       PQE_ASSIGN_OR_RETURN(out.probability, SafePlanProbability(query, pdb));
       out.is_exact = true;
-      diag << "extensional safe plan (exact)";
+      detail = "extensional safe plan (exact)";
       break;
     }
     case PqeMethod::kEnumeration: {
+      PQE_TRACE_SPAN("exact.enumeration");
       PQE_ASSIGN_OR_RETURN(
           BigRational p,
           ExactProbabilityByEnumeration(pdb, query,
                                         options_.enumeration_threshold + 8));
       out.probability = p.ToDouble();
       out.is_exact = true;
-      diag << "possible-world enumeration over 2^" << pdb.NumFacts()
-           << " worlds (exact)";
+      detail = "possible-world enumeration over 2^" +
+               std::to_string(pdb.NumFacts()) + " worlds (exact)";
       break;
     }
     case PqeMethod::kFpras: {
@@ -85,10 +134,11 @@ Result<PqeAnswer> PqeEngine::Evaluate(const ConjunctiveQuery& query,
             PathPqeResult r,
             PathPqeEstimate(query, pdb, MakeEstimatorConfig()));
         out.probability = r.probability;
-        diag << "combined FPRAS (Theorem 1, string specialization): k="
-             << r.word_length << " states=" << r.nfa_states
-             << " transitions=" << r.nfa_transitions << "; "
-             << r.stats.ToString();
+        out.count_stats = r.stats;
+        out.automaton = PqeAnswer::AutomatonStats{
+            r.nfa_states, r.nfa_transitions, r.word_length,
+            /*decomposition_width=*/0};
+        detail = "combined FPRAS (Theorem 1, string specialization):";
         break;
       }
       UrConstructionOptions opts;
@@ -97,10 +147,11 @@ Result<PqeAnswer> PqeEngine::Evaluate(const ConjunctiveQuery& query,
           PqeEstimateResult r,
           PqeEstimate(query, pdb, MakeEstimatorConfig(), opts));
       out.probability = r.probability;
-      diag << "combined FPRAS (Theorem 1): width=" << r.decomposition_width
-           << " k=" << r.tree_size << " states=" << r.nfta_states
-           << " transitions=" << r.nfta_transitions << "; "
-           << r.stats.ToString();
+      out.count_stats = r.stats;
+      out.automaton = PqeAnswer::AutomatonStats{
+          r.nfta_states, r.nfta_transitions, r.tree_size,
+          r.decomposition_width};
+      detail = "combined FPRAS (Theorem 1):";
       break;
     }
     case PqeMethod::kKarpLubyLineage: {
@@ -109,8 +160,8 @@ Result<PqeAnswer> PqeEngine::Evaluate(const ConjunctiveQuery& query,
       cfg.seed = options_.seed;
       PQE_ASSIGN_OR_RETURN(KarpLubyResult r, KarpLubyPqe(query, pdb, cfg));
       out.probability = r.probability;
-      diag << "Karp–Luby over DNF lineage: clauses=" << r.clauses
-           << " samples=" << r.samples;
+      out.karp_luby = r;
+      detail = "Karp–Luby over DNF lineage:";
       break;
     }
     case PqeMethod::kExactLineage: {
@@ -120,9 +171,10 @@ Result<PqeAnswer> PqeEngine::Evaluate(const ConjunctiveQuery& query,
                            ExactDnfProbabilityDecomposed(lineage, pdb));
       out.probability = r.probability.ToDouble();
       out.is_exact = true;
-      diag << "decomposed model count over lineage: clauses="
-           << lineage.NumClauses() << " splits=" << r.stats.shannon_splits
-           << "+" << r.stats.component_splits << " (exact)";
+      detail = "decomposed model count over lineage: clauses=" +
+               std::to_string(lineage.NumClauses()) + " splits=" +
+               std::to_string(r.stats.shannon_splits) + "+" +
+               std::to_string(r.stats.component_splits) + " (exact)";
       break;
     }
     case PqeMethod::kMonteCarlo: {
@@ -132,22 +184,43 @@ Result<PqeAnswer> PqeEngine::Evaluate(const ConjunctiveQuery& query,
       PQE_ASSIGN_OR_RETURN(MonteCarloResult r,
                            MonteCarloPqe(query, pdb, cfg));
       out.probability = r.probability;
-      diag << "naive Monte Carlo: " << r.hits << "/" << r.samples
-           << " worlds satisfied Q";
+      detail = "naive Monte Carlo: " + std::to_string(r.hits) + "/" +
+               std::to_string(r.samples) + " worlds satisfied Q";
       break;
     }
     case PqeMethod::kAuto:
       return Status::Internal("auto method not resolved");
   }
-  out.diagnostics = diag.str();
+  out.diagnostics = RenderDiagnostics(out, std::move(detail));
+  if (session.has_value()) {
+    obs::SpanAttrFloat("probability", out.probability);
+    out.trace =
+        std::make_shared<const obs::RunTrace>(session->Finish());
+  }
   return out;
 }
 
 Result<PqeAnswer> PqeEngine::EvaluateUnion(
     const UnionQuery& query, const ProbabilisticDatabase& pdb) const {
+  std::optional<obs::TraceSession> session;
+  if (options_.collect_trace) {
+    session.emplace("engine.evaluate_union");
+    obs::SpanAttrUint("facts", pdb.NumFacts());
+    obs::SpanAttrUint("disjuncts", query.NumDisjuncts());
+  }
+  auto Finish = [&](PqeAnswer* answer, std::string detail) {
+    CountMethodEvaluation(answer->method_used);
+    answer->diagnostics = RenderDiagnostics(*answer, std::move(detail));
+    if (session.has_value()) {
+      obs::SpanAttrText("method", PqeMethodToString(answer->method_used));
+      obs::SpanAttrFloat("probability", answer->probability);
+      answer->trace =
+          std::make_shared<const obs::RunTrace>(session->Finish());
+    }
+  };
   PqeAnswer out;
-  std::ostringstream diag;
   if (pdb.NumFacts() <= options_.enumeration_threshold) {
+    PQE_TRACE_SPAN("exact.enumeration");
     PQE_ASSIGN_OR_RETURN(
         BigRational p,
         ExactUnionProbabilityByEnumeration(pdb, query,
@@ -156,9 +229,8 @@ Result<PqeAnswer> PqeEngine::EvaluateUnion(
     out.probability = p.ToDouble();
     out.is_exact = true;
     out.method_used = PqeMethod::kEnumeration;
-    diag << "possible-world enumeration over 2^" << pdb.NumFacts()
-         << " worlds (exact)";
-    out.diagnostics = diag.str();
+    Finish(&out, "possible-world enumeration over 2^" +
+                     std::to_string(pdb.NumFacts()) + " worlds (exact)");
     return out;
   }
   // Union lineage: exact where tractable, Karp–Luby beyond.
@@ -171,9 +243,8 @@ Result<PqeAnswer> PqeEngine::EvaluateUnion(
       out.probability = exact->probability.ToDouble();
       out.is_exact = true;
       out.method_used = PqeMethod::kExactLineage;
-      diag << "decomposed model count over union lineage: clauses="
-           << lineage->NumClauses() << " (exact)";
-      out.diagnostics = diag.str();
+      Finish(&out, "decomposed model count over union lineage: clauses=" +
+                       std::to_string(lineage->NumClauses()) + " (exact)");
       return out;
     }
   }
@@ -182,10 +253,9 @@ Result<PqeAnswer> PqeEngine::EvaluateUnion(
   cfg.seed = options_.seed;
   PQE_ASSIGN_OR_RETURN(KarpLubyResult r, KarpLubyUnionPqe(query, pdb, cfg));
   out.probability = r.probability;
+  out.karp_luby = r;
   out.method_used = PqeMethod::kKarpLubyLineage;
-  diag << "Karp–Luby over union lineage: clauses=" << r.clauses
-       << " samples=" << r.samples;
-  out.diagnostics = diag.str();
+  Finish(&out, "Karp–Luby over union lineage:");
   return out;
 }
 

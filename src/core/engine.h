@@ -1,12 +1,15 @@
 #ifndef PQE_CORE_ENGINE_H_
 #define PQE_CORE_ENGINE_H_
 
+#include <memory>
+#include <optional>
 #include <string>
 
 #include "counting/config.h"
 #include "cq/ucq.h"
 #include "cq/query.h"
 #include "lineage/karp_luby.h"
+#include "obs/trace.h"
 #include "pdb/probabilistic_database.h"
 #include "util/result.h"
 
@@ -37,12 +40,44 @@ enum class PqeMethod {
 
 const char* PqeMethodToString(PqeMethod method);
 
-/// One evaluation answer with provenance.
+/// Every PqeMethod enumerator, for exhaustive iteration in tests and tools.
+/// PqeMethodToString's switch has no default case, so -Wswitch flags a new
+/// enumerator missing there; the exhaustiveness test in engine_test covers
+/// this list staying total.
+inline constexpr PqeMethod kAllPqeMethods[] = {
+    PqeMethod::kAuto,           PqeMethod::kFpras,
+    PqeMethod::kSafePlan,       PqeMethod::kEnumeration,
+    PqeMethod::kKarpLubyLineage, PqeMethod::kExactLineage,
+    PqeMethod::kMonteCarlo,
+};
+
+/// One evaluation answer with provenance. The run's numbers are carried
+/// structurally (count_stats / karp_luby / automaton / trace);
+/// `diagnostics` is a summary rendered from them for terminal display.
 struct PqeAnswer {
+  /// Size figures of the constructed evaluation artifact, when one exists.
+  struct AutomatonStats {
+    size_t states = 0;
+    size_t transitions = 0;
+    size_t tree_size = 0;           // k (word length for path queries)
+    size_t decomposition_width = 0; // 0 for the string specialization
+  };
+
   double probability = 0.0;
   PqeMethod method_used = PqeMethod::kAuto;
   bool is_exact = false;
-  std::string diagnostics;  // human-readable run info
+  /// Sampler statistics when a CountNFTA/CountNFA-based FPRAS ran.
+  std::optional<CountStats> count_stats;
+  /// Run statistics when a Karp–Luby lineage estimator ran.
+  std::optional<KarpLubyResult> karp_luby;
+  /// Automaton/plan size figures when an automaton-based method ran.
+  std::optional<AutomatonStats> automaton;
+  /// The structured run trace, when Options::collect_trace was set. Shared
+  /// so PqeAnswer stays cheaply copyable. Span instrumentation is only
+  /// present when built with PQE_ENABLE_TRACING (the default); otherwise
+  /// this holds just the timed root span.
+  std::shared_ptr<const obs::RunTrace> trace;
+  std::string diagnostics;  // human-readable summary of the above
 };
 
 /// High-level facade over every evaluation strategy in the library.
@@ -63,6 +98,9 @@ class PqeEngine {
     size_t max_pool_size = 768;
     /// Median-of-R amplification for the FPRAS (1 = single run).
     size_t repetitions = 3;
+    /// Collect a structured RunTrace for each evaluation (PqeAnswer::trace).
+    /// Off by default: tracing is cheap but not free, and answers stay lean.
+    bool collect_trace = false;
   };
 
   explicit PqeEngine(Options options) : options_(options) {}

@@ -9,6 +9,7 @@
 #include "core/projection.h"
 #include "counting/count_nfa.h"
 #include "counting/exact.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace pqe {
@@ -32,6 +33,9 @@ Status ValidatePathQuery(const ConjunctiveQuery& query) {
 Result<PathQueryNfa> BuildPathQueryNfa(const ConjunctiveQuery& query,
                                        const Database& db) {
   PQE_RETURN_IF_ERROR(ValidatePathQuery(query));
+  PQE_TRACE_SPAN_VAR(span, "path.build_nfa");
+  span.AttrUint("atoms", query.NumAtoms());
+  span.AttrUint("facts", db.NumFacts());
   PQE_ASSIGN_OR_RETURN(ProjectedDatabase proj, ProjectDatabase(db, query));
   const Database& d = proj.db;
   const size_t n = query.NumAtoms();
@@ -100,6 +104,8 @@ Result<PathQueryNfa> BuildPathQueryNfa(const ConjunctiveQuery& query,
     }
   }
   nfa.Trim();
+  span.AttrUint("nfa_states", nfa.NumStates());
+  span.AttrUint("nfa_transitions", nfa.NumTransitions());
   return out;
 }
 
@@ -181,8 +187,13 @@ Result<WeightedPathNfa> BuildWeightedPathNfa(
     PQE_RETURN_IF_ERROR(mult.AddTransition(t.from, t.symbol, multiplier,
                                            t.to, width[f]));
   }
-  PQE_ASSIGN_OR_RETURN(out.nfa, mult.ToNfa());
-  out.nfa.Trim();
+  {
+    PQE_TRACE_SPAN_VAR(mult_span, "pqe.multiplier_translate");
+    PQE_ASSIGN_OR_RETURN(out.nfa, mult.ToNfa());
+    out.nfa.Trim();
+    mult_span.AttrUint("nfa_states", out.nfa.NumStates());
+    mult_span.AttrUint("nfa_transitions", out.nfa.NumTransitions());
+  }
   return out;
 }
 
@@ -191,6 +202,7 @@ Result<WeightedPathNfa> BuildWeightedPathNfa(
 Result<PathPqeResult> PathPqeEstimate(const ConjunctiveQuery& query,
                                       const ProbabilisticDatabase& pdb,
                                       const EstimatorConfig& config) {
+  PQE_TRACE_SPAN_VAR(span, "path.estimate");
   PQE_ASSIGN_OR_RETURN(WeightedPathNfa m, BuildWeightedPathNfa(query, pdb));
   PathPqeResult out;
   out.word_length = m.word_length;

@@ -9,6 +9,7 @@
 #include "core/projection.h"
 #include "counting/count_nfta.h"
 #include "counting/exact.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace pqe {
@@ -34,6 +35,8 @@ uint64_t FactGadgetWidth(const Probability& p) {
 Result<PqeAutomaton> BuildPqeAutomaton(const ConjunctiveQuery& query,
                                        const ProbabilisticDatabase& pdb,
                                        const UrConstructionOptions& options) {
+  PQE_TRACE_SPAN_VAR(span, "pqe.build_automaton");
+  span.AttrUint("facts", pdb.NumFacts());
   PqeAutomaton out;
   // Projected probabilities (Theorem 1's WLOG: facts over relations outside
   // Q marginalize to 1 and are dropped before building d).
@@ -81,8 +84,14 @@ Result<PqeAutomaton> BuildPqeAutomaton(const ConjunctiveQuery& query,
     out.tree_size += static_cast<size_t>(width[f]);
   }
 
-  PQE_ASSIGN_OR_RETURN(out.weighted, mult.ToNfta());
-  out.weighted.Trim();
+  {
+    PQE_TRACE_SPAN_VAR(mult_span, "pqe.multiplier_translate");
+    PQE_ASSIGN_OR_RETURN(out.weighted, mult.ToNfta());
+    out.weighted.Trim();
+    mult_span.AttrUint("nfta_states", out.weighted.NumStates());
+    mult_span.AttrUint("nfta_transitions", out.weighted.NumTransitions());
+  }
+  span.AttrUint("tree_size", out.tree_size);
   return out;
 }
 
@@ -90,6 +99,7 @@ Result<PqeEstimateResult> PqeEstimate(const ConjunctiveQuery& query,
                                       const ProbabilisticDatabase& pdb,
                                       const EstimatorConfig& config,
                                       const UrConstructionOptions& options) {
+  PQE_TRACE_SPAN_VAR(span, "pqe.estimate");
   PQE_ASSIGN_OR_RETURN(PqeAutomaton automaton,
                        BuildPqeAutomaton(query, pdb, options));
   PqeEstimateResult out;

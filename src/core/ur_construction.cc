@@ -7,6 +7,7 @@
 #include "core/projection.h"
 #include "counting/count_nfta.h"
 #include "counting/exact.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace pqe {
@@ -108,6 +109,7 @@ Result<UrAutomaton> BuildUrAutomaton(const ConjunctiveQuery& query,
     }
   }
 
+  PQE_TRACE_SPAN_VAR(span, "ur.build_automaton");
   UrAutomaton out;
 
   // 1. Project D onto the relations of Q (Theorem 3's proof step).
@@ -115,6 +117,8 @@ Result<UrAutomaton> BuildUrAutomaton(const ConjunctiveQuery& query,
   const Database& d = proj.db;
   out.tree_size = d.NumFacts();
   out.dropped_facts = proj.dropped_facts;
+  span.AttrUint("facts", d.NumFacts());
+  span.AttrUint("dropped_facts", out.dropped_facts);
 
   // 2. Complete hypertree decomposition of width <= k; re-root at a covering
   // vertex (so the root's annotation is non-empty) and binarize (so the
@@ -150,12 +154,16 @@ Result<UrAutomaton> BuildUrAutomaton(const ConjunctiveQuery& query,
 
   // 3. Witness states S(p) per vertex.
   std::vector<VertexStates> states(hd.NumNodes());
-  for (uint32_t p = 0; p < hd.NumNodes(); ++p) {
-    std::vector<FactId> tuple;
-    std::vector<int64_t> assignment(query.NumVars(), kFree);
-    EnumerateStates(query, d, hd.node(p).xi, 0, &tuple, &assignment,
-                    &states[p]);
-    out.num_witness_states += states[p].tuples.size();
+  {
+    PQE_TRACE_SPAN_VAR(witness_span, "ur.witness_states");
+    for (uint32_t p = 0; p < hd.NumNodes(); ++p) {
+      std::vector<FactId> tuple;
+      std::vector<int64_t> assignment(query.NumVars(), kFree);
+      EnumerateStates(query, d, hd.node(p).xi, 0, &tuple, &assignment,
+                      &states[p]);
+      out.num_witness_states += states[p].tuples.size();
+    }
+    witness_span.AttrUint("witness_states", out.num_witness_states);
   }
 
   // 4. Assemble T⁺. State ids: per-vertex blocks, plus a super-initial state
@@ -198,74 +206,82 @@ Result<UrAutomaton> BuildUrAutomaton(const ConjunctiveQuery& query,
   };
 
   // 5. Transitions: parent state × consistent child-state combinations.
-  for (uint32_t p = 0; p < hd.NumNodes(); ++p) {
-    const auto& children = hd.node(p).children;
-    PQE_CHECK(children.size() <= 2);
-    if (children.empty()) {
-      for (size_t i = 0; i < states[p].tuples.size(); ++i) {
-        aug.AddTransition(static_cast<StateId>(base[p] + i),
-                          MakeAnnotation(p, states[p].tuples[i]), {});
-      }
-      continue;
-    }
-    // Index child states by their assignment restricted to the variables
-    // shared with the parent's state variables.
-    const std::vector<VarId> pvars = XiVars(query, hd.node(p).xi);
-    struct ChildIndex {
-      std::vector<VarId> shared;
-      std::map<std::vector<int64_t>, std::vector<size_t>> by_key;
-    };
-    std::vector<ChildIndex> index(children.size());
-    for (size_t ci = 0; ci < children.size(); ++ci) {
-      const uint32_t c = children[ci];
-      const std::vector<VarId> cvars = XiVars(query, hd.node(c).xi);
-      std::set_intersection(pvars.begin(), pvars.end(), cvars.begin(),
-                            cvars.end(),
-                            std::back_inserter(index[ci].shared));
-      for (size_t si = 0; si < states[c].assignments.size(); ++si) {
-        index[ci].by_key[ProjectKey(states[c].assignments[si],
-                                    index[ci].shared)]
-            .push_back(si);
-      }
-    }
-    static const std::vector<size_t> kNone;
-    for (size_t i = 0; i < states[p].tuples.size(); ++i) {
-      const auto& passign = states[p].assignments[i];
-      const std::vector<AnnotatedSymbol> ann =
-          MakeAnnotation(p, states[p].tuples[i]);
-      auto Lookup = [&](size_t ci) -> const std::vector<size_t>& {
-        auto it = index[ci].by_key.find(ProjectKey(passign,
-                                                   index[ci].shared));
-        return it == index[ci].by_key.end() ? kNone : it->second;
-      };
-      if (children.size() == 1) {
-        for (size_t s1 : Lookup(0)) {
-          aug.AddTransition(static_cast<StateId>(base[p] + i), ann,
-                            {static_cast<StateId>(base[children[0]] + s1)});
+  {
+    PQE_TRACE_SPAN_VAR(assemble_span, "ur.assemble_transitions");
+    for (uint32_t p = 0; p < hd.NumNodes(); ++p) {
+      const auto& children = hd.node(p).children;
+      PQE_CHECK(children.size() <= 2);
+      if (children.empty()) {
+        for (size_t i = 0; i < states[p].tuples.size(); ++i) {
+          aug.AddTransition(static_cast<StateId>(base[p] + i),
+                            MakeAnnotation(p, states[p].tuples[i]), {});
         }
-      } else {
-        const auto& left = Lookup(0);
-        const auto& right = Lookup(1);
-        for (size_t s1 : left) {
-          for (size_t s2 : right) {
-            // Cross-child consistency (Proposition 1 condition (4)).
-            if (!Consistent(states[children[0]].assignments[s1],
-                            states[children[1]].assignments[s2])) {
-              continue;
+        continue;
+      }
+      // Index child states by their assignment restricted to the variables
+      // shared with the parent's state variables.
+      const std::vector<VarId> pvars = XiVars(query, hd.node(p).xi);
+      struct ChildIndex {
+        std::vector<VarId> shared;
+        std::map<std::vector<int64_t>, std::vector<size_t>> by_key;
+      };
+      std::vector<ChildIndex> index(children.size());
+      for (size_t ci = 0; ci < children.size(); ++ci) {
+        const uint32_t c = children[ci];
+        const std::vector<VarId> cvars = XiVars(query, hd.node(c).xi);
+        std::set_intersection(pvars.begin(), pvars.end(), cvars.begin(),
+                              cvars.end(),
+                              std::back_inserter(index[ci].shared));
+        for (size_t si = 0; si < states[c].assignments.size(); ++si) {
+          index[ci].by_key[ProjectKey(states[c].assignments[si],
+                                      index[ci].shared)]
+              .push_back(si);
+        }
+      }
+      static const std::vector<size_t> kNone;
+      for (size_t i = 0; i < states[p].tuples.size(); ++i) {
+        const auto& passign = states[p].assignments[i];
+        const std::vector<AnnotatedSymbol> ann =
+            MakeAnnotation(p, states[p].tuples[i]);
+        auto Lookup = [&](size_t ci) -> const std::vector<size_t>& {
+          auto it = index[ci].by_key.find(ProjectKey(passign,
+                                                     index[ci].shared));
+          return it == index[ci].by_key.end() ? kNone : it->second;
+        };
+        if (children.size() == 1) {
+          for (size_t s1 : Lookup(0)) {
+            aug.AddTransition(static_cast<StateId>(base[p] + i), ann,
+                              {static_cast<StateId>(base[children[0]] + s1)});
+          }
+        } else {
+          const auto& left = Lookup(0);
+          const auto& right = Lookup(1);
+          for (size_t s1 : left) {
+            for (size_t s2 : right) {
+              // Cross-child consistency (Proposition 1 condition (4)).
+              if (!Consistent(states[children[0]].assignments[s1],
+                              states[children[1]].assignments[s2])) {
+                continue;
+              }
+              aug.AddTransition(
+                  static_cast<StateId>(base[p] + i), ann,
+                  {static_cast<StateId>(base[children[0]] + s1),
+                   static_cast<StateId>(base[children[1]] + s2)});
             }
-            aug.AddTransition(
-                static_cast<StateId>(base[p] + i), ann,
-                {static_cast<StateId>(base[children[0]] + s1),
-                 static_cast<StateId>(base[children[1]] + s2)});
           }
         }
       }
     }
+
+    assemble_span.AttrUint("augmented_transitions",
+                           aug.transitions().size());
   }
 
   // 6. Translate to an ordinary NFTA (Section 4.1 semantics) and trim.
   PQE_ASSIGN_OR_RETURN(out.nfta, aug.ToNfta());
   out.nfta.Trim();
+  span.AttrUint("nfta_states", out.nfta.NumStates());
+  span.AttrUint("nfta_transitions", out.nfta.NumTransitions());
   out.hd = std::move(hd);
   return out;
 }

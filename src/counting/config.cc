@@ -4,7 +4,25 @@
 #include <cmath>
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace pqe {
+
+void RecordCountRun(const char* prefix, const CountStats& stats,
+                    obs::ScopedSpan* span) {
+  stats.ForEachField([&](const char* name, uint64_t value) {
+    span->AttrUint(name, value);
+  });
+  span->AttrUint("canonical_rejections", stats.attempts - stats.accepted);
+  auto& metrics = obs::MetricRegistry::Global();
+  metrics.GetCounter(std::string(prefix) + ".runs").Increment();
+  stats.ForEachField([&](const char* name, uint64_t value) {
+    metrics.GetCounter(std::string(prefix) + "." + name).Add(value);
+  });
+  metrics.GetHistogram(std::string(prefix) + ".strata_live")
+      .Observe(stats.strata_live);
+}
 
 size_t EstimatorConfig::ResolvePoolSize(size_t n) const {
   if (pool_size > 0) return pool_size;
@@ -18,10 +36,12 @@ size_t EstimatorConfig::ResolvePoolSize(size_t n) const {
 
 std::string CountStats::ToString() const {
   std::ostringstream out;
-  out << "strata=" << strata_live << "/" << strata_total
-      << " pool_entries=" << pool_entries << " attempts=" << attempts
-      << " accepted=" << accepted << " forced=" << forced_samples
-      << " membership_checks=" << membership_checks;
+  bool first = true;
+  ForEachField([&](const char* name, uint64_t value) {
+    if (!first) out << ' ';
+    out << name << '=' << value;
+    first = false;
+  });
   return out.str();
 }
 

@@ -49,6 +49,20 @@ struct EstimatorConfig {
   size_t ResolvePoolSize(size_t n) const;
 };
 
+/// The single source of truth for CountStats' fields. Every serializer
+/// (ToString, obs::StatsToJson, trace attributes) iterates this list via
+/// ForEachField, so a field added here is exported everywhere at once — and
+/// the static_assert below makes it impossible to add a field to the struct
+/// without adding it here.
+#define PQE_COUNT_STATS_FIELDS(X) \
+  X(strata_total)                 \
+  X(strata_live)                  \
+  X(pool_entries)                 \
+  X(attempts)                     \
+  X(accepted)                     \
+  X(forced_samples)               \
+  X(membership_checks)
+
 /// Run statistics reported by the counters (for benchmarks and diagnostics).
 struct CountStats {
   size_t strata_total = 0;      // all (state, size) strata
@@ -59,14 +73,49 @@ struct CountStats {
   size_t forced_samples = 0;    // zero-accept fallbacks (should be rare)
   size_t membership_checks = 0; // exact membership oracle invocations
 
+  /// Visits (name, value) for every field, in declaration order.
+  template <typename Fn>
+  void ForEachField(Fn&& fn) const {
+#define PQE_COUNT_STATS_VISIT(field) fn(#field, uint64_t{field});
+    PQE_COUNT_STATS_FIELDS(PQE_COUNT_STATS_VISIT)
+#undef PQE_COUNT_STATS_VISIT
+  }
+
+  /// "field=value" pairs for every field (via ForEachField).
   std::string ToString() const;
 };
+
+namespace internal {
+#define PQE_COUNT_STATS_PLUS_ONE(field) +1
+inline constexpr size_t kCountStatsFieldCount =
+    0 PQE_COUNT_STATS_FIELDS(PQE_COUNT_STATS_PLUS_ONE);
+#undef PQE_COUNT_STATS_PLUS_ONE
+}  // namespace internal
+
+// Serialization-completeness guard: adding a size_t field to CountStats
+// without listing it in PQE_COUNT_STATS_FIELDS fails this assert, so a field
+// can never be silently dropped from ToString()/JSON export.
+static_assert(sizeof(CountStats) ==
+                  internal::kCountStatsFieldCount * sizeof(size_t),
+              "CountStats field added without updating "
+              "PQE_COUNT_STATS_FIELDS (ToString/JSON export would drop it)");
 
 /// An approximate count with its run statistics.
 struct CountEstimate {
   ExtFloat value;
   CountStats stats;
 };
+
+namespace obs {
+class ScopedSpan;
+}  // namespace obs
+
+/// Observability hook shared by CountNFA/CountNFTA: attaches every
+/// CountStats field (plus the derived canonical_rejections) to `span` and
+/// folds the run into the global metric registry under `prefix`
+/// (e.g. "pqe.count_nfta"). One call per counter run, not per sample.
+void RecordCountRun(const char* prefix, const CountStats& stats,
+                    obs::ScopedSpan* span);
 
 }  // namespace pqe
 

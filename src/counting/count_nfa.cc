@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "counting/weighted_pick.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -318,15 +319,24 @@ Result<CountEstimate> CountNfaStrings(const Nfa& nfa, size_t n,
     return Status::InvalidArgument("epsilon must be in (0, 1)");
   }
   const size_t reps = std::max<size_t>(config.repetitions, 1);
+  PQE_TRACE_SPAN_VAR(span, "count.nfa");
+  span.AttrUint("states", nfa.NumStates());
+  span.AttrUint("transitions", nfa.transitions().size());
+  span.AttrUint("word_length", n);
+  span.AttrUint("repetitions", reps);
   if (reps == 1) {
     NfaCounter counter(nfa, n, config);
-    return counter.Run();
+    PQE_ASSIGN_OR_RETURN(CountEstimate est, counter.Run());
+    RecordCountRun("pqe.count_nfa", est.stats, &span);
+    return est;
   }
   // Median-of-R amplification over independent seeds.
   std::vector<CountEstimate> runs;
   runs.reserve(reps);
   CountStats aggregate;
   for (size_t r = 0; r < reps; ++r) {
+    PQE_TRACE_SPAN_VAR(rep_span, "count.nfa.rep");
+    rep_span.AttrUint("rep", r);
     EstimatorConfig rep_config = config;
     rep_config.repetitions = 1;
     rep_config.seed = config.seed + 0x9e3779b97f4a7c15ULL * (r + 1);
@@ -347,6 +357,7 @@ Result<CountEstimate> CountNfaStrings(const Nfa& nfa, size_t n,
             });
   CountEstimate out = runs[runs.size() / 2];
   out.stats = aggregate;
+  RecordCountRun("pqe.count_nfa", out.stats, &span);
   return out;
 }
 

@@ -7,6 +7,8 @@
 
 #include "automata/tree.h"
 #include "counting/weighted_pick.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -505,10 +507,16 @@ Result<NftaSampleResult> CountAndSampleNftaTrees(
   if (config.epsilon <= 0.0 || config.epsilon >= 1.0) {
     return Status::InvalidArgument("epsilon must be in (0, 1)");
   }
+  PQE_TRACE_SPAN_VAR(span, "count.nfta");
+  span.AttrUint("states", nfta.NumStates());
+  span.AttrUint("transitions", nfta.NumTransitions());
+  span.AttrUint("tree_size", n);
+  span.AttrUint("samples_requested", num_samples);
   NftaCounter counter(nfta, n, config);
   NftaSampleResult out;
   PQE_ASSIGN_OR_RETURN(out.estimate, counter.Run());
   out.samples = counter.SampleAccepted(num_samples);
+  RecordCountRun("pqe.count_nfta", out.estimate.stats, &span);
   return out;
 }
 
@@ -518,9 +526,16 @@ Result<CountEstimate> CountNftaTrees(const Nfta& nfta, size_t n,
     return Status::InvalidArgument("epsilon must be in (0, 1)");
   }
   const size_t reps = std::max<size_t>(config.repetitions, 1);
+  PQE_TRACE_SPAN_VAR(span, "count.nfta");
+  span.AttrUint("states", nfta.NumStates());
+  span.AttrUint("transitions", nfta.NumTransitions());
+  span.AttrUint("tree_size", n);
+  span.AttrUint("repetitions", reps);
   if (reps == 1) {
     NftaCounter counter(nfta, n, config);
-    return counter.Run();
+    PQE_ASSIGN_OR_RETURN(CountEstimate est, counter.Run());
+    RecordCountRun("pqe.count_nfta", est.stats, &span);
+    return est;
   }
   // Median-of-R amplification over independent seeds — the standard FPRAS
   // confidence boost.
@@ -528,11 +543,14 @@ Result<CountEstimate> CountNftaTrees(const Nfta& nfta, size_t n,
   runs.reserve(reps);
   CountStats aggregate;
   for (size_t r = 0; r < reps; ++r) {
+    PQE_TRACE_SPAN_VAR(rep_span, "count.nfta.rep");
+    rep_span.AttrUint("rep", r);
     EstimatorConfig rep_config = config;
     rep_config.repetitions = 1;
     rep_config.seed = config.seed + 0x9e3779b97f4a7c15ULL * (r + 1);
     NftaCounter counter(nfta, n, rep_config);
     PQE_ASSIGN_OR_RETURN(CountEstimate est, counter.Run());
+    rep_span.AttrFloat("log2_value", est.value.Log2());
     aggregate.strata_total = est.stats.strata_total;
     aggregate.strata_live = est.stats.strata_live;
     aggregate.pool_entries += est.stats.pool_entries;
@@ -548,6 +566,7 @@ Result<CountEstimate> CountNftaTrees(const Nfta& nfta, size_t n,
             });
   CountEstimate out = runs[runs.size() / 2];
   out.stats = aggregate;
+  RecordCountRun("pqe.count_nfta", out.stats, &span);
   return out;
 }
 

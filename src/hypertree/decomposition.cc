@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace pqe {
@@ -622,11 +623,19 @@ Result<HypertreeDecomposition> Decompose(const ConjunctiveQuery& query,
   if (max_width == 0) {
     return Status::InvalidArgument("max_width must be >= 1");
   }
+  PQE_TRACE_SPAN_VAR(span, "hd.decompose");
+  span.AttrUint("atoms", query.NumAtoms());
+  span.AttrUint("max_width", max_width);
+  auto Record = [&span](const HypertreeDecomposition& hd) {
+    span.AttrUint("width", hd.Width());
+    span.AttrUint("nodes", hd.NumNodes());
+  };
   // Width 1 first: GYO is exact and fast for acyclic queries.
   auto acyclic = DecomposeAcyclic(query);
   if (acyclic.ok()) {
     HypertreeDecomposition hd = acyclic.MoveValue();
     PQE_RETURN_IF_ERROR(hd.MakeComplete(query));
+    Record(hd);
     return hd;
   }
   for (size_t k = 2; k <= max_width; ++k) {
@@ -635,6 +644,7 @@ Result<HypertreeDecomposition> Decompose(const ConjunctiveQuery& query,
     if (result.ok()) {
       HypertreeDecomposition hd = result.MoveValue();
       PQE_RETURN_IF_ERROR(hd.MakeComplete(query));
+      Record(hd);
       return hd;
     }
     if (result.status().code() == StatusCode::kResourceExhausted) {

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace pqe {
@@ -178,11 +179,15 @@ Result<CompiledWmcResult> ExactDnfProbabilityDecomposed(
     const DnfLineage& lineage, const ProbabilisticDatabase& pdb,
     size_t max_cache_entries) {
   PQE_RETURN_IF_ERROR(ValidateLineage(lineage, pdb));
+  PQE_TRACE_SPAN_VAR(span, "wmc.exact");
+  span.AttrUint("clauses", lineage.NumClauses());
   ClauseSet normalized = Absorb(lineage.clauses);
   WmcSolver solver(pdb, max_cache_entries);
   CompiledWmcResult out;
   PQE_ASSIGN_OR_RETURN(out.probability, solver.Solve(normalized));
   out.stats = solver.stats();
+  span.AttrUint("shannon_splits", out.stats.shannon_splits);
+  span.AttrUint("component_splits", out.stats.component_splits);
   return out;
 }
 

@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "counting/weighted_pick.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/extfloat.h"
 #include "util/rng.h"
@@ -40,8 +42,11 @@ Result<KarpLubyResult> KarpLubyEstimate(const DnfLineage& lineage,
   if (config.epsilon <= 0.0 || config.epsilon >= 1.0) {
     return Status::InvalidArgument("epsilon must be in (0, 1)");
   }
+  PQE_TRACE_SPAN_VAR(span, "karp_luby.estimate");
   KarpLubyResult out;
   out.clauses = lineage.NumClauses();
+  span.AttrUint("clauses", out.clauses);
+  span.AttrUint("facts", pdb.NumFacts());
   if (lineage.clauses.empty()) return out;
 
   // Clause marginals Pr(C_j) = Π_{i ∈ C_j} p_i, in extended range.
@@ -89,9 +94,19 @@ Result<KarpLubyResult> KarpLubyEstimate(const DnfLineage& lineage,
     }
     if (canonical) ++hits;
   }
+  out.hits = hits;
   out.probability = total.Scale(static_cast<double>(hits) /
                                 static_cast<double>(samples))
                         .ToDouble();
+  span.AttrUint("samples", out.samples);
+  span.AttrUint("hits", out.hits);
+  {
+    auto& metrics = obs::MetricRegistry::Global();
+    metrics.GetCounter("pqe.karp_luby.runs").Increment();
+    metrics.GetCounter("pqe.karp_luby.samples").Add(out.samples);
+    metrics.GetCounter("pqe.karp_luby.hits").Add(out.hits);
+    metrics.GetHistogram("pqe.karp_luby.clauses").Observe(out.clauses);
+  }
   return out;
 }
 

@@ -26,6 +26,7 @@ struct KarpLubyResult {
   double probability = 0.0;
   size_t samples = 0;
   size_t clauses = 0;
+  size_t hits = 0;  // canonical (first-satisfied-clause) draws
 };
 
 /// The classical intensional baseline: (1±ε)-approximates Pr_H(Q) given the

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "eval/eval.h"
+#include "obs/trace.h"
 
 namespace pqe {
 
@@ -30,8 +31,11 @@ std::string DnfLineage::ToString(const Database& db) const {
 
 Result<DnfLineage> BuildLineage(const ConjunctiveQuery& query,
                                 const Database& db, size_t max_clauses) {
+  PQE_TRACE_SPAN_VAR(span, "lineage.build");
+  span.AttrUint("facts", db.NumFacts());
   PQE_ASSIGN_OR_RETURN(std::vector<Assignment> witnesses,
                        AllWitnesses(db, query));
+  span.AttrUint("witnesses", witnesses.size());
   DnfLineage out;
   out.num_facts = db.NumFacts();
   std::set<std::vector<FactId>> seen;

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "eval/eval.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace pqe {
@@ -16,6 +17,9 @@ Result<MonteCarloResult> MonteCarloPqe(const ConjunctiveQuery& query,
   const Database& db = pdb.database();
   // Validate once; SatisfiesSubinstance would re-validate per sample.
   PQE_RETURN_IF_ERROR(Satisfies(db, query).status());
+  PQE_TRACE_SPAN_VAR(span, "monte_carlo.estimate");
+  span.AttrUint("facts", pdb.NumFacts());
+  span.AttrUint("samples", config.num_samples);
 
   Rng rng(config.seed);
   std::vector<double> marginals(pdb.NumFacts());

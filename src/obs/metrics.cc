@@ -1,0 +1,123 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cstring>
+
+namespace pqe {
+namespace obs {
+
+uint64_t Gauge::Encode(double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double Gauge::Decode(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void Histogram::Observe(uint64_t sample) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(sample, std::memory_order_relaxed);
+  buckets_[static_cast<size_t>(std::bit_width(sample))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::BucketUpperBound(size_t bucket) {
+  if (bucket >= 64) return ~uint64_t{0};
+  return (uint64_t{1} << bucket) - 1;
+}
+
+void Histogram::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const CounterEntry& e : counters) {
+    if (e.name == name) return e.value;
+  }
+  return 0;
+}
+
+const MetricsSnapshot::HistogramEntry* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const HistogramEntry& e : histograms) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+Counter& MetricRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->Value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->Value()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, hist] : histograms_) {
+    MetricsSnapshot::HistogramEntry e;
+    e.name = name;
+    e.count = hist->Count();
+    e.sum = hist->Sum();
+    for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+      const uint64_t c = hist->BucketCount(b);
+      if (c > 0) e.buckets.emplace_back(Histogram::BucketUpperBound(b), c);
+    }
+    snap.histograms.push_back(std::move(e));
+  }
+  return snap;
+}
+
+void MetricRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+MetricRegistry& MetricRegistry::Global() {
+  static MetricRegistry* registry = new MetricRegistry();  // never destroyed
+  return *registry;
+}
+
+}  // namespace obs
+}  // namespace pqe

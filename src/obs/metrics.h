@@ -1,0 +1,125 @@
+#ifndef PQE_OBS_METRICS_H_
+#define PQE_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pqe {
+namespace obs {
+
+/// A monotonically increasing counter. Increments are relaxed atomic adds —
+/// cheap enough for per-run (not per-sample) accounting on the hot path.
+/// Handles returned by MetricRegistry stay valid for the registry's
+/// lifetime, so call sites can cache them in function-local statics.
+class Counter {
+ public:
+  void Increment() { Add(1); }
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A last-written-wins double value (configuration echoes, sizes, rates).
+class Gauge {
+ public:
+  void Set(double value) { bits_.store(Encode(value), std::memory_order_relaxed); }
+  double Value() const { return Decode(bits_.load(std::memory_order_relaxed)); }
+  void Reset() { Set(0.0); }
+
+ private:
+  // Stored as bit-cast uint64 so plain atomic loads/stores suffice.
+  static uint64_t Encode(double v);
+  static double Decode(uint64_t bits);
+  std::atomic<uint64_t> bits_{0};
+};
+
+/// A log2-bucketed histogram of uint64 samples: bucket i counts samples
+/// whose bit width is i (bucket 0 holds the sample 0, bucket i covers
+/// [2^(i-1), 2^i)). Fixed storage, lock-free observes.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 65;
+
+  void Observe(uint64_t sample);
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t BucketCount(size_t bucket) const {
+    return buckets_[bucket].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of a bucket (2^bucket − 1).
+  static uint64_t BucketUpperBound(size_t bucket);
+  void Reset();
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+};
+
+/// A point-in-time copy of every registered metric, safe to serialize or
+/// diff while the pipeline keeps running.
+struct MetricsSnapshot {
+  struct CounterEntry {
+    std::string name;
+    uint64_t value = 0;
+  };
+  struct GaugeEntry {
+    std::string name;
+    double value = 0.0;
+  };
+  struct HistogramEntry {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    /// (inclusive upper bound, count) for non-empty buckets only.
+    std::vector<std::pair<uint64_t, uint64_t>> buckets;
+  };
+  std::vector<CounterEntry> counters;
+  std::vector<GaugeEntry> gauges;
+  std::vector<HistogramEntry> histograms;
+
+  /// Lookup helpers for tests and tools; 0 / nullptr when absent.
+  uint64_t CounterValue(std::string_view name) const;
+  const HistogramEntry* FindHistogram(std::string_view name) const;
+};
+
+/// A registry of named metrics. Registration (first GetX for a name) takes a
+/// mutex; subsequent use of the returned handle is lock-free. Names are
+/// dotted lowercase paths, e.g. "pqe.count_nfta.attempts".
+class MetricRegistry {
+ public:
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  /// Copies every metric, sorted by name.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes every metric. Handles remain valid.
+  void Reset();
+
+  /// The process-wide registry used by the library's instrumentation.
+  static MetricRegistry& Global();
+
+ private:
+  mutable std::mutex mu_;
+  // Node-based maps: handle addresses are stable across registration.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace pqe
+
+#endif  // PQE_OBS_METRICS_H_

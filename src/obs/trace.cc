@@ -1,0 +1,180 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <utility>
+
+namespace pqe {
+namespace obs {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Per-thread collection state. `stack` holds the chain of open spans,
+// innermost last; new spans attach to stack.back(), so a parent's children
+// vector can only grow while no descendant pointer into it is live (the
+// stack discipline makes sibling insertion under an open span impossible),
+// keeping the raw pointers stable.
+struct ThreadTraceContext {
+  RunTrace* trace = nullptr;
+  uint64_t t0_ns = 0;
+  std::vector<TraceSpan*> stack;
+};
+
+thread_local ThreadTraceContext g_ctx;
+
+}  // namespace
+
+TraceAttr TraceAttr::Uint(std::string key, uint64_t value) {
+  TraceAttr a;
+  a.key = std::move(key);
+  a.kind = Kind::kUint;
+  a.u = value;
+  return a;
+}
+
+TraceAttr TraceAttr::Int(std::string key, int64_t value) {
+  TraceAttr a;
+  a.key = std::move(key);
+  a.kind = Kind::kInt;
+  a.i = value;
+  return a;
+}
+
+TraceAttr TraceAttr::Float(std::string key, double value) {
+  TraceAttr a;
+  a.key = std::move(key);
+  a.kind = Kind::kFloat;
+  a.f = value;
+  return a;
+}
+
+TraceAttr TraceAttr::Text(std::string key, std::string value) {
+  TraceAttr a;
+  a.key = std::move(key);
+  a.kind = Kind::kText;
+  a.text = std::move(value);
+  return a;
+}
+
+const TraceSpan* TraceSpan::Find(std::string_view span_name) const {
+  if (name == span_name) return this;
+  for (const TraceSpan& child : children) {
+    if (const TraceSpan* hit = child.Find(span_name)) return hit;
+  }
+  return nullptr;
+}
+
+const TraceAttr* TraceSpan::FindAttr(std::string_view attr_key) const {
+  for (const TraceAttr& a : attrs) {
+    if (a.key == attr_key) return &a;
+  }
+  return nullptr;
+}
+
+size_t TraceSpan::TreeSize() const {
+  size_t total = 1;
+  for (const TraceSpan& child : children) total += child.TreeSize();
+  return total;
+}
+
+TraceSession::TraceSession(std::string root_name) {
+  trace_.root.name = std::move(root_name);
+  t0_ns_ = NowNs();
+  if (g_ctx.trace == nullptr) {
+    active_ = true;
+    g_ctx.trace = &trace_;
+    g_ctx.t0_ns = t0_ns_;
+    g_ctx.stack.clear();
+    g_ctx.stack.push_back(&trace_.root);
+  }
+}
+
+TraceSession::~TraceSession() {
+  if (active_ && g_ctx.trace == &trace_) {
+    g_ctx.trace = nullptr;
+    g_ctx.stack.clear();
+  }
+}
+
+RunTrace TraceSession::Finish() {
+  if (finished_) return RunTrace{};
+  finished_ = true;
+  trace_.root.duration_ns = NowNs() - t0_ns_;
+  if (active_ && g_ctx.trace == &trace_) {
+    g_ctx.trace = nullptr;
+    g_ctx.stack.clear();
+  }
+  active_ = false;
+  return std::move(trace_);
+}
+
+#if PQE_ENABLE_TRACING
+
+ScopedSpan::ScopedSpan(const char* name) {
+  if (g_ctx.trace == nullptr) return;
+  TraceSpan* parent = g_ctx.stack.back();
+  parent->children.emplace_back();
+  node_ = &parent->children.back();
+  node_->name = name;
+  open_ns_ = NowNs();
+  node_->start_ns = open_ns_ - g_ctx.t0_ns;
+  g_ctx.stack.push_back(node_);
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (node_ == nullptr) return;
+  // The session may have been finished (or destroyed) while this span was
+  // open, which moves/frees the node storage; touch it only while the
+  // thread's stack still tracks this span.
+  if (!g_ctx.stack.empty() && g_ctx.stack.back() == node_) {
+    node_->duration_ns = NowNs() - open_ns_;
+    g_ctx.stack.pop_back();
+  }
+}
+
+void ScopedSpan::AttrUint(const char* key, uint64_t value) {
+  if (node_) node_->attrs.push_back(TraceAttr::Uint(key, value));
+}
+
+void ScopedSpan::AttrInt(const char* key, int64_t value) {
+  if (node_) node_->attrs.push_back(TraceAttr::Int(key, value));
+}
+
+void ScopedSpan::AttrFloat(const char* key, double value) {
+  if (node_) node_->attrs.push_back(TraceAttr::Float(key, value));
+}
+
+void ScopedSpan::AttrText(const char* key, std::string value) {
+  if (node_) node_->attrs.push_back(TraceAttr::Text(key, std::move(value)));
+}
+
+void SpanAttrUint(const char* key, uint64_t value) {
+  if (g_ctx.trace) g_ctx.stack.back()->attrs.push_back(
+      TraceAttr::Uint(key, value));
+}
+
+void SpanAttrInt(const char* key, int64_t value) {
+  if (g_ctx.trace) g_ctx.stack.back()->attrs.push_back(
+      TraceAttr::Int(key, value));
+}
+
+void SpanAttrFloat(const char* key, double value) {
+  if (g_ctx.trace) g_ctx.stack.back()->attrs.push_back(
+      TraceAttr::Float(key, value));
+}
+
+void SpanAttrText(const char* key, std::string value) {
+  if (g_ctx.trace) g_ctx.stack.back()->attrs.push_back(
+      TraceAttr::Text(key, std::move(value)));
+}
+
+#endif  // PQE_ENABLE_TRACING
+
+}  // namespace obs
+}  // namespace pqe

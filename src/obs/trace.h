@@ -1,0 +1,160 @@
+#ifndef PQE_OBS_TRACE_H_
+#define PQE_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Compile-time switch for the span instrumentation. The build sets it via
+/// the PQE_ENABLE_TRACING CMake option (default ON); when 0, PQE_TRACE_SPAN
+/// and the attribute calls compile to empty inline bodies and the library
+/// carries no per-call-site cost. TraceSession itself keeps working either
+/// way (it still produces a root span with wall time), so callers never need
+/// to #ifdef.
+#if !defined(PQE_ENABLE_TRACING)
+#define PQE_ENABLE_TRACING 1
+#endif
+
+namespace pqe {
+namespace obs {
+
+/// True iff span instrumentation is compiled into this build.
+constexpr bool TracingCompiledIn() { return PQE_ENABLE_TRACING != 0; }
+
+/// One key/value attribute attached to a span (states, strata, pool sizes,
+/// method names, ...). A small tagged value; no std::variant so the JSON
+/// writer and the hot path stay trivial.
+struct TraceAttr {
+  enum class Kind { kUint, kInt, kFloat, kText };
+
+  std::string key;
+  Kind kind = Kind::kUint;
+  uint64_t u = 0;
+  int64_t i = 0;
+  double f = 0.0;
+  std::string text;
+
+  static TraceAttr Uint(std::string key, uint64_t value);
+  static TraceAttr Int(std::string key, int64_t value);
+  static TraceAttr Float(std::string key, double value);
+  static TraceAttr Text(std::string key, std::string value);
+};
+
+/// One node of the trace tree: a named region of the pipeline with wall
+/// time, attributes, and child spans in execution order.
+struct TraceSpan {
+  std::string name;
+  uint64_t start_ns = 0;     // relative to the session start
+  uint64_t duration_ns = 0;  // 0 while the span is still open
+  std::vector<TraceAttr> attrs;
+  std::vector<TraceSpan> children;
+
+  /// Depth-first search for the first span with this name (this node
+  /// included). Returns nullptr if absent.
+  const TraceSpan* Find(std::string_view span_name) const;
+
+  /// The attribute with this key, or nullptr.
+  const TraceAttr* FindAttr(std::string_view attr_key) const;
+
+  /// Total number of spans in this subtree (this node included).
+  size_t TreeSize() const;
+};
+
+/// A finished trace: the root span covers the whole traced region.
+struct RunTrace {
+  TraceSpan root;
+};
+
+/// Starts trace collection on the calling thread (RAII). While a session is
+/// active, PQE_TRACE_SPAN call sites attach spans to it; without one they
+/// are a thread-local null check. At most one session per thread is active:
+/// a nested session is inert (active() == false) and spans keep attaching
+/// to the outer one, so library code can be composed freely.
+///
+/// Traces are per-thread by design — construct one engine (and one session)
+/// per thread, matching PqeEngine's thread-compatibility contract.
+class TraceSession {
+ public:
+  explicit TraceSession(std::string root_name);
+  ~TraceSession();
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// True iff this session owns collection on this thread.
+  bool active() const { return active_; }
+
+  /// Closes the root span and returns the finished trace. Collection stops;
+  /// further Finish() calls return an empty trace. On an inert (nested)
+  /// session, returns a trace with only the named root.
+  RunTrace Finish();
+
+ private:
+  bool active_ = false;
+  bool finished_ = false;
+  RunTrace trace_;
+  uint64_t t0_ns_ = 0;  // absolute steady-clock origin of the session
+};
+
+/// RAII span guard. Construct via PQE_TRACE_SPAN (anonymous) or
+/// PQE_TRACE_SPAN_VAR (named, for attaching attributes). All methods are
+/// no-ops when no session is active on this thread or when tracing is
+/// compiled out.
+class ScopedSpan {
+ public:
+#if PQE_ENABLE_TRACING
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  void AttrUint(const char* key, uint64_t value);
+  void AttrInt(const char* key, int64_t value);
+  void AttrFloat(const char* key, double value);
+  void AttrText(const char* key, std::string value);
+  bool active() const { return node_ != nullptr; }
+
+ private:
+  TraceSpan* node_ = nullptr;
+  uint64_t open_ns_ = 0;
+#else
+  explicit ScopedSpan(const char*) {}
+  void AttrUint(const char*, uint64_t) {}
+  void AttrInt(const char*, int64_t) {}
+  void AttrFloat(const char*, double) {}
+  void AttrText(const char*, std::string) {}
+  bool active() const { return false; }
+#endif
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+};
+
+/// Attach an attribute to the innermost open span of the calling thread's
+/// session (the root span when no PQE_TRACE_SPAN is open). No-ops without an
+/// active session; compiled out entirely with PQE_ENABLE_TRACING=0.
+#if PQE_ENABLE_TRACING
+void SpanAttrUint(const char* key, uint64_t value);
+void SpanAttrInt(const char* key, int64_t value);
+void SpanAttrFloat(const char* key, double value);
+void SpanAttrText(const char* key, std::string value);
+#else
+inline void SpanAttrUint(const char*, uint64_t) {}
+inline void SpanAttrInt(const char*, int64_t) {}
+inline void SpanAttrFloat(const char*, double) {}
+inline void SpanAttrText(const char*, std::string) {}
+#endif
+
+}  // namespace obs
+}  // namespace pqe
+
+#define PQE_OBS_CONCAT_INNER(a, b) a##b
+#define PQE_OBS_CONCAT(a, b) PQE_OBS_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope as a span named `name` (a string literal, by
+/// convention "module.stage", e.g. "hd.decompose").
+#define PQE_TRACE_SPAN(name) \
+  ::pqe::obs::ScopedSpan PQE_OBS_CONCAT(pqe_obs_span_, __LINE__)(name)
+
+/// Same, but binds the guard to `var` so attributes can be attached.
+#define PQE_TRACE_SPAN_VAR(var, name) ::pqe::obs::ScopedSpan var(name)
+
+#endif  // PQE_OBS_TRACE_H_

@@ -4,6 +4,7 @@
 #include <set>
 #include <vector>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace pqe {
@@ -211,6 +212,9 @@ Result<double> SafePlanProbability(const ConjunctiveQuery& query,
       return Status::InvalidArgument("query/schema mismatch");
     }
   }
+  PQE_TRACE_SPAN_VAR(span, "safeplan.evaluate");
+  span.AttrUint("atoms", query.NumAtoms());
+  span.AttrUint("facts", pdb.NumFacts());
   SafePlanEvaluator evaluator(query, pdb);
   return evaluator.Evaluate();
 }

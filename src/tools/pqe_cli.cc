@@ -5,11 +5,13 @@
 //           [--method auto|fpras|safe-plan|enumeration|karp-luby|
 //            exact-lineage|monte-carlo]
 //           [--epsilon 0.1] [--seed 42] [--max-width 3] [--ur]
-//           [--sample K]
+//           [--sample K] [--trace | --trace=json] [--metrics]
 //
 // With --ur the uniform reliability UR(Q, D) is reported instead (fact
 // probabilities in the file are ignored). With --sample K, K posterior
-// worlds conditioned on the query holding are printed.
+// worlds conditioned on the query holding are printed. --trace prints the
+// evaluation's span tree (--trace=json as JSON); --metrics dumps the global
+// metric registry as JSON after evaluation.
 
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +21,8 @@
 #include "core/engine.h"
 #include "core/sampling.h"
 #include "cq/parser.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "tools/fact_file.h"
 
 namespace {
@@ -32,7 +36,10 @@ void Usage() {
       "  --seed N         RNG seed (default 42)\n"
       "  --max-width W    hypertree width budget (default 3)\n"
       "  --ur             report uniform reliability instead of probability\n"
-      "  --sample K       print K sampled worlds conditioned on Q holding\n");
+      "  --sample K       print K sampled worlds conditioned on Q holding\n"
+      "  --trace          print the evaluation's span tree (timings)\n"
+      "  --trace=json     same, as a JSON document on stdout\n"
+      "  --metrics        dump the global metric registry as JSON\n");
 }
 
 }  // namespace
@@ -47,6 +54,9 @@ int main(int argc, char** argv) {
   size_t max_width = 3;
   bool uniform_reliability = false;
   size_t sample_worlds = 0;
+  bool trace_text = false;
+  bool trace_json = false;
+  bool dump_metrics = false;
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
@@ -73,6 +83,12 @@ int main(int argc, char** argv) {
       uniform_reliability = true;
     } else if (std::strcmp(argv[i], "--sample") == 0) {
       sample_worlds = std::strtoull(need_value("--sample"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_text = true;
+    } else if (std::strcmp(argv[i], "--trace=json") == 0) {
+      trace_json = true;
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      dump_metrics = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       Usage();
       return 0;
@@ -110,6 +126,7 @@ int main(int argc, char** argv) {
   opts.epsilon = epsilon;
   opts.seed = seed;
   opts.max_width = max_width;
+  opts.collect_trace = trace_text || trace_json;
   if (method == "auto") {
     opts.method = PqeMethod::kAuto;
   } else if (method == "fpras") {
@@ -152,6 +169,18 @@ int main(int argc, char** argv) {
               answer->probability, PqeMethodToString(answer->method_used));
   if (!answer->diagnostics.empty()) {
     std::printf("  %s\n", answer->diagnostics.c_str());
+  }
+  if (answer->trace != nullptr) {
+    if (trace_json) {
+      std::printf("%s\n", obs::TraceToJson(*answer->trace).c_str());
+    } else if (trace_text) {
+      std::printf("\ntrace:\n%s", obs::RenderTraceText(*answer->trace).c_str());
+    }
+  }
+  if (dump_metrics) {
+    std::printf("%s\n",
+                obs::MetricsToJson(obs::MetricRegistry::Global().Snapshot())
+                    .c_str());
   }
 
   if (sample_worlds > 0) {

@@ -299,8 +299,13 @@ TEST(CountStatsTest, ToStringMentionsAllFields) {
   stats.strata_total = 10;
   stats.strata_live = 4;
   std::string s = stats.ToString();
-  EXPECT_NE(s.find("strata=4/10"), std::string::npos);
-  EXPECT_NE(s.find("attempts"), std::string::npos);
+  EXPECT_NE(s.find("strata_total=10"), std::string::npos);
+  EXPECT_NE(s.find("strata_live=4"), std::string::npos);
+  // Every field in the canonical list must be rendered.
+#define PQE_COUNT_STATS_EXPECT(field) \
+  EXPECT_NE(s.find(#field "="), std::string::npos) << #field;
+  PQE_COUNT_STATS_FIELDS(PQE_COUNT_STATS_EXPECT)
+#undef PQE_COUNT_STATS_EXPECT
 }
 
 }  // namespace

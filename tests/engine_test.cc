@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <iterator>
+#include <set>
+#include <string>
+
 #include "core/engine.h"
 #include "cq/parser.h"
 #include "cq/ucq.h"
@@ -160,6 +164,61 @@ TEST(EngineTest, MethodNamesAreStable) {
   EXPECT_STREQ(PqeMethodToString(PqeMethod::kSafePlan), "safe-plan");
   EXPECT_STREQ(PqeMethodToString(PqeMethod::kKarpLubyLineage),
                "karp-luby-lineage");
+}
+
+TEST(EngineTest, MethodNamesAreExhaustiveAndDistinct) {
+  // kAllPqeMethods must enumerate every PqeMethod; the switch in
+  // PqeMethodToString has no default, so a new enumerator that is missing
+  // here also trips -Wswitch at compile time.
+  std::set<std::string> names;
+  for (PqeMethod m : kAllPqeMethods) {
+    const char* name = PqeMethodToString(m);
+    EXPECT_STRNE(name, "unknown");
+    names.insert(name);
+  }
+  EXPECT_EQ(names.size(), std::size(kAllPqeMethods));
+  EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(EngineTest, FprasAnswerCarriesStructuredStats) {
+  auto qi = MakePathQuery(3).MoveValue();
+  LayeredGraphOptions opt;
+  opt.width = 3;
+  opt.density = 0.9;
+  opt.seed = 4;
+  auto db = MakeLayeredPathDatabase(qi, opt).MoveValue();
+  ProbabilityModel pm;
+  pm.kind = ProbabilityModel::Kind::kUniformHalf;
+  ProbabilisticDatabase pdb = AttachProbabilities(std::move(db), pm);
+  PqeEngine::Options opts;
+  opts.method = PqeMethod::kFpras;
+  opts.epsilon = 0.3;
+  PqeEngine engine(opts);
+  auto answer = engine.Evaluate(qi.query, pdb);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  ASSERT_TRUE(answer->count_stats.has_value());
+  EXPECT_GT(answer->count_stats->pool_entries, 0u);
+  ASSERT_TRUE(answer->automaton.has_value());
+  EXPECT_GT(answer->automaton->states, 0u);
+  EXPECT_GT(answer->automaton->tree_size, 0u);
+  EXPECT_FALSE(answer->karp_luby.has_value());
+  // The rendered diagnostics line is derived from the same fields.
+  EXPECT_NE(answer->diagnostics.find("pool_entries="), std::string::npos);
+  EXPECT_NE(answer->diagnostics.find("states="), std::string::npos);
+}
+
+TEST(EngineTest, KarpLubyAnswerCarriesStructuredStats) {
+  auto qi = MakePathQuery(2).MoveValue();
+  ProbabilisticDatabase pdb = SmallPathPdb(qi, 5);
+  PqeEngine::Options opts;
+  opts.method = PqeMethod::kKarpLubyLineage;
+  PqeEngine engine(opts);
+  auto answer = engine.Evaluate(qi.query, pdb);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  ASSERT_TRUE(answer->karp_luby.has_value());
+  EXPECT_GT(answer->karp_luby->samples, 0u);
+  EXPECT_FALSE(answer->count_stats.has_value());
+  EXPECT_NE(answer->diagnostics.find("samples="), std::string::npos);
 }
 
 }  // namespace

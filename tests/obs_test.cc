@@ -1,0 +1,452 @@
+// Tests for the observability layer (src/obs): span trees, the metric
+// registry, JSON export, and the end-to-end pipeline trace.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "core/engine.h"
+#include "counting/config.h"
+#include "cq/builders.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "workload/generators.h"
+
+namespace pqe {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal recursive-descent JSON syntax checker (RFC 8259 subset: no
+// surrogate-pair validation). Enough to prove the hand-rolled writer emits
+// well-formed documents without pulling in a JSON dependency.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') return ++pos_, true;
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') return ++pos_, true;
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') return ++pos_, true;
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') return ++pos_, true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(text_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    if (Peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+bool IsValidJson(const std::string& text) {
+  return JsonChecker(text).Valid();
+}
+
+TEST(JsonCheckerTest, AcceptsAndRejects) {
+  EXPECT_TRUE(IsValidJson(R"({"a": [1, 2.5, -3e2], "b": {"c": "x\n"}})"));
+  EXPECT_TRUE(IsValidJson("[true, false, null]"));
+  EXPECT_FALSE(IsValidJson(R"({"a": 1,})"));
+  EXPECT_FALSE(IsValidJson(R"({"a" 1})"));
+  EXPECT_FALSE(IsValidJson("[1, 2"));
+  EXPECT_FALSE(IsValidJson(""));
+}
+
+// ---------------------------------------------------------------------------
+// Span trees.
+
+TEST(TraceTest, NestedSpansBuildTreeInOrder) {
+  obs::TraceSession session("root");
+  ASSERT_TRUE(session.active());
+  {
+    PQE_TRACE_SPAN_VAR(outer, "outer");
+    outer.AttrUint("n", 7);
+    { PQE_TRACE_SPAN("inner_a"); }
+    {
+      PQE_TRACE_SPAN_VAR(inner, "inner_b");
+      inner.AttrText("label", "second");
+    }
+  }
+  { PQE_TRACE_SPAN("sibling"); }
+  obs::RunTrace trace = session.Finish();
+
+  if (!obs::TracingCompiledIn()) {
+    EXPECT_EQ(trace.root.name, "root");
+    EXPECT_TRUE(trace.root.children.empty());
+    return;
+  }
+  ASSERT_EQ(trace.root.children.size(), 2u);
+  const obs::TraceSpan& outer = trace.root.children[0];
+  EXPECT_EQ(outer.name, "outer");
+  ASSERT_EQ(outer.children.size(), 2u);
+  EXPECT_EQ(outer.children[0].name, "inner_a");
+  EXPECT_EQ(outer.children[1].name, "inner_b");
+  EXPECT_EQ(trace.root.children[1].name, "sibling");
+  EXPECT_EQ(trace.root.TreeSize(), 5u);
+
+  const obs::TraceAttr* n = outer.FindAttr("n");
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->u, 7u);
+  const obs::TraceSpan* inner_b = trace.root.Find("inner_b");
+  ASSERT_NE(inner_b, nullptr);
+  ASSERT_NE(inner_b->FindAttr("label"), nullptr);
+  EXPECT_EQ(inner_b->FindAttr("label")->text, "second");
+  // Children start within the parent and nest chronologically.
+  EXPECT_LE(outer.start_ns, outer.children[0].start_ns);
+  EXPECT_LE(outer.children[0].start_ns, outer.children[1].start_ns);
+  EXPECT_GE(trace.root.duration_ns, outer.duration_ns);
+}
+
+TEST(TraceTest, SpansWithoutSessionAreNoOps) {
+  PQE_TRACE_SPAN_VAR(span, "orphan");
+  span.AttrUint("ignored", 1);
+  EXPECT_FALSE(span.active());
+}
+
+TEST(TraceTest, NestedSessionIsInert) {
+  obs::TraceSession outer("outer_root");
+  {
+    obs::TraceSession inner("inner_root");
+    EXPECT_FALSE(inner.active());
+    PQE_TRACE_SPAN("during_inner");
+  }
+  obs::RunTrace trace = outer.Finish();
+  EXPECT_EQ(trace.root.name, "outer_root");
+  if (obs::TracingCompiledIn()) {
+    // The span landed in the outer session, not the inert inner one.
+    EXPECT_NE(trace.root.Find("during_inner"), nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Metrics.
+
+TEST(MetricsTest, CountersAreSharedAcrossThreads) {
+  obs::MetricRegistry registry;
+  constexpr uint64_t kPerThread = 50'000;
+  auto bump = [&registry]() {
+    obs::Counter& c = registry.GetCounter("test.shared");
+    for (uint64_t i = 0; i < kPerThread; ++i) c.Increment();
+  };
+  std::thread t1(bump);
+  std::thread t2(bump);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(registry.Snapshot().CounterValue("test.shared"), 2 * kPerThread);
+}
+
+TEST(MetricsTest, HistogramBucketsByBitWidth) {
+  obs::MetricRegistry registry;
+  obs::Histogram& h = registry.GetHistogram("test.hist");
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(5);   // bits=3 → bucket 3, range [4, 7]
+  h.Observe(7);
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_EQ(h.Sum(), 13u);
+  EXPECT_EQ(h.BucketCount(0), 1u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(3), 2u);
+  EXPECT_EQ(obs::Histogram::BucketUpperBound(3), 7u);
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  const auto* entry = snap.FindHistogram("test.hist");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->count, 4u);
+}
+
+TEST(MetricsTest, ResetZeroesButKeepsHandles) {
+  obs::MetricRegistry registry;
+  obs::Counter& c = registry.GetCounter("test.reset");
+  registry.GetGauge("test.gauge").Set(2.5);
+  c.Add(9);
+  registry.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+  EXPECT_EQ(registry.Snapshot().CounterValue("test.reset"), 0u);
+  c.Increment();
+  EXPECT_EQ(registry.Snapshot().CounterValue("test.reset"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// JSON export.
+
+TEST(ExportTest, TraceJsonIsValidAndEscaped) {
+  obs::TraceSession session("root");
+  {
+    PQE_TRACE_SPAN_VAR(span, "stage.one");
+    span.AttrText("tricky", "quote\" backslash\\ newline\n tab\t");
+    span.AttrUint("count", 42);
+    span.AttrFloat("ratio", 0.5);
+    span.AttrInt("delta", -3);
+  }
+  obs::RunTrace trace = session.Finish();
+  const std::string json = obs::TraceToJson(trace);
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"trace\""), std::string::npos);
+  EXPECT_NE(json.find("\"root\""), std::string::npos);
+  if (obs::TracingCompiledIn()) {
+    EXPECT_NE(json.find("stage.one"), std::string::npos);
+    EXPECT_NE(json.find("\\\""), std::string::npos);
+    EXPECT_NE(json.find("\\n"), std::string::npos);
+  }
+  // The text rendering mentions every span name as well.
+  const std::string text = obs::RenderTraceText(trace);
+  EXPECT_NE(text.find("root"), std::string::npos);
+}
+
+TEST(ExportTest, NonFiniteDoublesSerializeAsNull) {
+  obs::JsonWriter writer;
+  writer.BeginObject();
+  writer.Key("inf").Double(1.0 / 0.0);
+  writer.Key("neg").Double(-1.0 / 0.0);
+  writer.Key("nan").Double(0.0 / 0.0);
+  writer.EndObject();
+  const std::string json = writer.Take();
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_EQ(json, R"({"inf":null,"neg":null,"nan":null})");
+}
+
+TEST(ExportTest, MetricsJsonIsValid) {
+  obs::MetricRegistry registry;
+  registry.GetCounter("a.count").Add(3);
+  registry.GetGauge("a.gauge").Set(1.25);
+  registry.GetHistogram("a.hist").Observe(9);
+  const std::string json = obs::MetricsToJson(registry.Snapshot());
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  EXPECT_NE(json.find("\"a.count\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"a.hist\""), std::string::npos);
+}
+
+TEST(ExportTest, CountStatsJsonCoversEveryField) {
+  CountStats stats;
+  stats.strata_total = 10;
+  stats.strata_live = 4;
+  stats.pool_entries = 3;
+  stats.attempts = 2;
+  stats.accepted = 1;
+  stats.forced_samples = 5;
+  stats.membership_checks = 6;
+  const std::string json = obs::StatsToJson(stats);
+  EXPECT_TRUE(IsValidJson(json)) << json;
+  // Field list driven by the same X-macro as the struct definition, so this
+  // stays exhaustive by construction.
+#define PQE_EXPECT_FIELD(field)                                  \
+  EXPECT_NE(json.find("\"" #field "\""), std::string::npos) << json;
+  PQE_COUNT_STATS_FIELDS(PQE_EXPECT_FIELD)
+#undef PQE_EXPECT_FIELD
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a kFpras evaluation produces the documented span tree.
+
+TEST(PipelineTraceTest, FprasEvaluationEmitsExpectedSpans) {
+  auto qi = MakePathQuery(3).MoveValue();
+  LayeredGraphOptions opt;
+  opt.width = 3;
+  opt.density = 0.9;
+  opt.seed = 4;
+  auto db = MakeLayeredPathDatabase(qi, opt).MoveValue();
+  ProbabilityModel pm;
+  pm.kind = ProbabilityModel::Kind::kUniformHalf;
+  ProbabilisticDatabase pdb = AttachProbabilities(std::move(db), pm);
+
+  PqeEngine::Options opts;
+  opts.method = PqeMethod::kFpras;
+  opts.epsilon = 0.3;
+  opts.collect_trace = true;
+  PqeEngine engine(opts);
+  auto answer = engine.Evaluate(qi.query, pdb);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+
+  ASSERT_NE(answer->trace, nullptr);
+  const obs::TraceSpan& root = answer->trace->root;
+  EXPECT_EQ(root.name, "engine.evaluate");
+  EXPECT_GT(root.duration_ns, 0u);
+  const std::string json = obs::TraceToJson(*answer->trace);
+  EXPECT_TRUE(IsValidJson(json)) << json;
+
+  if (!obs::TracingCompiledIn()) return;
+  ASSERT_NE(root.FindAttr("method"), nullptr);
+  EXPECT_EQ(root.FindAttr("method")->text, "fpras");
+  // A 3-atom path query takes the string specialization; both branches end
+  // in a multiplier translation and a counting loop with recorded stats.
+  EXPECT_NE(root.Find("pqe.multiplier_translate"), nullptr);
+  const bool string_path = root.Find("path.estimate") != nullptr;
+  const obs::TraceSpan* count =
+      root.Find(string_path ? "count.nfa" : "count.nfta");
+  ASSERT_NE(count, nullptr);
+  ASSERT_NE(count->FindAttr("attempts"), nullptr);
+  ASSERT_NE(count->FindAttr("membership_checks"), nullptr);
+  if (!string_path) {
+    EXPECT_NE(root.Find("hd.decompose"), nullptr);
+    EXPECT_NE(root.Find("nfta.translate"), nullptr);
+  }
+}
+
+TEST(PipelineTraceTest, TreeFprasEvaluationEmitsDecompositionSpans) {
+  // A non-path query (shared first variable) exercises the hypertree → NFTA
+  // branch of the pipeline.
+  auto star = MakeStarQuery(2).MoveValue();
+  StarDataOptions sopt;
+  auto db = MakeStarDatabase(star, sopt).MoveValue();
+  ProbabilityModel pm;
+  pm.kind = ProbabilityModel::Kind::kUniformHalf;
+  ProbabilisticDatabase pdb = AttachProbabilities(std::move(db), pm);
+
+  PqeEngine::Options opts;
+  opts.method = PqeMethod::kFpras;
+  opts.epsilon = 0.4;
+  opts.collect_trace = true;
+  PqeEngine engine(opts);
+  auto answer = engine.Evaluate(star.query, pdb);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  ASSERT_NE(answer->trace, nullptr);
+  if (!obs::TracingCompiledIn()) return;
+  const obs::TraceSpan& root = answer->trace->root;
+  EXPECT_NE(root.Find("pqe.estimate"), nullptr);
+  EXPECT_NE(root.Find("pqe.build_automaton"), nullptr);
+  EXPECT_NE(root.Find("hd.decompose"), nullptr);
+  EXPECT_NE(root.Find("nfta.translate"), nullptr);
+  EXPECT_NE(root.Find("nfta.trim"), nullptr);
+  EXPECT_NE(root.Find("pqe.multiplier_translate"), nullptr);
+  EXPECT_NE(root.Find("count.nfta"), nullptr);
+}
+
+TEST(PipelineTraceTest, TraceAbsentWhenNotRequested) {
+  auto qi = MakePathQuery(2).MoveValue();
+  LayeredGraphOptions opt;
+  opt.width = 2;
+  opt.seed = 11;
+  auto db = MakeLayeredPathDatabase(qi, opt).MoveValue();
+  ProbabilityModel pm;
+  ProbabilisticDatabase pdb = AttachProbabilities(std::move(db), pm);
+  PqeEngine engine;
+  auto answer = engine.Evaluate(qi.query, pdb).MoveValue();
+  EXPECT_EQ(answer.trace, nullptr);
+  EXPECT_FALSE(answer.diagnostics.empty());
+}
+
+}  // namespace
+}  // namespace pqe
