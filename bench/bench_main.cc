@@ -1,7 +1,10 @@
 // Shared main() for the google-benchmark binaries. Identical to
-// benchmark_main plus one extra flag: --metrics_out=FILE dumps the global
+// benchmark_main plus two extra flags: --metrics_out=FILE dumps the global
 // metric registry (pqe.count_nfta.*, pqe.engine.*, ...) as JSON after the
-// run, so scaling experiments can correlate wall-time with sampler effort.
+// run, so scaling experiments can correlate wall-time with sampler effort;
+// --threads=N exports PQE_THREADS=N so every num_threads=0 (auto) estimator
+// config in the benchmarks fans out over N workers (results are
+// thread-count-invariant by the determinism contract).
 
 #include <benchmark/benchmark.h>
 
@@ -9,10 +12,12 @@
 #include <string>
 
 #include "obs/export.h"
+#include "util/thread_pool.h"
 
 int main(int argc, char** argv) {
   const std::string metrics_out =
       pqe::obs::ConsumeMetricsOutFlag(&argc, argv);
+  pqe::ConsumeThreadsFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

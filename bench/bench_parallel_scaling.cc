@@ -1,0 +1,159 @@
+// E10 — Thread scaling of the parallel sampling layers (docs/parallelism.md):
+// wall-time of the median-of-R CountNFTA loop and of a large Karp–Luby
+// sample loop at 1, 2, 4, and 8 worker threads, plus a determinism
+// cross-check that every thread count produced the identical estimate.
+//
+//   bench_parallel_scaling [--metrics_out=BENCH_parallel_scaling.json]
+//
+// Each (workload, threads) cell is recorded as gauges
+// pqe.bench.parallel_scaling.<work>.t<N>.ms and .speedup (vs t1), with
+// pqe.bench.parallel_scaling.hardware_threads capturing the host, so the
+// JSON makes clear when flat speedups are a 1-core artifact rather than a
+// contention problem: on a single-core container every thread count time-
+// slices the same CPU and speedup ≈ 1x by construction.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "automata/nfta.h"
+#include "counting/count_nfta.h"
+#include "lineage/karp_luby.h"
+#include "lineage/lineage.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "workload/generators.h"
+
+namespace pqe {
+namespace {
+
+constexpr size_t kThreadCounts[] = {1, 2, 4, 8};
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void Record(const std::string& work, size_t threads, double ms,
+            double base_ms) {
+  const std::string prefix =
+      "pqe.bench.parallel_scaling." + work + ".t" + std::to_string(threads);
+  auto& reg = obs::MetricRegistry::Global();
+  reg.GetGauge(prefix + ".ms").Set(ms);
+  reg.GetGauge(prefix + ".speedup").Set(base_ms / ms);
+}
+
+// Median-of-8 CountNFTA on the ambiguous full-binary-tree automaton: the
+// rep loop is the parallel axis (8 repetitions fan out over the pool).
+void BenchCountNfta() {
+  Nfta t;
+  StateId q = t.AddState();
+  t.SetInitialState(q);
+  t.AddTransition(q, 0, {q, q});
+  t.AddTransition(q, 0, {});
+  t.AddTransition(q, 1, {});
+
+  std::printf("CountNFTA, median-of-8, n=41, epsilon=0.1\n");
+  std::printf("  %-8s %-12s %-10s %s\n", "threads", "ms", "speedup",
+              "estimate");
+  double base_ms = 0.0;
+  std::string base_value;
+  for (size_t threads : kThreadCounts) {
+    EstimatorConfig cfg;
+    cfg.epsilon = 0.1;
+    cfg.seed = 0xfeed;
+    cfg.repetitions = 8;
+    cfg.num_threads = threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto est = CountNftaTrees(t, 41, cfg).MoveValue();
+    const double ms = MillisSince(t0);
+    if (threads == 1) {
+      base_ms = ms;
+      base_value = est.value.ToString();
+    }
+    // Determinism contract: the estimate must not change with threads.
+    PQE_CHECK(est.value.ToString() == base_value);
+    Record("count_nfta", threads, ms, base_ms);
+    std::printf("  %-8zu %-12.1f %-10.2f %s\n", threads, ms, base_ms / ms,
+                est.value.ToString().c_str());
+  }
+  std::printf("  determinism: all thread counts returned %s\n\n",
+              base_value.c_str());
+}
+
+// A 1M-sample Karp–Luby run over a dense layered-path lineage: the sample
+// shards (64 by default) are the parallel axis.
+void BenchKarpLuby() {
+  auto qi = MakePathQuery(4).MoveValue();
+  LayeredGraphOptions opt;
+  opt.width = 4;
+  opt.density = 1.0;
+  opt.seed = 3;
+  auto db = MakeLayeredPathDatabase(qi, opt).MoveValue();
+  ProbabilityModel pm;
+  pm.seed = 5;
+  ProbabilisticDatabase pdb = AttachProbabilities(std::move(db), pm);
+  DnfLineage lineage = BuildLineage(qi.query, pdb.database()).MoveValue();
+
+  std::printf("Karp-Luby, %zu clauses, 1M samples, 64 shards\n",
+              lineage.NumClauses());
+  std::printf("  %-8s %-12s %-10s %s\n", "threads", "ms", "speedup",
+              "probability");
+  double base_ms = 0.0, base_p = 0.0;
+  for (size_t threads : kThreadCounts) {
+    KarpLubyConfig cfg;
+    cfg.seed = 0xfeed;
+    cfg.num_samples = 1'000'000;
+    cfg.num_threads = threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    auto kl = KarpLubyEstimate(lineage, pdb, cfg).MoveValue();
+    const double ms = MillisSince(t0);
+    if (threads == 1) {
+      base_ms = ms;
+      base_p = kl.probability;
+    }
+    // Determinism contract: the estimate must not change with threads.
+    PQE_CHECK(kl.probability == base_p);
+    Record("karp_luby", threads, ms, base_ms);
+    std::printf("  %-8zu %-12.1f %-10.2f %.10f\n", threads, ms,
+                base_ms / ms, kl.probability);
+  }
+  std::printf("  determinism: all thread counts returned %.10f\n\n", base_p);
+}
+
+}  // namespace
+}  // namespace pqe
+
+int main(int argc, char** argv) {
+  setvbuf(stdout, nullptr, _IONBF, 0);
+  using namespace pqe;
+  const std::string metrics_out = obs::ConsumeMetricsOutFlag(&argc, argv);
+  const unsigned hw = std::thread::hardware_concurrency();
+  obs::MetricRegistry::Global()
+      .GetGauge("pqe.bench.parallel_scaling.hardware_threads")
+      .Set(hw);
+  std::printf(
+      "E10 — thread scaling of the parallel sampling layers\n"
+      "====================================================\n\n"
+      "host hardware threads: %u%s\n\n",
+      hw,
+      hw <= 1 ? "  (single core: expect speedup ~= 1x at every thread "
+                "count; this measures overhead + determinism, not scaling)"
+              : "");
+  BenchCountNfta();
+  BenchKarpLuby();
+  if (!metrics_out.empty()) {
+    Status status = obs::WriteMetricsJsonFile(metrics_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--metrics_out: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  return 0;
+}

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verify (default build + full test suite), the
-# tracing-disabled configuration, and an ASan/UBSan pass over the test suite.
+# tracing-disabled configuration, an ASan/UBSan pass, and a TSan pass with
+# the parallel sampling layers forced multi-threaded.
 #
-#   ./ci.sh            # all three configurations
+#   ./ci.sh            # all four configurations
 #   ./ci.sh tier1      # just the tier-1 verify
 #   ./ci.sh notrace    # just PQE_ENABLE_TRACING=OFF
 #   ./ci.sh sanitize   # just ASan/UBSan
+#   ./ci.sh tsan       # just ThreadSanitizer (PQE_THREADS=8)
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -42,10 +44,27 @@ sanitize() {
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 }
 
+tsan() {
+  # Scrub the fork/join pool and the parallel rep/shard loops for data
+  # races. PQE_THREADS=8 makes every num_threads=0 (auto) config fan out,
+  # so the whole suite — not just the determinism tests — runs threaded;
+  # the determinism contract keeps all expected values unchanged.
+  (
+    export PQE_THREADS=8
+    run_config "tsan" build-tsan \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DPQE_BUILD_BENCHMARKS=OFF \
+      -DPQE_BUILD_EXAMPLES=OFF \
+      -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  )
+}
+
 if [[ $# -eq 0 ]]; then
   tier1
   notrace
   sanitize
+  tsan
 else
   for target in "$@"; do
     "${target}"

@@ -80,6 +80,7 @@ EstimatorConfig PqeEngine::MakeEstimatorConfig() const {
   cfg.pool_size = options_.pool_size;
   cfg.max_pool_size = options_.max_pool_size;
   cfg.repetitions = options_.repetitions;
+  cfg.num_threads = options_.num_threads;
   return cfg;
 }
 
@@ -158,6 +159,7 @@ Result<PqeAnswer> PqeEngine::Evaluate(const ConjunctiveQuery& query,
       KarpLubyConfig cfg;
       cfg.epsilon = options_.epsilon;
       cfg.seed = options_.seed;
+      cfg.num_threads = options_.num_threads;
       PQE_ASSIGN_OR_RETURN(KarpLubyResult r, KarpLubyPqe(query, pdb, cfg));
       out.probability = r.probability;
       out.karp_luby = r;
@@ -181,6 +183,7 @@ Result<PqeAnswer> PqeEngine::Evaluate(const ConjunctiveQuery& query,
       MonteCarloConfig cfg;
       cfg.seed = options_.seed;
       cfg.num_samples = 20'000;
+      cfg.num_threads = options_.num_threads;
       PQE_ASSIGN_OR_RETURN(MonteCarloResult r,
                            MonteCarloPqe(query, pdb, cfg));
       out.probability = r.probability;
@@ -251,6 +254,7 @@ Result<PqeAnswer> PqeEngine::EvaluateUnion(
   KarpLubyConfig cfg;
   cfg.epsilon = options_.epsilon;
   cfg.seed = options_.seed;
+  cfg.num_threads = options_.num_threads;
   PQE_ASSIGN_OR_RETURN(KarpLubyResult r, KarpLubyUnionPqe(query, pdb, cfg));
   out.probability = r.probability;
   out.karp_luby = r;

@@ -98,6 +98,11 @@ class PqeEngine {
     size_t max_pool_size = 768;
     /// Median-of-R amplification for the FPRAS (1 = single run).
     size_t repetitions = 3;
+    /// Worker threads for the parallel sampling layers (median-of-R reps,
+    /// Karp–Luby / Monte-Carlo sample shards). 0 = auto: $PQE_THREADS when
+    /// set, else 1 (serial). Every estimate is bit-identical across values;
+    /// see docs/parallelism.md.
+    size_t num_threads = 0;
     /// Collect a structured RunTrace for each evaluation (PqeAnswer::trace).
     /// Off by default: tracing is cheap but not free, and answers stay lean.
     bool collect_trace = false;

@@ -39,6 +39,12 @@ struct EstimatorConfig {
   /// estimates (seeds derived from `seed`) and returns the median — the
   /// standard FPRAS confidence boost. 1 = single run.
   size_t repetitions = 1;
+  /// Worker threads for the parallel layers (the median-of-R repetitions
+  /// run on separate workers). 0 = auto: $PQE_THREADS when set, else 1
+  /// (serial). Estimates and stats are bit-identical for every value —
+  /// seeds derive from (seed, repetition), merges are order-fixed (see
+  /// docs/parallelism.md).
+  size_t num_threads = 0;
   /// Ablation switch: disable the backward-usefulness pruning of strata
   /// (forward feasibility is load-bearing and always on). With pruning off,
   /// every (state, size) stratum with a non-empty language is processed,

@@ -1,13 +1,17 @@
 #include "counting/count_nfa.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "counting/weighted_pick.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace pqe {
 
@@ -330,18 +334,44 @@ Result<CountEstimate> CountNfaStrings(const Nfa& nfa, size_t n,
     RecordCountRun("pqe.count_nfa", est.stats, &span);
     return est;
   }
-  // Median-of-R amplification over independent seeds.
-  std::vector<CountEstimate> runs;
-  runs.reserve(reps);
-  CountStats aggregate;
-  for (size_t r = 0; r < reps; ++r) {
-    PQE_TRACE_SPAN_VAR(rep_span, "count.nfa.rep");
-    rep_span.AttrUint("rep", r);
+  // Median-of-R amplification over independent seeds. Reps are independent
+  // (per-rep derived seed, per-rep counter), so they fan out over the shared
+  // pool; per-rep slots plus the fixed-order merge below keep the median and
+  // aggregate stats bit-identical across thread counts.
+  const size_t threads =
+      std::min(ThreadPool::ResolveNumThreads(config.num_threads), reps);
+  span.AttrUint("threads", threads);
+  std::vector<CountEstimate> runs(reps);
+  std::vector<Status> rep_status(reps, Status::OK());
+  auto& rep_hist =
+      obs::MetricRegistry::Global().GetHistogram("pqe.count_nfa.rep_ns");
+  ParallelFor(threads, reps, [&](size_t r) {
+    // Spans only on the serial path (sessions are thread-local; parallel
+    // reps record timings via the atomic histogram instead).
+    std::optional<obs::ScopedSpan> rep_span;
+    if (threads == 1) {
+      rep_span.emplace("count.nfa.rep");
+      rep_span->AttrUint("rep", r);
+    }
+    const auto start = std::chrono::steady_clock::now();
     EstimatorConfig rep_config = config;
     rep_config.repetitions = 1;
-    rep_config.seed = config.seed + 0x9e3779b97f4a7c15ULL * (r + 1);
+    rep_config.seed = Rng::DeriveSeed(config.seed, r);
     NfaCounter counter(nfa, n, rep_config);
-    PQE_ASSIGN_OR_RETURN(CountEstimate est, counter.Run());
+    Result<CountEstimate> est = counter.Run();
+    if (!est.ok()) {
+      rep_status[r] = est.status();
+      return;
+    }
+    runs[r] = est.MoveValue();
+    rep_hist.Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  });
+  for (const Status& st : rep_status) PQE_RETURN_IF_ERROR(st);
+  CountStats aggregate;
+  for (const CountEstimate& est : runs) {
     aggregate.strata_total = est.stats.strata_total;
     aggregate.strata_live = est.stats.strata_live;
     aggregate.pool_entries += est.stats.pool_entries;
@@ -349,7 +379,6 @@ Result<CountEstimate> CountNfaStrings(const Nfa& nfa, size_t n,
     aggregate.accepted += est.stats.accepted;
     aggregate.forced_samples += est.stats.forced_samples;
     aggregate.membership_checks += est.stats.membership_checks;
-    runs.push_back(std::move(est));
   }
   std::sort(runs.begin(), runs.end(),
             [](const CountEstimate& a, const CountEstimate& b) {

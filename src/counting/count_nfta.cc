@@ -1,7 +1,9 @@
 #include "counting/count_nfta.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -11,6 +13,7 @@
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace pqe {
 
@@ -47,17 +50,33 @@ class NftaCounter {
 
     ComputeForwardFeasibility();
     ComputeBackwardUsefulness();
-    CountLiveStrata();
+
+    // Strata accounting, folded into the processing sweep below (the sweep
+    // already visits every stratum to test liveness; a dedicated counting
+    // pass would re-walk O(|Q|·n + |Δ|·a·n) entries). strata_total is a
+    // closed form: A-strata are |Q|·n (sizes 1..n), F-strata arity·(n+1)
+    // per transition (sizes 0..n). The sweep skips forest size 0, which is
+    // never live (a child tree has size >= 1), so the live count matches.
+    stats_.strata_total = nfta_.NumStates() * n_;
+    for (uint32_t tau = 0; tau < nfta_.NumTransitions(); ++tau) {
+      stats_.strata_total += nfta_.transition(tau).children.size() * (n_ + 1);
+    }
 
     AllocateTables();
     for (size_t s = 1; s <= n_; ++s) {
       for (StateId q = 0; q < nfta_.NumStates(); ++q) {
-        if (LiveA(q, s)) ProcessTreeStratum(q, s);
+        if (LiveA(q, s)) {
+          ++stats_.strata_live;
+          ProcessTreeStratum(q, s);
+        }
       }
       for (uint32_t tau = 0; tau < nfta_.NumTransitions(); ++tau) {
         const size_t arity = nfta_.transition(tau).children.size();
         for (size_t j = 1; j <= arity; ++j) {
-          if (LiveF(tau, j, s)) ProcessForestStratum(tau, j, s);
+          if (LiveF(tau, j, s)) {
+            ++stats_.strata_live;
+            ProcessForestStratum(tau, j, s);
+          }
         }
       }
     }
@@ -185,24 +204,6 @@ class NftaCounter {
   }
   bool LiveF(uint32_t tau, size_t j, size_t s) const {
     return fwd_f_[tau][j][s] && bwd_f_[tau][j][s];
-  }
-
-  void CountLiveStrata() {
-    for (StateId q = 0; q < nfta_.NumStates(); ++q) {
-      for (size_t s = 1; s <= n_; ++s) {
-        ++stats_.strata_total;
-        if (LiveA(q, s)) ++stats_.strata_live;
-      }
-    }
-    for (uint32_t tau = 0; tau < nfta_.NumTransitions(); ++tau) {
-      const size_t arity = nfta_.transition(tau).children.size();
-      for (size_t j = 1; j <= arity; ++j) {
-        for (size_t s = 0; s <= n_; ++s) {
-          ++stats_.strata_total;
-          if (LiveF(tau, j, s)) ++stats_.strata_live;
-        }
-      }
-    }
   }
 
   // --- Tables -----------------------------------------------------------
@@ -538,19 +539,50 @@ Result<CountEstimate> CountNftaTrees(const Nfta& nfta, size_t n,
     return est;
   }
   // Median-of-R amplification over independent seeds — the standard FPRAS
-  // confidence boost.
-  std::vector<CountEstimate> runs;
-  runs.reserve(reps);
-  CountStats aggregate;
-  for (size_t r = 0; r < reps; ++r) {
-    PQE_TRACE_SPAN_VAR(rep_span, "count.nfta.rep");
-    rep_span.AttrUint("rep", r);
+  // confidence boost. Repetitions are independent (per-rep seed, per-rep
+  // counter state), so they fan out over the shared pool; each rep writes
+  // its own slot and the merge below runs in fixed rep order, keeping the
+  // median and the aggregate stats bit-identical across thread counts.
+  const size_t threads =
+      std::min(ThreadPool::ResolveNumThreads(config.num_threads), reps);
+  span.AttrUint("threads", threads);
+  // The membership oracle's lazy index must exist before the const automaton
+  // is shared across workers (building it mutates `mutable` members).
+  nfta.WarmRunIndex();
+  std::vector<CountEstimate> runs(reps);
+  std::vector<Status> rep_status(reps, Status::OK());
+  auto& rep_hist =
+      obs::MetricRegistry::Global().GetHistogram("pqe.count_nfta.rep_ns");
+  ParallelFor(threads, reps, [&](size_t r) {
+    // Per-rep spans only on the serial path: sessions are thread-local, so
+    // worker-run reps would attach nothing, and the caller-participating
+    // parallel path would trace a scheduling-dependent subset. Parallel
+    // runs record per-rep timings through the (atomic) histogram instead.
+    std::optional<obs::ScopedSpan> rep_span;
+    if (threads == 1) {
+      rep_span.emplace("count.nfta.rep");
+      rep_span->AttrUint("rep", r);
+    }
+    const auto start = std::chrono::steady_clock::now();
     EstimatorConfig rep_config = config;
     rep_config.repetitions = 1;
-    rep_config.seed = config.seed + 0x9e3779b97f4a7c15ULL * (r + 1);
+    rep_config.seed = Rng::DeriveSeed(config.seed, r);
     NftaCounter counter(nfta, n, rep_config);
-    PQE_ASSIGN_OR_RETURN(CountEstimate est, counter.Run());
-    rep_span.AttrFloat("log2_value", est.value.Log2());
+    Result<CountEstimate> est = counter.Run();
+    if (!est.ok()) {
+      rep_status[r] = est.status();
+      return;
+    }
+    if (rep_span) rep_span->AttrFloat("log2_value", est->value.Log2());
+    runs[r] = est.MoveValue();
+    rep_hist.Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  });
+  for (const Status& st : rep_status) PQE_RETURN_IF_ERROR(st);
+  CountStats aggregate;
+  for (const CountEstimate& est : runs) {
     aggregate.strata_total = est.stats.strata_total;
     aggregate.strata_live = est.stats.strata_live;
     aggregate.pool_entries += est.stats.pool_entries;
@@ -558,7 +590,6 @@ Result<CountEstimate> CountNftaTrees(const Nfta& nfta, size_t n,
     aggregate.accepted += est.stats.accepted;
     aggregate.forced_samples += est.stats.forced_samples;
     aggregate.membership_checks += est.stats.membership_checks;
-    runs.push_back(std::move(est));
   }
   std::sort(runs.begin(), runs.end(),
             [](const CountEstimate& a, const CountEstimate& b) {

@@ -1,6 +1,7 @@
 #include "lineage/karp_luby.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <functional>
 #include <map>
@@ -12,6 +13,7 @@
 #include "util/check.h"
 #include "util/extfloat.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace pqe {
 
@@ -75,37 +77,73 @@ Result<KarpLubyResult> KarpLubyEstimate(const DnfLineage& lineage,
   }
   out.samples = samples;
 
-  Rng rng(config.seed);
-  std::vector<bool> world(pdb.NumFacts(), false);
-  size_t hits = 0;
-  for (size_t s = 0; s < samples; ++s) {
-    const size_t j = PickWeightedIndex(&rng, weights);
-    // Draw a world conditioned on clause j being satisfied.
-    for (FactId f = 0; f < pdb.NumFacts(); ++f) {
-      world[f] = rng.NextBernoulli(pdb.probability(f).ToDouble());
-    }
-    for (FactId f : lineage.clauses[j]) world[f] = true;
-    // Coverage estimator: count iff j is the first satisfied clause.
-    bool canonical = true;
-    for (size_t k = 0; k < j && canonical; ++k) {
-      bool sat = true;
-      for (FactId f : lineage.clauses[k]) sat = sat && world[f];
-      if (sat) canonical = false;
-    }
-    if (canonical) ++hits;
+  // Fact marginals as plain doubles, hoisted out of the sample loop (shared
+  // read-only across shards; the per-sample probability(f).ToDouble() calls
+  // used to dominate the world draw).
+  const size_t num_facts = pdb.NumFacts();
+  std::vector<double> marginals(num_facts);
+  for (FactId f = 0; f < num_facts; ++f) {
+    marginals[f] = pdb.probability(f).ToDouble();
   }
+
+  // The i.i.d. sample loop, sharded. Shard boundaries are fixed by the
+  // config alone (never by thread count or scheduling): shard i covers
+  // samples [i·N/S, (i+1)·N/S) with its own Rng seeded from (seed, i) and
+  // its own scratch world bitmap; hits — an order-independent integer sum —
+  // are merged in shard order. Bit-identical for every num_threads.
+  const size_t threads = ThreadPool::ResolveNumThreads(config.num_threads);
+  const size_t shards = std::min(
+      config.num_shards > 0 ? config.num_shards : size_t{64}, samples);
+  std::vector<uint64_t> shard_hits(shards, 0);
+  auto& shard_hist =
+      obs::MetricRegistry::Global().GetHistogram("pqe.karp_luby.shard_ns");
+  ParallelFor(threads, shards, [&](size_t shard) {
+    const auto start = std::chrono::steady_clock::now();
+    Rng rng(Rng::DeriveSeed(config.seed, shard));
+    std::vector<bool> world(num_facts, false);
+    uint64_t hits = 0;
+    const size_t begin = shard * samples / shards;
+    const size_t end = (shard + 1) * samples / shards;
+    for (size_t s = begin; s < end; ++s) {
+      const size_t j = PickWeightedIndex(&rng, weights);
+      // Draw a world conditioned on clause j being satisfied.
+      for (FactId f = 0; f < num_facts; ++f) {
+        world[f] = rng.NextBernoulli(marginals[f]);
+      }
+      for (FactId f : lineage.clauses[j]) world[f] = true;
+      // Coverage estimator: count iff j is the first satisfied clause.
+      bool canonical = true;
+      for (size_t k = 0; k < j && canonical; ++k) {
+        bool sat = true;
+        for (FactId f : lineage.clauses[k]) sat = sat && world[f];
+        if (sat) canonical = false;
+      }
+      if (canonical) ++hits;
+    }
+    shard_hits[shard] = hits;
+    shard_hist.Observe(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+  });
+  size_t hits = 0;
+  for (uint64_t h : shard_hits) hits += h;
   out.hits = hits;
   out.probability = total.Scale(static_cast<double>(hits) /
                                 static_cast<double>(samples))
                         .ToDouble();
   span.AttrUint("samples", out.samples);
   span.AttrUint("hits", out.hits);
+  span.AttrUint("threads", threads);
+  span.AttrUint("shards", shards);
   {
     auto& metrics = obs::MetricRegistry::Global();
     metrics.GetCounter("pqe.karp_luby.runs").Increment();
     metrics.GetCounter("pqe.karp_luby.samples").Add(out.samples);
     metrics.GetCounter("pqe.karp_luby.hits").Add(out.hits);
     metrics.GetHistogram("pqe.karp_luby.clauses").Observe(out.clauses);
+    metrics.GetGauge("pqe.karp_luby.threads").Set(
+        static_cast<double>(threads));
   }
   return out;
 }

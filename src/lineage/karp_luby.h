@@ -19,6 +19,16 @@ struct KarpLubyConfig {
   size_t num_samples = 0;
   size_t min_samples = 256;
   size_t max_samples = 0;  // 0 = uncapped
+  /// Worker threads for the sample loop. 0 = auto: $PQE_THREADS when set,
+  /// else 1 (serial). The estimate is bit-identical for every value.
+  size_t num_threads = 0;
+  /// Sample-loop shards (0 = default 64, clamped to the sample count). Each
+  /// shard covers a fixed contiguous block of samples and seeds its own Rng
+  /// from (seed, shard); shard hits are summed in shard order, so results
+  /// depend on (seed, num_shards) only — never on num_threads or
+  /// scheduling. Changing num_shards changes the sample streams (like
+  /// changing the seed), not the estimator's guarantee.
+  size_t num_shards = 0;
 };
 
 /// Result of a Karp–Luby run.

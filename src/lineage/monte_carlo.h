@@ -14,6 +14,12 @@ namespace pqe {
 struct MonteCarloConfig {
   uint64_t seed = 0x5eed;
   size_t num_samples = 10'000;
+  /// Worker threads for the sample loop. 0 = auto: $PQE_THREADS when set,
+  /// else 1 (serial). The estimate is bit-identical for every value.
+  size_t num_threads = 0;
+  /// Sample-loop shards (0 = default 64, clamped to the sample count); same
+  /// determinism contract as KarpLubyConfig::num_shards.
+  size_t num_shards = 0;
 };
 
 /// Result of a naive Monte-Carlo run.

@@ -4,8 +4,8 @@
 //   pqe_cli --data facts.txt --query "Follows(x,y), Likes(y,z)"
 //           [--method auto|fpras|safe-plan|enumeration|karp-luby|
 //            exact-lineage|monte-carlo]
-//           [--epsilon 0.1] [--seed 42] [--max-width 3] [--ur]
-//           [--sample K] [--trace | --trace=json] [--metrics]
+//           [--epsilon 0.1] [--seed 42] [--max-width 3] [--threads 4]
+//           [--ur] [--sample K] [--trace | --trace=json] [--metrics]
 //
 // With --ur the uniform reliability UR(Q, D) is reported instead (fact
 // probabilities in the file are ignored). With --sample K, K posterior
@@ -35,6 +35,8 @@ void Usage() {
       "  --epsilon E      target relative error (default 0.2)\n"
       "  --seed N         RNG seed (default 42)\n"
       "  --max-width W    hypertree width budget (default 3)\n"
+      "  --threads N      worker threads for the sampling loops (default:\n"
+      "                   $PQE_THREADS, else 1; results do not depend on N)\n"
       "  --ur             report uniform reliability instead of probability\n"
       "  --sample K       print K sampled worlds conditioned on Q holding\n"
       "  --trace          print the evaluation's span tree (timings)\n"
@@ -52,6 +54,7 @@ int main(int argc, char** argv) {
   double epsilon = 0.2;
   uint64_t seed = 42;
   size_t max_width = 3;
+  size_t num_threads = 0;
   bool uniform_reliability = false;
   size_t sample_worlds = 0;
   bool trace_text = false;
@@ -79,6 +82,8 @@ int main(int argc, char** argv) {
       seed = std::strtoull(need_value("--seed"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--max-width") == 0) {
       max_width = std::strtoull(need_value("--max-width"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      num_threads = std::strtoull(need_value("--threads"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--ur") == 0) {
       uniform_reliability = true;
     } else if (std::strcmp(argv[i], "--sample") == 0) {
@@ -126,6 +131,7 @@ int main(int argc, char** argv) {
   opts.epsilon = epsilon;
   opts.seed = seed;
   opts.max_width = max_width;
+  opts.num_threads = num_threads;
   opts.collect_trace = trace_text || trace_json;
   if (method == "auto") {
     opts.method = PqeMethod::kAuto;
@@ -187,6 +193,7 @@ int main(int argc, char** argv) {
     EstimatorConfig cfg;
     cfg.epsilon = epsilon;
     cfg.seed = seed;
+    cfg.num_threads = num_threads;
     UrConstructionOptions uropts;
     uropts.max_width = max_width;
     auto worlds =

@@ -38,6 +38,17 @@ class Rng {
   /// Derives an independent child generator (for parallel-safe splitting).
   Rng Split();
 
+  /// Seed of the `index`-th independent stream derived from `base` (golden-
+  /// ratio stride — the same spacing splitmix64 uses internally, so the
+  /// seeds land in distinct splitmix sequences). This is THE seed-derivation
+  /// rule of the library: median-of-R repetitions and parallel sample shards
+  /// all seed their own generator as Rng(Rng::DeriveSeed(seed, index)), so
+  /// every stream is fixed by (seed, index) alone — never by thread count or
+  /// scheduling (the determinism contract of docs/parallelism.md).
+  static constexpr uint64_t DeriveSeed(uint64_t base, uint64_t index) {
+    return base + 0x9e3779b97f4a7c15ULL * (index + 1);
+  }
+
  private:
   uint64_t s_[4];
 };

@@ -1,0 +1,142 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace pqe {
+
+ThreadPool::ThreadPool(size_t num_workers) {
+  workers_.reserve(num_workers);
+  for (size_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::RunTasks(const std::function<void(size_t)>& fn,
+                          size_t num_tasks) {
+  for (;;) {
+    const size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= num_tasks) return;
+    try {
+      fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::current_exception();
+      // Skip the remaining unstarted tasks; in-flight ones finish.
+      next_.store(num_tasks, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    if (worker_budget_ == 0) continue;  // batch full (or already drained)
+    --worker_budget_;
+    ++working_;
+    const std::function<void(size_t)>* fn = fn_;
+    const size_t num_tasks = num_tasks_;
+    lock.unlock();
+    RunTasks(*fn, num_tasks);
+    lock.lock();
+    if (--working_ == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::RunBatch(size_t num_tasks, size_t max_parallelism,
+                          const std::function<void(size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (max_parallelism <= 1 || num_tasks == 1 || workers_.empty()) {
+    for (size_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> batch_lock(batch_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    num_tasks_ = num_tasks;
+    worker_budget_ = std::min(max_parallelism - 1, workers_.size());
+    working_ = 0;
+    next_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunTasks(fn, num_tasks);  // the caller always participates
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // No further workers may join (a late waker would only find an empty
+    // cursor anyway); wait for the ones that did to drain.
+    worker_budget_ = 0;
+    done_cv_.wait(lock, [&] { return working_ == 0; });
+    error = error_;
+    fn_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+size_t ThreadPool::ResolveNumThreads(size_t configured) {
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("PQE_THREADS")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) return static_cast<size_t>(v);
+  }
+  return 1;
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool([] {
+    const size_t hw = std::thread::hardware_concurrency();
+    return std::max<size_t>(hw, 8) - 1;
+  }());
+  return pool;
+}
+
+void ParallelFor(size_t num_threads, size_t num_tasks,
+                 const std::function<void(size_t)>& fn) {
+  if (num_threads <= 1 || num_tasks <= 1) {
+    for (size_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  ThreadPool::Shared().RunBatch(num_tasks, num_threads, fn);
+}
+
+size_t ConsumeThreadsFlag(int* argc, char** argv) {
+  static constexpr char kPrefix[] = "--threads=";
+  size_t threads = 0;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], kPrefix, sizeof(kPrefix) - 1) == 0) {
+      const char* value = argv[i] + sizeof(kPrefix) - 1;
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(value, &end, 10);
+      if (end != value && *end == '\0' && v > 0) {
+        threads = static_cast<size_t>(v);
+        setenv("PQE_THREADS", value, /*overwrite=*/1);
+        continue;  // consumed
+      }
+    }
+    argv[out++] = argv[i];
+  }
+  *argc = out;
+  return threads;
+}
+
+}  // namespace pqe

@@ -1,0 +1,100 @@
+#ifndef PQE_UTIL_THREAD_POOL_H_
+#define PQE_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pqe {
+
+/// A fixed-size fork/join worker pool for the library's embarrassingly
+/// parallel layers (median-of-R repetitions, sample-loop shards). Zero
+/// dependencies beyond <thread>; no per-task queue allocation — a batch is
+/// one shared atomic task cursor that participants drain.
+///
+/// Determinism contract (see docs/parallelism.md): the pool only decides
+/// *which thread* runs a task, never *what* the task computes. Callers keep
+/// results bit-identical across thread counts by (a) deriving per-task seeds
+/// from (seed, task index) — Rng::DeriveSeed — (b) fixing task/shard
+/// boundaries by configuration, and (c) writing into per-task slots that are
+/// merged in fixed task order after RunBatch returns.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` worker threads. 0 is valid: every batch then runs
+  /// inline on the calling thread.
+  explicit ThreadPool(size_t num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_workers() const { return workers_.size(); }
+
+  /// Runs fn(i) exactly once for every i in [0, num_tasks), then returns.
+  /// At most `max_parallelism` threads execute tasks concurrently (the
+  /// calling thread always participates, so up to max_parallelism − 1
+  /// workers join). Rethrows the first task exception after the batch
+  /// drains; remaining unstarted tasks are skipped on error. The pool is
+  /// reusable across batches but not reentrant: a task must not call
+  /// RunBatch on the pool that is running it.
+  void RunBatch(size_t num_tasks, size_t max_parallelism,
+                const std::function<void(size_t)>& fn);
+
+  /// Resolves an effective thread count from configuration: `configured` if
+  /// > 0, else the PQE_THREADS environment variable if set to a positive
+  /// integer, else 1 (serial).
+  static size_t ResolveNumThreads(size_t configured);
+
+  /// The process-wide pool shared by all parallel layers. Sized
+  /// max(hardware_concurrency, 8) − 1 workers, so determinism tests and
+  /// TSan runs exercise real threads even on small machines; RunBatch's
+  /// max_parallelism caps how many participate in any one batch.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+  /// Drains the current batch's task cursor on the calling thread.
+  void RunTasks(const std::function<void(size_t)>& fn, size_t num_tasks);
+
+  // Serializes whole batches (two caller threads queue politely).
+  std::mutex batch_mu_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  uint64_t generation_ = 0;       // bumped per batch, wakes the workers
+  const std::function<void(size_t)>* fn_ = nullptr;  // guarded by mu_
+  size_t num_tasks_ = 0;          // guarded by mu_
+  size_t worker_budget_ = 0;      // workers still allowed to join the batch
+  size_t working_ = 0;            // workers currently running tasks
+  std::atomic<size_t> next_{0};   // shared task cursor
+  std::exception_ptr error_;      // first task exception, guarded by mu_
+
+  std::vector<std::thread> workers_;
+};
+
+/// Convenience fork/join loop: runs fn(i) for i in [0, num_tasks]. With
+/// num_threads <= 1 (or a single task) the loop runs inline — no pool, no
+/// synchronization, spans attach as usual; otherwise it fans out over
+/// ThreadPool::Shared() capped at num_threads. `num_threads` is an
+/// already-resolved count (pass through ThreadPool::ResolveNumThreads).
+void ParallelFor(size_t num_threads, size_t num_tasks,
+                 const std::function<void(size_t)>& fn);
+
+/// Removes a `--threads=N` argument from argv (if present), exports it as
+/// PQE_THREADS so every num_threads == 0 (auto) config picks it up, and
+/// returns N (0 when absent). Call before other flag parsing; shared by the
+/// bench binaries (pqe_cli plumbs its own --threads flag through
+/// PqeEngine::Options instead).
+size_t ConsumeThreadsFlag(int* argc, char** argv);
+
+}  // namespace pqe
+
+#endif  // PQE_UTIL_THREAD_POOL_H_

@@ -1,0 +1,167 @@
+// The parallel sampling layers promise bit-identical results across thread
+// counts (docs/parallelism.md): per-rep/per-shard seeds derive from
+// (seed, index), shard boundaries are fixed by configuration, and merges run
+// in fixed index order. These tests pin that contract by running every
+// parallelized estimator at num_threads ∈ {1, 2, 8} and demanding exact
+// equality — doubles compared with ==, ExtFloats with operator==, CountStats
+// field by field via ToString().
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "automata/nfa.h"
+#include "automata/nfta.h"
+#include "counting/count_nfa.h"
+#include "counting/count_nfta.h"
+#include "lineage/karp_luby.h"
+#include "lineage/lineage.h"
+#include "lineage/monte_carlo.h"
+#include "workload/generators.h"
+
+namespace pqe {
+namespace {
+
+constexpr size_t kThreadCounts[] = {1, 2, 8};
+
+EstimatorConfig CountConfig(size_t threads) {
+  EstimatorConfig cfg;
+  cfg.epsilon = 0.3;
+  cfg.seed = 0xfeed;
+  cfg.repetitions = 5;  // exercise the parallel median-of-R loop
+  cfg.num_threads = threads;
+  return cfg;
+}
+
+TEST(ParallelDeterminismTest, CountNftaTreesIdenticalAcrossThreadCounts) {
+  // Ambiguous full-binary-tree automaton: overlapping unions keep the
+  // Karp-Luby canonical-witness path (and its Rng draws) busy.
+  Nfta t;
+  StateId q = t.AddState();
+  t.SetInitialState(q);
+  t.AddTransition(q, 0, {q, q});
+  t.AddTransition(q, 0, {});
+  t.AddTransition(q, 1, {});
+
+  auto base = CountNftaTrees(t, 9, CountConfig(1));
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  for (size_t threads : kThreadCounts) {
+    auto run = CountNftaTrees(t, 9, CountConfig(threads));
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_TRUE(run->value == base->value)
+        << "threads=" << threads << ": " << run->value.ToString()
+        << " != " << base->value.ToString();
+    EXPECT_EQ(run->stats.ToString(), base->stats.ToString())
+        << "threads=" << threads;
+  }
+}
+
+TEST(ParallelDeterminismTest, CountNfaStringsIdenticalAcrossThreadCounts) {
+  // Ambiguous NFA over {0,1}: two initial branches that reconverge, plus
+  // self-loops, so distinct runs accept the same strings.
+  Nfa nfa;
+  StateId s = nfa.AddState();
+  StateId a = nfa.AddState();
+  StateId b = nfa.AddState();
+  nfa.MarkInitial(s);
+  nfa.MarkAccepting(a);
+  nfa.MarkAccepting(b);
+  nfa.AddTransition(s, 0, a);
+  nfa.AddTransition(s, 0, b);
+  nfa.AddTransition(a, 0, a);
+  nfa.AddTransition(a, 1, a);
+  nfa.AddTransition(b, 1, b);
+  nfa.AddTransition(b, 1, a);
+
+  auto base = CountNfaStrings(nfa, 8, CountConfig(1));
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  for (size_t threads : kThreadCounts) {
+    auto run = CountNfaStrings(nfa, 8, CountConfig(threads));
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_TRUE(run->value == base->value)
+        << "threads=" << threads << ": " << run->value.ToString()
+        << " != " << base->value.ToString();
+    EXPECT_EQ(run->stats.ToString(), base->stats.ToString())
+        << "threads=" << threads;
+  }
+}
+
+// A small-but-nontrivial lineage instance shared by the KL / MC tests.
+struct LineageFixture {
+  QueryInstance qi;
+  ProbabilisticDatabase pdb;
+  DnfLineage lineage;
+};
+
+LineageFixture MakeFixture() {
+  auto qi = MakePathQuery(3).MoveValue();
+  LayeredGraphOptions opt;
+  opt.width = 3;
+  opt.density = 1.0;
+  opt.seed = 7;
+  auto db = MakeLayeredPathDatabase(qi, opt).MoveValue();
+  ProbabilityModel pm;
+  pm.seed = 11;
+  ProbabilisticDatabase pdb = AttachProbabilities(std::move(db), pm);
+  DnfLineage lineage = BuildLineage(qi.query, pdb.database()).MoveValue();
+  return {std::move(qi), std::move(pdb), std::move(lineage)};
+}
+
+TEST(ParallelDeterminismTest, KarpLubyIdenticalAcrossThreadCounts) {
+  LineageFixture fx = MakeFixture();
+  KarpLubyConfig cfg;
+  cfg.seed = 0xfeed;
+  cfg.num_samples = 50'000;
+  cfg.num_threads = 1;
+  auto base = KarpLubyEstimate(fx.lineage, fx.pdb, cfg);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  for (size_t threads : kThreadCounts) {
+    cfg.num_threads = threads;
+    auto run = KarpLubyEstimate(fx.lineage, fx.pdb, cfg);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run->probability, base->probability) << "threads=" << threads;
+    EXPECT_EQ(run->hits, base->hits) << "threads=" << threads;
+    EXPECT_EQ(run->samples, base->samples);
+    EXPECT_EQ(run->clauses, base->clauses);
+  }
+}
+
+TEST(ParallelDeterminismTest, MonteCarloIdenticalAcrossThreadCounts) {
+  LineageFixture fx = MakeFixture();
+  MonteCarloConfig cfg;
+  cfg.seed = 0xfeed;
+  cfg.num_samples = 20'000;
+  cfg.num_threads = 1;
+  auto base = MonteCarloPqe(fx.qi.query, fx.pdb, cfg);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  for (size_t threads : kThreadCounts) {
+    cfg.num_threads = threads;
+    auto run = MonteCarloPqe(fx.qi.query, fx.pdb, cfg);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run->probability, base->probability) << "threads=" << threads;
+    EXPECT_EQ(run->hits, base->hits) << "threads=" << threads;
+    EXPECT_EQ(run->samples, base->samples);
+  }
+}
+
+TEST(ParallelDeterminismTest, ShardCountIsPartOfTheStreamNotTheSchedule) {
+  // num_shards picks the sample streams (like the seed does); num_threads
+  // never. Same shards, different threads -> identical; different shards ->
+  // an (almost surely) different but still valid estimate.
+  LineageFixture fx = MakeFixture();
+  KarpLubyConfig cfg;
+  cfg.seed = 0xfeed;
+  cfg.num_samples = 50'000;
+  cfg.num_shards = 16;
+  cfg.num_threads = 2;
+  auto a = KarpLubyEstimate(fx.lineage, fx.pdb, cfg);
+  cfg.num_threads = 8;
+  auto b = KarpLubyEstimate(fx.lineage, fx.pdb, cfg);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->probability, b->probability);
+  EXPECT_EQ(a->hits, b->hits);
+}
+
+}  // namespace
+}  // namespace pqe
