@@ -3,11 +3,12 @@
 # tracing-disabled configuration, an ASan/UBSan pass, and a TSan pass with
 # the parallel sampling layers forced multi-threaded.
 #
-#   ./ci.sh            # all four configurations
+#   ./ci.sh            # all five configurations
 #   ./ci.sh tier1      # just the tier-1 verify
 #   ./ci.sh notrace    # just PQE_ENABLE_TRACING=OFF
 #   ./ci.sh sanitize   # just ASan/UBSan
 #   ./ci.sh tsan       # just ThreadSanitizer (PQE_THREADS=8)
+#   ./ci.sh perf_smoke # just the counting hot-path perf smoke
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -60,11 +61,39 @@ tsan() {
   )
 }
 
+perf_smoke() {
+  # Smoke the counting hot-path bench: it must complete (every cell asserts
+  # the cached estimate is bit-identical to the legacy one) and emit
+  # parseable metrics JSON.
+  echo "==== perf-smoke: build bench_counting_hotpath ===="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${JOBS}" --target bench_counting_hotpath
+  echo "==== perf-smoke: run ===="
+  local out="build/BENCH_counting_hotpath.smoke.json"
+  ./build/bench/bench_counting_hotpath --smoke --metrics_out="${out}"
+  echo "==== perf-smoke: validate ${out} ===="
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "${out}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+gauges = doc.get("metrics", doc).get("gauges", {})
+cells = [k for k in gauges if "counting_hotpath" in k and k.endswith(".speedup")]
+assert cells, "no counting_hotpath speedup gauges in metrics JSON"
+print(f"perf-smoke: {len(cells)} cells, JSON OK")
+EOF
+  else
+    grep -q "counting_hotpath" "${out}"
+    echo "perf-smoke: JSON contains counting_hotpath gauges (python3 absent)"
+  fi
+}
+
 if [[ $# -eq 0 ]]; then
   tier1
   notrace
   sanitize
   tsan
+  perf_smoke
 else
   for target in "$@"; do
     "${target}"

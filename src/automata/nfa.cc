@@ -10,10 +10,9 @@ namespace pqe {
 StateId Nfa::AddState() {
   StateId id = static_cast<StateId>(num_states_);
   ++num_states_;
-  out_transitions_.emplace_back();
-  in_transitions_.emplace_back();
   is_initial_.push_back(false);
   is_accepting_.push_back(false);
+  adjacency_valid_ = false;
   return id;
 }
 
@@ -27,10 +26,8 @@ void Nfa::AddTransition(StateId from, SymbolId symbol, StateId to) {
   EnsureState(from);
   EnsureState(to);
   EnsureAlphabetSize(static_cast<size_t>(symbol) + 1);
-  uint32_t idx = static_cast<uint32_t>(transitions_.size());
   transitions_.push_back(Transition{from, symbol, to});
-  out_transitions_[from].push_back(idx);
-  in_transitions_[to].push_back(idx);
+  adjacency_valid_ = false;
 }
 
 void Nfa::MarkInitial(StateId s) {
@@ -46,12 +43,48 @@ void Nfa::MarkAccepting(StateId s) {
   is_accepting_[s] = true;
 }
 
-const std::vector<uint32_t>& Nfa::OutTransitions(StateId s) const {
-  return out_transitions_.at(s);
+void Nfa::EnsureAdjacency() const {
+  if (adjacency_valid_) return;
+  const size_t S = num_states_;
+  const size_t T = transitions_.size();
+  // Counting sort by endpoint, stable in transition order, so per-state
+  // lists keep the same (insertion) order the old vector-of-vectors layout
+  // had — canonical-witness tie-breaking depends on it.
+  out_offsets_.assign(S + 1, 0);
+  in_offsets_.assign(S + 1, 0);
+  for (const Transition& t : transitions_) {
+    ++out_offsets_[t.from + 1];
+    ++in_offsets_[t.to + 1];
+  }
+  for (size_t s = 0; s < S; ++s) {
+    out_offsets_[s + 1] += out_offsets_[s];
+    in_offsets_[s + 1] += in_offsets_[s];
+  }
+  out_idx_.resize(T);
+  in_idx_.resize(T);
+  std::vector<uint32_t> out_cursor(out_offsets_.begin(),
+                                   out_offsets_.end() - 1);
+  std::vector<uint32_t> in_cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (uint32_t idx = 0; idx < T; ++idx) {
+    const Transition& t = transitions_[idx];
+    out_idx_[out_cursor[t.from]++] = idx;
+    in_idx_[in_cursor[t.to]++] = idx;
+  }
+  adjacency_valid_ = true;
 }
 
-const std::vector<uint32_t>& Nfa::InTransitions(StateId s) const {
-  return in_transitions_.at(s);
+Span<uint32_t> Nfa::OutTransitions(StateId s) const {
+  PQE_CHECK(s < num_states_);
+  EnsureAdjacency();
+  return Span<uint32_t>(out_idx_.data() + out_offsets_[s],
+                        out_offsets_[s + 1] - out_offsets_[s]);
+}
+
+Span<uint32_t> Nfa::InTransitions(StateId s) const {
+  PQE_CHECK(s < num_states_);
+  EnsureAdjacency();
+  return Span<uint32_t>(in_idx_.data() + in_offsets_[s],
+                        in_offsets_[s + 1] - in_offsets_[s]);
 }
 
 std::vector<bool> Nfa::StatesAfter(const std::vector<SymbolId>& word) const {
@@ -67,21 +100,31 @@ std::vector<bool> Nfa::StatesAfter(const std::vector<SymbolId>& word) const {
   return current;
 }
 
+void Nfa::ActiveStep(const std::vector<StateId>& current, SymbolId symbol,
+                     std::vector<StateId>* next) const {
+  EnsureAdjacency();
+  next->clear();
+  const uint32_t* idx = out_idx_.data();
+  const Transition* trans = transitions_.data();
+  for (StateId s : current) {
+    const uint32_t begin = out_offsets_[s];
+    const uint32_t end = out_offsets_[s + 1];
+    for (uint32_t i = begin; i < end; ++i) {
+      const Transition& t = trans[idx[i]];
+      if (t.symbol == symbol) next->push_back(t.to);
+    }
+  }
+  std::sort(next->begin(), next->end());
+  next->erase(std::unique(next->begin(), next->end()), next->end());
+}
+
 std::vector<StateId> Nfa::ActiveStatesAfter(
     const std::vector<SymbolId>& word) const {
   std::vector<StateId> current = initial_;
   std::sort(current.begin(), current.end());
   std::vector<StateId> next;
   for (SymbolId symbol : word) {
-    next.clear();
-    for (StateId s : current) {
-      for (uint32_t idx : out_transitions_[s]) {
-        const Transition& t = transitions_[idx];
-        if (t.symbol == symbol) next.push_back(t.to);
-      }
-    }
-    std::sort(next.begin(), next.end());
-    next.erase(std::unique(next.begin(), next.end()), next.end());
+    ActiveStep(current, symbol, &next);
     std::swap(current, next);
     if (current.empty()) break;
   }
@@ -97,6 +140,7 @@ bool Nfa::Accepts(const std::vector<SymbolId>& word) const {
 }
 
 void Nfa::Trim() {
+  EnsureAdjacency();
   // Forward reachability from initial states.
   std::vector<bool> fwd(num_states_, false);
   std::vector<StateId> stack;
@@ -107,7 +151,7 @@ void Nfa::Trim() {
   while (!stack.empty()) {
     StateId s = stack.back();
     stack.pop_back();
-    for (uint32_t idx : out_transitions_[s]) {
+    for (uint32_t idx : OutTransitions(s)) {
       StateId to = transitions_[idx].to;
       if (!fwd[to]) {
         fwd[to] = true;
@@ -126,7 +170,7 @@ void Nfa::Trim() {
   while (!stack.empty()) {
     StateId s = stack.back();
     stack.pop_back();
-    for (uint32_t idx : in_transitions_[s]) {
+    for (uint32_t idx : InTransitions(s)) {
       StateId from = transitions_[idx].from;
       if (!bwd[from]) {
         bwd[from] = true;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/result.h"
+#include "util/span.h"
 
 namespace pqe {
 
@@ -17,6 +18,13 @@ using SymbolId = uint32_t;
 
 /// A non-deterministic finite string automaton (S, Σ, δ, I, F) (Section 2).
 /// Supports multiple initial states, as used by the path-query construction.
+///
+/// Storage is hot-path oriented: transitions live in one contiguous vector
+/// and the per-state adjacency (out/in transition indices) is a CSR layout —
+/// one flat index arena plus per-state (offset, length) — built lazily on
+/// first access and invalidated by AddTransition. Accessors hand out
+/// Span<uint32_t> views into the arena, so the inner simulation loops touch
+/// no per-state heap blocks.
 class Nfa {
  public:
   struct Transition {
@@ -45,10 +53,18 @@ class Nfa {
   bool IsInitial(StateId s) const { return is_initial_.at(s); }
   bool IsAccepting(StateId s) const { return is_accepting_.at(s); }
 
-  /// Outgoing transitions of a state (indices into transitions()).
-  const std::vector<uint32_t>& OutTransitions(StateId s) const;
-  /// Incoming transitions of a state (indices into transitions()).
-  const std::vector<uint32_t>& InTransitions(StateId s) const;
+  /// Outgoing transitions of a state (indices into transitions()), in
+  /// insertion order. The view is invalidated by AddTransition.
+  Span<uint32_t> OutTransitions(StateId s) const;
+  /// Incoming transitions of a state (indices into transitions()), in
+  /// insertion order. The view is invalidated by AddTransition.
+  Span<uint32_t> InTransitions(StateId s) const;
+
+  /// Builds the lazy CSR adjacency now. The accessors build it on first use,
+  /// which mutates `mutable` members — call this before sharing a const Nfa
+  /// across threads (the parallel median-of-R reps do), after which
+  /// concurrent accessor calls are read-only and race-free.
+  void WarmAdjacency() const { EnsureAdjacency(); }
 
   /// Subset simulation: the set of states reachable from the initial states
   /// by reading `word`, as a bitvector indexed by StateId.
@@ -60,6 +76,13 @@ class Nfa {
   /// leans on.
   std::vector<StateId> ActiveStatesAfter(
       const std::vector<SymbolId>& word) const;
+
+  /// One step of the sparse subset simulation: the sorted successor set of
+  /// the sorted state set `current` under `symbol`, written into `*next`
+  /// (scratch-friendly: reuses next's capacity). Exposed for the counting
+  /// layer's memoized membership oracle.
+  void ActiveStep(const std::vector<StateId>& current, SymbolId symbol,
+                  std::vector<StateId>* next) const;
 
   /// Standard acceptance test.
   bool Accepts(const std::vector<SymbolId>& word) const;
@@ -77,15 +100,23 @@ class Nfa {
 
  private:
   void EnsureState(StateId s);
+  void EnsureAdjacency() const;
 
   size_t num_states_ = 0;
   size_t alphabet_size_ = 0;
   std::vector<Transition> transitions_;
-  std::vector<std::vector<uint32_t>> out_transitions_;
-  std::vector<std::vector<uint32_t>> in_transitions_;
   std::vector<StateId> initial_;
   std::vector<bool> is_initial_;
   std::vector<bool> is_accepting_;
+
+  // Lazy CSR adjacency: out_idx_/in_idx_ hold transition indices grouped by
+  // state; offsets have num_states_ + 1 entries. Rebuilt (counting sort,
+  // stable in transition order) whenever a transition was added.
+  mutable bool adjacency_valid_ = false;
+  mutable std::vector<uint32_t> out_offsets_;
+  mutable std::vector<uint32_t> out_idx_;
+  mutable std::vector<uint32_t> in_offsets_;
+  mutable std::vector<uint32_t> in_idx_;
 };
 
 }  // namespace pqe

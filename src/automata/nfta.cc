@@ -10,10 +10,51 @@
 
 namespace pqe {
 
+namespace {
+
+uint64_t SymbolChild0Key(SymbolId symbol, StateId child0) {
+  return (static_cast<uint64_t>(symbol) << 32) | child0;
+}
+
+}  // namespace
+
+Nfta& Nfta::operator=(const Nfta& o) {
+  if (this == &o) return *this;
+  num_states_ = o.num_states_;
+  alphabet_size_ = o.alphabet_size_;
+  initial_ = o.initial_;
+  transitions_ = o.transitions_;
+  child_arena_ = o.child_arena_;
+  adjacency_valid_ = o.adjacency_valid_;
+  out_offsets_ = o.out_offsets_;
+  out_idx_ = o.out_idx_;
+  sym_offsets_ = o.sym_offsets_;
+  sym_idx_ = o.sym_idx_;
+  run_index_valid_ = o.run_index_valid_;
+  leaf_offsets_ = o.leaf_offsets_;
+  leaf_idx_ = o.leaf_idx_;
+  nonleaf_keys_ = o.nonleaf_keys_;
+  nonleaf_offsets_ = o.nonleaf_offsets_;
+  nonleaf_idx_ = o.nonleaf_idx_;
+  // The copied spans still point into o's arena; repoint them into ours.
+  RebaseChildren(o.child_arena_.data());
+  return *this;
+}
+
+void Nfta::RebaseChildren(const StateId* old_base) {
+  const StateId* new_base = child_arena_.data();
+  if (new_base == old_base) return;
+  for (Transition& t : transitions_) {
+    if (t.children.data() == nullptr) continue;
+    t.children = Span<StateId>(new_base + (t.children.data() - old_base),
+                               t.children.size());
+  }
+}
+
 StateId Nfta::AddState() {
   StateId id = static_cast<StateId>(num_states_);
   ++num_states_;
-  out_transitions_.emplace_back();
+  adjacency_valid_ = false;
   return id;
 }
 
@@ -28,29 +69,82 @@ void Nfta::SetInitialState(StateId s) {
 
 void Nfta::AddTransition(StateId from, SymbolId symbol,
                          std::vector<StateId> children) {
+  AddTransitionView(from, symbol, Span<StateId>(children));
+}
+
+void Nfta::AddTransitionView(StateId from, SymbolId symbol,
+                             Span<StateId> children) {
   PQE_CHECK(from < num_states_);
   for (StateId c : children) PQE_CHECK(c < num_states_);
   if (symbol != kLambdaSymbol) {
     EnsureAlphabetSize(static_cast<size_t>(symbol) + 1);
   }
-  uint32_t idx = static_cast<uint32_t>(transitions_.size());
-  transitions_.push_back(Transition{from, symbol, std::move(children)});
-  out_transitions_[from].push_back(idx);
-  if (symbol != kLambdaSymbol) {
-    if (by_symbol_.size() < alphabet_size_) by_symbol_.resize(alphabet_size_);
-    by_symbol_[symbol].push_back(idx);
+  // A span can view this automaton's own arena (e.g. re-adding an existing
+  // transition's children); appending may then reallocate under the view,
+  // so detour through an owned copy.
+  const StateId* arena_begin = child_arena_.data();
+  const StateId* arena_end = arena_begin + child_arena_.size();
+  std::vector<StateId> self_copy;
+  if (!children.empty() && children.data() >= arena_begin &&
+      children.data() < arena_end) {
+    self_copy = children.ToVector();
+    children = Span<StateId>(self_copy);
   }
+  const size_t offset = child_arena_.size();
+  const StateId* old_base = child_arena_.data();
+  child_arena_.insert(child_arena_.end(), children.begin(), children.end());
+  RebaseChildren(old_base);
+  transitions_.push_back(Transition{
+      from, symbol,
+      Span<StateId>(children.empty() ? nullptr : child_arena_.data() + offset,
+                    children.size())});
+  adjacency_valid_ = false;
   run_index_valid_ = false;
 }
 
-const std::vector<uint32_t>& Nfta::TransitionsWithSymbol(
-    SymbolId symbol) const {
-  if (symbol >= by_symbol_.size()) return empty_;
-  return by_symbol_[symbol];
+void Nfta::EnsureAdjacency() const {
+  if (adjacency_valid_) return;
+  const size_t S = num_states_;
+  const size_t T = transitions_.size();
+  // Counting sort, stable in transition order: per-state / per-symbol lists
+  // come out in insertion order, matching the old vector-of-vectors layout
+  // (canonical-witness tie-breaking iterates OutTransitions in order).
+  out_offsets_.assign(S + 1, 0);
+  sym_offsets_.assign(alphabet_size_ + 1, 0);
+  for (const Transition& t : transitions_) {
+    ++out_offsets_[t.from + 1];
+    if (t.symbol != kLambdaSymbol) ++sym_offsets_[t.symbol + 1];
+  }
+  for (size_t s = 0; s < S; ++s) out_offsets_[s + 1] += out_offsets_[s];
+  for (size_t a = 0; a < alphabet_size_; ++a) {
+    sym_offsets_[a + 1] += sym_offsets_[a];
+  }
+  out_idx_.resize(T);
+  sym_idx_.resize(sym_offsets_.back());
+  std::vector<uint32_t> out_cursor(out_offsets_.begin(),
+                                   out_offsets_.end() - 1);
+  std::vector<uint32_t> sym_cursor(sym_offsets_.begin(),
+                                   sym_offsets_.end() - 1);
+  for (uint32_t idx = 0; idx < T; ++idx) {
+    const Transition& t = transitions_[idx];
+    out_idx_[out_cursor[t.from]++] = idx;
+    if (t.symbol != kLambdaSymbol) sym_idx_[sym_cursor[t.symbol]++] = idx;
+  }
+  adjacency_valid_ = true;
 }
 
-const std::vector<uint32_t>& Nfta::OutTransitions(StateId s) const {
-  return out_transitions_.at(s);
+Span<uint32_t> Nfta::OutTransitions(StateId s) const {
+  PQE_CHECK(s < num_states_);
+  EnsureAdjacency();
+  return Span<uint32_t>(out_idx_.data() + out_offsets_[s],
+                        out_offsets_[s + 1] - out_offsets_[s]);
+}
+
+Span<uint32_t> Nfta::TransitionsWithSymbol(SymbolId symbol) const {
+  EnsureAdjacency();
+  if (static_cast<size_t>(symbol) + 1 >= sym_offsets_.size()) return {};
+  return Span<uint32_t>(sym_idx_.data() + sym_offsets_[symbol],
+                        sym_offsets_[symbol + 1] - sym_offsets_[symbol]);
 }
 
 size_t Nfta::SizeMeasure() const {
@@ -69,20 +163,33 @@ bool Nfta::HasLambdaTransitions() const {
 Status Nfta::EliminateLambda(size_t max_transitions) {
   if (!HasLambdaTransitions()) return Status::OK();
 
+  // Owned (from, symbol, children) triples: the worklist below outlives any
+  // arena view, so materialize children as vectors here.
+  struct Rule {
+    StateId from;
+    SymbolId symbol;
+    std::vector<StateId> children;
+  };
+
   // λ-rules per state.
   std::vector<std::vector<std::vector<StateId>>> lambda_rules(num_states_);
   for (const Transition& t : transitions_) {
-    if (t.symbol == kLambdaSymbol) lambda_rules[t.from].push_back(t.children);
+    if (t.symbol == kLambdaSymbol) {
+      lambda_rules[t.from].push_back(t.children.ToVector());
+    }
   }
 
   // Worklist over non-λ transitions; dedup by (from, symbol, children).
   using Key = std::tuple<StateId, SymbolId, std::vector<StateId>>;
   std::set<Key> seen;
-  std::vector<Transition> work;
+  std::vector<Rule> work;
   for (const Transition& t : transitions_) {
     if (t.symbol == kLambdaSymbol) continue;
-    Key key{t.from, t.symbol, t.children};
-    if (seen.insert(key).second) work.push_back(t);
+    std::vector<StateId> children = t.children.ToVector();
+    Key key{t.from, t.symbol, children};
+    if (seen.insert(key).second) {
+      work.push_back(Rule{t.from, t.symbol, std::move(children)});
+    }
   }
 
   for (size_t i = 0; i < work.size(); ++i) {
@@ -91,7 +198,7 @@ Status Nfta::EliminateLambda(size_t max_transitions) {
           "λ-elimination exceeded transition budget");
     }
     // Copy: `work` may reallocate as we append.
-    const Transition t = work[i];
+    const Rule t = work[i];
     for (size_t pos = 0; pos < t.children.size(); ++pos) {
       StateId c = t.children[pos];
       for (const std::vector<StateId>& rhs : lambda_rules[c]) {
@@ -104,7 +211,7 @@ Status Nfta::EliminateLambda(size_t max_transitions) {
                        t.children.end());
         Key key{t.from, t.symbol, spliced};
         if (seen.insert(key).second) {
-          work.push_back(Transition{t.from, t.symbol, std::move(spliced)});
+          work.push_back(Rule{t.from, t.symbol, std::move(spliced)});
         }
       }
     }
@@ -127,20 +234,21 @@ Status Nfta::EliminateLambda(size_t max_transitions) {
   }
   const size_t base_count = work.size();
   for (size_t i = 0; i < base_count; ++i) {
-    const Transition& t = work[i];
+    const Rule& t = work[i];
     if (t.from != initial_ && init_closure[t.from]) {
       Key key{initial_, t.symbol, t.children};
       if (seen.insert(key).second) {
-        work.push_back(Transition{initial_, t.symbol, t.children});
+        work.push_back(Rule{initial_, t.symbol, t.children});
       }
     }
   }
 
   // Rebuild.
   transitions_.clear();
-  for (auto& v : out_transitions_) v.clear();
-  for (auto& v : by_symbol_) v.clear();
-  for (Transition& t : work) {
+  child_arena_.clear();
+  adjacency_valid_ = false;
+  run_index_valid_ = false;
+  for (Rule& t : work) {
     AddTransition(t.from, t.symbol, std::move(t.children));
   }
   return Status::OK();
@@ -148,26 +256,76 @@ Status Nfta::EliminateLambda(size_t max_transitions) {
 
 void Nfta::EnsureRunIndex() const {
   if (run_index_valid_) return;
-  leaf_by_symbol_.clear();
-  by_symbol_child0_.clear();
+  // Leaf transitions: CSR by symbol (dense offsets over the alphabet).
+  leaf_offsets_.assign(alphabet_size_ + 1, 0);
+  std::vector<std::pair<uint64_t, uint32_t>> nonleaf;  // (key, idx)
+  size_t leaf_count = 0;
   for (uint32_t idx = 0; idx < transitions_.size(); ++idx) {
     const Transition& t = transitions_[idx];
     if (t.symbol == kLambdaSymbol) continue;
     if (t.children.empty()) {
-      leaf_by_symbol_[t.symbol].push_back(idx);
+      ++leaf_offsets_[t.symbol + 1];
+      ++leaf_count;
     } else {
-      const uint64_t key =
-          (static_cast<uint64_t>(t.symbol) << 32) | t.children[0];
-      by_symbol_child0_[key].push_back(idx);
+      nonleaf.emplace_back(SymbolChild0Key(t.symbol, t.children[0]), idx);
     }
   }
+  for (size_t a = 0; a < alphabet_size_; ++a) {
+    leaf_offsets_[a + 1] += leaf_offsets_[a];
+  }
+  leaf_idx_.resize(leaf_count);
+  std::vector<uint32_t> leaf_cursor(leaf_offsets_.begin(),
+                                    leaf_offsets_.end() - 1);
+  for (uint32_t idx = 0; idx < transitions_.size(); ++idx) {
+    const Transition& t = transitions_[idx];
+    if (t.symbol == kLambdaSymbol || !t.children.empty()) continue;
+    leaf_idx_[leaf_cursor[t.symbol]++] = idx;
+  }
+  // Non-leaf transitions: sorted unique (symbol, first-child) keys + CSR
+  // groups, binary-searched at query time. stable_sort keeps transition
+  // indices ascending within a key.
+  std::stable_sort(nonleaf.begin(), nonleaf.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  nonleaf_keys_.clear();
+  nonleaf_offsets_.clear();
+  nonleaf_idx_.resize(nonleaf.size());
+  for (size_t i = 0; i < nonleaf.size(); ++i) {
+    if (i == 0 || nonleaf[i].first != nonleaf[i - 1].first) {
+      nonleaf_keys_.push_back(nonleaf[i].first);
+      nonleaf_offsets_.push_back(static_cast<uint32_t>(i));
+    }
+    nonleaf_idx_[i] = nonleaf[i].second;
+  }
+  nonleaf_offsets_.push_back(static_cast<uint32_t>(nonleaf.size()));
   run_index_valid_ = true;
+}
+
+Span<uint32_t> Nfta::LeafTransitions(SymbolId symbol) const {
+  EnsureRunIndex();
+  if (static_cast<size_t>(symbol) + 1 >= leaf_offsets_.size()) return {};
+  return Span<uint32_t>(leaf_idx_.data() + leaf_offsets_[symbol],
+                        leaf_offsets_[symbol + 1] - leaf_offsets_[symbol]);
+}
+
+Span<uint32_t> Nfta::TransitionsWithSymbolChild0(SymbolId symbol,
+                                                 StateId child0) const {
+  EnsureRunIndex();
+  const uint64_t key = SymbolChild0Key(symbol, child0);
+  const auto it =
+      std::lower_bound(nonleaf_keys_.begin(), nonleaf_keys_.end(), key);
+  if (it == nonleaf_keys_.end() || *it != key) return {};
+  const size_t pos = static_cast<size_t>(it - nonleaf_keys_.begin());
+  return Span<uint32_t>(nonleaf_idx_.data() + nonleaf_offsets_[pos],
+                        nonleaf_offsets_[pos + 1] - nonleaf_offsets_[pos]);
 }
 
 std::vector<std::vector<StateId>> Nfta::RunStates(
     const LabeledTree& t) const {
   PQE_CHECK(!HasLambdaTransitions());
   EnsureRunIndex();
+  const Transition* trans = transitions_.data();
   std::vector<std::vector<StateId>> states(t.size());
   // LabeledTree node ids are topologically ordered (children after parents),
   // so a descending sweep is bottom-up. Candidate transitions are found via
@@ -178,20 +336,14 @@ std::vector<std::vector<StateId>> Nfta::RunStates(
     const auto& kids = t.children(node);
     std::vector<StateId>& out = states[node];
     if (kids.empty()) {
-      auto it = leaf_by_symbol_.find(label);
-      if (it != leaf_by_symbol_.end()) {
-        for (uint32_t idx : it->second) {
-          out.push_back(transitions_[idx].from);
-        }
+      for (uint32_t idx : LeafTransitions(label)) {
+        out.push_back(trans[idx].from);
       }
     } else {
       for (StateId first_child_state : states[kids[0]]) {
-        const uint64_t key =
-            (static_cast<uint64_t>(label) << 32) | first_child_state;
-        auto it = by_symbol_child0_.find(key);
-        if (it == by_symbol_child0_.end()) continue;
-        for (uint32_t idx : it->second) {
-          const Transition& tr = transitions_[idx];
+        for (uint32_t idx :
+             TransitionsWithSymbolChild0(label, first_child_state)) {
+          const Transition& tr = trans[idx];
           if (tr.children.size() != kids.size()) continue;
           bool ok = true;
           for (size_t i = 1; i < kids.size() && ok; ++i) {
@@ -248,7 +400,7 @@ void Nfta::Trim() {
   while (!stack.empty()) {
     StateId s = stack.back();
     stack.pop_back();
-    for (uint32_t idx : out_transitions_[s]) {
+    for (uint32_t idx : OutTransitions(s)) {
       const Transition& t = transitions_[idx];
       bool ok = true;
       for (StateId c : t.children) ok = ok && productive[c];

@@ -73,7 +73,7 @@ Result<PqeAutomaton> BuildPqeAutomaton(const ConjunctiveQuery& query,
         IsNegativeLiteral(t.symbol) ? (p.den - p.num) : p.num;
     if (multiplier == 0) continue;
     PQE_RETURN_IF_ERROR(
-        mult.AddTransition(t.from, t.symbol, multiplier, t.children,
+        mult.AddTransition(t.from, t.symbol, multiplier, t.children.ToVector(),
                            width[f] == 0 ? 0 : width[f]));
   }
 

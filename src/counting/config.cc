@@ -10,11 +10,12 @@
 namespace pqe {
 
 void RecordCountRun(const char* prefix, const CountStats& stats,
-                    obs::ScopedSpan* span) {
+                    bool hotpath_cached, obs::ScopedSpan* span) {
   stats.ForEachField([&](const char* name, uint64_t value) {
     span->AttrUint(name, value);
   });
   span->AttrUint("canonical_rejections", stats.attempts - stats.accepted);
+  span->AttrText("hotpath", hotpath_cached ? "cached" : "legacy");
   auto& metrics = obs::MetricRegistry::Global();
   metrics.GetCounter(std::string(prefix) + ".runs").Increment();
   stats.ForEachField([&](const char* name, uint64_t value) {
@@ -22,6 +23,13 @@ void RecordCountRun(const char* prefix, const CountStats& stats,
   });
   metrics.GetHistogram(std::string(prefix) + ".strata_live")
       .Observe(stats.strata_live);
+  // Cross-counter hot-path counters (shared namespace so dashboards see one
+  // series regardless of which counter — NFA, NFTA, Karp–Luby — ran).
+  metrics.GetCounter("counting.picker_builds").Add(stats.picker_builds);
+  metrics.GetCounter("counting.runstates_memo_hits")
+      .Add(stats.runstates_memo_hits);
+  metrics.GetCounter("counting.runstates_memo_misses")
+      .Add(stats.runstates_memo_misses);
 }
 
 size_t EstimatorConfig::ResolvePoolSize(size_t n) const {

@@ -50,6 +50,12 @@ struct EstimatorConfig {
   /// every (state, size) stratum with a non-empty language is processed,
   /// even those that cannot occur inside an accepted object of size n.
   bool disable_backward_pruning = false;
+  /// Ablation switch: fall back to the pre-optimization hot path — per-draw
+  /// PickWeightedIndex (no reusable pickers) and materialize-then-simulate
+  /// membership checks (no run-state memo). Draw-for-draw identical to the
+  /// cached path by construction (docs/performance.md), so estimates match
+  /// bit for bit; bench_counting_hotpath uses it as the in-binary baseline.
+  bool disable_hotpath_caches = false;
 
   /// Resolves the pool size for a run of target size n.
   size_t ResolvePoolSize(size_t n) const;
@@ -67,7 +73,10 @@ struct EstimatorConfig {
   X(attempts)                     \
   X(accepted)                     \
   X(forced_samples)               \
-  X(membership_checks)
+  X(membership_checks)            \
+  X(picker_builds)                \
+  X(runstates_memo_hits)          \
+  X(runstates_memo_misses)
 
 /// Run statistics reported by the counters (for benchmarks and diagnostics).
 struct CountStats {
@@ -78,6 +87,9 @@ struct CountStats {
   size_t accepted = 0;          // accepted (canonical) samples
   size_t forced_samples = 0;    // zero-accept fallbacks (should be rare)
   size_t membership_checks = 0; // exact membership oracle invocations
+  size_t picker_builds = 0;     // WeightedPicker cumulative-table builds
+  size_t runstates_memo_hits = 0;    // membership answered from the memo
+  size_t runstates_memo_misses = 0;  // membership computed and memoized
 
   /// Visits (name, value) for every field, in declaration order.
   template <typename Fn>
@@ -117,11 +129,14 @@ class ScopedSpan;
 }  // namespace obs
 
 /// Observability hook shared by CountNFA/CountNFTA: attaches every
-/// CountStats field (plus the derived canonical_rejections) to `span` and
-/// folds the run into the global metric registry under `prefix`
-/// (e.g. "pqe.count_nfta"). One call per counter run, not per sample.
+/// CountStats field (plus the derived canonical_rejections and the
+/// `hotpath` = "cached"/"legacy" mode marker) to `span` and folds the run
+/// into the global metric registry under `prefix` (e.g. "pqe.count_nfta"),
+/// plus the cross-counter `counting.picker_builds` /
+/// `counting.runstates_memo_{hits,misses}` hot-path counters. One call per
+/// counter run, not per sample.
 void RecordCountRun(const char* prefix, const CountStats& stats,
-                    obs::ScopedSpan* span);
+                    bool hotpath_cached, obs::ScopedSpan* span);
 
 }  // namespace pqe
 

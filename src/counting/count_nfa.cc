@@ -29,7 +29,11 @@ struct SampleRef {
 class NfaCounter {
  public:
   NfaCounter(const Nfa& nfa, size_t n, const EstimatorConfig& config)
-      : nfa_(nfa), n_(n), config_(config), rng_(config.seed) {}
+      : nfa_(nfa),
+        n_(n),
+        config_(config),
+        rng_(config.seed),
+        cached_(!config.disable_hotpath_caches) {}
 
   Result<CountEstimate> Run() {
     const size_t S = nfa_.NumStates();
@@ -37,6 +41,7 @@ class NfaCounter {
       return CountEstimate{ExtFloat(), stats_};
     }
     pool_target_ = config_.ResolvePoolSize(n_);
+    if (cached_) reach_memo_.assign(n_ + 1, MemoLevel(S));
 
     ComputeFeasibility();
 
@@ -109,23 +114,60 @@ class NfaCounter {
     return out;
   }
 
-  // Subset simulation over all prefixes of `word`: result[i] = states after
-  // reading the first i symbols.
-  std::vector<std::vector<bool>> PrefixStates(
-      const std::vector<SymbolId>& word) const {
-    std::vector<std::vector<bool>> out(word.size() + 1);
-    std::vector<bool> current(nfa_.NumStates(), false);
-    for (StateId q : nfa_.initial_states()) current[q] = true;
-    out[0] = current;
-    for (size_t i = 0; i < word.size(); ++i) {
-      std::vector<bool> next(nfa_.NumStates(), false);
-      for (const Nfa::Transition& t : nfa_.transitions()) {
-        if (t.symbol == word[i] && current[t.from]) next[t.to] = true;
+  // Memoized membership oracle: the sorted set of states the automaton can
+  // be in after reading the string of pools_[l][q][idx], keyed by the
+  // derivation reference itself — pools are append-only and only finalized
+  // strata are referenced, so entries never invalidate within a run. Shared
+  // prefixes across draws (and across strata: every ref chain ends in the
+  // same low strata) are simulated once instead of per check. Every reach
+  // set contains q, so an empty vector doubles as the "uncomputed" sentinel.
+  const std::vector<StateId>& ReachStates(StateId q, size_t l, uint32_t idx) {
+    const Nfa::Transition* trans = nfa_.transitions().data();
+    // Walk the ref chain down to the first memoized suffix (or level 0),
+    // recording the uncomputed links.
+    chain_.clear();
+    size_t cur_l = l;
+    StateId cur_q = q;
+    uint32_t cur_idx = idx;
+    while (true) {
+      std::vector<std::vector<StateId>>& slots = reach_memo_[cur_l][cur_q];
+      if (slots.size() < pools_[cur_l][cur_q].size()) {
+        slots.resize(pools_[cur_l][cur_q].size());
       }
-      current = std::move(next);
-      out[i + 1] = current;
+      if (cur_l == 0) {
+        if (slots[cur_idx].empty()) {
+          ++stats_.runstates_memo_misses;
+          std::vector<StateId> base = nfa_.initial_states();
+          std::sort(base.begin(), base.end());
+          slots[cur_idx] = std::move(base);
+        } else {
+          ++stats_.runstates_memo_hits;
+        }
+        break;
+      }
+      if (!slots[cur_idx].empty()) {
+        ++stats_.runstates_memo_hits;
+        break;
+      }
+      ++stats_.runstates_memo_misses;
+      chain_.push_back(ChainLink{cur_l, cur_q, cur_idx});
+      const SampleRef& ref = pools_[cur_l][cur_q][cur_idx];
+      const Nfa::Transition& t = trans[ref.transition];
+      cur_q = t.from;
+      cur_idx = ref.prefix;
+      --cur_l;
     }
-    return out;
+    // Replay upward: one subset-simulation step per uncomputed link.
+    for (size_t i = chain_.size(); i-- > 0;) {
+      const ChainLink& link = chain_[i];
+      const SampleRef& ref = pools_[link.l][link.q][link.idx];
+      const Nfa::Transition& t = trans[ref.transition];
+      const std::vector<StateId>& prev =
+          reach_memo_[link.l - 1][t.from][ref.prefix];
+      nfa_.ActiveStep(prev, t.symbol, &step_scratch_);
+      reach_memo_[link.l][link.q][link.idx] = step_scratch_;
+    }
+    return reach_memo_[l][q][idx];
   }
 
   // Stratum estimate for A(q, l) = ∪_t A(from(t), l−1)·symbol(t).
@@ -141,9 +183,10 @@ class NfaCounter {
       ExtFloat estimate;
       std::vector<SampleRef> accepted;
     };
+    const Nfa::Transition* trans = nfa_.transitions().data();
     std::map<SymbolId, Group> groups;
     for (uint32_t idx : nfa_.InTransitions(q)) {
-      const Nfa::Transition& t = nfa_.transitions()[idx];
+      const Nfa::Transition& t = trans[idx];
       if (!live_[l - 1][t.from]) continue;
       const ExtFloat& w = est_[l - 1][t.from];
       if (w.IsZero()) continue;
@@ -155,7 +198,7 @@ class NfaCounter {
     if (groups.empty()) return;  // estimate stays 0
 
     auto DrawRef = [&](uint32_t trans_idx, SampleRef* out) {
-      const Nfa::Transition& t = nfa_.transitions()[trans_idx];
+      const Nfa::Transition& t = trans[trans_idx];
       const auto& prev_pool = pools_[l - 1][t.from];
       if (prev_pool.empty()) return false;
       out->transition = trans_idx;
@@ -172,26 +215,44 @@ class NfaCounter {
         total_estimate = total_estimate.Add(g.estimate);
         continue;
       }
+      // One picker build per group, reused across the whole rejection loop
+      // (the legacy ablation path redoes the scan-and-scale work per draw;
+      // both consume one NextDouble per pick, so draws are bit-identical).
+      if (cached_) {
+        picker_.Build(g.weights);
+        ++stats_.picker_builds;
+      }
+      auto PickTransition = [&]() {
+        return cached_ ? picker_.Pick(&rng_)
+                       : PickWeightedIndex(&rng_, g.weights);
+      };
       const size_t max_attempts = config_.attempt_factor * pool_target_ + 64;
       size_t attempts = 0;
       while (g.accepted.size() < pool_target_ && attempts < max_attempts) {
         ++attempts;
-        const size_t pick = PickWeightedIndex(&rng_, g.weights);
+        const size_t pick = PickTransition();
         SampleRef candidate;
         if (!DrawRef(g.transitions[pick], &candidate)) continue;
-        const Nfa::Transition& t =
-            nfa_.transitions()[candidate.transition];
+        const Nfa::Transition& t = trans[candidate.transition];
         // Canonical check: the chosen transition must be the first (by
         // transition index) in the group whose predecessor state can be
-        // reached on the sampled prefix — decided exactly by simulation.
-        std::vector<SymbolId> prefix =
-            Materialize(t.from, l - 1, candidate.prefix);
+        // reached on the sampled prefix — decided exactly by simulation
+        // (memoized over the derivation ref; the ablation path re-simulates
+        // the materialized prefix from scratch).
         ++stats_.membership_checks;
-        const std::vector<StateId> reach = nfa_.ActiveStatesAfter(prefix);
+        std::vector<StateId> reach_storage;
+        const std::vector<StateId>* reach;
+        if (cached_) {
+          reach = &ReachStates(t.from, l - 1, candidate.prefix);
+        } else {
+          reach_storage = nfa_.ActiveStatesAfter(
+              Materialize(t.from, l - 1, candidate.prefix));
+          reach = &reach_storage;
+        }
         uint32_t canonical = candidate.transition;
         for (uint32_t other_idx : g.transitions) {
-          const Nfa::Transition& o = nfa_.transitions()[other_idx];
-          if (std::binary_search(reach.begin(), reach.end(), o.from)) {
+          const Nfa::Transition& o = trans[other_idx];
+          if (std::binary_search(reach->begin(), reach->end(), o.from)) {
             canonical = other_idx;
             break;
           }
@@ -207,7 +268,7 @@ class NfaCounter {
         // is >= 1/|group|); force one biased sample so a live stratum never
         // reports a false zero.
         ++stats_.forced_samples;
-        const size_t pick = PickWeightedIndex(&rng_, g.weights);
+        const size_t pick = PickTransition();
         SampleRef forced;
         if (DrawRef(g.transitions[pick], &forced)) {
           g.accepted.push_back(forced);
@@ -234,13 +295,19 @@ class NfaCounter {
       group_list.push_back(&g);
       group_weights.push_back(g.estimate);
     }
+    if (cached_ && group_list.size() > 1) {
+      picker_.Build(group_weights);
+      ++stats_.picker_builds;
+    }
     auto& pool = pools_[l][q];
     pool.reserve(pool_target_);
     for (size_t i = 0; i < pool_target_; ++i) {
-      const Group& g = group_list.size() == 1
-                           ? *group_list[0]
-                           : *group_list[PickWeightedIndex(&rng_,
-                                                           group_weights)];
+      const Group& g =
+          group_list.size() == 1
+              ? *group_list[0]
+              : *group_list[cached_
+                                ? picker_.Pick(&rng_)
+                                : PickWeightedIndex(&rng_, group_weights)];
       if (g.transitions.size() == 1) {
         SampleRef sample;
         if (DrawRef(g.transitions[0], &sample)) pool.push_back(sample);
@@ -273,20 +340,31 @@ class NfaCounter {
     const size_t max_attempts = config_.attempt_factor * target + 64;
     size_t attempts = 0;
     size_t accepted = 0;
+    if (cached_) {
+      picker_.Build(weights);
+      ++stats_.picker_builds;
+    }
     while (attempts < max_attempts && accepted < target) {
       ++attempts;
-      const size_t pick = PickWeightedIndex(&rng_, weights);
+      const size_t pick =
+          cached_ ? picker_.Pick(&rng_) : PickWeightedIndex(&rng_, weights);
       const StateId q = finals[pick];
       const auto& pool = pools_[n_][q];
       if (pool.empty()) continue;
       const uint32_t idx =
           static_cast<uint32_t>(rng_.NextBounded(pool.size()));
-      std::vector<SymbolId> word = Materialize(q, n_, idx);
       ++stats_.membership_checks;
-      const std::vector<StateId> reach = nfa_.ActiveStatesAfter(word);
+      std::vector<StateId> reach_storage;
+      const std::vector<StateId>* reach;
+      if (cached_) {
+        reach = &ReachStates(q, n_, idx);
+      } else {
+        reach_storage = nfa_.ActiveStatesAfter(Materialize(q, n_, idx));
+        reach = &reach_storage;
+      }
       StateId canonical = q;
       for (StateId other : finals) {
-        if (std::binary_search(reach.begin(), reach.end(), other)) {
+        if (std::binary_search(reach->begin(), reach->end(), other)) {
           canonical = other;
           break;
         }
@@ -308,11 +386,24 @@ class NfaCounter {
   const size_t n_;
   const EstimatorConfig& config_;
   Rng rng_;
+  const bool cached_;  // hot-path caches on (off = ablation baseline)
   size_t pool_target_ = 0;
   CountStats stats_;
   std::vector<std::vector<bool>> live_;                       // [l][q]
   std::vector<std::vector<ExtFloat>> est_;                    // [l][q]
   std::vector<std::vector<std::vector<SampleRef>>> pools_;    // [l][q]
+
+  // Hot-path scratch, reused across draws and strata.
+  using MemoLevel = std::vector<std::vector<std::vector<StateId>>>;
+  struct ChainLink {
+    size_t l;
+    StateId q;
+    uint32_t idx;
+  };
+  WeightedPicker picker_;
+  std::vector<MemoLevel> reach_memo_;  // [l][q][pool idx] -> sorted states
+  std::vector<ChainLink> chain_;
+  std::vector<StateId> step_scratch_;
 };
 
 }  // namespace
@@ -331,7 +422,8 @@ Result<CountEstimate> CountNfaStrings(const Nfa& nfa, size_t n,
   if (reps == 1) {
     NfaCounter counter(nfa, n, config);
     PQE_ASSIGN_OR_RETURN(CountEstimate est, counter.Run());
-    RecordCountRun("pqe.count_nfa", est.stats, &span);
+    RecordCountRun("pqe.count_nfa", est.stats, !config.disable_hotpath_caches,
+                   &span);
     return est;
   }
   // Median-of-R amplification over independent seeds. Reps are independent
@@ -341,6 +433,9 @@ Result<CountEstimate> CountNfaStrings(const Nfa& nfa, size_t n,
   const size_t threads =
       std::min(ThreadPool::ResolveNumThreads(config.num_threads), reps);
   span.AttrUint("threads", threads);
+  // The CSR adjacency is a lazily-built mutable index; build it before the
+  // reps share the const Nfa across workers (docs/parallelism.md).
+  nfa.WarmAdjacency();
   std::vector<CountEstimate> runs(reps);
   std::vector<Status> rep_status(reps, Status::OK());
   auto& rep_hist =
@@ -379,6 +474,9 @@ Result<CountEstimate> CountNfaStrings(const Nfa& nfa, size_t n,
     aggregate.accepted += est.stats.accepted;
     aggregate.forced_samples += est.stats.forced_samples;
     aggregate.membership_checks += est.stats.membership_checks;
+    aggregate.picker_builds += est.stats.picker_builds;
+    aggregate.runstates_memo_hits += est.stats.runstates_memo_hits;
+    aggregate.runstates_memo_misses += est.stats.runstates_memo_misses;
   }
   std::sort(runs.begin(), runs.end(),
             [](const CountEstimate& a, const CountEstimate& b) {
@@ -386,7 +484,8 @@ Result<CountEstimate> CountNfaStrings(const Nfa& nfa, size_t n,
             });
   CountEstimate out = runs[runs.size() / 2];
   out.stats = aggregate;
-  RecordCountRun("pqe.count_nfa", out.stats, &span);
+  RecordCountRun("pqe.count_nfa", out.stats, !config.disable_hotpath_caches,
+                 &span);
   return out;
 }
 

@@ -38,7 +38,11 @@ struct ForestSample {
 class NftaCounter {
  public:
   NftaCounter(const Nfta& nfta, size_t n, const EstimatorConfig& config)
-      : nfta_(nfta), n_(n), config_(config), rng_(config.seed) {}
+      : nfta_(nfta),
+        n_(n),
+        config_(config),
+        rng_(config.seed),
+        cached_(!config.disable_hotpath_caches) {}
 
   Result<CountEstimate> Run() {
     if (nfta_.HasLambdaTransitions()) {
@@ -214,6 +218,7 @@ class NftaCounter {
   void AllocateTables() {
     est_a_.resize(nfta_.NumStates());
     pool_a_.resize(nfta_.NumStates());
+    if (cached_) root_memo_.resize(nfta_.NumStates());
     est_f_.resize(nfta_.NumTransitions());
     pool_f_.resize(nfta_.NumTransitions());
     for (uint32_t tau = 0; tau < nfta_.NumTransitions(); ++tau) {
@@ -339,12 +344,23 @@ class NftaCounter {
         total_estimate = total_estimate.Add(g.estimate);
         continue;
       }
+      // One picker build per group, reused across the whole rejection loop
+      // (the legacy ablation path redoes the scan-and-scale work per draw;
+      // both consume one NextDouble per pick, so draws are bit-identical).
+      if (cached_) {
+        picker_.Build(g.weights);
+        ++stats_.picker_builds;
+      }
+      auto PickTau = [&]() {
+        return cached_ ? picker_.Pick(&rng_)
+                       : PickWeightedIndex(&rng_, g.weights);
+      };
       const size_t target = pool_target_;
       const size_t max_attempts = config_.attempt_factor * target + 64;
       size_t attempts = 0;
       while (g.accepted.size() < target && attempts < max_attempts) {
         ++attempts;
-        const size_t pick = PickWeightedIndex(&rng_, g.weights);
+        const size_t pick = PickTau();
         TreeSample candidate;
         if (!DrawCandidate(g.taus[pick], &candidate)) continue;
         if (CanonicalTransition(q, s, candidate) == candidate.transition) {
@@ -358,7 +374,7 @@ class NftaCounter {
         // is >= 1/|group|); force one biased sample so a live stratum never
         // reports a false zero.
         ++stats_.forced_samples;
-        const size_t pick = PickWeightedIndex(&rng_, g.weights);
+        const size_t pick = PickTau();
         TreeSample forced;
         if (DrawCandidate(g.taus[pick], &forced)) {
           g.accepted.push_back(forced);
@@ -385,13 +401,19 @@ class NftaCounter {
       group_list.push_back(&g);
       group_weights.push_back(g.estimate);
     }
+    if (cached_ && group_list.size() > 1) {
+      picker_.Build(group_weights);
+      ++stats_.picker_builds;
+    }
     auto& pool = pool_a_[q][static_cast<uint32_t>(s)];
     pool.reserve(pool_target_);
     for (size_t i = 0; i < pool_target_; ++i) {
-      const Group& g = group_list.size() == 1
-                           ? *group_list[0]
-                           : *group_list[PickWeightedIndex(&rng_,
-                                                           group_weights)];
+      const Group& g =
+          group_list.size() == 1
+              ? *group_list[0]
+              : *group_list[cached_
+                                ? picker_.Pick(&rng_)
+                                : PickWeightedIndex(&rng_, group_weights)];
       if (g.taus.size() == 1) {
         TreeSample sample;
         if (DrawCandidate(g.taus[0], &sample)) pool.push_back(sample);
@@ -402,12 +424,128 @@ class NftaCounter {
     stats_.pool_entries += pool.size();
   }
 
+  // A pooled subtree reference: the tree sample pool_a_[state][split][tree].
+  struct ChildRef {
+    StateId state;
+    uint32_t split;
+    uint32_t tree;
+  };
+
+  // Resolves the forest sample pool_f_[tau][j][s][idx] into its j child
+  // subtree references, left to right, without materializing anything.
+  void ResolveForest(uint32_t tau, size_t j, size_t s, uint32_t idx,
+                     std::vector<ChildRef>* out) const {
+    const Nfta::Transition& t = nfta_.transitions()[tau];
+    out->resize(j);
+    uint32_t cur_idx = idx;
+    size_t cur_s = s;
+    while (j > 0) {
+      const ForestSample& ref = ForestPool(pool_f_[tau][j], cur_s)[cur_idx];
+      (*out)[j - 1] = ChildRef{t.children[j - 1], ref.split, ref.tree};
+      cur_s -= ref.split;
+      cur_idx = ref.prefix;
+      --j;
+    }
+  }
+
+  // Memoized run-state oracle: the sorted set of states from which the
+  // pooled tree pool_a_[q][s][idx] can be generated, computed recursively
+  // from the derivation references (shared subtrees are simulated once; the
+  // legacy path re-runs Nfta::RunStates over the whole materialized tree per
+  // check). Pools referenced by a sample live in strictly smaller, already
+  // finalized strata, so memo entries never invalidate within a run. Every
+  // run-state set contains the pool's own state q, so an empty vector
+  // doubles as the "uncomputed" sentinel. The per-node candidate enumeration
+  // mirrors Nfta::RunStates exactly (same dense index, same order).
+  const std::vector<StateId>& RootStates(StateId q, size_t s, uint32_t idx) {
+    auto& level = root_memo_[q][static_cast<uint32_t>(s)];
+    const auto& pool = TreePool(pool_a_[q], s);
+    if (level.size() < pool.size()) level.resize(pool.size());
+    if (!level[idx].empty()) {
+      ++stats_.runstates_memo_hits;
+      return level[idx];
+    }
+    ++stats_.runstates_memo_misses;
+    const Nfta::Transition* trans = nfta_.transitions().data();
+    const TreeSample& ref = pool[idx];
+    const Nfta::Transition& t = trans[ref.transition];
+    const size_t m = t.children.size();
+    std::vector<StateId> out;
+    if (m == 0) {
+      for (uint32_t tau2 : nfta_.LeafTransitions(t.symbol)) {
+        out.push_back(trans[tau2].from);
+      }
+    } else {
+      // Locals (not scratch members): RootStates recurses through children.
+      std::vector<ChildRef> kids;
+      ResolveForest(ref.transition, m, s - 1, ref.forest, &kids);
+      std::vector<const std::vector<StateId>*> sets(m);
+      for (size_t i = 0; i < m; ++i) {
+        // unordered_map references are stable under insertion, and the
+        // level vector of a (q, s) stratum is only resized on entry for
+        // that stratum — strictly-smaller recursive strata never alias it.
+        sets[i] = &RootStates(kids[i].state, kids[i].split, kids[i].tree);
+      }
+      for (StateId first_child_state : *sets[0]) {
+        for (uint32_t tau2 :
+             nfta_.TransitionsWithSymbolChild0(t.symbol, first_child_state)) {
+          const Nfta::Transition& cand = trans[tau2];
+          if (cand.children.size() != m) continue;
+          bool ok = true;
+          for (size_t i = 1; i < m && ok; ++i) {
+            ok = std::binary_search(sets[i]->begin(), sets[i]->end(),
+                                    cand.children[i]);
+          }
+          if (ok) out.push_back(cand.from);
+        }
+      }
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    level[idx] = std::move(out);
+    return level[idx];
+  }
+
   // The canonical generating transition for the tree denoted by `candidate`
   // at stratum (q, s): the smallest-index τ' ∈ out(q) whose symbol and arity
   // match and whose child states accept the respective subtrees (decided
-  // exactly by bottom-up simulation).
+  // exactly by bottom-up simulation — memoized over the candidate's pooled
+  // child subtrees, or from scratch on the ablation path).
   uint32_t CanonicalTransition(StateId q, size_t s,
                                const TreeSample& candidate) {
+    ++stats_.membership_checks;
+    if (!cached_) return CanonicalTransitionLegacy(q, s, candidate);
+    const Nfta::Transition* trans = nfta_.transitions().data();
+    const Nfta::Transition& t = trans[candidate.transition];
+    const size_t m = t.children.size();
+    // The candidate's child subtrees are pooled samples of smaller strata;
+    // their run-state sets come from the memo. Scratch reused across draws
+    // (only the recursion inside RootStates needs locals).
+    ResolveForest(candidate.transition, m, s - 1, candidate.forest,
+                  &child_scratch_);
+    set_scratch_.resize(m);
+    for (size_t i = 0; i < m; ++i) {
+      set_scratch_[i] = &RootStates(child_scratch_[i].state,
+                                    child_scratch_[i].split,
+                                    child_scratch_[i].tree);
+    }
+    for (uint32_t tau_idx : nfta_.OutTransitions(q)) {
+      const Nfta::Transition& cand = trans[tau_idx];
+      if (cand.symbol != t.symbol || cand.children.size() != m) continue;
+      bool ok = true;
+      for (size_t i = 0; i < m && ok; ++i) {
+        ok = std::binary_search(set_scratch_[i]->begin(),
+                                set_scratch_[i]->end(), cand.children[i]);
+      }
+      if (ok) return tau_idx;
+    }
+    // The candidate itself always matches; unreachable.
+    PQE_CHECK(false);
+    return candidate.transition;
+  }
+
+  uint32_t CanonicalTransitionLegacy(StateId q, size_t s,
+                                     const TreeSample& candidate) {
     LabeledTree tree = [&] {
       const Nfta::Transition& t = nfta_.transition(candidate.transition);
       LabeledTree out(t.symbol);
@@ -415,7 +553,6 @@ class NftaCounter {
                         candidate.forest, &out, out.root());
       return out;
     }();
-    ++stats_.membership_checks;
     const std::vector<std::vector<StateId>> run = nfta_.RunStates(tree);
     const auto& kids = tree.children(tree.root());
     const SymbolId label = tree.label(tree.root());
@@ -455,12 +592,18 @@ class NftaCounter {
     est_f_[tau][j].emplace(static_cast<uint32_t>(s), total);
     if (splits.empty()) return;
 
+    if (cached_ && splits.size() > 1) {
+      picker_.Build(weights);
+      ++stats_.picker_builds;
+    }
     auto& pool = pool_f_[tau][j][static_cast<uint32_t>(s)];
     pool.reserve(pool_target_);
     for (size_t i = 0; i < pool_target_; ++i) {
       const uint32_t split =
-          splits.size() == 1 ? splits[0]
-                             : splits[PickWeightedIndex(&rng_, weights)];
+          splits.size() == 1
+              ? splits[0]
+              : splits[cached_ ? picker_.Pick(&rng_)
+                               : PickWeightedIndex(&rng_, weights)];
       uint32_t prefix_idx = 0;
       if (j - 1 > 0) {
         const auto& prev_pool = ForestPool(pool_f_[tau][j - 1], s - split);
@@ -481,8 +624,17 @@ class NftaCounter {
   const size_t n_;
   const EstimatorConfig& config_;
   Rng rng_;
+  const bool cached_;  // hot-path caches on (off = ablation baseline)
   size_t pool_target_ = 0;
   CountStats stats_;
+
+  // Hot-path scratch, reused across draws and strata.
+  WeightedPicker picker_;
+  std::vector<ChildRef> child_scratch_;
+  std::vector<const std::vector<StateId>*> set_scratch_;
+  // root_memo_[q]{s}[pool idx] -> sorted run-state set of the pooled tree.
+  std::vector<std::unordered_map<uint32_t, std::vector<std::vector<StateId>>>>
+      root_memo_;
 
   std::vector<std::vector<bool>> fwd_a_;                // [q][s]
   std::vector<std::vector<uint32_t>> fwd_a_sizes_;      // sparse live sizes
@@ -517,7 +669,8 @@ Result<NftaSampleResult> CountAndSampleNftaTrees(
   NftaSampleResult out;
   PQE_ASSIGN_OR_RETURN(out.estimate, counter.Run());
   out.samples = counter.SampleAccepted(num_samples);
-  RecordCountRun("pqe.count_nfta", out.estimate.stats, &span);
+  RecordCountRun("pqe.count_nfta", out.estimate.stats,
+                 !config.disable_hotpath_caches, &span);
   return out;
 }
 
@@ -535,7 +688,8 @@ Result<CountEstimate> CountNftaTrees(const Nfta& nfta, size_t n,
   if (reps == 1) {
     NftaCounter counter(nfta, n, config);
     PQE_ASSIGN_OR_RETURN(CountEstimate est, counter.Run());
-    RecordCountRun("pqe.count_nfta", est.stats, &span);
+    RecordCountRun("pqe.count_nfta", est.stats,
+                   !config.disable_hotpath_caches, &span);
     return est;
   }
   // Median-of-R amplification over independent seeds — the standard FPRAS
@@ -590,6 +744,9 @@ Result<CountEstimate> CountNftaTrees(const Nfta& nfta, size_t n,
     aggregate.accepted += est.stats.accepted;
     aggregate.forced_samples += est.stats.forced_samples;
     aggregate.membership_checks += est.stats.membership_checks;
+    aggregate.picker_builds += est.stats.picker_builds;
+    aggregate.runstates_memo_hits += est.stats.runstates_memo_hits;
+    aggregate.runstates_memo_misses += est.stats.runstates_memo_misses;
   }
   std::sort(runs.begin(), runs.end(),
             [](const CountEstimate& a, const CountEstimate& b) {
@@ -597,7 +754,8 @@ Result<CountEstimate> CountNftaTrees(const Nfta& nfta, size_t n,
             });
   CountEstimate out = runs[runs.size() / 2];
   out.stats = aggregate;
-  RecordCountRun("pqe.count_nfta", out.stats, &span);
+  RecordCountRun("pqe.count_nfta", out.stats,
+                 !config.disable_hotpath_caches, &span);
   return out;
 }
 

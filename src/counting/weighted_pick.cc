@@ -1,5 +1,6 @@
 #include "counting/weighted_pick.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.h"
@@ -28,6 +29,52 @@ size_t PickWeightedIndex(Rng* rng, const std::vector<ExtFloat>& weights) {
     scaled[i] = rel < -512.0 ? 0.0 : std::exp2(rel);
   }
   return rng->NextDiscrete(scaled);
+}
+
+void WeightedPicker::Build(const std::vector<ExtFloat>& weights) {
+  PQE_CHECK(!weights.empty());
+  // Identical renormalization to PickWeightedIndex: scale by the maximum
+  // weight so the double conversions are stable.
+  size_t max_idx = 0;
+  for (size_t i = 1; i < weights.size(); ++i) {
+    if (weights[max_idx] < weights[i]) max_idx = i;
+  }
+  PQE_CHECK(!weights[max_idx].IsZero());
+  const double max_log = weights[max_idx].Log2();
+  cum_.clear();
+  cum_.reserve(weights.size());
+  last_nonzero_ = weights.size() - 1;
+  // The running sum accumulates the scaled weights in index order — the
+  // same operation sequence Rng::NextDiscrete performs per draw, so the
+  // partial sums (and therefore every pick) match it bit for bit.
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    double scaled = 0.0;
+    if (!weights[i].IsZero()) {
+      const double rel = weights[i].Log2() - max_log;
+      scaled = rel < -512.0 ? 0.0 : std::exp2(rel);
+      PQE_CHECK(scaled >= 0.0 && std::isfinite(scaled));
+      if (scaled > 0.0) last_nonzero_ = i;
+    }
+    acc += scaled;
+    cum_.push_back(acc);
+  }
+  total_ = acc;
+  PQE_CHECK(total_ > 0.0);
+}
+
+size_t WeightedPicker::Pick(Rng* rng) const {
+  PQE_CHECK(!cum_.empty());
+  const double x = rng->NextDouble() * total_;
+  // First index whose inclusive prefix sum exceeds x — the same index the
+  // legacy linear scan (`first i with x < acc`) returns.
+  const auto it = std::upper_bound(cum_.begin(), cum_.end(), x);
+  if (it != cum_.end()) {
+    return static_cast<size_t>(it - cum_.begin());
+  }
+  // Floating-point edge (x >= total despite NextDouble < 1): match the
+  // legacy fallback to the last index with non-zero weight.
+  return last_nonzero_;
 }
 
 }  // namespace pqe

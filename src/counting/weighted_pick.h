@@ -14,7 +14,45 @@ ExtFloat SumExtFloats(const std::vector<ExtFloat>& weights);
 /// Samples an index with probability proportional to the extended-range
 /// weights (at least one must be non-zero). Weights are renormalized by the
 /// maximum before conversion to double, so huge exponents are safe.
+///
+/// One-shot path: rescans for the maximum, converts every weight, and
+/// heap-allocates a scratch vector per draw. Hot loops that draw from the
+/// same distribution repeatedly should build a WeightedPicker instead.
 size_t PickWeightedIndex(Rng* rng, const std::vector<ExtFloat>& weights);
+
+/// Precomputed weighted sampler over a fixed distribution: the normalized
+/// cumulative table is built once and every Pick() is one NextDouble plus a
+/// binary search — no per-draw allocation, no rescans.
+///
+/// Draw-identical to PickWeightedIndex: for the same weights and the same
+/// Rng state, Pick() consumes exactly one NextDouble and returns exactly the
+/// index PickWeightedIndex would (same renormalization, same partial-sum
+/// order, same floating-point edge fallback), so replacing per-draw
+/// PickWeightedIndex calls with a shared picker leaves estimates
+/// bit-identical (docs/performance.md).
+class WeightedPicker {
+ public:
+  WeightedPicker() = default;
+  explicit WeightedPicker(const std::vector<ExtFloat>& weights) {
+    Build(weights);
+  }
+
+  /// (Re)builds the cumulative table. Reuses the table's capacity, so a
+  /// picker owned by a counter's scratch state allocates only on growth.
+  /// Requires at least one non-zero weight.
+  void Build(const std::vector<ExtFloat>& weights);
+
+  /// Draws an index ~ weights. Requires Build() was called.
+  size_t Pick(Rng* rng) const;
+
+  size_t size() const { return cum_.size(); }
+  bool empty() const { return cum_.empty(); }
+
+ private:
+  std::vector<double> cum_;  // inclusive prefix sums of the scaled weights
+  double total_ = 0.0;       // == cum_.back()
+  size_t last_nonzero_ = 0;  // fallback when x lands past total_ (fp edge)
+};
 
 }  // namespace pqe
 

@@ -86,6 +86,14 @@ Result<KarpLubyResult> KarpLubyEstimate(const DnfLineage& lineage,
     marginals[f] = pdb.probability(f).ToDouble();
   }
 
+  // Clause picker built once and shared read-only across shards (Pick is
+  // const): the legacy per-sample PickWeightedIndex rescanned and rescaled
+  // all clause weights on every draw. Draw-identical by construction, so
+  // estimates are unchanged.
+  WeightedPicker clause_picker(weights);
+  obs::MetricRegistry::Global().GetCounter("counting.picker_builds")
+      .Increment();
+
   // The i.i.d. sample loop, sharded. Shard boundaries are fixed by the
   // config alone (never by thread count or scheduling): shard i covers
   // samples [i·N/S, (i+1)·N/S) with its own Rng seeded from (seed, i) and
@@ -105,7 +113,7 @@ Result<KarpLubyResult> KarpLubyEstimate(const DnfLineage& lineage,
     const size_t begin = shard * samples / shards;
     const size_t end = (shard + 1) * samples / shards;
     for (size_t s = begin; s < end; ++s) {
-      const size_t j = PickWeightedIndex(&rng, weights);
+      const size_t j = clause_picker.Pick(&rng);
       // Draw a world conditioned on clause j being satisfied.
       for (FactId f = 0; f < num_facts; ++f) {
         world[f] = rng.NextBernoulli(marginals[f]);

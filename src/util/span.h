@@ -1,0 +1,69 @@
+#ifndef PQE_UTIL_SPAN_H_
+#define PQE_UTIL_SPAN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace pqe {
+
+/// A lightweight read-only view over a contiguous run of T (the library
+/// targets C++17, so no std::span). Used by the automata to expose
+/// CSR-flattened storage (children arenas, adjacency index lists) through
+/// the same call-site syntax the old per-object std::vector members had:
+/// `t.children.size()`, `t.children[i]`, range-for, `.empty()` all keep
+/// working. operator[] is unchecked — spans are hot-path accessors; use
+/// at() at API boundaries.
+template <typename T>
+class Span {
+ public:
+  using value_type = T;
+  using const_iterator = const T*;
+
+  constexpr Span() = default;
+  constexpr Span(const T* data, size_t size) : data_(data), size_(size) {}
+  /// View of a vector (lifetime is the caller's problem, as with any
+  /// reference accessor). Explicit so that braced-init-list call sites keep
+  /// resolving to std::vector overloads unambiguously.
+  explicit Span(const std::vector<T>& v) : data_(v.data()), size_(v.size()) {}
+
+  constexpr const T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr const T* begin() const { return data_; }
+  constexpr const T* end() const { return data_ + size_; }
+
+  /// Unchecked element access (hot paths).
+  constexpr const T& operator[](size_t i) const { return data_[i]; }
+  /// Bounds-checked element access (API boundaries).
+  const T& at(size_t i) const {
+    PQE_CHECK(i < size_);
+    return data_[i];
+  }
+  const T& front() const { return at(0); }
+  const T& back() const { return at(size_ - 1); }
+
+  /// Materializes an owning copy (for call sites that need a vector, e.g.
+  /// feeding one automaton's children into another's AddTransition).
+  std::vector<T> ToVector() const { return std::vector<T>(begin(), end()); }
+
+  friend bool operator==(const Span& a, const Span& b) {
+    if (a.size_ != b.size_) return false;
+    for (size_t i = 0; i < a.size_; ++i) {
+      if (!(a.data_[i] == b.data_[i])) return false;
+    }
+    return true;
+  }
+  friend bool operator==(const Span& a, const std::vector<T>& b) {
+    return a == Span(b.data(), b.size());
+  }
+
+ private:
+  const T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace pqe
+
+#endif  // PQE_UTIL_SPAN_H_

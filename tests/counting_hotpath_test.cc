@@ -1,0 +1,384 @@
+// Tests for the counting-core hot path (docs/performance.md): the reusable
+// WeightedPicker must be draw-identical to the one-shot PickWeightedIndex,
+// the CSR-flattened automata accessors must agree with a naive recomputation
+// of the old per-object layouts, Nfta copies must rebase their child-arena
+// spans, and the cached estimator paths (pickers + run-state memo) must
+// return bit-identical estimates to the legacy ablation paths — the memo is
+// exercised against the uncached RunStates oracle through that equality,
+// over dozens of randomized automata.
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "automata/nfa.h"
+#include "automata/nfta.h"
+#include "counting/count_nfa.h"
+#include "counting/count_nfta.h"
+#include "counting/exact.h"
+#include "counting/weighted_pick.h"
+#include "util/extfloat.h"
+#include "util/rng.h"
+
+namespace pqe {
+namespace {
+
+// --- WeightedPicker ------------------------------------------------------
+
+TEST(WeightedPickerTest, DrawIdenticalToPickWeightedIndex) {
+  // Mixed-magnitude weights (spread over hundreds of binary orders): both
+  // samplers renormalize by the max, so the scaled tables must match.
+  Rng setup(0x12345);
+  for (int round = 0; round < 50; ++round) {
+    const size_t n = 1 + setup.NextBounded(12);
+    std::vector<ExtFloat> weights(n);
+    bool any_nonzero = false;
+    for (size_t i = 0; i < n; ++i) {
+      if (setup.NextBounded(5) == 0) continue;  // leave some weights zero
+      ExtFloat w = ExtFloat::FromUint64(1 + setup.NextBounded(1000));
+      // Push some weights far up/down the exponent range.
+      const size_t boosts = setup.NextBounded(4);
+      for (size_t b = 0; b < boosts; ++b) {
+        w = setup.NextBounded(2) == 0 ? w.Mul(w) : w.Scale(1e-30);
+      }
+      weights[i] = w;
+      any_nonzero = true;
+    }
+    if (!any_nonzero) weights[0] = ExtFloat::FromUint64(7);
+    WeightedPicker picker(weights);
+    // Same seed → same NextDouble stream → the indices must coincide draw
+    // for draw.
+    Rng rng_a(round * 31 + 1);
+    Rng rng_b(round * 31 + 1);
+    for (int draw = 0; draw < 200; ++draw) {
+      ASSERT_EQ(picker.Pick(&rng_a), PickWeightedIndex(&rng_b, weights))
+          << "round=" << round << " draw=" << draw;
+    }
+  }
+}
+
+TEST(WeightedPickerTest, SingleElement) {
+  WeightedPicker picker(std::vector<ExtFloat>{ExtFloat::FromUint64(5)});
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(picker.Pick(&rng), 0u);
+}
+
+TEST(WeightedPickerTest, ZeroWeightsNeverPicked) {
+  std::vector<ExtFloat> weights(5);
+  weights[1] = ExtFloat::FromUint64(3);
+  weights[3] = ExtFloat::FromUint64(1);
+  WeightedPicker picker(weights);
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    const size_t pick = picker.Pick(&rng);
+    EXPECT_TRUE(pick == 1 || pick == 3);
+  }
+}
+
+TEST(WeightedPickerTest, ChiSquaredSanity) {
+  // Empirical frequencies of a 4-point distribution must match the weight
+  // proportions. χ² with 3 degrees of freedom: P(X > 16.27) = 0.001.
+  const std::vector<uint64_t> raw = {1, 2, 3, 10};
+  std::vector<ExtFloat> weights;
+  for (uint64_t w : raw) weights.push_back(ExtFloat::FromUint64(w));
+  WeightedPicker picker(weights);
+  Rng rng(0xc41);
+  const size_t kDraws = 40000;
+  std::vector<size_t> counts(raw.size(), 0);
+  for (size_t i = 0; i < kDraws; ++i) ++counts[picker.Pick(&rng)];
+  const double total = 16.0;
+  double chi2 = 0.0;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    const double expected = kDraws * static_cast<double>(raw[i]) / total;
+    const double d = static_cast<double>(counts[i]) - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 16.27) << "draw frequencies off: " << counts[0] << " "
+                         << counts[1] << " " << counts[2] << " " << counts[3];
+}
+
+TEST(WeightedPickerTest, RebuildReuses) {
+  WeightedPicker picker;
+  picker.Build({ExtFloat::FromUint64(1), ExtFloat::FromUint64(1)});
+  EXPECT_EQ(picker.size(), 2u);
+  picker.Build({ExtFloat::FromUint64(4)});
+  EXPECT_EQ(picker.size(), 1u);
+  Rng rng(5);
+  EXPECT_EQ(picker.Pick(&rng), 0u);
+}
+
+// --- CSR accessor equivalence --------------------------------------------
+
+Nfa RandomNfa(Rng* rng, size_t states, size_t alphabet, size_t transitions) {
+  Nfa a;
+  for (size_t i = 0; i < states; ++i) a.AddState();
+  a.EnsureAlphabetSize(alphabet);
+  a.MarkInitial(0);
+  for (size_t i = 0; i < transitions; ++i) {
+    a.AddTransition(static_cast<StateId>(rng->NextBounded(states)),
+                    static_cast<SymbolId>(rng->NextBounded(alphabet)),
+                    static_cast<StateId>(rng->NextBounded(states)));
+  }
+  for (size_t i = 0; i < 1 + states / 3; ++i) {
+    a.MarkInitial(static_cast<StateId>(rng->NextBounded(states)));
+    a.MarkAccepting(static_cast<StateId>(rng->NextBounded(states)));
+  }
+  return a;
+}
+
+Nfta RandomNfta(Rng* rng, size_t states, size_t alphabet,
+                size_t transitions) {
+  Nfta t;
+  for (size_t i = 0; i < states; ++i) t.AddState();
+  t.EnsureAlphabetSize(alphabet);
+  t.SetInitialState(0);
+  for (size_t q = 0; q < states; ++q) {
+    t.AddTransition(static_cast<StateId>(q),
+                    static_cast<SymbolId>(rng->NextBounded(alphabet)), {});
+  }
+  for (size_t i = 0; i < transitions; ++i) {
+    const size_t arity = 1 + rng->NextBounded(3);
+    std::vector<StateId> children;
+    for (size_t j = 0; j < arity; ++j) {
+      children.push_back(static_cast<StateId>(rng->NextBounded(states)));
+    }
+    t.AddTransition(static_cast<StateId>(rng->NextBounded(states)),
+                    static_cast<SymbolId>(rng->NextBounded(alphabet)),
+                    std::move(children));
+  }
+  return t;
+}
+
+TEST(CsrEquivalenceTest, NfaAdjacencyMatchesNaive) {
+  Rng rng(0xabc);
+  for (int round = 0; round < 25; ++round) {
+    const size_t S = 2 + rng.NextBounded(8);
+    Nfa a = RandomNfa(&rng, S, 2 + rng.NextBounded(3),
+                      3 + rng.NextBounded(20));
+    for (StateId s = 0; s < S; ++s) {
+      std::vector<uint32_t> out_naive, in_naive;
+      for (uint32_t i = 0; i < a.transitions().size(); ++i) {
+        if (a.transitions()[i].from == s) out_naive.push_back(i);
+        if (a.transitions()[i].to == s) in_naive.push_back(i);
+      }
+      EXPECT_TRUE(a.OutTransitions(s) == out_naive) << "state " << s;
+      EXPECT_TRUE(a.InTransitions(s) == in_naive) << "state " << s;
+    }
+  }
+}
+
+TEST(CsrEquivalenceTest, NftaIndexesMatchNaive) {
+  Rng rng(0xdef);
+  for (int round = 0; round < 25; ++round) {
+    const size_t S = 2 + rng.NextBounded(8);
+    const size_t A = 2 + rng.NextBounded(3);
+    Nfta t = RandomNfta(&rng, S, A, 3 + rng.NextBounded(20));
+    const auto& trans = t.transitions();
+    for (StateId s = 0; s < S; ++s) {
+      std::vector<uint32_t> naive;
+      for (uint32_t i = 0; i < trans.size(); ++i) {
+        if (trans[i].from == s) naive.push_back(i);
+      }
+      EXPECT_TRUE(t.OutTransitions(s) == naive) << "state " << s;
+    }
+    for (SymbolId sym = 0; sym < A; ++sym) {
+      std::vector<uint32_t> by_symbol, leaves;
+      for (uint32_t i = 0; i < trans.size(); ++i) {
+        if (trans[i].symbol != sym) continue;
+        by_symbol.push_back(i);
+        if (trans[i].children.empty()) leaves.push_back(i);
+      }
+      EXPECT_TRUE(t.TransitionsWithSymbol(sym) == by_symbol)
+          << "symbol " << sym;
+      EXPECT_TRUE(t.LeafTransitions(sym) == leaves) << "symbol " << sym;
+      for (StateId c0 = 0; c0 < S; ++c0) {
+        std::vector<uint32_t> nonleaf;
+        for (uint32_t i = 0; i < trans.size(); ++i) {
+          if (trans[i].symbol == sym && !trans[i].children.empty() &&
+              trans[i].children[0] == c0) {
+            nonleaf.push_back(i);
+          }
+        }
+        EXPECT_TRUE(t.TransitionsWithSymbolChild0(sym, c0) == nonleaf)
+            << "symbol " << sym << " child0 " << c0;
+      }
+    }
+  }
+}
+
+TEST(CsrEquivalenceTest, NftaCopyRebasesChildren) {
+  Rng rng(7);
+  Nfta original = RandomNfta(&rng, 5, 2, 12);
+  std::vector<std::vector<StateId>> expected;
+  for (const Nfta::Transition& t : original.transitions()) {
+    expected.push_back(t.children.ToVector());
+  }
+  Nfta copy = original;
+  // Mutating (and reallocating) the original's arena must not disturb the
+  // copy's spans.
+  for (int i = 0; i < 50; ++i) {
+    original.AddTransition(0, 0, {1, 2, 3, 4, 0, 1, 2});
+  }
+  ASSERT_EQ(copy.NumTransitions(), expected.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_TRUE(copy.transitions()[i].children == expected[i]) << "t " << i;
+  }
+  // And the copy's own growth must rebase its (independent) arena.
+  copy.AddTransition(1, 1, {0, 0, 0, 0, 0, 0, 0, 0});
+  EXPECT_TRUE(copy.transitions()[0].children == expected[0]);
+}
+
+TEST(CsrEquivalenceTest, NftaSelfAliasedAddTransition) {
+  // Feeding a transition's own children span back into AddTransitionView
+  // must copy before the arena reallocates under it.
+  Nfta t;
+  StateId q = t.AddState();
+  t.SetInitialState(q);
+  t.AddTransition(q, 0, {q, q, q});
+  for (int i = 0; i < 40; ++i) {
+    t.AddTransitionView(q, 1, t.transitions()[0].children);
+  }
+  for (const Nfta::Transition& tr : t.transitions()) {
+    ASSERT_EQ(tr.children.size(), 3u);
+    for (StateId c : tr.children) EXPECT_EQ(c, q);
+  }
+}
+
+// --- Cached vs legacy estimator equality ---------------------------------
+
+EstimatorConfig HotpathConfig(uint64_t seed, bool legacy) {
+  EstimatorConfig cfg;
+  cfg.epsilon = 0.3;
+  cfg.seed = seed;
+  cfg.pool_size = 48;
+  cfg.disable_hotpath_caches = legacy;
+  return cfg;
+}
+
+// The cached paths (per-group pickers + run-state memo) consume the same
+// RNG stream and must make the same canonical decisions as the legacy
+// paths (per-draw PickWeightedIndex + materialize-and-simulate), so the
+// estimates and sampling stats must match bit for bit. This is also the
+// memo-correctness test: a single divergent membership answer anywhere
+// changes acceptance counts and shows up here.
+TEST(HotpathEquivalenceTest, CountNftaCachedMatchesLegacy) {
+  Rng rng(0x9e1);
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    Nfta t = RandomNfta(&rng, 2 + rng.NextBounded(5), 2,
+                        4 + rng.NextBounded(12));
+    const size_t n = 3 + rng.NextBounded(6);
+    auto legacy = CountNftaTrees(t, n, HotpathConfig(seed, true));
+    auto cached = CountNftaTrees(t, n, HotpathConfig(seed, false));
+    ASSERT_TRUE(legacy.ok() && cached.ok());
+    EXPECT_EQ(cached->value.ToString(), legacy->value.ToString())
+        << "seed " << seed;
+    EXPECT_EQ(cached->stats.attempts, legacy->stats.attempts);
+    EXPECT_EQ(cached->stats.accepted, legacy->stats.accepted);
+    EXPECT_EQ(cached->stats.membership_checks,
+              legacy->stats.membership_checks);
+    EXPECT_EQ(cached->stats.pool_entries, legacy->stats.pool_entries);
+    // Only the cached run builds pickers / touches the memo.
+    EXPECT_EQ(legacy->stats.picker_builds, 0u);
+    EXPECT_EQ(legacy->stats.runstates_memo_hits, 0u);
+    if (cached->stats.membership_checks > 0) {
+      EXPECT_GT(cached->stats.runstates_memo_hits +
+                    cached->stats.runstates_memo_misses,
+                0u);
+    }
+  }
+}
+
+// An automaton whose ambiguity survives size stratification: two same-symbol
+// same-arity transitions out of the root state stay live at every size, so
+// the Karp–Luby canonical-witness loop (and the run-state memo behind it)
+// runs in every root stratum. The child languages overlap on the 0-leaf.
+Nfta AmbiguousCombNfta() {
+  Nfta t;
+  StateId q0 = t.AddState();
+  StateId a = t.AddState();
+  StateId b = t.AddState();
+  t.SetInitialState(q0);
+  t.AddTransition(a, 0, {});
+  t.AddTransition(b, 0, {});
+  t.AddTransition(a, 1, {});
+  t.AddTransition(q0, 2, {a, q0});
+  t.AddTransition(q0, 2, {b, q0});
+  t.AddTransition(q0, 0, {});
+  return t;
+}
+
+TEST(HotpathEquivalenceTest, CountNftaAmbiguousAutomaton) {
+  Nfta t = AmbiguousCombNfta();
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    auto legacy = CountNftaTrees(t, 15, HotpathConfig(seed, true));
+    auto cached = CountNftaTrees(t, 15, HotpathConfig(seed, false));
+    ASSERT_TRUE(legacy.ok() && cached.ok());
+    EXPECT_EQ(cached->value.ToString(), legacy->value.ToString())
+        << "seed " << seed;
+    EXPECT_GT(cached->stats.membership_checks, 0u);
+    EXPECT_GT(cached->stats.runstates_memo_hits, 0u);
+    EXPECT_GT(cached->stats.picker_builds, 0u);
+  }
+}
+
+TEST(HotpathEquivalenceTest, CountNfaCachedMatchesLegacy) {
+  Rng rng(0x5ca1e);
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    const size_t S = 2 + rng.NextBounded(6);
+    // A small alphabet forces same-symbol in-transition groups (ambiguity).
+    Nfa a = RandomNfa(&rng, S, 1 + rng.NextBounded(2),
+                      4 + rng.NextBounded(16));
+    const size_t n = 4 + rng.NextBounded(5);
+    auto legacy = CountNfaStrings(a, n, HotpathConfig(seed, true));
+    auto cached = CountNfaStrings(a, n, HotpathConfig(seed, false));
+    ASSERT_TRUE(legacy.ok() && cached.ok());
+    EXPECT_EQ(cached->value.ToString(), legacy->value.ToString())
+        << "seed " << seed;
+    EXPECT_EQ(cached->stats.attempts, legacy->stats.attempts);
+    EXPECT_EQ(cached->stats.accepted, legacy->stats.accepted);
+    EXPECT_EQ(cached->stats.membership_checks,
+              legacy->stats.membership_checks);
+  }
+}
+
+TEST(HotpathEquivalenceTest, MedianOfRWithCaches) {
+  // The parallel median-of-R path (with adjacency warmed for the workers)
+  // must agree between modes too, including the aggregated hot-path stats.
+  Nfta t = AmbiguousCombNfta();
+  EstimatorConfig legacy_cfg = HotpathConfig(0xfeed, true);
+  legacy_cfg.repetitions = 5;
+  legacy_cfg.num_threads = 4;
+  EstimatorConfig cached_cfg = legacy_cfg;
+  cached_cfg.disable_hotpath_caches = false;
+  auto legacy = CountNftaTrees(t, 13, legacy_cfg);
+  auto cached = CountNftaTrees(t, 13, cached_cfg);
+  ASSERT_TRUE(legacy.ok() && cached.ok());
+  EXPECT_EQ(cached->value.ToString(), legacy->value.ToString());
+  EXPECT_GT(cached->stats.picker_builds, 0u);
+  EXPECT_GT(cached->stats.runstates_memo_hits, 0u);
+}
+
+TEST(HotpathEquivalenceTest, CachedEstimateTracksExactCount) {
+  // Accuracy spot check: the cached estimator stays within a loose band of
+  // the exact DP count on the ambiguous automaton (Catalan-like counts).
+  Nfta t;
+  StateId q = t.AddState();
+  t.SetInitialState(q);
+  t.AddTransition(q, 0, {q, q});
+  t.AddTransition(q, 0, {});
+  t.AddTransition(q, 1, {});
+  const size_t n = 11;
+  auto exact = ExactCountNftaTrees(t, n);
+  ASSERT_TRUE(exact.ok());
+  const double exact_log2 = ExtFloat::FromBigUint(*exact).Log2();
+  EstimatorConfig cfg = HotpathConfig(0x7e57, false);
+  cfg.pool_size = 96;
+  auto est = CountNftaTrees(t, n, cfg);
+  ASSERT_TRUE(est.ok());
+  EXPECT_NEAR(est->value.Log2(), exact_log2, 0.6);
+}
+
+}  // namespace
+}  // namespace pqe
