@@ -1,0 +1,253 @@
+// E12 — Prepared-query serving (docs/serving.md): throughput of the serving
+// layer's warm cache against cold per-call evaluation on the E4 workload
+// (path query length 4 over layered databases).
+//
+//   bench_serving [--smoke] [--metrics_out=BENCH_serving.json]
+//
+// Three modes per cell, all single-threaded and seeded identically. The
+// workload is the serving regime: the SAME request arrives over and over.
+//   cold   — PqeEngine::EvaluateRequest per request: every call rebuilds the
+//            decomposition, the Proposition 1 automaton, the gadget bind,
+//            and re-runs the sampler.
+//   warm   — PqeService::EvaluateBatch over the identical requests: the
+//            first compiles + binds + counts, the rest replay from the
+//            prepared cache + answer memo (sound because estimates are
+//            deterministic functions of the bound automaton and config —
+//            the replay IS the re-run, bit for bit).
+//   rebind — a batch cycling four labellings with per-request seeds:
+//            skeleton reused, gadget bind + sampling re-run per request.
+// Every warm/rebind answer is checked bit-identical to its cold twin (the
+// skeleton/bind split IS the cold path; see core/pqe.cc), and a pre-cancelled
+// request demonstrates the typed deadline status. Cells are recorded as
+// gauges pqe.bench.serving.<cell>.{cold_ms,warm_ms,rebind_ms,speedup_warm,
+// speedup_rebind}; --smoke shrinks the workload for CI.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "cq/builders.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "serve/service.h"
+#include "util/cancel.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace pqe {
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+PqeEngine::Options ServingOptions() {
+  // Small fixed pools keep the counting phase cheap relative to compilation
+  // — the regime the serving layer is built for (many requests, one query).
+  auto opts = PqeEngine::Options::Builder()
+                  .Method(PqeMethod::kFpras)
+                  .Epsilon(0.25)
+                  .Seed(0xbe7c)
+                  .PoolSize(48)
+                  .Repetitions(1)
+                  .NumThreads(1)
+                  .Build();
+  PQE_CHECK(opts.ok());
+  return *opts;
+}
+
+void MeasureCell(const std::string& cell, uint32_t width, size_t requests,
+                 bool gate_speedup) {
+  auto qi = MakePathQuery(4).MoveValue();
+  LayeredGraphOptions gopt;
+  gopt.width = width;
+  gopt.density = 0.6;
+  gopt.seed = width;
+
+  // Four probability labellings of the same fact set: warm serves labelling
+  // 0 only; rebind cycles all four.
+  constexpr size_t kLabellings = 4;
+  std::vector<ProbabilisticDatabase> pdbs;
+  for (size_t j = 0; j < kLabellings; ++j) {
+    auto db = MakeLayeredPathDatabase(qi, gopt).MoveValue();
+    ProbabilityModel pm;
+    pm.max_denominator = 8;
+    pm.seed = 100 + j;
+    pdbs.push_back(AttachProbabilities(std::move(db), pm));
+  }
+
+  const PqeEngine::Options opts = ServingOptions();
+  // repeated=true is the serving workload — every request identical (same
+  // labelling, same explicit seed), the shape the answer memo replays.
+  // repeated=false gives each request its own derived seed, forcing fresh
+  // samples per request (the rebind mode).
+  auto make_requests = [&](size_t labellings, bool repeated) {
+    std::vector<EvalRequest> reqs;
+    reqs.reserve(requests);
+    for (size_t i = 0; i < requests; ++i) {
+      EvalRequest r = EvalRequest::ForQuery(qi.query, pdbs[i % labellings]);
+      r.request_id = i + 1;
+      // Explicit seeds so cold twins reproduce what the service would run.
+      r.seed = Rng::DeriveSeed(opts.seed, repeated ? 1 : i + 1);
+      reqs.push_back(r);
+    }
+    return reqs;
+  };
+
+  // Cold: one engine, no caching — every request rebuilds everything.
+  PqeEngine engine(opts);
+  const std::vector<EvalRequest> warm_reqs =
+      make_requests(1, /*repeated=*/true);
+  std::vector<EvalResponse> cold(requests);
+  auto t0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < requests; ++i) {
+    cold[i] = engine.EvaluateRequest(warm_reqs[i]);
+  }
+  const double cold_ms = MillisSince(t0);
+
+  // Warm: the batch API over the serving cache, identical requests
+  // throughout — one compile + one sampler run, then answer-memo replays.
+  serve::PqeService::Options sopt;
+  sopt.engine = opts;
+  sopt.num_threads = 1;
+  serve::PqeService warm_service(sopt);
+  auto& reg = obs::MetricRegistry::Global();
+  const uint64_t memo_hits_before =
+      reg.GetCounter("serve.answer_memo_hits").Value();
+  t0 = std::chrono::steady_clock::now();
+  const std::vector<EvalResponse> warm =
+      warm_service.EvaluateBatch(warm_reqs);
+  const double warm_ms = MillisSince(t0);
+
+  const uint64_t warm_memo_hits =
+      reg.GetCounter("serve.answer_memo_hits").Value() - memo_hits_before;
+
+  // Rebind: fresh service, labellings cycle and seeds differ per request —
+  // the skeleton is reused but every labelling change re-runs gadget
+  // expansion + trim, and every request re-runs the sampler (no memo hits).
+  serve::PqeService rebind_service(sopt);
+  const std::vector<EvalRequest> rebind_reqs =
+      make_requests(kLabellings, /*repeated=*/false);
+  t0 = std::chrono::steady_clock::now();
+  const std::vector<EvalResponse> rebind =
+      rebind_service.EvaluateBatch(rebind_reqs);
+  const double rebind_ms = MillisSince(t0);
+
+  // Served answers must equal their cold twins bit for bit.
+  for (size_t i = 0; i < requests; ++i) {
+    PQE_CHECK(cold[i].status.ok());
+    PQE_CHECK(warm[i].status.ok());
+    PQE_CHECK(warm[i].answer.probability == cold[i].answer.probability);
+    PQE_CHECK(rebind[i].status.ok());
+    const EvalResponse twin = engine.EvaluateRequest(rebind_reqs[i]);
+    PQE_CHECK(rebind[i].answer.probability == twin.answer.probability);
+  }
+
+  const double speedup_warm = cold_ms / warm_ms;
+  const double speedup_rebind = cold_ms / rebind_ms;
+  const std::string prefix = "pqe.bench.serving." + cell;
+  reg.GetGauge(prefix + ".cold_ms").Set(cold_ms);
+  reg.GetGauge(prefix + ".warm_ms").Set(warm_ms);
+  reg.GetGauge(prefix + ".rebind_ms").Set(rebind_ms);
+  reg.GetGauge(prefix + ".speedup_warm").Set(speedup_warm);
+  reg.GetGauge(prefix + ".speedup_rebind").Set(speedup_rebind);
+  reg.GetGauge(prefix + ".requests").Set(static_cast<double>(requests));
+  const serve::PreparedCache::Stats stats = warm_service.cache().stats();
+  reg.GetGauge(prefix + ".cache_hits").Set(static_cast<double>(stats.hits));
+  reg.GetGauge(prefix + ".cache_misses")
+      .Set(static_cast<double>(stats.misses));
+  reg.GetGauge(prefix + ".answer_memo_hits")
+      .Set(static_cast<double>(warm_memo_hits));
+  std::printf("  %-8s %6zu req  %10.1f %10.1f %10.1f %8.2fx %8.2fx\n",
+              cell.c_str(), requests, cold_ms, warm_ms, rebind_ms,
+              speedup_warm, speedup_rebind);
+  PQE_CHECK(stats.hits == requests - 1);  // one compile, then cache hits
+  PQE_CHECK(warm_memo_hits == requests - 1);  // one sampler run, then replays
+  if (gate_speedup) {
+    // The acceptance gate: warm serving must beat cold per-call evaluation
+    // by at least 5x on this workload.
+    PQE_CHECK(speedup_warm >= 5.0);
+  }
+}
+
+// A pre-cancelled token exercises the typed deadline path deterministically:
+// the response reports kDeadlineExceeded instead of hanging or throwing.
+void DemoTypedDeadline() {
+  auto qi = MakePathQuery(4).MoveValue();
+  LayeredGraphOptions gopt;
+  gopt.width = 3;
+  gopt.density = 0.6;
+  gopt.seed = 3;
+  auto db = MakeLayeredPathDatabase(qi, gopt).MoveValue();
+  ProbabilityModel pm;
+  pm.max_denominator = 8;
+  pm.seed = 100;
+  ProbabilisticDatabase pdb = AttachProbabilities(std::move(db), pm);
+
+  serve::PqeService::Options sopt;
+  sopt.engine = ServingOptions();
+  sopt.num_threads = 1;
+  serve::PqeService service(sopt);
+  CancelToken cancelled;
+  cancelled.Cancel();
+  EvalRequest r = EvalRequest::ForQuery(qi.query, pdb);
+  r.request_id = 1;
+  r.deadline_ms = 60'000;
+  r.cancel = &cancelled;
+  const std::vector<EvalResponse> resp = service.EvaluateBatch({r});
+  PQE_CHECK(resp.size() == 1);
+  PQE_CHECK(resp[0].deadline_exceeded);
+  PQE_CHECK(resp[0].status.code() == StatusCode::kDeadlineExceeded);
+  std::printf("  deadline demo: typed status \"%s\"\n",
+              resp[0].status.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace pqe
+
+int main(int argc, char** argv) {
+  setvbuf(stdout, nullptr, _IONBF, 0);
+  using namespace pqe;
+  const std::string metrics_out = obs::ConsumeMetricsOutFlag(&argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  std::printf(
+      "E12 — prepared-query serving: cold vs warm vs rebind (single "
+      "thread)\n"
+      "====================================================================="
+      "\n\n%s",
+      smoke ? "smoke mode: smallest cell only\n\n" : "\n");
+  std::printf("  %-8s %9s  %10s %10s %10s %9s %9s\n", "cell", "", "cold_ms",
+              "warm_ms", "rebind_ms", "warm", "rebind");
+  if (smoke) {
+    MeasureCell("e4.w3", /*width=*/3, /*requests=*/8,
+                /*gate_speedup=*/false);
+  } else {
+    MeasureCell("e4.w3", /*width=*/3, /*requests=*/24,
+                /*gate_speedup=*/true);
+    MeasureCell("e4.w4", /*width=*/4, /*requests=*/24,
+                /*gate_speedup=*/true);
+  }
+  DemoTypedDeadline();
+  std::printf(
+      "\ndeterminism: every warm/rebind answer matched its cold twin bit "
+      "for bit\n");
+  if (!metrics_out.empty()) {
+    Status status = obs::WriteMetricsJsonFile(metrics_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--metrics_out: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  return 0;
+}

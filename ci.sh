@@ -8,7 +8,8 @@
 #   ./ci.sh notrace    # just PQE_ENABLE_TRACING=OFF
 #   ./ci.sh sanitize   # just ASan/UBSan
 #   ./ci.sh tsan       # just ThreadSanitizer (PQE_THREADS=8)
-#   ./ci.sh perf_smoke # just the counting hot-path perf smoke
+#   ./ci.sh serve_smoke # batch serving CLI under TSan (PQE_THREADS=8)
+#   ./ci.sh perf_smoke # counting hot-path + serving perf smokes
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -61,30 +62,78 @@ tsan() {
   )
 }
 
+serve_smoke() {
+  # Drive the serving layer end to end under ThreadSanitizer: the batch CLI
+  # fans requests across 8 threads, shares cached prepared queries between
+  # them, and enforces per-request deadlines. Deadline-capped requests must
+  # come back as typed DEADLINE_EXCEEDED rows, not hangs or races.
+  (
+    export PQE_THREADS=8
+    echo "==== serve-smoke: build pqe_cli (tsan) ===="
+    cmake -B build-tsan -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DPQE_BUILD_BENCHMARKS=OFF \
+      -DPQE_BUILD_EXAMPLES=OFF \
+      -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+    cmake --build build-tsan -j "${JOBS}" --target pqe_cli
+    local batch="build-tsan/serve_smoke.queries"
+    {
+      # Repeated queries share one cached PreparedQuery across the batch
+      # threads (each request still draws its own id-derived samples).
+      for _ in 1 2 3 4; do
+        echo "Follows(x,y), Likes(y,z)"
+        echo "Follows(x,y), Likes(x,z)"
+        echo "Likes(x,y)"
+      done
+    } > "${batch}"
+    echo "==== serve-smoke: batch with generous deadline ===="
+    ./build-tsan/src/pqe_cli --data examples/data/social.facts \
+      --server-batch "${batch}" --method fpras --deadline-ms 60000
+    echo "==== serve-smoke: tight deadline yields typed rows, never hangs ===="
+    local out
+    out="$(./build-tsan/src/pqe_cli --data examples/data/social.facts \
+      --server-batch "${batch}" --method fpras --deadline-ms 1)" || {
+      echo "serve-smoke: deadline batch exited non-zero"; exit 1; }
+    echo "${out}"
+    # Every row is either an answer or a typed deadline status — whichever
+    # the 1ms budget allows on this machine; ERROR rows exit non-zero above.
+    echo "${out}" | grep -Eq "Pr\(Q\)|DEADLINE_EXCEEDED" \
+      || { echo "serve-smoke: expected answered or deadline rows"; exit 1; }
+  )
+}
+
 perf_smoke() {
-  # Smoke the counting hot-path bench: it must complete (every cell asserts
-  # the cached estimate is bit-identical to the legacy one) and emit
-  # parseable metrics JSON.
-  echo "==== perf-smoke: build bench_counting_hotpath ===="
+  # Smoke the perf benches: each must complete (their cells assert
+  # bit-identity internally) and emit parseable metrics JSON.
+  echo "==== perf-smoke: build bench_counting_hotpath + bench_serving ===="
   cmake -B build -S . >/dev/null
-  cmake --build build -j "${JOBS}" --target bench_counting_hotpath
+  cmake --build build -j "${JOBS}" --target bench_counting_hotpath bench_serving
   echo "==== perf-smoke: run ===="
   local out="build/BENCH_counting_hotpath.smoke.json"
+  local serve_out="build/BENCH_serving.smoke.json"
   ./build/bench/bench_counting_hotpath --smoke --metrics_out="${out}"
-  echo "==== perf-smoke: validate ${out} ===="
+  ./build/bench/bench_serving --smoke --metrics_out="${serve_out}"
+  echo "==== perf-smoke: validate ${out} + ${serve_out} ===="
   if command -v python3 >/dev/null 2>&1; then
-    python3 - "${out}" <<'EOF'
+    python3 - "${out}" "${serve_out}" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
 gauges = doc.get("metrics", doc).get("gauges", {})
 cells = [k for k in gauges if "counting_hotpath" in k and k.endswith(".speedup")]
 assert cells, "no counting_hotpath speedup gauges in metrics JSON"
-print(f"perf-smoke: {len(cells)} cells, JSON OK")
+with open(sys.argv[2]) as f:
+    doc = json.load(f)
+gauges = doc.get("metrics", doc).get("gauges", {})
+serving = [k for k in gauges if "bench.serving" in k and k.endswith(".speedup_warm")]
+assert serving, "no serving speedup gauges in metrics JSON"
+print(f"perf-smoke: {len(cells)} hotpath + {len(serving)} serving cells, JSON OK")
 EOF
   else
     grep -q "counting_hotpath" "${out}"
-    echo "perf-smoke: JSON contains counting_hotpath gauges (python3 absent)"
+    grep -q "bench.serving" "${serve_out}"
+    echo "perf-smoke: JSON contains expected gauges (python3 absent)"
   fi
 }
 
@@ -93,6 +142,7 @@ if [[ $# -eq 0 ]]; then
   notrace
   sanitize
   tsan
+  serve_smoke
   perf_smoke
 else
   for target in "$@"; do

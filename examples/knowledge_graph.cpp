@@ -69,21 +69,25 @@ int main() {
       ParseQuery(schema, "WorksAt(p,c), LocatedIn(c,t), Capital(t)")
           .MoveValue();
   PQE_CHECK(!q2.IsHierarchical());
-  PqeEngine::Options fopts;
-  fopts.method = PqeMethod::kFpras;
-  fopts.epsilon = 0.1;
-  fopts.seed = 11;
-  PqeEngine fpras(fopts);
+  auto fopts = PqeEngine::Options::Builder()
+                   .Method(PqeMethod::kFpras)
+                   .Epsilon(0.1)
+                   .Seed(11)
+                   .Build();
+  PQE_CHECK(fopts.ok());
+  PqeEngine fpras(*fopts);
   auto a2 = fpras.Evaluate(q2, kb);
   PQE_CHECK(a2.ok());
   std::printf("Q2 (unsafe chain) %s\n  Pr ~ %.6f via %s\n  %s\n\n",
               q2.ToString(schema).c_str(), a2->probability,
-              PqeMethodToString(a2->method_used), a2->diagnostics.c_str());
+              PqeMethodToString(a2->method_used),
+              RenderDiagnostics(*a2).c_str());
 
   // Cross-check Q2 against exact lineage counting (feasible at this scale).
-  PqeEngine::Options xopts;
-  xopts.method = PqeMethod::kExactLineage;
-  PqeEngine exact(xopts);
+  auto xopts =
+      PqeEngine::Options::Builder().Method(PqeMethod::kExactLineage).Build();
+  PQE_CHECK(xopts.ok());
+  PqeEngine exact(*xopts);
   auto a3 = exact.Evaluate(q2, kb);
   PQE_CHECK(a3.ok());
   std::printf("Q2 exact cross-check: Pr = %.6f via %s\n", a3->probability,

@@ -49,13 +49,15 @@ int main() {
               PqeMethodToString(answer->method_used),
               answer->is_exact ? ", exact" : "");
 
-  PqeEngine::Options opts;
-  opts.method = PqeMethod::kFpras;
-  opts.epsilon = 0.1;
-  PqeEngine fpras_engine(opts);
+  auto opts = PqeEngine::Options::Builder()
+                  .Method(PqeMethod::kFpras)
+                  .Epsilon(0.1)
+                  .Build();
+  PQE_CHECK(opts.ok());
+  PqeEngine fpras_engine(*opts);
   auto fpras = fpras_engine.Evaluate(query, pdb);
   PQE_CHECK(fpras.ok());
   std::printf("fpras: Pr(Q) ~ %.6f  [%s]\n", fpras->probability,
-              fpras->diagnostics.c_str());
+              RenderDiagnostics(*fpras).c_str());
   return 0;
 }

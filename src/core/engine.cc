@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <chrono>
 #include <optional>
 #include <sstream>
 #include <utility>
@@ -20,11 +21,61 @@ namespace pqe {
 
 namespace {
 
-// Renders the human-readable summary line from the structured answer
-// fields. `detail` carries the method-specific prefix.
-std::string RenderDiagnostics(const PqeAnswer& answer, std::string detail) {
+void CountMethodEvaluation(PqeMethod method) {
+  obs::MetricRegistry::Global()
+      .GetCounter(std::string("pqe.engine.evaluations.") +
+                  PqeMethodToString(method))
+      .Increment();
+}
+
+// The method-specific prefix of the diagnostics line, reconstructed from the
+// structured answer fields.
+std::string DiagnosticsPrefix(const PqeAnswer& answer) {
+  switch (answer.method_used) {
+    case PqeMethod::kSafePlan:
+      return "extensional safe plan (exact)";
+    case PqeMethod::kEnumeration:
+      return "possible-world enumeration over 2^" +
+             std::to_string(answer.enumerated_facts.value_or(0)) +
+             " worlds (exact)";
+    case PqeMethod::kFpras:
+      // decomposition_width == 0 marks the Section 3 string specialization.
+      if (answer.automaton.has_value() &&
+          answer.automaton->decomposition_width == 0) {
+        return "combined FPRAS (Theorem 1, string specialization):";
+      }
+      return "combined FPRAS (Theorem 1):";
+    case PqeMethod::kKarpLubyLineage:
+      return "Karp–Luby over DNF lineage:";
+    case PqeMethod::kExactLineage: {
+      std::string out = "decomposed model count over lineage:";
+      if (answer.lineage.has_value()) {
+        out += " clauses=" + std::to_string(answer.lineage->clauses) +
+               " splits=" + std::to_string(answer.lineage->shannon_splits) +
+               "+" + std::to_string(answer.lineage->component_splits);
+      }
+      return out + " (exact)";
+    }
+    case PqeMethod::kMonteCarlo: {
+      std::string out = "naive Monte Carlo:";
+      if (answer.monte_carlo.has_value()) {
+        out += " " + std::to_string(answer.monte_carlo->hits) + "/" +
+               std::to_string(answer.monte_carlo->samples) +
+               " worlds satisfied Q";
+      }
+      return out;
+    }
+    case PqeMethod::kAuto:
+      return "(unresolved method)";
+  }
+  return "(unknown method)";
+}
+
+}  // namespace
+
+std::string RenderDiagnostics(const PqeAnswer& answer) {
   std::ostringstream out;
-  out << detail;
+  out << DiagnosticsPrefix(answer);
   if (answer.automaton.has_value()) {
     if (answer.automaton->decomposition_width > 0) {
       out << " width=" << answer.automaton->decomposition_width;
@@ -43,15 +94,6 @@ std::string RenderDiagnostics(const PqeAnswer& answer, std::string detail) {
   }
   return out.str();
 }
-
-void CountMethodEvaluation(PqeMethod method) {
-  obs::MetricRegistry::Global()
-      .GetCounter(std::string("pqe.engine.evaluations.") +
-                  PqeMethodToString(method))
-      .Increment();
-}
-
-}  // namespace
 
 const char* PqeMethodToString(PqeMethod method) {
   switch (method) {
@@ -73,46 +115,148 @@ const char* PqeMethodToString(PqeMethod method) {
   return "unknown";
 }
 
-EstimatorConfig PqeEngine::MakeEstimatorConfig() const {
+Result<PqeEngine::Options> PqeEngine::Options::Builder::Build() const {
+  if (!(opts_.epsilon > 0.0 && opts_.epsilon < 1.0)) {
+    return Status::InvalidArgument(
+        "Options: epsilon must lie in (0, 1), got " +
+        std::to_string(opts_.epsilon));
+  }
+  if (opts_.max_width < 1) {
+    return Status::InvalidArgument("Options: max_width must be >= 1");
+  }
+  if (opts_.repetitions < 1) {
+    return Status::InvalidArgument("Options: repetitions must be >= 1");
+  }
+  if (opts_.pool_size > 0 && opts_.max_pool_size > 0 &&
+      opts_.pool_size > opts_.max_pool_size) {
+    return Status::InvalidArgument(
+        "Options: pool_size (" + std::to_string(opts_.pool_size) +
+        ") exceeds max_pool_size (" + std::to_string(opts_.max_pool_size) +
+        ")");
+  }
+  return opts_;
+}
+
+EstimatorConfig PqeEngine::MakeEstimatorConfig(const Options& options,
+                                               const CancelToken* cancel) {
   EstimatorConfig cfg;
-  cfg.epsilon = options_.epsilon;
-  cfg.seed = options_.seed;
-  cfg.pool_size = options_.pool_size;
-  cfg.max_pool_size = options_.max_pool_size;
-  cfg.repetitions = options_.repetitions;
-  cfg.num_threads = options_.num_threads;
+  cfg.epsilon = options.epsilon;
+  cfg.seed = options.seed;
+  cfg.pool_size = options.pool_size;
+  cfg.max_pool_size = options.max_pool_size;
+  cfg.repetitions = options.repetitions;
+  cfg.num_threads = options.num_threads;
+  cfg.cancel = cancel;
   return cfg;
 }
 
-Result<PqeAnswer> PqeEngine::Evaluate(const ConjunctiveQuery& query,
-                                      const ProbabilisticDatabase& pdb) const {
-  PqeMethod method = options_.method;
+EvalResponse PqeEngine::EvaluateRequest(const EvalRequest& request) const {
+  const auto start = std::chrono::steady_clock::now();
+  EvalResponse resp;
+  resp.request_id = request.request_id;
+
+  // Per-request overrides over the engine's options.
+  Options opts = options_;
+  if (request.method.has_value()) opts.method = *request.method;
+  if (request.epsilon.has_value()) opts.epsilon = *request.epsilon;
+  if (request.seed.has_value()) opts.seed = *request.seed;
+  if (request.collect_trace.has_value()) {
+    opts.collect_trace = *request.collect_trace;
+  }
+
+  // The deadline token chains any external token, so the request aborts when
+  // either expires; with no deadline the external token (if any) is polled
+  // directly.
+  std::optional<CancelToken> deadline;
+  const CancelToken* cancel = request.cancel;
+  if (request.deadline_ms > 0) {
+    deadline.emplace(std::chrono::milliseconds(request.deadline_ms),
+                     request.cancel);
+    cancel = &*deadline;
+  }
+
+  auto FinishWith = [&](Result<PqeAnswer> result) {
+    if (result.ok()) {
+      resp.answer = std::move(*result);
+      resp.status = Status::OK();
+    } else {
+      resp.status = result.status();
+    }
+    resp.deadline_exceeded =
+        resp.status.code() == StatusCode::kDeadlineExceeded;
+    if (resp.deadline_exceeded) {
+      obs::MetricRegistry::Global()
+          .GetCounter("pqe.engine.deadline_exceeded")
+          .Increment();
+    }
+    if (cancel != nullptr) resp.progress = cancel->progress();
+    resp.elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return resp;
+  };
+
+  if (cancel != nullptr && cancel->Expired()) {
+    return FinishWith(Status::DeadlineExceeded(
+        "request expired before evaluation started"));
+  }
+
+  switch (request.target) {
+    case EvalRequest::Target::kQuery:
+      if (request.query == nullptr || request.pdb == nullptr) {
+        return FinishWith(Status::InvalidArgument(
+            "EvalRequest(kQuery) requires query and pdb"));
+      }
+      return FinishWith(
+          EvaluateQueryImpl(*request.query, *request.pdb, opts, cancel));
+    case EvalRequest::Target::kUnion:
+      if (request.union_query == nullptr || request.pdb == nullptr) {
+        return FinishWith(Status::InvalidArgument(
+            "EvalRequest(kUnion) requires union_query and pdb"));
+      }
+      return FinishWith(
+          EvaluateUnionImpl(*request.union_query, *request.pdb, opts,
+                            cancel));
+    case EvalRequest::Target::kUniformReliability:
+      if (request.query == nullptr || request.db == nullptr) {
+        return FinishWith(Status::InvalidArgument(
+            "EvalRequest(kUniformReliability) requires query and db"));
+      }
+      return FinishWith(
+          EvaluateUrImpl(*request.query, *request.db, opts, cancel));
+  }
+  return FinishWith(Status::Internal("unknown EvalRequest target"));
+}
+
+Result<PqeAnswer> PqeEngine::EvaluateQueryImpl(
+    const ConjunctiveQuery& query, const ProbabilisticDatabase& pdb,
+    const Options& opts, const CancelToken* cancel) const {
+  PqeMethod method = opts.method;
   if (method == PqeMethod::kAuto) {
     if (IsSafeQuery(query)) {
       method = PqeMethod::kSafePlan;
-    } else if (pdb.NumFacts() <= options_.enumeration_threshold) {
+    } else if (pdb.NumFacts() <= opts.enumeration_threshold) {
       method = PqeMethod::kEnumeration;
     } else {
       method = PqeMethod::kFpras;
     }
   }
   std::optional<obs::TraceSession> session;
-  if (options_.collect_trace) {
+  if (opts.collect_trace) {
     session.emplace("engine.evaluate");
     obs::SpanAttrText("method", PqeMethodToString(method));
     obs::SpanAttrUint("facts", pdb.NumFacts());
-    obs::SpanAttrFloat("epsilon", options_.epsilon);
+    obs::SpanAttrFloat("epsilon", opts.epsilon);
   }
   CountMethodEvaluation(method);
 
   PqeAnswer out;
   out.method_used = method;
-  std::string detail;
   switch (method) {
     case PqeMethod::kSafePlan: {
       PQE_ASSIGN_OR_RETURN(out.probability, SafePlanProbability(query, pdb));
       out.is_exact = true;
-      detail = "extensional safe plan (exact)";
       break;
     }
     case PqeMethod::kEnumeration: {
@@ -120,11 +264,10 @@ Result<PqeAnswer> PqeEngine::Evaluate(const ConjunctiveQuery& query,
       PQE_ASSIGN_OR_RETURN(
           BigRational p,
           ExactProbabilityByEnumeration(pdb, query,
-                                        options_.enumeration_threshold + 8));
+                                        opts.enumeration_threshold + 8));
       out.probability = p.ToDouble();
       out.is_exact = true;
-      detail = "possible-world enumeration over 2^" +
-               std::to_string(pdb.NumFacts()) + " worlds (exact)";
+      out.enumerated_facts = pdb.NumFacts();
       break;
     }
     case PqeMethod::kFpras: {
@@ -133,37 +276,36 @@ Result<PqeAnswer> PqeEngine::Evaluate(const ConjunctiveQuery& query,
         // string-side multiplier gadgets) — same guarantee, cheaper.
         PQE_ASSIGN_OR_RETURN(
             PathPqeResult r,
-            PathPqeEstimate(query, pdb, MakeEstimatorConfig()));
+            PathPqeEstimate(query, pdb, MakeEstimatorConfig(opts, cancel)));
         out.probability = r.probability;
         out.count_stats = r.stats;
         out.automaton = PqeAnswer::AutomatonStats{
             r.nfa_states, r.nfa_transitions, r.word_length,
             /*decomposition_width=*/0};
-        detail = "combined FPRAS (Theorem 1, string specialization):";
         break;
       }
-      UrConstructionOptions opts;
-      opts.max_width = options_.max_width;
+      UrConstructionOptions ur_opts;
+      ur_opts.max_width = opts.max_width;
       PQE_ASSIGN_OR_RETURN(
           PqeEstimateResult r,
-          PqeEstimate(query, pdb, MakeEstimatorConfig(), opts));
+          PqeEstimate(query, pdb, MakeEstimatorConfig(opts, cancel),
+                      ur_opts));
       out.probability = r.probability;
       out.count_stats = r.stats;
       out.automaton = PqeAnswer::AutomatonStats{
           r.nfta_states, r.nfta_transitions, r.tree_size,
           r.decomposition_width};
-      detail = "combined FPRAS (Theorem 1):";
       break;
     }
     case PqeMethod::kKarpLubyLineage: {
       KarpLubyConfig cfg;
-      cfg.epsilon = options_.epsilon;
-      cfg.seed = options_.seed;
-      cfg.num_threads = options_.num_threads;
+      cfg.epsilon = opts.epsilon;
+      cfg.seed = opts.seed;
+      cfg.num_threads = opts.num_threads;
+      cfg.cancel = cancel;
       PQE_ASSIGN_OR_RETURN(KarpLubyResult r, KarpLubyPqe(query, pdb, cfg));
       out.probability = r.probability;
       out.karp_luby = r;
-      detail = "Karp–Luby over DNF lineage:";
       break;
     }
     case PqeMethod::kExactLineage: {
@@ -173,47 +315,43 @@ Result<PqeAnswer> PqeEngine::Evaluate(const ConjunctiveQuery& query,
                            ExactDnfProbabilityDecomposed(lineage, pdb));
       out.probability = r.probability.ToDouble();
       out.is_exact = true;
-      detail = "decomposed model count over lineage: clauses=" +
-               std::to_string(lineage.NumClauses()) + " splits=" +
-               std::to_string(r.stats.shannon_splits) + "+" +
-               std::to_string(r.stats.component_splits) + " (exact)";
+      out.lineage = PqeAnswer::LineageStats{lineage.NumClauses(),
+                                            r.stats.shannon_splits,
+                                            r.stats.component_splits};
       break;
     }
     case PqeMethod::kMonteCarlo: {
       MonteCarloConfig cfg;
-      cfg.seed = options_.seed;
+      cfg.seed = opts.seed;
       cfg.num_samples = 20'000;
-      cfg.num_threads = options_.num_threads;
+      cfg.num_threads = opts.num_threads;
       PQE_ASSIGN_OR_RETURN(MonteCarloResult r,
                            MonteCarloPqe(query, pdb, cfg));
       out.probability = r.probability;
-      detail = "naive Monte Carlo: " + std::to_string(r.hits) + "/" +
-               std::to_string(r.samples) + " worlds satisfied Q";
+      out.monte_carlo = PqeAnswer::SampleCounts{r.samples, r.hits};
       break;
     }
     case PqeMethod::kAuto:
       return Status::Internal("auto method not resolved");
   }
-  out.diagnostics = RenderDiagnostics(out, std::move(detail));
   if (session.has_value()) {
     obs::SpanAttrFloat("probability", out.probability);
-    out.trace =
-        std::make_shared<const obs::RunTrace>(session->Finish());
+    out.trace = std::make_shared<const obs::RunTrace>(session->Finish());
   }
   return out;
 }
 
-Result<PqeAnswer> PqeEngine::EvaluateUnion(
-    const UnionQuery& query, const ProbabilisticDatabase& pdb) const {
+Result<PqeAnswer> PqeEngine::EvaluateUnionImpl(
+    const UnionQuery& query, const ProbabilisticDatabase& pdb,
+    const Options& opts, const CancelToken* cancel) const {
   std::optional<obs::TraceSession> session;
-  if (options_.collect_trace) {
+  if (opts.collect_trace) {
     session.emplace("engine.evaluate_union");
     obs::SpanAttrUint("facts", pdb.NumFacts());
     obs::SpanAttrUint("disjuncts", query.NumDisjuncts());
   }
-  auto Finish = [&](PqeAnswer* answer, std::string detail) {
+  auto Finish = [&](PqeAnswer* answer) {
     CountMethodEvaluation(answer->method_used);
-    answer->diagnostics = RenderDiagnostics(*answer, std::move(detail));
     if (session.has_value()) {
       obs::SpanAttrText("method", PqeMethodToString(answer->method_used));
       obs::SpanAttrFloat("probability", answer->probability);
@@ -222,18 +360,17 @@ Result<PqeAnswer> PqeEngine::EvaluateUnion(
     }
   };
   PqeAnswer out;
-  if (pdb.NumFacts() <= options_.enumeration_threshold) {
+  if (pdb.NumFacts() <= opts.enumeration_threshold) {
     PQE_TRACE_SPAN("exact.enumeration");
     PQE_ASSIGN_OR_RETURN(
         BigRational p,
         ExactUnionProbabilityByEnumeration(pdb, query,
-                                           options_.enumeration_threshold +
-                                               8));
+                                           opts.enumeration_threshold + 8));
     out.probability = p.ToDouble();
     out.is_exact = true;
     out.method_used = PqeMethod::kEnumeration;
-    Finish(&out, "possible-world enumeration over 2^" +
-                     std::to_string(pdb.NumFacts()) + " worlds (exact)");
+    out.enumerated_facts = pdb.NumFacts();
+    Finish(&out);
     return out;
   }
   // Union lineage: exact where tractable, Karp–Luby beyond.
@@ -246,37 +383,54 @@ Result<PqeAnswer> PqeEngine::EvaluateUnion(
       out.probability = exact->probability.ToDouble();
       out.is_exact = true;
       out.method_used = PqeMethod::kExactLineage;
-      Finish(&out, "decomposed model count over union lineage: clauses=" +
-                       std::to_string(lineage->NumClauses()) + " (exact)");
+      out.lineage = PqeAnswer::LineageStats{lineage->NumClauses(),
+                                            exact->stats.shannon_splits,
+                                            exact->stats.component_splits};
+      Finish(&out);
       return out;
     }
   }
   KarpLubyConfig cfg;
-  cfg.epsilon = options_.epsilon;
-  cfg.seed = options_.seed;
-  cfg.num_threads = options_.num_threads;
+  cfg.epsilon = opts.epsilon;
+  cfg.seed = opts.seed;
+  cfg.num_threads = opts.num_threads;
+  cfg.cancel = cancel;
   PQE_ASSIGN_OR_RETURN(KarpLubyResult r, KarpLubyUnionPqe(query, pdb, cfg));
   out.probability = r.probability;
   out.karp_luby = r;
   out.method_used = PqeMethod::kKarpLubyLineage;
-  Finish(&out, "Karp–Luby over union lineage:");
+  Finish(&out);
   return out;
 }
 
-Result<double> PqeEngine::EvaluateUniformReliability(
-    const ConjunctiveQuery& query, const Database& db) const {
-  if (db.NumFacts() <= options_.enumeration_threshold) {
+Result<PqeAnswer> PqeEngine::EvaluateUrImpl(const ConjunctiveQuery& query,
+                                            const Database& db,
+                                            const Options& opts,
+                                            const CancelToken* cancel) const {
+  PqeAnswer out;
+  if (db.NumFacts() <= opts.enumeration_threshold) {
     PQE_ASSIGN_OR_RETURN(
         BigUint ur,
         UniformReliabilityByEnumeration(db, query,
-                                        options_.enumeration_threshold + 8));
-    return ur.ToDouble();
+                                        opts.enumeration_threshold + 8));
+    out.probability = ur.ToDouble();
+    out.is_exact = true;
+    out.method_used = PqeMethod::kEnumeration;
+    out.enumerated_facts = db.NumFacts();
+    return out;
   }
-  UrConstructionOptions opts;
-  opts.max_width = options_.max_width;
-  PQE_ASSIGN_OR_RETURN(UrEstimateResult r,
-                       UrEstimate(query, db, MakeEstimatorConfig(), opts));
-  return r.ur.ToDouble();
+  UrConstructionOptions ur_opts;
+  ur_opts.max_width = opts.max_width;
+  PQE_ASSIGN_OR_RETURN(
+      UrEstimateResult r,
+      UrEstimate(query, db, MakeEstimatorConfig(opts, cancel), ur_opts));
+  out.probability = r.ur.ToDouble();
+  out.method_used = PqeMethod::kFpras;
+  out.count_stats = r.stats;
+  out.automaton = PqeAnswer::AutomatonStats{r.nfta_states,
+                                            r.nfta_transitions, r.tree_size,
+                                            r.decomposition_width};
+  return out;
 }
 
 }  // namespace pqe

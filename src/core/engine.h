@@ -4,6 +4,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "counting/config.h"
 #include "cq/ucq.h"
@@ -11,6 +12,7 @@
 #include "lineage/karp_luby.h"
 #include "obs/trace.h"
 #include "pdb/probabilistic_database.h"
+#include "util/cancel.h"
 #include "util/result.h"
 
 namespace pqe {
@@ -51,9 +53,10 @@ inline constexpr PqeMethod kAllPqeMethods[] = {
     PqeMethod::kMonteCarlo,
 };
 
-/// One evaluation answer with provenance. The run's numbers are carried
-/// structurally (count_stats / karp_luby / automaton / trace);
-/// `diagnostics` is a summary rendered from them for terminal display.
+/// One evaluation answer with provenance. Every run figure is carried
+/// structurally (count_stats / karp_luby / automaton / lineage /
+/// monte_carlo / trace); RenderDiagnostics (below) formats a human-readable
+/// summary from them on demand — nothing pre-rendered is stored.
 struct PqeAnswer {
   /// Size figures of the constructed evaluation artifact, when one exists.
   struct AutomatonStats {
@@ -61,6 +64,17 @@ struct PqeAnswer {
     size_t transitions = 0;
     size_t tree_size = 0;           // k (word length for path queries)
     size_t decomposition_width = 0; // 0 for the string specialization
+  };
+  /// Shannon/decomposition figures when an exact lineage method ran.
+  struct LineageStats {
+    size_t clauses = 0;
+    size_t shannon_splits = 0;
+    size_t component_splits = 0;
+  };
+  /// Sample accounting when naive Monte Carlo ran.
+  struct SampleCounts {
+    size_t samples = 0;
+    size_t hits = 0;
   };
 
   double probability = 0.0;
@@ -72,12 +86,98 @@ struct PqeAnswer {
   std::optional<KarpLubyResult> karp_luby;
   /// Automaton/plan size figures when an automaton-based method ran.
   std::optional<AutomatonStats> automaton;
+  /// Lineage model-count figures when kExactLineage ran.
+  std::optional<LineageStats> lineage;
+  /// World-sample counts when kMonteCarlo ran.
+  std::optional<SampleCounts> monte_carlo;
+  /// |D| when kEnumeration ran (the answer enumerated 2^|D| worlds).
+  std::optional<size_t> enumerated_facts;
   /// The structured run trace, when Options::collect_trace was set. Shared
   /// so PqeAnswer stays cheaply copyable. Span instrumentation is only
   /// present when built with PQE_ENABLE_TRACING (the default); otherwise
   /// this holds just the timed root span.
   std::shared_ptr<const obs::RunTrace> trace;
-  std::string diagnostics;  // human-readable summary of the above
+};
+
+/// Renders the one-line human-readable summary of an answer from its
+/// structured fields (method, automaton sizes, sampler statistics). The CLI
+/// is the main consumer; library callers read the structured fields.
+std::string RenderDiagnostics(const PqeAnswer& answer);
+
+/// One evaluation request: what to evaluate plus per-request overrides of
+/// the engine's configuration. Referenced objects (query/database/token) are
+/// not owned and must outlive the call. Unset optionals inherit the engine's
+/// Options, so a default-initialized request behaves exactly like the
+/// corresponding legacy entry point.
+struct EvalRequest {
+  enum class Target {
+    kQuery,               // Pr_H(Q) for a conjunctive query (query + pdb)
+    kUnion,               // Pr_H(Q₁ ∨ ... ∨ Q_m) (union_query + pdb)
+    kUniformReliability,  // UR(Q, D) (query + db); probability holds the count
+  };
+
+  Target target = Target::kQuery;
+  const ConjunctiveQuery* query = nullptr;     // kQuery, kUniformReliability
+  const UnionQuery* union_query = nullptr;     // kUnion
+  const ProbabilisticDatabase* pdb = nullptr;  // kQuery, kUnion
+  const Database* db = nullptr;                // kUniformReliability
+
+  /// Per-request overrides; unset = inherit the engine's Options.
+  std::optional<PqeMethod> method;
+  std::optional<double> epsilon;
+  std::optional<uint64_t> seed;
+  std::optional<bool> collect_trace;
+
+  /// Caller-chosen identifier, echoed in the response. The serving layer
+  /// derives per-request seeds from it (Rng::DeriveSeed) when `seed` is
+  /// unset, so ids double as determinism anchors in batches.
+  uint64_t request_id = 0;
+  /// Wall-clock budget in milliseconds (0 = none). Enforced cooperatively:
+  /// the sampling loops poll a deadline token and the request returns a
+  /// kDeadlineExceeded status with partial progress instead of hanging.
+  uint64_t deadline_ms = 0;
+  /// Optional external cancellation token (not owned; composes with
+  /// deadline_ms — the request aborts when either expires). Lets callers
+  /// cancel explicitly, and lets tests exercise the deadline path
+  /// deterministically with a pre-cancelled token.
+  const CancelToken* cancel = nullptr;
+
+  static EvalRequest ForQuery(const ConjunctiveQuery& query,
+                              const ProbabilisticDatabase& pdb) {
+    EvalRequest r;
+    r.target = Target::kQuery;
+    r.query = &query;
+    r.pdb = &pdb;
+    return r;
+  }
+  static EvalRequest ForUnion(const UnionQuery& union_query,
+                              const ProbabilisticDatabase& pdb) {
+    EvalRequest r;
+    r.target = Target::kUnion;
+    r.union_query = &union_query;
+    r.pdb = &pdb;
+    return r;
+  }
+  static EvalRequest ForUniformReliability(const ConjunctiveQuery& query,
+                                           const Database& db) {
+    EvalRequest r;
+    r.target = Target::kUniformReliability;
+    r.query = &query;
+    r.db = &db;
+    return r;
+  }
+};
+
+/// The outcome of one EvalRequest. `answer` is meaningful iff `status` is
+/// OK; a deadline-capped request reports `deadline_exceeded` plus the work
+/// units completed before expiry (`progress`, see util/cancel.h).
+struct EvalResponse {
+  uint64_t request_id = 0;
+  Status status;
+  PqeAnswer answer;
+  bool deadline_exceeded = false;
+  double elapsed_ms = 0.0;
+  uint64_t progress = 0;  // sampling work units finished before any expiry
 };
 
 /// High-level facade over every evaluation strategy in the library.
@@ -106,6 +206,8 @@ class PqeEngine {
     /// Collect a structured RunTrace for each evaluation (PqeAnswer::trace).
     /// Off by default: tracing is cheap but not free, and answers stay lean.
     bool collect_trace = false;
+
+    class Builder;
   };
 
   explicit PqeEngine(Options options) : options_(options) {}
@@ -113,26 +215,123 @@ class PqeEngine {
 
   const Options& options() const { return options_; }
 
-  /// Evaluates Pr_H(Q) with the configured (or auto-selected) method.
+  /// The single evaluation entry point: dispatches on request.target,
+  /// applies per-request overrides, enforces deadline_ms/cancel
+  /// cooperatively, and never throws or hangs — errors (including
+  /// kDeadlineExceeded) come back in EvalResponse::status.
+  EvalResponse EvaluateRequest(const EvalRequest& request) const;
+
+  /// \deprecated Thin forward over EvaluateRequest (EvalRequest::ForQuery);
+  /// kept so existing callers compile unchanged. See README, "Deprecated
+  /// signatures".
   Result<PqeAnswer> Evaluate(const ConjunctiveQuery& query,
-                             const ProbabilisticDatabase& pdb) const;
+                             const ProbabilisticDatabase& pdb) const {
+    EvalResponse resp = EvaluateRequest(EvalRequest::ForQuery(query, pdb));
+    if (!resp.status.ok()) return resp.status;
+    return std::move(resp.answer);
+  }
 
-  /// Evaluates the uniform reliability UR(Q, D) (as a double; may be huge).
+  /// \deprecated Thin forward over EvaluateRequest
+  /// (EvalRequest::ForUniformReliability). See README.
   Result<double> EvaluateUniformReliability(const ConjunctiveQuery& query,
-                                            const Database& db) const;
+                                            const Database& db) const {
+    EvalResponse resp =
+        EvaluateRequest(EvalRequest::ForUniformReliability(query, db));
+    if (!resp.status.ok()) return resp.status;
+    return resp.answer.probability;
+  }
 
-  /// Evaluates Pr_H(Q₁ ∨ ... ∨ Q_m) for a union of CQs. The paper's FPRAS
-  /// does not extend to unions; this routes through the lineage-based
-  /// methods: exact decomposed model counting when the union lineage is
-  /// small, Karp–Luby otherwise (enumeration below the tiny-instance
-  /// threshold).
+  /// \deprecated Thin forward over EvaluateRequest (EvalRequest::ForUnion).
+  /// The paper's FPRAS does not extend to unions; this routes through the
+  /// lineage-based methods: exact decomposed model counting when the union
+  /// lineage is small, Karp–Luby otherwise (enumeration below the
+  /// tiny-instance threshold). See README.
   Result<PqeAnswer> EvaluateUnion(const UnionQuery& query,
-                                  const ProbabilisticDatabase& pdb) const;
+                                  const ProbabilisticDatabase& pdb) const {
+    EvalResponse resp = EvaluateRequest(EvalRequest::ForUnion(query, pdb));
+    if (!resp.status.ok()) return resp.status;
+    return std::move(resp.answer);
+  }
+
+  /// The EstimatorConfig the engine hands to the counting layers for these
+  /// options (shared with src/serve/ so prepared evaluations and engine
+  /// evaluations are configured identically). `cancel` is threaded into the
+  /// config's cooperative-cancellation hook.
+  static EstimatorConfig MakeEstimatorConfig(const Options& options,
+                                             const CancelToken* cancel);
 
  private:
-  EstimatorConfig MakeEstimatorConfig() const;
+  Result<PqeAnswer> EvaluateQueryImpl(const ConjunctiveQuery& query,
+                                      const ProbabilisticDatabase& pdb,
+                                      const Options& opts,
+                                      const CancelToken* cancel) const;
+  Result<PqeAnswer> EvaluateUnionImpl(const UnionQuery& query,
+                                      const ProbabilisticDatabase& pdb,
+                                      const Options& opts,
+                                      const CancelToken* cancel) const;
+  Result<PqeAnswer> EvaluateUrImpl(const ConjunctiveQuery& query,
+                                   const Database& db, const Options& opts,
+                                   const CancelToken* cancel) const;
 
   Options options_;
+};
+
+/// Fluent, validating construction of engine options: range errors surface
+/// as a Status at Build() time instead of being silently clamped mid-run.
+class PqeEngine::Options::Builder {
+ public:
+  Builder() = default;
+  /// Starts from an existing options value (e.g. to tweak one knob).
+  explicit Builder(Options base) : opts_(base) {}
+
+  Builder& Method(PqeMethod method) {
+    opts_.method = method;
+    return *this;
+  }
+  Builder& Epsilon(double epsilon) {
+    opts_.epsilon = epsilon;
+    return *this;
+  }
+  Builder& Seed(uint64_t seed) {
+    opts_.seed = seed;
+    return *this;
+  }
+  Builder& MaxWidth(size_t max_width) {
+    opts_.max_width = max_width;
+    return *this;
+  }
+  Builder& EnumerationThreshold(size_t threshold) {
+    opts_.enumeration_threshold = threshold;
+    return *this;
+  }
+  Builder& PoolSize(size_t pool_size) {
+    opts_.pool_size = pool_size;
+    return *this;
+  }
+  Builder& MaxPoolSize(size_t max_pool_size) {
+    opts_.max_pool_size = max_pool_size;
+    return *this;
+  }
+  Builder& Repetitions(size_t repetitions) {
+    opts_.repetitions = repetitions;
+    return *this;
+  }
+  Builder& NumThreads(size_t num_threads) {
+    opts_.num_threads = num_threads;
+    return *this;
+  }
+  Builder& CollectTrace(bool collect) {
+    opts_.collect_trace = collect;
+    return *this;
+  }
+
+  /// Validates ranges (epsilon ∈ (0, 1), max_width ≥ 1, repetitions ≥ 1,
+  /// pool_size ≤ max_pool_size when both are set) and returns the options,
+  /// or an InvalidArgument status naming the offending knob.
+  Result<Options> Build() const;
+
+ private:
+  Options opts_;
 };
 
 }  // namespace pqe

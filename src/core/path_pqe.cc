@@ -136,14 +136,6 @@ Result<BigUint> PathUniformReliabilityExact(const ConjunctiveQuery& query,
 
 namespace {
 
-// The weighted path automaton M' of the Theorem 1 string specialization,
-// plus the common denominator d and stratum length k.
-struct WeightedPathNfa {
-  Nfa nfa;
-  size_t word_length = 0;
-  BigUint denominator;
-};
-
 uint64_t FactGadgetWidth(const Probability& p) {
   uint64_t width = 0;
   if (p.num >= 1) {
@@ -155,32 +147,59 @@ uint64_t FactGadgetWidth(const Probability& p) {
   return width;
 }
 
-Result<WeightedPathNfa> BuildWeightedPathNfa(
-    const ConjunctiveQuery& query, const ProbabilisticDatabase& pdb) {
-  PQE_ASSIGN_OR_RETURN(ProjectedProbabilisticDatabase proj,
-                       ProjectProbabilisticDatabase(pdb, query));
-  const ProbabilisticDatabase& ppdb = proj.pdb;
-  PQE_ASSIGN_OR_RETURN(PathQueryNfa base,
-                       BuildPathQueryNfa(query, ppdb.database()));
+// Cold build = skeleton + bind, so a warm rebind of a cached skeleton
+// (src/serve/) is bit-identical to the estimate paths below.
+Result<BoundPathNfa> BuildWeightedPathNfa(const ConjunctiveQuery& query,
+                                          const ProbabilisticDatabase& pdb) {
+  PQE_ASSIGN_OR_RETURN(PathPqeSkeleton skeleton,
+                       BuildPathPqeSkeleton(query, pdb.database()));
+  PQE_ASSIGN_OR_RETURN(
+      std::vector<Probability> probs,
+      ProjectedFactProbabilities(skeleton.original_fact, pdb));
+  return BindPathPqeNfa(skeleton, probs);
+}
 
-  WeightedPathNfa out;
+}  // namespace
+
+Result<PathPqeSkeleton> BuildPathPqeSkeleton(const ConjunctiveQuery& query,
+                                             const Database& db) {
+  PQE_TRACE_SPAN_VAR(span, "path.build_skeleton");
+  span.AttrUint("facts", db.NumFacts());
+  PathPqeSkeleton out;
+  PQE_ASSIGN_OR_RETURN(ProjectedDatabase proj, ProjectDatabase(db, query));
+  out.original_fact = std::move(proj.original_fact);
+  PQE_ASSIGN_OR_RETURN(out.base, BuildPathQueryNfa(query, proj.db));
+  // BuildPathQueryNfa projects again internally; a no-op here, and the
+  // literal symbols line up with proj.db's FactIds.
+  return out;
+}
+
+Result<BoundPathNfa> BindPathPqeNfa(const PathPqeSkeleton& skeleton,
+                                    const std::vector<Probability>& probs) {
+  PQE_TRACE_SPAN_VAR(span, "path.bind");
+  span.AttrUint("facts", probs.size());
+  BoundPathNfa out;
   out.denominator = BigUint(1);
-  std::vector<uint64_t> width(ppdb.NumFacts(), 0);
-  for (FactId f = 0; f < ppdb.NumFacts(); ++f) {
-    const Probability p = ppdb.probability(f);
+  std::vector<uint64_t> width(probs.size(), 0);
+  for (FactId f = 0; f < probs.size(); ++f) {
+    const Probability p = probs[f];
     width[f] = FactGadgetWidth(p);
     out.denominator = out.denominator.MulU64(p.den);
   }
-  out.word_length = base.word_length;
-  for (FactId f = 0; f < ppdb.NumFacts(); ++f) {
+  out.word_length = skeleton.base.word_length;
+  for (FactId f = 0; f < probs.size(); ++f) {
     out.word_length += static_cast<size_t>(width[f]);
   }
 
-  MultiplierNfa mult = MultiplierNfa::FromSkeleton(base.nfa);
-  for (const Nfa::Transition& t : base.nfa.transitions()) {
+  MultiplierNfa mult = MultiplierNfa::FromSkeleton(skeleton.base.nfa);
+  for (const Nfa::Transition& t : skeleton.base.nfa.transitions()) {
     const FactId f = LiteralBase(t.symbol);
-    PQE_CHECK(f < ppdb.NumFacts());
-    const Probability p = ppdb.probability(f);
+    if (f >= probs.size()) {
+      return Status::InvalidArgument(
+          "BindPathPqeNfa: probability vector does not cover the skeleton's "
+          "projected facts");
+    }
+    const Probability p = probs[f];
     const uint64_t multiplier =
         IsNegativeLiteral(t.symbol) ? (p.den - p.num) : p.num;
     if (multiplier == 0) continue;
@@ -197,13 +216,11 @@ Result<WeightedPathNfa> BuildWeightedPathNfa(
   return out;
 }
 
-}  // namespace
-
 Result<PathPqeResult> PathPqeEstimate(const ConjunctiveQuery& query,
                                       const ProbabilisticDatabase& pdb,
                                       const EstimatorConfig& config) {
   PQE_TRACE_SPAN_VAR(span, "path.estimate");
-  PQE_ASSIGN_OR_RETURN(WeightedPathNfa m, BuildWeightedPathNfa(query, pdb));
+  PQE_ASSIGN_OR_RETURN(BoundPathNfa m, BuildWeightedPathNfa(query, pdb));
   PathPqeResult out;
   out.word_length = m.word_length;
   out.nfa_states = m.nfa.NumStates();
@@ -220,7 +237,7 @@ Result<PathPqeResult> PathPqeEstimate(const ConjunctiveQuery& query,
 
 Result<BigRational> PathPqeExact(const ConjunctiveQuery& query,
                                  const ProbabilisticDatabase& pdb) {
-  PQE_ASSIGN_OR_RETURN(WeightedPathNfa m, BuildWeightedPathNfa(query, pdb));
+  PQE_ASSIGN_OR_RETURN(BoundPathNfa m, BuildWeightedPathNfa(query, pdb));
   PQE_ASSIGN_OR_RETURN(BigUint count,
                        ExactCountNfaStrings(m.nfa, m.word_length));
   return BigRational(std::move(count), m.denominator);

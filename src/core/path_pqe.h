@@ -2,9 +2,9 @@
 #define PQE_CORE_PATH_PQE_H_
 
 #include <cstddef>
+#include <vector>
 
 #include "automata/nfa.h"
-#include "counting/config.h"
 #include "counting/config.h"
 #include "cq/query.h"
 #include "pdb/database.h"
@@ -72,6 +72,35 @@ Result<PathPqeResult> PathPqeEstimate(const ConjunctiveQuery& query,
 /// Exact companion for PathPqeEstimate (test oracle).
 Result<BigRational> PathPqeExact(const ConjunctiveQuery& query,
                                  const ProbabilisticDatabase& pdb);
+
+/// The probability-independent half of the string specialization: the
+/// Section 3 NFA, built from the query and the plain database only. The
+/// string-automaton analogue of PqeSkeleton (core/pqe.h); compiled once per
+/// (query, database) pair and rebound per probability labelling.
+struct PathPqeSkeleton {
+  PathQueryNfa base;                  // Section 3 NFA over the projected db
+  std::vector<FactId> original_fact;  // projected FactId -> original FactId
+};
+
+/// Builds the skeleton. Fails with NotSupported for non-path or
+/// non-self-join-free queries (same contract as BuildPathQueryNfa).
+Result<PathPqeSkeleton> BuildPathPqeSkeleton(const ConjunctiveQuery& query,
+                                             const Database& db);
+
+/// The weighted path automaton M' of the Theorem 1 string specialization,
+/// plus the common denominator d and stratum length k.
+struct BoundPathNfa {
+  Nfa nfa;
+  size_t word_length = 0;  // k = |D'| + Σ width_i
+  BigUint denominator;     // d = Π d_i over projected facts
+};
+
+/// Attaches string multiplier gadgets for `probs` (one Probability per
+/// *projected* fact, in projected FactId order) to the skeleton and trims.
+/// Rebinding a cached skeleton is bit-identical to the cold path inside
+/// PathPqeEstimate at equal inputs.
+Result<BoundPathNfa> BindPathPqeNfa(const PathPqeSkeleton& skeleton,
+                                    const std::vector<Probability>& probs);
 
 }  // namespace pqe
 

@@ -32,31 +32,37 @@ uint64_t FactGadgetWidth(const Probability& p) {
 
 }  // namespace
 
-Result<PqeAutomaton> BuildPqeAutomaton(const ConjunctiveQuery& query,
-                                       const ProbabilisticDatabase& pdb,
-                                       const UrConstructionOptions& options) {
-  PQE_TRACE_SPAN_VAR(span, "pqe.build_automaton");
-  span.AttrUint("facts", pdb.NumFacts());
-  PqeAutomaton out;
-  // Projected probabilities (Theorem 1's WLOG: facts over relations outside
-  // Q marginalize to 1 and are dropped before building d).
-  PQE_ASSIGN_OR_RETURN(ProjectedProbabilisticDatabase proj,
-                       ProjectProbabilisticDatabase(pdb, query));
-  const ProbabilisticDatabase& ppdb = proj.pdb;
-
-  PQE_ASSIGN_OR_RETURN(
-      out.ur, BuildUrAutomaton(query, ppdb.database(), options));
+Result<PqeSkeleton> BuildPqeSkeleton(const ConjunctiveQuery& query,
+                                     const Database& db,
+                                     const UrConstructionOptions& options) {
+  PQE_TRACE_SPAN_VAR(span, "pqe.build_skeleton");
+  span.AttrUint("facts", db.NumFacts());
+  PqeSkeleton out;
+  // Theorem 1's WLOG: facts over relations outside Q marginalize to 1 and
+  // are dropped before the automaton (and later the denominator d) is built.
+  PQE_ASSIGN_OR_RETURN(ProjectedDatabase proj, ProjectDatabase(db, query));
+  out.original_fact = std::move(proj.original_fact);
+  out.dropped_facts = proj.dropped_facts;
+  PQE_ASSIGN_OR_RETURN(out.ur, BuildUrAutomaton(query, proj.db, options));
   // BuildUrAutomaton projects again internally; it is a no-op here, and the
-  // projected FactIds used as symbols line up with ppdb's FactIds.
+  // projected FactIds used as symbols line up with proj.db's FactIds.
+  span.AttrUint("tree_size", out.ur.tree_size);
+  return out;
+}
 
-  const Nfta& base = out.ur.nfta;
+Result<BoundPqeAutomaton> BindPqeAutomaton(
+    const PqeSkeleton& skeleton, const std::vector<Probability>& probs) {
+  PQE_TRACE_SPAN_VAR(span, "pqe.bind");
+  span.AttrUint("facts", probs.size());
+  const Nfta& base = skeleton.ur.nfta;
+  BoundPqeAutomaton out;
   MultiplierNfta mult = MultiplierNfta::FromSkeleton(base);
 
   // Per-fact gadget widths and the common denominator d.
-  std::vector<uint64_t> width(ppdb.NumFacts(), 0);
+  std::vector<uint64_t> width(probs.size(), 0);
   out.denominator = BigUint(1);
-  for (FactId f = 0; f < ppdb.NumFacts(); ++f) {
-    const Probability p = ppdb.probability(f);
+  for (FactId f = 0; f < probs.size(); ++f) {
+    const Probability p = probs[f];
     width[f] = FactGadgetWidth(p);
     out.denominator = out.denominator.MulU64(p.den);
   }
@@ -67,8 +73,12 @@ Result<PqeAutomaton> BuildPqeAutomaton(const ConjunctiveQuery& query,
   for (const Nfta::Transition& t : base.transitions()) {
     PQE_CHECK(t.symbol != Nfta::kLambdaSymbol);
     const FactId f = LiteralBase(t.symbol);
-    PQE_CHECK(f < ppdb.NumFacts());
-    const Probability p = ppdb.probability(f);
+    if (f >= probs.size()) {
+      return Status::InvalidArgument(
+          "BindPqeAutomaton: probability vector does not cover the "
+          "skeleton's projected facts");
+    }
+    const Probability p = probs[f];
     const uint64_t multiplier =
         IsNegativeLiteral(t.symbol) ? (p.den - p.num) : p.num;
     if (multiplier == 0) continue;
@@ -79,8 +89,8 @@ Result<PqeAutomaton> BuildPqeAutomaton(const ConjunctiveQuery& query,
 
   // k = |D'| + Σ width_i: each fact contributes its literal node plus a
   // fixed number of comparator nodes regardless of presence/absence.
-  out.tree_size = out.ur.tree_size;
-  for (FactId f = 0; f < ppdb.NumFacts(); ++f) {
+  out.tree_size = skeleton.ur.tree_size;
+  for (FactId f = 0; f < probs.size(); ++f) {
     out.tree_size += static_cast<size_t>(width[f]);
   }
 
@@ -91,6 +101,29 @@ Result<PqeAutomaton> BuildPqeAutomaton(const ConjunctiveQuery& query,
     mult_span.AttrUint("nfta_states", out.weighted.NumStates());
     mult_span.AttrUint("nfta_transitions", out.weighted.NumTransitions());
   }
+  span.AttrUint("tree_size", out.tree_size);
+  return out;
+}
+
+Result<PqeAutomaton> BuildPqeAutomaton(const ConjunctiveQuery& query,
+                                       const ProbabilisticDatabase& pdb,
+                                       const UrConstructionOptions& options) {
+  PQE_TRACE_SPAN_VAR(span, "pqe.build_automaton");
+  span.AttrUint("facts", pdb.NumFacts());
+  // The cold path is the skeleton/bind composition, so a warm rebind of a
+  // cached skeleton (src/serve/) is bit-identical to this by construction.
+  PQE_ASSIGN_OR_RETURN(PqeSkeleton skeleton,
+                       BuildPqeSkeleton(query, pdb.database(), options));
+  PQE_ASSIGN_OR_RETURN(
+      std::vector<Probability> probs,
+      ProjectedFactProbabilities(skeleton.original_fact, pdb));
+  PQE_ASSIGN_OR_RETURN(BoundPqeAutomaton bound,
+                       BindPqeAutomaton(skeleton, probs));
+  PqeAutomaton out;
+  out.ur = std::move(skeleton.ur);
+  out.weighted = std::move(bound.weighted);
+  out.tree_size = bound.tree_size;
+  out.denominator = std::move(bound.denominator);
   span.AttrUint("tree_size", out.tree_size);
   return out;
 }

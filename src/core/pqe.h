@@ -2,17 +2,52 @@
 #define PQE_CORE_PQE_H_
 
 #include <cstddef>
+#include <vector>
 
 #include "automata/nfta.h"
 #include "core/ur_construction.h"
 #include "counting/config.h"
 #include "cq/query.h"
+#include "pdb/database.h"
 #include "pdb/probabilistic_database.h"
 #include "util/bigint.h"
 #include "util/extfloat.h"
 #include "util/result.h"
 
 namespace pqe {
+
+/// The probability-independent half of the Theorem 1 construction: the
+/// hypertree decomposition and the Proposition 1 automaton, built from the
+/// query and the plain database only. A skeleton can be compiled once per
+/// (query, database) pair and bound to any probability labelling of the same
+/// facts via BindPqeAutomaton — that split is what the serving layer
+/// (src/serve/) amortizes across requests.
+struct PqeSkeleton {
+  UrAutomaton ur;                     // Proposition 1, over the projected db
+  std::vector<FactId> original_fact;  // projected FactId -> original FactId
+  size_t dropped_facts = 0;           // |D| − |D'|
+};
+
+/// Builds the probability-independent skeleton for a self-join-free
+/// conjunctive query of bounded hypertree width over a plain database.
+Result<PqeSkeleton> BuildPqeSkeleton(const ConjunctiveQuery& query,
+                                     const Database& db,
+                                     const UrConstructionOptions& options);
+
+/// The probability-dependent half: the §5.1 multiplier-gadget expansion of a
+/// skeleton under concrete fact probabilities (trimmed, ready to count).
+struct BoundPqeAutomaton {
+  Nfta weighted;         // T' — gadget-expanded, trimmed
+  size_t tree_size = 0;  // k = |D'| + Σ width_i
+  BigUint denominator;   // d = Π d_i over projected facts
+};
+
+/// Attaches multiplier gadgets for `probs` (one Probability per *projected*
+/// fact, in projected FactId order — see ProjectedFactProbabilities) to the
+/// skeleton and trims. Deterministic: rebinding a cached skeleton yields the
+/// same automaton, bit for bit, as a cold BuildPqeAutomaton at equal inputs.
+Result<BoundPqeAutomaton> BindPqeAutomaton(
+    const PqeSkeleton& skeleton, const std::vector<Probability>& probs);
 
 /// The Theorem 1 artifact: the Proposition 1 automaton with the Section 5
 /// multiplier gadgets attached, so that
@@ -35,7 +70,9 @@ struct PqeAutomaton {
 };
 
 /// Builds the Theorem 1 automaton for a self-join-free conjunctive query of
-/// bounded hypertree width over a probabilistic database.
+/// bounded hypertree width over a probabilistic database. Implemented as
+/// BuildPqeSkeleton + BindPqeAutomaton, so cached-skeleton rebinds (the
+/// serving layer's warm path) are bit-identical to this cold build.
 Result<PqeAutomaton> BuildPqeAutomaton(const ConjunctiveQuery& query,
                                        const ProbabilisticDatabase& pdb,
                                        const UrConstructionOptions& options);

@@ -59,4 +59,20 @@ Result<ProjectedProbabilisticDatabase> ProjectProbabilisticDatabase(
       std::move(ppdb), std::move(proj.original_fact), proj.dropped_facts};
 }
 
+Result<std::vector<Probability>> ProjectedFactProbabilities(
+    const std::vector<FactId>& original_fact,
+    const ProbabilisticDatabase& pdb) {
+  std::vector<Probability> probs;
+  probs.reserve(original_fact.size());
+  for (FactId orig : original_fact) {
+    if (orig >= pdb.NumFacts()) {
+      return Status::InvalidArgument(
+          "projection maps to a fact outside the probabilistic database "
+          "(skeleton was built against a different instance)");
+    }
+    probs.push_back(pdb.probability(orig));
+  }
+  return probs;
+}
+
 }  // namespace pqe

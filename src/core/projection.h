@@ -33,6 +33,16 @@ struct ProjectedProbabilisticDatabase {
 Result<ProjectedProbabilisticDatabase> ProjectProbabilisticDatabase(
     const ProbabilisticDatabase& pdb, const ConjunctiveQuery& query);
 
+/// Pulls per-fact probabilities through a projection: element i is
+/// pdb.probability(original_fact[i]), i.e. the label of projected fact i.
+/// This is the probability-dependent half of ProjectProbabilisticDatabase;
+/// binding a cached skeleton (core/pqe.h, core/path_pqe.h) needs only this
+/// vector, not a re-projected database. Fails when `original_fact` mentions
+/// a fact outside `pdb` (skeleton and database mismatch).
+Result<std::vector<Probability>> ProjectedFactProbabilities(
+    const std::vector<FactId>& original_fact,
+    const ProbabilisticDatabase& pdb);
+
 }  // namespace pqe
 
 #endif  // PQE_CORE_PROJECTION_H_

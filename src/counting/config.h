@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "util/cancel.h"
 #include "util/extfloat.h"
 
 namespace pqe {
@@ -56,6 +57,14 @@ struct EstimatorConfig {
   /// cached path by construction (docs/performance.md), so estimates match
   /// bit for bit; bench_counting_hotpath uses it as the in-binary baseline.
   bool disable_hotpath_caches = false;
+  /// Cooperative cancellation (optional, not owned; must outlive the run).
+  /// The counters poll the token once per processed stratum and every few
+  /// hundred rejection attempts; when it expires they abort with
+  /// StatusCode::kDeadlineExceeded instead of completing the sweep, and
+  /// record per-stratum progress on the token (see util/cancel.h). nullptr
+  /// (the default) never cancels. The token is polled by every median-of-R
+  /// repetition, so a run aborts promptly at any thread count.
+  const CancelToken* cancel = nullptr;
 
   /// Resolves the pool size for a run of target size n.
   size_t ResolvePoolSize(size_t n) const;

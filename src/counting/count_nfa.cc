@@ -33,13 +33,15 @@ class NfaCounter {
         n_(n),
         config_(config),
         rng_(config.seed),
-        cached_(!config.disable_hotpath_caches) {}
+        cached_(!config.disable_hotpath_caches),
+        cancel_(config.cancel) {}
 
   Result<CountEstimate> Run() {
     const size_t S = nfa_.NumStates();
     if (nfa_.initial_states().empty()) {
       return CountEstimate{ExtFloat(), stats_};
     }
+    if (Cancelled()) return DeadlineError(0);
     pool_target_ = config_.ResolvePoolSize(n_);
     if (cached_) reach_memo_.assign(n_ + 1, MemoLevel(S));
 
@@ -55,10 +57,17 @@ class NfaCounter {
       }
     }
     for (size_t l = 1; l <= n_; ++l) {
+      // One cancellation poll per length stratum, plus finer-grained polls
+      // in the rejection loops (an attempt budget can dominate a stratum).
+      if (Cancelled()) return DeadlineError(l);
       for (StateId q = 0; q < S; ++q) {
         if (live_[l][q]) ProcessStratum(q, l);
       }
+      if (cancel_ != nullptr) cancel_->AddProgress(1);
     }
+    // A rejection loop may have bailed out mid-stratum on an expired token;
+    // the partial tables must not be read as an estimate.
+    if (Cancelled()) return DeadlineError(n_);
     return Finalize();
   }
 
@@ -230,6 +239,7 @@ class NfaCounter {
       size_t attempts = 0;
       while (g.accepted.size() < pool_target_ && attempts < max_attempts) {
         ++attempts;
+        if ((attempts & 255u) == 0 && Cancelled()) break;
         const size_t pick = PickTransition();
         SampleRef candidate;
         if (!DrawRef(g.transitions[pick], &candidate)) continue;
@@ -346,6 +356,7 @@ class NfaCounter {
     }
     while (attempts < max_attempts && accepted < target) {
       ++attempts;
+      if ((attempts & 255u) == 0 && Cancelled()) break;
       const size_t pick =
           cached_ ? picker_.Pick(&rng_) : PickWeightedIndex(&rng_, weights);
       const StateId q = finals[pick];
@@ -373,6 +384,7 @@ class NfaCounter {
     }
     stats_.attempts += attempts;
     stats_.accepted += accepted;
+    if (Cancelled()) return DeadlineError(n_);
     if (accepted == 0) {
       ++stats_.forced_samples;
       accepted = 1;
@@ -382,11 +394,22 @@ class NfaCounter {
     return CountEstimate{value, stats_};
   }
 
+  // --- Cancellation -------------------------------------------------------
+
+  bool Cancelled() const { return cancel_ != nullptr && cancel_->Expired(); }
+
+  Status DeadlineError(size_t l) const {
+    return Status::DeadlineExceeded(
+        "count_nfa: cancelled at length stratum " + std::to_string(l) + "/" +
+        std::to_string(n_));
+  }
+
   const Nfa& nfa_;
   const size_t n_;
   const EstimatorConfig& config_;
   Rng rng_;
   const bool cached_;  // hot-path caches on (off = ablation baseline)
+  const CancelToken* cancel_;
   size_t pool_target_ = 0;
   CountStats stats_;
   std::vector<std::vector<bool>> live_;                       // [l][q]

@@ -42,7 +42,8 @@ class NftaCounter {
         n_(n),
         config_(config),
         rng_(config.seed),
-        cached_(!config.disable_hotpath_caches) {}
+        cached_(!config.disable_hotpath_caches),
+        cancel_(config.cancel) {}
 
   Result<CountEstimate> Run() {
     if (nfta_.HasLambdaTransitions()) {
@@ -50,6 +51,7 @@ class NftaCounter {
           "CountNftaTrees requires a λ-free NFTA (run EliminateLambda)");
     }
     if (n_ == 0) return CountEstimate{ExtFloat(), stats_};
+    if (Cancelled()) return DeadlineError(0);
     pool_target_ = config_.ResolvePoolSize(n_);
 
     ComputeForwardFeasibility();
@@ -68,6 +70,9 @@ class NftaCounter {
 
     AllocateTables();
     for (size_t s = 1; s <= n_; ++s) {
+      // One cancellation poll per size stratum, plus finer-grained polls in
+      // the rejection loops (a single stratum's attempt budget can be large).
+      if (Cancelled()) return DeadlineError(s);
       for (StateId q = 0; q < nfta_.NumStates(); ++q) {
         if (LiveA(q, s)) {
           ++stats_.strata_live;
@@ -83,7 +88,11 @@ class NftaCounter {
           }
         }
       }
+      if (cancel_ != nullptr) cancel_->AddProgress(1);
     }
+    // A rejection loop may have bailed out mid-stratum on an expired token;
+    // the partial tables must not be read as an estimate.
+    if (Cancelled()) return DeadlineError(n_);
     CountEstimate out;
     out.value = EstA(nfta_.initial_state(), n_);
     out.stats = stats_;
@@ -360,6 +369,7 @@ class NftaCounter {
       size_t attempts = 0;
       while (g.accepted.size() < target && attempts < max_attempts) {
         ++attempts;
+        if ((attempts & 255u) == 0 && Cancelled()) break;
         const size_t pick = PickTau();
         TreeSample candidate;
         if (!DrawCandidate(g.taus[pick], &candidate)) continue;
@@ -620,11 +630,22 @@ class NftaCounter {
     stats_.pool_entries += pool.size();
   }
 
+  // --- Cancellation -------------------------------------------------------
+
+  bool Cancelled() const { return cancel_ != nullptr && cancel_->Expired(); }
+
+  Status DeadlineError(size_t s) const {
+    return Status::DeadlineExceeded(
+        "count_nfta: cancelled at size stratum " + std::to_string(s) + "/" +
+        std::to_string(n_));
+  }
+
   const Nfta& nfta_;
   const size_t n_;
   const EstimatorConfig& config_;
   Rng rng_;
   const bool cached_;  // hot-path caches on (off = ablation baseline)
+  const CancelToken* cancel_;
   size_t pool_target_ = 0;
   CountStats stats_;
 

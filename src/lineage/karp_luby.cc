@@ -113,6 +113,13 @@ Result<KarpLubyResult> KarpLubyEstimate(const DnfLineage& lineage,
     const size_t begin = shard * samples / shards;
     const size_t end = (shard + 1) * samples / shards;
     for (size_t s = begin; s < end; ++s) {
+      // Cooperative cancellation: poll every 512 samples. When the token
+      // expires the whole run is discarded below, so stopping mid-shard
+      // cannot bias anything.
+      if (((s - begin) & 511u) == 0 && config.cancel != nullptr) {
+        if (config.cancel->Expired()) break;
+        if (s > begin) config.cancel->AddProgress(512);
+      }
       const size_t j = clause_picker.Pick(&rng);
       // Draw a world conditioned on clause j being satisfied.
       for (FactId f = 0; f < num_facts; ++f) {
@@ -134,6 +141,12 @@ Result<KarpLubyResult> KarpLubyEstimate(const DnfLineage& lineage,
             std::chrono::steady_clock::now() - start)
             .count()));
   });
+  if (config.cancel != nullptr && config.cancel->Expired()) {
+    return Status::DeadlineExceeded(
+        "karp_luby: cancelled after " +
+        std::to_string(config.cancel->progress()) + " recorded samples of " +
+        std::to_string(samples));
+  }
   size_t hits = 0;
   for (uint64_t h : shard_hits) hits += h;
   out.hits = hits;

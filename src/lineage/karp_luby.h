@@ -6,6 +6,7 @@
 
 #include "lineage/lineage.h"
 #include "pdb/probabilistic_database.h"
+#include "util/cancel.h"
 #include "util/result.h"
 
 namespace pqe {
@@ -29,6 +30,12 @@ struct KarpLubyConfig {
   /// scheduling. Changing num_shards changes the sample streams (like
   /// changing the seed), not the estimator's guarantee.
   size_t num_shards = 0;
+  /// Cooperative cancellation (optional, not owned; must outlive the run).
+  /// Each shard polls the token every few hundred samples and stops early
+  /// when it expires; the run then returns StatusCode::kDeadlineExceeded
+  /// instead of a result, after recording per-block progress on the token
+  /// (see util/cancel.h). nullptr (the default) never cancels.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Result of a Karp–Luby run.

@@ -1,0 +1,120 @@
+#include "serve/prepared_cache.h"
+
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace pqe {
+namespace serve {
+
+namespace {
+
+void MixBytes(uint64_t* h, const std::string& s) {
+  for (unsigned char c : s) {
+    *h ^= c;
+    *h *= 1099511628211ull;
+  }
+  // Delimit fields so concatenations can't alias across boundaries.
+  *h ^= 0xffu;
+  *h *= 1099511628211ull;
+}
+
+void MixU64(uint64_t* h, uint64_t v) {
+  *h ^= v;
+  *h *= 1099511628211ull;
+}
+
+}  // namespace
+
+uint64_t PreparedCache::ContentKey(const ConjunctiveQuery& query,
+                                   const Database& db, size_t max_width) {
+  uint64_t h = 1469598103934665603ull;
+  MixBytes(&h, query.ToString(db.schema()));
+  MixU64(&h, db.NumFacts());
+  for (FactId f = 0; f < db.NumFacts(); ++f) {
+    MixBytes(&h, db.FactToString(f));
+  }
+  MixU64(&h, max_width);
+  return h;
+}
+
+PreparedCache::PreparedCache(size_t capacity)
+    : capacity_(capacity < 1 ? 1 : capacity) {}
+
+Result<std::shared_ptr<const PreparedQuery>> PreparedCache::GetOrPrepare(
+    const ConjunctiveQuery& query, const Database& db,
+    const UrConstructionOptions& options) {
+  const uint64_t key = ContentKey(query, db, options.max_width);
+  std::shared_ptr<Slot> slot;
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      // Touch: move to the MRU end.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      it->second = lru_.begin();
+      slot = it->second->second;
+    } else {
+      slot = std::make_shared<Slot>();
+      lru_.emplace_front(key, slot);
+      index_[key] = lru_.begin();
+      inserted = true;
+      while (lru_.size() > capacity_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        obs::MetricRegistry::Global()
+            .GetCounter("serve.cache_evictions")
+            .Increment();
+      }
+    }
+  }
+  if (inserted) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricRegistry::Global().GetCounter("serve.cache_misses").Increment();
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricRegistry::Global().GetCounter("serve.cache_hits").Increment();
+  }
+
+  // Compile outside the cache lock; concurrent requests for this key all
+  // block here and share the one build.
+  std::call_once(slot->once, [&]() {
+    auto prepared = PreparedQuery::Prepare(query, db, options);
+    if (prepared.ok()) {
+      slot->prepared = std::move(*prepared);
+    } else {
+      slot->status = prepared.status();
+    }
+  });
+  if (!slot->status.ok()) {
+    // Don't retain failures: drop the slot (if it's still ours) so a later
+    // request retries instead of replaying a stale error forever.
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end() && it->second->second == slot) {
+      lru_.erase(it->second);
+      index_.erase(it);
+    }
+    return slot->status;
+  }
+  return slot->prepared;
+}
+
+PreparedCache::Stats PreparedCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t PreparedCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace serve
+}  // namespace pqe

@@ -1,0 +1,85 @@
+#ifndef PQE_SERVE_PREPARED_CACHE_H_
+#define PQE_SERVE_PREPARED_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/ur_construction.h"
+#include "cq/query.h"
+#include "pdb/database.h"
+#include "serve/prepared_query.h"
+#include "util/result.h"
+
+namespace pqe {
+namespace serve {
+
+/// A bounded, thread-safe LRU cache of PreparedQuery objects, keyed by the
+/// *content* of the (query, database, max_width) triple — not by object
+/// identity — so two requests carrying equal queries over equal fact sets
+/// share one compiled skeleton no matter which objects they hold.
+///
+/// Concurrency: a key's slot is inserted under the cache lock, but the
+/// (possibly expensive) compile runs outside it under the slot's own
+/// once-flag — concurrent misses on the same key block on one build instead
+/// of compiling in parallel, and misses on different keys never serialize.
+/// Eviction drops the cache's reference only; in-flight evaluations keep
+/// their PreparedQuery alive through shared_ptr.
+class PreparedCache {
+ public:
+  /// `capacity` = maximum number of prepared entries retained (≥ 1).
+  explicit PreparedCache(size_t capacity);
+
+  PreparedCache(const PreparedCache&) = delete;
+  PreparedCache& operator=(const PreparedCache&) = delete;
+
+  /// Returns the cached PreparedQuery for the triple's content, compiling
+  /// and inserting it on miss. A failed compile is returned to every caller
+  /// of that slot and is not retained (the next request retries).
+  Result<std::shared_ptr<const PreparedQuery>> GetOrPrepare(
+      const ConjunctiveQuery& query, const Database& db,
+      const UrConstructionOptions& options);
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+  Stats stats() const;
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+
+  /// The content key: FNV-1a over the rendered query, every fact of the
+  /// database in FactId order, and the width budget. 64-bit fingerprints,
+  /// so distinct workloads collide with negligible probability; a collision
+  /// would serve the colliding key the other key's skeleton.
+  static uint64_t ContentKey(const ConjunctiveQuery& query,
+                             const Database& db, size_t max_width);
+
+ private:
+  struct Slot {
+    std::once_flag once;
+    // Written once under `once`, then read-only.
+    std::shared_ptr<const PreparedQuery> prepared;
+    Status status = Status::OK();
+  };
+
+  const size_t capacity_;
+
+  mutable std::mutex mu_;
+  // MRU-first recency list; the map points into it for O(1) touch/evict.
+  std::list<std::pair<uint64_t, std::shared_ptr<Slot>>> lru_;
+  std::unordered_map<uint64_t, decltype(lru_)::iterator> index_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace serve
+}  // namespace pqe
+
+#endif  // PQE_SERVE_PREPARED_CACHE_H_

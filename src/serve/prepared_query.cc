@@ -1,0 +1,197 @@
+#include "serve/prepared_query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "core/projection.h"
+#include "counting/count_nfa.h"
+#include "counting/count_nfta.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/extfloat.h"
+
+namespace pqe {
+namespace serve {
+
+namespace {
+
+// FNV-1a over the probability labels; the bind cache only needs to tell
+// "same labels as last time" apart from "different labels".
+uint64_t HashProbabilities(const std::vector<Probability>& probs) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(probs.size());
+  for (const Probability& p : probs) {
+    mix(p.num);
+    mix(p.den);
+  }
+  return h;
+}
+
+// Answer-memo key: FNV-1a over every EstimatorConfig field that steers the
+// random draws. num_threads is deliberately excluded (estimates are
+// bit-identical at every thread count — the determinism contract) and so is
+// the cancel token (it can abort a run but never changes a completed one).
+uint64_t HashEstimatorConfig(const EstimatorConfig& config) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  auto mix_double = [&mix](double d) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  mix_double(config.epsilon);
+  mix_double(config.confidence);
+  mix(config.seed);
+  mix(config.pool_size);
+  mix(config.min_pool_size);
+  mix(config.max_pool_size);
+  mix(config.attempt_factor);
+  mix(config.repetitions);
+  mix(config.disable_backward_pruning ? 1 : 0);
+  mix(config.disable_hotpath_caches ? 1 : 0);
+  return h;
+}
+
+// Bound answer memos beyond this many distinct configs reset (a serving
+// workload repeats a handful of configs; unbounded growth is the bug).
+constexpr size_t kAnswerMemoCapacity = 64;
+
+}  // namespace
+
+Result<std::shared_ptr<const PreparedQuery>> PreparedQuery::Prepare(
+    const ConjunctiveQuery& query, const Database& db,
+    const UrConstructionOptions& options) {
+  PQE_TRACE_SPAN_VAR(span, "serve.prepare");
+  span.AttrUint("facts", db.NumFacts());
+  // Route exactly as PqeEngine's kFpras branch does, so prepared answers
+  // match cold engine answers bit for bit.
+  auto prepared = std::shared_ptr<PreparedQuery>(new PreparedQuery());
+  if (query.IsPathQuery() && query.IsSelfJoinFree()) {
+    PQE_ASSIGN_OR_RETURN(PathPqeSkeleton s, BuildPathPqeSkeleton(query, db));
+    prepared->path_.emplace(std::move(s));
+  } else {
+    PQE_ASSIGN_OR_RETURN(PqeSkeleton s, BuildPqeSkeleton(query, db, options));
+    prepared->decomposition_width_ = s.ur.hd.Width();
+    prepared->tree_.emplace(std::move(s));
+  }
+  return std::shared_ptr<const PreparedQuery>(std::move(prepared));
+}
+
+Result<std::shared_ptr<const PreparedQuery::Bound>> PreparedQuery::GetBound(
+    const std::vector<Probability>& probs) const {
+  const uint64_t h = HashProbabilities(probs);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (bound_ != nullptr && bound_->probs_hash == h) {
+      bind_hits_.fetch_add(1, std::memory_order_relaxed);
+      return bound_;
+    }
+  }
+  // Build outside the lock: binds are deterministic, so two threads racing
+  // on the same labels produce interchangeable artifacts and the loser's
+  // work is merely wasted, never wrong.
+  rebinds_.fetch_add(1, std::memory_order_relaxed);
+  auto bound = std::make_shared<Bound>();
+  bound->probs_hash = h;
+  if (path_.has_value()) {
+    PQE_ASSIGN_OR_RETURN(BoundPathNfa b, BindPathPqeNfa(*path_, probs));
+    // Warm the lazily built adjacency CSR before the artifact is shared:
+    // const traversals from concurrent requests must not race on it.
+    b.nfa.WarmAdjacency();
+    bound->path.emplace(std::move(b));
+  } else {
+    PQE_ASSIGN_OR_RETURN(BoundPqeAutomaton b, BindPqeAutomaton(*tree_, probs));
+    b.weighted.WarmRunIndex();
+    bound->tree.emplace(std::move(b));
+  }
+  std::shared_ptr<const Bound> published = std::move(bound);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bound_ = published;
+  }
+  return published;
+}
+
+Result<PqeAnswer> PreparedQuery::EvaluateFpras(
+    const ProbabilisticDatabase& pdb, const EstimatorConfig& config) const {
+  PQE_TRACE_SPAN_VAR(span, "serve.evaluate_prepared");
+  const std::vector<FactId>& original_fact =
+      path_.has_value() ? path_->original_fact : tree_->original_fact;
+  PQE_ASSIGN_OR_RETURN(std::vector<Probability> probs,
+                       ProjectedFactProbabilities(original_fact, pdb));
+  PQE_ASSIGN_OR_RETURN(std::shared_ptr<const Bound> bound, GetBound(probs));
+
+  // Identical request replay: same bind + same draw-steering config means
+  // the counters would reproduce the previous run draw for draw, so the
+  // memoized answer IS the re-run's answer.
+  const uint64_t config_key = HashEstimatorConfig(config);
+  {
+    std::lock_guard<std::mutex> lock(bound->memo_mu);
+    auto it = bound->memo.find(config_key);
+    if (it != bound->memo.end()) {
+      answer_hits_.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricRegistry::Global()
+          .GetCounter("serve.answer_memo_hits")
+          .Increment();
+      return it->second;
+    }
+  }
+
+  PqeAnswer out;
+  out.method_used = PqeMethod::kFpras;
+  CountEstimate count;
+  double log2_d = 0.0;
+  if (bound->path.has_value()) {
+    const BoundPathNfa& m = *bound->path;
+    PQE_ASSIGN_OR_RETURN(count,
+                         CountNfaStrings(m.nfa, m.word_length, config));
+    log2_d = ExtFloat::FromBigUint(m.denominator).Log2();
+    out.automaton = PqeAnswer::AutomatonStats{
+        m.nfa.NumStates(), m.nfa.NumTransitions(), m.word_length,
+        /*decomposition_width=*/0};
+  } else {
+    const BoundPqeAutomaton& m = *bound->tree;
+    PQE_ASSIGN_OR_RETURN(count,
+                         CountNftaTrees(m.weighted, m.tree_size, config));
+    log2_d = ExtFloat::FromBigUint(m.denominator).Log2();
+    out.automaton = PqeAnswer::AutomatonStats{
+        m.weighted.NumStates(), m.weighted.NumTransitions(), m.tree_size,
+        decomposition_width_};
+  }
+  out.count_stats = count.stats;
+  // Pr_H(Q) = d⁻¹ · |L_k|, projected into [0, 1] — the same arithmetic as
+  // PqeEstimate / PathPqeEstimate, so answers stay bit-identical.
+  out.probability = std::min(std::exp2(count.value.Log2() - log2_d), 1.0);
+  {
+    // Only completed runs reach this point (aborted ones returned above via
+    // PQE_ASSIGN_OR_RETURN), so the memo never holds partial answers.
+    std::lock_guard<std::mutex> lock(bound->memo_mu);
+    if (bound->memo.size() >= kAnswerMemoCapacity) bound->memo.clear();
+    bound->memo.emplace(config_key, out);
+  }
+  return out;
+}
+
+uint64_t PreparedQuery::bind_hits() const {
+  return bind_hits_.load(std::memory_order_relaxed);
+}
+
+uint64_t PreparedQuery::rebinds() const {
+  return rebinds_.load(std::memory_order_relaxed);
+}
+
+uint64_t PreparedQuery::answer_hits() const {
+  return answer_hits_.load(std::memory_order_relaxed);
+}
+
+}  // namespace serve
+}  // namespace pqe

@@ -1,0 +1,162 @@
+#include "serve/service.h"
+
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "safeplan/safe_plan.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace pqe {
+namespace serve {
+
+PqeService::PqeService(Options options)
+    : options_(std::move(options)),
+      engine_(options_.engine),
+      cache_(std::make_unique<PreparedCache>(options_.cache_capacity)) {}
+
+EvalResponse PqeService::Evaluate(const EvalRequest& request) const {
+  return EvaluateOne(request, request.request_id,
+                     /*inner_threads_override=*/0);
+}
+
+std::vector<EvalResponse> PqeService::EvaluateBatch(
+    const std::vector<EvalRequest>& requests) const {
+  std::vector<EvalResponse> out(requests.size());
+  const size_t threads = ThreadPool::ResolveNumThreads(options_.num_threads);
+  // The shared pool is not reentrant: when the batch itself fans out, each
+  // request's inner sampling is pinned to one thread. Answers don't change
+  // — every sampling layer is bit-identical across thread counts.
+  const bool parallel = threads > 1 && requests.size() > 1;
+  ParallelFor(threads, requests.size(), [&](size_t i) {
+    const EvalRequest& req = requests[i];
+    const uint64_t id =
+        req.request_id != 0 ? req.request_id : static_cast<uint64_t>(i);
+    out[i] = EvaluateOne(req, id, parallel ? 1 : 0);
+  });
+  return out;
+}
+
+EvalResponse PqeService::EvaluateOne(const EvalRequest& request,
+                                     uint64_t effective_id,
+                                     size_t inner_threads_override) const {
+  // Effective per-request options: request optionals override the service
+  // defaults, and seedless requests get a seed derived from their id so
+  // batch members are independent yet individually reproducible.
+  PqeEngine::Options opts = options_.engine;
+  if (request.method.has_value()) opts.method = *request.method;
+  if (request.epsilon.has_value()) opts.epsilon = *request.epsilon;
+  if (request.collect_trace.has_value()) {
+    opts.collect_trace = *request.collect_trace;
+  }
+  opts.seed = request.seed.has_value()
+                  ? *request.seed
+                  : Rng::DeriveSeed(options_.engine.seed, effective_id);
+  if (inner_threads_override > 0) opts.num_threads = inner_threads_override;
+
+  EvalResponse resp;
+  // kQuery requests whose method resolves to the combined FPRAS take the
+  // prepared fast path; everything else (safe plans, enumeration, lineage
+  // methods, unions, uniform reliability) delegates to a per-request engine
+  // carrying the effective options.
+  bool prepared_route = false;
+  if (request.target == EvalRequest::Target::kQuery &&
+      request.query != nullptr && request.pdb != nullptr) {
+    PqeMethod method = opts.method;
+    if (method == PqeMethod::kAuto) {
+      if (IsSafeQuery(*request.query)) {
+        method = PqeMethod::kSafePlan;
+      } else if (request.pdb->NumFacts() <= opts.enumeration_threshold) {
+        method = PqeMethod::kEnumeration;
+      } else {
+        method = PqeMethod::kFpras;
+      }
+    }
+    prepared_route = method == PqeMethod::kFpras;
+  }
+  if (prepared_route) {
+    resp = EvaluatePrepared(request, effective_id, opts);
+  } else {
+    PqeEngine delegate(opts);
+    EvalRequest forwarded = request;
+    forwarded.request_id = effective_id;
+    // Already folded into opts; clear so the delegate doesn't re-apply.
+    forwarded.method.reset();
+    forwarded.epsilon.reset();
+    forwarded.seed.reset();
+    forwarded.collect_trace.reset();
+    resp = delegate.EvaluateRequest(forwarded);
+  }
+
+  auto& registry = obs::MetricRegistry::Global();
+  registry.GetCounter("serve.requests").Increment();
+  if (resp.deadline_exceeded) {
+    registry.GetCounter("serve.deadline_exceeded").Increment();
+  }
+  registry.GetHistogram("serve.request_ms")
+      .Observe(static_cast<uint64_t>(resp.elapsed_ms));
+  return resp;
+}
+
+EvalResponse PqeService::EvaluatePrepared(
+    const EvalRequest& request, uint64_t effective_id,
+    const PqeEngine::Options& opts) const {
+  const auto start = std::chrono::steady_clock::now();
+  EvalResponse resp;
+  resp.request_id = effective_id;
+
+  std::optional<obs::TraceSession> session;
+  if (opts.collect_trace) {
+    session.emplace("serve.request");
+    obs::SpanAttrUint("request_id", effective_id);
+    obs::SpanAttrUint("facts", request.pdb->NumFacts());
+  }
+
+  std::optional<CancelToken> deadline;
+  const CancelToken* cancel = request.cancel;
+  if (request.deadline_ms > 0) {
+    deadline.emplace(std::chrono::milliseconds(request.deadline_ms),
+                     request.cancel);
+    cancel = &*deadline;
+  }
+
+  auto FinishWith = [&](Result<PqeAnswer> result) {
+    if (result.ok()) {
+      resp.answer = std::move(*result);
+      resp.status = Status::OK();
+      if (session.has_value()) {
+        obs::SpanAttrFloat("probability", resp.answer.probability);
+        resp.answer.trace =
+            std::make_shared<const obs::RunTrace>(session->Finish());
+      }
+    } else {
+      resp.status = result.status();
+    }
+    resp.deadline_exceeded =
+        resp.status.code() == StatusCode::kDeadlineExceeded;
+    if (cancel != nullptr) resp.progress = cancel->progress();
+    resp.elapsed_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    return resp;
+  };
+
+  if (cancel != nullptr && cancel->Expired()) {
+    return FinishWith(Status::DeadlineExceeded(
+        "request expired before evaluation started"));
+  }
+
+  UrConstructionOptions ur_opts;
+  ur_opts.max_width = opts.max_width;
+  auto prepared =
+      cache_->GetOrPrepare(*request.query, request.pdb->database(), ur_opts);
+  if (!prepared.ok()) return FinishWith(prepared.status());
+  const EstimatorConfig config = PqeEngine::MakeEstimatorConfig(opts, cancel);
+  return FinishWith((*prepared)->EvaluateFpras(*request.pdb, config));
+}
+
+}  // namespace serve
+}  // namespace pqe

@@ -1,0 +1,81 @@
+#ifndef PQE_SERVE_SERVICE_H_
+#define PQE_SERVE_SERVICE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/engine.h"
+#include "serve/prepared_cache.h"
+
+namespace pqe {
+namespace serve {
+
+/// The prepared-query serving facade: accepts EvalRequest batches, serves
+/// kFpras-routed conjunctive queries through the PreparedCache (compile
+/// once, rebind per labelling), and delegates every other target/method to
+/// an embedded PqeEngine. Responses never come back as exceptions or hangs:
+/// per-request deadlines (EvalRequest::deadline_ms) are enforced
+/// cooperatively inside the sampling loops, and an expired request returns
+/// a kDeadlineExceeded status with its partial progress.
+///
+/// Determinism: a request's answer depends only on the request itself
+/// (inputs, effective seed) — never on batch size, batch order, or the
+/// serving thread count. Requests without an explicit seed get
+/// Rng::DeriveSeed(engine.seed, request_id), so re-submitting the same
+/// request reproduces the same answer bit for bit, alone or in any batch.
+///
+/// Thread-safe; one service instance is meant to be shared.
+class PqeService {
+ public:
+  struct Options {
+    /// Defaults applied to every request (per-request optionals override).
+    PqeEngine::Options engine;
+    /// Maximum prepared (query, database) skeletons retained.
+    size_t cache_capacity = 32;
+    /// Threads used to fan a batch out (0 = auto: $PQE_THREADS, else 1).
+    /// When a batch runs on >1 threads, each request's inner sampling runs
+    /// single-threaded — the shared pool is not reentrant — which changes
+    /// nothing about the answers (see docs/parallelism.md).
+    size_t num_threads = 0;
+  };
+
+  explicit PqeService(Options options);
+  PqeService() : PqeService(Options{}) {}
+
+  PqeService(const PqeService&) = delete;
+  PqeService& operator=(const PqeService&) = delete;
+
+  /// Serves one request (request_id 0 stays 0; no batch index to borrow).
+  EvalResponse Evaluate(const EvalRequest& request) const;
+
+  /// Serves a batch, fanning out over the shared thread pool. Response i
+  /// answers request i. Requests with request_id == 0 get their batch index
+  /// as effective id (seeds stay per-request deterministic).
+  std::vector<EvalResponse> EvaluateBatch(
+      const std::vector<EvalRequest>& requests) const;
+
+  const Options& options() const { return options_; }
+  const PreparedCache& cache() const { return *cache_; }
+
+ private:
+  /// `inner_threads_override` > 0 pins the request's sampling thread count
+  /// (batch fan-out pins 1; 0 means inherit the engine options).
+  EvalResponse EvaluateOne(const EvalRequest& request, uint64_t effective_id,
+                           size_t inner_threads_override) const;
+
+  /// The prepared fast path; only called for kQuery requests whose method
+  /// resolves to kFpras. Mirrors PqeEngine::EvaluateRequest's envelope
+  /// (deadline token, status mapping, elapsed/progress accounting).
+  EvalResponse EvaluatePrepared(const EvalRequest& request,
+                                uint64_t effective_id,
+                                const PqeEngine::Options& opts) const;
+
+  Options options_;
+  PqeEngine engine_;
+  std::unique_ptr<PreparedCache> cache_;
+};
+
+}  // namespace serve
+}  // namespace pqe
+
+#endif  // PQE_SERVE_SERVICE_H_

@@ -16,13 +16,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/engine.h"
 #include "core/sampling.h"
 #include "cq/parser.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "serve/service.h"
 #include "tools/fact_file.h"
 
 namespace {
@@ -39,6 +42,11 @@ void Usage() {
       "                   $PQE_THREADS, else 1; results do not depend on N)\n"
       "  --ur             report uniform reliability instead of probability\n"
       "  --sample K       print K sampled worlds conditioned on Q holding\n"
+      "  --server-batch F serve the queries in file F (one per line; # and\n"
+      "                   blank lines skipped) through the prepared-query\n"
+      "                   serving layer as one batch; --query is ignored\n"
+      "  --deadline-ms N  per-request wall-clock budget; an expired request\n"
+      "                   returns a typed DeadlineExceeded status\n"
       "  --trace          print the evaluation's span tree (timings)\n"
       "  --trace=json     same, as a JSON document on stdout\n"
       "  --metrics        dump the global metric registry as JSON\n");
@@ -57,6 +65,8 @@ int main(int argc, char** argv) {
   size_t num_threads = 0;
   bool uniform_reliability = false;
   size_t sample_worlds = 0;
+  std::string server_batch_path;
+  uint64_t deadline_ms = 0;
   bool trace_text = false;
   bool trace_json = false;
   bool dump_metrics = false;
@@ -88,6 +98,10 @@ int main(int argc, char** argv) {
       uniform_reliability = true;
     } else if (std::strcmp(argv[i], "--sample") == 0) {
       sample_worlds = std::strtoull(need_value("--sample"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--server-batch") == 0) {
+      server_batch_path = need_value("--server-batch");
+    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
+      deadline_ms = std::strtoull(need_value("--deadline-ms"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       trace_text = true;
     } else if (std::strcmp(argv[i], "--trace=json") == 0) {
@@ -103,7 +117,8 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (data_path.empty() || query_text.empty()) {
+  if (data_path.empty() ||
+      (query_text.empty() && server_batch_path.empty())) {
     Usage();
     return 2;
   }
@@ -119,6 +134,113 @@ int main(int argc, char** argv) {
   // The query parser needs the schema from the data file; relations used
   // only in the query get added with inferred arities.
   Schema schema = pdb.schema();
+
+  PqeEngine::Options::Builder builder;
+  builder.Epsilon(epsilon)
+      .Seed(seed)
+      .MaxWidth(max_width)
+      .NumThreads(num_threads)
+      .CollectTrace(trace_text || trace_json);
+  if (method == "auto") {
+    builder.Method(PqeMethod::kAuto);
+  } else if (method == "fpras") {
+    builder.Method(PqeMethod::kFpras);
+  } else if (method == "safe-plan") {
+    builder.Method(PqeMethod::kSafePlan);
+  } else if (method == "enumeration") {
+    builder.Method(PqeMethod::kEnumeration);
+  } else if (method == "karp-luby") {
+    builder.Method(PqeMethod::kKarpLubyLineage);
+  } else if (method == "exact-lineage") {
+    builder.Method(PqeMethod::kExactLineage);
+  } else if (method == "monte-carlo") {
+    builder.Method(PqeMethod::kMonteCarlo);
+  } else {
+    std::fprintf(stderr, "unknown method: %s\n", method.c_str());
+    return 2;
+  }
+  auto opts_or = builder.Build();
+  if (!opts_or.ok()) {
+    std::fprintf(stderr, "invalid options: %s\n",
+                 opts_or.status().ToString().c_str());
+    return 2;
+  }
+
+  // Batch serving mode: every line of the file is a query evaluated over
+  // the shared database through the prepared-query cache.
+  if (!server_batch_path.empty()) {
+    std::ifstream in(server_batch_path);
+    if (!in) {
+      std::fprintf(stderr, "error opening %s\n", server_batch_path.c_str());
+      return 1;
+    }
+    std::vector<ConjunctiveQuery> queries;
+    std::string line;
+    while (std::getline(in, line)) {
+      const size_t first = line.find_first_not_of(" \t\r");
+      if (first == std::string::npos || line[first] == '#') continue;
+      auto q = ParseQuery(schema, line);
+      if (!q.ok()) {
+        std::fprintf(stderr, "error parsing batch query \"%s\": %s\n",
+                     line.c_str(), q.status().ToString().c_str());
+        return 1;
+      }
+      queries.push_back(q.MoveValue());
+    }
+    std::vector<EvalRequest> requests;
+    requests.reserve(queries.size());
+    for (size_t i = 0; i < queries.size(); ++i) {
+      EvalRequest r = EvalRequest::ForQuery(queries[i], pdb);
+      r.request_id = i + 1;
+      r.deadline_ms = deadline_ms;
+      requests.push_back(r);
+    }
+    serve::PqeService::Options sopts;
+    sopts.engine = *opts_or;
+    sopts.num_threads = num_threads;
+    serve::PqeService service(sopts);
+    std::printf("serving %zu requests over %zu facts\n", requests.size(),
+                pdb.NumFacts());
+    const std::vector<EvalResponse> responses =
+        service.EvaluateBatch(requests);
+    int failures = 0;
+    for (size_t i = 0; i < responses.size(); ++i) {
+      const EvalResponse& resp = responses[i];
+      if (resp.status.ok()) {
+        std::printf("[%llu] Pr(Q) %s %.6f  [%s]  %.1fms  %s\n",
+                    static_cast<unsigned long long>(resp.request_id),
+                    resp.answer.is_exact ? "=" : "~",
+                    resp.answer.probability,
+                    PqeMethodToString(resp.answer.method_used),
+                    resp.elapsed_ms,
+                    queries[i].ToString(schema).c_str());
+      } else if (resp.deadline_exceeded) {
+        std::printf("[%llu] DEADLINE_EXCEEDED after %.1fms (progress=%llu)"
+                    "  %s\n",
+                    static_cast<unsigned long long>(resp.request_id),
+                    resp.elapsed_ms,
+                    static_cast<unsigned long long>(resp.progress),
+                    queries[i].ToString(schema).c_str());
+      } else {
+        std::printf("[%llu] ERROR %s\n",
+                    static_cast<unsigned long long>(resp.request_id),
+                    resp.status.ToString().c_str());
+        ++failures;
+      }
+    }
+    const serve::PreparedCache::Stats cs = service.cache().stats();
+    std::printf("cache: hits=%llu misses=%llu evictions=%llu\n",
+                static_cast<unsigned long long>(cs.hits),
+                static_cast<unsigned long long>(cs.misses),
+                static_cast<unsigned long long>(cs.evictions));
+    if (dump_metrics) {
+      std::printf("%s\n",
+                  obs::MetricsToJson(obs::MetricRegistry::Global().Snapshot())
+                      .c_str());
+    }
+    return failures == 0 ? 0 : 1;
+  }
+
   auto query_or = ParseQuery(schema, query_text);
   if (!query_or.ok()) {
     std::fprintf(stderr, "error parsing query: %s\n",
@@ -126,32 +248,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   ConjunctiveQuery query = query_or.MoveValue();
-
-  PqeEngine::Options opts;
-  opts.epsilon = epsilon;
-  opts.seed = seed;
-  opts.max_width = max_width;
-  opts.num_threads = num_threads;
-  opts.collect_trace = trace_text || trace_json;
-  if (method == "auto") {
-    opts.method = PqeMethod::kAuto;
-  } else if (method == "fpras") {
-    opts.method = PqeMethod::kFpras;
-  } else if (method == "safe-plan") {
-    opts.method = PqeMethod::kSafePlan;
-  } else if (method == "enumeration") {
-    opts.method = PqeMethod::kEnumeration;
-  } else if (method == "karp-luby") {
-    opts.method = PqeMethod::kKarpLubyLineage;
-  } else if (method == "exact-lineage") {
-    opts.method = PqeMethod::kExactLineage;
-  } else if (method == "monte-carlo") {
-    opts.method = PqeMethod::kMonteCarlo;
-  } else {
-    std::fprintf(stderr, "unknown method: %s\n", method.c_str());
-    return 2;
-  }
-  PqeEngine engine(opts);
+  PqeEngine engine(*opts_or);
 
   std::printf("query:    %s\n", query.ToString(schema).c_str());
   std::printf("database: %zu facts (|H| = %zu bits)\n", pdb.NumFacts(),
@@ -166,21 +263,34 @@ int main(int argc, char** argv) {
                 pdb.NumFacts());
     return 0;
   }
-  auto answer = engine.Evaluate(query, pdb);
-  if (!answer.ok()) {
-    std::fprintf(stderr, "error: %s\n", answer.status().ToString().c_str());
+  EvalRequest request = EvalRequest::ForQuery(query, pdb);
+  request.deadline_ms = deadline_ms;
+  const EvalResponse response = engine.EvaluateRequest(request);
+  if (!response.status.ok()) {
+    if (response.deadline_exceeded) {
+      std::fprintf(stderr,
+                   "DEADLINE_EXCEEDED after %.1fms (progress=%llu): %s\n",
+                   response.elapsed_ms,
+                   static_cast<unsigned long long>(response.progress),
+                   response.status.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "error: %s\n",
+                   response.status.ToString().c_str());
+    }
     return 1;
   }
-  std::printf("Pr(Q) %s %.6f   [%s]\n", answer->is_exact ? "=" : "~",
-              answer->probability, PqeMethodToString(answer->method_used));
-  if (!answer->diagnostics.empty()) {
-    std::printf("  %s\n", answer->diagnostics.c_str());
+  const PqeAnswer& answer = response.answer;
+  std::printf("Pr(Q) %s %.6f   [%s]\n", answer.is_exact ? "=" : "~",
+              answer.probability, PqeMethodToString(answer.method_used));
+  const std::string diagnostics = RenderDiagnostics(answer);
+  if (!diagnostics.empty()) {
+    std::printf("  %s\n", diagnostics.c_str());
   }
-  if (answer->trace != nullptr) {
+  if (answer.trace != nullptr) {
     if (trace_json) {
-      std::printf("%s\n", obs::TraceToJson(*answer->trace).c_str());
+      std::printf("%s\n", obs::TraceToJson(*answer.trace).c_str());
     } else if (trace_text) {
-      std::printf("\ntrace:\n%s", obs::RenderTraceText(*answer->trace).c_str());
+      std::printf("\ntrace:\n%s", obs::RenderTraceText(*answer.trace).c_str());
     }
   }
   if (dump_metrics) {

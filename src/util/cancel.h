@@ -1,0 +1,93 @@
+#ifndef PQE_UTIL_CANCEL_H_
+#define PQE_UTIL_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace pqe {
+
+/// Cooperative cancellation handle shared between a request owner and the
+/// sampling loops doing its work (CountNFA/CountNFTA strata, Karp–Luby
+/// shards). Workers poll Expired() at loop granularity — a few hundred
+/// attempts or samples — and abort with StatusCode::kDeadlineExceeded; the
+/// token never preempts anything, so a non-cooperating code path simply runs
+/// to completion.
+///
+/// A token is safe to share across threads: the cancelled flag and the
+/// progress counter are atomics, and the deadline is immutable after
+/// construction. Expired() latches — once it has returned true it keeps
+/// returning true, even if the clock could no longer agree — so every worker
+/// of a run observes the same verdict.
+///
+/// Progress accounting: workers call AddProgress() for each completed unit
+/// (stratum, sample block), giving the request owner a cheap partial-work
+/// figure to report alongside a deadline-exceeded status. Units are
+/// layer-defined and only meaningful relative to the same run.
+class CancelToken {
+ public:
+  /// A token with no deadline; expires only via Cancel() (or its parent).
+  CancelToken() = default;
+
+  /// A token expiring `budget` from now on the steady clock. `parent`, when
+  /// set, chains an outer token: this token is also expired whenever the
+  /// parent is. The parent must outlive this token.
+  explicit CancelToken(std::chrono::nanoseconds budget,
+                       const CancelToken* parent = nullptr)
+      : deadline_ns_(NowNanos() + budget.count()), parent_(parent) {}
+
+  static CancelToken AfterMillis(uint64_t ms,
+                                 const CancelToken* parent = nullptr) {
+    return CancelToken(std::chrono::milliseconds(ms), parent);
+  }
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation explicitly (thread-safe, idempotent).
+  void Cancel() const { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once the token is cancelled, its deadline has passed, or its
+  /// parent has expired. Latching: the first true is sticky.
+  bool Expired() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (parent_ != nullptr && parent_->Expired()) {
+      Cancel();
+      return true;
+    }
+    if (deadline_ns_ != 0 && NowNanos() >= deadline_ns_) {
+      Cancel();
+      return true;
+    }
+    return false;
+  }
+
+  /// Records `n` completed work units (thread-safe).
+  void AddProgress(uint64_t n) const {
+    progress_.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Work units completed so far across all workers.
+  uint64_t progress() const {
+    return progress_.load(std::memory_order_relaxed);
+  }
+
+  /// True when the token was constructed with a deadline.
+  bool has_deadline() const { return deadline_ns_ != 0; }
+
+ private:
+  static int64_t NowNanos() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  mutable std::atomic<bool> cancelled_{false};
+  int64_t deadline_ns_ = 0;  // steady-clock ns; 0 = no deadline
+  const CancelToken* parent_ = nullptr;
+  mutable std::atomic<uint64_t> progress_{0};
+};
+
+}  // namespace pqe
+
+#endif  // PQE_UTIL_CANCEL_H_

@@ -17,6 +17,7 @@ enum class StatusCode {
   kNotFound,          // lookup miss (relation, vertex, ...)
   kOutOfRange,        // numeric/positional overflow
   kResourceExhausted, // configured budget exceeded (width, states, samples)
+  kDeadlineExceeded,  // cooperative cancellation: deadline hit mid-run
   kInternal,          // invariant violation: indicates a library bug
 };
 
@@ -51,6 +52,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

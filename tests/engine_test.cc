@@ -69,7 +69,7 @@ TEST(EngineTest, AutoPicksFprasForLargerUnsafe) {
   ASSERT_TRUE(answer.ok()) << answer.status().ToString();
   EXPECT_EQ(answer->method_used, PqeMethod::kFpras);
   EXPECT_FALSE(answer->is_exact);
-  EXPECT_FALSE(answer->diagnostics.empty());
+  EXPECT_FALSE(RenderDiagnostics(*answer).empty());
 }
 
 TEST(EngineTest, AllMethodsAgreeOnSharedInstance) {
@@ -203,8 +203,9 @@ TEST(EngineTest, FprasAnswerCarriesStructuredStats) {
   EXPECT_GT(answer->automaton->tree_size, 0u);
   EXPECT_FALSE(answer->karp_luby.has_value());
   // The rendered diagnostics line is derived from the same fields.
-  EXPECT_NE(answer->diagnostics.find("pool_entries="), std::string::npos);
-  EXPECT_NE(answer->diagnostics.find("states="), std::string::npos);
+  const std::string diag = RenderDiagnostics(*answer);
+  EXPECT_NE(diag.find("pool_entries="), std::string::npos);
+  EXPECT_NE(diag.find("states="), std::string::npos);
 }
 
 TEST(EngineTest, KarpLubyAnswerCarriesStructuredStats) {
@@ -218,7 +219,7 @@ TEST(EngineTest, KarpLubyAnswerCarriesStructuredStats) {
   ASSERT_TRUE(answer->karp_luby.has_value());
   EXPECT_GT(answer->karp_luby->samples, 0u);
   EXPECT_FALSE(answer->count_stats.has_value());
-  EXPECT_NE(answer->diagnostics.find("samples="), std::string::npos);
+  EXPECT_NE(RenderDiagnostics(*answer).find("samples="), std::string::npos);
 }
 
 }  // namespace

@@ -445,7 +445,7 @@ TEST(PipelineTraceTest, TraceAbsentWhenNotRequested) {
   PqeEngine engine;
   auto answer = engine.Evaluate(qi.query, pdb).MoveValue();
   EXPECT_EQ(answer.trace, nullptr);
-  EXPECT_FALSE(answer.diagnostics.empty());
+  EXPECT_FALSE(RenderDiagnostics(answer).empty());
 }
 
 }  // namespace

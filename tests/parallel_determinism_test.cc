@@ -13,11 +13,13 @@
 
 #include "automata/nfa.h"
 #include "automata/nfta.h"
+#include "core/engine.h"
 #include "counting/count_nfa.h"
 #include "counting/count_nfta.h"
 #include "lineage/karp_luby.h"
 #include "lineage/lineage.h"
 #include "lineage/monte_carlo.h"
+#include "serve/service.h"
 #include "workload/generators.h"
 
 namespace pqe {
@@ -142,6 +144,65 @@ TEST(ParallelDeterminismTest, MonteCarloIdenticalAcrossThreadCounts) {
     EXPECT_EQ(run->probability, base->probability) << "threads=" << threads;
     EXPECT_EQ(run->hits, base->hits) << "threads=" << threads;
     EXPECT_EQ(run->samples, base->samples);
+  }
+}
+
+TEST(ParallelDeterminismTest, ServiceBatchIdenticalAcrossThreadCounts) {
+  // The serving layer extends the contract to EvaluateBatch: the batch
+  // fan-out width must never change any answer. Mixed seeds and labellings
+  // keep every request distinct (no answer-memo shortcuts), and each
+  // response is compared field by field against the single-threaded run.
+  auto qi = MakePathQuery(3).MoveValue();
+  LayeredGraphOptions opt;
+  opt.width = 3;
+  opt.density = 1.0;
+  opt.seed = 7;
+  std::vector<ProbabilisticDatabase> pdbs;
+  for (uint64_t j = 0; j < 2; ++j) {
+    auto db = MakeLayeredPathDatabase(qi, opt).MoveValue();
+    ProbabilityModel pm;
+    pm.max_denominator = 8;
+    pm.seed = 11 + j;
+    pdbs.push_back(AttachProbabilities(std::move(db), pm));
+  }
+  auto opts = PqeEngine::Options::Builder()
+                  .Method(PqeMethod::kFpras)
+                  .Epsilon(0.3)
+                  .Seed(0xfeed)
+                  .PoolSize(48)
+                  .Repetitions(1)
+                  .Build();
+  ASSERT_TRUE(opts.ok());
+
+  std::vector<EvalRequest> batch;
+  for (size_t i = 0; i < 6; ++i) {
+    EvalRequest r = EvalRequest::ForQuery(qi.query, pdbs[i % 2]);
+    r.request_id = i + 1;
+    batch.push_back(r);
+  }
+
+  serve::PqeService::Options base_sopt;
+  base_sopt.engine = *opts;
+  base_sopt.num_threads = 1;
+  const std::vector<EvalResponse> base =
+      serve::PqeService(base_sopt).EvaluateBatch(batch);
+  for (size_t threads : kThreadCounts) {
+    serve::PqeService::Options sopt = base_sopt;
+    sopt.num_threads = threads;
+    const std::vector<EvalResponse> run =
+        serve::PqeService(sopt).EvaluateBatch(batch);
+    ASSERT_EQ(run.size(), base.size());
+    for (size_t i = 0; i < run.size(); ++i) {
+      ASSERT_TRUE(base[i].status.ok()) << base[i].status.ToString();
+      ASSERT_TRUE(run[i].status.ok())
+          << "threads=" << threads << ": " << run[i].status.ToString();
+      EXPECT_EQ(run[i].answer.probability, base[i].answer.probability)
+          << "threads=" << threads << " request=" << i;
+      ASSERT_TRUE(run[i].answer.count_stats.has_value());
+      EXPECT_EQ(run[i].answer.count_stats->ToString(),
+                base[i].answer.count_stats->ToString())
+          << "threads=" << threads << " request=" << i;
+    }
   }
 }
 

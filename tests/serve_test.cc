@@ -1,0 +1,378 @@
+// The serving layer's contract (docs/serving.md): prepared answers are
+// bit-identical to cold engine evaluation, the content-keyed cache
+// hits/misses/evicts deterministically, deadlines surface as typed statuses
+// (never hangs, never throws), and the Options::Builder rejects invalid
+// configurations up front.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "cq/builders.h"
+#include "serve/prepared_cache.h"
+#include "serve/prepared_query.h"
+#include "serve/service.h"
+#include "util/cancel.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace pqe {
+namespace {
+
+PqeEngine::Options ServeOptions() {
+  auto opts = PqeEngine::Options::Builder()
+                  .Method(PqeMethod::kFpras)
+                  .Epsilon(0.3)
+                  .Seed(0xfeed)
+                  .PoolSize(48)
+                  .Repetitions(1)
+                  .NumThreads(1)
+                  .Build();
+  EXPECT_TRUE(opts.ok()) << opts.status().ToString();
+  return *opts;
+}
+
+// A path-route instance (string specialization) with selectable labelling.
+struct PathFixture {
+  QueryInstance qi;
+  ProbabilisticDatabase pdb;
+};
+
+PathFixture MakePathFixture(uint64_t prob_seed) {
+  auto qi = MakePathQuery(3).MoveValue();
+  LayeredGraphOptions opt;
+  opt.width = 3;
+  opt.density = 1.0;
+  opt.seed = 7;
+  auto db = MakeLayeredPathDatabase(qi, opt).MoveValue();
+  ProbabilityModel pm;
+  pm.max_denominator = 8;
+  pm.seed = prob_seed;
+  return {std::move(qi), AttachProbabilities(std::move(db), pm)};
+}
+
+// A tree-route instance (generic NFTA pipeline; star queries are not path
+// queries).
+PathFixture MakeStarFixture() {
+  auto qi = MakeStarQuery(3).MoveValue();
+  StarDataOptions opt;
+  opt.hubs = 2;
+  opt.spokes_per_hub = 2;
+  opt.density = 1.0;
+  opt.seed = 5;
+  auto db = MakeStarDatabase(qi, opt).MoveValue();
+  ProbabilityModel pm;
+  pm.max_denominator = 8;
+  pm.seed = 11;
+  return {std::move(qi), AttachProbabilities(std::move(db), pm)};
+}
+
+void ExpectSameAnswer(const PqeAnswer& a, const PqeAnswer& b) {
+  EXPECT_EQ(a.probability, b.probability);
+  EXPECT_EQ(a.method_used, b.method_used);
+  ASSERT_EQ(a.count_stats.has_value(), b.count_stats.has_value());
+  if (a.count_stats.has_value()) {
+    EXPECT_EQ(a.count_stats->ToString(), b.count_stats->ToString());
+  }
+}
+
+// --- Options::Builder validation -----------------------------------------
+
+TEST(OptionsBuilderTest, RejectsOutOfRangeEpsilon) {
+  EXPECT_FALSE(PqeEngine::Options::Builder().Epsilon(0.0).Build().ok());
+  EXPECT_FALSE(PqeEngine::Options::Builder().Epsilon(1.0).Build().ok());
+  EXPECT_FALSE(PqeEngine::Options::Builder().Epsilon(-0.5).Build().ok());
+  EXPECT_TRUE(PqeEngine::Options::Builder().Epsilon(0.5).Build().ok());
+}
+
+TEST(OptionsBuilderTest, RejectsZeroMaxWidth) {
+  auto bad = PqeEngine::Options::Builder().MaxWidth(0).Build();
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(PqeEngine::Options::Builder().MaxWidth(1).Build().ok());
+}
+
+TEST(OptionsBuilderTest, RejectsInconsistentPoolBounds) {
+  EXPECT_FALSE(PqeEngine::Options::Builder()
+                   .PoolSize(100)
+                   .MaxPoolSize(50)
+                   .Build()
+                   .ok());
+  EXPECT_FALSE(PqeEngine::Options::Builder().Repetitions(0).Build().ok());
+}
+
+// --- EvaluateRequest and the deprecated forwards --------------------------
+
+TEST(EvaluateRequestTest, DeprecatedEvaluateForwardsBitIdentically) {
+  PathFixture fx = MakePathFixture(100);
+  PqeEngine engine(ServeOptions());
+  auto old_api = engine.Evaluate(fx.qi.query, fx.pdb);
+  ASSERT_TRUE(old_api.ok()) << old_api.status().ToString();
+  const EvalResponse resp =
+      engine.EvaluateRequest(EvalRequest::ForQuery(fx.qi.query, fx.pdb));
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  ExpectSameAnswer(resp.answer, *old_api);
+}
+
+TEST(EvaluateRequestTest, RejectsMissingPointers) {
+  PqeEngine engine(ServeOptions());
+  EvalRequest r;
+  r.target = EvalRequest::Target::kQuery;
+  const EvalResponse resp = engine.EvaluateRequest(r);
+  EXPECT_EQ(resp.status.code(), StatusCode::kInvalidArgument);
+}
+
+// --- Service vs cold engine ----------------------------------------------
+
+TEST(ServeTest, ServedAnswerMatchesColdEngine) {
+  PathFixture fx = MakePathFixture(100);
+  const PqeEngine::Options opts = ServeOptions();
+
+  EvalRequest r = EvalRequest::ForQuery(fx.qi.query, fx.pdb);
+  r.request_id = 1;
+  r.seed = 0xabc;
+
+  PqeEngine engine(opts);
+  const EvalResponse cold = engine.EvaluateRequest(r);
+  ASSERT_TRUE(cold.status.ok()) << cold.status.ToString();
+
+  serve::PqeService::Options sopt;
+  sopt.engine = opts;
+  sopt.num_threads = 1;
+  serve::PqeService service(sopt);
+  const EvalResponse served = service.Evaluate(r);
+  ASSERT_TRUE(served.status.ok()) << served.status.ToString();
+  EXPECT_EQ(served.answer.method_used, PqeMethod::kFpras);
+  ExpectSameAnswer(served.answer, cold.answer);
+}
+
+TEST(ServeTest, TreeRouteServesThroughPreparedCacheToo) {
+  PathFixture fx = MakeStarFixture();
+  const PqeEngine::Options opts = ServeOptions();
+  EvalRequest r = EvalRequest::ForQuery(fx.qi.query, fx.pdb);
+  r.seed = 0xabc;
+
+  PqeEngine engine(opts);
+  const EvalResponse cold = engine.EvaluateRequest(r);
+  ASSERT_TRUE(cold.status.ok()) << cold.status.ToString();
+
+  serve::PqeService::Options sopt;
+  sopt.engine = opts;
+  serve::PqeService service(sopt);
+  const EvalResponse served = service.Evaluate(r);
+  ASSERT_TRUE(served.status.ok()) << served.status.ToString();
+  ExpectSameAnswer(served.answer, cold.answer);
+  EXPECT_EQ(service.cache().stats().misses, 1u);
+}
+
+TEST(ServeTest, SeedlessRequestsDeriveFromRequestId) {
+  // The documented contract: a request without a seed runs at
+  // DeriveSeed(service seed, request_id), so batch members are independent
+  // yet individually reproducible.
+  PathFixture fx = MakePathFixture(100);
+  const PqeEngine::Options opts = ServeOptions();
+
+  serve::PqeService::Options sopt;
+  sopt.engine = opts;
+  serve::PqeService service(sopt);
+  EvalRequest anon = EvalRequest::ForQuery(fx.qi.query, fx.pdb);
+  anon.request_id = 5;
+  const EvalResponse served = service.Evaluate(anon);
+  ASSERT_TRUE(served.status.ok()) << served.status.ToString();
+
+  PqeEngine engine(opts);
+  EvalRequest pinned = anon;
+  pinned.seed = Rng::DeriveSeed(opts.seed, 5);
+  const EvalResponse cold = engine.EvaluateRequest(pinned);
+  ASSERT_TRUE(cold.status.ok());
+  ExpectSameAnswer(served.answer, cold.answer);
+}
+
+// --- PreparedCache: hit / miss / eviction determinism ---------------------
+
+TEST(ServeTest, CacheHitsMissesAndEvictsDeterministically) {
+  PathFixture a = MakePathFixture(100);
+  // A second database with different facts (different generator seed) so the
+  // content keys differ.
+  auto qi2 = MakePathQuery(3).MoveValue();
+  LayeredGraphOptions opt;
+  opt.width = 3;
+  opt.density = 0.5;
+  opt.seed = 9;
+  auto db2 = MakeLayeredPathDatabase(qi2, opt).MoveValue();
+  ProbabilityModel pm;
+  pm.max_denominator = 8;
+  pm.seed = 100;
+  ProbabilisticDatabase pdb2 = AttachProbabilities(std::move(db2), pm);
+
+  const PqeEngine::Options opts = ServeOptions();
+  serve::PqeService::Options sopt;
+  sopt.engine = opts;
+  sopt.cache_capacity = 1;  // force evictions on alternation
+  serve::PqeService service(sopt);
+
+  EvalRequest ra = EvalRequest::ForQuery(a.qi.query, a.pdb);
+  ra.seed = 0xabc;
+  EvalRequest rb = EvalRequest::ForQuery(qi2.query, pdb2);
+  rb.seed = 0xabc;
+
+  PqeEngine engine(opts);
+  const EvalResponse cold_a = engine.EvaluateRequest(ra);
+  const EvalResponse cold_b = engine.EvaluateRequest(rb);
+  ASSERT_TRUE(cold_a.status.ok() && cold_b.status.ok());
+
+  // a: miss; b: miss + evict a; a: miss + evict b; a: hit.
+  ExpectSameAnswer(service.Evaluate(ra).answer, cold_a.answer);
+  ExpectSameAnswer(service.Evaluate(rb).answer, cold_b.answer);
+  ExpectSameAnswer(service.Evaluate(ra).answer, cold_a.answer);
+  ExpectSameAnswer(service.Evaluate(ra).answer, cold_a.answer);
+
+  const serve::PreparedCache::Stats stats = service.cache().stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(service.cache().size(), 1u);
+}
+
+TEST(ServeTest, ContentKeySeesFactsNotObjectIdentity) {
+  PathFixture a = MakePathFixture(100);
+  PathFixture b = MakePathFixture(200);  // same facts, different labels
+  const uint64_t ka = serve::PreparedCache::ContentKey(
+      a.qi.query, a.pdb.database(), /*max_width=*/3);
+  const uint64_t kb = serve::PreparedCache::ContentKey(
+      b.qi.query, b.pdb.database(), /*max_width=*/3);
+  // Probability labels are not part of the key: the skeleton is
+  // probability-independent, so both labellings share one PreparedQuery.
+  EXPECT_EQ(ka, kb);
+  EXPECT_NE(ka, serve::PreparedCache::ContentKey(a.qi.query,
+                                                 a.pdb.database(),
+                                                 /*max_width=*/4));
+}
+
+// --- PreparedQuery: rebind bit-identity and the answer memo ---------------
+
+TEST(ServeTest, RebindMatchesColdBuildBitForBit) {
+  PathFixture a = MakePathFixture(100);
+  PathFixture b = MakePathFixture(200);  // same facts, new labelling
+  const PqeEngine::Options opts = ServeOptions();
+
+  auto prepared = serve::PreparedQuery::Prepare(a.qi.query, a.pdb.database(),
+                                                UrConstructionOptions{});
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_TRUE((*prepared)->is_path_route());
+
+  EstimatorConfig cfg = PqeEngine::MakeEstimatorConfig(opts, nullptr);
+  PqeEngine engine(opts);
+  EvalRequest ra = EvalRequest::ForQuery(a.qi.query, a.pdb);
+  ra.seed = cfg.seed;
+  EvalRequest rb = EvalRequest::ForQuery(b.qi.query, b.pdb);
+  rb.seed = cfg.seed;
+
+  // Labelling A (cold bind), labelling B (rebind), labelling A again
+  // (rebind again — the slot holds one labelling at a time).
+  auto pa = (*prepared)->EvaluateFpras(a.pdb, cfg);
+  auto pb = (*prepared)->EvaluateFpras(b.pdb, cfg);
+  auto pa2 = (*prepared)->EvaluateFpras(a.pdb, cfg);
+  ASSERT_TRUE(pa.ok() && pb.ok() && pa2.ok());
+  ExpectSameAnswer(*pa, engine.EvaluateRequest(ra).answer);
+  ExpectSameAnswer(*pb, engine.EvaluateRequest(rb).answer);
+  ExpectSameAnswer(*pa2, *pa);
+  EXPECT_EQ((*prepared)->rebinds(), 3u);
+  EXPECT_EQ((*prepared)->bind_hits(), 0u);
+}
+
+TEST(ServeTest, AnswerMemoReplaysIdenticalRequestsOnly) {
+  PathFixture fx = MakePathFixture(100);
+  const PqeEngine::Options opts = ServeOptions();
+  auto prepared = serve::PreparedQuery::Prepare(fx.qi.query, fx.pdb.database(),
+                                                UrConstructionOptions{});
+  ASSERT_TRUE(prepared.ok());
+
+  EstimatorConfig cfg = PqeEngine::MakeEstimatorConfig(opts, nullptr);
+  auto first = (*prepared)->EvaluateFpras(fx.pdb, cfg);
+  auto replay = (*prepared)->EvaluateFpras(fx.pdb, cfg);
+  ASSERT_TRUE(first.ok() && replay.ok());
+  ExpectSameAnswer(*replay, *first);
+  EXPECT_EQ((*prepared)->answer_hits(), 1u);
+  EXPECT_EQ((*prepared)->bind_hits(), 1u);
+
+  // A different seed is a different request: fresh samples, no memo hit.
+  cfg.seed ^= 1;
+  auto fresh = (*prepared)->EvaluateFpras(fx.pdb, cfg);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ((*prepared)->answer_hits(), 1u);
+}
+
+// --- Deadlines: typed status, never a hang --------------------------------
+
+TEST(ServeTest, ExpiredDeadlineReturnsTypedStatus) {
+  PathFixture fx = MakePathFixture(100);
+  serve::PqeService::Options sopt;
+  sopt.engine = ServeOptions();
+  serve::PqeService service(sopt);
+
+  CancelToken cancelled;
+  cancelled.Cancel();
+  EvalRequest r = EvalRequest::ForQuery(fx.qi.query, fx.pdb);
+  r.request_id = 1;
+  r.deadline_ms = 60'000;  // generous deadline; the parent token is what
+  r.cancel = &cancelled;   // expires — deterministic in tests
+  const std::vector<EvalResponse> resp = service.EvaluateBatch({r});
+  ASSERT_EQ(resp.size(), 1u);
+  EXPECT_FALSE(resp[0].status.ok());
+  EXPECT_EQ(resp[0].status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(resp[0].deadline_exceeded);
+  EXPECT_EQ(resp[0].request_id, 1u);
+}
+
+TEST(ServeTest, DeadlineInsideBatchDoesNotPoisonNeighbors) {
+  PathFixture fx = MakePathFixture(100);
+  serve::PqeService::Options sopt;
+  sopt.engine = ServeOptions();
+  serve::PqeService service(sopt);
+
+  CancelToken cancelled;
+  cancelled.Cancel();
+  EvalRequest ok_req = EvalRequest::ForQuery(fx.qi.query, fx.pdb);
+  ok_req.request_id = 1;
+  ok_req.seed = 0xabc;
+  EvalRequest dead_req = ok_req;
+  dead_req.request_id = 2;
+  dead_req.cancel = &cancelled;
+  const std::vector<EvalResponse> resp =
+      service.EvaluateBatch({ok_req, dead_req, ok_req});
+  ASSERT_EQ(resp.size(), 3u);
+  EXPECT_TRUE(resp[0].status.ok()) << resp[0].status.ToString();
+  EXPECT_TRUE(resp[1].deadline_exceeded);
+  EXPECT_TRUE(resp[2].status.ok());
+  ExpectSameAnswer(resp[2].answer, resp[0].answer);
+}
+
+// --- Batch API ------------------------------------------------------------
+
+TEST(ServeTest, BatchAssignsIndexIdsAndStaysReproducible) {
+  PathFixture fx = MakePathFixture(100);
+  serve::PqeService::Options sopt;
+  sopt.engine = ServeOptions();
+  serve::PqeService service(sopt);
+
+  // request_id 0 means "use the batch index" — two identical anonymous
+  // requests at different indices draw different seeds.
+  EvalRequest r = EvalRequest::ForQuery(fx.qi.query, fx.pdb);
+  const std::vector<EvalResponse> resp = service.EvaluateBatch({r, r});
+  ASSERT_EQ(resp.size(), 2u);
+  ASSERT_TRUE(resp[0].status.ok() && resp[1].status.ok());
+  EXPECT_EQ(resp[0].request_id, 0u);
+  EXPECT_EQ(resp[1].request_id, 1u);
+
+  // And the whole batch replays bit-identically.
+  const std::vector<EvalResponse> again = service.EvaluateBatch({r, r});
+  ExpectSameAnswer(again[0].answer, resp[0].answer);
+  ExpectSameAnswer(again[1].answer, resp[1].answer);
+}
+
+}  // namespace
+}  // namespace pqe
