@@ -1,0 +1,153 @@
+// E13 — workload capture/replay (docs/serving.md): the whole-pipeline
+// regression oracle. Serves a mixed batch through PqeService with capture
+// enabled, then replays the captured JSONL through a fresh service and
+// verifies every replayed answer equals its recorded one bit for bit — the
+// determinism contract makes any mismatch a behavior change somewhere in
+// the pipeline (parser, decomposition, gadgets, counting, seeding).
+//
+//   bench_replay [--smoke] [--metrics_out=FILE]
+//
+// Gauges: pqe.bench.replay.{requests,serve_ms,replay_ms,matched,mismatched}.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "cq/builders.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "serve/service.h"
+#include "serve/workload.h"
+#include "util/check.h"
+#include "workload/generators.h"
+
+namespace pqe {
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string CaptureFilePath() {
+  const char* tmpdir = std::getenv("TMPDIR");
+  std::string dir = tmpdir != nullptr ? tmpdir : "/tmp";
+  return dir + "/pqe_bench_replay_capture.jsonl";
+}
+
+void RunReplayBench(size_t requests) {
+  auto qi = MakePathQuery(4).MoveValue();
+  LayeredGraphOptions gopt;
+  gopt.width = 3;
+  gopt.density = 0.6;
+  gopt.seed = 3;
+  auto db = MakeLayeredPathDatabase(qi, gopt).MoveValue();
+  ProbabilityModel pm;
+  pm.max_denominator = 8;
+  pm.seed = 100;
+  ProbabilisticDatabase pdb = AttachProbabilities(std::move(db), pm);
+
+  auto opts = PqeEngine::Options::Builder()
+                  .Method(PqeMethod::kFpras)
+                  .Epsilon(0.25)
+                  .Seed(0xbe7c)
+                  .PoolSize(48)
+                  .Repetitions(1)
+                  .NumThreads(1)
+                  .Build();
+  PQE_CHECK(opts.ok());
+
+  const std::string capture_path = CaptureFilePath();
+  std::remove(capture_path.c_str());
+
+  // Serve with capture on: epsilons vary across requests so the replay
+  // exercises distinct estimator configurations, and seedless requests get
+  // per-id derived seeds — the capture must reproduce those too.
+  serve::PqeService::Options sopt;
+  sopt.engine = *opts;
+  sopt.num_threads = 1;
+  sopt.capture_path = capture_path;
+  {
+    serve::PqeService service(sopt);
+    PQE_CHECK(service.capture_status().ok());
+    std::vector<EvalRequest> reqs;
+    for (size_t i = 0; i < requests; ++i) {
+      EvalRequest r = EvalRequest::ForQuery(qi.query, pdb);
+      r.request_id = i + 1;
+      r.epsilon = i % 2 == 0 ? 0.25 : 0.3;
+      reqs.push_back(r);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::vector<EvalResponse> responses = service.EvaluateBatch(reqs);
+    const double serve_ms = MillisSince(t0);
+    for (const EvalResponse& resp : responses) PQE_CHECK(resp.status.ok());
+    obs::MetricRegistry::Global()
+        .GetGauge("pqe.bench.replay.serve_ms")
+        .Set(serve_ms);
+    std::printf("  served   %zu requests in %.1f ms (captured to %s)\n",
+                requests, serve_ms, capture_path.c_str());
+  }
+
+  // Replay through a FRESH service — nothing warm carries over; only the
+  // determinism contract makes the answers line up.
+  auto records = serve::LoadWorkloadFile(capture_path);
+  PQE_CHECK(records.ok());
+  PQE_CHECK(records->size() == requests);
+  serve::PqeService::Options replay_opts = sopt;
+  replay_opts.capture_path.clear();
+  serve::PqeService replay_service(replay_opts);
+  const auto t0 = std::chrono::steady_clock::now();
+  auto report = serve::ReplayWorkload(replay_service, pdb, *records);
+  const double replay_ms = MillisSince(t0);
+  PQE_CHECK(report.ok());
+  std::printf("  %s in %.1f ms\n", report->Summary().c_str(), replay_ms);
+  for (const std::string& detail : report->mismatch_details) {
+    std::printf("    %s\n", detail.c_str());
+  }
+  PQE_CHECK(report->replayed == requests);
+  PQE_CHECK(report->matched == requests);
+  PQE_CHECK(report->Clean());
+
+  auto& reg = obs::MetricRegistry::Global();
+  reg.GetGauge("pqe.bench.replay.requests")
+      .Set(static_cast<double>(requests));
+  reg.GetGauge("pqe.bench.replay.replay_ms").Set(replay_ms);
+  reg.GetGauge("pqe.bench.replay.matched")
+      .Set(static_cast<double>(report->matched));
+  reg.GetGauge("pqe.bench.replay.mismatched")
+      .Set(static_cast<double>(report->mismatched));
+  std::remove(capture_path.c_str());
+}
+
+}  // namespace
+}  // namespace pqe
+
+int main(int argc, char** argv) {
+  setvbuf(stdout, nullptr, _IONBF, 0);
+  using namespace pqe;
+  const std::string metrics_out = obs::ConsumeMetricsOutFlag(&argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  std::printf(
+      "E13 — workload capture/replay: bit-identical regression oracle\n"
+      "==============================================================\n\n");
+  RunReplayBench(smoke ? 8 : 32);
+  std::printf("\ndeterminism: every replayed answer matched its capture bit "
+              "for bit\n");
+  if (!metrics_out.empty()) {
+    Status status = obs::WriteMetricsJsonFile(metrics_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--metrics_out: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  return 0;
+}

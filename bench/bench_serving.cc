@@ -229,7 +229,10 @@ int main(int argc, char** argv) {
   std::printf("  %-8s %9s  %10s %10s %10s %9s %9s\n", "cell", "", "cold_ms",
               "warm_ms", "rebind_ms", "warm", "rebind");
   if (smoke) {
-    MeasureCell("e4.w3", /*width=*/3, /*requests=*/8,
+    // 24 requests — the same cell shape as the committed full run, so
+    // bench_compare can gate the smoke output directly against
+    // BENCH_serving.json (speedup_warm scales with the request count).
+    MeasureCell("e4.w3", /*width=*/3, /*requests=*/24,
                 /*gate_speedup=*/false);
   } else {
     MeasureCell("e4.w3", /*width=*/3, /*requests=*/24,

@@ -10,6 +10,7 @@
 #   ./ci.sh tsan       # just ThreadSanitizer (PQE_THREADS=8)
 #   ./ci.sh serve_smoke # batch serving CLI under TSan (PQE_THREADS=8)
 #   ./ci.sh perf_smoke # counting hot-path + serving perf smokes
+#   ./ci.sh bench_gate # perf-regression gate vs committed BENCH_*.json
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -137,6 +138,36 @@ EOF
   fi
 }
 
+bench_gate() {
+  # Perf-regression gate: run the smoke benches and diff their speedup
+  # gauges against the committed baselines with bench_compare; any gauge
+  # more than 25% below its baseline fails the stage. Only speedup gauges
+  # (ratios within one run) are gated — raw millisecond gauges vary too
+  # much across machines. The sanitizer configurations never run this
+  # stage (they build with PQE_BUILD_BENCHMARKS=OFF; instrumented timings
+  # are meaningless); set PQE_BENCH_GATE_ADVISORY=1 to print the
+  # comparison without failing on other noisy machines.
+  echo "==== bench-gate: build ===="
+  cmake -B build -S . >/dev/null
+  cmake --build build -j "${JOBS}" \
+    --target bench_counting_hotpath bench_serving bench_replay bench_compare
+  local adv=""
+  [[ "${PQE_BENCH_GATE_ADVISORY:-0}" != "0" ]] && adv="--advisory"
+  echo "==== bench-gate: run smoke benches ===="
+  ./build/bench/bench_counting_hotpath --smoke \
+    --metrics_out=build/bench_gate_hotpath.json
+  ./build/bench/bench_serving --smoke \
+    --metrics_out=build/bench_gate_serving.json
+  # The replay bench is its own gate: it asserts every replayed answer
+  # matches its capture bit for bit.
+  ./build/bench/bench_replay --smoke
+  echo "==== bench-gate: compare against committed baselines ===="
+  ./build/src/bench_compare --baseline BENCH_counting_hotpath.smoke.json \
+    --fresh build/bench_gate_hotpath.json ${adv}
+  ./build/src/bench_compare --baseline BENCH_serving.json \
+    --fresh build/bench_gate_serving.json ${adv}
+}
+
 if [[ $# -eq 0 ]]; then
   tier1
   notrace
@@ -144,6 +175,7 @@ if [[ $# -eq 0 ]]; then
   tsan
   serve_smoke
   perf_smoke
+  bench_gate
 else
   for target in "$@"; do
     "${target}"

@@ -208,16 +208,15 @@ EvalResponse PqeEngine::EvaluateRequest(const EvalRequest& request) const {
         return FinishWith(Status::InvalidArgument(
             "EvalRequest(kQuery) requires query and pdb"));
       }
-      return FinishWith(
-          EvaluateQueryImpl(*request.query, *request.pdb, opts, cancel));
+      return FinishWith(EvaluateQueryImpl(*request.query, *request.pdb, opts,
+                                          cancel, request.request_id));
     case EvalRequest::Target::kUnion:
       if (request.union_query == nullptr || request.pdb == nullptr) {
         return FinishWith(Status::InvalidArgument(
             "EvalRequest(kUnion) requires union_query and pdb"));
       }
-      return FinishWith(
-          EvaluateUnionImpl(*request.union_query, *request.pdb, opts,
-                            cancel));
+      return FinishWith(EvaluateUnionImpl(*request.union_query, *request.pdb,
+                                          opts, cancel, request.request_id));
     case EvalRequest::Target::kUniformReliability:
       if (request.query == nullptr || request.db == nullptr) {
         return FinishWith(Status::InvalidArgument(
@@ -231,7 +230,8 @@ EvalResponse PqeEngine::EvaluateRequest(const EvalRequest& request) const {
 
 Result<PqeAnswer> PqeEngine::EvaluateQueryImpl(
     const ConjunctiveQuery& query, const ProbabilisticDatabase& pdb,
-    const Options& opts, const CancelToken* cancel) const {
+    const Options& opts, const CancelToken* cancel,
+    uint64_t request_id) const {
   PqeMethod method = opts.method;
   if (method == PqeMethod::kAuto) {
     if (IsSafeQuery(query)) {
@@ -245,6 +245,7 @@ Result<PqeAnswer> PqeEngine::EvaluateQueryImpl(
   std::optional<obs::TraceSession> session;
   if (opts.collect_trace) {
     session.emplace("engine.evaluate");
+    obs::SpanAttrUint("request_id", request_id);
     obs::SpanAttrText("method", PqeMethodToString(method));
     obs::SpanAttrUint("facts", pdb.NumFacts());
     obs::SpanAttrFloat("epsilon", opts.epsilon);
@@ -343,10 +344,12 @@ Result<PqeAnswer> PqeEngine::EvaluateQueryImpl(
 
 Result<PqeAnswer> PqeEngine::EvaluateUnionImpl(
     const UnionQuery& query, const ProbabilisticDatabase& pdb,
-    const Options& opts, const CancelToken* cancel) const {
+    const Options& opts, const CancelToken* cancel,
+    uint64_t request_id) const {
   std::optional<obs::TraceSession> session;
   if (opts.collect_trace) {
     session.emplace("engine.evaluate_union");
+    obs::SpanAttrUint("request_id", request_id);
     obs::SpanAttrUint("facts", pdb.NumFacts());
     obs::SpanAttrUint("disjuncts", query.NumDisjuncts());
   }

@@ -261,14 +261,18 @@ class PqeEngine {
                                              const CancelToken* cancel);
 
  private:
+  // `request_id` is attached to the evaluation's trace session so batch
+  // traces stay attributable per request.
   Result<PqeAnswer> EvaluateQueryImpl(const ConjunctiveQuery& query,
                                       const ProbabilisticDatabase& pdb,
                                       const Options& opts,
-                                      const CancelToken* cancel) const;
+                                      const CancelToken* cancel,
+                                      uint64_t request_id) const;
   Result<PqeAnswer> EvaluateUnionImpl(const UnionQuery& query,
                                       const ProbabilisticDatabase& pdb,
                                       const Options& opts,
-                                      const CancelToken* cancel) const;
+                                      const CancelToken* cancel,
+                                      uint64_t request_id) const;
   Result<PqeAnswer> EvaluateUrImpl(const ConjunctiveQuery& query,
                                    const Database& db, const Options& opts,
                                    const CancelToken* cancel) const;

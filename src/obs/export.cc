@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 
 namespace pqe {
 namespace obs {
@@ -69,8 +70,12 @@ JsonWriter& JsonWriter::Double(double value) {
     out_.append("null");
     return *this;
   }
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  // max_digits10 precision: a correctly-rounding reader (strtod, ParseJson)
+  // recovers the exact bit pattern, which the workload replay oracle and
+  // bench_compare rely on.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.*g",
+                std::numeric_limits<double>::max_digits10, value);
   out_.append(buf);
   return *this;
 }
@@ -258,6 +263,86 @@ std::string MetricsToJson(const MetricsSnapshot& snapshot) {
   writer.EndObject();
   writer.EndObject();
   return writer.Take();
+}
+
+std::string OpenMetricsName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out[0] >= '0' && out[0] <= '9') out.insert(0, 1, '_');
+  return out;
+}
+
+namespace {
+
+// One "%.*g" double in OpenMetrics sample syntax (no JSON null fallback:
+// exposition uses literal NaN/Inf spellings, though our metrics never emit
+// them in practice).
+void AppendOmDouble(double value, std::string* out) {
+  if (std::isnan(value)) {
+    out->append("NaN");
+    return;
+  }
+  if (std::isinf(value)) {
+    out->append(value > 0 ? "+Inf" : "-Inf");
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.*g",
+                std::numeric_limits<double>::max_digits10, value);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string MetricsToOpenMetrics(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& e : snapshot.counters) {
+    std::string name = OpenMetricsName(e.name);
+    // OpenMetrics: the counter sample is <family>_total, and the family name
+    // itself must not end in _total — strip one if the source name has it.
+    constexpr std::string_view kTotal = "_total";
+    if (name.size() > kTotal.size() &&
+        name.compare(name.size() - kTotal.size(), kTotal.size(), kTotal) ==
+            0) {
+      name.resize(name.size() - kTotal.size());
+    }
+    out.append("# TYPE ").append(name).append(" counter\n");
+    out.append(name).append("_total ").append(std::to_string(e.value));
+    out.push_back('\n');
+  }
+  for (const auto& e : snapshot.gauges) {
+    const std::string name = OpenMetricsName(e.name);
+    out.append("# TYPE ").append(name).append(" gauge\n");
+    out.append(name).push_back(' ');
+    AppendOmDouble(e.value, &out);
+    out.push_back('\n');
+  }
+  for (const auto& e : snapshot.histograms) {
+    const std::string name = OpenMetricsName(e.name);
+    out.append("# TYPE ").append(name).append(" histogram\n");
+    uint64_t cumulative = 0;
+    for (const auto& [le, count] : e.buckets) {
+      cumulative += count;
+      out.append(name).append("_bucket{le=\"");
+      out.append(std::to_string(le));
+      out.append("\"} ").append(std::to_string(cumulative));
+      out.push_back('\n');
+    }
+    out.append(name).append("_bucket{le=\"+Inf\"} ");
+    out.append(std::to_string(e.count));
+    out.push_back('\n');
+    out.append(name).append("_sum ").append(std::to_string(e.sum));
+    out.push_back('\n');
+    out.append(name).append("_count ").append(std::to_string(e.count));
+    out.push_back('\n');
+  }
+  out.append("# EOF\n");
+  return out;
 }
 
 std::string ConsumeMetricsOutFlag(int* argc, char** argv) {

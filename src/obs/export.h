@@ -61,6 +61,18 @@ std::string RenderTraceText(const RunTrace& trace);
 /// {"metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}}.
 std::string MetricsToJson(const MetricsSnapshot& snapshot);
 
+/// Serializes a metrics snapshot in OpenMetrics text exposition format
+/// (Prometheus-compatible): dotted metric names are sanitized to
+/// [a-zA-Z0-9_:], counters get the `_total` suffix, histograms emit
+/// cumulative `_bucket{le="..."}` samples ending in `le="+Inf"` plus `_sum`
+/// and `_count`, and the document terminates with `# EOF`.
+std::string MetricsToOpenMetrics(const MetricsSnapshot& snapshot);
+
+/// Sanitizes a dotted metric name into an OpenMetrics identifier: every
+/// character outside [a-zA-Z0-9_:] becomes '_', and a leading digit gets a
+/// '_' prefix.
+std::string OpenMetricsName(std::string_view name);
+
 /// Serializes any stats struct exposing
 /// `ForEachField(fn(const char* name, uint64-convertible value))` as a flat
 /// JSON object — the single serialization point that keeps exports in sync

@@ -1,0 +1,317 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace pqe {
+namespace obs {
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+JsonValue JsonValue::MakeBool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.boolean_ = b;
+  return v;
+}
+
+JsonValue JsonValue::MakeNumber(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::MakeString(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::MakeObject(
+    std::vector<std::pair<std::string, JsonValue>> members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.members_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+// Recursive-descent parser over a bounded view. Depth is capped so a hostile
+// document cannot overflow the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWs();
+    PQE_ASSIGN_OR_RETURN(JsonValue v, Value(0));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + what);
+  }
+
+  Result<JsonValue> Value(int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{':
+        return Object(depth);
+      case '[':
+        return Array(depth);
+      case '"': {
+        PQE_ASSIGN_OR_RETURN(std::string s, String());
+        return JsonValue::MakeString(std::move(s));
+      }
+      case 't':
+        PQE_RETURN_IF_ERROR(Literal("true"));
+        return JsonValue::MakeBool(true);
+      case 'f':
+        PQE_RETURN_IF_ERROR(Literal("false"));
+        return JsonValue::MakeBool(false);
+      case 'n':
+        PQE_RETURN_IF_ERROR(Literal("null"));
+        return JsonValue::MakeNull();
+      default:
+        return Number();
+    }
+  }
+
+  Result<JsonValue> Object(int depth) {
+    ++pos_;  // '{'
+    std::vector<std::pair<std::string, JsonValue>> members;
+    SkipWs();
+    if (Peek() == '}') {
+      ++pos_;
+      return JsonValue::MakeObject(std::move(members));
+    }
+    while (true) {
+      SkipWs();
+      if (Peek() != '"') return Error("expected object key");
+      PQE_ASSIGN_OR_RETURN(std::string key, String());
+      SkipWs();
+      if (Peek() != ':') return Error("expected ':' after object key");
+      ++pos_;
+      SkipWs();
+      PQE_ASSIGN_OR_RETURN(JsonValue v, Value(depth + 1));
+      members.emplace_back(std::move(key), std::move(v));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return JsonValue::MakeObject(std::move(members));
+      }
+      return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Result<JsonValue> Array(int depth) {
+    ++pos_;  // '['
+    std::vector<JsonValue> items;
+    SkipWs();
+    if (Peek() == ']') {
+      ++pos_;
+      return JsonValue::MakeArray(std::move(items));
+    }
+    while (true) {
+      SkipWs();
+      PQE_ASSIGN_OR_RETURN(JsonValue v, Value(depth + 1));
+      items.push_back(std::move(v));
+      SkipWs();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return JsonValue::MakeArray(std::move(items));
+      }
+      return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> String() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return out;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return Error("dangling escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          PQE_ASSIGN_OR_RETURN(uint32_t cp, HexQuad());
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("unpaired high surrogate");
+            }
+            pos_ += 2;
+            PQE_ASSIGN_OR_RETURN(uint32_t low, HexQuad());
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          AppendUtf8(cp, &out);
+          break;
+        }
+        default:
+          return Error("invalid escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Result<uint32_t> HexQuad() {
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) return Error("truncated \\u escape");
+      char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid hex digit in \\u escape");
+      }
+    }
+    return v;
+  }
+
+  static void AppendUtf8(uint32_t cp, std::string* out) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Result<JsonValue> Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Error("invalid number");
+    }
+    // RFC 8259: the integer part is "0" or a nonzero digit followed by
+    // digits — no leading zeros.
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == '.') {
+      ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("digit required after decimal point");
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("digit required in exponent");
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) ++pos_;
+    }
+    // The slice is a valid JSON number, which is also a valid strtod input;
+    // strtod gives correctly-rounded doubles, so max_digits10 output from
+    // JsonWriter::Double round-trips bit-exactly.
+    const std::string token(text_.substr(start, pos_ - start));
+    return JsonValue::MakeNumber(std::strtod(token.c_str(), nullptr));
+  }
+
+  Status Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) {
+      return Error("invalid literal");
+    }
+    pos_ += word.size();
+    return Status::OK();
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace obs
+}  // namespace pqe

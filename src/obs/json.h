@@ -1,0 +1,79 @@
+#ifndef PQE_OBS_JSON_H_
+#define PQE_OBS_JSON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace pqe {
+namespace obs {
+
+/// A parsed JSON document node (RFC 8259 subset; the library takes no
+/// third-party dependencies). The reader side of obs/export.h's JsonWriter:
+/// bench_compare diffs metrics files with it, and the workload replay driver
+/// parses captured JSONL records. Numbers are stored as double — exact for
+/// every value the writer emits, since Double() serializes with
+/// max_digits10 and uint64 counters round-trip through the Uint/strtod pair
+/// up to 2^53 (metric values beyond that lose low bits, as JSON itself
+/// guarantees nothing better across readers).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+
+  /// Typed accessors; the caller checks kind() first (wrong-kind access
+  /// returns the type's zero value rather than crashing).
+  bool AsBool() const { return boolean_; }
+  double AsNumber() const { return number_; }
+  /// The number reinterpreted as uint64 (for ids, seeds, hashes). Values
+  /// are serialized in decimal; anything ≤ 2^53 round-trips exactly, and
+  /// larger hashes are recorded in hex strings by the workload layer.
+  uint64_t AsUint() const { return static_cast<uint64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+
+  const std::vector<JsonValue>& Items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& Members() const {
+    return members_;
+  }
+
+  /// First member with this key, or nullptr (objects only).
+  const JsonValue* Find(std::string_view key) const;
+
+  static JsonValue MakeNull() { return JsonValue(); }
+  static JsonValue MakeBool(bool b);
+  static JsonValue MakeNumber(double d);
+  static JsonValue MakeString(std::string s);
+  static JsonValue MakeArray(std::vector<JsonValue> items);
+  static JsonValue MakeObject(
+      std::vector<std::pair<std::string, JsonValue>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool boolean_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one JSON document; trailing non-whitespace is an error. Strings
+/// decode the standard escapes; \uXXXX escapes decode to UTF-8 (surrogate
+/// pairs combined, lone surrogates rejected).
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace obs
+}  // namespace pqe
+
+#endif  // PQE_OBS_JSON_H_

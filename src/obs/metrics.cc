@@ -31,10 +31,56 @@ uint64_t Histogram::BucketUpperBound(size_t bucket) {
   return (uint64_t{1} << bucket) - 1;
 }
 
+uint64_t Histogram::BucketLowerBound(size_t bucket) {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return uint64_t{1} << 63;
+  return uint64_t{1} << (bucket - 1);
+}
+
 void Histogram::Reset() {
   count_.store(0, std::memory_order_relaxed);
   sum_.store(0, std::memory_order_relaxed);
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+double MetricsSnapshot::HistogramEntry::Quantile(double q) const {
+  if (count == 0 || buckets.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  // Rank of the q-quantile sample, 1-based: ⌈q·count⌉ clamped into [1, count].
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (static_cast<double>(rank) < q * static_cast<double>(count)) ++rank;
+  if (rank < 1) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t cumulative = 0;
+  for (const auto& [le, bucket_count] : buckets) {
+    cumulative += bucket_count;
+    if (cumulative >= rank) {
+      // Linearly interpolate inside the bucket's inclusive [lower, le] range
+      // by the rank's position among this bucket's samples.
+      const double lower =
+          le == 0 ? 0.0 : static_cast<double>(le) / 2.0 + 0.5;  // (le+1)/2
+      const uint64_t rank_in_bucket = rank - (cumulative - bucket_count);
+      const double frac = bucket_count <= 1
+                              ? 1.0
+                              : static_cast<double>(rank_in_bucket - 1) /
+                                    static_cast<double>(bucket_count - 1);
+      return lower + frac * (static_cast<double>(le) - lower);
+    }
+  }
+  return static_cast<double>(buckets.back().first);
+}
+
+MetricsSnapshot::HistogramEntry MetricsSnapshot::SnapshotHistogram(
+    std::string name, const Histogram& histogram) {
+  HistogramEntry e;
+  e.name = std::move(name);
+  e.count = histogram.Count();
+  e.sum = histogram.Sum();
+  for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
+    const uint64_t c = histogram.BucketCount(b);
+    if (c > 0) e.buckets.emplace_back(Histogram::BucketUpperBound(b), c);
+  }
+  return e;
 }
 
 uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
@@ -94,15 +140,8 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
   }
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, hist] : histograms_) {
-    MetricsSnapshot::HistogramEntry e;
-    e.name = name;
-    e.count = hist->Count();
-    e.sum = hist->Sum();
-    for (size_t b = 0; b < Histogram::kNumBuckets; ++b) {
-      const uint64_t c = hist->BucketCount(b);
-      if (c > 0) e.buckets.emplace_back(Histogram::BucketUpperBound(b), c);
-    }
-    snap.histograms.push_back(std::move(e));
+    snap.histograms.push_back(
+        MetricsSnapshot::SnapshotHistogram(name, *hist));
   }
   return snap;
 }

@@ -58,6 +58,8 @@ class Histogram {
   }
   /// Inclusive upper bound of a bucket (2^bucket − 1).
   static uint64_t BucketUpperBound(size_t bucket);
+  /// Inclusive lower bound of a bucket (0, then 2^(bucket−1)).
+  static uint64_t BucketLowerBound(size_t bucket);
   void Reset();
 
  private:
@@ -83,10 +85,24 @@ struct MetricsSnapshot {
     uint64_t sum = 0;
     /// (inclusive upper bound, count) for non-empty buckets only.
     std::vector<std::pair<uint64_t, uint64_t>> buckets;
+
+    /// The q-quantile (q ∈ [0, 1]) extracted exactly from the bucket data:
+    /// the bucket holding rank ⌈q·count⌉ is located by exact integer
+    /// cumulative counts, then the value is linearly interpolated between
+    /// the bucket's inclusive bounds (the only information the log2 buckets
+    /// retain). Returns 0 for an empty histogram; q ≥ 1 returns the top
+    /// bucket's upper bound.
+    double Quantile(double q) const;
   };
   std::vector<CounterEntry> counters;
   std::vector<GaugeEntry> gauges;
   std::vector<HistogramEntry> histograms;
+
+  /// Copies one histogram into snapshot form (non-empty buckets only) —
+  /// the same representation MetricRegistry::Snapshot uses, reusable for
+  /// free-standing Histogram members (see serve::ServiceTelemetry).
+  static HistogramEntry SnapshotHistogram(std::string name,
+                                          const Histogram& histogram);
 
   /// Lookup helpers for tests and tools; 0 / nullptr when absent.
   uint64_t CounterValue(std::string_view name) const;
@@ -96,16 +112,34 @@ struct MetricsSnapshot {
 /// A registry of named metrics. Registration (first GetX for a name) takes a
 /// mutex; subsequent use of the returned handle is lock-free. Names are
 /// dotted lowercase paths, e.g. "pqe.count_nfta.attempts".
+///
+/// Concurrency contract (relaxed atomics, by design): Snapshot() and
+/// Reset() are safe to call at any time while hot-path Add()/Observe()/Set()
+/// calls race with them on other threads — every individual load/store is an
+/// atomic on one word, so values are never torn and no call ever blocks an
+/// Add(). What the relaxed ordering does NOT give:
+///   - Snapshot() is not a point-in-time cut across metrics (or across one
+///     histogram's count/sum/buckets): increments landing while the copy
+///     runs may appear in some entries and not others, so a mid-traffic
+///     histogram snapshot can transiently show count ≠ Σ bucket counts.
+///   - Reset() concurrent with Add() may zero before or after that add
+///     lands; the increment is either kept or dropped whole, never split.
+/// Quiesce the workload first when an exact cut matters (tests, bench
+/// cells); monitoring readers get monotonic counters and bounded staleness,
+/// which is what an exposition endpoint needs. Covered under TSan by
+/// obs_test's SnapshotAndResetRaceWithHotPathAdds.
 class MetricRegistry {
  public:
   Counter& GetCounter(std::string_view name);
   Gauge& GetGauge(std::string_view name);
   Histogram& GetHistogram(std::string_view name);
 
-  /// Copies every metric, sorted by name.
+  /// Copies every metric, sorted by name. See the class contract for what a
+  /// concurrent snapshot does and does not guarantee.
   MetricsSnapshot Snapshot() const;
 
-  /// Zeroes every metric. Handles remain valid.
+  /// Zeroes every metric. Handles remain valid; safe to interleave with
+  /// concurrent Add()/Observe() (see the class contract).
   void Reset();
 
   /// The process-wide registry used by the library's instrumentation.

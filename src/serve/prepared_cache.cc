@@ -1,5 +1,6 @@
 #include "serve/prepared_cache.h"
 
+#include <chrono>
 #include <string>
 #include <utility>
 
@@ -44,7 +45,7 @@ PreparedCache::PreparedCache(size_t capacity)
 
 Result<std::shared_ptr<const PreparedQuery>> PreparedCache::GetOrPrepare(
     const ConjunctiveQuery& query, const Database& db,
-    const UrConstructionOptions& options) {
+    const UrConstructionOptions& options, LookupResult* lookup) {
   const uint64_t key = ContentKey(query, db, options.max_width);
   std::shared_ptr<Slot> slot;
   bool inserted = false;
@@ -78,15 +79,23 @@ Result<std::shared_ptr<const PreparedQuery>> PreparedCache::GetOrPrepare(
     hits_.fetch_add(1, std::memory_order_relaxed);
     obs::MetricRegistry::Global().GetCounter("serve.cache_hits").Increment();
   }
+  if (lookup != nullptr) lookup->hit = !inserted;
 
   // Compile outside the cache lock; concurrent requests for this key all
   // block here and share the one build.
   std::call_once(slot->once, [&]() {
+    const auto compile_start = std::chrono::steady_clock::now();
     auto prepared = PreparedQuery::Prepare(query, db, options);
     if (prepared.ok()) {
       slot->prepared = std::move(*prepared);
     } else {
       slot->status = prepared.status();
+    }
+    if (lookup != nullptr) {
+      lookup->compile_ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - compile_start)
+              .count());
     }
   });
   if (!slot->status.ok()) {

@@ -36,12 +36,21 @@ class PreparedCache {
   PreparedCache(const PreparedCache&) = delete;
   PreparedCache& operator=(const PreparedCache&) = delete;
 
+  /// Per-call outcome for telemetry. `hit` is false for the caller whose
+  /// probe inserted the slot; `compile_ns` is the skeleton compile time that
+  /// caller paid (0 on hits — a hit may still briefly block on another
+  /// caller's in-flight compile, which shows up as lookup time).
+  struct LookupResult {
+    bool hit = false;
+    uint64_t compile_ns = 0;
+  };
+
   /// Returns the cached PreparedQuery for the triple's content, compiling
   /// and inserting it on miss. A failed compile is returned to every caller
   /// of that slot and is not retained (the next request retries).
   Result<std::shared_ptr<const PreparedQuery>> GetOrPrepare(
       const ConjunctiveQuery& query, const Database& db,
-      const UrConstructionOptions& options);
+      const UrConstructionOptions& options, LookupResult* lookup = nullptr);
 
   struct Stats {
     uint64_t hits = 0;

@@ -1,6 +1,7 @@
 #include "serve/prepared_query.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <utility>
@@ -87,12 +88,13 @@ Result<std::shared_ptr<const PreparedQuery>> PreparedQuery::Prepare(
 }
 
 Result<std::shared_ptr<const PreparedQuery::Bound>> PreparedQuery::GetBound(
-    const std::vector<Probability>& probs) const {
+    const std::vector<Probability>& probs, bool* reused) const {
   const uint64_t h = HashProbabilities(probs);
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (bound_ != nullptr && bound_->probs_hash == h) {
       bind_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (reused != nullptr) *reused = true;
       return bound_;
     }
   }
@@ -122,13 +124,24 @@ Result<std::shared_ptr<const PreparedQuery::Bound>> PreparedQuery::GetBound(
 }
 
 Result<PqeAnswer> PreparedQuery::EvaluateFpras(
-    const ProbabilisticDatabase& pdb, const EstimatorConfig& config) const {
+    const ProbabilisticDatabase& pdb, const EstimatorConfig& config,
+    EvalBreakdown* breakdown) const {
   PQE_TRACE_SPAN_VAR(span, "serve.evaluate_prepared");
   const std::vector<FactId>& original_fact =
       path_.has_value() ? path_->original_fact : tree_->original_fact;
   PQE_ASSIGN_OR_RETURN(std::vector<Probability> probs,
                        ProjectedFactProbabilities(original_fact, pdb));
-  PQE_ASSIGN_OR_RETURN(std::shared_ptr<const Bound> bound, GetBound(probs));
+  bool bind_reused = false;
+  const auto bind_start = std::chrono::steady_clock::now();
+  PQE_ASSIGN_OR_RETURN(std::shared_ptr<const Bound> bound,
+                       GetBound(probs, &bind_reused));
+  if (breakdown != nullptr) {
+    breakdown->bind_reused = bind_reused;
+    breakdown->bind_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - bind_start)
+            .count());
+  }
 
   // Identical request replay: same bind + same draw-steering config means
   // the counters would reproduce the previous run draw for draw, so the
@@ -142,6 +155,12 @@ Result<PqeAnswer> PreparedQuery::EvaluateFpras(
       obs::MetricRegistry::Global()
           .GetCounter("serve.answer_memo_hits")
           .Increment();
+      if (breakdown != nullptr) {
+        breakdown->answer_memo_hit = true;
+        if (it->second.count_stats.has_value()) {
+          breakdown->samples = it->second.count_stats->attempts;
+        }
+      }
       return it->second;
     }
   }
@@ -150,6 +169,7 @@ Result<PqeAnswer> PreparedQuery::EvaluateFpras(
   out.method_used = PqeMethod::kFpras;
   CountEstimate count;
   double log2_d = 0.0;
+  const auto estimate_start = std::chrono::steady_clock::now();
   if (bound->path.has_value()) {
     const BoundPathNfa& m = *bound->path;
     PQE_ASSIGN_OR_RETURN(count,
@@ -166,6 +186,13 @@ Result<PqeAnswer> PreparedQuery::EvaluateFpras(
     out.automaton = PqeAnswer::AutomatonStats{
         m.weighted.NumStates(), m.weighted.NumTransitions(), m.tree_size,
         decomposition_width_};
+  }
+  if (breakdown != nullptr) {
+    breakdown->estimate_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - estimate_start)
+            .count());
+    breakdown->samples = count.stats.attempts;
   }
   out.count_stats = count.stats;
   // Pr_H(Q) = d⁻¹ · |L_k|, projected into [0, 1] — the same arithmetic as

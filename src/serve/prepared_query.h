@@ -61,6 +61,17 @@ class PreparedQuery {
   /// True when the query serves through the Section 3 string specialization.
   bool is_path_route() const { return path_.has_value(); }
 
+  /// Per-call work accounting for the serving telemetry plane. Timings are
+  /// steady_clock (present in every build); fields for stages that did not
+  /// run stay 0/false.
+  struct EvalBreakdown {
+    uint64_t bind_ns = 0;      // GetBound time (lookup or gadget expansion)
+    uint64_t estimate_ns = 0;  // counting-layer sampling time
+    bool bind_reused = false;      // the cached bind served this call
+    bool answer_memo_hit = false;  // the answer memo served this call
+    uint64_t samples = 0;  // rejection-sampling attempts of the answer
+  };
+
   /// Evaluates Pr_H(Q) over `pdb` with the combined FPRAS, rebinding the
   /// cached skeleton (or reusing the cached bind when `pdb`'s probability
   /// labels match the previous call's). The answer is bit-identical to
@@ -70,7 +81,8 @@ class PreparedQuery {
   /// returns the memoized previous answer (see Bound) — still bit-identical
   /// to the cold path, just without re-running the sampler.
   Result<PqeAnswer> EvaluateFpras(const ProbabilisticDatabase& pdb,
-                                  const EstimatorConfig& config) const;
+                                  const EstimatorConfig& config,
+                                  EvalBreakdown* breakdown = nullptr) const;
 
   /// Number of EvaluateFpras calls that reused the cached bind outright.
   uint64_t bind_hits() const;
@@ -98,9 +110,10 @@ class PreparedQuery {
   PreparedQuery() = default;
 
   /// Returns the bound artifact for `probs`, building it if the cached slot
-  /// holds a different labelling.
+  /// holds a different labelling. `*reused` (optional) reports whether the
+  /// cached slot served the call.
   Result<std::shared_ptr<const Bound>> GetBound(
-      const std::vector<Probability>& probs) const;
+      const std::vector<Probability>& probs, bool* reused = nullptr) const;
 
   // Exactly one of the two skeletons is set (route fixed at Prepare time).
   std::optional<PqeSkeleton> tree_;

@@ -1,9 +1,11 @@
 #include "serve/service.h"
 
 #include <chrono>
+#include <cstdio>
 #include <optional>
 #include <utility>
 
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "safeplan/safe_plan.h"
@@ -13,10 +15,58 @@
 namespace pqe {
 namespace serve {
 
+namespace {
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+// The slow-log line: the stage breakdown, then the first lines of the
+// request's trace when one was collected.
+std::string BuildSpanExcerpt(const RequestTelemetry& t,
+                             const EvalResponse& resp) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "class=%s lookup=%.1fms compile=%.1fms bind=%.1fms "
+                "estimate=%.1fms",
+                CacheClassName(t.cache_class),
+                static_cast<double>(t.cache_lookup_ns) / 1e6,
+                static_cast<double>(t.compile_ns) / 1e6,
+                static_cast<double>(t.bind_ns) / 1e6,
+                static_cast<double>(t.estimate_ns) / 1e6);
+  std::string excerpt = buf;
+  if (resp.answer.trace != nullptr) {
+    constexpr size_t kMaxTraceExcerpt = 240;
+    std::string text = obs::RenderTraceText(*resp.answer.trace);
+    if (text.size() > kMaxTraceExcerpt) {
+      text.resize(kMaxTraceExcerpt);
+      text += "...";
+    }
+    excerpt += " | ";
+    excerpt += text;
+  }
+  return excerpt;
+}
+
+}  // namespace
+
 PqeService::PqeService(Options options)
     : options_(std::move(options)),
       engine_(options_.engine),
-      cache_(std::make_unique<PreparedCache>(options_.cache_capacity)) {}
+      cache_(std::make_unique<PreparedCache>(options_.cache_capacity)),
+      telemetry_(options_.slow_log_capacity) {
+  if (!options_.capture_path.empty()) {
+    auto recorder = WorkloadRecorder::Open(options_.capture_path);
+    if (recorder.ok()) {
+      recorder_ = std::move(*recorder);
+    } else {
+      capture_status_ = recorder.status();
+    }
+  }
+}
 
 EvalResponse PqeService::Evaluate(const EvalRequest& request) const {
   return EvaluateOne(request, request.request_id,
@@ -43,6 +93,7 @@ std::vector<EvalResponse> PqeService::EvaluateBatch(
 EvalResponse PqeService::EvaluateOne(const EvalRequest& request,
                                      uint64_t effective_id,
                                      size_t inner_threads_override) const {
+  const auto start = std::chrono::steady_clock::now();
   // Effective per-request options: request optionals override the service
   // defaults, and seedless requests get a seed derived from their id so
   // batch members are independent yet individually reproducible.
@@ -56,6 +107,9 @@ EvalResponse PqeService::EvaluateOne(const EvalRequest& request,
                   ? *request.seed
                   : Rng::DeriveSeed(options_.engine.seed, effective_id);
   if (inner_threads_override > 0) opts.num_threads = inner_threads_override;
+
+  RequestTelemetry telemetry;
+  telemetry.request_id = effective_id;
 
   EvalResponse resp;
   // kQuery requests whose method resolves to the combined FPRAS take the
@@ -78,7 +132,7 @@ EvalResponse PqeService::EvaluateOne(const EvalRequest& request,
     prepared_route = method == PqeMethod::kFpras;
   }
   if (prepared_route) {
-    resp = EvaluatePrepared(request, effective_id, opts);
+    resp = EvaluatePrepared(request, effective_id, opts, &telemetry);
   } else {
     PqeEngine delegate(opts);
     EvalRequest forwarded = request;
@@ -89,7 +143,20 @@ EvalResponse PqeService::EvaluateOne(const EvalRequest& request,
     forwarded.seed.reset();
     forwarded.collect_trace.reset();
     resp = delegate.EvaluateRequest(forwarded);
+    telemetry.cache_class = CacheClass::kDelegated;
+    if (resp.answer.count_stats.has_value()) {
+      telemetry.samples = resp.answer.count_stats->attempts;
+    }
   }
+
+  telemetry.status = resp.status.code();
+  telemetry.deadline_exceeded = resp.deadline_exceeded;
+  telemetry.progress = resp.progress;
+  telemetry.total_ns = ElapsedNs(start);
+  telemetry.span_excerpt = BuildSpanExcerpt(telemetry, resp);
+  telemetry_.Record(std::move(telemetry));
+
+  if (recorder_ != nullptr) CaptureRequest(request, effective_id, opts, resp);
 
   auto& registry = obs::MetricRegistry::Global();
   registry.GetCounter("serve.requests").Increment();
@@ -101,9 +168,53 @@ EvalResponse PqeService::EvaluateOne(const EvalRequest& request,
   return resp;
 }
 
+void PqeService::CaptureRequest(const EvalRequest& request,
+                                uint64_t effective_id,
+                                const PqeEngine::Options& opts,
+                                const EvalResponse& resp) const {
+  WorkloadRecord record;
+  record.request_id = effective_id;
+  switch (request.target) {
+    case EvalRequest::Target::kQuery:
+      record.target = "query";
+      break;
+    case EvalRequest::Target::kUnion:
+      record.target = "union";
+      break;
+    case EvalRequest::Target::kUniformReliability:
+      record.target = "ur";
+      break;
+  }
+  if (request.query != nullptr) {
+    if (request.pdb != nullptr) {
+      record.query = request.query->ToString(request.pdb->database().schema());
+    } else if (request.db != nullptr) {
+      record.query = request.query->ToString(request.db->schema());
+    }
+  }
+  if (request.pdb != nullptr) {
+    record.labelling_hash = HashLabelling(*request.pdb);
+  }
+  // The effective (post-override) values: a replay re-creates this exact
+  // evaluation by setting them explicitly, regardless of how the capture-time
+  // request spelled them.
+  record.config_hash = HashEngineConfig(opts);
+  record.method = PqeMethodToString(opts.method);
+  record.epsilon = opts.epsilon;
+  record.seed = opts.seed;
+  record.deadline_ms = request.deadline_ms;
+  if (resp.status.ok()) {
+    record.status = "ok";
+    record.probability = resp.answer.probability;
+  } else {
+    record.status = resp.deadline_exceeded ? "deadline_exceeded" : "error";
+  }
+  recorder_->Record(record);
+}
+
 EvalResponse PqeService::EvaluatePrepared(
     const EvalRequest& request, uint64_t effective_id,
-    const PqeEngine::Options& opts) const {
+    const PqeEngine::Options& opts, RequestTelemetry* telemetry) const {
   const auto start = std::chrono::steady_clock::now();
   EvalResponse resp;
   resp.request_id = effective_id;
@@ -151,11 +262,37 @@ EvalResponse PqeService::EvaluatePrepared(
 
   UrConstructionOptions ur_opts;
   ur_opts.max_width = opts.max_width;
-  auto prepared =
-      cache_->GetOrPrepare(*request.query, request.pdb->database(), ur_opts);
+  PreparedCache::LookupResult lookup;
+  const auto lookup_start = std::chrono::steady_clock::now();
+  auto prepared = cache_->GetOrPrepare(*request.query,
+                                       request.pdb->database(), ur_opts,
+                                       &lookup);
+  telemetry->compile_ns = lookup.compile_ns;
+  // The probe itself, with this caller's compile time (if any) carved out.
+  const uint64_t lookup_elapsed = ElapsedNs(lookup_start);
+  telemetry->cache_lookup_ns = lookup_elapsed > lookup.compile_ns
+                                   ? lookup_elapsed - lookup.compile_ns
+                                   : 0;
   if (!prepared.ok()) return FinishWith(prepared.status());
+
   const EstimatorConfig config = PqeEngine::MakeEstimatorConfig(opts, cancel);
-  return FinishWith((*prepared)->EvaluateFpras(*request.pdb, config));
+  PreparedQuery::EvalBreakdown breakdown;
+  Result<PqeAnswer> result =
+      (*prepared)->EvaluateFpras(*request.pdb, config, &breakdown);
+  telemetry->bind_ns = breakdown.bind_ns;
+  telemetry->estimate_ns = breakdown.estimate_ns;
+  telemetry->samples = breakdown.samples;
+  // The class names the deepest stage that did real work.
+  if (!lookup.hit) {
+    telemetry->cache_class = CacheClass::kColdCompile;
+  } else if (!breakdown.bind_reused) {
+    telemetry->cache_class = CacheClass::kRebind;
+  } else if (!breakdown.answer_memo_hit) {
+    telemetry->cache_class = CacheClass::kWarmBind;
+  } else {
+    telemetry->cache_class = CacheClass::kAnswerMemo;
+  }
+  return FinishWith(std::move(result));
 }
 
 }  // namespace serve

@@ -2,10 +2,13 @@
 #define PQE_SERVE_SERVICE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/engine.h"
 #include "serve/prepared_cache.h"
+#include "serve/telemetry.h"
+#include "serve/workload.h"
 
 namespace pqe {
 namespace serve {
@@ -37,6 +40,12 @@ class PqeService {
     /// single-threaded — the shared pool is not reentrant — which changes
     /// nothing about the answers (see docs/parallelism.md).
     size_t num_threads = 0;
+    /// Opt-in workload capture: when non-empty, every request is appended
+    /// to this JSONL file (see serve/workload.h). Open failures are
+    /// reported once via capture_status() and disable capture.
+    std::string capture_path;
+    /// Entries retained in the slow-query log (0 disables it).
+    size_t slow_log_capacity = 8;
   };
 
   explicit PqeService(Options options);
@@ -57,6 +66,16 @@ class PqeService {
   const Options& options() const { return options_; }
   const PreparedCache& cache() const { return *cache_; }
 
+  /// Aggregated request telemetry: counts by outcome and cache class,
+  /// per-stage latency quantiles (p50/p95/p99), and the slow-query log.
+  /// Lock-cheap; safe to call while requests are in flight (relaxed-atomics
+  /// contract, see obs::MetricRegistry).
+  ServiceStats StatsSnapshot() const { return telemetry_.Snapshot(); }
+
+  /// OK when capture is off or the capture file opened; the open error
+  /// otherwise (requests still serve, they just aren't recorded).
+  const Status& capture_status() const { return capture_status_; }
+
  private:
   /// `inner_threads_override` > 0 pins the request's sampling thread count
   /// (batch fan-out pins 1; 0 means inherit the engine options).
@@ -66,13 +85,22 @@ class PqeService {
   /// The prepared fast path; only called for kQuery requests whose method
   /// resolves to kFpras. Mirrors PqeEngine::EvaluateRequest's envelope
   /// (deadline token, status mapping, elapsed/progress accounting).
+  /// Fills `telemetry`'s stage timings and cache class as it goes.
   EvalResponse EvaluatePrepared(const EvalRequest& request,
                                 uint64_t effective_id,
-                                const PqeEngine::Options& opts) const;
+                                const PqeEngine::Options& opts,
+                                RequestTelemetry* telemetry) const;
+
+  void CaptureRequest(const EvalRequest& request, uint64_t effective_id,
+                      const PqeEngine::Options& opts,
+                      const EvalResponse& resp) const;
 
   Options options_;
   PqeEngine engine_;
   std::unique_ptr<PreparedCache> cache_;
+  mutable ServiceTelemetry telemetry_;
+  std::unique_ptr<WorkloadRecorder> recorder_;
+  Status capture_status_;
 };
 
 }  // namespace serve

@@ -1,0 +1,286 @@
+#include "serve/workload.h"
+
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <utility>
+
+#include "cq/parser.h"
+#include "obs/export.h"
+#include "obs/json.h"
+#include "serve/service.h"
+
+namespace pqe {
+namespace serve {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void Mix(uint64_t* h, uint64_t v) {
+  *h ^= v;
+  *h *= kFnvPrime;
+}
+
+std::string ToHex(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+uint64_t FromHex(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 16);
+}
+
+// Missing keys come back as the zero value — old captures with fewer fields
+// stay loadable.
+std::string GetString(const obs::JsonValue& obj, std::string_view key) {
+  const obs::JsonValue* v = obj.Find(key);
+  return v != nullptr && v->is_string() ? v->AsString() : std::string();
+}
+
+double GetNumber(const obs::JsonValue& obj, std::string_view key) {
+  const obs::JsonValue* v = obj.Find(key);
+  return v != nullptr && v->is_number() ? v->AsNumber() : 0.0;
+}
+
+uint64_t GetHex(const obs::JsonValue& obj, std::string_view key) {
+  const obs::JsonValue* v = obj.Find(key);
+  return v != nullptr && v->is_string() ? FromHex(v->AsString()) : 0;
+}
+
+Result<PqeMethod> MethodFromString(const std::string& name) {
+  for (PqeMethod m : kAllPqeMethods) {
+    if (name == PqeMethodToString(m)) return m;
+  }
+  return Status::InvalidArgument("unknown method in workload record: " +
+                                 name);
+}
+
+}  // namespace
+
+std::string FormatWorkloadRecord(const WorkloadRecord& record) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("request_id").Uint(record.request_id);
+  w.Key("target").String(record.target);
+  w.Key("query").String(record.query);
+  w.Key("labelling_hash").String(ToHex(record.labelling_hash));
+  w.Key("config_hash").String(ToHex(record.config_hash));
+  w.Key("method").String(record.method);
+  w.Key("epsilon").Double(record.epsilon);
+  w.Key("seed").String(ToHex(record.seed));
+  w.Key("deadline_ms").Uint(record.deadline_ms);
+  w.Key("status").String(record.status);
+  w.Key("probability").Double(record.probability);
+  w.EndObject();
+  return w.Take();
+}
+
+Result<WorkloadRecord> ParseWorkloadRecord(std::string_view line) {
+  PQE_ASSIGN_OR_RETURN(obs::JsonValue doc, obs::ParseJson(line));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("workload record is not a JSON object");
+  }
+  WorkloadRecord r;
+  r.request_id = doc.Find("request_id") != nullptr
+                     ? doc.Find("request_id")->AsUint()
+                     : 0;
+  r.target = GetString(doc, "target");
+  if (r.target.empty()) r.target = "query";
+  r.query = GetString(doc, "query");
+  r.labelling_hash = GetHex(doc, "labelling_hash");
+  r.config_hash = GetHex(doc, "config_hash");
+  r.method = GetString(doc, "method");
+  r.epsilon = GetNumber(doc, "epsilon");
+  r.seed = GetHex(doc, "seed");
+  r.deadline_ms =
+      static_cast<uint64_t>(GetNumber(doc, "deadline_ms"));
+  r.status = GetString(doc, "status");
+  r.probability = GetNumber(doc, "probability");
+  return r;
+}
+
+Result<std::vector<WorkloadRecord>> LoadWorkloadFile(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::InvalidArgument("cannot open workload file: " + path);
+  }
+  std::vector<WorkloadRecord> records;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    auto record = ParseWorkloadRecord(line);
+    if (!record.ok()) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(lineno) + ": " +
+          record.status().message());
+    }
+    records.push_back(std::move(*record));
+  }
+  return records;
+}
+
+uint64_t HashLabelling(const ProbabilisticDatabase& pdb) {
+  uint64_t h = kFnvOffset;
+  Mix(&h, pdb.NumFacts());
+  for (FactId f = 0; f < pdb.NumFacts(); ++f) {
+    const Probability p = pdb.probability(f);
+    Mix(&h, p.num);
+    Mix(&h, p.den);
+  }
+  return h;
+}
+
+uint64_t HashEngineConfig(const PqeEngine::Options& options) {
+  uint64_t h = kFnvOffset;
+  Mix(&h, options.max_width);
+  Mix(&h, options.enumeration_threshold);
+  Mix(&h, options.pool_size);
+  Mix(&h, options.max_pool_size);
+  Mix(&h, options.repetitions);
+  return h;
+}
+
+Result<std::unique_ptr<WorkloadRecorder>> WorkloadRecorder::Open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open capture file: " + path);
+  }
+  return std::unique_ptr<WorkloadRecorder>(new WorkloadRecorder(f));
+}
+
+WorkloadRecorder::~WorkloadRecorder() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void WorkloadRecorder::Record(const WorkloadRecord& record) {
+  const std::string line = FormatWorkloadRecord(record);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+std::string ReplayReport::Summary() const {
+  std::string out;
+  out += "replay: " + std::to_string(total) + " records, " +
+         std::to_string(replayed) + " replayed, " +
+         std::to_string(matched) + " matched, " +
+         std::to_string(mismatched) + " mismatched";
+  if (skipped_status > 0) {
+    out += ", " + std::to_string(skipped_status) + " skipped (status)";
+  }
+  if (skipped_target > 0) {
+    out += ", " + std::to_string(skipped_target) + " skipped (target)";
+  }
+  if (labelling_drift > 0) {
+    out += ", " + std::to_string(labelling_drift) + " labelling drift";
+  }
+  if (config_drift > 0) {
+    out += ", " + std::to_string(config_drift) + " config drift";
+  }
+  if (parse_failures > 0) {
+    out += ", " + std::to_string(parse_failures) + " parse failures";
+  }
+  return out;
+}
+
+Result<ReplayReport> ReplayWorkload(
+    const PqeService& service, const ProbabilisticDatabase& pdb,
+    const std::vector<WorkloadRecord>& records) {
+  constexpr size_t kMaxMismatchDetails = 8;
+  ReplayReport report;
+  report.total = records.size();
+
+  const uint64_t labelling = HashLabelling(pdb);
+  const uint64_t config = HashEngineConfig(service.options().engine);
+
+  // Queries live in a deque (stable addresses) for the whole batch; the
+  // parallel index maps each request back to its record.
+  std::deque<ConjunctiveQuery> queries;
+  std::vector<EvalRequest> requests;
+  std::vector<const WorkloadRecord*> request_records;
+  std::vector<bool> comparable;
+
+  for (const WorkloadRecord& r : records) {
+    if (r.target != "query") {
+      ++report.skipped_target;
+      continue;
+    }
+    if (r.status != "ok") {
+      ++report.skipped_status;
+      continue;
+    }
+    if (r.labelling_hash != labelling) {
+      ++report.labelling_drift;
+      continue;
+    }
+    auto query = ParseQuery(pdb.database().schema(), r.query);
+    if (!query.ok()) {
+      ++report.parse_failures;
+      if (report.mismatch_details.size() < kMaxMismatchDetails) {
+        report.mismatch_details.push_back(
+            "request " + std::to_string(r.request_id) +
+            ": query no longer parses: " + query.status().message());
+      }
+      continue;
+    }
+    bool is_comparable = true;
+    if (r.config_hash != config) {
+      ++report.config_drift;
+      is_comparable = false;
+    }
+    queries.push_back(std::move(*query));
+    EvalRequest req = EvalRequest::ForQuery(queries.back(), pdb);
+    req.request_id = r.request_id;
+    req.seed = r.seed;
+    req.epsilon = r.epsilon;
+    if (!r.method.empty()) {
+      PQE_ASSIGN_OR_RETURN(PqeMethod m, MethodFromString(r.method));
+      req.method = m;
+    }
+    // No deadline: replay verifies answers, not timing.
+    requests.push_back(req);
+    request_records.push_back(&r);
+    comparable.push_back(is_comparable);
+  }
+
+  const std::vector<EvalResponse> responses = service.EvaluateBatch(requests);
+  for (size_t i = 0; i < responses.size(); ++i) {
+    if (!comparable[i]) continue;
+    const WorkloadRecord& r = *request_records[i];
+    const EvalResponse& resp = responses[i];
+    ++report.replayed;
+    // Bit-exact comparison (memcmp, not ==): the determinism contract is
+    // about bit patterns, and it must hold for ±0.0 and NaN too.
+    if (resp.status.ok() &&
+        std::memcmp(&resp.answer.probability, &r.probability,
+                    sizeof(double)) == 0) {
+      ++report.matched;
+    } else {
+      ++report.mismatched;
+      if (report.mismatch_details.size() < kMaxMismatchDetails) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "request %llu: recorded %.17g, replayed %.17g (%s)",
+                      static_cast<unsigned long long>(r.request_id),
+                      r.probability,
+                      resp.status.ok() ? resp.answer.probability : 0.0,
+                      resp.status.ok() ? "answer mismatch"
+                                       : resp.status.message().c_str());
+        report.mismatch_details.push_back(buf);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace serve
+}  // namespace pqe

@@ -5,13 +5,19 @@
 //           [--method auto|fpras|safe-plan|enumeration|karp-luby|
 //            exact-lineage|monte-carlo]
 //           [--epsilon 0.1] [--seed 42] [--max-width 3] [--threads 4]
-//           [--ur] [--sample K] [--trace | --trace=json] [--metrics]
+//           [--ur] [--sample K] [--trace | --trace=json]
+//           [--metrics | --metrics=prom] [--capture F] [--replay F]
+//           [--stats]
 //
 // With --ur the uniform reliability UR(Q, D) is reported instead (fact
 // probabilities in the file are ignored). With --sample K, K posterior
 // worlds conditioned on the query holding are printed. --trace prints the
 // evaluation's span tree (--trace=json as JSON); --metrics dumps the global
-// metric registry as JSON after evaluation.
+// metric registry after evaluation (JSON, or OpenMetrics text with
+// --metrics=prom). --capture records served requests to a JSONL workload
+// file; --replay re-executes a capture through the service and verifies the
+// answers are bit-identical; --stats prints the service's telemetry
+// snapshot (per-stage latency quantiles, cache classes, slow queries).
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +32,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "serve/service.h"
+#include "serve/workload.h"
 #include "tools/fact_file.h"
 
 namespace {
@@ -49,7 +56,14 @@ void Usage() {
       "                   returns a typed DeadlineExceeded status\n"
       "  --trace          print the evaluation's span tree (timings)\n"
       "  --trace=json     same, as a JSON document on stdout\n"
-      "  --metrics        dump the global metric registry as JSON\n");
+      "  --metrics        dump the global metric registry as JSON\n"
+      "  --metrics=prom   same, in OpenMetrics/Prometheus text format\n"
+      "  --capture F      (with --server-batch) append every served request\n"
+      "                   to workload file F (JSONL)\n"
+      "  --replay F       re-execute workload file F through the serving\n"
+      "                   layer and verify bit-identical answers\n"
+      "  --stats          print the service stats snapshot as JSON\n"
+      "                   (server-batch and replay modes)\n");
 }
 
 }  // namespace
@@ -66,10 +80,14 @@ int main(int argc, char** argv) {
   bool uniform_reliability = false;
   size_t sample_worlds = 0;
   std::string server_batch_path;
+  std::string capture_path;
+  std::string replay_path;
   uint64_t deadline_ms = 0;
   bool trace_text = false;
   bool trace_json = false;
   bool dump_metrics = false;
+  bool metrics_prom = false;
+  bool print_stats = false;
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
@@ -100,6 +118,12 @@ int main(int argc, char** argv) {
       sample_worlds = std::strtoull(need_value("--sample"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--server-batch") == 0) {
       server_batch_path = need_value("--server-batch");
+    } else if (std::strcmp(argv[i], "--capture") == 0) {
+      capture_path = need_value("--capture");
+    } else if (std::strcmp(argv[i], "--replay") == 0) {
+      replay_path = need_value("--replay");
+    } else if (std::strncmp(argv[i], "--replay=", 9) == 0) {
+      replay_path = argv[i] + 9;
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
       deadline_ms = std::strtoull(need_value("--deadline-ms"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--trace") == 0) {
@@ -108,6 +132,11 @@ int main(int argc, char** argv) {
       trace_json = true;
     } else if (std::strcmp(argv[i], "--metrics") == 0) {
       dump_metrics = true;
+    } else if (std::strcmp(argv[i], "--metrics=prom") == 0) {
+      dump_metrics = true;
+      metrics_prom = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      print_stats = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       Usage();
       return 0;
@@ -117,11 +146,21 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (data_path.empty() ||
-      (query_text.empty() && server_batch_path.empty())) {
+  if (data_path.empty() || (query_text.empty() && server_batch_path.empty() &&
+                            replay_path.empty())) {
     Usage();
     return 2;
   }
+
+  auto DumpMetrics = [metrics_prom]() {
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricRegistry::Global().Snapshot();
+    if (metrics_prom) {
+      std::printf("%s", obs::MetricsToOpenMetrics(snapshot).c_str());
+    } else {
+      std::printf("%s\n", obs::MetricsToJson(snapshot).c_str());
+    }
+  };
 
   auto pdb_or = LoadFactFile(data_path);
   if (!pdb_or.ok()) {
@@ -166,6 +205,37 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Replay mode: re-execute a captured workload through the serving layer
+  // and verify the determinism contract — every replayed answer must equal
+  // its recorded one bit for bit.
+  if (!replay_path.empty()) {
+    auto records = serve::LoadWorkloadFile(replay_path);
+    if (!records.ok()) {
+      std::fprintf(stderr, "error loading workload: %s\n",
+                   records.status().ToString().c_str());
+      return 1;
+    }
+    serve::PqeService::Options sopts;
+    sopts.engine = *opts_or;
+    sopts.num_threads = num_threads;
+    serve::PqeService service(sopts);
+    auto report = serve::ReplayWorkload(service, pdb, *records);
+    if (!report.ok()) {
+      std::fprintf(stderr, "replay error: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", report->Summary().c_str());
+    for (const std::string& detail : report->mismatch_details) {
+      std::printf("  %s\n", detail.c_str());
+    }
+    if (print_stats) {
+      std::printf("%s\n", service.StatsSnapshot().ToJson().c_str());
+    }
+    if (dump_metrics) DumpMetrics();
+    return report->Clean() ? 0 : 1;
+  }
+
   // Batch serving mode: every line of the file is a query evaluated over
   // the shared database through the prepared-query cache.
   if (!server_batch_path.empty()) {
@@ -198,7 +268,12 @@ int main(int argc, char** argv) {
     serve::PqeService::Options sopts;
     sopts.engine = *opts_or;
     sopts.num_threads = num_threads;
+    sopts.capture_path = capture_path;
     serve::PqeService service(sopts);
+    if (!service.capture_status().ok()) {
+      std::fprintf(stderr, "capture disabled: %s\n",
+                   service.capture_status().ToString().c_str());
+    }
     std::printf("serving %zu requests over %zu facts\n", requests.size(),
                 pdb.NumFacts());
     const std::vector<EvalResponse> responses =
@@ -233,11 +308,10 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cs.hits),
                 static_cast<unsigned long long>(cs.misses),
                 static_cast<unsigned long long>(cs.evictions));
-    if (dump_metrics) {
-      std::printf("%s\n",
-                  obs::MetricsToJson(obs::MetricRegistry::Global().Snapshot())
-                      .c_str());
+    if (print_stats) {
+      std::printf("%s\n", service.StatsSnapshot().ToJson().c_str());
     }
+    if (dump_metrics) DumpMetrics();
     return failures == 0 ? 0 : 1;
   }
 
@@ -293,11 +367,7 @@ int main(int argc, char** argv) {
       std::printf("\ntrace:\n%s", obs::RenderTraceText(*answer.trace).c_str());
     }
   }
-  if (dump_metrics) {
-    std::printf("%s\n",
-                obs::MetricsToJson(obs::MetricRegistry::Global().Snapshot())
-                    .c_str());
-  }
+  if (dump_metrics) DumpMetrics();
 
   if (sample_worlds > 0) {
     EstimatorConfig cfg;

@@ -3,15 +3,19 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cctype>
+#include <cstring>
 #include <string>
 #include <string_view>
 #include <thread>
+#include <vector>
 
 #include "core/engine.h"
 #include "counting/config.h"
 #include "cq/builders.h"
 #include "obs/export.h"
+#include "obs/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "workload/generators.h"
@@ -289,6 +293,80 @@ TEST(MetricsTest, ResetZeroesButKeepsHandles) {
   EXPECT_EQ(registry.Snapshot().CounterValue("test.reset"), 1u);
 }
 
+TEST(MetricsTest, HistogramQuantilesInterpolateWithinBuckets) {
+  obs::MetricRegistry registry;
+  obs::Histogram& h = registry.GetHistogram("test.q");
+  // 100 samples all in bucket 7 (range [64, 127]): quantiles interpolate
+  // linearly across the bucket's value range.
+  for (uint64_t i = 0; i < 100; ++i) h.Observe(64 + i % 64);
+  const obs::MetricsSnapshot::HistogramEntry entry =
+      obs::MetricsSnapshot::SnapshotHistogram("test.q", h);
+  const double p50 = entry.Quantile(0.50);
+  const double p99 = entry.Quantile(0.99);
+  EXPECT_GE(p50, 64.0);
+  EXPECT_LE(p50, 127.0);
+  EXPECT_GE(p99, p50);
+  EXPECT_LE(p99, 127.0);
+  // q=0 clamps to the first sample; q>=1 is the top bucket's upper bound.
+  EXPECT_GE(entry.Quantile(0.0), 64.0);
+  EXPECT_EQ(entry.Quantile(1.0), 127.0);
+}
+
+TEST(MetricsTest, HistogramQuantilesAcrossBuckets) {
+  obs::MetricRegistry registry;
+  obs::Histogram& h = registry.GetHistogram("test.q2");
+  // 90 fast samples (value 1) and 10 slow ones (value 1000): the p50 sits
+  // in the fast bucket, the p99 in the slow one.
+  for (int i = 0; i < 90; ++i) h.Observe(1);
+  for (int i = 0; i < 10; ++i) h.Observe(1000);
+  const obs::MetricsSnapshot::HistogramEntry entry =
+      obs::MetricsSnapshot::SnapshotHistogram("test.q2", h);
+  EXPECT_EQ(entry.Quantile(0.50), 1.0);
+  EXPECT_GE(entry.Quantile(0.99), 512.0);
+  EXPECT_LE(entry.Quantile(0.99), 1023.0);
+
+  const obs::MetricsSnapshot::HistogramEntry empty;
+  EXPECT_EQ(empty.Quantile(0.5), 0.0);
+}
+
+// The documented relaxed-atomics contract (obs/metrics.h): Snapshot() and
+// Reset() may interleave with hot-path Add()/Observe() calls without locks.
+// Values are never torn and every add lands in some pre- or post-reset
+// state; a snapshot is NOT a point-in-time cut. Running this under the TSan
+// CI stage is what proves the contract — the assertions here only pin down
+// "no torn/lost values within one epoch".
+TEST(MetricsTest, SnapshotAndResetRaceWithHotPathAdds) {
+  obs::MetricRegistry registry;
+  obs::Counter& counter = registry.GetCounter("race.count");
+  obs::Histogram& hist = registry.GetHistogram("race.hist");
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&counter, &hist, &stop]() {
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        counter.Add(3);
+        hist.Observe(i++ % 1024);
+      }
+    });
+  }
+
+  for (int round = 0; round < 200; ++round) {
+    const obs::MetricsSnapshot snap = registry.Snapshot();
+    // Counter adds are multiples of 3, so any observed value must be too —
+    // a torn read would almost surely break this.
+    EXPECT_EQ(snap.CounterValue("race.count") % 3, 0u);
+    if (round % 50 == 49) registry.Reset();
+  }
+  stop.store(true);
+  for (std::thread& t : writers) t.join();
+
+  registry.Reset();
+  counter.Add(3);
+  EXPECT_EQ(registry.Snapshot().CounterValue("race.count"), 3u);
+}
+
 // ---------------------------------------------------------------------------
 // JSON export.
 
@@ -326,6 +404,94 @@ TEST(ExportTest, NonFiniteDoublesSerializeAsNull) {
   const std::string json = writer.Take();
   EXPECT_TRUE(IsValidJson(json)) << json;
   EXPECT_EQ(json, R"({"inf":null,"neg":null,"nan":null})");
+}
+
+TEST(ExportTest, FiniteDoublesRoundTripBitExact) {
+  // JsonWriter::Double emits max_digits10 significant digits and ParseJson
+  // reads back through strtod — both directions correctly rounded, so every
+  // finite double round-trips to the identical bit pattern.
+  const double values[] = {0.0,
+                           -0.0,
+                           1.0,
+                           0.1,
+                           1.0 / 3.0,
+                           0.59999999999999942,
+                           0.93413926825981919,
+                           1e-308,
+                           1.7976931348623157e308,
+                           -2.2250738585072014e-308};
+  for (const double v : values) {
+    obs::JsonWriter writer;
+    writer.BeginArray();
+    writer.Double(v);
+    writer.EndArray();
+    auto doc = obs::ParseJson(writer.Take());
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    ASSERT_EQ(doc->Items().size(), 1u);
+    const double back = doc->Items()[0].AsNumber();
+    EXPECT_EQ(std::memcmp(&v, &back, sizeof v), 0)
+        << v << " round-tripped to " << back;
+  }
+}
+
+TEST(ExportTest, ParseJsonHandlesEscapesAndRejectsGarbage) {
+  auto doc = obs::ParseJson(
+      R"({"s":"a\"b\\c\nd\u0041\u00e9","arr":[1,-2.5,true,null],"n":{}})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const obs::JsonValue* s = doc->Find("s");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->AsString(), "a\"b\\c\nd"
+                           "A\xc3\xa9");
+  const obs::JsonValue* arr = doc->Find("arr");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->Items().size(), 4u);
+  EXPECT_EQ(arr->Items()[0].AsNumber(), 1.0);
+  EXPECT_EQ(arr->Items()[1].AsNumber(), -2.5);
+  EXPECT_TRUE(arr->Items()[2].AsBool());
+  EXPECT_EQ(arr->Items()[3].kind(), obs::JsonValue::Kind::kNull);
+
+  EXPECT_FALSE(obs::ParseJson("{").ok());
+  EXPECT_FALSE(obs::ParseJson("[1,]").ok());
+  EXPECT_FALSE(obs::ParseJson("01").ok());
+  EXPECT_FALSE(obs::ParseJson("{} trailing").ok());
+  EXPECT_FALSE(obs::ParseJson("\"\\ud800\"").ok());  // lone surrogate
+}
+
+TEST(ExportTest, OpenMetricsExpositionShape) {
+  obs::MetricRegistry registry;
+  registry.GetCounter("serve.requests").Add(7);
+  registry.GetCounter("pqe.strata_total").Add(3);  // already ends in _total
+  registry.GetGauge("bench.speedup-warm").Set(12.5);
+  obs::Histogram& h = registry.GetHistogram("serve.request_ms");
+  h.Observe(1);
+  h.Observe(5);
+  h.Observe(9);
+  const std::string om = obs::MetricsToOpenMetrics(registry.Snapshot());
+
+  // Names are sanitized to [a-zA-Z0-9_:].
+  EXPECT_NE(om.find("# TYPE serve_requests counter\n"), std::string::npos);
+  EXPECT_NE(om.find("serve_requests_total 7\n"), std::string::npos);
+  // A source name already ending in _total is not double-suffixed.
+  EXPECT_NE(om.find("pqe_strata_total 3\n"), std::string::npos);
+  EXPECT_EQ(om.find("_total_total"), std::string::npos);
+  EXPECT_NE(om.find("# TYPE bench_speedup_warm gauge\n"), std::string::npos);
+  // Histogram: cumulative buckets, +Inf, sum, count.
+  EXPECT_NE(om.find("# TYPE serve_request_ms histogram\n"),
+            std::string::npos);
+  EXPECT_NE(om.find("serve_request_ms_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(om.find("serve_request_ms_bucket{le=\"7\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(om.find("serve_request_ms_bucket{le=\"15\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(om.find("serve_request_ms_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(om.find("serve_request_ms_sum 15\n"), std::string::npos);
+  EXPECT_NE(om.find("serve_request_ms_count 3\n"), std::string::npos);
+  // The exposition terminates with the OpenMetrics EOF marker.
+  const std::string tail = "# EOF\n";
+  ASSERT_GE(om.size(), tail.size());
+  EXPECT_EQ(om.substr(om.size() - tail.size()), tail);
 }
 
 TEST(ExportTest, MetricsJsonIsValid) {

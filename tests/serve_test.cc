@@ -12,9 +12,11 @@
 
 #include "core/engine.h"
 #include "cq/builders.h"
+#include "obs/trace.h"
 #include "serve/prepared_cache.h"
 #include "serve/prepared_query.h"
 #include "serve/service.h"
+#include "serve/telemetry.h"
 #include "util/cancel.h"
 #include "util/rng.h"
 #include "workload/generators.h"
@@ -349,6 +351,131 @@ TEST(ServeTest, DeadlineInsideBatchDoesNotPoisonNeighbors) {
   EXPECT_TRUE(resp[1].deadline_exceeded);
   EXPECT_TRUE(resp[2].status.ok());
   ExpectSameAnswer(resp[2].answer, resp[0].answer);
+}
+
+TEST(ServeTest, DeadlineIncrementsStatsCounterAndCarriesProgress) {
+  // The deadline-exceeded path in the telemetry plane: the typed status
+  // lands in ServiceStats.deadline_exceeded (not errors), and the response
+  // carries the partial-progress count from the cancel token — zero strata
+  // for a request that expired before evaluation started.
+  PathFixture fx = MakePathFixture(100);
+  serve::PqeService::Options sopt;
+  sopt.engine = ServeOptions();
+  serve::PqeService service(sopt);
+
+  CancelToken cancelled;
+  cancelled.Cancel();
+  EvalRequest dead = EvalRequest::ForQuery(fx.qi.query, fx.pdb);
+  dead.request_id = 1;
+  dead.deadline_ms = 60'000;
+  dead.cancel = &cancelled;
+  EvalRequest alive = EvalRequest::ForQuery(fx.qi.query, fx.pdb);
+  alive.request_id = 2;
+  alive.seed = 0xabc;
+  alive.deadline_ms = 60'000;  // a live token, so progress gets reported
+  const std::vector<EvalResponse> resp = service.EvaluateBatch({dead, alive});
+  ASSERT_EQ(resp.size(), 2u);
+  EXPECT_TRUE(resp[0].deadline_exceeded);
+  EXPECT_EQ(resp[0].progress, 0u);  // expired before any stratum finished
+  EXPECT_TRUE(resp[1].status.ok());
+  EXPECT_GT(resp[1].progress, 0u);  // the live twin reports finished strata
+
+  const serve::ServiceStats stats = service.StatsSnapshot();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.ok, 1u);
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST(ServeTest, StatsSnapshotClassifiesCacheEffectiveness) {
+  PathFixture a = MakePathFixture(100);
+  PathFixture b = MakePathFixture(200);  // same facts, different labelling
+  serve::PqeService::Options sopt;
+  sopt.engine = ServeOptions();
+  sopt.num_threads = 1;
+  serve::PqeService service(sopt);
+
+  EvalRequest ra = EvalRequest::ForQuery(a.qi.query, a.pdb);
+  ra.request_id = 1;
+  ra.seed = 0xabc;
+  EvalRequest rb = EvalRequest::ForQuery(b.qi.query, b.pdb);
+  rb.request_id = 2;
+  rb.seed = 0xabc;
+  EvalRequest rc = ra;  // identical to ra after the labelling moved away
+  rc.request_id = 3;
+  EvalRequest rd = ra;  // identical again: answer memo replay
+  rd.request_id = 4;
+
+  // cold compile, rebind (new labelling), rebind (back), answer memo.
+  for (const EvalRequest* r : {&ra, &rb, &rc, &rd}) {
+    ASSERT_TRUE(service.Evaluate(*r).status.ok());
+  }
+
+  const serve::ServiceStats stats = service.StatsSnapshot();
+  using serve::CacheClass;
+  EXPECT_EQ(stats.requests, 4u);
+  EXPECT_EQ(stats.by_class[static_cast<size_t>(CacheClass::kColdCompile)],
+            1u);
+  EXPECT_EQ(stats.by_class[static_cast<size_t>(CacheClass::kRebind)], 2u);
+  EXPECT_EQ(stats.by_class[static_cast<size_t>(CacheClass::kAnswerMemo)],
+            1u);
+  EXPECT_EQ(stats.by_class[static_cast<size_t>(CacheClass::kDelegated)], 0u);
+
+  // Per-stage latencies: every request ran the estimate stage except the
+  // memo replay; quantiles come back ordered.
+  const serve::ServiceStats::StageStats* total = stats.FindStage("total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->count, 4u);
+  EXPECT_GT(total->sum_ns, 0u);
+  EXPECT_LE(total->p50_ns, total->p95_ns);
+  EXPECT_LE(total->p95_ns, total->p99_ns);
+  const serve::ServiceStats::StageStats* compile = stats.FindStage("compile");
+  ASSERT_NE(compile, nullptr);
+  EXPECT_EQ(compile->count, 1u);  // only the cold request compiled
+
+  // The slow-query log holds the slowest requests with their excerpts.
+  ASSERT_FALSE(stats.slow_queries.empty());
+  EXPECT_LE(stats.slow_queries.size(), sopt.slow_log_capacity);
+  for (size_t i = 1; i < stats.slow_queries.size(); ++i) {
+    EXPECT_GE(stats.slow_queries[i - 1].total_ns,
+              stats.slow_queries[i].total_ns);
+  }
+  EXPECT_NE(stats.slow_queries[0].span_excerpt.find("class="),
+            std::string::npos);
+}
+
+TEST(ServeTest, BatchTracesCarryRequestId) {
+  // Satellite contract: every per-request trace names its request, so batch
+  // traces stay attributable. Covers both the prepared route
+  // ("serve.request" root) and the delegated route ("engine.evaluate").
+  if (!obs::TracingCompiledIn()) GTEST_SKIP() << "tracing compiled out";
+  PathFixture fx = MakePathFixture(100);
+  serve::PqeService::Options sopt;
+  sopt.engine = ServeOptions();
+  sopt.num_threads = 1;
+  serve::PqeService service(sopt);
+
+  EvalRequest prepared = EvalRequest::ForQuery(fx.qi.query, fx.pdb);
+  prepared.request_id = 11;
+  prepared.collect_trace = true;
+  EvalRequest delegated = EvalRequest::ForQuery(fx.qi.query, fx.pdb);
+  delegated.request_id = 12;
+  delegated.collect_trace = true;
+  delegated.method = PqeMethod::kMonteCarlo;
+
+  const std::vector<EvalResponse> resp =
+      service.EvaluateBatch({prepared, delegated});
+  ASSERT_EQ(resp.size(), 2u);
+  for (size_t i = 0; i < 2; ++i) {
+    ASSERT_TRUE(resp[i].status.ok()) << resp[i].status.ToString();
+    ASSERT_NE(resp[i].answer.trace, nullptr);
+    const obs::TraceAttr* attr =
+        resp[i].answer.trace->root.FindAttr("request_id");
+    ASSERT_NE(attr, nullptr) << "trace root missing request_id";
+    EXPECT_EQ(attr->u, 11u + i);
+  }
+  EXPECT_EQ(resp[0].answer.trace->root.name, "serve.request");
+  EXPECT_EQ(resp[1].answer.trace->root.name, "engine.evaluate");
 }
 
 // --- Batch API ------------------------------------------------------------
