@@ -8,8 +8,11 @@
 //   bench_counting_hotpath [--smoke] [--metrics_out=BENCH_counting_hotpath.json]
 //
 // Each sweep cell is recorded as gauges
-// pqe.bench.counting_hotpath.<sweep>.<point>.{legacy_ms,cached_ms,speedup},
-// plus memo hit/miss and picker-build counts from the cached run's stats.
+// pqe.bench.counting_hotpath.<sweep>.<point>.{legacy_ms,cached_ms,fast_ms,
+// speedup,fast_speedup}, plus memo hit/miss, picker-build, alias-build and
+// batch-draw counts from the cached/fast runs' stats. fast_speedup is the
+// batched alias-table kernels (kernel_mode=fast) against the cached exact
+// tier.
 // The two modes are draw-identical by construction, so every cell also
 // cross-checks that the cached estimate equals the legacy one bit for bit;
 // the largest oracle-feasible E4 cell (width 3 — the exact subset DP blows
@@ -22,6 +25,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 
 #include "core/pqe.h"
@@ -43,26 +47,36 @@ double MillisSince(std::chrono::steady_clock::time_point start) {
 struct CellResult {
   double legacy_ms = 0.0;
   double cached_ms = 0.0;
-  double log2_probability = 0.0;
+  double fast_ms = 0.0;
+  double log2_probability = 0.0;       // exact tier (cached == legacy)
+  double fast_log2_probability = 0.0;  // fast tier (statistical only)
 };
 
 void RecordCell(const std::string& cell, const CellResult& r,
-                const CountStats& cached_stats) {
+                const CountStats& cached_stats,
+                const CountStats& fast_stats) {
   const std::string prefix = "pqe.bench.counting_hotpath." + cell;
   auto& reg = obs::MetricRegistry::Global();
   reg.GetGauge(prefix + ".legacy_ms").Set(r.legacy_ms);
   reg.GetGauge(prefix + ".cached_ms").Set(r.cached_ms);
+  reg.GetGauge(prefix + ".fast_ms").Set(r.fast_ms);
   reg.GetGauge(prefix + ".speedup").Set(r.legacy_ms / r.cached_ms);
+  reg.GetGauge(prefix + ".fast_speedup").Set(r.cached_ms / r.fast_ms);
   reg.GetGauge(prefix + ".picker_builds")
       .Set(static_cast<double>(cached_stats.picker_builds));
+  reg.GetGauge(prefix + ".alias_builds")
+      .Set(static_cast<double>(fast_stats.alias_builds));
+  reg.GetGauge(prefix + ".batch_draws")
+      .Set(static_cast<double>(fast_stats.batch_draws));
   reg.GetGauge(prefix + ".memo_hits")
       .Set(static_cast<double>(cached_stats.runstates_memo_hits));
   reg.GetGauge(prefix + ".memo_misses")
       .Set(static_cast<double>(cached_stats.runstates_memo_misses));
 }
 
-// Runs the estimate twice — legacy hot path first, cached second — and
-// checks the bit-identical-draws contract before reporting timings.
+// Runs the estimate three times — legacy hot path, cached, then the batched
+// fast kernels — and checks the bit-identical-draws contract between the two
+// exact-tier runs before reporting timings.
 CellResult MeasureCell(const std::string& cell, const ConjunctiveQuery& query,
                        const ProbabilisticDatabase& pdb,
                        const EstimatorConfig& base_cfg) {
@@ -87,12 +101,23 @@ CellResult MeasureCell(const std::string& cell, const ConjunctiveQuery& query,
   PQE_CHECK(cached.tree_count.ToString() == legacy.tree_count.ToString());
   out.log2_probability = cached.log2_probability;
 
-  RecordCell(cell, out, cached.stats);
-  std::printf("  %-10s %-12.1f %-12.1f %-8.2f %-12.4f hits=%zu misses=%zu\n",
-              cell.c_str(), out.legacy_ms, out.cached_ms,
-              out.legacy_ms / out.cached_ms, out.log2_probability,
-              cached.stats.runstates_memo_hits,
-              cached.stats.runstates_memo_misses);
+  // Fast tier: different draw stream (alias tables over block RNG words), so
+  // only statistical agreement is expected; the oracle cell gates accuracy.
+  cfg.kernel_mode = KernelMode::kFast;
+  t0 = std::chrono::steady_clock::now();
+  auto fast = PqeEstimate(query, pdb, cfg).MoveValue();
+  out.fast_ms = MillisSince(t0);
+  out.fast_log2_probability = fast.log2_probability;
+  PQE_CHECK(std::isfinite(fast.log2_probability) ||
+            fast.log2_probability == -std::numeric_limits<double>::infinity());
+
+  RecordCell(cell, out, cached.stats, fast.stats);
+  std::printf("  %-10s %-12.1f %-12.1f %-12.1f %-8.2f %-8.2f %-12.4f "
+              "hits=%zu misses=%zu batches=%zu\n",
+              cell.c_str(), out.legacy_ms, out.cached_ms, out.fast_ms,
+              out.legacy_ms / out.cached_ms, out.cached_ms / out.fast_ms,
+              out.log2_probability, cached.stats.runstates_memo_hits,
+              cached.stats.runstates_memo_misses, fast.stats.batch_draws);
   return out;
 }
 
@@ -102,8 +127,9 @@ void SweepDataScaling(uint32_t max_width, size_t smoke_pool) {
   std::printf(
       "E4 sweep — path query length 4, layered width 2..%u, density 0.6\n",
       max_width);
-  std::printf("  %-10s %-12s %-12s %-8s %s\n", "cell", "legacy_ms",
-              "cached_ms", "speedup", "log2(P)");
+  std::printf("  %-10s %-12s %-12s %-12s %-8s %-8s %s\n", "cell",
+              "legacy_ms", "cached_ms", "fast_ms", "speedup", "fast_spd",
+              "log2(P)");
   auto qi = MakePathQuery(4).MoveValue();
   EstimatorConfig cfg;
   cfg.epsilon = 0.25;
@@ -140,6 +166,17 @@ void SweepDataScaling(uint32_t max_width, size_t smoke_pool) {
                   "(rel err %.4f, epsilon %.2f)\n",
                   width, est_p, exact_p, rel_err, cfg.epsilon);
       PQE_CHECK(rel_err <= cfg.epsilon);
+      // The fast tier draws a different stream but must meet the same
+      // accuracy guarantee against the exact oracle.
+      const double fast_p = std::exp2(r.fast_log2_probability);
+      const double fast_rel_err = std::abs(fast_p / exact_p - 1.0);
+      obs::MetricRegistry::Global()
+          .GetGauge("pqe.bench.counting_hotpath.e4.fast_rel_err")
+          .Set(fast_rel_err);
+      std::printf("  e4.w%u accuracy (fast): estimate %.6g vs exact %.6g "
+                  "(rel err %.4f, epsilon %.2f)\n",
+                  width, fast_p, exact_p, fast_rel_err, cfg.epsilon);
+      PQE_CHECK(fast_rel_err <= cfg.epsilon);
     }
   }
   std::printf("\n");
@@ -151,8 +188,9 @@ void SweepQueryScaling(uint32_t max_len, size_t smoke_pool) {
       "E8 sweep — path query length 2..%u, layered width 4, density 1.0, "
       "median-of-3\n",
       max_len);
-  std::printf("  %-10s %-12s %-12s %-8s %s\n", "cell", "legacy_ms",
-              "cached_ms", "speedup", "log2(P)");
+  std::printf("  %-10s %-12s %-12s %-12s %-8s %-8s %s\n", "cell",
+              "legacy_ms", "cached_ms", "fast_ms", "speedup", "fast_spd",
+              "log2(P)");
   EstimatorConfig cfg;
   cfg.epsilon = 0.25;
   cfg.seed = 17;

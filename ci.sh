@@ -124,12 +124,14 @@ with open(sys.argv[1]) as f:
 gauges = doc.get("metrics", doc).get("gauges", {})
 cells = [k for k in gauges if "counting_hotpath" in k and k.endswith(".speedup")]
 assert cells, "no counting_hotpath speedup gauges in metrics JSON"
+fast = [k for k in gauges if "counting_hotpath" in k and k.endswith(".fast_speedup")]
+assert fast, "no counting_hotpath fast_speedup gauges in metrics JSON (fast-kernels cell missing)"
 with open(sys.argv[2]) as f:
     doc = json.load(f)
 gauges = doc.get("metrics", doc).get("gauges", {})
 serving = [k for k in gauges if "bench.serving" in k and k.endswith(".speedup_warm")]
 assert serving, "no serving speedup gauges in metrics JSON"
-print(f"perf-smoke: {len(cells)} hotpath + {len(serving)} serving cells, JSON OK")
+print(f"perf-smoke: {len(cells)} hotpath ({len(fast)} fast-kernel) + {len(serving)} serving cells, JSON OK")
 EOF
   else
     grep -q "counting_hotpath" "${out}"

@@ -146,6 +146,7 @@ EstimatorConfig PqeEngine::MakeEstimatorConfig(const Options& options,
   cfg.max_pool_size = options.max_pool_size;
   cfg.repetitions = options.repetitions;
   cfg.num_threads = options.num_threads;
+  cfg.kernel_mode = options.kernel_mode;
   cfg.cancel = cancel;
   return cfg;
 }
@@ -163,6 +164,11 @@ EvalResponse PqeEngine::EvaluateRequest(const EvalRequest& request) const {
   if (request.collect_trace.has_value()) {
     opts.collect_trace = *request.collect_trace;
   }
+  if (request.kernels.has_value()) opts.kernel_mode = *request.kernels;
+  obs::MetricRegistry::Global()
+      .GetCounter(std::string("pqe.engine.kernel_mode.") +
+                  KernelModeToString(opts.kernel_mode))
+      .Increment();
 
   // The deadline token chains any external token, so the request aborts when
   // either expires; with no deadline the external token (if any) is polled
@@ -247,6 +253,7 @@ Result<PqeAnswer> PqeEngine::EvaluateQueryImpl(
     session.emplace("engine.evaluate");
     obs::SpanAttrUint("request_id", request_id);
     obs::SpanAttrText("method", PqeMethodToString(method));
+    obs::SpanAttrText("kernels", KernelModeToString(opts.kernel_mode));
     obs::SpanAttrUint("facts", pdb.NumFacts());
     obs::SpanAttrFloat("epsilon", opts.epsilon);
   }
@@ -303,6 +310,7 @@ Result<PqeAnswer> PqeEngine::EvaluateQueryImpl(
       cfg.epsilon = opts.epsilon;
       cfg.seed = opts.seed;
       cfg.num_threads = opts.num_threads;
+      cfg.kernel_mode = opts.kernel_mode;
       cfg.cancel = cancel;
       PQE_ASSIGN_OR_RETURN(KarpLubyResult r, KarpLubyPqe(query, pdb, cfg));
       out.probability = r.probability;
@@ -326,6 +334,7 @@ Result<PqeAnswer> PqeEngine::EvaluateQueryImpl(
       cfg.seed = opts.seed;
       cfg.num_samples = 20'000;
       cfg.num_threads = opts.num_threads;
+      cfg.kernel_mode = opts.kernel_mode;
       PQE_ASSIGN_OR_RETURN(MonteCarloResult r,
                            MonteCarloPqe(query, pdb, cfg));
       out.probability = r.probability;
@@ -350,6 +359,7 @@ Result<PqeAnswer> PqeEngine::EvaluateUnionImpl(
   if (opts.collect_trace) {
     session.emplace("engine.evaluate_union");
     obs::SpanAttrUint("request_id", request_id);
+    obs::SpanAttrText("kernels", KernelModeToString(opts.kernel_mode));
     obs::SpanAttrUint("facts", pdb.NumFacts());
     obs::SpanAttrUint("disjuncts", query.NumDisjuncts());
   }
@@ -397,6 +407,7 @@ Result<PqeAnswer> PqeEngine::EvaluateUnionImpl(
   cfg.epsilon = opts.epsilon;
   cfg.seed = opts.seed;
   cfg.num_threads = opts.num_threads;
+  cfg.kernel_mode = opts.kernel_mode;
   cfg.cancel = cancel;
   PQE_ASSIGN_OR_RETURN(KarpLubyResult r, KarpLubyUnionPqe(query, pdb, cfg));
   out.probability = r.probability;

@@ -127,6 +127,10 @@ struct EvalRequest {
   std::optional<double> epsilon;
   std::optional<uint64_t> seed;
   std::optional<bool> collect_trace;
+  /// Sampling-kernel tier override (see counting/config.h). kExact keeps
+  /// the bit-identical golden path; kFast runs the batched alias-table
+  /// kernels.
+  std::optional<KernelMode> kernels;
 
   /// Caller-chosen identifier, echoed in the response. The serving layer
   /// derives per-request seeds from it (Rng::DeriveSeed) when `seed` is
@@ -206,6 +210,13 @@ class PqeEngine {
     /// Collect a structured RunTrace for each evaluation (PqeAnswer::trace).
     /// Off by default: tracing is cheap but not free, and answers stay lean.
     bool collect_trace = false;
+    /// Sampling-kernel tier forwarded to every sampling layer (counting
+    /// estimators, Karp–Luby, Monte Carlo). kExact (default) is the
+    /// bit-identical golden path; kFast trades bit-for-bit stability across
+    /// versions for batched alias-table kernels (statistically equivalent,
+    /// fixed-seed reproducible within a build). See docs/performance.md,
+    /// "Kernel modes".
+    KernelMode kernel_mode = KernelMode::kExact;
 
     class Builder;
   };
@@ -326,6 +337,10 @@ class PqeEngine::Options::Builder {
   }
   Builder& CollectTrace(bool collect) {
     opts_.collect_trace = collect;
+    return *this;
+  }
+  Builder& Kernels(KernelMode mode) {
+    opts_.kernel_mode = mode;
     return *this;
   }
 

@@ -4,11 +4,33 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "util/cancel.h"
 #include "util/extfloat.h"
+#include "util/result.h"
 
 namespace pqe {
+
+/// Sampling-kernel selection for the counting core and the lineage
+/// estimators (EstimatorConfig / KarpLubyConfig / MonteCarloConfig
+/// `kernel_mode`). The two-tier determinism contract
+/// (docs/performance.md "Kernel modes"):
+enum class KernelMode : uint8_t {
+  /// Scalar draws: rejection-sampled bounded picks, cumulative-table
+  /// pickers, one RNG word at a time. Bit-identical across thread counts
+  /// and versions — the golden path every capture/replay oracle runs on.
+  kExact = 0,
+  /// Batched SoA kernels: O(1) alias-table picks, block-generated RNG,
+  /// multiply-shift bounded draws over contiguous reusable arenas.
+  /// Statistically equivalent to kExact (χ²- and exact-oracle-gated in
+  /// fast_kernels_test) and fixed-seed reproducible within a build, but
+  /// not bit-identical to kExact or across versions.
+  kFast = 1,
+};
+
+const char* KernelModeToString(KernelMode mode);
+Result<KernelMode> KernelModeFromString(std::string_view name);
 
 /// Tuning knobs for the CountNFA / CountNFTA estimators.
 ///
@@ -57,6 +79,10 @@ struct EstimatorConfig {
   /// cached path by construction (docs/performance.md), so estimates match
   /// bit for bit; bench_counting_hotpath uses it as the in-binary baseline.
   bool disable_hotpath_caches = false;
+  /// Sampling-kernel tier (see KernelMode). kFast implies the cached hot
+  /// path; it is independent of `disable_hotpath_caches`, which only
+  /// ablates the kExact tier.
+  KernelMode kernel_mode = KernelMode::kExact;
   /// Cooperative cancellation (optional, not owned; must outlive the run).
   /// The counters poll the token once per processed stratum and every few
   /// hundred rejection attempts; when it expires they abort with
@@ -84,6 +110,8 @@ struct EstimatorConfig {
   X(forced_samples)               \
   X(membership_checks)            \
   X(picker_builds)                \
+  X(alias_builds)                 \
+  X(batch_draws)                  \
   X(runstates_memo_hits)          \
   X(runstates_memo_misses)
 
@@ -97,6 +125,8 @@ struct CountStats {
   size_t forced_samples = 0;    // zero-accept fallbacks (should be rare)
   size_t membership_checks = 0; // exact membership oracle invocations
   size_t picker_builds = 0;     // WeightedPicker cumulative-table builds
+  size_t alias_builds = 0;      // AliasPicker table builds (fast kernels)
+  size_t batch_draws = 0;       // block-RNG batches drawn (fast kernels)
   size_t runstates_memo_hits = 0;    // membership answered from the memo
   size_t runstates_memo_misses = 0;  // membership computed and memoized
 
@@ -138,14 +168,16 @@ class ScopedSpan;
 }  // namespace obs
 
 /// Observability hook shared by CountNFA/CountNFTA: attaches every
-/// CountStats field (plus the derived canonical_rejections and the
-/// `hotpath` = "cached"/"legacy" mode marker) to `span` and folds the run
-/// into the global metric registry under `prefix` (e.g. "pqe.count_nfta"),
-/// plus the cross-counter `counting.picker_builds` /
-/// `counting.runstates_memo_{hits,misses}` hot-path counters. One call per
-/// counter run, not per sample.
+/// CountStats field (plus the derived canonical_rejections, the
+/// `hotpath` = "cached"/"legacy" mode marker and the `kernels` =
+/// "exact"/"fast" tier) to `span` and folds the run into the global metric
+/// registry under `prefix` (e.g. "pqe.count_nfta"), plus the cross-counter
+/// `counting.picker_builds` / `counting.alias_builds` /
+/// `counting.batch_draws` / `counting.runstates_memo_{hits,misses}`
+/// hot-path counters. One call per counter run, not per sample.
 void RecordCountRun(const char* prefix, const CountStats& stats,
-                    bool hotpath_cached, obs::ScopedSpan* span);
+                    bool hotpath_cached, KernelMode kernel_mode,
+                    obs::ScopedSpan* span);
 
 }  // namespace pqe
 

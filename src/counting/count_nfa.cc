@@ -17,6 +17,11 @@ namespace pqe {
 
 namespace {
 
+// Attempts drawn per block-RNG batch in the fast kernels: 2 raw words per
+// attempt (one for the weighted pick, one for the prefix index), so a batch
+// is a 4 KiB buffer — resident in L1 while the acceptance pass runs.
+constexpr size_t kDrawBatch = 256;
+
 // A pooled sample of A(q, l), stored as a derivation reference: the incoming
 // transition taken and the index of the prefix sample in the predecessor
 // stratum's pool. Strings are materialized on demand (O(l)), so pools cost
@@ -33,7 +38,8 @@ class NfaCounter {
         n_(n),
         config_(config),
         rng_(config.seed),
-        cached_(!config.disable_hotpath_caches),
+        fast_(config.kernel_mode == KernelMode::kFast),
+        cached_(fast_ || !config.disable_hotpath_caches),
         cancel_(config.cancel) {}
 
   Result<CountEstimate> Run() {
@@ -179,19 +185,93 @@ class NfaCounter {
     return reach_memo_[l][q][idx];
   }
 
+  // A same-symbol group of incoming transitions (see ProcessStratum).
+  struct Group {
+    std::vector<uint32_t> transitions;
+    std::vector<ExtFloat> weights;
+    ExtFloat weight_sum;
+    ExtFloat estimate;
+    std::vector<SampleRef> accepted;
+  };
+
+  // The drawer mode every weighted pick in this counter routes through —
+  // the single kernel-mode dispatch point.
+  IndexDrawer::Mode DrawMode() const {
+    if (fast_) return IndexDrawer::Mode::kAlias;
+    return cached_ ? IndexDrawer::Mode::kCached : IndexDrawer::Mode::kLegacy;
+  }
+
+  // Canonical check: the chosen transition must be the first (by transition
+  // index) in the group whose predecessor state can be reached on the
+  // sampled prefix — decided exactly by simulation (memoized over the
+  // derivation ref; the legacy ablation path re-simulates the materialized
+  // prefix from scratch).
+  bool IsCanonical(const Group& g, const SampleRef& candidate, size_t l) {
+    const Nfa::Transition* trans = nfa_.transitions().data();
+    const Nfa::Transition& t = trans[candidate.transition];
+    ++stats_.membership_checks;
+    std::vector<StateId> reach_storage;
+    const std::vector<StateId>* reach;
+    if (cached_) {
+      reach = &ReachStates(t.from, l - 1, candidate.prefix);
+    } else {
+      reach_storage = nfa_.ActiveStatesAfter(
+          Materialize(t.from, l - 1, candidate.prefix));
+      reach = &reach_storage;
+    }
+    uint32_t canonical = candidate.transition;
+    for (uint32_t other_idx : g.transitions) {
+      const Nfa::Transition& o = trans[other_idx];
+      if (std::binary_search(reach->begin(), reach->end(), o.from)) {
+        canonical = other_idx;
+        break;
+      }
+    }
+    return canonical == candidate.transition;
+  }
+
+  // Fast-kernel batch: fills the SoA candidate arenas with `batch` draws —
+  // one alias pick plus one multiply-shift prefix index each — from a single
+  // contiguous block of raw RNG words. cand_valid_[i] is 0 when the picked
+  // transition's predecessor pool is empty (still counted as an attempt,
+  // matching the scalar loop's `continue`).
+  void DrawCandidateBatch(const std::vector<uint32_t>& transitions,
+                          size_t batch, size_t l) {
+    const Nfa::Transition* trans = nfa_.transitions().data();
+    words_.resize(2 * batch);
+    rng_.FillBlock(words_.data(), 2 * batch);
+    ++stats_.batch_draws;
+    BatchSizeHist().Observe(batch);
+    cand_trans_.resize(batch);
+    cand_prefix_.resize(batch);
+    cand_valid_.assign(batch, 0);
+    for (size_t i = 0; i < batch; ++i) {
+      const size_t pick =
+          drawer_.DrawFromDouble(Rng::DoubleFromWord(words_[2 * i]));
+      const uint32_t trans_idx = transitions[pick];
+      const auto& prev_pool = pools_[l - 1][trans[trans_idx].from];
+      if (prev_pool.empty()) continue;
+      cand_trans_[i] = trans_idx;
+      cand_prefix_[i] = static_cast<uint32_t>(
+          Rng::BoundedFromWord(words_[2 * i + 1], prev_pool.size()));
+      cand_valid_[i] = 1;
+    }
+  }
+
+  obs::Histogram& BatchSizeHist() {
+    if (batch_hist_ == nullptr) {
+      batch_hist_ = &obs::MetricRegistry::Global().GetHistogram(
+          "counting.batch_size_hist");
+    }
+    return *batch_hist_;
+  }
+
   // Stratum estimate for A(q, l) = ∪_t A(from(t), l−1)·symbol(t).
   // Transitions with distinct symbols append distinct last characters, so
   // the union decomposes into an exact sum over symbol groups; only within
   // a group of same-symbol incoming transitions is the Karp–Luby canonical-
   // witness estimator (with its exact prefix-membership oracle) needed.
   void ProcessStratum(StateId q, size_t l) {
-    struct Group {
-      std::vector<uint32_t> transitions;
-      std::vector<ExtFloat> weights;
-      ExtFloat weight_sum;
-      ExtFloat estimate;
-      std::vector<SampleRef> accepted;
-    };
     const Nfa::Transition* trans = nfa_.transitions().data();
     std::map<SymbolId, Group> groups;
     for (uint32_t idx : nfa_.InTransitions(q)) {
@@ -224,51 +304,38 @@ class NfaCounter {
         total_estimate = total_estimate.Add(g.estimate);
         continue;
       }
-      // One picker build per group, reused across the whole rejection loop
+      // One drawer build per group, reused across the whole rejection loop
       // (the legacy ablation path redoes the scan-and-scale work per draw;
-      // both consume one NextDouble per pick, so draws are bit-identical).
-      if (cached_) {
-        picker_.Build(g.weights);
-        ++stats_.picker_builds;
-      }
-      auto PickTransition = [&]() {
-        return cached_ ? picker_.Pick(&rng_)
-                       : PickWeightedIndex(&rng_, g.weights);
-      };
+      // legacy and cached both consume one NextDouble per pick, so their
+      // draws are bit-identical; the alias mode is the fast tier).
+      drawer_.Prepare(DrawMode(), g.weights, &stats_);
       const size_t max_attempts = config_.attempt_factor * pool_target_ + 64;
       size_t attempts = 0;
-      while (g.accepted.size() < pool_target_ && attempts < max_attempts) {
-        ++attempts;
-        if ((attempts & 255u) == 0 && Cancelled()) break;
-        const size_t pick = PickTransition();
-        SampleRef candidate;
-        if (!DrawRef(g.transitions[pick], &candidate)) continue;
-        const Nfa::Transition& t = trans[candidate.transition];
-        // Canonical check: the chosen transition must be the first (by
-        // transition index) in the group whose predecessor state can be
-        // reached on the sampled prefix — decided exactly by simulation
-        // (memoized over the derivation ref; the ablation path re-simulates
-        // the materialized prefix from scratch).
-        ++stats_.membership_checks;
-        std::vector<StateId> reach_storage;
-        const std::vector<StateId>* reach;
-        if (cached_) {
-          reach = &ReachStates(t.from, l - 1, candidate.prefix);
-        } else {
-          reach_storage = nfa_.ActiveStatesAfter(
-              Materialize(t.from, l - 1, candidate.prefix));
-          reach = &reach_storage;
-        }
-        uint32_t canonical = candidate.transition;
-        for (uint32_t other_idx : g.transitions) {
-          const Nfa::Transition& o = trans[other_idx];
-          if (std::binary_search(reach->begin(), reach->end(), o.from)) {
-            canonical = other_idx;
-            break;
+      if (fast_) {
+        // Batched SoA kernel: draw a block of candidates at once, then run
+        // the acceptance pass over the contiguous arenas. The whole batch
+        // counts as attempts even when the pool target is crossed mid-batch
+        // — the extra canonical hits just enrich the resample pool, and
+        // accepted/attempts stays a per-attempt acceptance-rate estimate.
+        while (g.accepted.size() < pool_target_ && attempts < max_attempts) {
+          if (Cancelled()) break;
+          const size_t batch = std::min(kDrawBatch, max_attempts - attempts);
+          DrawCandidateBatch(g.transitions, batch, l);
+          for (size_t i = 0; i < batch; ++i) {
+            if (cand_valid_[i] == 0) continue;
+            const SampleRef candidate{cand_trans_[i], cand_prefix_[i]};
+            if (IsCanonical(g, candidate, l)) g.accepted.push_back(candidate);
           }
+          attempts += batch;
         }
-        if (canonical == candidate.transition) {
-          g.accepted.push_back(candidate);
+      } else {
+        while (g.accepted.size() < pool_target_ && attempts < max_attempts) {
+          ++attempts;
+          if ((attempts & 255u) == 0 && Cancelled()) break;
+          const size_t pick = drawer_.Draw(&rng_);
+          SampleRef candidate;
+          if (!DrawRef(g.transitions[pick], &candidate)) continue;
+          if (IsCanonical(g, candidate, l)) g.accepted.push_back(candidate);
         }
       }
       stats_.attempts += attempts;
@@ -278,7 +345,7 @@ class NfaCounter {
         // is >= 1/|group|); force one biased sample so a live stratum never
         // reports a false zero.
         ++stats_.forced_samples;
-        const size_t pick = PickTransition();
+        const size_t pick = drawer_.Draw(&rng_);
         SampleRef forced;
         if (DrawRef(g.transitions[pick], &forced)) {
           g.accepted.push_back(forced);
@@ -305,24 +372,54 @@ class NfaCounter {
       group_list.push_back(&g);
       group_weights.push_back(g.estimate);
     }
-    if (cached_ && group_list.size() > 1) {
-      picker_.Build(group_weights);
-      ++stats_.picker_builds;
+    if (group_list.size() > 1) {
+      drawer_.Prepare(DrawMode(), group_weights, &stats_);
     }
     auto& pool = pools_[l][q];
     pool.reserve(pool_target_);
-    for (size_t i = 0; i < pool_target_; ++i) {
-      const Group& g =
-          group_list.size() == 1
-              ? *group_list[0]
-              : *group_list[cached_
-                                ? picker_.Pick(&rng_)
-                                : PickWeightedIndex(&rng_, group_weights)];
-      if (g.transitions.size() == 1) {
-        SampleRef sample;
-        if (DrawRef(g.transitions[0], &sample)) pool.push_back(sample);
-      } else if (!g.accepted.empty()) {
-        pool.push_back(g.accepted[rng_.NextBounded(g.accepted.size())]);
+    if (fast_) {
+      // Batched mixture: one word for the group pick, one for the index
+      // within the group (fresh prefix for singleton groups, canonical-hit
+      // resample otherwise), drawn block-at-a-time.
+      for (size_t done = 0; done < pool_target_;) {
+        const size_t batch = std::min(kDrawBatch, pool_target_ - done);
+        words_.resize(2 * batch);
+        rng_.FillBlock(words_.data(), 2 * batch);
+        ++stats_.batch_draws;
+        BatchSizeHist().Observe(batch);
+        for (size_t i = 0; i < batch; ++i) {
+          const Group& g =
+              group_list.size() == 1
+                  ? *group_list[0]
+                  : *group_list[drawer_.DrawFromDouble(
+                        Rng::DoubleFromWord(words_[2 * i]))];
+          const uint64_t word = words_[2 * i + 1];
+          if (g.transitions.size() == 1) {
+            const auto& prev_pool =
+                pools_[l - 1][trans[g.transitions[0]].from];
+            if (prev_pool.empty()) continue;
+            pool.push_back(SampleRef{
+                g.transitions[0],
+                static_cast<uint32_t>(
+                    Rng::BoundedFromWord(word, prev_pool.size()))});
+          } else if (!g.accepted.empty()) {
+            pool.push_back(g.accepted[Rng::BoundedFromWord(
+                word, g.accepted.size())]);
+          }
+        }
+        done += batch;
+      }
+    } else {
+      for (size_t i = 0; i < pool_target_; ++i) {
+        const Group& g = group_list.size() == 1
+                             ? *group_list[0]
+                             : *group_list[drawer_.Draw(&rng_)];
+        if (g.transitions.size() == 1) {
+          SampleRef sample;
+          if (DrawRef(g.transitions[0], &sample)) pool.push_back(sample);
+        } else if (!g.accepted.empty()) {
+          pool.push_back(g.accepted[rng_.NextBounded(g.accepted.size())]);
+        }
       }
     }
     stats_.pool_entries += pool.size();
@@ -350,20 +447,10 @@ class NfaCounter {
     const size_t max_attempts = config_.attempt_factor * target + 64;
     size_t attempts = 0;
     size_t accepted = 0;
-    if (cached_) {
-      picker_.Build(weights);
-      ++stats_.picker_builds;
-    }
-    while (attempts < max_attempts && accepted < target) {
-      ++attempts;
-      if ((attempts & 255u) == 0 && Cancelled()) break;
-      const size_t pick =
-          cached_ ? picker_.Pick(&rng_) : PickWeightedIndex(&rng_, weights);
-      const StateId q = finals[pick];
-      const auto& pool = pools_[n_][q];
-      if (pool.empty()) continue;
-      const uint32_t idx =
-          static_cast<uint32_t>(rng_.NextBounded(pool.size()));
+    drawer_.Prepare(DrawMode(), weights, &stats_);
+    // Canonical check for one (accepting state, pool index) draw: q must be
+    // the smallest accepting state reachable on the sampled string.
+    auto AcceptsCanonically = [&](StateId q, uint32_t idx) {
       ++stats_.membership_checks;
       std::vector<StateId> reach_storage;
       const std::vector<StateId>* reach;
@@ -380,7 +467,40 @@ class NfaCounter {
           break;
         }
       }
-      if (canonical == q) ++accepted;
+      return canonical == q;
+    };
+    if (fast_) {
+      while (attempts < max_attempts && accepted < target) {
+        if (Cancelled()) break;
+        const size_t batch = std::min(kDrawBatch, max_attempts - attempts);
+        words_.resize(2 * batch);
+        rng_.FillBlock(words_.data(), 2 * batch);
+        ++stats_.batch_draws;
+        BatchSizeHist().Observe(batch);
+        for (size_t i = 0; i < batch; ++i) {
+          const size_t pick =
+              drawer_.DrawFromDouble(Rng::DoubleFromWord(words_[2 * i]));
+          const StateId q = finals[pick];
+          const auto& pool = pools_[n_][q];
+          if (pool.empty()) continue;
+          const uint32_t idx = static_cast<uint32_t>(
+              Rng::BoundedFromWord(words_[2 * i + 1], pool.size()));
+          if (AcceptsCanonically(q, idx)) ++accepted;
+        }
+        attempts += batch;
+      }
+    } else {
+      while (attempts < max_attempts && accepted < target) {
+        ++attempts;
+        if ((attempts & 255u) == 0 && Cancelled()) break;
+        const size_t pick = drawer_.Draw(&rng_);
+        const StateId q = finals[pick];
+        const auto& pool = pools_[n_][q];
+        if (pool.empty()) continue;
+        const uint32_t idx =
+            static_cast<uint32_t>(rng_.NextBounded(pool.size()));
+        if (AcceptsCanonically(q, idx)) ++accepted;
+      }
     }
     stats_.attempts += attempts;
     stats_.accepted += accepted;
@@ -408,6 +528,7 @@ class NfaCounter {
   const size_t n_;
   const EstimatorConfig& config_;
   Rng rng_;
+  const bool fast_;    // batched fast kernels (kernel_mode = kFast)
   const bool cached_;  // hot-path caches on (off = ablation baseline)
   const CancelToken* cancel_;
   size_t pool_target_ = 0;
@@ -423,10 +544,16 @@ class NfaCounter {
     StateId q;
     uint32_t idx;
   };
-  WeightedPicker picker_;
+  IndexDrawer drawer_;
   std::vector<MemoLevel> reach_memo_;  // [l][q][pool idx] -> sorted states
   std::vector<ChainLink> chain_;
   std::vector<StateId> step_scratch_;
+  // Fast-kernel SoA arenas, sized to one batch and reused across batches.
+  std::vector<uint64_t> words_;       // raw block-RNG output
+  std::vector<uint32_t> cand_trans_;  // candidate transition per attempt
+  std::vector<uint32_t> cand_prefix_; // candidate prefix index per attempt
+  std::vector<uint8_t> cand_valid_;   // 0 = predecessor pool was empty
+  obs::Histogram* batch_hist_ = nullptr;  // lazy counting.batch_size_hist
 };
 
 }  // namespace
@@ -446,7 +573,7 @@ Result<CountEstimate> CountNfaStrings(const Nfa& nfa, size_t n,
     NfaCounter counter(nfa, n, config);
     PQE_ASSIGN_OR_RETURN(CountEstimate est, counter.Run());
     RecordCountRun("pqe.count_nfa", est.stats, !config.disable_hotpath_caches,
-                   &span);
+                   config.kernel_mode, &span);
     return est;
   }
   // Median-of-R amplification over independent seeds. Reps are independent
@@ -498,6 +625,8 @@ Result<CountEstimate> CountNfaStrings(const Nfa& nfa, size_t n,
     aggregate.forced_samples += est.stats.forced_samples;
     aggregate.membership_checks += est.stats.membership_checks;
     aggregate.picker_builds += est.stats.picker_builds;
+    aggregate.alias_builds += est.stats.alias_builds;
+    aggregate.batch_draws += est.stats.batch_draws;
     aggregate.runstates_memo_hits += est.stats.runstates_memo_hits;
     aggregate.runstates_memo_misses += est.stats.runstates_memo_misses;
   }
@@ -508,7 +637,7 @@ Result<CountEstimate> CountNfaStrings(const Nfa& nfa, size_t n,
   CountEstimate out = runs[runs.size() / 2];
   out.stats = aggregate;
   RecordCountRun("pqe.count_nfa", out.stats, !config.disable_hotpath_caches,
-                 &span);
+                 config.kernel_mode, &span);
   return out;
 }
 

@@ -59,6 +59,7 @@ uint64_t HashEstimatorConfig(const EstimatorConfig& config) {
   mix(config.repetitions);
   mix(config.disable_backward_pruning ? 1 : 0);
   mix(config.disable_hotpath_caches ? 1 : 0);
+  mix(static_cast<uint64_t>(config.kernel_mode));
   return h;
 }
 

@@ -70,6 +70,7 @@ std::string FormatWorkloadRecord(const WorkloadRecord& record) {
   w.Key("labelling_hash").String(ToHex(record.labelling_hash));
   w.Key("config_hash").String(ToHex(record.config_hash));
   w.Key("method").String(record.method);
+  w.Key("kernels").String(record.kernels);
   w.Key("epsilon").Double(record.epsilon);
   w.Key("seed").String(ToHex(record.seed));
   w.Key("deadline_ms").Uint(record.deadline_ms);
@@ -94,6 +95,10 @@ Result<WorkloadRecord> ParseWorkloadRecord(std::string_view line) {
   r.labelling_hash = GetHex(doc, "labelling_hash");
   r.config_hash = GetHex(doc, "config_hash");
   r.method = GetString(doc, "method");
+  // Pre-kernel-mode captures carry no "kernels" key; they recorded the
+  // then-only exact tier.
+  r.kernels = GetString(doc, "kernels");
+  if (r.kernels.empty()) r.kernels = "exact";
   r.epsilon = GetNumber(doc, "epsilon");
   r.seed = GetHex(doc, "seed");
   r.deadline_ms =
@@ -245,6 +250,10 @@ Result<ReplayReport> ReplayWorkload(
     if (!r.method.empty()) {
       PQE_ASSIGN_OR_RETURN(PqeMethod m, MethodFromString(r.method));
       req.method = m;
+    }
+    if (!r.kernels.empty()) {
+      PQE_ASSIGN_OR_RETURN(KernelMode km, KernelModeFromString(r.kernels));
+      req.kernels = km;
     }
     // No deadline: replay verifies answers, not timing.
     requests.push_back(req);

@@ -4,7 +4,7 @@
 // the threshold.
 //
 //   bench_compare --baseline BENCH_serving.json --fresh /tmp/fresh.json
-//                 [--threshold 0.25] [--advisory]
+//                 [--threshold 0.25] [--advisory] [--update-baselines]
 //
 // Only gauges whose name contains "speedup" are gated: they are
 // ratio-of-medians within one run of one binary, so they are stable across
@@ -12,6 +12,10 @@
 // with no shared speedup gauge is an error (a silent empty intersection
 // would pass forever). --advisory prints the comparison but always exits 0
 // (used by the sanitizer CI stages, where timings are meaningless).
+// --update-baselines copies the fresh metrics file over the baseline path
+// after printing the comparison — regenerating a committed BENCH_*.json
+// after an intentional perf change is one command instead of hand-editing —
+// and exits 0 (an update acknowledges the change instead of gating on it).
 
 #include <cstdio>
 #include <cstring>
@@ -66,7 +70,8 @@ const GaugeReading* Find(const std::vector<GaugeReading>& gauges,
 void Usage() {
   std::fprintf(stderr,
                "usage: bench_compare --baseline FILE --fresh FILE\n"
-               "                     [--threshold R] [--advisory]\n");
+               "                     [--threshold R] [--advisory]\n"
+               "                     [--update-baselines]\n");
 }
 
 }  // namespace
@@ -76,6 +81,7 @@ int main(int argc, char** argv) {
   std::string fresh_path;
   double threshold = 0.25;
   bool advisory = false;
+  bool update_baselines = false;
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) -> const char* {
@@ -94,6 +100,8 @@ int main(int argc, char** argv) {
       threshold = std::atof(need_value("--threshold"));
     } else if (std::strcmp(argv[i], "--advisory") == 0) {
       advisory = true;
+    } else if (std::strcmp(argv[i], "--update-baselines") == 0) {
+      update_baselines = true;
     } else if (std::strcmp(argv[i], "--help") == 0) {
       Usage();
       return 0;
@@ -145,6 +153,24 @@ int main(int argc, char** argv) {
               "(threshold %.0f%%)%s\n",
               compared, regressed, threshold * 100.0,
               advisory ? " [advisory]" : "");
+  if (update_baselines) {
+    std::ifstream src(fresh_path, std::ios::binary);
+    std::ofstream dst(baseline_path, std::ios::binary | std::ios::trunc);
+    if (!src.is_open() || !dst.is_open()) {
+      std::fprintf(stderr, "bench_compare: cannot copy %s -> %s\n",
+                   fresh_path.c_str(), baseline_path.c_str());
+      return 2;
+    }
+    dst << src.rdbuf();
+    if (!dst.good()) {
+      std::fprintf(stderr, "bench_compare: write to %s failed\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::printf("bench_compare: baseline %s updated from %s\n",
+                baseline_path.c_str(), fresh_path.c_str());
+    return 0;
+  }
   if (advisory) return 0;
   return regressed == 0 ? 0 : 1;
 }

@@ -47,6 +47,9 @@ void Usage() {
       "  --max-width W    hypertree width budget (default 3)\n"
       "  --threads N      worker threads for the sampling loops (default:\n"
       "                   $PQE_THREADS, else 1; results do not depend on N)\n"
+      "  --kernels M      sampling kernels: exact (default; bit-identical\n"
+      "                   golden path) or fast (batched alias-table kernels,\n"
+      "                   statistically equivalent)\n"
       "  --ur             report uniform reliability instead of probability\n"
       "  --sample K       print K sampled worlds conditioned on Q holding\n"
       "  --server-batch F serve the queries in file F (one per line; # and\n"
@@ -73,6 +76,7 @@ int main(int argc, char** argv) {
   std::string data_path;
   std::string query_text;
   std::string method = "auto";
+  std::string kernels = "exact";
   double epsilon = 0.2;
   uint64_t seed = 42;
   size_t max_width = 3;
@@ -104,6 +108,10 @@ int main(int argc, char** argv) {
       query_text = need_value("--query");
     } else if (std::strcmp(argv[i], "--method") == 0) {
       method = need_value("--method");
+    } else if (std::strcmp(argv[i], "--kernels") == 0) {
+      kernels = need_value("--kernels");
+    } else if (std::strncmp(argv[i], "--kernels=", 10) == 0) {
+      kernels = argv[i] + 10;
     } else if (std::strcmp(argv[i], "--epsilon") == 0) {
       epsilon = std::atof(need_value("--epsilon"));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
@@ -198,6 +206,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown method: %s\n", method.c_str());
     return 2;
   }
+  auto kernel_mode_or = KernelModeFromString(kernels);
+  if (!kernel_mode_or.ok()) {
+    std::fprintf(stderr, "%s\n",
+                 kernel_mode_or.status().ToString().c_str());
+    return 2;
+  }
+  builder.Kernels(*kernel_mode_or);
   auto opts_or = builder.Build();
   if (!opts_or.ok()) {
     std::fprintf(stderr, "invalid options: %s\n",
@@ -374,6 +389,7 @@ int main(int argc, char** argv) {
     cfg.epsilon = epsilon;
     cfg.seed = seed;
     cfg.num_threads = num_threads;
+    cfg.kernel_mode = *kernel_mode_or;
     UrConstructionOptions uropts;
     uropts.max_width = max_width;
     auto worlds =

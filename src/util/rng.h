@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/span.h"
+
 namespace pqe {
 
 /// Deterministic, seedable pseudo-random generator (xoshiro256**). Every
@@ -27,6 +29,30 @@ class Rng {
 
   /// Uniform double in [0, 1).
   double NextDouble();
+
+  /// Fills `out[0..count)` with the next `count` raw 64-bit values — the
+  /// exact words `count` successive Next() calls would return, so switching
+  /// a loop between per-draw Next() and block generation never changes the
+  /// stream. Batched kernels use this to amortize the out-of-line call and
+  /// keep their randomness in one contiguous, cache-resident buffer.
+  void FillBlock(uint64_t* out, size_t count);
+
+  /// The uniform double in [0, 1) that NextDouble() derives from a raw
+  /// word (53 mantissa bits). Lets block consumers map FillBlock output to
+  /// the same doubles the scalar path would draw.
+  static double DoubleFromWord(uint64_t word) {
+    return static_cast<double>(word >> 11) * 0x1.0p-53;
+  }
+
+  /// Branch-free map of a raw word to [0, bound) via the multiply-shift
+  /// reduction (Lemire 2019): floor(word * bound / 2^64). Not the same
+  /// value NextBounded() yields from that word (and negligibly biased for
+  /// bound << 2^64), so this is for the statistically-equivalent fast
+  /// kernels only — the exact path keeps rejection sampling.
+  static uint64_t BoundedFromWord(uint64_t word, uint64_t bound) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(word) * bound) >> 64);
+  }
 
   /// Bernoulli draw with success probability p (clamped to [0,1]).
   bool NextBernoulli(double p);
@@ -51,6 +77,22 @@ class Rng {
 
  private:
   uint64_t s_[4];
+};
+
+/// Read-only view presenting a block of raw RNG words as uniform doubles in
+/// [0, 1) — the bridge between Rng::FillBlock buffers and kernels that want
+/// uniforms. Does not own the words; the underlying buffer must outlive it.
+class DoubleBlock {
+ public:
+  explicit DoubleBlock(Span<uint64_t> words) : words_(words) {}
+
+  double operator[](size_t i) const {
+    return Rng::DoubleFromWord(words_[i]);
+  }
+  size_t size() const { return words_.size(); }
+
+ private:
+  Span<uint64_t> words_;
 };
 
 }  // namespace pqe

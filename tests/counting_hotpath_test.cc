@@ -99,6 +99,163 @@ TEST(WeightedPickerTest, ChiSquaredSanity) {
                          << counts[1] << " " << counts[2] << " " << counts[3];
 }
 
+TEST(WeightedPickerTest, TryBuildRejectsEmptyAndAllZero) {
+  WeightedPicker picker;
+  Status empty = picker.TryBuild({}, "stratum 3 in-group");
+  EXPECT_EQ(empty.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(empty.message().find("stratum 3 in-group"), std::string::npos);
+  EXPECT_NE(empty.message().find("empty weight table"), std::string::npos);
+  EXPECT_TRUE(picker.empty());
+
+  Status zeros = picker.TryBuild(std::vector<ExtFloat>(4),
+                                 "mixture group table");
+  EXPECT_EQ(zeros.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(zeros.message().find("mixture group table"), std::string::npos);
+  EXPECT_NE(zeros.message().find("all 4 weights are zero"),
+            std::string::npos);
+  EXPECT_TRUE(picker.empty());
+
+  // A good build after a failed one works and clears the error state.
+  EXPECT_TRUE(picker
+                  .TryBuild({ExtFloat::FromUint64(2)}, "retry")
+                  .ok());
+  EXPECT_EQ(picker.size(), 1u);
+}
+
+TEST(AliasPickerTest, TryBuildRejectsEmptyAndAllZero) {
+  AliasPicker picker;
+  Status empty = picker.TryBuild({}, "clause table");
+  EXPECT_EQ(empty.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(empty.message().find("clause table"), std::string::npos);
+
+  Status zeros = picker.TryBuild(std::vector<ExtFloat>(7), "tau group");
+  EXPECT_EQ(zeros.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(zeros.message().find("all 7 weights are zero"),
+            std::string::npos);
+  EXPECT_TRUE(picker.empty());
+}
+
+// χ² of AliasPicker draw frequencies against the weight proportions. With
+// k−1 degrees of freedom the 0.001 critical value is ≈ df + 4·√(2·df) for
+// the table sizes used here; a fixed seed keeps the check deterministic.
+double AliasChi2(const std::vector<uint64_t>& raw, size_t draws,
+                 uint64_t seed) {
+  std::vector<ExtFloat> weights;
+  double total = 0.0;
+  for (uint64_t w : raw) {
+    weights.push_back(ExtFloat::FromUint64(w));
+    total += static_cast<double>(w);
+  }
+  AliasPicker picker(weights);
+  Rng rng(seed);
+  std::vector<size_t> counts(raw.size(), 0);
+  for (size_t i = 0; i < draws; ++i) ++counts[picker.Pick(&rng)];
+  double chi2 = 0.0;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] == 0) {
+      EXPECT_EQ(counts[i], 0u) << "zero-weight index " << i << " drawn";
+      continue;
+    }
+    const double expected = draws * static_cast<double>(raw[i]) / total;
+    const double d = static_cast<double>(counts[i]) - expected;
+    chi2 += d * d / expected;
+  }
+  return chi2;
+}
+
+TEST(AliasPickerTest, ChiSquaredMatchesProportions) {
+  // 3 df: P(X > 16.27) = 0.001.
+  EXPECT_LT(AliasChi2({1, 2, 3, 10}, 40000, 0xa11a5), 16.27);
+}
+
+TEST(AliasPickerTest, SingleNonzeroColumn) {
+  // Degenerate table: only index 2 can ever come back, zero columns never.
+  EXPECT_LT(AliasChi2({0, 0, 5, 0}, 5000, 0x51), 1e-9);
+}
+
+TEST(AliasPickerTest, AllEqualWeights) {
+  // 7 df: P(X > 24.32) = 0.001.
+  EXPECT_LT(AliasChi2({3, 3, 3, 3, 3, 3, 3, 3}, 80000, 0xe0), 24.32);
+}
+
+TEST(AliasPickerTest, MillionToOneSkew) {
+  // Expected rare-index count is ~2 over 2M draws — too thin for χ², so
+  // bound the rare count directly (Poisson(2): P(X > 30) is astronomically
+  // small) and require the heavy column to absorb the rest.
+  std::vector<ExtFloat> weights = {ExtFloat::FromUint64(1000000),
+                                   ExtFloat::FromUint64(1)};
+  AliasPicker picker(weights);
+  Rng rng(0x5e3);
+  const size_t kDraws = 2000000;
+  size_t rare = 0;
+  for (size_t i = 0; i < kDraws; ++i) {
+    const size_t pick = picker.Pick(&rng);
+    ASSERT_LT(pick, 2u);
+    if (pick == 1) ++rare;
+  }
+  EXPECT_GT(rare, 0u);
+  EXPECT_LE(rare, 30u);
+}
+
+TEST(AliasPickerTest, LargeTable) {
+  // > 10⁴ entries with uniform weights; 64 draws per column on average.
+  // df = 16383: critical ≈ df + 4·√(2·df) ≈ 17107.
+  const size_t n = 16384;
+  std::vector<uint64_t> raw(n, 1);
+  EXPECT_LT(AliasChi2(raw, n * 64, 0xb16), 17107.0);
+}
+
+TEST(AliasPickerTest, ExtremeExponentsRenormalized) {
+  // Weights hundreds of binary orders apart must not overflow the doubles
+  // in the table: the dominant weight takes essentially all draws.
+  ExtFloat huge = ExtFloat::FromUint64(1000);
+  for (int i = 0; i < 40; ++i) huge = huge.Mul(huge);  // ~2^(10240)
+  std::vector<ExtFloat> weights = {ExtFloat::FromUint64(3), huge};
+  AliasPicker picker(weights);
+  Rng rng(0xd0e);
+  for (int i = 0; i < 2000; ++i) ASSERT_EQ(picker.Pick(&rng), 1u);
+}
+
+TEST(IndexDrawerTest, LegacyModeBuildsNothingAndMatchesOneShot) {
+  std::vector<ExtFloat> weights = {ExtFloat::FromUint64(1),
+                                   ExtFloat::FromUint64(4),
+                                   ExtFloat::FromUint64(2)};
+  CountStats stats;
+  IndexDrawer drawer;
+  drawer.Prepare(IndexDrawer::Mode::kLegacy, weights, &stats);
+  EXPECT_EQ(stats.picker_builds, 0u);
+  EXPECT_EQ(stats.alias_builds, 0u);
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(drawer.Draw(&a), PickWeightedIndex(&b, weights));
+  }
+}
+
+TEST(IndexDrawerTest, CachedModeDrawIdenticalAndCounted) {
+  std::vector<ExtFloat> weights = {ExtFloat::FromUint64(5),
+                                   ExtFloat::FromUint64(1)};
+  CountStats stats;
+  IndexDrawer drawer;
+  drawer.Prepare(IndexDrawer::Mode::kCached, weights, &stats);
+  EXPECT_EQ(stats.picker_builds, 1u);
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(drawer.Draw(&a), PickWeightedIndex(&b, weights));
+  }
+}
+
+TEST(IndexDrawerTest, AliasModeCountsBuildsAndRespectsSupport) {
+  std::vector<ExtFloat> weights(3);
+  weights[1] = ExtFloat::FromUint64(9);
+  CountStats stats;
+  IndexDrawer drawer;
+  drawer.Prepare(IndexDrawer::Mode::kAlias, weights, &stats);
+  EXPECT_EQ(stats.alias_builds, 1u);
+  EXPECT_EQ(stats.picker_builds, 0u);
+  Rng rng(11);
+  for (int i = 0; i < 200; ++i) ASSERT_EQ(drawer.Draw(&rng), 1u);
+}
+
 TEST(WeightedPickerTest, RebuildReuses) {
   WeightedPicker picker;
   picker.Build({ExtFloat::FromUint64(1), ExtFloat::FromUint64(1)});

@@ -131,6 +131,7 @@ TEST(WorkloadRecordTest, FormatParseRoundTripIsExact) {
   record.labelling_hash = 0xdeadbeefcafef00dull;  // needs all 64 bits
   record.config_hash = 0xffffffffffffffffull;
   record.method = "fpras";
+  record.kernels = "fast";
   record.epsilon = 0.20000000000000001;  // not representable in few digits
   record.seed = 0x3c6ef372fe94f854ull;
   record.deadline_ms = 250;
@@ -149,6 +150,7 @@ TEST(WorkloadRecordTest, FormatParseRoundTripIsExact) {
   EXPECT_EQ(back->config_hash, record.config_hash);
   EXPECT_EQ(back->seed, record.seed);
   EXPECT_EQ(back->method, record.method);
+  EXPECT_EQ(back->kernels, record.kernels);
   EXPECT_EQ(back->deadline_ms, record.deadline_ms);
   EXPECT_EQ(back->status, record.status);
   // Doubles are written with max_digits10: bit-exact round-trip.
@@ -159,6 +161,11 @@ TEST(WorkloadRecordTest, FormatParseRoundTripIsExact) {
 
   EXPECT_FALSE(ParseWorkloadRecord("not json").ok());
   EXPECT_FALSE(ParseWorkloadRecord("[1,2,3]").ok());
+
+  // Pre-kernel-mode captures (no "kernels" key) load as the exact tier.
+  auto legacy = ParseWorkloadRecord(R"({"request_id":1,"status":"ok"})");
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+  EXPECT_EQ(legacy->kernels, "exact");
 }
 
 TEST(WorkloadRecordTest, LoadWorkloadFileSkipsBlanksAndNumbersErrors) {
