@@ -135,6 +135,12 @@ void SweepDataScaling(uint32_t max_width, size_t smoke_pool) {
   cfg.epsilon = 0.25;
   cfg.seed = 11;
   cfg.pool_size = smoke_pool > 0 ? smoke_pool : 96;
+  // Median-of-3: the FPRAS's own δ mechanism. One repetition leaves the
+  // oracle cell's ε gate at the mercy of a single draw stream (the fast
+  // kernel's per-run variance breaches ε on ~1/3 of seeds); the median
+  // concentrates both kernels inside the band. Ratios (speedups) are
+  // unchanged — every mode pays the same factor.
+  cfg.repetitions = 3;
   for (uint32_t width = 2; width <= max_width; ++width) {
     LayeredGraphOptions opt;
     opt.width = width;
@@ -228,7 +234,12 @@ int main(int argc, char** argv) {
       "==============================================================\n\n"
       "%s",
       smoke ? "smoke mode: two smallest cells per sweep\n\n" : "\n");
-  SweepDataScaling(smoke ? 3 : 7, smoke ? 32 : 0);
+  // Smoke keeps the full run's per-stratum pool (96) for the E4 sweep: the
+  // width-3 oracle cell gates accuracy against the exact answer, and below
+  // ~64 pool entries the estimator does not concentrate inside the ε band
+  // for most seeds — the check would gate on seed luck, not correctness.
+  // Smoke's cost saving comes from capping the width at 3.
+  SweepDataScaling(smoke ? 3 : 7, smoke ? 96 : 0);
   SweepQueryScaling(smoke ? 3 : 7, smoke ? 24 : 0);
   std::printf("determinism: every cell's cached estimate matched the legacy "
               "estimate bit for bit\n");

@@ -14,8 +14,12 @@
 //            prepared cache + answer memo (sound because estimates are
 //            deterministic functions of the bound automaton and config —
 //            the replay IS the re-run, bit for bit).
-//   rebind — a batch cycling four labellings with per-request seeds:
-//            skeleton reused, gadget bind + sampling re-run per request.
+//   rebind — a batch cycling six labellings with per-request seeds:
+//            skeleton reused, bind re-resolved per request. The labellings
+//            are numerator-only variants of labelling 0 (denominators
+//            fixed), so every bind-LRU miss past the first is served by the
+//            delta patch (RebindPqeAutomaton) instead of a full gadget
+//            expansion, and six > the LRU's four slots exercises eviction.
 // Every warm/rebind answer is checked bit-identical to its cold twin (the
 // skeleton/bind split IS the cold path; see core/pqe.cc), and a pre-cancelled
 // request demonstrates the typed deadline status. Cells are recorded as
@@ -71,16 +75,30 @@ void MeasureCell(const std::string& cell, uint32_t width, size_t requests,
   gopt.density = 0.6;
   gopt.seed = width;
 
-  // Four probability labellings of the same fact set: warm serves labelling
-  // 0 only; rebind cycles all four.
-  constexpr size_t kLabellings = 4;
+  // Six probability labellings of the same fact set: warm serves labelling
+  // 0 only; rebind cycles all six. Labellings 1..5 are numerator-only
+  // drifts of labelling 0 — every fact keeps its denominator — so switching
+  // between them is exactly the delta-rebind regime (docs/serving.md
+  // "Incremental maintenance"), and with six labellings over the
+  // four-slot bind LRU the cycle also exercises eviction + re-patch.
+  constexpr size_t kLabellings = 6;
   std::vector<ProbabilisticDatabase> pdbs;
-  for (size_t j = 0; j < kLabellings; ++j) {
+  {
     auto db = MakeLayeredPathDatabase(qi, gopt).MoveValue();
     ProbabilityModel pm;
     pm.max_denominator = 8;
-    pm.seed = 100 + j;
+    pm.seed = 100;
     pdbs.push_back(AttachProbabilities(std::move(db), pm));
+  }
+  for (size_t j = 1; j < kLabellings; ++j) {
+    ProbabilisticDatabase pdb = pdbs[0];
+    for (FactId f = 0; f < pdb.NumFacts(); ++f) {
+      if ((f + j) % 3 != 0) continue;
+      const Probability p = pdb.probability(f);
+      const Probability next{(p.num + j) % (p.den + 1), p.den};
+      PQE_CHECK(pdb.SetProbability(f, next).ok());
+    }
+    pdbs.push_back(std::move(pdb));
   }
 
   const PqeEngine::Options opts = ServingOptions();
@@ -130,15 +148,26 @@ void MeasureCell(const std::string& cell, uint32_t width, size_t requests,
       reg.GetCounter("serve.answer_memo_hits").Value() - memo_hits_before;
 
   // Rebind: fresh service, labellings cycle and seeds differ per request —
-  // the skeleton is reused but every labelling change re-runs gadget
-  // expansion + trim, and every request re-runs the sampler (no memo hits).
+  // the skeleton is reused, recently bound labellings are LRU hits, and a
+  // miss is served by patching the MRU bound's gadget slots in place (the
+  // labellings differ only in numerators); every request re-runs the
+  // sampler (no memo hits).
   serve::PqeService rebind_service(sopt);
   const std::vector<EvalRequest> rebind_reqs =
       make_requests(kLabellings, /*repeated=*/false);
+  const uint64_t delta_before = reg.GetCounter("serve.delta_rebinds").Value();
+  const uint64_t full_before = reg.GetCounter("serve.full_rebinds").Value();
+  const uint64_t evict_before = reg.GetCounter("serve.bind_evictions").Value();
   t0 = std::chrono::steady_clock::now();
   const std::vector<EvalResponse> rebind =
       rebind_service.EvaluateBatch(rebind_reqs);
   const double rebind_ms = MillisSince(t0);
+  const uint64_t delta_rebinds =
+      reg.GetCounter("serve.delta_rebinds").Value() - delta_before;
+  const uint64_t full_rebinds =
+      reg.GetCounter("serve.full_rebinds").Value() - full_before;
+  const uint64_t bind_evictions =
+      reg.GetCounter("serve.bind_evictions").Value() - evict_before;
 
   // Served answers must equal their cold twins bit for bit.
   for (size_t i = 0; i < requests; ++i) {
@@ -165,11 +194,23 @@ void MeasureCell(const std::string& cell, uint32_t width, size_t requests,
       .Set(static_cast<double>(stats.misses));
   reg.GetGauge(prefix + ".answer_memo_hits")
       .Set(static_cast<double>(warm_memo_hits));
+  reg.GetGauge(prefix + ".delta_rebinds")
+      .Set(static_cast<double>(delta_rebinds));
+  reg.GetGauge(prefix + ".full_rebinds")
+      .Set(static_cast<double>(full_rebinds));
+  reg.GetGauge(prefix + ".bind_evictions")
+      .Set(static_cast<double>(bind_evictions));
   std::printf("  %-8s %6zu req  %10.1f %10.1f %10.1f %8.2fx %8.2fx\n",
               cell.c_str(), requests, cold_ms, warm_ms, rebind_ms,
               speedup_warm, speedup_rebind);
   PQE_CHECK(stats.hits == requests - 1);  // one compile, then cache hits
   PQE_CHECK(warm_memo_hits == requests - 1);  // one sampler run, then replays
+  // The labellings share denominators, so every bind past the first one is
+  // a delta patch — the rebind cell must never fall back to a full gadget
+  // expansion, and cycling six labellings through four LRU slots evicts.
+  PQE_CHECK(full_rebinds == 1);
+  PQE_CHECK(delta_rebinds >= kLabellings - 1);
+  PQE_CHECK(bind_evictions > 0);
   if (gate_speedup) {
     // The acceptance gate: warm serving must beat cold per-call evaluation
     // by at least 5x on this workload.

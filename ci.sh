@@ -107,17 +107,20 @@ serve_smoke() {
 perf_smoke() {
   # Smoke the perf benches: each must complete (their cells assert
   # bit-identity internally) and emit parseable metrics JSON.
-  echo "==== perf-smoke: build bench_counting_hotpath + bench_serving ===="
+  echo "==== perf-smoke: build bench_counting_hotpath + bench_serving + bench_serving_updates ===="
   cmake -B build -S . >/dev/null
-  cmake --build build -j "${JOBS}" --target bench_counting_hotpath bench_serving
+  cmake --build build -j "${JOBS}" \
+    --target bench_counting_hotpath bench_serving bench_serving_updates
   echo "==== perf-smoke: run ===="
   local out="build/BENCH_counting_hotpath.smoke.json"
   local serve_out="build/BENCH_serving.smoke.json"
+  local update_out="build/BENCH_serving_updates.smoke.json"
   ./build/bench/bench_counting_hotpath --smoke --metrics_out="${out}"
   ./build/bench/bench_serving --smoke --metrics_out="${serve_out}"
-  echo "==== perf-smoke: validate ${out} + ${serve_out} ===="
+  ./build/bench/bench_serving_updates --smoke --metrics_out="${update_out}"
+  echo "==== perf-smoke: validate ${out} + ${serve_out} + ${update_out} ===="
   if command -v python3 >/dev/null 2>&1; then
-    python3 - "${out}" "${serve_out}" <<'EOF'
+    python3 - "${out}" "${serve_out}" "${update_out}" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
@@ -131,11 +134,20 @@ with open(sys.argv[2]) as f:
 gauges = doc.get("metrics", doc).get("gauges", {})
 serving = [k for k in gauges if "bench.serving" in k and k.endswith(".speedup_warm")]
 assert serving, "no serving speedup gauges in metrics JSON"
-print(f"perf-smoke: {len(cells)} hotpath ({len(fast)} fast-kernel) + {len(serving)} serving cells, JSON OK")
+with open(sys.argv[3]) as f:
+    doc = json.load(f)
+gauges = doc.get("metrics", doc).get("gauges", {})
+updates = [k for k in gauges
+           if "serving_updates" in k and k.endswith(".speedup_delta_rebind")]
+assert updates, "no serving_updates speedup_delta_rebind gauges in metrics JSON"
+assert any(k.endswith("path.speedup_delta_rebind") and gauges[k] >= 10.0
+           for k in updates), "path delta-rebind speedup below the 10x gate"
+print(f"perf-smoke: {len(cells)} hotpath ({len(fast)} fast-kernel) + {len(serving)} serving + {len(updates)} update cells, JSON OK")
 EOF
   else
     grep -q "counting_hotpath" "${out}"
     grep -q "bench.serving" "${serve_out}"
+    grep -q "serving_updates" "${update_out}"
     echo "perf-smoke: JSON contains expected gauges (python3 absent)"
   fi
 }
@@ -152,7 +164,8 @@ bench_gate() {
   echo "==== bench-gate: build ===="
   cmake -B build -S . >/dev/null
   cmake --build build -j "${JOBS}" \
-    --target bench_counting_hotpath bench_serving bench_replay bench_compare
+    --target bench_counting_hotpath bench_serving bench_serving_updates \
+    bench_replay bench_compare
   local adv=""
   [[ "${PQE_BENCH_GATE_ADVISORY:-0}" != "0" ]] && adv="--advisory"
   echo "==== bench-gate: run smoke benches ===="
@@ -160,6 +173,10 @@ bench_gate() {
     --metrics_out=build/bench_gate_hotpath.json
   ./build/bench/bench_serving --smoke \
     --metrics_out=build/bench_gate_serving.json
+  # The update bench gates itself too: >= 10x path delta rebind and
+  # bit-identity of every delta-rebound answer, in both kernel modes.
+  ./build/bench/bench_serving_updates --smoke \
+    --metrics_out=build/bench_gate_serving_updates.json
   # The replay bench is its own gate: it asserts every replayed answer
   # matches its capture bit for bit.
   ./build/bench/bench_replay --smoke
@@ -168,6 +185,8 @@ bench_gate() {
     --fresh build/bench_gate_hotpath.json ${adv}
   ./build/src/bench_compare --baseline BENCH_serving.json \
     --fresh build/bench_gate_serving.json ${adv}
+  ./build/src/bench_compare --baseline BENCH_serving_updates.json \
+    --fresh build/bench_gate_serving_updates.json ${adv}
 }
 
 if [[ $# -eq 0 ]]; then

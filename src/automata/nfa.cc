@@ -28,6 +28,16 @@ void Nfa::AddTransition(StateId from, SymbolId symbol, StateId to) {
   EnsureAlphabetSize(static_cast<size_t>(symbol) + 1);
   transitions_.push_back(Transition{from, symbol, to});
   adjacency_valid_ = false;
+  in_valid_ = false;
+}
+
+void Nfa::SetTransitionTarget(uint32_t idx, StateId to) {
+  PQE_CHECK(idx < transitions_.size());
+  EnsureState(to);
+  transitions_[idx].to = to;
+  // from/symbol are untouched, so the out-CSR stays valid; only the index
+  // keyed on the target has to be rebuilt.
+  in_valid_ = false;
 }
 
 void Nfa::MarkInitial(StateId s) {
@@ -51,26 +61,30 @@ void Nfa::EnsureAdjacency() const {
   // lists keep the same (insertion) order the old vector-of-vectors layout
   // had — canonical-witness tie-breaking depends on it.
   out_offsets_.assign(S + 1, 0);
-  in_offsets_.assign(S + 1, 0);
-  for (const Transition& t : transitions_) {
-    ++out_offsets_[t.from + 1];
-    ++in_offsets_[t.to + 1];
-  }
-  for (size_t s = 0; s < S; ++s) {
-    out_offsets_[s + 1] += out_offsets_[s];
-    in_offsets_[s + 1] += in_offsets_[s];
-  }
+  for (const Transition& t : transitions_) ++out_offsets_[t.from + 1];
+  for (size_t s = 0; s < S; ++s) out_offsets_[s + 1] += out_offsets_[s];
   out_idx_.resize(T);
-  in_idx_.resize(T);
   std::vector<uint32_t> out_cursor(out_offsets_.begin(),
                                    out_offsets_.end() - 1);
-  std::vector<uint32_t> in_cursor(in_offsets_.begin(), in_offsets_.end() - 1);
   for (uint32_t idx = 0; idx < T; ++idx) {
-    const Transition& t = transitions_[idx];
-    out_idx_[out_cursor[t.from]++] = idx;
-    in_idx_[in_cursor[t.to]++] = idx;
+    out_idx_[out_cursor[transitions_[idx].from]++] = idx;
   }
   adjacency_valid_ = true;
+}
+
+void Nfa::EnsureInAdjacency() const {
+  if (in_valid_) return;
+  const size_t S = num_states_;
+  const size_t T = transitions_.size();
+  in_offsets_.assign(S + 1, 0);
+  for (const Transition& t : transitions_) ++in_offsets_[t.to + 1];
+  for (size_t s = 0; s < S; ++s) in_offsets_[s + 1] += in_offsets_[s];
+  in_idx_.resize(T);
+  std::vector<uint32_t> in_cursor(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (uint32_t idx = 0; idx < T; ++idx) {
+    in_idx_[in_cursor[transitions_[idx].to]++] = idx;
+  }
+  in_valid_ = true;
 }
 
 Span<uint32_t> Nfa::OutTransitions(StateId s) const {
@@ -82,7 +96,7 @@ Span<uint32_t> Nfa::OutTransitions(StateId s) const {
 
 Span<uint32_t> Nfa::InTransitions(StateId s) const {
   PQE_CHECK(s < num_states_);
-  EnsureAdjacency();
+  EnsureInAdjacency();
   return Span<uint32_t>(in_idx_.data() + in_offsets_[s],
                         in_offsets_[s + 1] - in_offsets_[s]);
 }

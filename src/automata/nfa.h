@@ -45,6 +45,13 @@ class Nfa {
   void MarkInitial(StateId s);
   void MarkAccepting(StateId s);
 
+  /// Retargets an existing transition in place. The structural indexes keyed
+  /// on `from` and `symbol` (the out-CSR) stay valid — only the in-CSR is
+  /// invalidated and lazily rebuilt on the next InTransitions/WarmAdjacency.
+  /// This is the primitive the delta-rebind path (core/path_pqe.h) uses to
+  /// patch multiplier-gadget targets without recompiling the bind.
+  void SetTransitionTarget(uint32_t idx, StateId to);
+
   size_t NumStates() const { return num_states_; }
   size_t NumTransitions() const { return transitions_.size(); }
   size_t AlphabetSize() const { return alphabet_size_; }
@@ -63,8 +70,12 @@ class Nfa {
   /// Builds the lazy CSR adjacency now. The accessors build it on first use,
   /// which mutates `mutable` members — call this before sharing a const Nfa
   /// across threads (the parallel median-of-R reps do), after which
-  /// concurrent accessor calls are read-only and race-free.
-  void WarmAdjacency() const { EnsureAdjacency(); }
+  /// concurrent accessor calls are read-only and race-free. After
+  /// SetTransitionTarget only the in-CSR is rebuilt; the out-CSR is reused.
+  void WarmAdjacency() const {
+    EnsureAdjacency();
+    EnsureInAdjacency();
+  }
 
   /// Subset simulation: the set of states reachable from the initial states
   /// by reading `word`, as a bitvector indexed by StateId.
@@ -101,6 +112,7 @@ class Nfa {
  private:
   void EnsureState(StateId s);
   void EnsureAdjacency() const;
+  void EnsureInAdjacency() const;
 
   size_t num_states_ = 0;
   size_t alphabet_size_ = 0;
@@ -111,8 +123,11 @@ class Nfa {
 
   // Lazy CSR adjacency: out_idx_/in_idx_ hold transition indices grouped by
   // state; offsets have num_states_ + 1 entries. Rebuilt (counting sort,
-  // stable in transition order) whenever a transition was added.
+  // stable in transition order) whenever a transition was added. The two
+  // directions carry separate validity so a target-only rewrite
+  // (SetTransitionTarget) invalidates just the in-CSR.
   mutable bool adjacency_valid_ = false;
+  mutable bool in_valid_ = false;
   mutable std::vector<uint32_t> out_offsets_;
   mutable std::vector<uint32_t> out_idx_;
   mutable std::vector<uint32_t> in_offsets_;

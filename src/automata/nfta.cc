@@ -25,6 +25,7 @@ Nfta& Nfta::operator=(const Nfta& o) {
   initial_ = o.initial_;
   transitions_ = o.transitions_;
   child_arena_ = o.child_arena_;
+  child_capacity_ = o.child_capacity_;
   adjacency_valid_ = o.adjacency_valid_;
   out_offsets_ = o.out_offsets_;
   out_idx_ = o.out_idx_;
@@ -98,7 +99,54 @@ void Nfta::AddTransitionView(StateId from, SymbolId symbol,
       from, symbol,
       Span<StateId>(children.empty() ? nullptr : child_arena_.data() + offset,
                     children.size())});
+  child_capacity_.push_back(static_cast<uint32_t>(children.size()));
   adjacency_valid_ = false;
+  run_index_valid_ = false;
+}
+
+void Nfta::AddTransitionPadded(StateId from, SymbolId symbol,
+                               Span<StateId> children, size_t reserve) {
+  PQE_CHECK(from < num_states_);
+  for (StateId c : children) PQE_CHECK(c < num_states_);
+  if (symbol != kLambdaSymbol) {
+    EnsureAlphabetSize(static_cast<size_t>(symbol) + 1);
+  }
+  reserve = std::max(reserve, std::max<size_t>(children.size(), 1));
+  // Same self-alias detour as AddTransitionView: the resize below may
+  // reallocate the arena under the view.
+  const StateId* arena_begin = child_arena_.data();
+  const StateId* arena_end = arena_begin + child_arena_.size();
+  std::vector<StateId> self_copy;
+  if (!children.empty() && children.data() >= arena_begin &&
+      children.data() < arena_end) {
+    self_copy = children.ToVector();
+    children = Span<StateId>(self_copy);
+  }
+  const size_t offset = child_arena_.size();
+  const StateId* old_base = child_arena_.data();
+  child_arena_.resize(offset + reserve, 0);
+  std::copy(children.begin(), children.end(), child_arena_.begin() + offset);
+  RebaseChildren(old_base);
+  transitions_.push_back(Transition{
+      from, symbol,
+      Span<StateId>(child_arena_.data() + offset, children.size())});
+  child_capacity_.push_back(static_cast<uint32_t>(reserve));
+  adjacency_valid_ = false;
+  run_index_valid_ = false;
+}
+
+void Nfta::RewriteChildrenInPlace(uint32_t idx, Span<StateId> children) {
+  PQE_CHECK(idx < transitions_.size());
+  Transition& t = transitions_[idx];
+  PQE_CHECK(children.size() <= child_capacity_[idx]);
+  PQE_CHECK(t.children.data() != nullptr);
+  for (StateId c : children) PQE_CHECK(c < num_states_);
+  const size_t offset =
+      static_cast<size_t>(t.children.data() - child_arena_.data());
+  std::copy(children.begin(), children.end(), child_arena_.begin() + offset);
+  t.children = Span<StateId>(child_arena_.data() + offset, children.size());
+  // (from, symbol) are untouched, so the out/by-symbol CSR stays valid; the
+  // run-state index keys on arity and first child and must be rebuilt.
   run_index_valid_ = false;
 }
 
@@ -246,6 +294,7 @@ Status Nfta::EliminateLambda(size_t max_transitions) {
   // Rebuild.
   transitions_.clear();
   child_arena_.clear();
+  child_capacity_.clear();
   adjacency_valid_ = false;
   run_index_valid_ = false;
   for (Rule& t : work) {

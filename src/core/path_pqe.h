@@ -2,8 +2,10 @@
 #define PQE_CORE_PATH_PQE_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "automata/multiplier_nfa.h"
 #include "automata/nfa.h"
 #include "counting/config.h"
 #include "cq/query.h"
@@ -87,20 +89,49 @@ struct PathPqeSkeleton {
 Result<PathPqeSkeleton> BuildPathPqeSkeleton(const ConjunctiveQuery& query,
                                              const Database& db);
 
+/// Provenance of a stable path bind — the string analogue of PqeBindLayout
+/// (core/pqe.h). Immutable after the bind; shared with delta-rebound clones.
+struct PathBindLayout {
+  StableNfaLayout stable;
+  /// fact -> slot-index CSR over StableNfaLayout::slots.
+  std::vector<uint32_t> fact_offsets;  // probs.size() + 1 entries
+  std::vector<uint32_t> fact_slots;
+  /// Per slot: 1 for the fact's negative literal (multiplier d_i − w_i).
+  std::vector<uint8_t> slot_negative;
+  /// Per slot: the projected fact whose probability it encodes.
+  std::vector<FactId> slot_fact;
+  /// Per fact: the denominator its slot widths were sized for.
+  std::vector<uint64_t> fact_den;
+};
+
 /// The weighted path automaton M' of the Theorem 1 string specialization,
-/// plus the common denominator d and stratum length k.
+/// plus the common denominator d and stratum length k. Value-stable slotted
+/// layout, untrimmed (dead branches route into the layout's sink; counting
+/// liveness pruning discards them).
 struct BoundPathNfa {
   Nfa nfa;
   size_t word_length = 0;  // k = |D'| + Σ width_i
   BigUint denominator;     // d = Π d_i over projected facts
+  /// Fact → gadget-slot provenance enabling RebindPathPqeNfa.
+  std::shared_ptr<const PathBindLayout> layout;
 };
 
 /// Attaches string multiplier gadgets for `probs` (one Probability per
-/// *projected* fact, in projected FactId order) to the skeleton and trims.
+/// *projected* fact, in projected FactId order) to the skeleton.
 /// Rebinding a cached skeleton is bit-identical to the cold path inside
 /// PathPqeEstimate at equal inputs.
 Result<BoundPathNfa> BindPathPqeNfa(const PathPqeSkeleton& skeleton,
                                     const std::vector<Probability>& probs);
+
+/// Delta rebind for the path specialization: clones `prior` and patches the
+/// gadget slots of facts whose probability changed between `old_probs` and
+/// `new_probs`. Bit-identical to BindPathPqeNfa(skeleton, new_probs); fails
+/// with InvalidArgument on a changed denominator (shape change — full rebind
+/// required). See RebindPqeAutomaton (core/pqe.h) for the contract.
+Result<BoundPathNfa> RebindPathPqeNfa(const BoundPathNfa& prior,
+                                      const std::vector<Probability>& old_probs,
+                                      const std::vector<Probability>& new_probs,
+                                      size_t* patched_slots = nullptr);
 
 }  // namespace pqe
 

@@ -14,24 +14,6 @@
 
 namespace pqe {
 
-namespace {
-
-// The per-fact comparator width: both branches must contribute the same
-// number of gadget nodes so that every accepted tree lands in the same size
-// stratum. Branches with multiplier 0 do not exist and impose no width.
-uint64_t FactGadgetWidth(const Probability& p) {
-  uint64_t width = 0;
-  if (p.num >= 1) {
-    width = std::max(width, MultiplierNfta::GadgetDepth(p.num));
-  }
-  if (p.den - p.num >= 1) {
-    width = std::max(width, MultiplierNfta::GadgetDepth(p.den - p.num));
-  }
-  return width;
-}
-
-}  // namespace
-
 Result<PqeSkeleton> BuildPqeSkeleton(const ConjunctiveQuery& query,
                                      const Database& db,
                                      const UrConstructionOptions& options) {
@@ -58,18 +40,31 @@ Result<BoundPqeAutomaton> BindPqeAutomaton(
   BoundPqeAutomaton out;
   MultiplierNfta mult = MultiplierNfta::FromSkeleton(base);
 
-  // Per-fact gadget widths and the common denominator d.
+  // Per-fact gadget widths and the common denominator d. The width is
+  // GadgetDepth(d_i): it covers every multiplier the fact can take
+  // (0..d_i), so the translated automaton's shape depends only on the
+  // denominators — never the numerators — which is what lets
+  // RebindPqeAutomaton patch a new labelling into a clone in place.
+  auto layout = std::make_shared<PqeBindLayout>();
   std::vector<uint64_t> width(probs.size(), 0);
   out.denominator = BigUint(1);
+  layout->fact_den.resize(probs.size());
   for (FactId f = 0; f < probs.size(); ++f) {
     const Probability p = probs[f];
-    width[f] = FactGadgetWidth(p);
+    if (p.den < 1 || p.num > p.den) {
+      return Status::InvalidArgument(
+          "BindPqeAutomaton: fact probability not a rational in [0, 1]");
+    }
+    width[f] = MultiplierNfta::GadgetDepth(std::max<uint64_t>(p.den, 1));
+    layout->fact_den[f] = p.den;
     out.denominator = out.denominator.MulU64(p.den);
   }
 
   // Every transition of the translated Proposition 1 automaton consumes one
   // fact literal; attach w_i to positive literals and d_i − w_i to negative
-  // ones, dropping impossible (multiplier 0) branches.
+  // ones. Impossible (multiplier 0) branches are kept as slots — the stable
+  // translation routes them into its sink — so that a later delta can
+  // resurrect them by patching (p→0 and 0→p updates stay patchable).
   for (const Nfta::Transition& t : base.transitions()) {
     PQE_CHECK(t.symbol != Nfta::kLambdaSymbol);
     const FactId f = LiteralBase(t.symbol);
@@ -79,12 +74,27 @@ Result<BoundPqeAutomaton> BindPqeAutomaton(
           "skeleton's projected facts");
     }
     const Probability p = probs[f];
-    const uint64_t multiplier =
-        IsNegativeLiteral(t.symbol) ? (p.den - p.num) : p.num;
-    if (multiplier == 0) continue;
-    PQE_RETURN_IF_ERROR(
-        mult.AddTransition(t.from, t.symbol, multiplier, t.children.ToVector(),
-                           width[f] == 0 ? 0 : width[f]));
+    const bool negative = IsNegativeLiteral(t.symbol);
+    const uint64_t multiplier = negative ? (p.den - p.num) : p.num;
+    layout->slot_negative.push_back(negative ? 1 : 0);
+    layout->slot_fact.push_back(f);
+    PQE_RETURN_IF_ERROR(mult.AddTransition(
+        t.from, t.symbol, multiplier, t.children.ToVector(), width[f]));
+  }
+
+  // fact → slot CSR (counting sort, stable in slot order).
+  layout->fact_offsets.assign(probs.size() + 1, 0);
+  for (FactId f : layout->slot_fact) ++layout->fact_offsets[f + 1];
+  for (size_t f = 0; f < probs.size(); ++f) {
+    layout->fact_offsets[f + 1] += layout->fact_offsets[f];
+  }
+  layout->fact_slots.resize(layout->slot_fact.size());
+  {
+    std::vector<uint32_t> cursor(layout->fact_offsets.begin(),
+                                 layout->fact_offsets.end() - 1);
+    for (uint32_t s = 0; s < layout->slot_fact.size(); ++s) {
+      layout->fact_slots[cursor[layout->slot_fact[s]]++] = s;
+    }
   }
 
   // k = |D'| + Σ width_i: each fact contributes its literal node plus a
@@ -96,12 +106,71 @@ Result<BoundPqeAutomaton> BindPqeAutomaton(
 
   {
     PQE_TRACE_SPAN_VAR(mult_span, "pqe.multiplier_translate");
-    PQE_ASSIGN_OR_RETURN(out.weighted, mult.ToNfta());
-    out.weighted.Trim();
+    PQE_ASSIGN_OR_RETURN(out.weighted, mult.ToNftaStable(&layout->stable));
+    // No Trim: the stable layout's dead branches (sink rules) are what keep
+    // the shape value-independent; the counting layers' forward/backward
+    // liveness pruning discards them at estimation time.
     mult_span.AttrUint("nfta_states", out.weighted.NumStates());
     mult_span.AttrUint("nfta_transitions", out.weighted.NumTransitions());
   }
+  out.layout = std::move(layout);
   span.AttrUint("tree_size", out.tree_size);
+  return out;
+}
+
+Result<BoundPqeAutomaton> RebindPqeAutomaton(
+    const BoundPqeAutomaton& prior, const std::vector<Probability>& old_probs,
+    const std::vector<Probability>& new_probs, size_t* patched_slots) {
+  PQE_TRACE_SPAN_VAR(span, "pqe.delta_rebind");
+  if (patched_slots != nullptr) *patched_slots = 0;
+  if (prior.layout == nullptr) {
+    return Status::InvalidArgument(
+        "RebindPqeAutomaton: prior bind carries no layout");
+  }
+  const PqeBindLayout& layout = *prior.layout;
+  if (old_probs.size() != layout.fact_den.size() ||
+      new_probs.size() != layout.fact_den.size()) {
+    return Status::InvalidArgument(
+        "RebindPqeAutomaton: probability vector size mismatch");
+  }
+  // Validate before touching anything, so a failed rebind has no effects.
+  for (FactId f = 0; f < new_probs.size(); ++f) {
+    const Probability op = old_probs[f];
+    const Probability np = new_probs[f];
+    if (np.num == op.num && np.den == op.den) continue;
+    if (np.den != layout.fact_den[f]) {
+      return Status::InvalidArgument(
+          "RebindPqeAutomaton: fact denominator changed — gadget widths "
+          "differ, full rebind required");
+    }
+    if (np.num > np.den) {
+      return Status::InvalidArgument(
+          "RebindPqeAutomaton: fact probability not a rational in [0, 1]");
+    }
+  }
+  BoundPqeAutomaton out;
+  // Deep copy: the Nfta copy rebases child spans and keeps the warm CSR
+  // adjacency; patching below only invalidates the run-state index.
+  out.weighted = prior.weighted;
+  out.tree_size = prior.tree_size;
+  out.denominator = prior.denominator;  // dens unchanged ⇒ d unchanged
+  out.layout = prior.layout;
+  size_t patched = 0;
+  for (FactId f = 0; f < new_probs.size(); ++f) {
+    const Probability op = old_probs[f];
+    const Probability np = new_probs[f];
+    if (np.num == op.num && np.den == op.den) continue;
+    for (uint32_t i = layout.fact_offsets[f]; i < layout.fact_offsets[f + 1];
+         ++i) {
+      const uint32_t slot = layout.fact_slots[i];
+      const uint64_t multiplier =
+          layout.slot_negative[slot] ? (np.den - np.num) : np.num;
+      PatchStableNftaSlot(&out.weighted, layout.stable, slot, multiplier);
+      ++patched;
+    }
+  }
+  if (patched_slots != nullptr) *patched_slots = patched;
+  span.AttrUint("patched_slots", patched);
   return out;
 }
 

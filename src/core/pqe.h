@@ -2,8 +2,10 @@
 #define PQE_CORE_PQE_H_
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "automata/multiplier_nfta.h"
 #include "automata/nfta.h"
 #include "core/ur_construction.h"
 #include "counting/config.h"
@@ -34,20 +36,59 @@ Result<PqeSkeleton> BuildPqeSkeleton(const ConjunctiveQuery& query,
                                      const Database& db,
                                      const UrConstructionOptions& options);
 
+/// Provenance of a stable probability bind: where each projected fact's
+/// gadget slots live in the translated automaton, and the per-fact
+/// denominators the slot widths were sized for. Immutable after the bind;
+/// shared between a bind and every delta-rebound clone of it.
+struct PqeBindLayout {
+  StableNftaLayout stable;
+  /// fact -> slot-index CSR (slot = StableNftaLayout::slots entry; one slot
+  /// per base-automaton transition consuming one of the fact's literals).
+  std::vector<uint32_t> fact_offsets;  // probs.size() + 1 entries
+  std::vector<uint32_t> fact_slots;
+  /// Per slot: 1 when the slot carries the fact's negative literal
+  /// (multiplier d_i − w_i), 0 for the positive one (w_i).
+  std::vector<uint8_t> slot_negative;
+  /// Per slot: the projected fact whose probability it encodes.
+  std::vector<FactId> slot_fact;
+  /// Per fact: the denominator its slot widths were sized for. A delta that
+  /// changes a fact's denominator changes the shape and cannot be patched.
+  std::vector<uint64_t> fact_den;
+};
+
 /// The probability-dependent half: the §5.1 multiplier-gadget expansion of a
-/// skeleton under concrete fact probabilities (trimmed, ready to count).
+/// skeleton under concrete fact probabilities, in the value-stable slotted
+/// layout (untrimmed — dead branches route into the layout's sink and are
+/// discarded by the counting layers' liveness pruning), ready to count.
 struct BoundPqeAutomaton {
-  Nfta weighted;         // T' — gadget-expanded, trimmed
+  Nfta weighted;         // T' — gadget-expanded, value-stable layout
   size_t tree_size = 0;  // k = |D'| + Σ width_i
   BigUint denominator;   // d = Π d_i over projected facts
+  /// Fact → gadget-slot provenance enabling RebindPqeAutomaton.
+  std::shared_ptr<const PqeBindLayout> layout;
 };
 
 /// Attaches multiplier gadgets for `probs` (one Probability per *projected*
 /// fact, in projected FactId order — see ProjectedFactProbabilities) to the
-/// skeleton and trims. Deterministic: rebinding a cached skeleton yields the
-/// same automaton, bit for bit, as a cold BuildPqeAutomaton at equal inputs.
+/// skeleton. Deterministic: rebinding a cached skeleton yields the same
+/// automaton, bit for bit, as a cold BuildPqeAutomaton at equal inputs.
 Result<BoundPqeAutomaton> BindPqeAutomaton(
     const PqeSkeleton& skeleton, const std::vector<Probability>& probs);
+
+/// Delta rebind: clones `prior` (warm CSR adjacency survives the copy; only
+/// the run-state index of patched automata is lazily rebuilt) and patches
+/// the gadget slots of every fact whose probability differs between
+/// `old_probs` (the labelling `prior` was bound at) and `new_probs`.
+/// Bit-identical to BindPqeAutomaton(skeleton, new_probs) by construction —
+/// the patch routine is the canonical writer of slot targets. Fails with
+/// InvalidArgument when a changed fact's denominator differs from the one
+/// the slot widths were sized for (shape change: caller falls back to a full
+/// bind). `patched_slots` (optional) receives the number of gadget slots
+/// rewritten.
+Result<BoundPqeAutomaton> RebindPqeAutomaton(
+    const BoundPqeAutomaton& prior, const std::vector<Probability>& old_probs,
+    const std::vector<Probability>& new_probs,
+    size_t* patched_slots = nullptr);
 
 /// The Theorem 1 artifact: the Proposition 1 automaton with the Section 5
 /// multiplier gadgets attached, so that
@@ -60,11 +101,13 @@ Result<BoundPqeAutomaton> BindPqeAutomaton(
 /// (multiplier d_i − w_i) of a fact add the same number of gadget nodes. In
 /// general u(w_i) ≠ u(d_i − w_i), which would scatter the accepted trees
 /// across different size strata; we therefore pad both branches of fact i to
-/// a common comparator width width_i = max(u(w_i), u(d_i − w_i)) — the count
-/// identity then holds exactly at stratum k.
+/// the common comparator width width_i = u(d_i) ≥ max(u(w_i), u(d_i − w_i))
+/// — the count identity then holds exactly at stratum k, and the width
+/// depends only on the denominator, which keeps the automaton's shape
+/// labelling-value independent (the precondition for delta rebinds).
 struct PqeAutomaton {
   UrAutomaton ur;          // the underlying Proposition 1 construction
-  Nfta weighted;           // T' — gadget-expanded, trimmed
+  Nfta weighted;           // T' — gadget-expanded, value-stable layout
   size_t tree_size = 0;    // k
   BigUint denominator;     // d = Π d_i over projected facts
 };

@@ -91,6 +91,57 @@ Status WeightedPicker::TryBuild(const std::vector<ExtFloat>& weights,
     cum_.push_back(acc);
   }
   total_ = acc;
+  max_log_ = max_log;
+  PQE_CHECK(total_ > 0.0);
+  return Status();
+}
+
+Status WeightedPicker::UpdateWeight(const std::vector<ExtFloat>& weights,
+                                    size_t index) {
+  static const char* kContext = "WeightedPicker::UpdateWeight";
+  if (weights.size() != cum_.size()) {
+    return Status::InvalidArgument(
+        std::string(kContext) + ": table size " +
+        std::to_string(weights.size()) + " != built size " +
+        std::to_string(cum_.size()));
+  }
+  if (index >= weights.size()) {
+    return Status::InvalidArgument(std::string(kContext) + ": index " +
+                                   std::to_string(index) + " out of range");
+  }
+  PQE_ASSIGN_OR_RETURN(const size_t max_idx,
+                       MaxWeightIndex(weights, kContext));
+  const double max_log = weights[max_idx].Log2();
+  if (max_log != max_log_) {
+    // The renormalization scale changed: every scaled weight moves, so the
+    // prefix sums before `index` are stale too — full rebuild.
+    return TryBuild(weights, kContext);
+  }
+  // Same scale: prefix sums before `index` are exactly what a full TryBuild
+  // would recompute, so resume the running sum there and replay Build's
+  // summation (same formula, same order) over the suffix. The resulting
+  // table is bit-identical to TryBuild over the updated weights.
+  double acc = index == 0 ? 0.0 : cum_[index - 1];
+  for (size_t i = index; i < weights.size(); ++i) {
+    double scaled = 0.0;
+    if (!weights[i].IsZero()) {
+      const double rel = weights[i].Log2() - max_log;
+      scaled = rel < -512.0 ? 0.0 : std::exp2(rel);
+      PQE_CHECK(scaled >= 0.0 && std::isfinite(scaled));
+    }
+    acc += scaled;
+    cum_[i] = acc;
+  }
+  total_ = acc;
+  // Replay Build's last_nonzero_ rule over the whole table: scaled > 0 iff
+  // the weight is non-zero and above the exp2 underflow cutoff (exp2 of any
+  // rel >= -512 is strictly positive).
+  last_nonzero_ = weights.size() - 1;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (!weights[i].IsZero() && weights[i].Log2() - max_log >= -512.0) {
+      last_nonzero_ = i;
+    }
+  }
   PQE_CHECK(total_ > 0.0);
   return Status();
 }

@@ -57,6 +57,16 @@ class WeightedPicker {
   /// Draws an index ~ weights. Requires Build() was called.
   size_t Pick(Rng* rng) const;
 
+  /// Incremental rebuild after one entry changed: `weights` is the full
+  /// updated table (same size as the built one) and `index` the changed
+  /// entry. When the renormalization scale (the maximum weight) is
+  /// unchanged, only the prefix sums from `index` on are recomputed —
+  /// O(n − index) instead of a full table scan with exp2 per entry; when
+  /// the maximum changed, falls back to a full TryBuild. Either way the
+  /// resulting picker state is bit-identical to TryBuild over the updated
+  /// table, so draws stay draw-identical to the legacy path.
+  Status UpdateWeight(const std::vector<ExtFloat>& weights, size_t index);
+
   size_t size() const { return cum_.size(); }
   bool empty() const { return cum_.empty(); }
 
@@ -64,6 +74,7 @@ class WeightedPicker {
   std::vector<double> cum_;  // inclusive prefix sums of the scaled weights
   double total_ = 0.0;       // == cum_.back()
   size_t last_nonzero_ = 0;  // fallback when x lands past total_ (fp edge)
+  double max_log_ = 0.0;     // build-time renormalization scale (log2)
 };
 
 /// O(1)-per-draw weighted sampler: a Walker/Vose alias table with the same

@@ -40,8 +40,10 @@ uint64_t PreparedCache::ContentKey(const ConjunctiveQuery& query,
   return h;
 }
 
-PreparedCache::PreparedCache(size_t capacity)
-    : capacity_(capacity < 1 ? 1 : capacity) {}
+PreparedCache::PreparedCache(size_t capacity, size_t bind_cache_capacity)
+    : capacity_(capacity < 1 ? 1 : capacity),
+      bind_cache_capacity_(bind_cache_capacity < 1 ? 1
+                                                   : bind_cache_capacity) {}
 
 Result<std::shared_ptr<const PreparedQuery>> PreparedCache::GetOrPrepare(
     const ConjunctiveQuery& query, const Database& db,
@@ -85,12 +87,14 @@ Result<std::shared_ptr<const PreparedQuery>> PreparedCache::GetOrPrepare(
   // block here and share the one build.
   std::call_once(slot->once, [&]() {
     const auto compile_start = std::chrono::steady_clock::now();
-    auto prepared = PreparedQuery::Prepare(query, db, options);
+    auto prepared =
+        PreparedQuery::Prepare(query, db, options, bind_cache_capacity_);
     if (prepared.ok()) {
       slot->prepared = std::move(*prepared);
     } else {
       slot->status = prepared.status();
     }
+    slot->ready.store(true, std::memory_order_release);
     if (lookup != nullptr) {
       lookup->compile_ns = static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -123,6 +127,19 @@ PreparedCache::Stats PreparedCache::stats() const {
 size_t PreparedCache::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return lru_.size();
+}
+
+std::vector<std::shared_ptr<const PreparedQuery>> PreparedCache::Snapshot()
+    const {
+  std::vector<std::shared_ptr<const PreparedQuery>> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  out.reserve(lru_.size());
+  for (const auto& entry : lru_) {
+    const Slot& slot = *entry.second;
+    if (!slot.ready.load(std::memory_order_acquire)) continue;
+    if (slot.prepared != nullptr) out.push_back(slot.prepared);
+  }
+  return out;
 }
 
 }  // namespace serve

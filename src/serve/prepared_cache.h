@@ -7,6 +7,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "core/ur_construction.h"
 #include "cq/query.h"
@@ -31,7 +32,9 @@ namespace serve {
 class PreparedCache {
  public:
   /// `capacity` = maximum number of prepared entries retained (≥ 1).
-  explicit PreparedCache(size_t capacity);
+  /// `bind_cache_capacity` = per-entry bound-labelling LRU depth, forwarded
+  /// to PreparedQuery::Prepare.
+  explicit PreparedCache(size_t capacity, size_t bind_cache_capacity = 4);
 
   PreparedCache(const PreparedCache&) = delete;
   PreparedCache& operator=(const PreparedCache&) = delete;
@@ -61,6 +64,12 @@ class PreparedCache {
   size_t size() const;
   size_t capacity() const { return capacity_; }
 
+  /// Every successfully prepared query currently retained, MRU first.
+  /// In-flight compiles are skipped (their slots aren't ready yet) — the
+  /// caller that triggered the compile will see its own entry. Used by
+  /// PqeService::ApplyUpdate to push a delta to every resident query.
+  std::vector<std::shared_ptr<const PreparedQuery>> Snapshot() const;
+
   /// The content key: FNV-1a over the rendered query, every fact of the
   /// database in FactId order, and the width budget. 64-bit fingerprints,
   /// so distinct workloads collide with negligible probability; a collision
@@ -71,12 +80,16 @@ class PreparedCache {
  private:
   struct Slot {
     std::once_flag once;
-    // Written once under `once`, then read-only.
+    // Written once under `once`, then read-only. `ready` is release-stored
+    // after the build so Snapshot() can read `prepared` without touching
+    // the once-flag.
     std::shared_ptr<const PreparedQuery> prepared;
     Status status = Status::OK();
+    std::atomic<bool> ready{false};
   };
 
   const size_t capacity_;
+  const size_t bind_cache_capacity_;
 
   mutable std::mutex mu_;
   // MRU-first recency list; the map points into it for O(1) touch/evict.

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <optional>
 #include <utility>
 
 #include "core/projection.h"
@@ -19,7 +20,7 @@ namespace serve {
 namespace {
 
 // FNV-1a over the probability labels; the bind cache only needs to tell
-// "same labels as last time" apart from "different labels".
+// labellings apart.
 uint64_t HashProbabilities(const std::vector<Probability>& probs) {
   uint64_t h = 1469598103934665603ull;
   auto mix = [&h](uint64_t v) {
@@ -71,12 +72,14 @@ constexpr size_t kAnswerMemoCapacity = 64;
 
 Result<std::shared_ptr<const PreparedQuery>> PreparedQuery::Prepare(
     const ConjunctiveQuery& query, const Database& db,
-    const UrConstructionOptions& options) {
+    const UrConstructionOptions& options, size_t bind_cache_capacity) {
   PQE_TRACE_SPAN_VAR(span, "serve.prepare");
   span.AttrUint("facts", db.NumFacts());
   // Route exactly as PqeEngine's kFpras branch does, so prepared answers
   // match cold engine answers bit for bit.
   auto prepared = std::shared_ptr<PreparedQuery>(new PreparedQuery());
+  prepared->bind_cache_capacity_ =
+      bind_cache_capacity < 1 ? 1 : bind_cache_capacity;
   if (query.IsPathQuery() && query.IsSelfJoinFree()) {
     PQE_ASSIGN_OR_RETURN(PathPqeSkeleton s, BuildPathPqeSkeleton(query, db));
     prepared->path_.emplace(std::move(s));
@@ -88,56 +91,213 @@ Result<std::shared_ptr<const PreparedQuery>> PreparedQuery::Prepare(
   return std::shared_ptr<const PreparedQuery>(std::move(prepared));
 }
 
-Result<std::shared_ptr<const PreparedQuery::Bound>> PreparedQuery::GetBound(
-    const std::vector<Probability>& probs, bool* reused) const {
-  const uint64_t h = HashProbabilities(probs);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (bound_ != nullptr && bound_->probs_hash == h) {
-      bind_hits_.fetch_add(1, std::memory_order_relaxed);
-      if (reused != nullptr) *reused = true;
-      return bound_;
+void PreparedQuery::BuildBound(const std::vector<Probability>& probs,
+                               BindSlot* slot) const {
+  auto bound = std::make_shared<Bound>();
+  bound->probs_hash = slot->probs_hash;
+  bound->probs = probs;
+  const Bound* seed = slot->seed.get();
+  Status status;
+  if (path_.has_value()) {
+    std::optional<BoundPathNfa> b;
+    if (seed != nullptr && seed->path.has_value() &&
+        seed->path->layout != nullptr) {
+      size_t patched = 0;
+      auto delta = RebindPathPqeNfa(*seed->path, seed->probs, probs, &patched);
+      if (delta.ok()) {
+        b.emplace(std::move(*delta));
+        bound->delta_patched = true;
+        bound->patched_slots = patched;
+      }
+      // On failure (denominator drift) fall through to the full expansion.
+    }
+    if (!b.has_value() && status.ok()) {
+      auto full = BindPathPqeNfa(*path_, probs);
+      if (full.ok()) {
+        b.emplace(std::move(*full));
+      } else {
+        status = full.status();
+      }
+    }
+    if (status.ok()) {
+      // Warm the lazily built adjacency CSR before the artifact is shared:
+      // const traversals from concurrent requests must not race on it. A
+      // delta patch carried the out-CSR over from its seed and invalidated
+      // only the target-keyed half, so this rebuilds just that.
+      b->nfa.WarmAdjacency();
+      bound->path.emplace(std::move(*b));
+    }
+  } else {
+    std::optional<BoundPqeAutomaton> b;
+    if (seed != nullptr && seed->tree.has_value() &&
+        seed->tree->layout != nullptr) {
+      size_t patched = 0;
+      auto delta =
+          RebindPqeAutomaton(*seed->tree, seed->probs, probs, &patched);
+      if (delta.ok()) {
+        b.emplace(std::move(*delta));
+        bound->delta_patched = true;
+        bound->patched_slots = patched;
+      }
+    }
+    if (!b.has_value() && status.ok()) {
+      auto full = BindPqeAutomaton(*tree_, probs);
+      if (full.ok()) {
+        b.emplace(std::move(*full));
+      } else {
+        status = full.status();
+      }
+    }
+    if (status.ok()) {
+      b->weighted.WarmRunIndex();
+      bound->tree.emplace(std::move(*b));
     }
   }
-  // Build outside the lock: binds are deterministic, so two threads racing
-  // on the same labels produce interchangeable artifacts and the loser's
-  // work is merely wasted, never wrong.
-  rebinds_.fetch_add(1, std::memory_order_relaxed);
-  auto bound = std::make_shared<Bound>();
-  bound->probs_hash = h;
-  if (path_.has_value()) {
-    PQE_ASSIGN_OR_RETURN(BoundPathNfa b, BindPathPqeNfa(*path_, probs));
-    // Warm the lazily built adjacency CSR before the artifact is shared:
-    // const traversals from concurrent requests must not race on it.
-    b.nfa.WarmAdjacency();
-    bound->path.emplace(std::move(b));
+  slot->seed.reset();
+  if (status.ok()) {
+    auto& counter = bound->delta_patched ? delta_rebinds_ : rebinds_;
+    counter.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricRegistry::Global()
+        .GetCounter(bound->delta_patched ? "serve.delta_rebinds"
+                                         : "serve.full_rebinds")
+        .Increment();
+    slot->bound = std::move(bound);
   } else {
-    PQE_ASSIGN_OR_RETURN(BoundPqeAutomaton b, BindPqeAutomaton(*tree_, probs));
-    b.weighted.WarmRunIndex();
-    bound->tree.emplace(std::move(b));
+    slot->status = status;
   }
-  std::shared_ptr<const Bound> published = std::move(bound);
+  slot->done.store(true, std::memory_order_release);
+}
+
+Result<std::shared_ptr<const PreparedQuery::Bound>> PreparedQuery::GetBound(
+    const std::vector<Probability>& probs, BindOutcome* outcome) const {
+  const uint64_t h = HashProbabilities(probs);
+  std::shared_ptr<BindSlot> slot;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    bound_ = published;
+    for (size_t i = 0; i < bind_lru_.size(); ++i) {
+      if (bind_lru_[i]->probs_hash == h) {
+        slot = bind_lru_[i];
+        // Touch: move to the MRU front.
+        bind_lru_.erase(bind_lru_.begin() + i);
+        bind_lru_.insert(bind_lru_.begin(), slot);
+        break;
+      }
+    }
+    if (slot != nullptr) {
+      // A completed slot is an outright hit; an in-flight one means we join
+      // another thread's build instead of duplicating it (single flight).
+      auto& counter = slot->done.load(std::memory_order_acquire)
+                          ? bind_hits_
+                          : avoided_rebinds_;
+      counter.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      slot = std::make_shared<BindSlot>();
+      slot->probs_hash = h;
+      // Seed the delta patch from the most recently completed bind.
+      for (const auto& s : bind_lru_) {
+        if (s->done.load(std::memory_order_acquire) && s->status.ok()) {
+          slot->seed = s->bound;
+          break;
+        }
+      }
+      bind_lru_.insert(bind_lru_.begin(), slot);
+      while (bind_lru_.size() > bind_cache_capacity_) {
+        bind_lru_.pop_back();
+        bind_evictions_.fetch_add(1, std::memory_order_relaxed);
+        obs::MetricRegistry::Global()
+            .GetCounter("serve.bind_evictions")
+            .Increment();
+      }
+    }
   }
-  return published;
+  // Build outside the lock; every caller for this labelling blocks here and
+  // shares the one build.
+  bool built_here = false;
+  std::call_once(slot->once, [&]() {
+    built_here = true;
+    BuildBound(probs, slot.get());
+  });
+  if (!slot->status.ok()) {
+    if (built_here) {
+      // Don't retain failures: drop the slot (if it's still ours) so a
+      // later request retries instead of replaying a stale error forever.
+      std::lock_guard<std::mutex> lock(mu_);
+      for (size_t i = 0; i < bind_lru_.size(); ++i) {
+        if (bind_lru_[i] == slot) {
+          bind_lru_.erase(bind_lru_.begin() + i);
+          break;
+        }
+      }
+    }
+    return slot->status;
+  }
+  if (outcome != nullptr) {
+    outcome->reused = !built_here;
+    outcome->delta = built_here && slot->bound->delta_patched;
+    outcome->patched_slots = built_here ? slot->bound->patched_slots : 0;
+  }
+  return slot->bound;
+}
+
+Result<PreparedQuery::RebindStats> PreparedQuery::Rebind(
+    const LabelDelta& delta) const {
+  if (delta.facts.size() != delta.new_probs.size()) {
+    return Status::InvalidArgument(
+        "LabelDelta: facts and new_probs must be parallel (" +
+        std::to_string(delta.facts.size()) + " vs " +
+        std::to_string(delta.new_probs.size()) + ")");
+  }
+  // The delta applies on top of the most recently bound labelling.
+  std::optional<std::vector<Probability>> probs;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& s : bind_lru_) {
+      if (s->done.load(std::memory_order_acquire) && s->status.ok()) {
+        probs = s->bound->probs;
+        break;
+      }
+    }
+  }
+  if (!probs.has_value()) {
+    return Status::NotFound(
+        "PreparedQuery::Rebind: no bound labelling to update (evaluate once "
+        "before applying deltas)");
+  }
+  const std::vector<FactId>& of = original_fact();
+  RebindStats stats;
+  for (size_t i = 0; i < delta.facts.size(); ++i) {
+    bool touched = false;
+    for (size_t j = 0; j < of.size(); ++j) {
+      if (of[j] == delta.facts[i]) {
+        (*probs)[j] = delta.new_probs[i];
+        touched = true;
+      }
+    }
+    if (!touched) ++stats.untouched;
+  }
+  BindOutcome outcome;
+  PQE_ASSIGN_OR_RETURN(std::shared_ptr<const Bound> bound,
+                       GetBound(*probs, &outcome));
+  (void)bound;
+  stats.reused = outcome.reused;
+  stats.delta = outcome.delta;
+  stats.patched_slots = outcome.patched_slots;
+  return stats;
 }
 
 Result<PqeAnswer> PreparedQuery::EvaluateFpras(
     const ProbabilisticDatabase& pdb, const EstimatorConfig& config,
     EvalBreakdown* breakdown) const {
   PQE_TRACE_SPAN_VAR(span, "serve.evaluate_prepared");
-  const std::vector<FactId>& original_fact =
-      path_.has_value() ? path_->original_fact : tree_->original_fact;
   PQE_ASSIGN_OR_RETURN(std::vector<Probability> probs,
-                       ProjectedFactProbabilities(original_fact, pdb));
-  bool bind_reused = false;
+                       ProjectedFactProbabilities(original_fact(), pdb));
+  BindOutcome bind_outcome;
   const auto bind_start = std::chrono::steady_clock::now();
   PQE_ASSIGN_OR_RETURN(std::shared_ptr<const Bound> bound,
-                       GetBound(probs, &bind_reused));
+                       GetBound(probs, &bind_outcome));
   if (breakdown != nullptr) {
-    breakdown->bind_reused = bind_reused;
+    breakdown->bind_reused = bind_outcome.reused;
+    breakdown->bind_delta = bind_outcome.delta;
     breakdown->bind_ns = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - bind_start)
@@ -215,6 +375,18 @@ uint64_t PreparedQuery::bind_hits() const {
 
 uint64_t PreparedQuery::rebinds() const {
   return rebinds_.load(std::memory_order_relaxed);
+}
+
+uint64_t PreparedQuery::delta_rebinds() const {
+  return delta_rebinds_.load(std::memory_order_relaxed);
+}
+
+uint64_t PreparedQuery::avoided_rebinds() const {
+  return avoided_rebinds_.load(std::memory_order_relaxed);
+}
+
+uint64_t PreparedQuery::bind_evictions() const {
+  return bind_evictions_.load(std::memory_order_relaxed);
 }
 
 uint64_t PreparedQuery::answer_hits() const {

@@ -56,7 +56,8 @@ std::string BuildSpanExcerpt(const RequestTelemetry& t,
 PqeService::PqeService(Options options)
     : options_(std::move(options)),
       engine_(options_.engine),
-      cache_(std::make_unique<PreparedCache>(options_.cache_capacity)),
+      cache_(std::make_unique<PreparedCache>(options_.cache_capacity,
+                                             options_.bind_cache_capacity)),
       telemetry_(options_.slow_log_capacity) {
   if (!options_.capture_path.empty()) {
     auto recorder = WorkloadRecorder::Open(options_.capture_path);
@@ -215,6 +216,83 @@ void PqeService::CaptureRequest(const EvalRequest& request,
   recorder_->Record(record);
 }
 
+Result<PqeService::UpdateStats> PqeService::ApplyUpdate(
+    ProbabilisticDatabase* pdb, const LabelDelta& delta) const {
+  PQE_TRACE_SPAN_VAR(span, "serve.apply_update");
+  if (pdb == nullptr) {
+    return Status::InvalidArgument("ApplyUpdate: pdb must be non-null");
+  }
+  if (delta.facts.size() != delta.new_probs.size()) {
+    return Status::InvalidArgument(
+        "ApplyUpdate: facts and new_probs must be parallel");
+  }
+  UpdateStats stats;
+  for (size_t i = 0; i < delta.facts.size(); ++i) {
+    PQE_RETURN_IF_ERROR(
+        pdb->SetProbability(delta.facts[i], delta.new_probs[i]));
+    ++stats.facts;
+  }
+  // Push the delta to every resident prepared query so the next request
+  // over the updated pdb lands on an already-refreshed bind.
+  for (const auto& prepared : cache_->Snapshot()) {
+    ++stats.prepared_visited;
+    auto rebind = prepared->Rebind(delta);
+    if (!rebind.ok()) {
+      if (rebind.status().code() == StatusCode::kNotFound) {
+        // Never bound: nothing to refresh, the first evaluation will bind.
+        ++stats.untouched;
+        continue;
+      }
+      return rebind.status();
+    }
+    if (rebind->reused) {
+      ++stats.untouched;
+    } else if (rebind->delta) {
+      ++stats.delta_rebinds;
+    } else {
+      ++stats.full_rebinds;
+    }
+  }
+  span.AttrUint("facts", stats.facts);
+  span.AttrUint("delta_rebinds", stats.delta_rebinds);
+  auto& registry = obs::MetricRegistry::Global();
+  registry.GetCounter("serve.updates").Increment();
+  if (recorder_ != nullptr) {
+    WorkloadRecord record;
+    record.target = "update";
+    record.update_spec = FormatLabelDelta(delta);
+    record.labelling_hash = HashLabelling(*pdb);  // post-update labels
+    record.status = "ok";
+    recorder_->Record(record);
+  }
+  std::vector<WatchCallback> callbacks;
+  {
+    std::lock_guard<std::mutex> lock(watch_mu_);
+    callbacks.reserve(watchers_.size());
+    for (const auto& w : watchers_) callbacks.push_back(w.second);
+  }
+  for (const WatchCallback& cb : callbacks) cb(delta, stats);
+  return stats;
+}
+
+uint64_t PqeService::Watch(WatchCallback callback) const {
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  const uint64_t token = next_watch_token_++;
+  watchers_.emplace_back(token, std::move(callback));
+  return token;
+}
+
+bool PqeService::Unwatch(uint64_t token) const {
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  for (auto it = watchers_.begin(); it != watchers_.end(); ++it) {
+    if (it->first == token) {
+      watchers_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
 EvalResponse PqeService::EvaluatePrepared(
     const EvalRequest& request, uint64_t effective_id,
     const PqeEngine::Options& opts, RequestTelemetry* telemetry) const {
@@ -289,7 +367,8 @@ EvalResponse PqeService::EvaluatePrepared(
   if (!lookup.hit) {
     telemetry->cache_class = CacheClass::kColdCompile;
   } else if (!breakdown.bind_reused) {
-    telemetry->cache_class = CacheClass::kRebind;
+    telemetry->cache_class = breakdown.bind_delta ? CacheClass::kDeltaRebind
+                                                  : CacheClass::kRebind;
   } else if (!breakdown.answer_memo_hit) {
     telemetry->cache_class = CacheClass::kWarmBind;
   } else {

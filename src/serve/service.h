@@ -1,8 +1,13 @@
 #ifndef PQE_SERVE_SERVICE_H_
 #define PQE_SERVE_SERVICE_H_
 
+#include <cstdint>
+#include <functional>
+#include <list>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/engine.h"
@@ -35,6 +40,9 @@ class PqeService {
     PqeEngine::Options engine;
     /// Maximum prepared (query, database) skeletons retained.
     size_t cache_capacity = 32;
+    /// Bound labellings each prepared query retains (LRU, min 1). Depth >1
+    /// is what makes alternating labellings and delta rebinds cheap.
+    size_t bind_cache_capacity = 4;
     /// Threads used to fan a batch out (0 = auto: $PQE_THREADS, else 1).
     /// When a batch runs on >1 threads, each request's inner sampling runs
     /// single-threaded — the shared pool is not reentrant — which changes
@@ -76,6 +84,42 @@ class PqeService {
   /// otherwise (requests still serve, they just aren't recorded).
   const Status& capture_status() const { return capture_status_; }
 
+  /// Outcome of one ApplyUpdate call, aggregated over every resident
+  /// prepared query.
+  struct UpdateStats {
+    size_t facts = 0;             // delta entries written into the pdb
+    size_t prepared_visited = 0;  // prepared queries the delta was pushed to
+    size_t delta_rebinds = 0;     // binds refreshed by the in-place patch
+    size_t full_rebinds = 0;      // binds that fell back to full expansion
+    size_t untouched = 0;         // queries with nothing to refresh (never
+                                  // bound, or already bound to the result)
+  };
+
+  /// Applies a fact-probability delta: writes the new probabilities into
+  /// `pdb` (the database later requests will carry), then pushes the delta
+  /// to every resident prepared query so its bind is refreshed eagerly —
+  /// by the in-place gadget patch when the labelling's denominators are
+  /// unchanged, by a full rebind otherwise. After ApplyUpdate returns, a
+  /// request over the updated pdb is a warm bind hit, and its answer is
+  /// bit-identical to a cold evaluation of the updated database (the
+  /// determinism contract; enforced by delta_rebind_test and E14).
+  /// Registered watchers are notified synchronously before returning.
+  Result<UpdateStats> ApplyUpdate(ProbabilisticDatabase* pdb,
+                                  const LabelDelta& delta) const;
+
+  /// Minimal subscription stub over ApplyUpdate: `callback` runs
+  /// synchronously inside every subsequent ApplyUpdate, after the delta has
+  /// been applied and the resident binds refreshed — so the callback can
+  /// evaluate immediately and hit the warm (already patched) bind, no
+  /// polling. Returns a token for Unwatch. A full Watch(query) API with
+  /// per-query filtering and push evaluation is future work (ROADMAP);
+  /// this hook is its substrate.
+  using WatchCallback =
+      std::function<void(const LabelDelta&, const UpdateStats&)>;
+  uint64_t Watch(WatchCallback callback) const;
+  /// Removes a watcher; false when the token is unknown.
+  bool Unwatch(uint64_t token) const;
+
  private:
   /// `inner_threads_override` > 0 pins the request's sampling thread count
   /// (batch fan-out pins 1; 0 means inherit the engine options).
@@ -101,6 +145,10 @@ class PqeService {
   mutable ServiceTelemetry telemetry_;
   std::unique_ptr<WorkloadRecorder> recorder_;
   Status capture_status_;
+
+  mutable std::mutex watch_mu_;
+  mutable uint64_t next_watch_token_ = 1;
+  mutable std::list<std::pair<uint64_t, WatchCallback>> watchers_;
 };
 
 }  // namespace serve

@@ -14,6 +14,8 @@ const char* CacheClassName(CacheClass c) {
       return "answer_memo";
     case CacheClass::kWarmBind:
       return "warm_bind";
+    case CacheClass::kDeltaRebind:
+      return "delta_rebind";
     case CacheClass::kRebind:
       return "rebind";
     case CacheClass::kColdCompile:

@@ -20,14 +20,16 @@ namespace serve {
 /// kWarmBind, with kColdCompile only on first sight of a (query, facts)
 /// pair.
 enum class CacheClass {
-  kAnswerMemo,   // bind and config both warm: answer served from the memo
-  kWarmBind,     // skeleton + bind reused; only the sampler ran
-  kRebind,       // skeleton reused; labels drifted, gadgets re-expanded
-  kColdCompile,  // skeleton compiled this request (deepest work)
-  kDelegated,    // non-prepared route (safe plan, enumeration, lineage, ...)
+  kAnswerMemo,    // bind and config both warm: answer served from the memo
+  kWarmBind,      // skeleton + bind reused; only the sampler ran
+  kDeltaRebind,   // skeleton reused; labels drifted but the bind was patched
+                  // in place from a prior labelling (delta rebind)
+  kRebind,        // skeleton reused; labels drifted, gadgets re-expanded
+  kColdCompile,   // skeleton compiled this request (deepest work)
+  kDelegated,     // non-prepared route (safe plan, enumeration, lineage, ...)
 };
 
-inline constexpr size_t kNumCacheClasses = 5;
+inline constexpr size_t kNumCacheClasses = 6;
 
 const char* CacheClassName(CacheClass c);
 

@@ -1,5 +1,6 @@
 #include "serve/workload.h"
 
+#include <cstdlib>
 #include <cstring>
 #include <deque>
 #include <fstream>
@@ -67,6 +68,9 @@ std::string FormatWorkloadRecord(const WorkloadRecord& record) {
   w.Key("request_id").Uint(record.request_id);
   w.Key("target").String(record.target);
   w.Key("query").String(record.query);
+  if (!record.update_spec.empty()) {
+    w.Key("update_spec").String(record.update_spec);
+  }
   w.Key("labelling_hash").String(ToHex(record.labelling_hash));
   w.Key("config_hash").String(ToHex(record.config_hash));
   w.Key("method").String(record.method);
@@ -92,6 +96,7 @@ Result<WorkloadRecord> ParseWorkloadRecord(std::string_view line) {
   r.target = GetString(doc, "target");
   if (r.target.empty()) r.target = "query";
   r.query = GetString(doc, "query");
+  r.update_spec = GetString(doc, "update_spec");
   r.labelling_hash = GetHex(doc, "labelling_hash");
   r.config_hash = GetHex(doc, "config_hash");
   r.method = GetString(doc, "method");
@@ -129,6 +134,53 @@ Result<std::vector<WorkloadRecord>> LoadWorkloadFile(
     records.push_back(std::move(*record));
   }
   return records;
+}
+
+std::string FormatLabelDelta(const LabelDelta& delta) {
+  std::string out;
+  for (size_t i = 0; i < delta.facts.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(delta.facts[i]);
+    out += '=';
+    out += std::to_string(delta.new_probs[i].num);
+    out += '/';
+    out += std::to_string(delta.new_probs[i].den);
+  }
+  return out;
+}
+
+Result<LabelDelta> ParseLabelDeltaSpec(std::string_view spec) {
+  LabelDelta delta;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t end = spec.find(',', pos);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string entry(spec.substr(pos, end - pos));
+    const size_t eq = entry.find('=');
+    const size_t slash = entry.find('/', eq == std::string::npos ? 0 : eq);
+    if (eq == std::string::npos || slash == std::string::npos) {
+      return Status::InvalidArgument(
+          "bad update entry '" + entry + "' (expected FACT=NUM/DEN)");
+    }
+    char* cursor = nullptr;
+    const FactId fact = static_cast<FactId>(
+        std::strtoull(entry.substr(0, eq).c_str(), &cursor, 10));
+    Probability p;
+    p.num = std::strtoull(entry.substr(eq + 1, slash - eq - 1).c_str(),
+                          nullptr, 10);
+    p.den = std::strtoull(entry.substr(slash + 1).c_str(), nullptr, 10);
+    if (p.den == 0 || p.num > p.den) {
+      return Status::InvalidArgument("bad probability in update entry '" +
+                                     entry + "'");
+    }
+    delta.facts.push_back(fact);
+    delta.new_probs.push_back(p);
+    pos = end + 1;
+  }
+  if (delta.facts.empty()) {
+    return Status::InvalidArgument("empty update spec");
+  }
+  return delta;
 }
 
 uint64_t HashLabelling(const ProbabilisticDatabase& pdb) {
@@ -194,6 +246,12 @@ std::string ReplayReport::Summary() const {
   if (parse_failures > 0) {
     out += ", " + std::to_string(parse_failures) + " parse failures";
   }
+  if (updates_applied > 0) {
+    out += ", " + std::to_string(updates_applied) + " updates applied";
+  }
+  if (update_failures > 0) {
+    out += ", " + std::to_string(update_failures) + " update failures";
+  }
   return out;
 }
 
@@ -204,17 +262,88 @@ Result<ReplayReport> ReplayWorkload(
   ReplayReport report;
   report.total = records.size();
 
-  const uint64_t labelling = HashLabelling(pdb);
+  // Updates mutate labels as the capture replays; they apply to a private
+  // copy so the caller's pdb is never touched. Requests point at this one
+  // object — SetProbability mutates in place, so the address is stable.
+  ProbabilisticDatabase current = pdb;
+  uint64_t labelling = HashLabelling(current);
   const uint64_t config = HashEngineConfig(service.options().engine);
 
-  // Queries live in a deque (stable addresses) for the whole batch; the
+  // Queries live in a deque (stable addresses) for the whole replay; the
   // parallel index maps each request back to its record.
   std::deque<ConjunctiveQuery> queries;
   std::vector<EvalRequest> requests;
   std::vector<const WorkloadRecord*> request_records;
   std::vector<bool> comparable;
 
+  // Runs the queries accumulated since the last update as one batch and
+  // bit-compares each answer with its record.
+  auto FlushBatch = [&]() {
+    if (requests.empty()) return;
+    const std::vector<EvalResponse> responses =
+        service.EvaluateBatch(requests);
+    for (size_t i = 0; i < responses.size(); ++i) {
+      if (!comparable[i]) continue;
+      const WorkloadRecord& r = *request_records[i];
+      const EvalResponse& resp = responses[i];
+      ++report.replayed;
+      // Bit-exact comparison (memcmp, not ==): the determinism contract is
+      // about bit patterns, and it must hold for ±0.0 and NaN too.
+      if (resp.status.ok() &&
+          std::memcmp(&resp.answer.probability, &r.probability,
+                      sizeof(double)) == 0) {
+        ++report.matched;
+      } else {
+        ++report.mismatched;
+        if (report.mismatch_details.size() < kMaxMismatchDetails) {
+          char buf[160];
+          std::snprintf(buf, sizeof(buf),
+                        "request %llu: recorded %.17g, replayed %.17g (%s)",
+                        static_cast<unsigned long long>(r.request_id),
+                        r.probability,
+                        resp.status.ok() ? resp.answer.probability : 0.0,
+                        resp.status.ok() ? "answer mismatch"
+                                         : resp.status.message().c_str());
+          report.mismatch_details.push_back(buf);
+        }
+      }
+    }
+    requests.clear();
+    request_records.clear();
+    comparable.clear();
+  };
+
   for (const WorkloadRecord& r : records) {
+    if (r.target == "update") {
+      // Updates segment the replay: everything captured before the update
+      // must run against the pre-update labels.
+      FlushBatch();
+      auto ApplyOne = [&]() -> Status {
+        PQE_ASSIGN_OR_RETURN(LabelDelta delta,
+                             ParseLabelDeltaSpec(r.update_spec));
+        PQE_ASSIGN_OR_RETURN(PqeService::UpdateStats stats,
+                             service.ApplyUpdate(&current, delta));
+        (void)stats;
+        return Status::OK();
+      };
+      const Status applied = ApplyOne();
+      if (!applied.ok()) {
+        ++report.update_failures;
+        if (report.mismatch_details.size() < kMaxMismatchDetails) {
+          report.mismatch_details.push_back("update record failed: " +
+                                            applied.message());
+        }
+        continue;
+      }
+      ++report.updates_applied;
+      labelling = HashLabelling(current);
+      // The capture recorded the post-update labels; drift here means the
+      // replay diverged from the captured update sequence.
+      if (r.labelling_hash != 0 && r.labelling_hash != labelling) {
+        ++report.labelling_drift;
+      }
+      continue;
+    }
     if (r.target != "query") {
       ++report.skipped_target;
       continue;
@@ -227,7 +356,7 @@ Result<ReplayReport> ReplayWorkload(
       ++report.labelling_drift;
       continue;
     }
-    auto query = ParseQuery(pdb.database().schema(), r.query);
+    auto query = ParseQuery(current.database().schema(), r.query);
     if (!query.ok()) {
       ++report.parse_failures;
       if (report.mismatch_details.size() < kMaxMismatchDetails) {
@@ -243,7 +372,7 @@ Result<ReplayReport> ReplayWorkload(
       is_comparable = false;
     }
     queries.push_back(std::move(*query));
-    EvalRequest req = EvalRequest::ForQuery(queries.back(), pdb);
+    EvalRequest req = EvalRequest::ForQuery(queries.back(), current);
     req.request_id = r.request_id;
     req.seed = r.seed;
     req.epsilon = r.epsilon;
@@ -260,34 +389,7 @@ Result<ReplayReport> ReplayWorkload(
     request_records.push_back(&r);
     comparable.push_back(is_comparable);
   }
-
-  const std::vector<EvalResponse> responses = service.EvaluateBatch(requests);
-  for (size_t i = 0; i < responses.size(); ++i) {
-    if (!comparable[i]) continue;
-    const WorkloadRecord& r = *request_records[i];
-    const EvalResponse& resp = responses[i];
-    ++report.replayed;
-    // Bit-exact comparison (memcmp, not ==): the determinism contract is
-    // about bit patterns, and it must hold for ±0.0 and NaN too.
-    if (resp.status.ok() &&
-        std::memcmp(&resp.answer.probability, &r.probability,
-                    sizeof(double)) == 0) {
-      ++report.matched;
-    } else {
-      ++report.mismatched;
-      if (report.mismatch_details.size() < kMaxMismatchDetails) {
-        char buf[160];
-        std::snprintf(buf, sizeof(buf),
-                      "request %llu: recorded %.17g, replayed %.17g (%s)",
-                      static_cast<unsigned long long>(r.request_id),
-                      r.probability,
-                      resp.status.ok() ? resp.answer.probability : 0.0,
-                      resp.status.ok() ? "answer mismatch"
-                                       : resp.status.message().c_str());
-        report.mismatch_details.push_back(buf);
-      }
-    }
-  }
+  FlushBatch();
   return report;
 }
 

@@ -11,6 +11,7 @@
 
 #include "core/engine.h"
 #include "pdb/probabilistic_database.h"
+#include "serve/prepared_query.h"
 #include "util/result.h"
 
 namespace pqe {
@@ -29,8 +30,12 @@ class PqeService;
 /// max_digits10, so the recorded probability compares bit-exactly.
 struct WorkloadRecord {
   uint64_t request_id = 0;
-  std::string target = "query";  // "query" | "union" | "ur"
+  std::string target = "query";  // "query" | "union" | "ur" | "update"
   std::string query;             // rendered text ("" when not renderable)
+  /// For target == "update": the applied delta as "FACT=NUM/DEN,..."
+  /// (FormatLabelDelta). labelling_hash then fingerprints the labels AFTER
+  /// the update, so a replay can verify it reproduced the same state.
+  std::string update_spec;
   uint64_t labelling_hash = 0;   // HashLabelling of the request's pdb
   uint64_t config_hash = 0;      // HashEngineConfig of the serving defaults
   std::string method;            // effective method ("auto" = engine resolves)
@@ -50,6 +55,13 @@ Result<WorkloadRecord> ParseWorkloadRecord(std::string_view line);
 
 /// Loads every record of a capture file (blank lines skipped).
 Result<std::vector<WorkloadRecord>> LoadWorkloadFile(const std::string& path);
+
+/// Renders a LabelDelta as "FACT=NUM/DEN,FACT=NUM/DEN,..." — the update
+/// spec stored in capture files and accepted by pqe_cli --update.
+std::string FormatLabelDelta(const LabelDelta& delta);
+
+/// Parses a FormatLabelDelta spec back into a LabelDelta.
+Result<LabelDelta> ParseLabelDeltaSpec(std::string_view spec);
 
 /// FNV-1a over the pdb's per-fact probabilities (num, den in FactId order).
 /// Identifies a labelling: equal hashes mean the replay binds the same
@@ -96,20 +108,30 @@ struct ReplayReport {
   size_t labelling_drift = 0;  // pdb labels differ from the capture's
   size_t config_drift = 0;     // engine defaults differ; ran, not compared
   size_t parse_failures = 0;   // query text no longer parses
+  size_t updates_applied = 0;  // "update" records replayed through
+                               // PqeService::ApplyUpdate
+  size_t update_failures = 0;  // update specs that failed to parse or apply
   /// Human-readable descriptions of the first few mismatches.
   std::vector<std::string> mismatch_details;
 
-  bool Clean() const { return mismatched == 0 && parse_failures == 0; }
+  bool Clean() const {
+    return mismatched == 0 && parse_failures == 0 && update_failures == 0;
+  }
   std::string Summary() const;
 };
 
-/// Re-executes a capture against `service` + `pdb` as one batch (deadlines
-/// stripped — replay measures answers, not timeouts) and bit-compares each
-/// answered probability with its record. Records whose labelling or config
-/// fingerprints don't match the replay environment are counted as drift:
-/// config-drifted records still run (their per-record seed/epsilon make
-/// them mostly comparable, but they are not counted as matches), while
-/// labelling-drifted records are not compared at all.
+/// Re-executes a capture against `service` + `pdb` (deadlines stripped —
+/// replay measures answers, not timeouts) and bit-compares each answered
+/// probability with its record. "update" records segment the replay: the
+/// queries before each update run as one batch against the labels in force,
+/// the update is applied through PqeService::ApplyUpdate to a private copy
+/// of `pdb` (the caller's object is never mutated), and later queries see
+/// the updated labels — so update-heavy captures replay bit-identically
+/// too. Records whose labelling or config fingerprints don't match the
+/// replay environment are counted as drift: config-drifted records still
+/// run (their per-record seed/epsilon make them mostly comparable, but they
+/// are not counted as matches), while labelling-drifted records are not
+/// compared at all.
 Result<ReplayReport> ReplayWorkload(const PqeService& service,
                                     const ProbabilisticDatabase& pdb,
                                     const std::vector<WorkloadRecord>& records);

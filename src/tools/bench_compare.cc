@@ -8,9 +8,13 @@
 //
 // Only gauges whose name contains "speedup" are gated: they are
 // ratio-of-medians within one run of one binary, so they are stable across
-// machines in a way raw millisecond gauges are not. Comparing two files
-// with no shared speedup gauge is an error (a silent empty intersection
-// would pass forever). --advisory prints the comparison but always exits 0
+// machines in a way raw millisecond gauges are not. A speedup gauge present
+// in the baseline but absent from the fresh run is reported as MISSING and
+// fails the gate — a renamed or dropped gauge must be acknowledged by
+// regenerating the baseline, not silently shrink the gated set. Comparing
+// two files with no baseline speedup gauge at all is an error (a silent
+// empty intersection would pass forever). --advisory prints the comparison
+// but always exits 0
 // (used by the sanitizer CI stages, where timings are meaningless).
 // --update-baselines copies the fresh metrics file over the baseline path
 // after printing the comparison — regenerating a committed BENCH_*.json
@@ -129,10 +133,16 @@ int main(int argc, char** argv) {
 
   size_t compared = 0;
   size_t regressed = 0;
+  size_t missing = 0;
   for (const GaugeReading& base : *baseline) {
     if (base.name.find("speedup") == std::string::npos) continue;
     const GaugeReading* now = Find(*fresh, base.name);
-    if (now == nullptr) continue;
+    if (now == nullptr) {
+      ++missing;
+      std::printf("MISSING %s: baseline %.2f, absent from fresh run\n",
+                  base.name.c_str(), base.value);
+      continue;
+    }
     ++compared;
     const double floor = base.value * (1.0 - threshold);
     const bool bad = base.value > 0.0 && now->value < floor;
@@ -142,16 +152,16 @@ int main(int argc, char** argv) {
     if (bad) ++regressed;
   }
 
-  if (compared == 0) {
+  if (compared == 0 && missing == 0) {
     std::fprintf(stderr,
-                 "bench_compare: no shared speedup gauges between %s and %s "
+                 "bench_compare: no speedup gauges in baseline %s "
                  "— wrong baseline file?\n",
-                 baseline_path.c_str(), fresh_path.c_str());
+                 baseline_path.c_str());
     return 2;
   }
-  std::printf("bench_compare: %zu gauges compared, %zu regressed "
-              "(threshold %.0f%%)%s\n",
-              compared, regressed, threshold * 100.0,
+  std::printf("bench_compare: %zu gauges compared, %zu regressed, "
+              "%zu missing from fresh (threshold %.0f%%)%s\n",
+              compared, regressed, missing, threshold * 100.0,
               advisory ? " [advisory]" : "");
   if (update_baselines) {
     std::ifstream src(fresh_path, std::ios::binary);
@@ -172,5 +182,5 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (advisory) return 0;
-  return regressed == 0 ? 0 : 1;
+  return regressed == 0 && missing == 0 ? 0 : 1;
 }

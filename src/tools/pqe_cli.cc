@@ -7,7 +7,7 @@
 //           [--epsilon 0.1] [--seed 42] [--max-width 3] [--threads 4]
 //           [--ur] [--sample K] [--trace | --trace=json]
 //           [--metrics | --metrics=prom] [--capture F] [--replay F]
-//           [--stats]
+//           [--update SPEC] [--stats]
 //
 // With --ur the uniform reliability UR(Q, D) is reported instead (fact
 // probabilities in the file are ignored). With --sample K, K posterior
@@ -16,8 +16,10 @@
 // metric registry after evaluation (JSON, or OpenMetrics text with
 // --metrics=prom). --capture records served requests to a JSONL workload
 // file; --replay re-executes a capture through the service and verifies the
-// answers are bit-identical; --stats prints the service's telemetry
-// snapshot (per-stage latency quantiles, cache classes, slow queries).
+// answers are bit-identical; --update (with --server-batch) applies a fact-
+// probability delta between two rounds of the batch, exercising the
+// delta-rebind path; --stats prints the service's telemetry snapshot
+// (per-stage latency quantiles, cache classes, slow queries).
 
 #include <cstdio>
 #include <cstdlib>
@@ -63,6 +65,10 @@ void Usage() {
       "  --metrics=prom   same, in OpenMetrics/Prometheus text format\n"
       "  --capture F      (with --server-batch) append every served request\n"
       "                   to workload file F (JSONL)\n"
+      "  --update SPEC    (with --server-batch) after the first round, apply\n"
+      "                   the fact-probability delta SPEC (FACT=NUM/DEN,...)\n"
+      "                   via the serving layer's incremental rebind and\n"
+      "                   serve the batch again over the updated database\n"
       "  --replay F       re-execute workload file F through the serving\n"
       "                   layer and verify bit-identical answers\n"
       "  --stats          print the service stats snapshot as JSON\n"
@@ -86,6 +92,7 @@ int main(int argc, char** argv) {
   std::string server_batch_path;
   std::string capture_path;
   std::string replay_path;
+  std::string update_spec;
   uint64_t deadline_ms = 0;
   bool trace_text = false;
   bool trace_json = false;
@@ -132,6 +139,10 @@ int main(int argc, char** argv) {
       replay_path = need_value("--replay");
     } else if (std::strncmp(argv[i], "--replay=", 9) == 0) {
       replay_path = argv[i] + 9;
+    } else if (std::strcmp(argv[i], "--update") == 0) {
+      update_spec = need_value("--update");
+    } else if (std::strncmp(argv[i], "--update=", 9) == 0) {
+      update_spec = argv[i] + 9;
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
       deadline_ms = std::strtoull(need_value("--deadline-ms"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--trace") == 0) {
@@ -291,32 +302,58 @@ int main(int argc, char** argv) {
     }
     std::printf("serving %zu requests over %zu facts\n", requests.size(),
                 pdb.NumFacts());
-    const std::vector<EvalResponse> responses =
-        service.EvaluateBatch(requests);
     int failures = 0;
-    for (size_t i = 0; i < responses.size(); ++i) {
-      const EvalResponse& resp = responses[i];
-      if (resp.status.ok()) {
-        std::printf("[%llu] Pr(Q) %s %.6f  [%s]  %.1fms  %s\n",
-                    static_cast<unsigned long long>(resp.request_id),
-                    resp.answer.is_exact ? "=" : "~",
-                    resp.answer.probability,
-                    PqeMethodToString(resp.answer.method_used),
-                    resp.elapsed_ms,
-                    queries[i].ToString(schema).c_str());
-      } else if (resp.deadline_exceeded) {
-        std::printf("[%llu] DEADLINE_EXCEEDED after %.1fms (progress=%llu)"
-                    "  %s\n",
-                    static_cast<unsigned long long>(resp.request_id),
-                    resp.elapsed_ms,
-                    static_cast<unsigned long long>(resp.progress),
-                    queries[i].ToString(schema).c_str());
-      } else {
-        std::printf("[%llu] ERROR %s\n",
-                    static_cast<unsigned long long>(resp.request_id),
-                    resp.status.ToString().c_str());
-        ++failures;
+    auto ServeRound = [&]() {
+      const std::vector<EvalResponse> responses =
+          service.EvaluateBatch(requests);
+      for (size_t i = 0; i < responses.size(); ++i) {
+        const EvalResponse& resp = responses[i];
+        if (resp.status.ok()) {
+          std::printf("[%llu] Pr(Q) %s %.6f  [%s]  %.1fms  %s\n",
+                      static_cast<unsigned long long>(resp.request_id),
+                      resp.answer.is_exact ? "=" : "~",
+                      resp.answer.probability,
+                      PqeMethodToString(resp.answer.method_used),
+                      resp.elapsed_ms,
+                      queries[i].ToString(schema).c_str());
+        } else if (resp.deadline_exceeded) {
+          std::printf("[%llu] DEADLINE_EXCEEDED after %.1fms (progress=%llu)"
+                      "  %s\n",
+                      static_cast<unsigned long long>(resp.request_id),
+                      resp.elapsed_ms,
+                      static_cast<unsigned long long>(resp.progress),
+                      queries[i].ToString(schema).c_str());
+        } else {
+          std::printf("[%llu] ERROR %s\n",
+                      static_cast<unsigned long long>(resp.request_id),
+                      resp.status.ToString().c_str());
+          ++failures;
+        }
       }
+    };
+    ServeRound();
+    if (!update_spec.empty()) {
+      auto delta = serve::ParseLabelDeltaSpec(update_spec);
+      if (!delta.ok()) {
+        std::fprintf(stderr, "bad --update spec: %s\n",
+                     delta.status().ToString().c_str());
+        return 2;
+      }
+      auto ustats = service.ApplyUpdate(&pdb, *delta);
+      if (!ustats.ok()) {
+        std::fprintf(stderr, "update failed: %s\n",
+                     ustats.status().ToString().c_str());
+        return 1;
+      }
+      std::printf(
+          "update: %zu facts, %zu prepared visited, delta_rebinds=%zu "
+          "full_rebinds=%zu untouched=%zu\n",
+          ustats->facts, ustats->prepared_visited, ustats->delta_rebinds,
+          ustats->full_rebinds, ustats->untouched);
+      // Second round over the updated database: the requests point at the
+      // same pdb object, so they see the new labels and land on the binds
+      // ApplyUpdate refreshed.
+      ServeRound();
     }
     const serve::PreparedCache::Stats cs = service.cache().stats();
     std::printf("cache: hits=%llu misses=%llu evictions=%llu\n",

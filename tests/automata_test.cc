@@ -290,9 +290,15 @@ TEST(MultiplierNftaTest, RejectsBadArguments) {
   MultiplierNfta m;
   StateId s = m.AddState();
   m.SetInitialState(s);
-  EXPECT_FALSE(m.AddTransition(s, 0, 0, {}).ok());         // multiplier 0
   EXPECT_FALSE(m.AddTransition(s, 0, 8, {}, 2).ok());      // width too small
   EXPECT_FALSE(m.AddTransition(s + 7, 0, 1, {}).ok());     // unknown state
+  // Multiplier 0 (an impossible transition) is representable, but only by
+  // the stable translation — the minimal ToNfta rejects it, since dropping
+  // the transition is its minimal encoding.
+  EXPECT_TRUE(m.AddTransition(s, 0, 0, {}).ok());
+  EXPECT_FALSE(m.ToNfta().ok());
+  StableNftaLayout layout;
+  EXPECT_TRUE(m.ToNftaStable(&layout).ok());
 }
 
 TEST(MultiplierNftaTest, ComposesThroughChildren) {

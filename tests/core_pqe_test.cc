@@ -50,9 +50,10 @@ TEST(PqeAutomatonTest, TreeSizeAddsPaddedGadgetWidths) {
   ProbabilisticDatabase pdb = TinyPathPdb(qi);
   UrConstructionOptions opts;
   auto automaton = BuildPqeAutomaton(qi.query, pdb, opts).MoveValue();
-  // Widths: 1/3 → max(u(1),u(2)) = 1; 2/5 → max(u(2),u(3)) = 2;
-  //         3/4 → max(u(3),u(1)) = 2; 1/7 → max(u(1),u(6)) = 3.
-  EXPECT_EQ(automaton.tree_size, 4u + 1u + 2u + 2u + 3u);
+  // Widths are denominator-sized (u(d_i) covers every multiplier 0..d_i, so
+  // the shape is labelling-value independent for delta rebinds):
+  // 1/3 → u(3) = 2; 2/5 → u(5) = 3; 3/4 → u(4) = 2; 1/7 → u(7) = 3.
+  EXPECT_EQ(automaton.tree_size, 4u + 2u + 3u + 2u + 3u);
 }
 
 TEST(PqeAutomatonTest, ZeroAndOneProbabilitiesDropBranches) {

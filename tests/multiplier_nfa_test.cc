@@ -84,9 +84,14 @@ TEST(MultiplierNfaTest, RejectsBadArguments) {
   MultiplierNfa m;
   StateId s = m.AddState();
   m.MarkInitial(s);
-  EXPECT_FALSE(m.AddTransition(s, 0, 0, s).ok());       // multiplier 0
   EXPECT_FALSE(m.AddTransition(s, 0, 8, s, 2).ok());    // width too small
   EXPECT_FALSE(m.AddTransition(s, 0, 1, s + 9).ok());   // unknown state
+  // Multiplier 0 is representable, but only by the stable translation —
+  // the minimal ToNfa rejects it (its minimal encoding is absence).
+  EXPECT_TRUE(m.AddTransition(s, 0, 0, s).ok());
+  EXPECT_FALSE(m.ToNfa().ok());
+  StableNfaLayout layout;
+  EXPECT_TRUE(m.ToNfaStable(&layout).ok());
 }
 
 }  // namespace

@@ -273,8 +273,9 @@ TEST(ServeTest, RebindMatchesColdBuildBitForBit) {
   EvalRequest rb = EvalRequest::ForQuery(b.qi.query, b.pdb);
   rb.seed = cfg.seed;
 
-  // Labelling A (cold bind), labelling B (rebind), labelling A again
-  // (rebind again — the slot holds one labelling at a time).
+  // Labelling A (cold bind), labelling B (rebind — delta when B keeps A's
+  // denominators, full otherwise), labelling A again (a hit: the bind LRU
+  // holds both labellings).
   auto pa = (*prepared)->EvaluateFpras(a.pdb, cfg);
   auto pb = (*prepared)->EvaluateFpras(b.pdb, cfg);
   auto pa2 = (*prepared)->EvaluateFpras(a.pdb, cfg);
@@ -282,8 +283,9 @@ TEST(ServeTest, RebindMatchesColdBuildBitForBit) {
   ExpectSameAnswer(*pa, engine.EvaluateRequest(ra).answer);
   ExpectSameAnswer(*pb, engine.EvaluateRequest(rb).answer);
   ExpectSameAnswer(*pa2, *pa);
-  EXPECT_EQ((*prepared)->rebinds(), 3u);
-  EXPECT_EQ((*prepared)->bind_hits(), 0u);
+  EXPECT_EQ((*prepared)->rebinds() + (*prepared)->delta_rebinds(), 2u);
+  EXPECT_EQ((*prepared)->bind_hits(), 1u);
+  EXPECT_EQ((*prepared)->bind_evictions(), 0u);
 }
 
 TEST(ServeTest, AnswerMemoReplaysIdenticalRequestsOnly) {
@@ -406,7 +408,9 @@ TEST(ServeTest, StatsSnapshotClassifiesCacheEffectiveness) {
   EvalRequest rd = ra;  // identical again: answer memo replay
   rd.request_id = 4;
 
-  // cold compile, rebind (new labelling), rebind (back), answer memo.
+  // cold compile, rebind (new labelling), answer memo twice: labelling A's
+  // bound slot — and its memo — survives in the bind LRU while B is served,
+  // so both identical replays hit the memo.
   for (const EvalRequest* r : {&ra, &rb, &rc, &rd}) {
     ASSERT_TRUE(service.Evaluate(*r).status.ok());
   }
@@ -416,9 +420,11 @@ TEST(ServeTest, StatsSnapshotClassifiesCacheEffectiveness) {
   EXPECT_EQ(stats.requests, 4u);
   EXPECT_EQ(stats.by_class[static_cast<size_t>(CacheClass::kColdCompile)],
             1u);
-  EXPECT_EQ(stats.by_class[static_cast<size_t>(CacheClass::kRebind)], 2u);
-  EXPECT_EQ(stats.by_class[static_cast<size_t>(CacheClass::kAnswerMemo)],
+  EXPECT_EQ(stats.by_class[static_cast<size_t>(CacheClass::kRebind)] +
+                stats.by_class[static_cast<size_t>(CacheClass::kDeltaRebind)],
             1u);
+  EXPECT_EQ(stats.by_class[static_cast<size_t>(CacheClass::kAnswerMemo)],
+            2u);
   EXPECT_EQ(stats.by_class[static_cast<size_t>(CacheClass::kDelegated)], 0u);
 
   // Per-stage latencies: every request ran the estimate stage except the
