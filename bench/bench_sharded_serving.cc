@@ -1,0 +1,253 @@
+// E15 — Sharded serving (docs/serving.md): routing overhead, parallel
+// fan-out scaling, and degraded-mode retry cost of the ShardRouter against
+// one PqeService, plus the deterministic fault-injection harness as a
+// self-gating cell.
+//
+//   bench_sharded_serving [--smoke] [--metrics_out=BENCH_sharded_serving.json]
+//
+// The workload is four distinct (query, facts) pairs — distinct prepared
+// content keys, so the router spreads them across the shards — each request
+// carrying its own derived seed (the sampler runs every time; this measures
+// serving, not memo replay). Modes, all seeded identically:
+//   single   — one PqeService batch (threads = 1): the un-sharded truth.
+//   sharded  — ShardRouter over 4 shards (threads = 1): same answers through
+//              routing + transport; single_ms / sharded_ms is the gated
+//              speedup_overhead gauge (≈ 1.0 — sharding must not tax the
+//              serial path; a ratio-of-medians within one run, stable
+//              across machines).
+//   parallel — the same router fanning the batch over 4 threads; recorded
+//              as the non-gated scaling_par ratio (machine-dependent).
+//   degraded — one shard crashed up front: every request routed there is
+//              retried onto its successor; all answers still arrive.
+// Every sharded/parallel/degraded answer is checked bit-identical to its
+// single-service twin (the determinism contract: answers are functions of
+// (request, seed), never of the serving shard). The faultsim cell runs the
+// full harness (crashes, drops, delays from the seed's schedule) and
+// PQE_CHECKs its verdict: survivors bit-identical, replay exact.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/engine.h"
+#include "cq/builders.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "serve/faultsim.h"
+#include "serve/router.h"
+#include "serve/service.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace pqe {
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+PqeEngine::Options ServingOptions() {
+  auto opts = PqeEngine::Options::Builder()
+                  .Method(PqeMethod::kFpras)
+                  .Epsilon(0.25)
+                  .Seed(0xe15)
+                  .PoolSize(48)
+                  .Repetitions(1)
+                  .NumThreads(1)
+                  .Build();
+  PQE_CHECK(opts.ok());
+  return *opts;
+}
+
+struct Fixture {
+  QueryInstance qi;
+  ProbabilisticDatabase pdb;
+};
+
+void CheckIdentical(const std::vector<EvalResponse>& got,
+                    const std::vector<EvalResponse>& want) {
+  PQE_CHECK(got.size() == want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    PQE_CHECK(got[i].status.ok());
+    PQE_CHECK(want[i].status.ok());
+    PQE_CHECK(std::memcmp(&got[i].answer.probability,
+                          &want[i].answer.probability, sizeof(double)) == 0);
+  }
+}
+
+void MeasureCell(const std::string& cell, size_t requests, bool smoke) {
+  constexpr size_t kVariants = 4;
+  constexpr size_t kShards = 4;
+  std::vector<Fixture> fixtures;
+  for (size_t v = 0; v < kVariants; ++v) {
+    auto qi = MakePathQuery(4).MoveValue();
+    LayeredGraphOptions gopt;
+    gopt.width = 3;
+    gopt.density = 0.6;
+    gopt.seed = 11 + v;
+    auto db = MakeLayeredPathDatabase(qi, gopt).MoveValue();
+    ProbabilityModel pm;
+    pm.max_denominator = 8;
+    pm.seed = 31 + v;
+    fixtures.push_back({std::move(qi), AttachProbabilities(std::move(db), pm)});
+  }
+
+  const PqeEngine::Options opts = ServingOptions();
+  std::vector<EvalRequest> reqs;
+  reqs.reserve(requests);
+  for (size_t i = 0; i < requests; ++i) {
+    const Fixture& f = fixtures[i % kVariants];
+    EvalRequest r = EvalRequest::ForQuery(f.qi.query, f.pdb);
+    r.request_id = i + 1;
+    // Per-request seeds: every request re-runs the sampler, so the cell
+    // measures serving throughput, not answer-memo replays.
+    r.seed = Rng::DeriveSeed(opts.seed, i + 1);
+    reqs.push_back(r);
+  }
+
+  // single — the un-sharded truth.
+  serve::PqeService::Options sopt;
+  sopt.engine = opts;
+  sopt.num_threads = 1;
+  serve::PqeService single_service(sopt);
+  auto t0 = std::chrono::steady_clock::now();
+  const std::vector<EvalResponse> single = single_service.EvaluateBatch(reqs);
+  const double single_ms = MillisSince(t0);
+
+  auto router_options = [&](size_t threads) {
+    serve::ShardRouter::Options ropt;
+    ropt.num_shards = kShards;
+    ropt.service = sopt;
+    ropt.max_attempts = 2;
+    ropt.num_threads = threads;
+    return ropt;
+  };
+
+  // sharded — same batch through routing + transport, still one thread.
+  serve::ShardRouter sharded_router(router_options(1));
+  t0 = std::chrono::steady_clock::now();
+  const serve::ShardRouter::BatchResult sharded =
+      sharded_router.EvaluateBatch(reqs);
+  const double sharded_ms = MillisSince(t0);
+  PQE_CHECK(sharded.status.ok());
+  CheckIdentical(sharded.responses, single);
+  // The content-keyed placement really spreads the variants: more than one
+  // shard served traffic. Remember the busiest shard — that's the one the
+  // degraded cell kills, so its loss is guaranteed to force retries.
+  size_t shards_used = 0, busiest = 0;
+  for (size_t s = 0; s < sharded_router.cluster().size(); ++s) {
+    const uint64_t served = sharded_router.cluster().shard(s).served();
+    if (served > 0) ++shards_used;
+    if (served > sharded_router.cluster().shard(busiest).served()) busiest = s;
+  }
+  PQE_CHECK(shards_used > 1);
+
+  const double speedup_overhead = single_ms / sharded_ms;
+  auto& reg = obs::MetricRegistry::Global();
+  const std::string prefix = "pqe.bench.sharded_serving." + cell;
+  reg.GetGauge(prefix + ".requests").Set(static_cast<double>(requests));
+  reg.GetGauge(prefix + ".single_ms").Set(single_ms);
+  reg.GetGauge(prefix + ".sharded_ms").Set(sharded_ms);
+  reg.GetGauge(prefix + ".speedup_overhead").Set(speedup_overhead);
+  reg.GetGauge(prefix + ".shards_used").Set(static_cast<double>(shards_used));
+
+  double par_ms = 0.0, degraded_ms = 0.0;
+  uint64_t retries = 0;
+  if (!smoke) {
+    // parallel — same router configuration fanning over 4 threads.
+    serve::ShardRouter par_router(router_options(4));
+    t0 = std::chrono::steady_clock::now();
+    const serve::ShardRouter::BatchResult par = par_router.EvaluateBatch(reqs);
+    par_ms = MillisSince(t0);
+    PQE_CHECK(par.status.ok());
+    CheckIdentical(par.responses, single);
+    // Not named "speedup": thread scaling is machine-dependent, so this
+    // gauge is recorded but never gated.
+    reg.GetGauge(prefix + ".parallel_ms").Set(par_ms);
+    reg.GetGauge(prefix + ".scaling_par").Set(sharded_ms / par_ms);
+
+    // degraded — the busiest shard lost up front; retries absorb it.
+    serve::ShardRouter degraded_router(router_options(1));
+    degraded_router.cluster().shard(busiest).Crash();
+    t0 = std::chrono::steady_clock::now();
+    const serve::ShardRouter::BatchResult degraded =
+        degraded_router.EvaluateBatch(reqs);
+    degraded_ms = MillisSince(t0);
+    PQE_CHECK(degraded.status.ok());  // max_attempts=2 covers one dead shard
+    CheckIdentical(degraded.responses, single);
+    retries = degraded_router.stats().retries;
+    PQE_CHECK(retries > 0);  // the dead shard really was on the serving path
+    reg.GetGauge(prefix + ".degraded_ms").Set(degraded_ms);
+    reg.GetGauge(prefix + ".degraded_retries")
+        .Set(static_cast<double>(retries));
+  }
+
+  std::printf(
+      "  %-8s %6zu req  single %8.1fms  sharded %8.1fms  overhead %5.2fx"
+      "  shards %zu/%zu\n",
+      cell.c_str(), requests, single_ms, sharded_ms, speedup_overhead,
+      shards_used, kShards);
+  if (!smoke) {
+    std::printf(
+      "  %-8s parallel %8.1fms (x%.2f)  degraded %8.1fms (%llu retries)\n",
+      "", par_ms, sharded_ms / par_ms, degraded_ms,
+      static_cast<unsigned long long>(retries));
+  }
+}
+
+void RunFaultSimCell(size_t seeds) {
+  auto& reg = obs::MetricRegistry::Global();
+  for (uint64_t seed = 1; seed <= seeds; ++seed) {
+    serve::FaultSimOptions fopt;
+    fopt.seed = seed;
+    auto report = serve::RunFaultSim(fopt);
+    PQE_CHECK(report.ok());
+    // The harness verdict IS the gate: zero mismatched survivors, zero
+    // definitive failures, exact replay.
+    PQE_CHECK(report->ok());
+    std::printf("  %s\n", report->Summary().c_str());
+    reg.GetCounter("pqe.bench.sharded_serving.faultsim.seeds_ok").Increment();
+  }
+}
+
+}  // namespace
+}  // namespace pqe
+
+int main(int argc, char** argv) {
+  setvbuf(stdout, nullptr, _IONBF, 0);
+  using namespace pqe;
+  const std::string metrics_out = obs::ConsumeMetricsOutFlag(&argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  std::printf(
+      "E15 — sharded serving: routing overhead, scaling, degraded mode\n"
+      "====================================================================="
+      "\n\n%s",
+      smoke ? "smoke mode: overhead cell + 2 faultsim seeds\n\n" : "\n");
+  // Same cell shape in smoke and full: speedup_overhead is a within-run
+  // ratio at a fixed request count, so bench_compare can gate the smoke
+  // output directly against the committed full-run baseline.
+  MeasureCell("e4.s4", /*requests=*/32, smoke);
+  std::printf("\nfault-injection harness:\n");
+  RunFaultSimCell(/*seeds=*/smoke ? 2 : 6);
+  std::printf(
+      "\ndeterminism: every sharded/parallel/degraded answer matched its "
+      "single-service twin bit for bit;\nfaultsim survivors matched the "
+      "unfaulted run and every seed replayed exactly\n");
+  if (!metrics_out.empty()) {
+    Status status = obs::WriteMetricsJsonFile(metrics_out);
+    if (!status.ok()) {
+      std::fprintf(stderr, "--metrics_out: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", metrics_out.c_str());
+  }
+  return 0;
+}

@@ -3,12 +3,13 @@
 # tracing-disabled configuration, an ASan/UBSan pass, and a TSan pass with
 # the parallel sampling layers forced multi-threaded.
 #
-#   ./ci.sh            # all five configurations
+#   ./ci.sh            # all configurations
 #   ./ci.sh tier1      # just the tier-1 verify
 #   ./ci.sh notrace    # just PQE_ENABLE_TRACING=OFF
 #   ./ci.sh sanitize   # just ASan/UBSan
 #   ./ci.sh tsan       # just ThreadSanitizer (PQE_THREADS=8)
 #   ./ci.sh serve_smoke # batch serving CLI under TSan (PQE_THREADS=8)
+#   ./ci.sh faultsim   # deterministic fault-injection sweep under TSan
 #   ./ci.sh perf_smoke # counting hot-path + serving perf smokes
 #   ./ci.sh bench_gate # perf-regression gate vs committed BENCH_*.json
 
@@ -104,23 +105,52 @@ serve_smoke() {
   )
 }
 
+faultsim() {
+  # Sweep the deterministic fault-injection harness over a fixed band of
+  # seeds, under ThreadSanitizer: every seed's schedule injects crashes,
+  # drops, and delays between the router and the shards, and the harness
+  # fails the seed unless the surviving answers are bit-identical to the
+  # unfaulted run AND a re-run of the seed reproduces the exact outcome
+  # vector. A failing seed prints as `pqe_cli --faultsim-seed N` — an exact
+  # local repro, never a flake.
+  (
+    export PQE_THREADS=8
+    echo "==== faultsim: build pqe_cli (tsan) ===="
+    cmake -B build-tsan -S . \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DPQE_BUILD_BENCHMARKS=OFF \
+      -DPQE_BUILD_EXAMPLES=OFF \
+      -DCMAKE_CXX_FLAGS="-fsanitize=thread" \
+      -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" >/dev/null
+    cmake --build build-tsan -j "${JOBS}" --target pqe_cli
+    echo "==== faultsim: sweep seeds 1..8 ===="
+    ./build-tsan/src/pqe_cli --faultsim-sweep 8
+  )
+}
+
 perf_smoke() {
   # Smoke the perf benches: each must complete (their cells assert
   # bit-identity internally) and emit parseable metrics JSON.
-  echo "==== perf-smoke: build bench_counting_hotpath + bench_serving + bench_serving_updates ===="
+  echo "==== perf-smoke: build bench_counting_hotpath + bench_serving + bench_serving_updates + bench_sharded_serving ===="
   cmake -B build -S . >/dev/null
   cmake --build build -j "${JOBS}" \
-    --target bench_counting_hotpath bench_serving bench_serving_updates
+    --target bench_counting_hotpath bench_serving bench_serving_updates \
+    bench_sharded_serving
   echo "==== perf-smoke: run ===="
   local out="build/BENCH_counting_hotpath.smoke.json"
   local serve_out="build/BENCH_serving.smoke.json"
   local update_out="build/BENCH_serving_updates.smoke.json"
+  local shard_out="build/BENCH_sharded_serving.smoke.json"
   ./build/bench/bench_counting_hotpath --smoke --metrics_out="${out}"
   ./build/bench/bench_serving --smoke --metrics_out="${serve_out}"
   ./build/bench/bench_serving_updates --smoke --metrics_out="${update_out}"
-  echo "==== perf-smoke: validate ${out} + ${serve_out} + ${update_out} ===="
+  # The sharded bench asserts internally that every routed answer is
+  # bit-identical to the single-service run and that the fault-injection
+  # harness seeds pass (survivors identical, replay exact).
+  ./build/bench/bench_sharded_serving --smoke --metrics_out="${shard_out}"
+  echo "==== perf-smoke: validate ${out} + ${serve_out} + ${update_out} + ${shard_out} ===="
   if command -v python3 >/dev/null 2>&1; then
-    python3 - "${out}" "${serve_out}" "${update_out}" <<'EOF'
+    python3 - "${out}" "${serve_out}" "${update_out}" "${shard_out}" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
@@ -142,12 +172,22 @@ updates = [k for k in gauges
 assert updates, "no serving_updates speedup_delta_rebind gauges in metrics JSON"
 assert any(k.endswith("path.speedup_delta_rebind") and gauges[k] >= 10.0
            for k in updates), "path delta-rebind speedup below the 10x gate"
-print(f"perf-smoke: {len(cells)} hotpath ({len(fast)} fast-kernel) + {len(serving)} serving + {len(updates)} update cells, JSON OK")
+with open(sys.argv[4]) as f:
+    doc = json.load(f)
+gauges = doc.get("metrics", doc).get("gauges", {})
+sharded = [k for k in gauges
+           if "sharded_serving" in k and k.endswith(".speedup_overhead")]
+assert sharded, "no sharded_serving speedup_overhead gauges in metrics JSON"
+counters = doc.get("metrics", doc).get("counters", {})
+assert counters.get("pqe.bench.sharded_serving.faultsim.seeds_ok", 0) > 0, \
+    "sharded_serving bench ran no faultsim seeds"
+print(f"perf-smoke: {len(cells)} hotpath ({len(fast)} fast-kernel) + {len(serving)} serving + {len(updates)} update + {len(sharded)} sharded cells, JSON OK")
 EOF
   else
     grep -q "counting_hotpath" "${out}"
     grep -q "bench.serving" "${serve_out}"
     grep -q "serving_updates" "${update_out}"
+    grep -q "sharded_serving" "${shard_out}"
     echo "perf-smoke: JSON contains expected gauges (python3 absent)"
   fi
 }
@@ -165,7 +205,7 @@ bench_gate() {
   cmake -B build -S . >/dev/null
   cmake --build build -j "${JOBS}" \
     --target bench_counting_hotpath bench_serving bench_serving_updates \
-    bench_replay bench_compare
+    bench_replay bench_sharded_serving bench_compare
   local adv=""
   [[ "${PQE_BENCH_GATE_ADVISORY:-0}" != "0" ]] && adv="--advisory"
   echo "==== bench-gate: run smoke benches ===="
@@ -180,6 +220,10 @@ bench_gate() {
   # The replay bench is its own gate: it asserts every replayed answer
   # matches its capture bit for bit.
   ./build/bench/bench_replay --smoke
+  # The sharded bench gates routed-vs-single bit-identity and the faultsim
+  # contract internally; its routing-overhead ratio is gated below.
+  ./build/bench/bench_sharded_serving --smoke \
+    --metrics_out=build/bench_gate_sharded_serving.json
   echo "==== bench-gate: compare against committed baselines ===="
   ./build/src/bench_compare --baseline BENCH_counting_hotpath.smoke.json \
     --fresh build/bench_gate_hotpath.json ${adv}
@@ -187,6 +231,8 @@ bench_gate() {
     --fresh build/bench_gate_serving.json ${adv}
   ./build/src/bench_compare --baseline BENCH_serving_updates.json \
     --fresh build/bench_gate_serving_updates.json ${adv}
+  ./build/src/bench_compare --baseline BENCH_sharded_serving.json \
+    --fresh build/bench_gate_sharded_serving.json ${adv}
 }
 
 if [[ $# -eq 0 ]]; then
@@ -195,6 +241,7 @@ if [[ $# -eq 0 ]]; then
   sanitize
   tsan
   serve_smoke
+  faultsim
   perf_smoke
   bench_gate
 else

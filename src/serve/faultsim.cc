@@ -1,0 +1,281 @@
+#include "serve/faultsim.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "cq/builders.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace pqe {
+namespace serve {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void Mix(uint64_t* h, uint64_t v) {
+  *h ^= v;
+  *h *= kFnvPrime;
+}
+
+uint64_t ProbabilityBits(const EvalResponse& resp) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &resp.answer.probability, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+FaultDecision DecideFault(uint64_t seed, const ShardCall& call,
+                          const FaultSpec& spec) {
+  // One derived generator per call identity: the stream is fixed by the
+  // (seed, shard, request, attempt) tuple alone, so decisions commute with
+  // any call ordering — the precondition for exact replay.
+  const uint64_t call_key =
+      Rng::DeriveSeed(Rng::DeriveSeed(seed, call.shard),
+                      call.request_id * 64 + call.attempt);
+  Rng rng(call_key);
+  FaultDecision d;
+  const double coin = rng.NextDouble();
+  if (coin < spec.crash_rate) {
+    d.crash = true;
+  } else if (coin < spec.crash_rate + spec.drop_rate) {
+    d.drop = true;
+  }
+  if (spec.delay_rate > 0.0 && rng.NextDouble() < spec.delay_rate &&
+      spec.max_delay_ms > 0) {
+    d.delay_ms = 1 + rng.NextBounded(spec.max_delay_ms);
+  }
+  return d;
+}
+
+FaultInjectingTransport::FaultInjectingTransport(
+    uint64_t seed, const FaultSpec& spec, ShardCluster* cluster,
+    std::unique_ptr<ShardTransport> base)
+    : seed_(seed), spec_(spec), cluster_(cluster), base_(std::move(base)) {}
+
+Result<EvalResponse> FaultInjectingTransport::Call(
+    const ShardCall& call, const EvalRequest& request) {
+  const FaultDecision d = DecideFault(seed_, call, spec_);
+  if (d.delay_ms > 0) {
+    delays_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(d.delay_ms));
+  }
+  if (d.crash) {
+    // The shard dies mid-call: whatever work it did is lost with it, and
+    // every later call routed there sees a dead shard.
+    crashes_.fetch_add(1, std::memory_order_relaxed);
+    cluster_->shard(call.shard).Crash();
+    return Status::Unavailable("injected crash of shard " +
+                               std::to_string(call.shard));
+  }
+  if (d.drop) {
+    drops_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("injected message drop to shard " +
+                               std::to_string(call.shard));
+  }
+  return base_->Call(call, request);
+}
+
+FaultInjectingTransport::Counts FaultInjectingTransport::counts() const {
+  Counts c;
+  c.crashes = crashes_.load(std::memory_order_relaxed);
+  c.drops = drops_.load(std::memory_order_relaxed);
+  c.delays = delays_.load(std::memory_order_relaxed);
+  return c;
+}
+
+std::string FaultSimReport::Summary() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "faultsim seed=%llu: %zu requests, %zu answered, %zu lost, %zu failed"
+      " | injected crashes=%llu drops=%llu delays=%llu"
+      " | retries=%llu hedges=%llu shards_dead=%zu"
+      " | survivors %s, replay %s",
+      static_cast<unsigned long long>(seed), requests, answered, lost, failed,
+      static_cast<unsigned long long>(crashes),
+      static_cast<unsigned long long>(drops),
+      static_cast<unsigned long long>(delays),
+      static_cast<unsigned long long>(retries),
+      static_cast<unsigned long long>(hedges), shards_dead,
+      mismatched == 0 ? "bit-identical"
+                      : (std::to_string(mismatched) + " MISMATCHED").c_str(),
+      replay_identical ? "exact" : "DIVERGED");
+  return buf;
+}
+
+namespace {
+
+// One experiment's workload: the (query, database) variants must outlive
+// the requests referencing them.
+struct Workload {
+  std::vector<QueryInstance> queries;
+  std::vector<ProbabilisticDatabase> pdbs;
+  std::vector<EvalRequest> requests;
+};
+
+Result<Workload> BuildWorkload(const FaultSimOptions& options) {
+  Workload w;
+  const size_t variants = options.variants == 0 ? 1 : options.variants;
+  w.queries.reserve(variants);
+  w.pdbs.reserve(variants);
+  for (size_t v = 0; v < variants; ++v) {
+    // Path lengths 2..4 over differently-seeded layered graphs: distinct
+    // content keys, so the workload spreads across the shards.
+    PQE_ASSIGN_OR_RETURN(QueryInstance qi,
+                         MakePathQuery(2 + static_cast<uint32_t>(v % 3)));
+    LayeredGraphOptions gopt;
+    gopt.width = 3;
+    gopt.density = 0.6;
+    gopt.seed = Rng::DeriveSeed(options.seed, 100 + v);
+    PQE_ASSIGN_OR_RETURN(Database db, MakeLayeredPathDatabase(qi, gopt));
+    ProbabilityModel pm;
+    pm.max_denominator = 8;
+    pm.seed = Rng::DeriveSeed(options.seed, 200 + v);
+    w.pdbs.push_back(AttachProbabilities(std::move(db), pm));
+    w.queries.push_back(std::move(qi));
+  }
+  w.requests.reserve(options.requests);
+  for (size_t i = 0; i < options.requests; ++i) {
+    const size_t v = i % variants;
+    EvalRequest r = EvalRequest::ForQuery(w.queries[v].query, w.pdbs[v]);
+    r.request_id = i + 1;
+    // Explicit per-request seeds: the answer is a pure function of the
+    // request, independent of which shard (or run) computes it.
+    r.seed = Rng::DeriveSeed(options.seed ^ 0x5eedfa57ull, i);
+    w.requests.push_back(r);
+  }
+  return w;
+}
+
+ShardRouter::Options RouterOptions(const FaultSimOptions& options) {
+  ShardRouter::Options ropt;
+  ropt.num_shards = options.num_shards;
+  ropt.max_attempts = options.max_attempts;
+  ropt.hedge_fraction = 0.5;
+  // Sequential fan-out: the order calls hit the transport — and therefore
+  // the order crashes take effect relative to later requests — is part of
+  // the seed's schedule, so a failing seed replays exactly.
+  ropt.num_threads = 1;
+  auto engine = PqeEngine::Options::Builder()
+                    .Method(PqeMethod::kFpras)
+                    .Epsilon(0.3)
+                    .Seed(0xfa5e ^ options.seed)
+                    .PoolSize(32)
+                    .Repetitions(1)
+                    .NumThreads(1)
+                    .Build();
+  if (engine.ok()) ropt.service.engine = *engine;
+  ropt.service.num_threads = 1;
+  ropt.service.slow_log_capacity = 0;
+  return ropt;
+}
+
+struct FaultedOutcome {
+  ShardRouter::BatchResult batch;
+  FaultInjectingTransport::Counts counts;
+  ShardRouter::Stats stats;
+  size_t shards_dead = 0;
+  uint64_t fingerprint = 0;
+};
+
+FaultedOutcome RunFaulted(const FaultSimOptions& options,
+                          const Workload& workload) {
+  FaultInjectingTransport* transport = nullptr;
+  ShardRouter router(
+      RouterOptions(options), [&](ShardCluster* cluster) {
+        auto t = std::make_unique<FaultInjectingTransport>(
+            options.seed, options.faults, cluster,
+            std::make_unique<DirectTransport>(cluster));
+        transport = t.get();
+        return t;
+      });
+  FaultedOutcome out;
+  out.batch = router.EvaluateBatch(workload.requests);
+  out.counts = transport->counts();
+  out.stats = router.stats();
+  out.shards_dead = router.cluster().size() - router.cluster().alive_count();
+  // The outcome fingerprint: per-request statuses and answer bits, then the
+  // injected-event and reaction counters. Two runs of one seed must agree
+  // on every term.
+  uint64_t h = kFnvOffset;
+  for (const EvalResponse& resp : out.batch.responses) {
+    Mix(&h, static_cast<uint64_t>(resp.status.code()));
+    Mix(&h, resp.status.ok() ? ProbabilityBits(resp) : 0);
+  }
+  Mix(&h, out.counts.crashes);
+  Mix(&h, out.counts.drops);
+  Mix(&h, out.counts.delays);
+  Mix(&h, out.stats.retries);
+  Mix(&h, out.stats.hedges);
+  Mix(&h, out.stats.lost);
+  Mix(&h, out.shards_dead);
+  out.fingerprint = h;
+  return out;
+}
+
+}  // namespace
+
+Result<FaultSimReport> RunFaultSim(const FaultSimOptions& options) {
+  if (options.requests == 0) {
+    return Status::InvalidArgument("faultsim: requests must be > 0");
+  }
+  PQE_ASSIGN_OR_RETURN(Workload workload, BuildWorkload(options));
+
+  // The unfaulted truth: same router configuration, no interposition.
+  ShardRouter baseline_router(RouterOptions(options));
+  const ShardRouter::BatchResult baseline =
+      baseline_router.EvaluateBatch(workload.requests);
+
+  const FaultedOutcome faulted = RunFaulted(options, workload);
+  const FaultedOutcome replay = RunFaulted(options, workload);
+
+  FaultSimReport report;
+  report.seed = options.seed;
+  report.requests = workload.requests.size();
+  report.answered = faulted.batch.answered;
+  report.lost = faulted.batch.lost;
+  report.failed = faulted.batch.failed;
+  report.crashes = faulted.counts.crashes;
+  report.drops = faulted.counts.drops;
+  report.delays = faulted.counts.delays;
+  report.retries = faulted.stats.retries;
+  report.hedges = faulted.stats.hedges;
+  report.shards_dead = faulted.shards_dead;
+  report.replay_identical = faulted.fingerprint == replay.fingerprint;
+
+  for (size_t i = 0; i < workload.requests.size(); ++i) {
+    const EvalResponse& survived = faulted.batch.responses[i];
+    if (!survived.status.ok()) continue;
+    const EvalResponse& truth = baseline.responses[i];
+    const bool identical =
+        truth.status.ok() &&
+        std::memcmp(&survived.answer.probability, &truth.answer.probability,
+                    sizeof(double)) == 0;
+    if (!identical) ++report.mismatched;
+    if (options.verbose) {
+      std::printf("  [%zu] %s p=%.17g %s\n", i + 1,
+                  StatusCodeToString(survived.status.code()),
+                  survived.answer.probability,
+                  identical ? "== baseline" : "!= BASELINE");
+    }
+  }
+  if (options.verbose) {
+    for (size_t i = 0; i < workload.requests.size(); ++i) {
+      const EvalResponse& resp = faulted.batch.responses[i];
+      if (resp.status.ok()) continue;
+      std::printf("  [%zu] %s\n", i + 1, resp.status.ToString().c_str());
+    }
+  }
+  return report;
+}
+
+}  // namespace serve
+}  // namespace pqe

@@ -1,0 +1,121 @@
+#ifndef PQE_SERVE_FAULTSIM_H_
+#define PQE_SERVE_FAULTSIM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "serve/router.h"
+#include "serve/shard.h"
+#include "util/result.h"
+
+namespace pqe {
+namespace serve {
+
+/// Per-call fault rates of the injection schedule. Rates are probabilities
+/// over the derived-seed coin of each (shard, request, attempt) call.
+struct FaultSpec {
+  double crash_rate = 0.04;  // target shard dies mid-call (reply lost)
+  double drop_rate = 0.08;   // message lost in flight (shard survives)
+  double delay_rate = 0.15;  // call delivery delayed by up to max_delay_ms
+  uint64_t max_delay_ms = 2;
+};
+
+/// What the schedule injects into one call. At most one of crash/drop is
+/// set; a delay can accompany either.
+struct FaultDecision {
+  bool crash = false;
+  bool drop = false;
+  uint64_t delay_ms = 0;
+};
+
+/// The fault schedule as a pure function: the decision for a call depends
+/// only on (seed, call.shard, call.request_id, call.attempt) — never on
+/// wall-clock time, thread interleaving, or how many calls came before it.
+/// That is what makes a failing seed replay exactly: re-running the same
+/// seed re-derives the same schedule, call for call.
+FaultDecision DecideFault(uint64_t seed, const ShardCall& call,
+                          const FaultSpec& spec);
+
+/// A ShardTransport decorator injecting the seed-derived schedule between
+/// the router and the real transport: crashes mark the target shard dead
+/// and lose the reply, drops lose the message without calling, delays sleep
+/// before delivery. Crashed shards stay dead (Shard::Crash), so one
+/// injected crash cascades into retries/losses for every later request
+/// routed there — the interesting regime for partial-answer merging.
+class FaultInjectingTransport : public ShardTransport {
+ public:
+  /// `cluster` is not owned and must outlive the transport.
+  FaultInjectingTransport(uint64_t seed, const FaultSpec& spec,
+                          ShardCluster* cluster,
+                          std::unique_ptr<ShardTransport> base);
+
+  Result<EvalResponse> Call(const ShardCall& call,
+                            const EvalRequest& request) override;
+
+  struct Counts {
+    uint64_t crashes = 0;
+    uint64_t drops = 0;
+    uint64_t delays = 0;
+  };
+  Counts counts() const;
+
+ private:
+  const uint64_t seed_;
+  const FaultSpec spec_;
+  ShardCluster* cluster_;
+  std::unique_ptr<ShardTransport> base_;
+  std::atomic<uint64_t> crashes_{0};
+  std::atomic<uint64_t> drops_{0};
+  std::atomic<uint64_t> delays_{0};
+};
+
+/// One deterministic fault-injection experiment (see docs/serving.md).
+struct FaultSimOptions {
+  uint64_t seed = 1;       // derives the fault schedule AND the workload seeds
+  size_t num_shards = 3;
+  size_t max_attempts = 2; // router retry budget
+  size_t requests = 24;    // workload size (cycling over distinct queries)
+  size_t variants = 4;     // distinct (query, database) pairs in the workload
+  FaultSpec faults;
+  bool verbose = false;    // print per-request outcomes
+};
+
+/// The verdict of one RunFaultSim experiment. The two contract bits:
+///   - `mismatched == 0`: every answer that survived the injected faults is
+///     memcmp-identical to the same request's answer in the unfaulted run.
+///   - `replay_identical`: re-running the same seed reproduced the exact
+///     outcome vector (statuses, answer bits, injected-event counts) — a
+///     failing seed is a deterministic repro, not a flake.
+struct FaultSimReport {
+  uint64_t seed = 0;
+  size_t requests = 0;
+  size_t answered = 0;   // OK through the faults (possibly via retry/hedge)
+  size_t lost = 0;       // kPartialResult: every attempt unavailable
+  size_t failed = 0;     // other definitive errors (should be 0)
+  uint64_t crashes = 0;  // injected events, first faulted run
+  uint64_t drops = 0;
+  uint64_t delays = 0;
+  uint64_t retries = 0;  // router reactions
+  uint64_t hedges = 0;
+  size_t shards_dead = 0;  // shards down when the run finished
+  size_t mismatched = 0;   // surviving answers not bit-identical to baseline
+  bool replay_identical = false;
+
+  bool ok() const { return mismatched == 0 && failed == 0 && replay_identical; }
+  std::string Summary() const;
+};
+
+/// Runs the harness: builds a self-contained workload (path queries over
+/// seeded layered databases; every request carries an explicit derived
+/// seed, so its answer is a pure function of the request), evaluates it
+/// unfaulted, then twice under the seed's fault schedule, and checks the
+/// contract above. Requests run sequentially (num_threads = 1) so the
+/// shard-death order is part of the schedule and replays exactly.
+Result<FaultSimReport> RunFaultSim(const FaultSimOptions& options);
+
+}  // namespace serve
+}  // namespace pqe
+
+#endif  // PQE_SERVE_FAULTSIM_H_

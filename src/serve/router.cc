@@ -1,0 +1,215 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "serve/prepared_cache.h"
+#include "util/thread_pool.h"
+
+namespace pqe {
+namespace serve {
+
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(Options options, TransportFactory transport_factory)
+    : options_(std::move(options)) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  if (options_.max_attempts == 0) options_.max_attempts = 1;
+  PqeService::Options service = options_.service;
+  // When the router fans a batch out in parallel, each shard's inner
+  // evaluation is pinned to one thread (the shared pool is not reentrant).
+  // Nothing about the answers changes — every sampling layer is
+  // bit-identical across thread counts (docs/parallelism.md).
+  if (ThreadPool::ResolveNumThreads(options_.num_threads) > 1) {
+    service.engine.num_threads = 1;
+    service.num_threads = 1;
+  }
+  cluster_ = std::make_unique<ShardCluster>(options_.num_shards, service);
+  transport_ = transport_factory
+                   ? transport_factory(cluster_.get())
+                   : std::make_unique<DirectTransport>(cluster_.get());
+}
+
+size_t ShardRouter::Route(const EvalRequest& request) const {
+  const size_t n = cluster_->size();
+  // Prepared-cache affinity: the routing key IS the prepared cache's
+  // content key, so equal (query, facts) requests share one shard's cache.
+  // Requests without a conjunctive query + database (unions) have no
+  // prepared path; they spread by request id.
+  uint64_t key = request.request_id;
+  if (request.query != nullptr) {
+    const Database* db = nullptr;
+    if (request.pdb != nullptr) {
+      db = &request.pdb->database();
+    } else if (request.db != nullptr) {
+      db = request.db;
+    }
+    if (db != nullptr) {
+      key = PreparedCache::ContentKey(*request.query, *db,
+                                      options_.service.engine.max_width);
+    }
+  }
+  return static_cast<size_t>(key % n);
+}
+
+EvalResponse ShardRouter::Evaluate(const EvalRequest& request) const {
+  return EvaluateOne(request, request.request_id);
+}
+
+EvalResponse ShardRouter::EvaluateOne(const EvalRequest& request,
+                                      uint64_t effective_id) const {
+  const auto start = std::chrono::steady_clock::now();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricRegistry::Global().GetCounter("serve.router.requests")
+      .Increment();
+
+  const size_t n = cluster_->size();
+  const size_t attempts = std::min(options_.max_attempts, n);
+  const size_t primary = Route(request);
+  Status last_loss = Status::Unavailable("no shard attempted");
+
+  for (size_t a = 0; a < attempts; ++a) {
+    const size_t shard = (primary + a) % n;
+    EvalRequest attempt = request;
+    attempt.request_id = effective_id;
+    bool hedge_capped = false;
+    if (request.deadline_ms > 0) {
+      const double elapsed = MillisSince(start);
+      if (elapsed >= static_cast<double>(request.deadline_ms)) {
+        EvalResponse resp;
+        resp.request_id = effective_id;
+        resp.status = Status::DeadlineExceeded(
+            "router: deadline exhausted after " + std::to_string(a) +
+            " attempt(s)");
+        resp.deadline_exceeded = true;
+        resp.elapsed_ms = elapsed;
+        return resp;
+      }
+      const uint64_t remaining = request.deadline_ms -
+                                 static_cast<uint64_t>(elapsed);
+      attempt.deadline_ms = remaining;
+      // Hedged retry: a non-final attempt only gets a slice of the budget;
+      // if it expires with budget to spare, the backup gets the rest.
+      if (options_.hedge_fraction > 0.0 && a + 1 < attempts) {
+        uint64_t slice = static_cast<uint64_t>(
+            static_cast<double>(remaining) * options_.hedge_fraction);
+        if (slice == 0) slice = 1;
+        if (slice < remaining) {
+          attempt.deadline_ms = slice;
+          hedge_capped = true;
+        }
+      }
+    }
+
+    ShardCall call;
+    call.shard = shard;
+    call.request_id = effective_id;
+    call.attempt = static_cast<uint32_t>(a);
+    Result<EvalResponse> r = transport_->Call(call, attempt);
+
+    if (r.ok()) {
+      EvalResponse resp = std::move(*r);
+      resp.request_id = effective_id;
+      if (resp.deadline_exceeded && hedge_capped &&
+          MillisSince(start) < static_cast<double>(request.deadline_ms)) {
+        // The hedge slice ran out but the real budget didn't: re-issue to
+        // the next shard with everything left. Same request, same seed —
+        // the backup's answer is bit-identical to what the primary would
+        // have produced, so hedging affects latency only.
+        hedges_.fetch_add(1, std::memory_order_relaxed);
+        obs::MetricRegistry::Global().GetCounter("serve.router.hedges")
+            .Increment();
+        continue;
+      }
+      resp.elapsed_ms = MillisSince(start);  // end-to-end, retries included
+      return resp;
+    }
+
+    if (r.status().code() == StatusCode::kUnavailable) {
+      last_loss = r.status();
+      if (a + 1 < attempts) {
+        retries_.fetch_add(1, std::memory_order_relaxed);
+        obs::MetricRegistry::Global().GetCounter("serve.router.retries")
+            .Increment();
+      }
+      continue;
+    }
+
+    // Any other transport-level error is definitive; report it as-is.
+    EvalResponse resp;
+    resp.request_id = effective_id;
+    resp.status = r.status();
+    resp.elapsed_ms = MillisSince(start);
+    return resp;
+  }
+
+  // Every attempt was lost with its shard: a typed partial-result outcome —
+  // the caller's batch keeps its surviving answers, this one is missing.
+  lost_.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricRegistry::Global().GetCounter("serve.router.lost").Increment();
+  EvalResponse resp;
+  resp.request_id = effective_id;
+  resp.status = Status::PartialResult(
+      "request " + std::to_string(effective_id) + " lost: " +
+      std::to_string(attempts) + " shard attempt(s) unavailable (" +
+      last_loss.message() + ")");
+  resp.elapsed_ms = MillisSince(start);
+  return resp;
+}
+
+ShardRouter::BatchResult ShardRouter::EvaluateBatch(
+    const std::vector<EvalRequest>& requests) const {
+  BatchResult out;
+  out.responses.resize(requests.size());
+  const size_t threads = ThreadPool::ResolveNumThreads(options_.num_threads);
+  ParallelFor(threads, requests.size(), [&](size_t i) {
+    const EvalRequest& req = requests[i];
+    // Same effective-id policy as PqeService::EvaluateBatch, so a sharded
+    // batch derives the same per-request seeds as a single-service batch.
+    const uint64_t id =
+        req.request_id != 0 ? req.request_id : static_cast<uint64_t>(i);
+    out.responses[i] = EvaluateOne(req, id);
+  });
+  for (const EvalResponse& resp : out.responses) {
+    if (resp.status.ok()) {
+      ++out.answered;
+    } else if (resp.status.code() == StatusCode::kPartialResult) {
+      ++out.lost;
+    } else {
+      ++out.failed;
+    }
+  }
+  if (out.lost == 0) {
+    out.status = Status::OK();
+  } else {
+    out.status = Status::PartialResult(
+        std::to_string(out.lost) + " of " +
+        std::to_string(out.responses.size()) +
+        " answers lost with their shards (" + std::to_string(out.answered) +
+        " answered, " + std::to_string(out.failed) + " failed)");
+  }
+  return out;
+}
+
+ShardRouter::Stats ShardRouter::stats() const {
+  Stats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.hedges = hedges_.load(std::memory_order_relaxed);
+  s.lost = lost_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace serve
+}  // namespace pqe

@@ -1,0 +1,129 @@
+#ifndef PQE_SERVE_ROUTER_H_
+#define PQE_SERVE_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "serve/shard.h"
+
+namespace pqe {
+namespace serve {
+
+/// Routes requests across a ShardCluster by prepared-query content key, with
+/// retries and hedged retries when shards are lost or slow, and typed
+/// partial-answer merging for batches.
+///
+/// Placement: a kQuery / kUniformReliability request is routed by
+/// PreparedCache::ContentKey(query, db, max_width) — the same fingerprint
+/// the prepared cache is keyed on — so equal (query, facts) requests always
+/// land on the same shard and each skeleton is compiled and cached exactly
+/// once cluster-wide (the cluster partitions the prepared keyspace).
+/// kUnion requests have no prepared path and route by request id.
+///
+/// Failure handling, in order:
+///   - retry: a kUnavailable transport outcome (shard down, message lost)
+///     moves the attempt to the next shard, up to max_attempts shards.
+///   - hedged retry: when the request carries a deadline and a backup shard
+///     remains, the primary attempt only gets hedge_fraction of the
+///     remaining budget; if it comes back kDeadlineExceeded with budget to
+///     spare, the request is re-issued to the backup with everything left.
+///     Because answers are functions of (request, seed) alone, the hedge's
+///     answer is bit-identical to what the primary would eventually have
+///     produced — hedging changes tail latency, never results.
+///   - partial result: when every attempt is lost, the request's response
+///     carries StatusCode::kPartialResult; EvaluateBatch additionally
+///     reports a batch-level kPartialResult status naming how many answers
+///     are missing, so callers can consume the surviving answers knowingly.
+///
+/// Thread-safe; one router instance is meant to be shared.
+class ShardRouter {
+ public:
+  struct Options {
+    /// Worker shards in the cluster (≥ 1).
+    size_t num_shards = 4;
+    /// Configuration of every shard's PqeService. When the batch fan-out
+    /// runs on >1 threads the per-shard engines are pinned to 1 inner
+    /// thread (same policy as PqeService::EvaluateBatch; answers are
+    /// bit-identical across thread counts).
+    PqeService::Options service;
+    /// Shards tried per request before declaring it lost (clamped to
+    /// num_shards): the content-key primary, then its successors.
+    size_t max_attempts = 2;
+    /// Fraction of the remaining deadline granted to a non-final attempt
+    /// (hedged retry). 0 disables hedging: every attempt gets the full
+    /// remaining budget.
+    double hedge_fraction = 0.5;
+    /// Threads used to fan a batch out (0 = auto: $PQE_THREADS, else 1).
+    size_t num_threads = 0;
+  };
+
+  /// Builds its own cluster from `options`. `transport_factory`, when set,
+  /// wraps/replaces the transport (the fault harness interposes here); the
+  /// default is DirectTransport over the router's cluster.
+  using TransportFactory =
+      std::function<std::unique_ptr<ShardTransport>(ShardCluster*)>;
+  explicit ShardRouter(Options options,
+                       TransportFactory transport_factory = nullptr);
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// The shard `request` hashes to (its primary; retries proceed from it).
+  size_t Route(const EvalRequest& request) const;
+
+  /// Serves one request through the cluster with retries/hedging. Requests
+  /// with request_id 0 keep id 0 (no batch index to borrow).
+  EvalResponse Evaluate(const EvalRequest& request) const;
+
+  /// A batch outcome: every response in request order, plus the merge
+  /// verdict. Responses of lost requests carry kPartialResult statuses.
+  struct BatchResult {
+    std::vector<EvalResponse> responses;
+    size_t answered = 0;  // OK responses
+    size_t failed = 0;    // definitive non-OK answers (bad input, deadline)
+    size_t lost = 0;      // every attempt unavailable (shard lost)
+    /// OK when nothing was lost; kPartialResult otherwise.
+    Status status;
+  };
+
+  /// Serves a batch, fanning out over the shared thread pool; response i
+  /// answers request i, and requests with request_id == 0 get their batch
+  /// index as effective id — the same id/seed policy as
+  /// PqeService::EvaluateBatch, so a sharded batch reproduces the
+  /// single-service batch bit for bit.
+  BatchResult EvaluateBatch(const std::vector<EvalRequest>& requests) const;
+
+  const Options& options() const { return options_; }
+  ShardCluster& cluster() { return *cluster_; }
+  const ShardCluster& cluster() const { return *cluster_; }
+
+  /// Monotonic routing counters (relaxed-atomics contract).
+  struct Stats {
+    uint64_t requests = 0;
+    uint64_t retries = 0;  // attempts moved off an unavailable shard
+    uint64_t hedges = 0;   // deadline-hedged re-issues to a backup
+    uint64_t lost = 0;     // requests whose every attempt was unavailable
+  };
+  Stats stats() const;
+
+ private:
+  EvalResponse EvaluateOne(const EvalRequest& request,
+                           uint64_t effective_id) const;
+
+  Options options_;
+  std::unique_ptr<ShardCluster> cluster_;
+  std::unique_ptr<ShardTransport> transport_;
+
+  mutable std::atomic<uint64_t> requests_{0};
+  mutable std::atomic<uint64_t> retries_{0};
+  mutable std::atomic<uint64_t> hedges_{0};
+  mutable std::atomic<uint64_t> lost_{0};
+};
+
+}  // namespace serve
+}  // namespace pqe
+
+#endif  // PQE_SERVE_ROUTER_H_

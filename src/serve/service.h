@@ -80,6 +80,11 @@ class PqeService {
   /// contract, see obs::MetricRegistry).
   ServiceStats StatsSnapshot() const { return telemetry_.Snapshot(); }
 
+  /// Zeroes the telemetry aggregates (counts, stage histograms, slow-query
+  /// log and its admission floor). Epoch boundary for long-lived services:
+  /// warmup traffic stops polluting steady-state quantiles.
+  void ResetStats() const { telemetry_.Reset(); }
+
   /// OK when capture is off or the capture file opened; the open error
   /// otherwise (requests still serve, they just aren't recorded).
   const Status& capture_status() const { return capture_status_; }

@@ -1,0 +1,43 @@
+#include "serve/shard.h"
+
+#include <string>
+
+namespace pqe {
+namespace serve {
+
+Result<EvalResponse> Shard::Serve(const EvalRequest& request) const {
+  if (!alive()) {
+    return Status::Unavailable("shard " + std::to_string(index_) +
+                               " is down");
+  }
+  EvalResponse resp = service_.Evaluate(request);
+  // A crash can land while the request is in flight; the reply of a shard
+  // that died mid-call is lost, exactly like a dropped message. Checking
+  // again here keeps the in-process model honest about that window.
+  if (!alive()) {
+    return Status::Unavailable("shard " + std::to_string(index_) +
+                               " died mid-request");
+  }
+  served_.fetch_add(1, std::memory_order_relaxed);
+  return resp;
+}
+
+ShardCluster::ShardCluster(size_t num_shards,
+                           const PqeService::Options& options) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(i, options));
+  }
+}
+
+size_t ShardCluster::alive_count() const {
+  size_t n = 0;
+  for (const auto& s : shards_) {
+    if (s->alive()) ++n;
+  }
+  return n;
+}
+
+}  // namespace serve
+}  // namespace pqe

@@ -1,0 +1,113 @@
+#ifndef PQE_SERVE_SHARD_H_
+#define PQE_SERVE_SHARD_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "serve/service.h"
+#include "util/result.h"
+
+namespace pqe {
+namespace serve {
+
+/// Identity of one call the router hands to the transport: which shard is
+/// targeted, for which attempt of which request. Fault injection keys its
+/// decisions off this triple alone (never off wall-clock or arrival order),
+/// so a seed's fault schedule is a pure function and replays exactly.
+struct ShardCall {
+  size_t shard = 0;
+  uint64_t request_id = 0;
+  uint32_t attempt = 0;
+};
+
+/// One worker shard of the serving cluster: a PqeService with its own
+/// PreparedCache — the cluster partitions the prepared-query keyspace, so
+/// each skeleton is compiled and retained on exactly the shard its content
+/// key routes to — plus a liveness flag the fault harness (and, later, real
+/// process supervision) can flip.
+///
+/// Determinism note: every shard is constructed from the same service
+/// options, and per-request seeds depend only on (engine seed, request id)
+/// — so WHICH shard serves a request never changes the answer. That is the
+/// property retries, hedging, and the fault harness all lean on.
+class Shard {
+ public:
+  Shard(size_t index, const PqeService::Options& options)
+      : index_(index), service_(options) {}
+
+  size_t index() const { return index_; }
+  const PqeService& service() const { return service_; }
+
+  bool alive() const { return alive_.load(std::memory_order_acquire); }
+  /// Marks the shard lost. Irreversible for the cluster's lifetime — a
+  /// crashed worker's in-memory caches are gone; a real deployment would
+  /// replace the process, which here is "build a new cluster".
+  void Crash() { alive_.store(false, std::memory_order_release); }
+
+  /// Serves one request, or kUnavailable when the shard is down.
+  Result<EvalResponse> Serve(const EvalRequest& request) const;
+
+  /// Requests this shard has answered (load accounting for tests/benches).
+  uint64_t served() const { return served_.load(std::memory_order_relaxed); }
+
+ private:
+  const size_t index_;
+  PqeService service_;
+  std::atomic<bool> alive_{true};
+  mutable std::atomic<uint64_t> served_{0};
+};
+
+/// A fixed-size set of in-process worker shards sharing one configuration.
+class ShardCluster {
+ public:
+  /// `num_shards` ≥ 1 services, each built from `options`.
+  ShardCluster(size_t num_shards, const PqeService::Options& options);
+
+  ShardCluster(const ShardCluster&) = delete;
+  ShardCluster& operator=(const ShardCluster&) = delete;
+
+  size_t size() const { return shards_.size(); }
+  Shard& shard(size_t i) { return *shards_[i]; }
+  const Shard& shard(size_t i) const { return *shards_[i]; }
+  size_t alive_count() const;
+
+ private:
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// The boundary between the router and the shards: the router never touches
+/// a Shard directly, it issues Calls through this interface. The default
+/// implementation (DirectTransport) invokes the target shard's service in
+/// process; FaultInjectingTransport (faultsim.h) wraps one to inject
+/// crashes, delays, and message drops. Implementations must be thread-safe.
+class ShardTransport {
+ public:
+  virtual ~ShardTransport() = default;
+
+  /// Delivers `request` to `call.shard` and returns its response, or
+  /// kUnavailable when the shard is down or the message was lost.
+  virtual Result<EvalResponse> Call(const ShardCall& call,
+                                    const EvalRequest& request) = 0;
+};
+
+/// In-process delivery: a Call is a method call on the shard's service.
+class DirectTransport : public ShardTransport {
+ public:
+  /// `cluster` is not owned and must outlive the transport.
+  explicit DirectTransport(ShardCluster* cluster) : cluster_(cluster) {}
+
+  Result<EvalResponse> Call(const ShardCall& call,
+                            const EvalRequest& request) override {
+    return cluster_->shard(call.shard).Serve(request);
+  }
+
+ private:
+  ShardCluster* cluster_;
+};
+
+}  // namespace serve
+}  // namespace pqe
+
+#endif  // PQE_SERVE_SHARD_H_

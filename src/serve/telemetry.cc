@@ -52,9 +52,17 @@ std::string ServiceStats::ToJson() const {
     w.Key(s.stage).BeginObject();
     w.Key("count").Uint(s.count);
     w.Key("sum_ns").Uint(s.sum_ns);
-    w.Key("p50_ns").Double(s.p50_ns);
-    w.Key("p95_ns").Double(s.p95_ns);
-    w.Key("p99_ns").Double(s.p99_ns);
+    if (s.count == 0) {
+      // A stage no request ran has no distribution. Numeric 0 would read
+      // as "measured at 0ns" on a dashboard; explicit nulls say "no data".
+      w.Key("p50_ns").Null();
+      w.Key("p95_ns").Null();
+      w.Key("p99_ns").Null();
+    } else {
+      w.Key("p50_ns").Double(s.p50_ns);
+      w.Key("p95_ns").Double(s.p95_ns);
+      w.Key("p99_ns").Double(s.p99_ns);
+    }
     w.EndObject();
   }
   w.EndObject();
@@ -119,6 +127,26 @@ void ServiceTelemetry::Record(RequestTelemetry t) {
   if (slow_.size() > slow_capacity_) slow_.pop_back();
   if (slow_.size() >= slow_capacity_) {
     slow_floor_.store(slow_.back().total_ns, std::memory_order_relaxed);
+  }
+}
+
+void ServiceTelemetry::Reset() {
+  requests_.store(0, std::memory_order_relaxed);
+  ok_.store(0, std::memory_order_relaxed);
+  errors_.store(0, std::memory_order_relaxed);
+  deadline_.store(0, std::memory_order_relaxed);
+  for (auto& c : by_class_) c.store(0, std::memory_order_relaxed);
+  total_.Reset();
+  cache_lookup_.Reset();
+  compile_.Reset();
+  bind_.Reset();
+  estimate_.Reset();
+  {
+    std::lock_guard<std::mutex> lock(slow_mu_);
+    slow_.clear();
+    // The floor lives and dies with the log: clearing one without the
+    // other would stall admission until a request beat the stale floor.
+    slow_floor_.store(0, std::memory_order_relaxed);
   }
 }
 

@@ -113,6 +113,15 @@ class ServiceTelemetry {
   void Record(RequestTelemetry t);
   ServiceStats Snapshot() const;
 
+  /// Zeroes every aggregate: counts, stage histograms, and the slow-query
+  /// log TOGETHER WITH its admission floor. The floor must fall with the
+  /// log — a floor left at the old tail would silently reject every
+  /// post-reset request faster than the pre-reset slowest, leaving the
+  /// fresh log empty forever. Safe to interleave with concurrent Record()
+  /// calls under the relaxed-atomics contract (see obs::MetricRegistry);
+  /// quiesce first when an exact cut matters.
+  void Reset();
+
  private:
   const size_t slow_capacity_;
 

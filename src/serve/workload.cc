@@ -10,6 +10,7 @@
 #include "obs/export.h"
 #include "obs/json.h"
 #include "serve/service.h"
+#include "util/parse.h"
 
 namespace pqe {
 namespace serve {
@@ -162,13 +163,19 @@ Result<LabelDelta> ParseLabelDeltaSpec(std::string_view spec) {
       return Status::InvalidArgument(
           "bad update entry '" + entry + "' (expected FACT=NUM/DEN)");
     }
-    char* cursor = nullptr;
-    const FactId fact = static_cast<FactId>(
-        std::strtoull(entry.substr(0, eq).c_str(), &cursor, 10));
+    // Strict digit runs for all three fields: strtoull would accept
+    // "-1" (wrapping to 2^64-1) and leading whitespace or trailing junk,
+    // turning a typo'd spec into a silent huge fact id or numerator.
+    uint64_t fact_raw = 0;
     Probability p;
-    p.num = std::strtoull(entry.substr(eq + 1, slash - eq - 1).c_str(),
-                          nullptr, 10);
-    p.den = std::strtoull(entry.substr(slash + 1).c_str(), nullptr, 10);
+    if (!ParseStrictUint64(entry.substr(0, eq), &fact_raw) ||
+        !ParseStrictUint64(entry.substr(eq + 1, slash - eq - 1), &p.num) ||
+        !ParseStrictUint64(entry.substr(slash + 1), &p.den)) {
+      return Status::InvalidArgument(
+          "bad update entry '" + entry +
+          "' (FACT, NUM, DEN must be plain unsigned integers)");
+    }
+    const FactId fact = static_cast<FactId>(fact_raw);
     if (p.den == 0 || p.num > p.den) {
       return Status::InvalidArgument("bad probability in update entry '" +
                                      entry + "'");

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <vector>
 
+#include "util/parse.h"
+
 namespace pqe {
 
 namespace {
@@ -23,11 +25,11 @@ Result<Probability> ParseProbability(const std::string& token, int line_no) {
   };
   const size_t slash = token.find('/');
   if (slash != std::string::npos) {
+    // Strict digit runs on both sides: stoull would accept "-1/2" (the
+    // numerator wraps to 2^64-2) and " 1/2" or "1a/2" (junk ignored).
     uint64_t num = 0, den = 0;
-    try {
-      num = std::stoull(token.substr(0, slash));
-      den = std::stoull(token.substr(slash + 1));
-    } catch (...) {
+    if (!ParseStrictUint64(token.substr(0, slash), &num) ||
+        !ParseStrictUint64(token.substr(slash + 1), &den)) {
       return fail("malformed rational probability");
     }
     auto p = Probability::Make(num, den);

@@ -8,6 +8,7 @@
 //           [--ur] [--sample K] [--trace | --trace=json]
 //           [--metrics | --metrics=prom] [--capture F] [--replay F]
 //           [--update SPEC] [--stats]
+//           [--faultsim-seed N | --faultsim-sweep K] [--faultsim-verbose]
 //
 // With --ur the uniform reliability UR(Q, D) is reported instead (fact
 // probabilities in the file are ignored). With --sample K, K posterior
@@ -33,6 +34,7 @@
 #include "cq/parser.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "serve/faultsim.h"
 #include "serve/service.h"
 #include "serve/workload.h"
 #include "tools/fact_file.h"
@@ -72,7 +74,16 @@ void Usage() {
       "  --replay F       re-execute workload file F through the serving\n"
       "                   layer and verify bit-identical answers\n"
       "  --stats          print the service stats snapshot as JSON\n"
-      "                   (server-batch and replay modes)\n");
+      "                   (server-batch and replay modes)\n"
+      "  --faultsim-seed N   run the sharded-serving fault-injection harness\n"
+      "                   with seed N (self-contained; --data not needed):\n"
+      "                   crashes/drops/delays are injected from the seed's\n"
+      "                   derived schedule, surviving answers are checked\n"
+      "                   bit-for-bit against the unfaulted run, and the\n"
+      "                   seed is re-run to prove it replays exactly\n"
+      "  --faultsim-sweep K  run the harness for seeds 1..K (default 1);\n"
+      "                   exit status is non-zero if any seed fails\n"
+      "  --faultsim-verbose  print per-request outcomes of the faulted run\n");
 }
 
 }  // namespace
@@ -94,6 +105,10 @@ int main(int argc, char** argv) {
   std::string replay_path;
   std::string update_spec;
   uint64_t deadline_ms = 0;
+  bool faultsim = false;
+  uint64_t faultsim_seed = 1;
+  size_t faultsim_sweep = 0;
+  bool faultsim_verbose = false;
   bool trace_text = false;
   bool trace_json = false;
   bool dump_metrics = false;
@@ -145,6 +160,21 @@ int main(int argc, char** argv) {
       update_spec = argv[i] + 9;
     } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
       deadline_ms = std::strtoull(need_value("--deadline-ms"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--faultsim-seed") == 0) {
+      faultsim = true;
+      faultsim_seed = std::strtoull(need_value("--faultsim-seed"), nullptr, 10);
+    } else if (std::strncmp(argv[i], "--faultsim-seed=", 16) == 0) {
+      faultsim = true;
+      faultsim_seed = std::strtoull(argv[i] + 16, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--faultsim-sweep") == 0) {
+      faultsim = true;
+      faultsim_sweep =
+          std::strtoull(need_value("--faultsim-sweep"), nullptr, 10);
+    } else if (std::strncmp(argv[i], "--faultsim-sweep=", 17) == 0) {
+      faultsim = true;
+      faultsim_sweep = std::strtoull(argv[i] + 17, nullptr, 10);
+    } else if (std::strcmp(argv[i], "--faultsim-verbose") == 0) {
+      faultsim_verbose = true;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       trace_text = true;
     } else if (std::strcmp(argv[i], "--trace=json") == 0) {
@@ -165,6 +195,29 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  // Faultsim mode is self-contained: the harness generates its own workload
+  // (path queries over seeded layered databases), so no --data is needed.
+  if (faultsim) {
+    bool all_ok = true;
+    const uint64_t first = faultsim_sweep > 0 ? 1 : faultsim_seed;
+    const uint64_t last = faultsim_sweep > 0 ? faultsim_sweep : faultsim_seed;
+    for (uint64_t s = first; s <= last; ++s) {
+      serve::FaultSimOptions fopt;
+      fopt.seed = s;
+      fopt.verbose = faultsim_verbose;
+      auto report = serve::RunFaultSim(fopt);
+      if (!report.ok()) {
+        std::fprintf(stderr, "faultsim seed=%llu: %s\n",
+                     static_cast<unsigned long long>(s),
+                     report.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%s\n", report->Summary().c_str());
+      all_ok = all_ok && report->ok();
+    }
+    return all_ok ? 0 : 1;
+  }
+
   if (data_path.empty() || (query_text.empty() && server_batch_path.empty() &&
                             replay_path.empty())) {
     Usage();

@@ -1,0 +1,30 @@
+#ifndef PQE_UTIL_PARSE_H_
+#define PQE_UTIL_PARSE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace pqe {
+
+/// Strict base-10 uint64 parsing for token grammars: accepts exactly a
+/// non-empty run of ASCII digits — no leading whitespace, no '+'/'-' sign,
+/// no trailing junk, no overflow. std::stoull/strtoull accept all four
+/// ("-1" wraps to 18446744073709551615, which is how a negative rational
+/// would silently become a huge numerator), so token parsers that mean
+/// "an unsigned integer, exactly" must use this instead.
+inline bool ParseStrictUint64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+}  // namespace pqe
+
+#endif  // PQE_UTIL_PARSE_H_

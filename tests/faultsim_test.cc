@@ -1,0 +1,381 @@
+// The sharded-serving contract (docs/serving.md): routing follows the
+// prepared-cache content key, a sharded batch is bit-identical to the
+// single-service batch, lost shards degrade to retries and then to typed
+// kPartialResult outcomes, and the fault-injection harness is deterministic
+// — its schedule is a pure function of the seed, surviving answers match
+// the unfaulted run bit for bit, and a failing seed replays exactly.
+
+#include <cstring>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "cq/builders.h"
+#include "serve/faultsim.h"
+#include "serve/router.h"
+#include "serve/service.h"
+#include "serve/shard.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace pqe {
+namespace serve {
+namespace {
+
+PqeEngine::Options EngineOptions() {
+  auto opts = PqeEngine::Options::Builder()
+                  .Method(PqeMethod::kFpras)
+                  .Epsilon(0.3)
+                  .Seed(0xfeed)
+                  .PoolSize(32)
+                  .Repetitions(1)
+                  .NumThreads(1)
+                  .Build();
+  EXPECT_TRUE(opts.ok()) << opts.status().ToString();
+  return *opts;
+}
+
+ShardRouter::Options RouterOptions(size_t num_shards, size_t max_attempts) {
+  ShardRouter::Options ropt;
+  ropt.num_shards = num_shards;
+  ropt.max_attempts = max_attempts;
+  ropt.num_threads = 1;
+  ropt.service.engine = EngineOptions();
+  ropt.service.num_threads = 1;
+  return ropt;
+}
+
+struct PathFixture {
+  QueryInstance qi;
+  ProbabilisticDatabase pdb;
+};
+
+PathFixture MakePathFixture(uint32_t length, uint64_t seed) {
+  auto qi = MakePathQuery(length).MoveValue();
+  LayeredGraphOptions opt;
+  opt.width = 3;
+  opt.density = 0.8;
+  opt.seed = seed;
+  auto db = MakeLayeredPathDatabase(qi, opt).MoveValue();
+  ProbabilityModel pm;
+  pm.max_denominator = 8;
+  pm.seed = seed + 1;
+  return {std::move(qi), AttachProbabilities(std::move(db), pm)};
+}
+
+std::vector<EvalRequest> MakeRequests(const std::vector<PathFixture>& fx,
+                                      size_t count) {
+  std::vector<EvalRequest> reqs;
+  for (size_t i = 0; i < count; ++i) {
+    const PathFixture& f = fx[i % fx.size()];
+    EvalRequest r = EvalRequest::ForQuery(f.qi.query, f.pdb);
+    r.request_id = i + 1;
+    reqs.push_back(r);
+  }
+  return reqs;
+}
+
+TEST(ShardTest, CrashedShardIsUnavailable) {
+  PqeService::Options sopt;
+  sopt.engine = EngineOptions();
+  Shard shard(0, sopt);
+  PathFixture f = MakePathFixture(2, 3);
+  EvalRequest req = EvalRequest::ForQuery(f.qi.query, f.pdb);
+  req.request_id = 1;
+
+  auto before = shard.Serve(req);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  EXPECT_EQ(shard.served(), 1u);
+
+  shard.Crash();
+  EXPECT_FALSE(shard.alive());
+  auto after = shard.Serve(req);
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(shard.served(), 1u);
+}
+
+TEST(ShardRouterTest, RoutesByPreparedContentKey) {
+  ShardRouter router(RouterOptions(4, 1));
+  PathFixture a = MakePathFixture(2, 3);
+  PathFixture b = MakePathFixture(3, 9);
+
+  EvalRequest ra = EvalRequest::ForQuery(a.qi.query, a.pdb);
+  EvalRequest rb = EvalRequest::ForQuery(b.qi.query, b.pdb);
+  // The routing key is the content key: request ids don't move a query.
+  ra.request_id = 1;
+  const size_t shard_a = router.Route(ra);
+  ra.request_id = 999;
+  EXPECT_EQ(router.Route(ra), shard_a);
+  // An equal (query, facts) pair routes identically through a fresh router.
+  ShardRouter router2(RouterOptions(4, 1));
+  EXPECT_EQ(router2.Route(ra), shard_a);
+  // Changing the facts changes the content key, hence (usually) the shard;
+  // a family of distinct fixtures must not all pile onto shard_a.
+  bool spreads = router.Route(rb) != shard_a;
+  for (uint64_t seed = 20; seed <= 40 && !spreads; ++seed) {
+    PathFixture c = MakePathFixture(2 + seed % 3, seed);
+    EvalRequest rc = EvalRequest::ForQuery(c.qi.query, c.pdb);
+    spreads = router.Route(rc) != shard_a;
+  }
+  EXPECT_TRUE(spreads);
+}
+
+TEST(ShardRouterTest, ShardedBatchMatchesSingleService) {
+  std::vector<PathFixture> fx;
+  fx.push_back(MakePathFixture(2, 3));
+  fx.push_back(MakePathFixture(3, 9));
+  fx.push_back(MakePathFixture(4, 17));
+  const std::vector<EvalRequest> reqs = MakeRequests(fx, 12);
+
+  PqeService::Options sopt;
+  sopt.engine = EngineOptions();
+  PqeService single(sopt);
+  std::vector<EvalResponse> truth = single.EvaluateBatch(reqs);
+
+  ShardRouter router(RouterOptions(3, 2));
+  ShardRouter::BatchResult sharded = router.EvaluateBatch(reqs);
+  ASSERT_TRUE(sharded.status.ok()) << sharded.status.ToString();
+  EXPECT_EQ(sharded.answered, reqs.size());
+  ASSERT_EQ(sharded.responses.size(), truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    ASSERT_TRUE(sharded.responses[i].status.ok());
+    EXPECT_EQ(std::memcmp(&sharded.responses[i].answer.probability,
+                          &truth[i].answer.probability, sizeof(double)),
+              0)
+        << "request " << i;
+  }
+}
+
+TEST(ShardRouterTest, RetriesOntoBackupShardAfterCrash) {
+  std::vector<PathFixture> fx;
+  fx.push_back(MakePathFixture(2, 3));
+  const std::vector<EvalRequest> reqs = MakeRequests(fx, 1);
+
+  ShardRouter healthy(RouterOptions(3, 2));
+  const EvalResponse want = healthy.Evaluate(reqs[0]);
+  ASSERT_TRUE(want.status.ok());
+
+  ShardRouter router(RouterOptions(3, 2));
+  router.cluster().shard(router.Route(reqs[0])).Crash();
+  const EvalResponse got = router.Evaluate(reqs[0]);
+  ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+  // The backup's answer is bit-identical: answers are functions of
+  // (request, seed), not of the shard that computes them.
+  EXPECT_EQ(std::memcmp(&got.answer.probability, &want.answer.probability,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(router.stats().retries, 1u);
+  EXPECT_EQ(router.stats().lost, 0u);
+}
+
+TEST(ShardRouterTest, AllShardsLostYieldsTypedPartialResult) {
+  std::vector<PathFixture> fx;
+  fx.push_back(MakePathFixture(2, 3));
+  const std::vector<EvalRequest> reqs = MakeRequests(fx, 4);
+
+  ShardRouter router(RouterOptions(2, 2));
+  router.cluster().shard(0).Crash();
+  router.cluster().shard(1).Crash();
+  ShardRouter::BatchResult out = router.EvaluateBatch(reqs);
+  EXPECT_EQ(out.answered, 0u);
+  EXPECT_EQ(out.lost, reqs.size());
+  EXPECT_EQ(out.failed, 0u);
+  EXPECT_EQ(out.status.code(), StatusCode::kPartialResult);
+  for (const EvalResponse& resp : out.responses) {
+    EXPECT_EQ(resp.status.code(), StatusCode::kPartialResult);
+  }
+  EXPECT_EQ(router.stats().lost, reqs.size());
+}
+
+TEST(ShardRouterTest, PartialBatchKeepsSurvivingAnswers) {
+  // Pick two fixtures that route to DIFFERENT shards of a 2-shard cluster,
+  // so killing one shard splits the batch into survivors and losses.
+  ShardRouter probe(RouterOptions(2, 1));
+  std::vector<PathFixture> fx;
+  fx.push_back(MakePathFixture(2, 3));
+  {
+    EvalRequest r0 = EvalRequest::ForQuery(fx[0].qi.query, fx[0].pdb);
+    const size_t shard0 = probe.Route(r0);
+    for (uint64_t seed = 9; fx.size() < 2; ++seed) {
+      ASSERT_LT(seed, 64u) << "no fixture routed off shard " << shard0;
+      PathFixture c = MakePathFixture(2 + seed % 3, seed);
+      EvalRequest rc = EvalRequest::ForQuery(c.qi.query, c.pdb);
+      if (probe.Route(rc) != shard0) fx.push_back(std::move(c));
+    }
+  }
+  const std::vector<EvalRequest> reqs = MakeRequests(fx, 8);
+
+  ShardRouter healthy(RouterOptions(2, 1));
+  const ShardRouter::BatchResult want = healthy.EvaluateBatch(reqs);
+  ASSERT_TRUE(want.status.ok());
+
+  // max_attempts = 1: no backup, so killing one shard loses exactly the
+  // requests routed there and nothing else.
+  ShardRouter router(RouterOptions(2, 1));
+  const size_t dead = router.Route(reqs[0]);
+  router.cluster().shard(dead).Crash();
+  const ShardRouter::BatchResult got = router.EvaluateBatch(reqs);
+  EXPECT_EQ(got.status.code(), StatusCode::kPartialResult);
+  EXPECT_GT(got.answered, 0u);
+  EXPECT_GT(got.lost, 0u);
+  EXPECT_EQ(got.answered + got.lost, reqs.size());
+  for (size_t i = 0; i < reqs.size(); ++i) {
+    if (router.Route(reqs[i]) == dead) {
+      EXPECT_EQ(got.responses[i].status.code(), StatusCode::kPartialResult);
+    } else {
+      ASSERT_TRUE(got.responses[i].status.ok());
+      EXPECT_EQ(std::memcmp(&got.responses[i].answer.probability,
+                            &want.responses[i].answer.probability,
+                            sizeof(double)),
+                0);
+    }
+  }
+}
+
+// A transport whose first attempt always comes back deadline-expired (as a
+// hedged slice would): the router must re-issue to the backup shard and
+// return its (bit-identical) full answer.
+class FirstAttemptExpiresTransport : public ShardTransport {
+ public:
+  explicit FirstAttemptExpiresTransport(ShardCluster* cluster)
+      : direct_(cluster) {}
+
+  Result<EvalResponse> Call(const ShardCall& call,
+                            const EvalRequest& request) override {
+    if (call.attempt == 0) {
+      EvalResponse resp;
+      resp.request_id = call.request_id;
+      resp.status = Status::DeadlineExceeded("hedge slice expired");
+      resp.deadline_exceeded = true;
+      return resp;
+    }
+    EvalRequest full = request;
+    full.deadline_ms = 0;  // the backup gets an uncapped run
+    return direct_.Call(call, full);
+  }
+
+ private:
+  DirectTransport direct_;
+};
+
+TEST(ShardRouterTest, HedgedRetryReissuesToBackup) {
+  std::vector<PathFixture> fx;
+  fx.push_back(MakePathFixture(2, 3));
+  std::vector<EvalRequest> reqs = MakeRequests(fx, 1);
+  reqs[0].deadline_ms = 60000;  // ample budget: only the hedge slice expires
+
+  ShardRouter healthy(RouterOptions(2, 2));
+  const EvalResponse want = healthy.Evaluate(reqs[0]);
+  ASSERT_TRUE(want.status.ok());
+
+  ShardRouter router(RouterOptions(2, 2), [](ShardCluster* cluster) {
+    return std::make_unique<FirstAttemptExpiresTransport>(cluster);
+  });
+  const EvalResponse got = router.Evaluate(reqs[0]);
+  ASSERT_TRUE(got.status.ok()) << got.status.ToString();
+  EXPECT_FALSE(got.deadline_exceeded);
+  EXPECT_EQ(std::memcmp(&got.answer.probability, &want.answer.probability,
+                        sizeof(double)),
+            0);
+  EXPECT_EQ(router.stats().hedges, 1u);
+}
+
+TEST(FaultSimTest, DecideFaultIsAPureFunctionOfSeedAndCall) {
+  FaultSpec spec;
+  spec.crash_rate = 0.2;
+  spec.drop_rate = 0.3;
+  spec.delay_rate = 0.5;
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    for (size_t shard = 0; shard < 3; ++shard) {
+      for (uint64_t req = 1; req <= 20; ++req) {
+        ShardCall call{shard, req, 0};
+        const FaultDecision a = DecideFault(seed, call, spec);
+        const FaultDecision b = DecideFault(seed, call, spec);
+        EXPECT_EQ(a.crash, b.crash);
+        EXPECT_EQ(a.drop, b.drop);
+        EXPECT_EQ(a.delay_ms, b.delay_ms);
+        EXPECT_FALSE(a.crash && a.drop);
+      }
+    }
+  }
+}
+
+TEST(FaultSimTest, AttemptsDrawIndependentDecisions) {
+  // The backup attempt of a dropped call must not deterministically drop
+  // too, or retries would be useless; distinct attempts get distinct coins.
+  FaultSpec spec;
+  spec.crash_rate = 0.0;
+  spec.drop_rate = 0.5;
+  spec.delay_rate = 0.0;
+  bool differs = false;
+  for (uint64_t req = 1; req <= 32 && !differs; ++req) {
+    ShardCall first{0, req, 0};
+    ShardCall second{0, req, 1};
+    const FaultDecision a = DecideFault(7, first, spec);
+    const FaultDecision b = DecideFault(7, second, spec);
+    differs = a.drop != b.drop;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultSimTest, SurvivorsBitIdenticalAndReplayExactAcrossSeeds) {
+  // The CI sweep in miniature: every seed must satisfy the harness contract
+  // — zero mismatched survivors, zero definitive failures, exact replay.
+  uint64_t total_injected = 0;
+  size_t seeds_with_loss = 0;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    FaultSimOptions opt;
+    opt.seed = seed;
+    opt.num_shards = 3;
+    opt.max_attempts = 2;
+    opt.requests = 18;
+    opt.variants = 3;
+    opt.faults.crash_rate = 0.10;
+    opt.faults.drop_rate = 0.15;
+    opt.faults.delay_rate = 0.2;
+    auto report = RunFaultSim(opt);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_TRUE(report->ok()) << report->Summary();
+    EXPECT_EQ(report->mismatched, 0u) << report->Summary();
+    EXPECT_TRUE(report->replay_identical) << report->Summary();
+    EXPECT_EQ(report->answered + report->lost + report->failed,
+              report->requests);
+    total_injected += report->crashes + report->drops + report->delays;
+    if (report->lost > 0) ++seeds_with_loss;
+  }
+  // The sweep must actually exercise the machinery, not pass vacuously.
+  EXPECT_GT(total_injected, 0u);
+  EXPECT_GT(seeds_with_loss, 0u);
+}
+
+TEST(FaultSimTest, QuietScheduleLosesNothing) {
+  FaultSimOptions opt;
+  opt.seed = 11;
+  opt.requests = 8;
+  opt.variants = 2;
+  opt.faults.crash_rate = 0.0;
+  opt.faults.drop_rate = 0.0;
+  opt.faults.delay_rate = 0.0;
+  auto report = RunFaultSim(opt);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->ok()) << report->Summary();
+  EXPECT_EQ(report->answered, report->requests);
+  EXPECT_EQ(report->lost, 0u);
+  EXPECT_EQ(report->crashes + report->drops + report->delays, 0u);
+}
+
+TEST(FaultSimTest, RejectsEmptyWorkload) {
+  FaultSimOptions opt;
+  opt.requests = 0;
+  auto report = RunFaultSim(opt);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace pqe

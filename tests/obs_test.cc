@@ -329,6 +329,28 @@ TEST(MetricsTest, HistogramQuantilesAcrossBuckets) {
   EXPECT_EQ(empty.Quantile(0.5), 0.0);
 }
 
+TEST(MetricsTest, EmptyHistogramQuantilesAreZeroAtEveryQ) {
+  // Regression guard for the count == 0 path: every q — including the
+  // q >= 1 branch, which otherwise indexes the top bucket — must return 0
+  // instead of reading an empty bucket vector.
+  const obs::MetricsSnapshot::HistogramEntry empty;
+  for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(empty.Quantile(q), 0.0) << q;
+  }
+  // A histogram that saw traffic and was then Reset() snapshots as empty
+  // and must behave the same.
+  obs::MetricRegistry registry;
+  obs::Histogram& h = registry.GetHistogram("test.q3");
+  for (int i = 0; i < 10; ++i) h.Observe(100);
+  h.Reset();
+  const obs::MetricsSnapshot::HistogramEntry entry =
+      obs::MetricsSnapshot::SnapshotHistogram("test.q3", h);
+  EXPECT_EQ(entry.count, 0u);
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(entry.Quantile(q), 0.0) << q;
+  }
+}
+
 // The documented relaxed-atomics contract (obs/metrics.h): Snapshot() and
 // Reset() may interleave with hot-path Add()/Observe() calls without locks.
 // Values are never torn and every add lands in some pre- or post-reset

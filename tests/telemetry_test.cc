@@ -121,6 +121,62 @@ TEST(ServiceTelemetryTest, ToJsonParsesAndCoversEverySection) {
   EXPECT_EQ(slow->Items()[0].Find("request_id")->AsUint(), 7u);
 }
 
+TEST(ServiceTelemetryTest, ResetClearsAggregatesAndSlowFloor) {
+  ServiceTelemetry telemetry(/*slow_log_capacity=*/2);
+  telemetry.Record(MakeRequest(1, CacheClass::kWarmBind, 900));
+  telemetry.Record(MakeRequest(2, CacheClass::kWarmBind, 800));
+  // Log full: the admission floor is now 800, and 700 is rejected fast-path.
+  telemetry.Record(MakeRequest(3, CacheClass::kWarmBind, 700));
+  ASSERT_EQ(telemetry.Snapshot().slow_queries.size(), 2u);
+
+  telemetry.Reset();
+  const ServiceStats cleared = telemetry.Snapshot();
+  EXPECT_EQ(cleared.requests, 0u);
+  EXPECT_EQ(cleared.ok, 0u);
+  EXPECT_EQ(cleared.by_class[static_cast<size_t>(CacheClass::kWarmBind)], 0u);
+  const ServiceStats::StageStats* total = cleared.FindStage("total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->count, 0u);
+  EXPECT_EQ(total->sum_ns, 0u);
+  EXPECT_TRUE(cleared.slow_queries.empty());
+
+  // The floor regression: a post-reset request far below the PRE-reset
+  // floor (100 < 800) must be admitted to the now-empty log. A floor that
+  // survived the reset would fast-path-reject everything slower history
+  // already beat, leaving the log empty forever.
+  telemetry.Record(MakeRequest(4, CacheClass::kWarmBind, 100));
+  const ServiceStats after = telemetry.Snapshot();
+  ASSERT_EQ(after.slow_queries.size(), 1u);
+  EXPECT_EQ(after.slow_queries[0].request_id, 4u);
+  EXPECT_EQ(after.requests, 1u);
+}
+
+TEST(ServiceTelemetryTest, ToJsonEmitsNullQuantilesForEmptyStages) {
+  ServiceTelemetry telemetry(/*slow_log_capacity=*/2);
+  // This request never ran the compile stage (compile_ns == 0 in
+  // MakeRequest), so "compile" has count 0 — its quantiles are unknown,
+  // not zero-nanosecond measurements.
+  telemetry.Record(MakeRequest(1, CacheClass::kAnswerMemo, 5000));
+  const std::string json = telemetry.Snapshot().ToJson();
+  auto doc = obs::ParseJson(json);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString() << "\n" << json;
+  const obs::JsonValue* stages = doc->Find("service_stats")->Find("stages");
+  ASSERT_NE(stages, nullptr);
+
+  const obs::JsonValue* compile = stages->Find("compile");
+  ASSERT_NE(compile, nullptr);
+  EXPECT_EQ(compile->Find("count")->AsUint(), 0u);
+  for (const char* q : {"p50_ns", "p95_ns", "p99_ns"}) {
+    const obs::JsonValue* v = compile->Find(q);
+    ASSERT_NE(v, nullptr) << q;
+    EXPECT_EQ(v->kind(), obs::JsonValue::Kind::kNull) << q;
+  }
+  // A stage that DID run keeps numeric quantiles.
+  const obs::JsonValue* total = stages->Find("total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_TRUE(total->Find("p50_ns")->is_number());
+}
+
 // --- Workload records: JSONL round-trip ----------------------------------
 
 TEST(WorkloadRecordTest, FormatParseRoundTripIsExact) {
@@ -196,6 +252,66 @@ TEST(WorkloadRecordTest, LoadWorkloadFileSkipsBlanksAndNumbersErrors) {
   std::remove(path.c_str());
 
   EXPECT_FALSE(LoadWorkloadFile("no_such_file.jsonl").ok());
+}
+
+TEST(WorkloadRecordTest, TruncatedTrailingLineIsATypedErrorNamingTheLine) {
+  // A capture cut mid-write (process killed, disk full) ends in a prefix of
+  // a record. Loading must fail with a line-numbered error, not silently
+  // drop the tail or crash the replay.
+  const std::string path = "telemetry_test_truncated.jsonl";
+  {
+    std::ofstream out(path);
+    WorkloadRecord r;
+    r.request_id = 1;
+    out << FormatWorkloadRecord(r) << "\n";
+    r.request_id = 2;
+    const std::string full = FormatWorkloadRecord(r);
+    out << full.substr(0, full.size() / 2);  // no closing brace, no newline
+  }
+  auto truncated = LoadWorkloadFile(path);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_EQ(truncated.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(truncated.status().ToString().find(path + ":2:"),
+            std::string::npos)
+      << truncated.status().ToString();
+  std::remove(path.c_str());
+
+  // Same for non-JSON garbage appended after valid records.
+  const std::string garbage_path = "telemetry_test_garbage.jsonl";
+  {
+    std::ofstream out(garbage_path);
+    WorkloadRecord r;
+    r.request_id = 1;
+    out << FormatWorkloadRecord(r) << "\n"
+        << "\x01\xffGARBAGE not json at all\n";
+  }
+  auto garbage = LoadWorkloadFile(garbage_path);
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_EQ(garbage.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(garbage.status().ToString().find(garbage_path + ":2:"),
+            std::string::npos)
+      << garbage.status().ToString();
+  std::remove(garbage_path.c_str());
+}
+
+TEST(WorkloadRecordTest, UpdateSpecRejectsSignsWhitespaceAndJunk) {
+  // strtoull would accept all of these by wrapping or stopping early; the
+  // strict parser rejects them with a typed InvalidArgument instead of
+  // applying a garbage delta.
+  for (const char* spec :
+       {"0=-1/2", "0=+1/2", "-1=1/2", "0=1/-2", "0= 1/2", "0=1/ 2",
+        "0=1a/2", "0=1/2x", "0x3=1/2", "0=18446744073709551616/2"}) {
+    auto delta = ParseLabelDeltaSpec(spec);
+    ASSERT_FALSE(delta.ok()) << spec;
+    EXPECT_EQ(delta.status().code(), StatusCode::kInvalidArgument) << spec;
+  }
+  // The straight form still parses.
+  auto good = ParseLabelDeltaSpec("3=1/2,7=2/3");
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  ASSERT_EQ(good->facts.size(), 2u);
+  EXPECT_EQ(good->facts[0], 3u);
+  EXPECT_EQ(good->new_probs[1].num, 2u);
+  EXPECT_EQ(good->new_probs[1].den, 3u);
 }
 
 // --- Fingerprints ----------------------------------------------------------

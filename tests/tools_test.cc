@@ -51,6 +51,25 @@ TEST(FactFileTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParseFactText("R(a,b) 0.5\nR(a) 0.5\n").ok());
 }
 
+TEST(FactFileTest, RejectsSignedAndJunkRationals) {
+  // std::stoull accepted every one of these: "-1" wraps to 2^64-1 (so
+  // "-1/2" became a numerator ~9.2e18, rejected only as "> den" by luck,
+  // and "-1/-2" parsed as a huge but VALID probability), "+1" and junk
+  // suffixes parse silently. The strict parser makes them typed errors.
+  for (const char* line :
+       {"R(a,b) -1/2\n", "R(a,b) +1/2\n", "R(a,b) 1/-2\n", "R(a,b) 1/+2\n",
+        "R(a,b) -1/-2\n", "R(a,b) 1a/2\n", "R(a,b) 1/2x\n",
+        "R(a,b) 0x1/2\n", "R(a,b) 18446744073709551616/2\n"}) {
+    auto pdb = ParseFactText(line);
+    ASSERT_FALSE(pdb.ok()) << line;
+    EXPECT_EQ(pdb.status().code(), StatusCode::kInvalidArgument) << line;
+  }
+  // Plain digit runs keep parsing.
+  auto ok = ParseFactText("R(a,b) 1/2\n");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE(ok->probability(0) == Probability::Half());
+}
+
 TEST(FactFileTest, MissingFileIsNotFound) {
   EXPECT_EQ(LoadFactFile("/nonexistent/file.facts").status().code(),
             StatusCode::kNotFound);
