@@ -87,6 +87,10 @@ serve_smoke() {
         echo "Follows(x,y), Likes(y,z)"
         echo "Follows(x,y), Likes(x,z)"
         echo "Likes(x,y)"
+        # Regular path queries ride the same batch: a lowered linear chain
+        # and a product-construction regex with repetition.
+        echo "rpq: Follows/Likes"
+        echo "rpq: Follows+/Likes"
       done
     } > "${batch}"
     echo "==== serve-smoke: batch with generous deadline ===="
@@ -131,16 +135,17 @@ faultsim() {
 perf_smoke() {
   # Smoke the perf benches: each must complete (their cells assert
   # bit-identity internally) and emit parseable metrics JSON.
-  echo "==== perf-smoke: build bench_counting_hotpath + bench_serving + bench_serving_updates + bench_sharded_serving ===="
+  echo "==== perf-smoke: build bench_counting_hotpath + bench_serving + bench_serving_updates + bench_sharded_serving + bench_rpq ===="
   cmake -B build -S . >/dev/null
   cmake --build build -j "${JOBS}" \
     --target bench_counting_hotpath bench_serving bench_serving_updates \
-    bench_sharded_serving
+    bench_sharded_serving bench_rpq
   echo "==== perf-smoke: run ===="
   local out="build/BENCH_counting_hotpath.smoke.json"
   local serve_out="build/BENCH_serving.smoke.json"
   local update_out="build/BENCH_serving_updates.smoke.json"
   local shard_out="build/BENCH_sharded_serving.smoke.json"
+  local rpq_out="build/BENCH_rpq.smoke.json"
   ./build/bench/bench_counting_hotpath --smoke --metrics_out="${out}"
   ./build/bench/bench_serving --smoke --metrics_out="${serve_out}"
   ./build/bench/bench_serving_updates --smoke --metrics_out="${update_out}"
@@ -148,9 +153,12 @@ perf_smoke() {
   # bit-identical to the single-service run and that the fault-injection
   # harness seeds pass (survivors identical, replay exact).
   ./build/bench/bench_sharded_serving --smoke --metrics_out="${shard_out}"
-  echo "==== perf-smoke: validate ${out} + ${serve_out} + ${update_out} + ${shard_out} ===="
+  # The RPQ bench asserts lowered-regex answers are bit-identical to the
+  # path route and warm served RPQ answers to cold engine answers.
+  ./build/bench/bench_rpq --smoke --metrics_out="${rpq_out}"
+  echo "==== perf-smoke: validate ${out} + ${serve_out} + ${update_out} + ${shard_out} + ${rpq_out} ===="
   if command -v python3 >/dev/null 2>&1; then
-    python3 - "${out}" "${serve_out}" "${update_out}" "${shard_out}" <<'EOF'
+    python3 - "${out}" "${serve_out}" "${update_out}" "${shard_out}" "${rpq_out}" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
@@ -181,13 +189,21 @@ assert sharded, "no sharded_serving speedup_overhead gauges in metrics JSON"
 counters = doc.get("metrics", doc).get("counters", {})
 assert counters.get("pqe.bench.sharded_serving.faultsim.seeds_ok", 0) > 0, \
     "sharded_serving bench ran no faultsim seeds"
-print(f"perf-smoke: {len(cells)} hotpath ({len(fast)} fast-kernel) + {len(serving)} serving + {len(updates)} update + {len(sharded)} sharded cells, JSON OK")
+with open(sys.argv[5]) as f:
+    doc = json.load(f)
+gauges = doc.get("metrics", doc).get("gauges", {})
+assert gauges.get("pqe.bench.rpq.linear.w3.parity", 0) == 1.0, \
+    "rpq bench reported no lowering parity gauge"
+rpq = [k for k in gauges if "bench.rpq" in k and k.endswith(".speedup_warm")]
+assert rpq, "no rpq serving speedup gauges in metrics JSON"
+print(f"perf-smoke: {len(cells)} hotpath ({len(fast)} fast-kernel) + {len(serving)} serving + {len(updates)} update + {len(sharded)} sharded + {len(rpq)} rpq cells, JSON OK")
 EOF
   else
     grep -q "counting_hotpath" "${out}"
     grep -q "bench.serving" "${serve_out}"
     grep -q "serving_updates" "${update_out}"
     grep -q "sharded_serving" "${shard_out}"
+    grep -q "bench.rpq" "${rpq_out}"
     echo "perf-smoke: JSON contains expected gauges (python3 absent)"
   fi
 }
@@ -205,7 +221,7 @@ bench_gate() {
   cmake -B build -S . >/dev/null
   cmake --build build -j "${JOBS}" \
     --target bench_counting_hotpath bench_serving bench_serving_updates \
-    bench_replay bench_sharded_serving bench_compare
+    bench_replay bench_sharded_serving bench_rpq bench_compare
   local adv=""
   [[ "${PQE_BENCH_GATE_ADVISORY:-0}" != "0" ]] && adv="--advisory"
   echo "==== bench-gate: run smoke benches ===="
@@ -224,6 +240,9 @@ bench_gate() {
   # contract internally; its routing-overhead ratio is gated below.
   ./build/bench/bench_sharded_serving --smoke \
     --metrics_out=build/bench_gate_sharded_serving.json
+  # The RPQ bench asserts lowering parity and warm/cold bit-identity
+  # internally; its serving speedup is gated below.
+  ./build/bench/bench_rpq --smoke --metrics_out=build/bench_gate_rpq.json
   echo "==== bench-gate: compare against committed baselines ===="
   ./build/src/bench_compare --baseline BENCH_counting_hotpath.smoke.json \
     --fresh build/bench_gate_hotpath.json ${adv}
@@ -233,6 +252,8 @@ bench_gate() {
     --fresh build/bench_gate_serving_updates.json ${adv}
   ./build/src/bench_compare --baseline BENCH_sharded_serving.json \
     --fresh build/bench_gate_sharded_serving.json ${adv}
+  ./build/src/bench_compare --baseline BENCH_rpq.json \
+    --fresh build/bench_gate_rpq.json ${adv}
 }
 
 if [[ $# -eq 0 ]]; then

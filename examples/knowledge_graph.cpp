@@ -56,11 +56,11 @@ int main() {
   //    WorksAt(p, c), AuthorOf(p, d) — a star around p.
   auto q1 = ParseQuery(schema, "WorksAt(p,c), AuthorOf(p,d)").MoveValue();
   PQE_CHECK(IsSafeQuery(q1));
-  auto a1 = engine.Evaluate(q1, kb);
-  PQE_CHECK(a1.ok());
+  EvalResponse a1 = engine.EvaluateRequest(EvalRequest::ForQuery(q1, kb));
+  PQE_CHECK(a1.status.ok());
   std::printf("Q1 (safe star)   %s\n  Pr = %.6f via %s (exact)\n\n",
-              q1.ToString(schema).c_str(), a1->probability,
-              PqeMethodToString(a1->method_used));
+              q1.ToString(schema).c_str(), a1.answer.probability,
+              PqeMethodToString(a1.answer.method_used));
 
   // Q2 (unsafe chain, the paper's hard case): is some employee of a company
   //    located in a capital city?
@@ -76,21 +76,21 @@ int main() {
                    .Build();
   PQE_CHECK(fopts.ok());
   PqeEngine fpras(*fopts);
-  auto a2 = fpras.Evaluate(q2, kb);
-  PQE_CHECK(a2.ok());
+  EvalResponse a2 = fpras.EvaluateRequest(EvalRequest::ForQuery(q2, kb));
+  PQE_CHECK(a2.status.ok());
   std::printf("Q2 (unsafe chain) %s\n  Pr ~ %.6f via %s\n  %s\n\n",
-              q2.ToString(schema).c_str(), a2->probability,
-              PqeMethodToString(a2->method_used),
-              RenderDiagnostics(*a2).c_str());
+              q2.ToString(schema).c_str(), a2.answer.probability,
+              PqeMethodToString(a2.answer.method_used),
+              RenderDiagnostics(a2.answer).c_str());
 
   // Cross-check Q2 against exact lineage counting (feasible at this scale).
   auto xopts =
       PqeEngine::Options::Builder().Method(PqeMethod::kExactLineage).Build();
   PQE_CHECK(xopts.ok());
   PqeEngine exact(*xopts);
-  auto a3 = exact.Evaluate(q2, kb);
-  PQE_CHECK(a3.ok());
-  std::printf("Q2 exact cross-check: Pr = %.6f via %s\n", a3->probability,
-              PqeMethodToString(a3->method_used));
+  EvalResponse a3 = exact.EvaluateRequest(EvalRequest::ForQuery(q2, kb));
+  PQE_CHECK(a3.status.ok());
+  std::printf("Q2 exact cross-check: Pr = %.6f via %s\n", a3.answer.probability,
+              PqeMethodToString(a3.answer.method_used));
   return 0;
 }

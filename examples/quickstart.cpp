@@ -43,11 +43,12 @@ int main() {
   // 3. Evaluate. kAuto picks the best strategy; force kFpras to exercise the
   //    paper's Theorem 1 pipeline end to end.
   PqeEngine auto_engine;
-  auto answer = auto_engine.Evaluate(query, pdb);
-  PQE_CHECK(answer.ok());
-  std::printf("\nauto:  Pr(Q) = %.6f  [%s%s]\n", answer->probability,
-              PqeMethodToString(answer->method_used),
-              answer->is_exact ? ", exact" : "");
+  EvalResponse answer =
+      auto_engine.EvaluateRequest(EvalRequest::ForQuery(query, pdb));
+  PQE_CHECK(answer.status.ok());
+  std::printf("\nauto:  Pr(Q) = %.6f  [%s%s]\n", answer.answer.probability,
+              PqeMethodToString(answer.answer.method_used),
+              answer.answer.is_exact ? ", exact" : "");
 
   auto opts = PqeEngine::Options::Builder()
                   .Method(PqeMethod::kFpras)
@@ -55,9 +56,10 @@ int main() {
                   .Build();
   PQE_CHECK(opts.ok());
   PqeEngine fpras_engine(*opts);
-  auto fpras = fpras_engine.Evaluate(query, pdb);
-  PQE_CHECK(fpras.ok());
-  std::printf("fpras: Pr(Q) ~ %.6f  [%s]\n", fpras->probability,
-              RenderDiagnostics(*fpras).c_str());
+  EvalResponse fpras =
+      fpras_engine.EvaluateRequest(EvalRequest::ForQuery(query, pdb));
+  PQE_CHECK(fpras.status.ok());
+  std::printf("fpras: Pr(Q) ~ %.6f  [%s]\n", fpras.answer.probability,
+              RenderDiagnostics(fpras.answer).c_str());
   return 0;
 }

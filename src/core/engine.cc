@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 #include <sstream>
@@ -15,6 +16,9 @@
 #include "lineage/monte_carlo.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rpq/eval.h"
+#include "rpq/product.h"
+#include "rpq/regex.h"
 #include "safeplan/safe_plan.h"
 
 namespace pqe {
@@ -134,6 +138,9 @@ Result<PqeEngine::Options> PqeEngine::Options::Builder::Build() const {
         ") exceeds max_pool_size (" + std::to_string(opts_.max_pool_size) +
         ")");
   }
+  if (opts_.rpq_clause_budget < 1) {
+    return Status::InvalidArgument("Options: rpq_clause_budget must be >= 1");
+  }
   return opts_;
 }
 
@@ -230,6 +237,13 @@ EvalResponse PqeEngine::EvaluateRequest(const EvalRequest& request) const {
       }
       return FinishWith(
           EvaluateUrImpl(*request.query, *request.db, opts, cancel));
+    case EvalRequest::Target::kRpq:
+      if (request.rpq == nullptr || request.pdb == nullptr) {
+        return FinishWith(Status::InvalidArgument(
+            "EvalRequest(kRpq) requires rpq and pdb"));
+      }
+      return FinishWith(EvaluateRpqImpl(*request.rpq, *request.pdb, opts,
+                                        cancel, request.request_id));
   }
   return FinishWith(Status::Internal("unknown EvalRequest target"));
 }
@@ -410,6 +424,141 @@ Result<PqeAnswer> PqeEngine::EvaluateUnionImpl(
   cfg.kernel_mode = opts.kernel_mode;
   cfg.cancel = cancel;
   PQE_ASSIGN_OR_RETURN(KarpLubyResult r, KarpLubyUnionPqe(query, pdb, cfg));
+  out.probability = r.probability;
+  out.karp_luby = r;
+  out.method_used = PqeMethod::kKarpLubyLineage;
+  Finish(&out);
+  return out;
+}
+
+Result<PqeAnswer> PqeEngine::EvaluateRpqImpl(
+    const rpq::RpqQuery& query, const ProbabilisticDatabase& pdb,
+    const Options& opts, const CancelToken* cancel,
+    uint64_t request_id) const {
+  PqeMethod method = opts.method;
+  const bool was_auto = method == PqeMethod::kAuto;
+  if (was_auto) {
+    method = pdb.NumFacts() <= opts.enumeration_threshold
+                 ? PqeMethod::kEnumeration
+                 : PqeMethod::kFpras;
+  }
+  if (method == PqeMethod::kSafePlan || method == PqeMethod::kMonteCarlo) {
+    return Status::NotSupported(
+        std::string("regular path queries do not support method '") +
+        PqeMethodToString(method) + "'");
+  }
+
+  std::optional<obs::TraceSession> session;
+  if (opts.collect_trace) {
+    session.emplace("engine.evaluate_rpq");
+    obs::SpanAttrUint("request_id", request_id);
+    obs::SpanAttrText("regex", query.Canonical());
+    obs::SpanAttrText("kernels", KernelModeToString(opts.kernel_mode));
+    obs::SpanAttrUint("facts", pdb.NumFacts());
+    obs::SpanAttrFloat("epsilon", opts.epsilon);
+  }
+  // The FPRAS route can cascade into lineage (below), so the method counter
+  // runs at the end, against the method that actually produced the answer.
+  PqeAnswer out;
+  auto Finish = [&](PqeAnswer* answer) {
+    CountMethodEvaluation(answer->method_used);
+    if (session.has_value()) {
+      obs::SpanAttrText("method", PqeMethodToString(answer->method_used));
+      obs::SpanAttrFloat("probability", answer->probability);
+      answer->trace =
+          std::make_shared<const obs::RunTrace>(session->Finish());
+    }
+  };
+
+  if (method == PqeMethod::kEnumeration) {
+    PQE_TRACE_SPAN("exact.enumeration");
+    PQE_ASSIGN_OR_RETURN(
+        BigRational p,
+        rpq::ExactRpqProbabilityByEnumeration(query, pdb,
+                                              opts.enumeration_threshold + 8));
+    out.probability = p.ToDouble();
+    out.is_exact = true;
+    out.method_used = PqeMethod::kEnumeration;
+    out.enumerated_facts = pdb.NumFacts();
+    Finish(&out);
+    return out;
+  }
+
+  if (method == PqeMethod::kFpras) {
+    auto r = rpq::RpqEstimate(query, pdb, MakeEstimatorConfig(opts, cancel));
+    if (r.ok()) {
+      out.probability = r->probability;
+      out.method_used = PqeMethod::kFpras;
+      out.count_stats = r->stats;
+      out.automaton = PqeAnswer::AutomatonStats{
+          r->nfa_states, r->nfa_transitions, r->word_length,
+          /*decomposition_width=*/0};
+      Finish(&out);
+      return out;
+    }
+    if (!was_auto || r.status().code() != StatusCode::kNotSupported) {
+      return r.status();
+    }
+    // Not scan-orderable (cyclic data under the regex): fall through to the
+    // exact product-path lineage, mirroring the union cascade.
+  }
+
+  PQE_ASSIGN_OR_RETURN(rpq::RpqProduct product,
+                       rpq::BuildRpqProduct(query, pdb.database()));
+  if (product.trivially_true) {
+    // ε ∈ L(regex) over a non-empty domain: the lineage is the constant-true
+    // DNF (one empty clause) — exactly probability 1, no sampling needed.
+    out.probability = 1.0;
+    out.is_exact = true;
+    out.method_used = PqeMethod::kExactLineage;
+    out.lineage = PqeAnswer::LineageStats{1, 0, 0};
+    Finish(&out);
+    return out;
+  }
+  if (method == PqeMethod::kExactLineage || method == PqeMethod::kFpras) {
+    // Forced exact route, or the auto cascade's exact-first attempt.
+    const size_t budget = method == PqeMethod::kExactLineage
+                              ? opts.rpq_clause_budget
+                              : std::min<size_t>(opts.rpq_clause_budget,
+                                                 20'000);
+    auto lineage = rpq::BuildRpqLineage(product, budget);
+    if (lineage.ok()) {
+      auto exact = ExactDnfProbabilityDecomposed(*lineage, pdb);
+      if (exact.ok()) {
+        out.probability = exact->probability.ToDouble();
+        out.is_exact = true;
+        out.method_used = PqeMethod::kExactLineage;
+        out.lineage = PqeAnswer::LineageStats{lineage->NumClauses(),
+                                              exact->stats.shannon_splits,
+                                              exact->stats.component_splits};
+        Finish(&out);
+        return out;
+      }
+      if (method == PqeMethod::kExactLineage) return exact.status();
+    } else if (method == PqeMethod::kExactLineage) {
+      return lineage.status();
+    }
+  }
+
+  PQE_ASSIGN_OR_RETURN(DnfLineage lineage,
+                       rpq::BuildRpqLineage(product, opts.rpq_clause_budget));
+  if (lineage.NumClauses() == 0) {
+    // Unsatisfiable on every subinstance: exactly probability 0.
+    out.probability = 0.0;
+    out.is_exact = true;
+    out.method_used = PqeMethod::kExactLineage;
+    out.lineage = PqeAnswer::LineageStats{0, 0, 0};
+    Finish(&out);
+    return out;
+  }
+  KarpLubyConfig cfg;
+  cfg.epsilon = opts.epsilon;
+  cfg.seed = opts.seed;
+  cfg.num_threads = opts.num_threads;
+  cfg.kernel_mode = opts.kernel_mode;
+  cfg.cancel = cancel;
+  PQE_ASSIGN_OR_RETURN(KarpLubyResult r,
+                       KarpLubyEstimate(lineage, pdb, cfg));
   out.probability = r.probability;
   out.karp_luby = r;
   out.method_used = PqeMethod::kKarpLubyLineage;

@@ -17,6 +17,10 @@
 
 namespace pqe {
 
+namespace rpq {
+class RpqQuery;
+}  // namespace rpq
+
 /// Evaluation strategies offered by the engine.
 enum class PqeMethod {
   /// Pick automatically: safe queries run the exact extensional plan; small
@@ -114,12 +118,14 @@ struct EvalRequest {
     kQuery,               // Pr_H(Q) for a conjunctive query (query + pdb)
     kUnion,               // Pr_H(Q₁ ∨ ... ∨ Q_m) (union_query + pdb)
     kUniformReliability,  // UR(Q, D) (query + db); probability holds the count
+    kRpq,                 // Pr_H(Q) for a regular path query (rpq + pdb)
   };
 
   Target target = Target::kQuery;
   const ConjunctiveQuery* query = nullptr;     // kQuery, kUniformReliability
   const UnionQuery* union_query = nullptr;     // kUnion
-  const ProbabilisticDatabase* pdb = nullptr;  // kQuery, kUnion
+  const rpq::RpqQuery* rpq = nullptr;          // kRpq
+  const ProbabilisticDatabase* pdb = nullptr;  // kQuery, kUnion, kRpq
   const Database* db = nullptr;                // kUniformReliability
 
   /// Per-request overrides; unset = inherit the engine's Options.
@@ -170,6 +176,14 @@ struct EvalRequest {
     r.db = &db;
     return r;
   }
+  static EvalRequest ForRpq(const rpq::RpqQuery& rpq,
+                            const ProbabilisticDatabase& pdb) {
+    EvalRequest r;
+    r.target = Target::kRpq;
+    r.rpq = &rpq;
+    r.pdb = &pdb;
+    return r;
+  }
 };
 
 /// The outcome of one EvalRequest. `answer` is meaningful iff `status` is
@@ -217,6 +231,11 @@ class PqeEngine {
     /// fixed-seed reproducible within a build). See docs/performance.md,
     /// "Kernel modes".
     KernelMode kernel_mode = KernelMode::kExact;
+    /// Clause budget for the RPQ lineage fallback: regular path queries on
+    /// instances that are not scan-orderable (src/rpq/product.h) route
+    /// through the exact product-path lineage + Karp–Luby, capped at this
+    /// many clauses.
+    size_t rpq_clause_budget = 200'000;
 
     class Builder;
   };
@@ -231,38 +250,6 @@ class PqeEngine {
   /// cooperatively, and never throws or hangs — errors (including
   /// kDeadlineExceeded) come back in EvalResponse::status.
   EvalResponse EvaluateRequest(const EvalRequest& request) const;
-
-  /// \deprecated Thin forward over EvaluateRequest (EvalRequest::ForQuery);
-  /// kept so existing callers compile unchanged. See README, "Deprecated
-  /// signatures".
-  Result<PqeAnswer> Evaluate(const ConjunctiveQuery& query,
-                             const ProbabilisticDatabase& pdb) const {
-    EvalResponse resp = EvaluateRequest(EvalRequest::ForQuery(query, pdb));
-    if (!resp.status.ok()) return resp.status;
-    return std::move(resp.answer);
-  }
-
-  /// \deprecated Thin forward over EvaluateRequest
-  /// (EvalRequest::ForUniformReliability). See README.
-  Result<double> EvaluateUniformReliability(const ConjunctiveQuery& query,
-                                            const Database& db) const {
-    EvalResponse resp =
-        EvaluateRequest(EvalRequest::ForUniformReliability(query, db));
-    if (!resp.status.ok()) return resp.status;
-    return resp.answer.probability;
-  }
-
-  /// \deprecated Thin forward over EvaluateRequest (EvalRequest::ForUnion).
-  /// The paper's FPRAS does not extend to unions; this routes through the
-  /// lineage-based methods: exact decomposed model counting when the union
-  /// lineage is small, Karp–Luby otherwise (enumeration below the
-  /// tiny-instance threshold). See README.
-  Result<PqeAnswer> EvaluateUnion(const UnionQuery& query,
-                                  const ProbabilisticDatabase& pdb) const {
-    EvalResponse resp = EvaluateRequest(EvalRequest::ForUnion(query, pdb));
-    if (!resp.status.ok()) return resp.status;
-    return std::move(resp.answer);
-  }
 
   /// The EstimatorConfig the engine hands to the counting layers for these
   /// options (shared with src/serve/ so prepared evaluations and engine
@@ -287,6 +274,11 @@ class PqeEngine {
   Result<PqeAnswer> EvaluateUrImpl(const ConjunctiveQuery& query,
                                    const Database& db, const Options& opts,
                                    const CancelToken* cancel) const;
+  Result<PqeAnswer> EvaluateRpqImpl(const rpq::RpqQuery& query,
+                                    const ProbabilisticDatabase& pdb,
+                                    const Options& opts,
+                                    const CancelToken* cancel,
+                                    uint64_t request_id) const;
 
   Options options_;
 };
@@ -341,6 +333,10 @@ class PqeEngine::Options::Builder {
   }
   Builder& Kernels(KernelMode mode) {
     opts_.kernel_mode = mode;
+    return *this;
+  }
+  Builder& RpqClauseBudget(size_t budget) {
+    opts_.rpq_clause_budget = budget;
     return *this;
   }
 

@@ -134,22 +134,6 @@ Result<BigUint> PathUniformReliabilityExact(const ConjunctiveQuery& query,
   return count.Mul(BigUint::PowerOfTwo(m.dropped_facts));
 }
 
-namespace {
-
-// Cold build = skeleton + bind, so a warm rebind of a cached skeleton
-// (src/serve/) is bit-identical to the estimate paths below.
-Result<BoundPathNfa> BuildWeightedPathNfa(const ConjunctiveQuery& query,
-                                          const ProbabilisticDatabase& pdb) {
-  PQE_ASSIGN_OR_RETURN(PathPqeSkeleton skeleton,
-                       BuildPathPqeSkeleton(query, pdb.database()));
-  PQE_ASSIGN_OR_RETURN(
-      std::vector<Probability> probs,
-      ProjectedFactProbabilities(skeleton.original_fact, pdb));
-  return BindPathPqeNfa(skeleton, probs);
-}
-
-}  // namespace
-
 Result<PathPqeSkeleton> BuildPathPqeSkeleton(const ConjunctiveQuery& query,
                                              const Database& db) {
   PQE_TRACE_SPAN_VAR(span, "path.build_skeleton");
@@ -289,11 +273,13 @@ Result<BoundPathNfa> RebindPathPqeNfa(const BoundPathNfa& prior,
   return out;
 }
 
-Result<PathPqeResult> PathPqeEstimate(const ConjunctiveQuery& query,
-                                      const ProbabilisticDatabase& pdb,
-                                      const EstimatorConfig& config) {
-  PQE_TRACE_SPAN_VAR(span, "path.estimate");
-  PQE_ASSIGN_OR_RETURN(BoundPathNfa m, BuildWeightedPathNfa(query, pdb));
+Result<PathPqeResult> EstimatePathSkeleton(const PathPqeSkeleton& skeleton,
+                                           const ProbabilisticDatabase& pdb,
+                                           const EstimatorConfig& config) {
+  PQE_ASSIGN_OR_RETURN(
+      std::vector<Probability> probs,
+      ProjectedFactProbabilities(skeleton.original_fact, pdb));
+  PQE_ASSIGN_OR_RETURN(BoundPathNfa m, BindPathPqeNfa(skeleton, probs));
   PathPqeResult out;
   out.word_length = m.word_length;
   out.nfa_states = m.nfa.NumStates();
@@ -308,12 +294,33 @@ Result<PathPqeResult> PathPqeEstimate(const ConjunctiveQuery& query,
   return out;
 }
 
-Result<BigRational> PathPqeExact(const ConjunctiveQuery& query,
-                                 const ProbabilisticDatabase& pdb) {
-  PQE_ASSIGN_OR_RETURN(BoundPathNfa m, BuildWeightedPathNfa(query, pdb));
+Result<BigRational> ExactPathSkeleton(const PathPqeSkeleton& skeleton,
+                                      const ProbabilisticDatabase& pdb) {
+  PQE_ASSIGN_OR_RETURN(
+      std::vector<Probability> probs,
+      ProjectedFactProbabilities(skeleton.original_fact, pdb));
+  PQE_ASSIGN_OR_RETURN(BoundPathNfa m, BindPathPqeNfa(skeleton, probs));
   PQE_ASSIGN_OR_RETURN(BigUint count,
                        ExactCountNfaStrings(m.nfa, m.word_length));
   return BigRational(std::move(count), m.denominator);
+}
+
+Result<PathPqeResult> PathPqeEstimate(const ConjunctiveQuery& query,
+                                      const ProbabilisticDatabase& pdb,
+                                      const EstimatorConfig& config) {
+  PQE_TRACE_SPAN_VAR(span, "path.estimate");
+  // Cold estimate = skeleton + shared tail, so a warm rebind of a cached
+  // skeleton (src/serve/) is bit-identical to this path.
+  PQE_ASSIGN_OR_RETURN(PathPqeSkeleton skeleton,
+                       BuildPathPqeSkeleton(query, pdb.database()));
+  return EstimatePathSkeleton(skeleton, pdb, config);
+}
+
+Result<BigRational> PathPqeExact(const ConjunctiveQuery& query,
+                                 const ProbabilisticDatabase& pdb) {
+  PQE_ASSIGN_OR_RETURN(PathPqeSkeleton skeleton,
+                       BuildPathPqeSkeleton(query, pdb.database()));
+  return ExactPathSkeleton(skeleton, pdb);
 }
 
 }  // namespace pqe

@@ -89,6 +89,22 @@ struct PathPqeSkeleton {
 Result<PathPqeSkeleton> BuildPathPqeSkeleton(const ConjunctiveQuery& query,
                                              const Database& db);
 
+/// The probability-dependent tail of PathPqeEstimate, factored out so every
+/// producer of a PathPqeSkeleton — BuildPathPqeSkeleton for linear path
+/// queries, the RPQ product construction (src/rpq/product.h) for regular
+/// path queries — shares one bind + count + arithmetic pipeline: looks up
+/// the projected fact probabilities in `pdb`, attaches the §5.1 gadgets,
+/// counts accepted strings, and converts the count to a probability.
+/// PathPqeEstimate(q, pdb, c) ≡ EstimatePathSkeleton(BuildPathPqeSkeleton(q,
+/// pdb.database()), pdb, c), bit for bit.
+Result<PathPqeResult> EstimatePathSkeleton(const PathPqeSkeleton& skeleton,
+                                           const ProbabilisticDatabase& pdb,
+                                           const EstimatorConfig& config);
+
+/// Exact companion of EstimatePathSkeleton (test oracle).
+Result<BigRational> ExactPathSkeleton(const PathPqeSkeleton& skeleton,
+                                      const ProbabilisticDatabase& pdb);
+
 /// Provenance of a stable path bind — the string analogue of PqeBindLayout
 /// (core/pqe.h). Immutable after the bind; shared with delta-rebound clones.
 struct PathBindLayout {

@@ -16,13 +16,20 @@ std::unordered_set<RelationId> QueryRelations(const ConjunctiveQuery& query) {
 
 Result<ProjectedDatabase> ProjectDatabase(const Database& db,
                                           const ConjunctiveQuery& query) {
-  for (const Atom& a : query.atoms()) {
-    if (a.relation >= db.schema().NumRelations()) {
+  std::unordered_set<RelationId> rels = QueryRelations(query);
+  return ProjectDatabaseToRelations(
+      db, std::vector<RelationId>(rels.begin(), rels.end()));
+}
+
+Result<ProjectedDatabase> ProjectDatabaseToRelations(
+    const Database& db, const std::vector<RelationId>& relations) {
+  for (RelationId r : relations) {
+    if (r >= db.schema().NumRelations()) {
       return Status::InvalidArgument(
           "query mentions a relation outside the database schema");
     }
   }
-  std::unordered_set<RelationId> rels = QueryRelations(query);
+  std::unordered_set<RelationId> rels(relations.begin(), relations.end());
   ProjectedDatabase out{Database(db.schema()), {}, 0};
   for (FactId fid = 0; fid < db.NumFacts(); ++fid) {
     const Fact& f = db.fact(fid);

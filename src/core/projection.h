@@ -24,6 +24,13 @@ struct ProjectedDatabase {
 Result<ProjectedDatabase> ProjectDatabase(const Database& db,
                                           const ConjunctiveQuery& query);
 
+/// Restricts `db` to an explicit relation set — the primitive both
+/// ProjectDatabase and the RPQ product construction (src/rpq/product.h,
+/// which projects by the regex's edge labels rather than query atoms) are
+/// built on. Fails when a relation is outside the schema.
+Result<ProjectedDatabase> ProjectDatabaseToRelations(
+    const Database& db, const std::vector<RelationId>& relations);
+
 /// As above, carrying fact probabilities along.
 struct ProjectedProbabilisticDatabase {
   ProbabilisticDatabase pdb;

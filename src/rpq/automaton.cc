@@ -1,0 +1,220 @@
+#include "rpq/automaton.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace pqe {
+namespace rpq {
+
+namespace {
+
+/// Thompson construction scratch: states with ε-edges and labeled edges,
+/// one (start, accept) pair per compiled fragment.
+struct Thompson {
+  struct Edge {
+    uint32_t from;
+    uint32_t label;
+    bool inverse;
+    uint32_t to;
+  };
+  std::vector<std::vector<uint32_t>> eps;  // adjacency
+  std::vector<Edge> edges;
+  std::vector<std::string> labels;
+
+  uint32_t AddState() {
+    eps.emplace_back();
+    return static_cast<uint32_t>(eps.size() - 1);
+  }
+  void AddEps(uint32_t from, uint32_t to) { eps[from].push_back(to); }
+  uint32_t InternLabel(const std::string& name) {
+    for (uint32_t i = 0; i < labels.size(); ++i) {
+      if (labels[i] == name) return i;
+    }
+    labels.push_back(name);
+    return static_cast<uint32_t>(labels.size() - 1);
+  }
+
+  struct Frag {
+    uint32_t start;
+    uint32_t accept;
+  };
+
+  Frag Compile(const RegexNode& node) {
+    switch (node.kind) {
+      case RegexKind::kLabel: {
+        const uint32_t s = AddState();
+        const uint32_t t = AddState();
+        edges.push_back({s, InternLabel(node.label), node.inverse, t});
+        return {s, t};
+      }
+      case RegexKind::kConcat: {
+        Frag acc = Compile(*node.children[0]);
+        for (size_t i = 1; i < node.children.size(); ++i) {
+          const Frag next = Compile(*node.children[i]);
+          AddEps(acc.accept, next.start);
+          acc.accept = next.accept;
+        }
+        return acc;
+      }
+      case RegexKind::kAlt: {
+        const uint32_t s = AddState();
+        const uint32_t t = AddState();
+        for (const RegexPtr& c : node.children) {
+          const Frag arm = Compile(*c);
+          AddEps(s, arm.start);
+          AddEps(arm.accept, t);
+        }
+        return {s, t};
+      }
+      case RegexKind::kStar: {
+        const uint32_t s = AddState();
+        const uint32_t t = AddState();
+        const Frag body = Compile(*node.children[0]);
+        AddEps(s, body.start);
+        AddEps(s, t);
+        AddEps(body.accept, body.start);
+        AddEps(body.accept, t);
+        return {s, t};
+      }
+      case RegexKind::kPlus: {
+        const uint32_t s = AddState();
+        const uint32_t t = AddState();
+        const Frag body = Compile(*node.children[0]);
+        AddEps(s, body.start);
+        AddEps(body.accept, body.start);
+        AddEps(body.accept, t);
+        return {s, t};
+      }
+      case RegexKind::kOpt: {
+        const uint32_t s = AddState();
+        const uint32_t t = AddState();
+        const Frag body = Compile(*node.children[0]);
+        AddEps(s, body.start);
+        AddEps(s, t);
+        AddEps(body.accept, t);
+        return {s, t};
+      }
+    }
+    return {AddState(), AddState()};  // unreachable
+  }
+
+  /// Sorted ε-closure of one state.
+  std::vector<uint32_t> Closure(uint32_t s) const {
+    std::vector<uint32_t> out;
+    std::vector<bool> seen(eps.size(), false);
+    std::vector<uint32_t> stack = {s};
+    seen[s] = true;
+    while (!stack.empty()) {
+      const uint32_t u = stack.back();
+      stack.pop_back();
+      out.push_back(u);
+      for (uint32_t v : eps[u]) {
+        if (!seen[v]) {
+          seen[v] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+};
+
+}  // namespace
+
+Result<QueryNfa> CompileRegex(const RpqQuery& query) {
+  Thompson t;
+  const Thompson::Frag frag = t.Compile(query.root());
+
+  // ε-elimination: s --a--> u for every u reachable as closure(s) --a--> u.
+  // Acceptance: closure(s) hits the Thompson accept state.
+  const size_t n = t.eps.size();
+  std::vector<std::vector<uint32_t>> closure(n);
+  for (uint32_t s = 0; s < n; ++s) closure[s] = t.Closure(s);
+
+  // Labeled out-edges grouped by source, for the closure expansion.
+  std::vector<std::vector<uint32_t>> out_edges(n);
+  for (uint32_t e = 0; e < t.edges.size(); ++e) {
+    out_edges[t.edges[e].from].push_back(e);
+  }
+
+  auto eps_free_edges = [&](uint32_t s) {
+    std::vector<QueryEdge> out;
+    for (uint32_t c : closure[s]) {
+      for (uint32_t e : out_edges[c]) {
+        const Thompson::Edge& edge = t.edges[e];
+        out.push_back({s, edge.label, edge.inverse, edge.to});
+      }
+    }
+    return out;
+  };
+  auto accepting_state = [&](uint32_t s) {
+    return std::binary_search(closure[s].begin(), closure[s].end(),
+                              frag.accept);
+  };
+
+  // Keep only states reachable from the start via ε-free edges (the start
+  // itself always survives), renumbered densely in BFS-discovery order with
+  // the start as state 0 — a deterministic function of the expression tree.
+  std::vector<uint32_t> dense(n, UINT32_MAX);
+  std::vector<uint32_t> order;
+  dense[frag.start] = 0;
+  order.push_back(frag.start);
+  for (size_t head = 0; head < order.size(); ++head) {
+    for (const QueryEdge& e : eps_free_edges(order[head])) {
+      if (dense[e.to] == UINT32_MAX) {
+        dense[e.to] = static_cast<uint32_t>(order.size());
+        order.push_back(e.to);
+      }
+    }
+  }
+
+  QueryNfa out;
+  out.num_states = static_cast<uint32_t>(order.size());
+  out.labels = t.labels;
+  out.accepts_epsilon = accepting_state(frag.start);
+  for (uint32_t s : order) {
+    if (accepting_state(s)) out.accepting.push_back(dense[s]);
+    for (const QueryEdge& e : eps_free_edges(s)) {
+      out.edges.push_back({dense[e.from], e.label, e.inverse, dense[e.to]});
+    }
+  }
+  std::sort(out.accepting.begin(), out.accepting.end());
+  std::sort(out.edges.begin(), out.edges.end(),
+            [](const QueryEdge& a, const QueryEdge& b) {
+              if (a.from != b.from) return a.from < b.from;
+              if (a.label != b.label) return a.label < b.label;
+              if (a.inverse != b.inverse) return a.inverse < b.inverse;
+              return a.to < b.to;
+            });
+  out.edges.erase(std::unique(out.edges.begin(), out.edges.end(),
+                              [](const QueryEdge& a, const QueryEdge& b) {
+                                return a.from == b.from && a.label == b.label &&
+                                       a.inverse == b.inverse && a.to == b.to;
+                              }),
+                  out.edges.end());
+  return out;
+}
+
+bool AcceptsSteps(const QueryNfa& nfa,
+                  const std::vector<std::pair<uint32_t, bool>>& steps) {
+  std::vector<bool> active(nfa.num_states, false);
+  if (nfa.num_states == 0) return false;
+  active[0] = true;
+  for (const auto& [label, inverse] : steps) {
+    std::vector<bool> next(nfa.num_states, false);
+    for (const QueryEdge& e : nfa.edges) {
+      if (e.label == label && e.inverse == inverse && active[e.from]) {
+        next[e.to] = true;
+      }
+    }
+    active = std::move(next);
+  }
+  for (uint32_t a : nfa.accepting) {
+    if (active[a]) return true;
+  }
+  return false;
+}
+
+}  // namespace rpq
+}  // namespace pqe

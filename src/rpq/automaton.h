@@ -1,0 +1,59 @@
+#ifndef PQE_RPQ_AUTOMATON_H_
+#define PQE_RPQ_AUTOMATON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "rpq/regex.h"
+#include "util/result.h"
+
+namespace pqe {
+namespace rpq {
+
+/// One labeled transition of a query NFA. `label` indexes QueryNfa::labels;
+/// `inverse` marks 2RPQ backward traversal (consume an edge target -> source).
+struct QueryEdge {
+  uint32_t from = 0;
+  uint32_t label = 0;
+  bool inverse = false;
+  uint32_t to = 0;
+};
+
+/// The query automaton of a regular path query: Thompson construction over
+/// the parsed expression followed by ε-elimination, so the result has
+/// labeled transitions only. State 0 is the unique initial state; states are
+/// renumbered densely over the ε-free reachable core, and transitions are
+/// sorted (from, label, inverse, to) — the compilation is a deterministic
+/// function of the canonical regex, which the serving content keys rely on.
+struct QueryNfa {
+  uint32_t num_states = 0;
+  std::vector<std::string> labels;  // distinct, first-occurrence order
+  std::vector<QueryEdge> edges;
+  std::vector<uint32_t> accepting;  // sorted state ids
+  /// True iff the expression matches the empty path (ε ∈ L): the query is
+  /// then satisfied by every world over a non-empty active domain.
+  bool accepts_epsilon = false;
+
+  bool IsAccepting(uint32_t s) const {
+    for (uint32_t a : accepting) {
+      if (a == s) return true;
+    }
+    return false;
+  }
+};
+
+/// Compiles the parsed expression. Never fails for a parsed RpqQuery today;
+/// the Result guards future resource limits.
+Result<QueryNfa> CompileRegex(const RpqQuery& query);
+
+/// Test oracle: does the automaton accept the word of (label index, inverse)
+/// steps? Plain subset simulation.
+bool AcceptsSteps(const QueryNfa& nfa,
+                  const std::vector<std::pair<uint32_t, bool>>& steps);
+
+}  // namespace rpq
+}  // namespace pqe
+
+#endif  // PQE_RPQ_AUTOMATON_H_

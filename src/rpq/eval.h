@@ -1,0 +1,56 @@
+#ifndef PQE_RPQ_EVAL_H_
+#define PQE_RPQ_EVAL_H_
+
+#include <optional>
+
+#include "core/path_pqe.h"
+#include "counting/config.h"
+#include "cq/query.h"
+#include "pdb/probabilistic_database.h"
+#include "rpq/product.h"
+#include "rpq/regex.h"
+#include "util/bigint.h"
+#include "util/result.h"
+
+namespace pqe {
+namespace rpq {
+
+/// Lowers an RPQ to the equivalent linear path query when one exists: a
+/// plain concatenation of distinct forward labels, each a binary relation of
+/// `schema`, becomes R1(x1,x2), ..., Rn(xn,xn+1). nullopt when the regex is
+/// not of that shape (repetition, alternation, inverse, a repeated label —
+/// self-join — or a label outside the schema).
+///
+/// Lowered queries route through the *identical* BuildPathPqeSkeleton /
+/// PathPqeEstimate code path as a directly-issued path query, which is what
+/// makes RPQ answers on concatenation-only regexes bit-identical to the
+/// legacy path_pqe route.
+std::optional<ConjunctiveQuery> LowerToPathQuery(const RpqQuery& query,
+                                                 const Schema& schema);
+
+/// Compiles an RPQ to a string-automaton skeleton: the path lowering when it
+/// applies, the product construction (BuildRpqSkeleton) otherwise. This is
+/// the single compile entry the one-shot engine route and the prepared
+/// serving route share — both therefore produce the same skeleton and the
+/// same bits. Fails with NotSupported when the instance is not
+/// scan-orderable (callers fall back to the lineage route).
+Result<PathPqeSkeleton> CompileRpqSkeleton(const RpqQuery& query,
+                                           const Database& db,
+                                           RpqCompileStats* stats = nullptr);
+
+/// FPRAS for Pr(D ⊨ query): compile (CompileRpqSkeleton) + the shared
+/// bind/count tail (EstimatePathSkeleton). Fails with NotSupported when the
+/// instance is not scan-orderable.
+Result<PathPqeResult> RpqEstimate(const RpqQuery& query,
+                                  const ProbabilisticDatabase& pdb,
+                                  const EstimatorConfig& config);
+
+/// Exact companion of RpqEstimate via exact string counting (test oracle;
+/// exponential worst case). Same NotSupported contract.
+Result<BigRational> RpqExact(const RpqQuery& query,
+                             const ProbabilisticDatabase& pdb);
+
+}  // namespace rpq
+}  // namespace pqe
+
+#endif  // PQE_RPQ_EVAL_H_

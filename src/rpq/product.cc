@@ -1,0 +1,463 @@
+#include "rpq/product.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "automata/augmented_nfta.h"  // literal encoding helpers
+#include "core/projection.h"
+
+namespace pqe {
+namespace rpq {
+
+namespace {
+
+/// Out-adjacency over product edges: per node, indices into product.edges in
+/// the edges' (fact, from, to) order — deterministic iteration everywhere.
+std::vector<std::vector<uint32_t>> OutAdjacency(const RpqProduct& product) {
+  std::vector<std::vector<uint32_t>> out(product.num_nodes);
+  for (uint32_t e = 0; e < product.edges.size(); ++e) {
+    out[product.edges[e].from].push_back(e);
+  }
+  return out;
+}
+
+std::vector<uint8_t> ForwardReachable(const RpqProduct& product) {
+  std::vector<uint8_t> seen(product.num_nodes, 0);
+  std::vector<uint32_t> frontier;
+  for (uint32_t u = 0; u < product.num_nodes; ++u) {
+    if (product.is_initial[u]) {
+      seen[u] = 1;
+      frontier.push_back(u);
+    }
+  }
+  std::vector<std::vector<uint32_t>> adj = OutAdjacency(product);
+  while (!frontier.empty()) {
+    const uint32_t u = frontier.back();
+    frontier.pop_back();
+    for (uint32_t e : adj[u]) {
+      const uint32_t v = product.edges[e].to;
+      if (!seen[v]) {
+        seen[v] = 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+std::vector<uint8_t> BackwardCoreachable(const RpqProduct& product) {
+  std::vector<uint8_t> seen(product.num_nodes, 0);
+  std::vector<uint32_t> frontier;
+  for (uint32_t u = 0; u < product.num_nodes; ++u) {
+    if (product.is_accepting[u]) {
+      seen[u] = 1;
+      frontier.push_back(u);
+    }
+  }
+  std::vector<std::vector<uint32_t>> in(product.num_nodes);
+  for (uint32_t e = 0; e < product.edges.size(); ++e) {
+    in[product.edges[e].to].push_back(e);
+  }
+  while (!frontier.empty()) {
+    const uint32_t u = frontier.back();
+    frontier.pop_back();
+    for (uint32_t e : in[u]) {
+      const uint32_t v = product.edges[e].from;
+      if (!seen[v]) {
+        seen[v] = 1;
+        frontier.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+Result<RpqProduct> BuildRpqProduct(const RpqQuery& query, const Database& db) {
+  RpqProduct out;
+  PQE_ASSIGN_OR_RETURN(out.query, CompileRegex(query));
+
+  // Resolve the regex's labels against the schema: every label must name a
+  // binary (edge) relation.
+  std::vector<RelationId> label_relation(out.query.labels.size());
+  for (size_t i = 0; i < out.query.labels.size(); ++i) {
+    const std::string& name = out.query.labels[i];
+    if (!db.schema().HasRelation(name)) {
+      return Status::InvalidArgument("rpq regex mentions unknown relation '" +
+                                     name + "'");
+    }
+    PQE_ASSIGN_OR_RETURN(label_relation[i], db.schema().FindRelation(name));
+    if (db.schema().Arity(label_relation[i]) != 2) {
+      return Status::InvalidArgument("rpq label '" + name +
+                                     "' is not a binary relation");
+    }
+  }
+
+  // ε ∈ L(regex) and the (full) active domain is non-empty: every world
+  // contains an empty path, so the query holds with probability 1.
+  out.trivially_true = out.query.accepts_epsilon && db.NumValues() > 0;
+
+  // Facts over other relations marginalize away, exactly as in Theorem 3's
+  // projection step for CQs.
+  PQE_ASSIGN_OR_RETURN(ProjectedDatabase proj,
+                       ProjectDatabaseToRelations(db, label_relation));
+  out.db = std::move(proj.db);
+  out.original_fact = std::move(proj.original_fact);
+  out.dropped_facts = proj.dropped_facts;
+
+  const uint32_t num_states = out.query.num_states;
+  out.num_nodes = out.db.NumValues() * static_cast<size_t>(num_states);
+  out.is_initial.assign(out.num_nodes, 0);
+  out.is_accepting.assign(out.num_nodes, 0);
+  for (ValueId v = 0; v < out.db.NumValues(); ++v) {
+    out.is_initial[static_cast<size_t>(v) * num_states] = 1;  // state 0
+    for (uint32_t a : out.query.accepting) {
+      out.is_accepting[static_cast<size_t>(v) * num_states + a] = 1;
+    }
+  }
+
+  // Query edges grouped by label, to expand each fact once per matching edge.
+  std::vector<std::vector<uint32_t>> edges_of_label(out.query.labels.size());
+  for (uint32_t e = 0; e < out.query.edges.size(); ++e) {
+    edges_of_label[out.query.edges[e].label].push_back(e);
+  }
+  std::unordered_map<RelationId, uint32_t> label_of_relation;
+  for (uint32_t i = 0; i < label_relation.size(); ++i) {
+    label_of_relation.emplace(label_relation[i], i);
+  }
+
+  for (FactId f = 0; f < out.db.NumFacts(); ++f) {
+    const Fact& fact = out.db.fact(f);
+    const uint32_t label = label_of_relation.at(fact.relation);
+    const uint32_t src = fact.args[0];
+    const uint32_t dst = fact.args[1];
+    for (uint32_t e : edges_of_label[label]) {
+      const QueryEdge& qe = out.query.edges[e];
+      // Forward traversal consumes the fact source -> target; inverse (2RPQ)
+      // consumes it target -> source.
+      const uint32_t from_v = qe.inverse ? dst : src;
+      const uint32_t to_v = qe.inverse ? src : dst;
+      out.edges.push_back(
+          {from_v * num_states + qe.from, to_v * num_states + qe.to, f});
+    }
+  }
+  std::sort(out.edges.begin(), out.edges.end(),
+            [](const RpqProduct::Edge& a, const RpqProduct::Edge& b) {
+              if (a.fact != b.fact) return a.fact < b.fact;
+              if (a.from != b.from) return a.from < b.from;
+              return a.to < b.to;
+            });
+  out.edges.erase(std::unique(out.edges.begin(), out.edges.end(),
+                              [](const RpqProduct::Edge& a,
+                                 const RpqProduct::Edge& b) {
+                                return a.fact == b.fact && a.from == b.from &&
+                                       a.to == b.to;
+                              }),
+                  out.edges.end());
+
+  out.reachable = ForwardReachable(out);
+  out.coreachable = BackwardCoreachable(out);
+  return out;
+}
+
+Result<PathPqeSkeleton> BuildRpqSkeletonFromProduct(const RpqProduct& product,
+                                                    RpqCompileStats* stats) {
+  const size_t n = product.db.NumFacts();
+  if (stats != nullptr) {
+    *stats = RpqCompileStats{};
+    stats->query_states = product.query.num_states;
+    stats->product_edges = product.edges.size();
+  }
+
+  PathPqeSkeleton out;
+  out.original_fact = product.original_fact;
+  out.base.word_length = n;
+  out.base.dropped_facts = product.dropped_facts;
+  Nfa& nfa = out.base.nfa;
+  nfa.EnsureAlphabetSize(2 * n);
+
+  if (product.trivially_true) {
+    // Every subinstance satisfies the query: the all-accept chain over the
+    // identity scan order. Routing the ε case through the same counting
+    // pipeline keeps answers bit-identical between the one-shot engine path
+    // and the prepared serving path.
+    std::vector<StateId> chain(n + 1);
+    for (size_t i = 0; i <= n; ++i) chain[i] = nfa.AddState();
+    nfa.MarkInitial(chain[0]);
+    nfa.MarkAccepting(chain[n]);
+    for (FactId f = 0; f < n; ++f) {
+      nfa.AddTransition(chain[f], PositiveLiteral(f), chain[f + 1]);
+      nfa.AddTransition(chain[f], NegativeLiteral(f), chain[f + 1]);
+    }
+    return out;
+  }
+
+  // Lanes: the useful product nodes. Every initial→accepting walk stays in
+  // them, so the skeleton only tracks those.
+  std::vector<uint32_t> lane(product.num_nodes, UINT32_MAX);
+  std::vector<uint32_t> lane_node;
+  for (uint32_t u = 0; u < product.num_nodes; ++u) {
+    if (product.Useful(u)) {
+      lane[u] = static_cast<uint32_t>(lane_node.size());
+      lane_node.push_back(u);
+    }
+  }
+  const size_t L = lane_node.size();
+
+  // Scan-order constraints: whenever a walk can consume fact g right after
+  // fact f (a useful in-edge meeting a useful out-edge at one node), the scan
+  // must visit f before g. An acyclic constraint digraph yields a total order
+  // σ under which *every* useful walk consumes facts at strictly increasing
+  // scan positions — the property that makes the position-indexed automaton
+  // below recognize exactly the satisfying subinstances. A cycle (including
+  // a fact following itself) means no such order exists; callers fall back
+  // to the exact lineage route.
+  std::vector<std::vector<uint32_t>> in_at(product.num_nodes);
+  std::vector<std::vector<uint32_t>> out_at(product.num_nodes);
+  size_t useful_edges = 0;
+  for (uint32_t e = 0; e < product.edges.size(); ++e) {
+    if (!product.UsefulEdge(product.edges[e])) continue;
+    ++useful_edges;
+    in_at[product.edges[e].to].push_back(e);
+    out_at[product.edges[e].from].push_back(e);
+  }
+  if (stats != nullptr) stats->useful_edges = useful_edges;
+
+  std::vector<std::vector<FactId>> succ(n);
+  std::vector<size_t> indegree(n, 0);
+  std::unordered_set<uint64_t> seen_constraints;
+  for (uint32_t y = 0; y < product.num_nodes; ++y) {
+    if (in_at[y].empty() || out_at[y].empty()) continue;
+    for (uint32_t ein : in_at[y]) {
+      const FactId f = product.edges[ein].fact;
+      for (uint32_t eout : out_at[y]) {
+        const FactId g = product.edges[eout].fact;
+        if (f == g) {
+          return Status::NotSupported(
+              "rpq instance is not scan-orderable: a walk can consume fact " +
+              product.db.FactToString(f) + " twice in a row");
+        }
+        const uint64_t key = (static_cast<uint64_t>(f) << 32) | g;
+        if (!seen_constraints.insert(key).second) continue;
+        succ[f].push_back(g);
+        ++indegree[g];
+      }
+    }
+  }
+  if (stats != nullptr) stats->scan_constraints = seen_constraints.size();
+
+  // Kahn toposort, smallest FactId first: σ is a deterministic function of
+  // the product alone.
+  std::vector<FactId> sigma;
+  sigma.reserve(n);
+  std::priority_queue<FactId, std::vector<FactId>, std::greater<FactId>> ready;
+  for (FactId f = 0; f < n; ++f) {
+    if (indegree[f] == 0) ready.push(f);
+  }
+  while (!ready.empty()) {
+    const FactId f = ready.top();
+    ready.pop();
+    sigma.push_back(f);
+    for (FactId g : succ[f]) {
+      if (--indegree[g] == 0) ready.push(g);
+    }
+  }
+  if (sigma.size() < n) {
+    return Status::NotSupported(
+        "rpq instance is not scan-orderable: the fact-precedence constraints "
+        "contain a cycle (cyclic data reachable under the regex)");
+  }
+  std::vector<size_t> position(n, 0);
+  for (size_t i = 0; i < n; ++i) position[sigma[i]] = i;
+
+  // Position-indexed automaton: state (i, l) = "scanned the first i facts of
+  // σ; some walk over witnessed facts ends at lane l". Scanning σ(i) either
+  // skips it (any lane, both literals) or witnesses it (its useful product
+  // edges, positive literal only).
+  for (size_t i = 0; i <= n; ++i) {
+    for (size_t l = 0; l < L; ++l) nfa.AddState();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const FactId f = sigma[i];
+    const SymbolId pos = PositiveLiteral(f);
+    const SymbolId neg = NegativeLiteral(f);
+    for (size_t l = 0; l < L; ++l) {
+      const StateId from = static_cast<StateId>(i * L + l);
+      const StateId to = static_cast<StateId>((i + 1) * L + l);
+      nfa.AddTransition(from, pos, to);
+      nfa.AddTransition(from, neg, to);
+    }
+  }
+  for (const RpqProduct::Edge& e : product.edges) {
+    if (!product.UsefulEdge(e)) continue;
+    const size_t i = position[e.fact];
+    nfa.AddTransition(static_cast<StateId>(i * L + lane[e.from]),
+                      PositiveLiteral(e.fact),
+                      static_cast<StateId>((i + 1) * L + lane[e.to]));
+  }
+  for (size_t l = 0; l < L; ++l) {
+    const uint32_t u = lane_node[l];
+    if (product.is_initial[u]) nfa.MarkInitial(static_cast<StateId>(l));
+    if (product.is_accepting[u]) {
+      nfa.MarkAccepting(static_cast<StateId>(n * L + l));
+    }
+  }
+  nfa.Trim();
+  return out;
+}
+
+Result<PathPqeSkeleton> BuildRpqSkeleton(const RpqQuery& query,
+                                         const Database& db,
+                                         RpqCompileStats* stats) {
+  PQE_ASSIGN_OR_RETURN(RpqProduct product, BuildRpqProduct(query, db));
+  return BuildRpqSkeletonFromProduct(product, stats);
+}
+
+Result<DnfLineage> BuildRpqLineage(const RpqProduct& product,
+                                   size_t max_clauses) {
+  DnfLineage out;
+  out.num_facts = product.db.NumFacts() + product.dropped_facts;
+  if (product.trivially_true) {
+    out.clauses.push_back({});  // the constant-true DNF
+    return out;
+  }
+  const size_t max_expansions = 64 * max_clauses;
+  size_t expansions = 0;
+
+  // Per-node out-edges in (fact, to) order — product.edges is already sorted
+  // that way, so pushing in edge order keeps DFS deterministic. Dead ends
+  // (non-coreachable targets) are pruned up front.
+  std::vector<std::vector<uint32_t>> adj(product.num_nodes);
+  for (uint32_t e = 0; e < product.edges.size(); ++e) {
+    if (product.UsefulEdge(product.edges[e])) {
+      adj[product.edges[e].from].push_back(e);
+    }
+  }
+
+  std::vector<uint8_t> on_path(product.num_nodes, 0);
+  std::vector<FactId> path_facts;
+  struct Frame {
+    uint32_t node;
+    size_t next_edge;
+  };
+  std::vector<Frame> stack;
+
+  auto emit = [&]() -> Status {
+    std::vector<FactId> clause;
+    clause.reserve(path_facts.size());
+    for (FactId f : path_facts) clause.push_back(product.original_fact[f]);
+    std::sort(clause.begin(), clause.end());
+    clause.erase(std::unique(clause.begin(), clause.end()), clause.end());
+    out.clauses.push_back(std::move(clause));
+    if (out.clauses.size() > max_clauses) {
+      return Status::ResourceExhausted(
+          "rpq lineage exceeds the clause budget");
+    }
+    return Status::OK();
+  };
+
+  for (uint32_t s = 0; s < product.num_nodes; ++s) {
+    if (!product.is_initial[s] || !product.Useful(s)) continue;
+    // An accepting initial node would mean ε-acceptance, which the
+    // trivially_true branch owns; node-simple DFS from here, emitting at the
+    // first accepting node of each path prefix.
+    on_path[s] = 1;
+    stack.push_back({s, 0});
+    while (!stack.empty()) {
+      Frame& top = stack.back();
+      if (top.next_edge >= adj[top.node].size()) {
+        on_path[top.node] = 0;
+        if (stack.size() > 1) path_facts.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const RpqProduct::Edge& e = product.edges[adj[top.node][top.next_edge]];
+      ++top.next_edge;
+      if (on_path[e.to]) continue;
+      if (++expansions > max_expansions) {
+        return Status::ResourceExhausted(
+            "rpq lineage DFS exceeds the expansion budget");
+      }
+      path_facts.push_back(e.fact);
+      if (product.is_accepting[e.to]) {
+        // Truncating at the first accepting node is complete: any longer
+        // walk through e.to has this prefix as a clause-subset witness.
+        PQE_RETURN_IF_ERROR(emit());
+        path_facts.pop_back();
+        continue;
+      }
+      on_path[e.to] = 1;
+      stack.push_back({e.to, 0});
+    }
+  }
+  std::sort(out.clauses.begin(), out.clauses.end());
+  out.clauses.erase(std::unique(out.clauses.begin(), out.clauses.end()),
+                    out.clauses.end());
+  return out;
+}
+
+bool RpqSatisfiedInWorld(const RpqProduct& product,
+                         const std::vector<bool>& present) {
+  if (product.trivially_true) return true;
+  std::vector<std::vector<uint32_t>> adj(product.num_nodes);
+  for (uint32_t e = 0; e < product.edges.size(); ++e) {
+    if (present[product.edges[e].fact]) {
+      adj[product.edges[e].from].push_back(e);
+    }
+  }
+  std::vector<uint8_t> seen(product.num_nodes, 0);
+  std::vector<uint32_t> frontier;
+  for (uint32_t u = 0; u < product.num_nodes; ++u) {
+    if (product.is_initial[u]) {
+      if (product.is_accepting[u]) return true;
+      seen[u] = 1;
+      frontier.push_back(u);
+    }
+  }
+  while (!frontier.empty()) {
+    const uint32_t u = frontier.back();
+    frontier.pop_back();
+    for (uint32_t e : adj[u]) {
+      const uint32_t v = product.edges[e].to;
+      if (seen[v]) continue;
+      if (product.is_accepting[v]) return true;
+      seen[v] = 1;
+      frontier.push_back(v);
+    }
+  }
+  return false;
+}
+
+Result<BigRational> ExactRpqProbabilityByEnumeration(
+    const RpqQuery& query, const ProbabilisticDatabase& pdb,
+    size_t max_facts) {
+  PQE_ASSIGN_OR_RETURN(RpqProduct product,
+                       BuildRpqProduct(query, pdb.database()));
+  const size_t m = product.db.NumFacts();
+  if (m > max_facts) {
+    return Status::InvalidArgument(
+        "ExactRpqProbabilityByEnumeration: projected database too large for "
+        "world enumeration");
+  }
+  BigRational total = BigRational::Zero();
+  std::vector<bool> present(m, false);
+  for (uint64_t mask = 0; mask < (uint64_t{1} << m); ++mask) {
+    for (size_t i = 0; i < m; ++i) present[i] = ((mask >> i) & 1) != 0;
+    if (!RpqSatisfiedInWorld(product, present)) continue;
+    BigRational term = BigRational::One();
+    for (size_t i = 0; i < m; ++i) {
+      const Probability p = pdb.probability(product.original_fact[i]);
+      term = term.Mul(present[i] ? BigRational(p.num, p.den)
+                                 : BigRational(p.den - p.num, p.den));
+    }
+    total = total.Add(term);
+  }
+  return total.Normalized();
+}
+
+}  // namespace rpq
+}  // namespace pqe

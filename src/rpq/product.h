@@ -1,0 +1,119 @@
+#ifndef PQE_RPQ_PRODUCT_H_
+#define PQE_RPQ_PRODUCT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/path_pqe.h"
+#include "lineage/lineage.h"
+#include "pdb/database.h"
+#include "pdb/probabilistic_database.h"
+#include "rpq/automaton.h"
+#include "rpq/regex.h"
+#include "util/bigint.h"
+#include "util/result.h"
+
+namespace pqe {
+namespace rpq {
+
+/// The product of the (projected) data graph with the query automaton:
+/// nodes are (vertex, query state) pairs, edges are data facts consumed
+/// forward or inverse as the automaton directs. This is the object every RPQ
+/// route evaluates over — the string-automaton skeleton, the DNF lineage,
+/// and the world-satisfaction oracle are all read off it.
+struct RpqProduct {
+  QueryNfa query;
+
+  /// The database restricted to the regex's edge relations; facts renumbered
+  /// densely, `original_fact` mapping back (see core/projection.h). Starts
+  /// empty-schema'd; BuildRpqProduct move-assigns the projection in.
+  Database db{Schema{}};
+  std::vector<FactId> original_fact;
+  size_t dropped_facts = 0;
+
+  /// Product node id = vertex * query.num_states + state, over the projected
+  /// database's interned values.
+  size_t num_nodes = 0;
+  struct Edge {
+    uint32_t from = 0;
+    uint32_t to = 0;
+    FactId fact = 0;  // projected FactId consumed by this step
+  };
+  std::vector<Edge> edges;  // sorted by (fact, from, to), deduplicated
+
+  std::vector<uint8_t> is_initial;    // (v, initial state) for every vertex
+  std::vector<uint8_t> is_accepting;  // (v, accepting state)
+  std::vector<uint8_t> reachable;     // from some initial node, over edges
+  std::vector<uint8_t> coreachable;   // to some accepting node
+
+  /// The regex matches the empty path and the full database has a non-empty
+  /// active domain: every world satisfies the query (probability 1), no
+  /// matter which facts are present.
+  bool trivially_true = false;
+
+  bool Useful(uint32_t node) const {
+    return reachable[node] != 0 && coreachable[node] != 0;
+  }
+  bool UsefulEdge(const Edge& e) const {
+    return reachable[e.from] != 0 && coreachable[e.to] != 0;
+  }
+};
+
+/// Builds the product. Fails with InvalidArgument when a label is not a
+/// binary relation of `db`'s schema.
+Result<RpqProduct> BuildRpqProduct(const RpqQuery& query, const Database& db);
+
+/// Compilation figures, reported by BuildRpqSkeletonFromProduct.
+struct RpqCompileStats {
+  size_t query_states = 0;
+  size_t product_edges = 0;
+  size_t useful_edges = 0;
+  size_t scan_constraints = 0;  // precedence constraints between facts
+};
+
+/// The Section 3-style string skeleton of an RPQ instance: an NFA whose
+/// accepted length-|D'| words over fact literals are exactly the satisfying
+/// subinstances of the projected database, read in a scan order σ chosen by
+/// topologically sorting the per-fact precedence constraints of the useful
+/// product edges. The result plugs into the entire path-query machinery
+/// unchanged (BindPathPqeNfa gadgets, CountNFA, prepared binds, delta
+/// rebinds) — the word length and literal encoding contracts are identical.
+///
+/// Fails with NotSupported when no scan order exists (a precedence cycle, or
+/// a walk reusing one fact twice — cyclic instances); callers fall back to
+/// the exact simple-path lineage (BuildRpqLineage below).
+Result<PathPqeSkeleton> BuildRpqSkeletonFromProduct(
+    const RpqProduct& product, RpqCompileStats* stats = nullptr);
+
+/// Convenience: product + skeleton in one call.
+Result<PathPqeSkeleton> BuildRpqSkeleton(const RpqQuery& query,
+                                         const Database& db,
+                                         RpqCompileStats* stats = nullptr);
+
+/// The exact DNF lineage of the RPQ over *original* FactIds: one clause per
+/// node-simple initial→accepting product path, truncated at its first
+/// accepting node. Correct for every instance (cyclic ones included): any
+/// satisfying walk shortcut to a node-simple path with a subset fact set, so
+/// the DNF is equivalent to the query. `trivially_true` products yield the
+/// single empty clause (the constant-true DNF). Fails with ResourceExhausted
+/// beyond `max_clauses` clauses (or 64 × max_clauses DFS expansions).
+Result<DnfLineage> BuildRpqLineage(const RpqProduct& product,
+                                   size_t max_clauses);
+
+/// World-satisfaction oracle: does the subinstance of the *projected*
+/// database given by `present` satisfy the query? BFS over product edges
+/// whose fact is present.
+bool RpqSatisfiedInWorld(const RpqProduct& product,
+                         const std::vector<bool>& present);
+
+/// Exact probability by 2^|D'| world enumeration (facts outside the regex's
+/// relations marginalize away). Test oracle; fails with InvalidArgument when
+/// the projected database exceeds `max_facts`.
+Result<BigRational> ExactRpqProbabilityByEnumeration(
+    const RpqQuery& query, const ProbabilisticDatabase& pdb,
+    size_t max_facts = 25);
+
+}  // namespace rpq
+}  // namespace pqe
+
+#endif  // PQE_RPQ_PRODUCT_H_

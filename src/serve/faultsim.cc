@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cq/builders.h"
+#include "rpq/regex.h"
 #include "util/rng.h"
 #include "workload/generators.h"
 
@@ -118,6 +119,8 @@ namespace {
 struct Workload {
   std::vector<QueryInstance> queries;
   std::vector<ProbabilisticDatabase> pdbs;
+  std::vector<rpq::RpqQuery> rpqs;        // share rpq_pdb
+  std::vector<ProbabilisticDatabase> rpq_pdbs;
   std::vector<EvalRequest> requests;
 };
 
@@ -142,10 +145,34 @@ Result<Workload> BuildWorkload(const FaultSimOptions& options) {
     w.pdbs.push_back(AttachProbabilities(std::move(db), pm));
     w.queries.push_back(std::move(qi));
   }
+  // An RPQ leg rides the same fault schedule: regular path queries over a
+  // labelled knowledge graph, routed by RPQ content key like any client
+  // request. Facts of the layered KG arrive in topological order, so these
+  // stay on the prepared FPRAS route under the forced-kFpras router config.
+  KgReachabilityOptions kopt;
+  kopt.layers = 3;
+  kopt.width = 3;
+  kopt.density = 0.6;
+  kopt.seed = Rng::DeriveSeed(options.seed, 300);
+  PQE_ASSIGN_OR_RETURN(Database kg, MakeKgReachabilityDatabase(kopt));
+  ProbabilityModel kpm;
+  kpm.max_denominator = 8;
+  kpm.seed = Rng::DeriveSeed(options.seed, 301);
+  w.rpq_pdbs.push_back(AttachProbabilities(std::move(kg), kpm));
+  for (const char* text : {"a/(a|b)*/a", "(a|b)+"}) {
+    PQE_ASSIGN_OR_RETURN(rpq::RpqQuery rq, rpq::RpqQuery::Parse(text));
+    w.rpqs.push_back(std::move(rq));
+  }
   w.requests.reserve(options.requests);
   for (size_t i = 0; i < options.requests; ++i) {
-    const size_t v = i % variants;
-    EvalRequest r = EvalRequest::ForQuery(w.queries[v].query, w.pdbs[v]);
+    EvalRequest r = [&] {
+      if (i % 8 == 7) {  // every 8th request exercises the RPQ target
+        return EvalRequest::ForRpq(w.rpqs[(i / 8) % w.rpqs.size()],
+                                   w.rpq_pdbs[0]);
+      }
+      const size_t v = i % variants;
+      return EvalRequest::ForQuery(w.queries[v].query, w.pdbs[v]);
+    }();
     r.request_id = i + 1;
     // Explicit per-request seeds: the answer is a pure function of the
     // request, independent of which shard (or run) computes it.

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/metrics.h"
+#include "rpq/regex.h"
 
 namespace pqe {
 namespace serve {
@@ -40,6 +41,20 @@ uint64_t PreparedCache::ContentKey(const ConjunctiveQuery& query,
   return h;
 }
 
+uint64_t PreparedCache::RpqContentKey(const rpq::RpqQuery& query,
+                                      const Database& db) {
+  uint64_t h = 1469598103934665603ull;
+  // The tag keeps an RPQ and a CQ that happen to render identically from
+  // colliding by construction.
+  MixBytes(&h, "rpq");
+  MixBytes(&h, query.Canonical());
+  MixU64(&h, db.NumFacts());
+  for (FactId f = 0; f < db.NumFacts(); ++f) {
+    MixBytes(&h, db.FactToString(f));
+  }
+  return h;
+}
+
 PreparedCache::PreparedCache(size_t capacity, size_t bind_cache_capacity)
     : capacity_(capacity < 1 ? 1 : capacity),
       bind_cache_capacity_(bind_cache_capacity < 1 ? 1
@@ -48,7 +63,30 @@ PreparedCache::PreparedCache(size_t capacity, size_t bind_cache_capacity)
 Result<std::shared_ptr<const PreparedQuery>> PreparedCache::GetOrPrepare(
     const ConjunctiveQuery& query, const Database& db,
     const UrConstructionOptions& options, LookupResult* lookup) {
-  const uint64_t key = ContentKey(query, db, options.max_width);
+  return GetOrPrepareImpl(
+      ContentKey(query, db, options.max_width),
+      [&]() {
+        return PreparedQuery::Prepare(query, db, options,
+                                      bind_cache_capacity_);
+      },
+      lookup);
+}
+
+Result<std::shared_ptr<const PreparedQuery>> PreparedCache::GetOrPrepareRpq(
+    const rpq::RpqQuery& query, const Database& db, LookupResult* lookup) {
+  return GetOrPrepareImpl(
+      RpqContentKey(query, db),
+      [&]() {
+        return PreparedQuery::PrepareRpq(query, db, bind_cache_capacity_);
+      },
+      lookup);
+}
+
+Result<std::shared_ptr<const PreparedQuery>> PreparedCache::GetOrPrepareImpl(
+    uint64_t key,
+    const std::function<Result<std::shared_ptr<const PreparedQuery>>()>&
+        compile,
+    LookupResult* lookup) {
   std::shared_ptr<Slot> slot;
   bool inserted = false;
   {
@@ -87,8 +125,7 @@ Result<std::shared_ptr<const PreparedQuery>> PreparedCache::GetOrPrepare(
   // block here and share the one build.
   std::call_once(slot->once, [&]() {
     const auto compile_start = std::chrono::steady_clock::now();
-    auto prepared =
-        PreparedQuery::Prepare(query, db, options, bind_cache_capacity_);
+    auto prepared = compile();
     if (prepared.ok()) {
       slot->prepared = std::move(*prepared);
     } else {

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -55,6 +56,13 @@ class PreparedCache {
       const ConjunctiveQuery& query, const Database& db,
       const UrConstructionOptions& options, LookupResult* lookup = nullptr);
 
+  /// Regular-path-query companion of GetOrPrepare: same cache, same slots,
+  /// keyed by RpqContentKey. Compiles through PreparedQuery::PrepareRpq on
+  /// miss.
+  Result<std::shared_ptr<const PreparedQuery>> GetOrPrepareRpq(
+      const rpq::RpqQuery& query, const Database& db,
+      LookupResult* lookup = nullptr);
+
   struct Stats {
     uint64_t hits = 0;
     uint64_t misses = 0;
@@ -77,7 +85,20 @@ class PreparedCache {
   static uint64_t ContentKey(const ConjunctiveQuery& query,
                              const Database& db, size_t max_width);
 
+  /// The RPQ content key: FNV-1a over an "rpq" tag, the canonical regex
+  /// rendering (RpqQuery::Canonical — deterministic, so equal regexes agree
+  /// no matter how they were spelled), and every fact of the database. No
+  /// width term: the string route has no decomposition.
+  static uint64_t RpqContentKey(const rpq::RpqQuery& query, const Database& db);
+
  private:
+  /// The shared probe/insert/compile body: `compile` runs under the slot's
+  /// once-flag on miss.
+  Result<std::shared_ptr<const PreparedQuery>> GetOrPrepareImpl(
+      uint64_t key,
+      const std::function<Result<std::shared_ptr<const PreparedQuery>>()>&
+          compile,
+      LookupResult* lookup);
   struct Slot {
     std::once_flag once;
     // Written once under `once`, then read-only. `ready` is release-stored

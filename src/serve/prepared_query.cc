@@ -12,6 +12,7 @@
 #include "counting/count_nfta.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rpq/eval.h"
 #include "util/extfloat.h"
 
 namespace pqe {
@@ -88,6 +89,22 @@ Result<std::shared_ptr<const PreparedQuery>> PreparedQuery::Prepare(
     prepared->decomposition_width_ = s.ur.hd.Width();
     prepared->tree_.emplace(std::move(s));
   }
+  return std::shared_ptr<const PreparedQuery>(std::move(prepared));
+}
+
+Result<std::shared_ptr<const PreparedQuery>> PreparedQuery::PrepareRpq(
+    const rpq::RpqQuery& query, const Database& db,
+    size_t bind_cache_capacity) {
+  PQE_TRACE_SPAN_VAR(span, "serve.prepare_rpq");
+  span.AttrUint("facts", db.NumFacts());
+  auto prepared = std::shared_ptr<PreparedQuery>(new PreparedQuery());
+  prepared->bind_cache_capacity_ =
+      bind_cache_capacity < 1 ? 1 : bind_cache_capacity;
+  // Always the string route: CompileRpqSkeleton produces the same skeleton
+  // the engine's kFpras RPQ branch evaluates over, so prepared answers match
+  // cold engine answers bit for bit.
+  PQE_ASSIGN_OR_RETURN(PathPqeSkeleton s, rpq::CompileRpqSkeleton(query, db));
+  prepared->path_.emplace(std::move(s));
   return std::shared_ptr<const PreparedQuery>(std::move(prepared));
 }
 

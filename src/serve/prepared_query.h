@@ -79,6 +79,18 @@ class PreparedQuery {
       const ConjunctiveQuery& query, const Database& db,
       const UrConstructionOptions& options, size_t bind_cache_capacity = 4);
 
+  /// Compiles a regular path query's skeleton (rpq::CompileRpqSkeleton): the
+  /// degenerate concatenation-only case lowers to the linear path skeleton
+  /// outright, everything else goes through the product construction. The
+  /// result is a PathPqeSkeleton either way, so binds, delta rebinds, the
+  /// bind LRU, and the answer memo all work unchanged. Fails like the
+  /// engine's kFpras RPQ route would (NotSupported when the instance is not
+  /// scan-orderable — the service falls back to the engine's lineage
+  /// cascade).
+  static Result<std::shared_ptr<const PreparedQuery>> PrepareRpq(
+      const rpq::RpqQuery& query, const Database& db,
+      size_t bind_cache_capacity = 4);
+
   PreparedQuery(const PreparedQuery&) = delete;
   PreparedQuery& operator=(const PreparedQuery&) = delete;
 

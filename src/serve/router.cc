@@ -48,7 +48,9 @@ size_t ShardRouter::Route(const EvalRequest& request) const {
   // Requests without a conjunctive query + database (unions) have no
   // prepared path; they spread by request id.
   uint64_t key = request.request_id;
-  if (request.query != nullptr) {
+  if (request.rpq != nullptr && request.pdb != nullptr) {
+    key = PreparedCache::RpqContentKey(*request.rpq, request.pdb->database());
+  } else if (request.query != nullptr) {
     const Database* db = nullptr;
     if (request.pdb != nullptr) {
       db = &request.pdb->database();

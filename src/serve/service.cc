@@ -8,6 +8,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "rpq/regex.h"
 #include "safeplan/safe_plan.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -114,10 +115,10 @@ EvalResponse PqeService::EvaluateOne(const EvalRequest& request,
   telemetry.request_id = effective_id;
 
   EvalResponse resp;
-  // kQuery requests whose method resolves to the combined FPRAS take the
-  // prepared fast path; everything else (safe plans, enumeration, lineage
-  // methods, unions, uniform reliability) delegates to a per-request engine
-  // carrying the effective options.
+  // kQuery and kRpq requests whose method resolves to the combined FPRAS
+  // take the prepared fast path; everything else (safe plans, enumeration,
+  // lineage methods, unions, uniform reliability) delegates to a per-request
+  // engine carrying the effective options.
   bool prepared_route = false;
   if (request.target == EvalRequest::Target::kQuery &&
       request.query != nullptr && request.pdb != nullptr) {
@@ -132,10 +133,28 @@ EvalResponse PqeService::EvaluateOne(const EvalRequest& request,
       }
     }
     prepared_route = method == PqeMethod::kFpras;
+  } else if (request.target == EvalRequest::Target::kRpq &&
+             request.rpq != nullptr && request.pdb != nullptr) {
+    // Mirror of the engine's kRpq auto resolution (no safe-plan tier).
+    PqeMethod method = opts.method;
+    if (method == PqeMethod::kAuto) {
+      method = request.pdb->NumFacts() <= opts.enumeration_threshold
+                   ? PqeMethod::kEnumeration
+                   : PqeMethod::kFpras;
+    }
+    prepared_route = method == PqeMethod::kFpras;
   }
   if (prepared_route) {
     resp = EvaluatePrepared(request, effective_id, opts, &telemetry);
-  } else {
+    if (request.target == EvalRequest::Target::kRpq &&
+        opts.method == PqeMethod::kAuto &&
+        resp.status.code() == StatusCode::kNotSupported) {
+      // Not scan-orderable: the engine's kAuto cascade falls back to the
+      // lineage routes; delegate so served answers keep matching it.
+      prepared_route = false;
+    }
+  }
+  if (!prepared_route) {
     PqeEngine delegate(opts);
     EvalRequest forwarded = request;
     forwarded.request_id = effective_id;
@@ -187,6 +206,12 @@ void PqeService::CaptureRequest(const EvalRequest& request,
     case EvalRequest::Target::kUniformReliability:
       record.target = "ur";
       break;
+    case EvalRequest::Target::kRpq:
+      record.target = "rpq";
+      break;
+  }
+  if (request.rpq != nullptr) {
+    record.query = request.rpq->Canonical();
   }
   if (request.query != nullptr) {
     if (request.pdb != nullptr) {
@@ -341,13 +366,19 @@ EvalResponse PqeService::EvaluatePrepared(
         "request expired before evaluation started"));
   }
 
-  UrConstructionOptions ur_opts;
-  ur_opts.max_width = opts.max_width;
   PreparedCache::LookupResult lookup;
   const auto lookup_start = std::chrono::steady_clock::now();
-  auto prepared = cache_->GetOrPrepare(*request.query,
-                                       request.pdb->database(), ur_opts,
-                                       &lookup);
+  Result<std::shared_ptr<const PreparedQuery>> prepared =
+      [&]() -> Result<std::shared_ptr<const PreparedQuery>> {
+    if (request.target == EvalRequest::Target::kRpq) {
+      return cache_->GetOrPrepareRpq(*request.rpq, request.pdb->database(),
+                                     &lookup);
+    }
+    UrConstructionOptions ur_opts;
+    ur_opts.max_width = opts.max_width;
+    return cache_->GetOrPrepare(*request.query, request.pdb->database(),
+                                ur_opts, &lookup);
+  }();
   telemetry->compile_ns = lookup.compile_ns;
   // The probe itself, with this caller's compile time (if any) carved out.
   const uint64_t lookup_elapsed = ElapsedNs(lookup_start);

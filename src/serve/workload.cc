@@ -4,11 +4,13 @@
 #include <cstring>
 #include <deque>
 #include <fstream>
+#include <optional>
 #include <utility>
 
 #include "cq/parser.h"
 #include "obs/export.h"
 #include "obs/json.h"
+#include "rpq/regex.h"
 #include "serve/service.h"
 #include "util/parse.h"
 
@@ -208,6 +210,7 @@ uint64_t HashEngineConfig(const PqeEngine::Options& options) {
   Mix(&h, options.pool_size);
   Mix(&h, options.max_pool_size);
   Mix(&h, options.repetitions);
+  Mix(&h, options.rpq_clause_budget);
   return h;
 }
 
@@ -276,9 +279,10 @@ Result<ReplayReport> ReplayWorkload(
   uint64_t labelling = HashLabelling(current);
   const uint64_t config = HashEngineConfig(service.options().engine);
 
-  // Queries live in a deque (stable addresses) for the whole replay; the
+  // Queries live in deques (stable addresses) for the whole replay; the
   // parallel index maps each request back to its record.
   std::deque<ConjunctiveQuery> queries;
+  std::deque<rpq::RpqQuery> rpqs;
   std::vector<EvalRequest> requests;
   std::vector<const WorkloadRecord*> request_records;
   std::vector<bool> comparable;
@@ -351,7 +355,7 @@ Result<ReplayReport> ReplayWorkload(
       }
       continue;
     }
-    if (r.target != "query") {
+    if (r.target != "query" && r.target != "rpq") {
       ++report.skipped_target;
       continue;
     }
@@ -363,23 +367,41 @@ Result<ReplayReport> ReplayWorkload(
       ++report.labelling_drift;
       continue;
     }
-    auto query = ParseQuery(current.database().schema(), r.query);
-    if (!query.ok()) {
-      ++report.parse_failures;
-      if (report.mismatch_details.size() < kMaxMismatchDetails) {
-        report.mismatch_details.push_back(
-            "request " + std::to_string(r.request_id) +
-            ": query no longer parses: " + query.status().message());
+    std::optional<EvalRequest> parsed;
+    if (r.target == "rpq") {
+      auto rq = rpq::RpqQuery::Parse(r.query);
+      if (rq.ok()) {
+        rpqs.push_back(rq.MoveValue());
+        parsed = EvalRequest::ForRpq(rpqs.back(), current);
+      } else {
+        ++report.parse_failures;
+        if (report.mismatch_details.size() < kMaxMismatchDetails) {
+          report.mismatch_details.push_back(
+              "request " + std::to_string(r.request_id) +
+              ": rpq no longer parses: " + rq.status().message());
+        }
+        continue;
       }
-      continue;
+    } else {
+      auto query = ParseQuery(current.database().schema(), r.query);
+      if (!query.ok()) {
+        ++report.parse_failures;
+        if (report.mismatch_details.size() < kMaxMismatchDetails) {
+          report.mismatch_details.push_back(
+              "request " + std::to_string(r.request_id) +
+              ": query no longer parses: " + query.status().message());
+        }
+        continue;
+      }
+      queries.push_back(std::move(*query));
+      parsed = EvalRequest::ForQuery(queries.back(), current);
     }
     bool is_comparable = true;
     if (r.config_hash != config) {
       ++report.config_drift;
       is_comparable = false;
     }
-    queries.push_back(std::move(*query));
-    EvalRequest req = EvalRequest::ForQuery(queries.back(), current);
+    EvalRequest req = *parsed;
     req.request_id = r.request_id;
     req.seed = r.seed;
     req.epsilon = r.epsilon;

@@ -30,8 +30,11 @@ class PqeService;
 /// max_digits10, so the recorded probability compares bit-exactly.
 struct WorkloadRecord {
   uint64_t request_id = 0;
-  std::string target = "query";  // "query" | "union" | "ur" | "update"
-  std::string query;             // rendered text ("" when not renderable)
+  /// "query" | "rpq" | "union" | "ur" | "update"
+  std::string target = "query";
+  /// Rendered text ("" when not renderable): ConjunctiveQuery::ToString for
+  /// "query", the canonical regex (RpqQuery::Canonical) for "rpq".
+  std::string query;
   /// For target == "update": the applied delta as "FACT=NUM/DEN,..."
   /// (FormatLabelDelta). labelling_hash then fingerprints the labels AFTER
   /// the update, so a replay can verify it reproduced the same state.
@@ -104,7 +107,7 @@ struct ReplayReport {
   size_t matched = 0;          // probability bit-identical to the record
   size_t mismatched = 0;
   size_t skipped_status = 0;   // recorded status wasn't "ok"
-  size_t skipped_target = 0;   // non-"query" targets (not replayable)
+  size_t skipped_target = 0;   // non-replayable targets ("union", "ur")
   size_t labelling_drift = 0;  // pdb labels differ from the capture's
   size_t config_drift = 0;     // engine defaults differ; ran, not compared
   size_t parse_failures = 0;   // query text no longer parses

@@ -1,31 +1,19 @@
-// pqe_cli — evaluate the probability of a Boolean conjunctive query over a
-// tuple-independent probabilistic database given as a text file.
+// pqe_cli — evaluate the probability of a Boolean query over a
+// tuple-independent probabilistic database given as a text file. The query
+// is either a conjunctive query (--query) or a regular path query (--rpq).
 //
 //   pqe_cli --data facts.txt --query "Follows(x,y), Likes(y,z)"
-//           [--method auto|fpras|safe-plan|enumeration|karp-luby|
-//            exact-lineage|monte-carlo]
-//           [--epsilon 0.1] [--seed 42] [--max-width 3] [--threads 4]
-//           [--ur] [--sample K] [--trace | --trace=json]
-//           [--metrics | --metrics=prom] [--capture F] [--replay F]
-//           [--update SPEC] [--stats]
-//           [--faultsim-seed N | --faultsim-sweep K] [--faultsim-verbose]
+//   pqe_cli --data graph.txt --rpq "Follows+ / Likes"
 //
-// With --ur the uniform reliability UR(Q, D) is reported instead (fact
-// probabilities in the file are ignored). With --sample K, K posterior
-// worlds conditioned on the query holding are printed. --trace prints the
-// evaluation's span tree (--trace=json as JSON); --metrics dumps the global
-// metric registry after evaluation (JSON, or OpenMetrics text with
-// --metrics=prom). --capture records served requests to a JSONL workload
-// file; --replay re-executes a capture through the service and verifies the
-// answers are bit-identical; --update (with --server-batch) applies a fact-
-// probability delta between two rounds of the batch, exercising the
-// delta-rebind path; --stats prints the service's telemetry snapshot
-// (per-stage latency quantiles, cache classes, slow queries).
+// Every flag is declared once in kFlags below; the parser and the --help
+// text are both generated from that table, so they cannot drift apart.
+// Run `pqe_cli --help` for the full list.
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -34,6 +22,7 @@
 #include "cq/parser.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "rpq/regex.h"
 #include "serve/faultsim.h"
 #include "serve/service.h"
 #include "serve/workload.h"
@@ -41,57 +30,12 @@
 
 namespace {
 
-void Usage() {
-  std::fprintf(
-      stderr,
-      "usage: pqe_cli --data FILE --query 'R(x,y), S(y,z)' [options]\n"
-      "  --method auto|fpras|safe-plan|enumeration|karp-luby|exact-lineage\n"
-      "  --epsilon E      target relative error (default 0.2)\n"
-      "  --seed N         RNG seed (default 42)\n"
-      "  --max-width W    hypertree width budget (default 3)\n"
-      "  --threads N      worker threads for the sampling loops (default:\n"
-      "                   $PQE_THREADS, else 1; results do not depend on N)\n"
-      "  --kernels M      sampling kernels: exact (default; bit-identical\n"
-      "                   golden path) or fast (batched alias-table kernels,\n"
-      "                   statistically equivalent)\n"
-      "  --ur             report uniform reliability instead of probability\n"
-      "  --sample K       print K sampled worlds conditioned on Q holding\n"
-      "  --server-batch F serve the queries in file F (one per line; # and\n"
-      "                   blank lines skipped) through the prepared-query\n"
-      "                   serving layer as one batch; --query is ignored\n"
-      "  --deadline-ms N  per-request wall-clock budget; an expired request\n"
-      "                   returns a typed DeadlineExceeded status\n"
-      "  --trace          print the evaluation's span tree (timings)\n"
-      "  --trace=json     same, as a JSON document on stdout\n"
-      "  --metrics        dump the global metric registry as JSON\n"
-      "  --metrics=prom   same, in OpenMetrics/Prometheus text format\n"
-      "  --capture F      (with --server-batch) append every served request\n"
-      "                   to workload file F (JSONL)\n"
-      "  --update SPEC    (with --server-batch) after the first round, apply\n"
-      "                   the fact-probability delta SPEC (FACT=NUM/DEN,...)\n"
-      "                   via the serving layer's incremental rebind and\n"
-      "                   serve the batch again over the updated database\n"
-      "  --replay F       re-execute workload file F through the serving\n"
-      "                   layer and verify bit-identical answers\n"
-      "  --stats          print the service stats snapshot as JSON\n"
-      "                   (server-batch and replay modes)\n"
-      "  --faultsim-seed N   run the sharded-serving fault-injection harness\n"
-      "                   with seed N (self-contained; --data not needed):\n"
-      "                   crashes/drops/delays are injected from the seed's\n"
-      "                   derived schedule, surviving answers are checked\n"
-      "                   bit-for-bit against the unfaulted run, and the\n"
-      "                   seed is re-run to prove it replays exactly\n"
-      "  --faultsim-sweep K  run the harness for seeds 1..K (default 1);\n"
-      "                   exit status is non-zero if any seed fails\n"
-      "  --faultsim-verbose  print per-request outcomes of the faulted run\n");
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  using namespace pqe;
+// Every CLI-settable option, defaults included. One struct so the flag
+// table's setters can be captureless function pointers.
+struct CliOptions {
   std::string data_path;
   std::string query_text;
+  std::string rpq_text;
   std::string method = "auto";
   std::string kernels = "exact";
   double epsilon = 0.2;
@@ -114,97 +58,220 @@ int main(int argc, char** argv) {
   bool dump_metrics = false;
   bool metrics_prom = false;
   bool print_stats = false;
+  bool help = false;
+};
 
-  for (int i = 1; i < argc; ++i) {
-    auto need_value = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", flag);
-        Usage();
-        std::exit(2);
-      }
-      return argv[++i];
-    };
-    if (std::strcmp(argv[i], "--data") == 0) {
-      data_path = need_value("--data");
-    } else if (std::strcmp(argv[i], "--query") == 0) {
-      query_text = need_value("--query");
-    } else if (std::strcmp(argv[i], "--method") == 0) {
-      method = need_value("--method");
-    } else if (std::strcmp(argv[i], "--kernels") == 0) {
-      kernels = need_value("--kernels");
-    } else if (std::strncmp(argv[i], "--kernels=", 10) == 0) {
-      kernels = argv[i] + 10;
-    } else if (std::strcmp(argv[i], "--epsilon") == 0) {
-      epsilon = std::atof(need_value("--epsilon"));
-    } else if (std::strcmp(argv[i], "--seed") == 0) {
-      seed = std::strtoull(need_value("--seed"), nullptr, 10);
-    } else if (std::strcmp(argv[i], "--max-width") == 0) {
-      max_width = std::strtoull(need_value("--max-width"), nullptr, 10);
-    } else if (std::strcmp(argv[i], "--threads") == 0) {
-      num_threads = std::strtoull(need_value("--threads"), nullptr, 10);
-    } else if (std::strcmp(argv[i], "--ur") == 0) {
-      uniform_reliability = true;
-    } else if (std::strcmp(argv[i], "--sample") == 0) {
-      sample_worlds = std::strtoull(need_value("--sample"), nullptr, 10);
-    } else if (std::strcmp(argv[i], "--server-batch") == 0) {
-      server_batch_path = need_value("--server-batch");
-    } else if (std::strcmp(argv[i], "--capture") == 0) {
-      capture_path = need_value("--capture");
-    } else if (std::strcmp(argv[i], "--replay") == 0) {
-      replay_path = need_value("--replay");
-    } else if (std::strncmp(argv[i], "--replay=", 9) == 0) {
-      replay_path = argv[i] + 9;
-    } else if (std::strcmp(argv[i], "--update") == 0) {
-      update_spec = need_value("--update");
-    } else if (std::strncmp(argv[i], "--update=", 9) == 0) {
-      update_spec = argv[i] + 9;
-    } else if (std::strcmp(argv[i], "--deadline-ms") == 0) {
-      deadline_ms = std::strtoull(need_value("--deadline-ms"), nullptr, 10);
-    } else if (std::strcmp(argv[i], "--faultsim-seed") == 0) {
-      faultsim = true;
-      faultsim_seed = std::strtoull(need_value("--faultsim-seed"), nullptr, 10);
-    } else if (std::strncmp(argv[i], "--faultsim-seed=", 16) == 0) {
-      faultsim = true;
-      faultsim_seed = std::strtoull(argv[i] + 16, nullptr, 10);
-    } else if (std::strcmp(argv[i], "--faultsim-sweep") == 0) {
-      faultsim = true;
-      faultsim_sweep =
-          std::strtoull(need_value("--faultsim-sweep"), nullptr, 10);
-    } else if (std::strncmp(argv[i], "--faultsim-sweep=", 17) == 0) {
-      faultsim = true;
-      faultsim_sweep = std::strtoull(argv[i] + 17, nullptr, 10);
-    } else if (std::strcmp(argv[i], "--faultsim-verbose") == 0) {
-      faultsim_verbose = true;
-    } else if (std::strcmp(argv[i], "--trace") == 0) {
-      trace_text = true;
-    } else if (std::strcmp(argv[i], "--trace=json") == 0) {
-      trace_json = true;
-    } else if (std::strcmp(argv[i], "--metrics") == 0) {
-      dump_metrics = true;
-    } else if (std::strcmp(argv[i], "--metrics=prom") == 0) {
-      dump_metrics = true;
-      metrics_prom = true;
-    } else if (std::strcmp(argv[i], "--stats") == 0) {
-      print_stats = true;
-    } else if (std::strcmp(argv[i], "--help") == 0) {
-      Usage();
-      return 0;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
-      Usage();
-      return 2;
+// One flag: its spelling, its value placeholder (nullptr for booleans), the
+// help text (embedded '\n' continues on an indented line), and the setter.
+// Value flags accept both `--flag V` and `--flag=V`.
+struct FlagSpec {
+  const char* name;
+  const char* metavar;  // nullptr: boolean, setter receives nullptr
+  const char* help;
+  void (*set)(CliOptions&, const char*);
+};
+
+const FlagSpec kFlags[] = {
+    {"--data", "FILE", "probabilistic database fact file (required)",
+     [](CliOptions& o, const char* v) { o.data_path = v; }},
+    {"--query", "Q", "Boolean conjunctive query, e.g. 'R(x,y), S(y,z)'",
+     [](CliOptions& o, const char* v) { o.query_text = v; }},
+    {"--rpq", "REGEX",
+     "regular path query over edge labels, e.g. 'a/(b|c)*/d'\n"
+     "(SPARQL property-path style: / concat, | alt, * + ?,\n"
+     "^label inverse); evaluated instead of --query",
+     [](CliOptions& o, const char* v) { o.rpq_text = v; }},
+    {"--method", "M",
+     "auto|fpras|safe-plan|enumeration|karp-luby|\n"
+     "exact-lineage|monte-carlo (default auto)",
+     [](CliOptions& o, const char* v) { o.method = v; }},
+    {"--epsilon", "E", "target relative error (default 0.2)",
+     [](CliOptions& o, const char* v) { o.epsilon = std::atof(v); }},
+    {"--seed", "N", "RNG seed (default 42)",
+     [](CliOptions& o, const char* v) {
+       o.seed = std::strtoull(v, nullptr, 10);
+     }},
+    {"--max-width", "W", "hypertree width budget (default 3)",
+     [](CliOptions& o, const char* v) {
+       o.max_width = std::strtoull(v, nullptr, 10);
+     }},
+    {"--threads", "N",
+     "worker threads for the sampling loops (default:\n"
+     "$PQE_THREADS, else 1; results do not depend on N)",
+     [](CliOptions& o, const char* v) {
+       o.num_threads = std::strtoull(v, nullptr, 10);
+     }},
+    {"--kernels", "M",
+     "sampling kernels: exact (default; bit-identical\n"
+     "golden path) or fast (batched alias-table kernels,\n"
+     "statistically equivalent)",
+     [](CliOptions& o, const char* v) { o.kernels = v; }},
+    {"--ur", nullptr, "report uniform reliability instead of probability",
+     [](CliOptions& o, const char*) { o.uniform_reliability = true; }},
+    {"--sample", "K", "print K sampled worlds conditioned on Q holding",
+     [](CliOptions& o, const char* v) {
+       o.sample_worlds = std::strtoull(v, nullptr, 10);
+     }},
+    {"--server-batch", "F",
+     "serve the queries in file F (one per line; # and\n"
+     "blank lines skipped; 'rpq:' prefix marks a regular\n"
+     "path query) through the prepared-query serving\n"
+     "layer as one batch; --query is ignored",
+     [](CliOptions& o, const char* v) { o.server_batch_path = v; }},
+    {"--deadline-ms", "N",
+     "per-request wall-clock budget; an expired request\n"
+     "returns a typed DeadlineExceeded status",
+     [](CliOptions& o, const char* v) {
+       o.deadline_ms = std::strtoull(v, nullptr, 10);
+     }},
+    {"--trace", nullptr, "print the evaluation's span tree (timings)",
+     [](CliOptions& o, const char*) { o.trace_text = true; }},
+    {"--trace=json", nullptr, "same, as a JSON document on stdout",
+     [](CliOptions& o, const char*) { o.trace_json = true; }},
+    {"--metrics", nullptr, "dump the global metric registry as JSON",
+     [](CliOptions& o, const char*) { o.dump_metrics = true; }},
+    {"--metrics=prom", nullptr, "same, in OpenMetrics/Prometheus text format",
+     [](CliOptions& o, const char*) {
+       o.dump_metrics = true;
+       o.metrics_prom = true;
+     }},
+    {"--capture", "F",
+     "(with --server-batch) append every served request\n"
+     "to workload file F (JSONL)",
+     [](CliOptions& o, const char* v) { o.capture_path = v; }},
+    {"--update", "SPEC",
+     "(with --server-batch) after the first round, apply\n"
+     "the fact-probability delta SPEC (FACT=NUM/DEN,...)\n"
+     "via the serving layer's incremental rebind and\n"
+     "serve the batch again over the updated database",
+     [](CliOptions& o, const char* v) { o.update_spec = v; }},
+    {"--replay", "F",
+     "re-execute workload file F through the serving\n"
+     "layer and verify bit-identical answers",
+     [](CliOptions& o, const char* v) { o.replay_path = v; }},
+    {"--stats", nullptr,
+     "print the service stats snapshot as JSON\n"
+     "(server-batch and replay modes)",
+     [](CliOptions& o, const char*) { o.print_stats = true; }},
+    {"--faultsim-seed", "N",
+     "run the sharded-serving fault-injection harness\n"
+     "with seed N (self-contained; --data not needed):\n"
+     "crashes/drops/delays are injected from the seed's\n"
+     "derived schedule, surviving answers are checked\n"
+     "bit-for-bit against the unfaulted run, and the\n"
+     "seed is re-run to prove it replays exactly",
+     [](CliOptions& o, const char* v) {
+       o.faultsim = true;
+       o.faultsim_seed = std::strtoull(v, nullptr, 10);
+     }},
+    {"--faultsim-sweep", "K",
+     "run the harness for seeds 1..K (default 1);\n"
+     "exit status is non-zero if any seed fails",
+     [](CliOptions& o, const char* v) {
+       o.faultsim = true;
+       o.faultsim_sweep = std::strtoull(v, nullptr, 10);
+     }},
+    {"--faultsim-verbose", nullptr,
+     "print per-request outcomes of the faulted run",
+     [](CliOptions& o, const char*) { o.faultsim_verbose = true; }},
+    {"--help", nullptr, "print this help",
+     [](CliOptions& o, const char*) { o.help = true; }},
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: pqe_cli --data FILE (--query 'R(x,y), S(y,z)' | "
+               "--rpq 'a/b*') [options]\n");
+  for (const FlagSpec& f : kFlags) {
+    std::string head = f.name;
+    if (f.metavar != nullptr) {
+      head += ' ';
+      head += f.metavar;
+    }
+    // First help line after the flag, continuations aligned beneath it.
+    const char* text = f.help;
+    bool first = true;
+    while (*text != '\0') {
+      const char* nl = std::strchr(text, '\n');
+      const size_t len = nl != nullptr ? static_cast<size_t>(nl - text)
+                                       : std::strlen(text);
+      std::fprintf(stderr, "  %-18s %.*s\n", first ? head.c_str() : "",
+                   static_cast<int>(len), text);
+      text += len + (nl != nullptr ? 1 : 0);
+      first = false;
     }
   }
+}
+
+// Parses argv against kFlags. Returns false (after printing a diagnostic and
+// the usage text) on an unknown flag or a missing value.
+bool ParseArgs(int argc, char** argv, CliOptions* out) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const FlagSpec* match = nullptr;
+    const char* value = nullptr;
+    for (const FlagSpec& f : kFlags) {
+      if (std::strcmp(arg, f.name) == 0) {
+        match = &f;
+        if (f.metavar != nullptr) {
+          if (i + 1 >= argc) {
+            std::fprintf(stderr, "missing value for %s\n", f.name);
+            Usage();
+            return false;
+          }
+          value = argv[++i];
+        }
+        break;
+      }
+      const size_t n = std::strlen(f.name);
+      if (f.metavar != nullptr && std::strncmp(arg, f.name, n) == 0 &&
+          arg[n] == '=') {
+        match = &f;
+        value = arg + n + 1;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      Usage();
+      return false;
+    }
+    match->set(*out, value);
+  }
+  return true;
+}
+
+// One line of a --server-batch file: either a conjunctive query or (with the
+// 'rpq:' prefix) a regular path query. Parsed up front; the request vector
+// points into this storage, which is stable once parsing finishes.
+struct BatchEntry {
+  std::string text;  // raw line, for printing
+  std::optional<pqe::ConjunctiveQuery> cq;
+  std::optional<pqe::rpq::RpqQuery> rpq;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pqe;
+  CliOptions cli;
+  if (!ParseArgs(argc, argv, &cli)) return 2;
+  if (cli.help) {
+    Usage();
+    return 0;
+  }
+
   // Faultsim mode is self-contained: the harness generates its own workload
   // (path queries over seeded layered databases), so no --data is needed.
-  if (faultsim) {
+  if (cli.faultsim) {
     bool all_ok = true;
-    const uint64_t first = faultsim_sweep > 0 ? 1 : faultsim_seed;
-    const uint64_t last = faultsim_sweep > 0 ? faultsim_sweep : faultsim_seed;
+    const uint64_t first = cli.faultsim_sweep > 0 ? 1 : cli.faultsim_seed;
+    const uint64_t last =
+        cli.faultsim_sweep > 0 ? cli.faultsim_sweep : cli.faultsim_seed;
     for (uint64_t s = first; s <= last; ++s) {
       serve::FaultSimOptions fopt;
       fopt.seed = s;
-      fopt.verbose = faultsim_verbose;
+      fopt.verbose = cli.faultsim_verbose;
       auto report = serve::RunFaultSim(fopt);
       if (!report.ok()) {
         std::fprintf(stderr, "faultsim seed=%llu: %s\n",
@@ -218,23 +285,29 @@ int main(int argc, char** argv) {
     return all_ok ? 0 : 1;
   }
 
-  if (data_path.empty() || (query_text.empty() && server_batch_path.empty() &&
-                            replay_path.empty())) {
+  if (cli.data_path.empty() ||
+      (cli.query_text.empty() && cli.rpq_text.empty() &&
+       cli.server_batch_path.empty() && cli.replay_path.empty())) {
     Usage();
     return 2;
   }
+  if (!cli.rpq_text.empty() &&
+      (cli.uniform_reliability || cli.sample_worlds > 0)) {
+    std::fprintf(stderr, "--rpq does not combine with --ur or --sample\n");
+    return 2;
+  }
 
-  auto DumpMetrics = [metrics_prom]() {
+  auto DumpMetrics = [&cli]() {
     const obs::MetricsSnapshot snapshot =
         obs::MetricRegistry::Global().Snapshot();
-    if (metrics_prom) {
+    if (cli.metrics_prom) {
       std::printf("%s", obs::MetricsToOpenMetrics(snapshot).c_str());
     } else {
       std::printf("%s\n", obs::MetricsToJson(snapshot).c_str());
     }
   };
 
-  auto pdb_or = LoadFactFile(data_path);
+  auto pdb_or = LoadFactFile(cli.data_path);
   if (!pdb_or.ok()) {
     std::fprintf(stderr, "error loading data: %s\n",
                  pdb_or.status().ToString().c_str());
@@ -247,33 +320,32 @@ int main(int argc, char** argv) {
   Schema schema = pdb.schema();
 
   PqeEngine::Options::Builder builder;
-  builder.Epsilon(epsilon)
-      .Seed(seed)
-      .MaxWidth(max_width)
-      .NumThreads(num_threads)
-      .CollectTrace(trace_text || trace_json);
-  if (method == "auto") {
+  builder.Epsilon(cli.epsilon)
+      .Seed(cli.seed)
+      .MaxWidth(cli.max_width)
+      .NumThreads(cli.num_threads)
+      .CollectTrace(cli.trace_text || cli.trace_json);
+  if (cli.method == "auto") {
     builder.Method(PqeMethod::kAuto);
-  } else if (method == "fpras") {
+  } else if (cli.method == "fpras") {
     builder.Method(PqeMethod::kFpras);
-  } else if (method == "safe-plan") {
+  } else if (cli.method == "safe-plan") {
     builder.Method(PqeMethod::kSafePlan);
-  } else if (method == "enumeration") {
+  } else if (cli.method == "enumeration") {
     builder.Method(PqeMethod::kEnumeration);
-  } else if (method == "karp-luby") {
+  } else if (cli.method == "karp-luby") {
     builder.Method(PqeMethod::kKarpLubyLineage);
-  } else if (method == "exact-lineage") {
+  } else if (cli.method == "exact-lineage") {
     builder.Method(PqeMethod::kExactLineage);
-  } else if (method == "monte-carlo") {
+  } else if (cli.method == "monte-carlo") {
     builder.Method(PqeMethod::kMonteCarlo);
   } else {
-    std::fprintf(stderr, "unknown method: %s\n", method.c_str());
+    std::fprintf(stderr, "unknown method: %s\n", cli.method.c_str());
     return 2;
   }
-  auto kernel_mode_or = KernelModeFromString(kernels);
+  auto kernel_mode_or = KernelModeFromString(cli.kernels);
   if (!kernel_mode_or.ok()) {
-    std::fprintf(stderr, "%s\n",
-                 kernel_mode_or.status().ToString().c_str());
+    std::fprintf(stderr, "%s\n", kernel_mode_or.status().ToString().c_str());
     return 2;
   }
   builder.Kernels(*kernel_mode_or);
@@ -287,8 +359,8 @@ int main(int argc, char** argv) {
   // Replay mode: re-execute a captured workload through the serving layer
   // and verify the determinism contract — every replayed answer must equal
   // its recorded one bit for bit.
-  if (!replay_path.empty()) {
-    auto records = serve::LoadWorkloadFile(replay_path);
+  if (!cli.replay_path.empty()) {
+    auto records = serve::LoadWorkloadFile(cli.replay_path);
     if (!records.ok()) {
       std::fprintf(stderr, "error loading workload: %s\n",
                    records.status().ToString().c_str());
@@ -296,7 +368,7 @@ int main(int argc, char** argv) {
     }
     serve::PqeService::Options sopts;
     sopts.engine = *opts_or;
-    sopts.num_threads = num_threads;
+    sopts.num_threads = cli.num_threads;
     serve::PqeService service(sopts);
     auto report = serve::ReplayWorkload(service, pdb, *records);
     if (!report.ok()) {
@@ -308,46 +380,63 @@ int main(int argc, char** argv) {
     for (const std::string& detail : report->mismatch_details) {
       std::printf("  %s\n", detail.c_str());
     }
-    if (print_stats) {
+    if (cli.print_stats) {
       std::printf("%s\n", service.StatsSnapshot().ToJson().c_str());
     }
-    if (dump_metrics) DumpMetrics();
+    if (cli.dump_metrics) DumpMetrics();
     return report->Clean() ? 0 : 1;
   }
 
   // Batch serving mode: every line of the file is a query evaluated over
-  // the shared database through the prepared-query cache.
-  if (!server_batch_path.empty()) {
-    std::ifstream in(server_batch_path);
+  // the shared database through the prepared-query cache. Lines with the
+  // 'rpq:' prefix are regular path queries; the rest are CQs.
+  if (!cli.server_batch_path.empty()) {
+    std::ifstream in(cli.server_batch_path);
     if (!in) {
-      std::fprintf(stderr, "error opening %s\n", server_batch_path.c_str());
+      std::fprintf(stderr, "error opening %s\n",
+                   cli.server_batch_path.c_str());
       return 1;
     }
-    std::vector<ConjunctiveQuery> queries;
+    std::vector<BatchEntry> entries;
     std::string line;
     while (std::getline(in, line)) {
       const size_t first = line.find_first_not_of(" \t\r");
       if (first == std::string::npos || line[first] == '#') continue;
-      auto q = ParseQuery(schema, line);
-      if (!q.ok()) {
-        std::fprintf(stderr, "error parsing batch query \"%s\": %s\n",
-                     line.c_str(), q.status().ToString().c_str());
-        return 1;
+      BatchEntry entry;
+      entry.text = line;
+      if (line.compare(first, 4, "rpq:") == 0) {
+        auto q = rpq::RpqQuery::Parse(line.substr(first + 4));
+        if (!q.ok()) {
+          std::fprintf(stderr, "error parsing batch rpq \"%s\": %s\n",
+                       line.c_str(), q.status().ToString().c_str());
+          return 1;
+        }
+        entry.rpq = q.MoveValue();
+      } else {
+        auto q = ParseQuery(schema, line);
+        if (!q.ok()) {
+          std::fprintf(stderr, "error parsing batch query \"%s\": %s\n",
+                       line.c_str(), q.status().ToString().c_str());
+          return 1;
+        }
+        entry.cq = q.MoveValue();
       }
-      queries.push_back(q.MoveValue());
+      entries.push_back(std::move(entry));
     }
     std::vector<EvalRequest> requests;
-    requests.reserve(queries.size());
-    for (size_t i = 0; i < queries.size(); ++i) {
-      EvalRequest r = EvalRequest::ForQuery(queries[i], pdb);
+    requests.reserve(entries.size());
+    for (size_t i = 0; i < entries.size(); ++i) {
+      EvalRequest r = entries[i].rpq.has_value()
+                          ? EvalRequest::ForRpq(*entries[i].rpq, pdb)
+                          : EvalRequest::ForQuery(*entries[i].cq, pdb);
       r.request_id = i + 1;
-      r.deadline_ms = deadline_ms;
+      r.deadline_ms = cli.deadline_ms;
       requests.push_back(r);
     }
     serve::PqeService::Options sopts;
     sopts.engine = *opts_or;
-    sopts.num_threads = num_threads;
-    sopts.capture_path = capture_path;
+    sopts.num_threads = cli.num_threads;
+    sopts.capture_path = cli.capture_path;
     serve::PqeService service(sopts);
     if (!service.capture_status().ok()) {
       std::fprintf(stderr, "capture disabled: %s\n",
@@ -367,15 +456,14 @@ int main(int argc, char** argv) {
                       resp.answer.is_exact ? "=" : "~",
                       resp.answer.probability,
                       PqeMethodToString(resp.answer.method_used),
-                      resp.elapsed_ms,
-                      queries[i].ToString(schema).c_str());
+                      resp.elapsed_ms, entries[i].text.c_str());
         } else if (resp.deadline_exceeded) {
           std::printf("[%llu] DEADLINE_EXCEEDED after %.1fms (progress=%llu)"
                       "  %s\n",
                       static_cast<unsigned long long>(resp.request_id),
                       resp.elapsed_ms,
                       static_cast<unsigned long long>(resp.progress),
-                      queries[i].ToString(schema).c_str());
+                      entries[i].text.c_str());
         } else {
           std::printf("[%llu] ERROR %s\n",
                       static_cast<unsigned long long>(resp.request_id),
@@ -385,8 +473,8 @@ int main(int argc, char** argv) {
       }
     };
     ServeRound();
-    if (!update_spec.empty()) {
-      auto delta = serve::ParseLabelDeltaSpec(update_spec);
+    if (!cli.update_spec.empty()) {
+      auto delta = serve::ParseLabelDeltaSpec(cli.update_spec);
       if (!delta.ok()) {
         std::fprintf(stderr, "bad --update spec: %s\n",
                      delta.status().ToString().c_str());
@@ -413,37 +501,54 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cs.hits),
                 static_cast<unsigned long long>(cs.misses),
                 static_cast<unsigned long long>(cs.evictions));
-    if (print_stats) {
+    if (cli.print_stats) {
       std::printf("%s\n", service.StatsSnapshot().ToJson().c_str());
     }
-    if (dump_metrics) DumpMetrics();
+    if (cli.dump_metrics) DumpMetrics();
     return failures == 0 ? 0 : 1;
   }
 
-  auto query_or = ParseQuery(schema, query_text);
-  if (!query_or.ok()) {
-    std::fprintf(stderr, "error parsing query: %s\n",
-                 query_or.status().ToString().c_str());
-    return 1;
-  }
-  ConjunctiveQuery query = query_or.MoveValue();
-  PqeEngine engine(*opts_or);
-
-  std::printf("query:    %s\n", query.ToString(schema).c_str());
-  std::printf("database: %zu facts (|H| = %zu bits)\n", pdb.NumFacts(),
-              pdb.SizeInBits());
-  if (uniform_reliability) {
-    auto ur = engine.EvaluateUniformReliability(query, pdb.database());
-    if (!ur.ok()) {
-      std::fprintf(stderr, "error: %s\n", ur.status().ToString().c_str());
+  // Single-query mode. Parse whichever query form was given and build the
+  // one request everything below serves.
+  std::optional<ConjunctiveQuery> cq;
+  std::optional<rpq::RpqQuery> rq;
+  if (!cli.rpq_text.empty()) {
+    auto q = rpq::RpqQuery::Parse(cli.rpq_text);
+    if (!q.ok()) {
+      std::fprintf(stderr, "error parsing rpq: %s\n",
+                   q.status().ToString().c_str());
       return 1;
     }
-    std::printf("UR(Q, D) ~ %.6g of 2^%zu subinstances\n", *ur,
-                pdb.NumFacts());
+    rq = q.MoveValue();
+    std::printf("rpq:      %s\n", rq->Canonical().c_str());
+  } else {
+    auto q = ParseQuery(schema, cli.query_text);
+    if (!q.ok()) {
+      std::fprintf(stderr, "error parsing query: %s\n",
+                   q.status().ToString().c_str());
+      return 1;
+    }
+    cq = q.MoveValue();
+    std::printf("query:    %s\n", cq->ToString(schema).c_str());
+  }
+  PqeEngine engine(*opts_or);
+  std::printf("database: %zu facts (|H| = %zu bits)\n", pdb.NumFacts(),
+              pdb.SizeInBits());
+
+  if (cli.uniform_reliability) {
+    const EvalResponse ur = engine.EvaluateRequest(
+        EvalRequest::ForUniformReliability(*cq, pdb.database()));
+    if (!ur.status.ok()) {
+      std::fprintf(stderr, "error: %s\n", ur.status.ToString().c_str());
+      return 1;
+    }
+    std::printf("UR(Q, D) ~ %.6g of 2^%zu subinstances\n",
+                ur.answer.probability, pdb.NumFacts());
     return 0;
   }
-  EvalRequest request = EvalRequest::ForQuery(query, pdb);
-  request.deadline_ms = deadline_ms;
+  EvalRequest request = rq.has_value() ? EvalRequest::ForRpq(*rq, pdb)
+                                       : EvalRequest::ForQuery(*cq, pdb);
+  request.deadline_ms = cli.deadline_ms;
   const EvalResponse response = engine.EvaluateRequest(request);
   if (!response.status.ok()) {
     if (response.deadline_exceeded) {
@@ -453,8 +558,7 @@ int main(int argc, char** argv) {
                    static_cast<unsigned long long>(response.progress),
                    response.status.ToString().c_str());
     } else {
-      std::fprintf(stderr, "error: %s\n",
-                   response.status.ToString().c_str());
+      std::fprintf(stderr, "error: %s\n", response.status.ToString().c_str());
     }
     return 1;
   }
@@ -466,24 +570,24 @@ int main(int argc, char** argv) {
     std::printf("  %s\n", diagnostics.c_str());
   }
   if (answer.trace != nullptr) {
-    if (trace_json) {
+    if (cli.trace_json) {
       std::printf("%s\n", obs::TraceToJson(*answer.trace).c_str());
-    } else if (trace_text) {
+    } else if (cli.trace_text) {
       std::printf("\ntrace:\n%s", obs::RenderTraceText(*answer.trace).c_str());
     }
   }
-  if (dump_metrics) DumpMetrics();
+  if (cli.dump_metrics) DumpMetrics();
 
-  if (sample_worlds > 0) {
+  if (cli.sample_worlds > 0) {
     EstimatorConfig cfg;
-    cfg.epsilon = epsilon;
-    cfg.seed = seed;
-    cfg.num_threads = num_threads;
+    cfg.epsilon = cli.epsilon;
+    cfg.seed = cli.seed;
+    cfg.num_threads = cli.num_threads;
     cfg.kernel_mode = *kernel_mode_or;
     UrConstructionOptions uropts;
-    uropts.max_width = max_width;
+    uropts.max_width = cli.max_width;
     auto worlds =
-        SampleConditionedWorlds(query, pdb, cfg, sample_worlds, uropts);
+        SampleConditionedWorlds(*cq, pdb, cfg, cli.sample_worlds, uropts);
     if (!worlds.ok()) {
       std::fprintf(stderr, "sampling error: %s\n",
                    worlds.status().ToString().c_str());

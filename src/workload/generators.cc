@@ -45,6 +45,45 @@ Result<Database> MakeLayeredPathDatabase(const QueryInstance& path_query,
   return db;
 }
 
+Result<Database> MakeKgReachabilityDatabase(
+    const KgReachabilityOptions& options) {
+  if (options.layers == 0 || options.width == 0) {
+    return Status::InvalidArgument("kg layers and width must be >= 1");
+  }
+  if (options.labels.empty()) {
+    return Status::InvalidArgument("kg needs at least one edge label");
+  }
+  Schema schema;
+  for (const std::string& label : options.labels) {
+    PQE_RETURN_IF_ERROR(schema.AddRelation(label, 2).status());
+  }
+  Database db(schema);
+  Rng rng(options.seed);
+  const size_t num_labels = options.labels.size();
+  for (uint32_t i = 0; i < options.layers; ++i) {
+    for (uint32_t a = 0; a < options.width; ++a) {
+      for (uint32_t b = 0; b < options.width; ++b) {
+        const bool forced =
+            options.ensure_chain && a == 0 && b == 0;  // spine edge
+        if (forced) {
+          // The spine cycles through the labels so every label appears on a
+          // guaranteed chain.
+          PQE_RETURN_IF_ERROR(
+              db.AddFactByName(options.labels[i % num_labels],
+                               {LayerNode(i, a), LayerNode(i + 1, b)})
+                  .status());
+        } else if (rng.NextBernoulli(options.density)) {
+          PQE_RETURN_IF_ERROR(
+              db.AddFactByName(options.labels[rng.NextBounded(num_labels)],
+                               {LayerNode(i, a), LayerNode(i + 1, b)})
+                  .status());
+        }
+      }
+    }
+  }
+  return db;
+}
+
 Result<Database> MakeRandomDatabase(const Schema& schema,
                                     const RandomDatabaseOptions& options) {
   if (options.domain_size == 0) {

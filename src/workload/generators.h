@@ -2,6 +2,8 @@
 #define PQE_WORKLOAD_GENERATORS_H_
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "cq/builders.h"
 #include "pdb/database.h"
@@ -23,6 +25,25 @@ struct LayeredGraphOptions {
 };
 Result<Database> MakeLayeredPathDatabase(const QueryInstance& path_query,
                                          const LayeredGraphOptions& options);
+
+/// Seeded edge-labelled knowledge graph for RPQ workloads: a layered DAG of
+/// `layers` edge layers over `width`-node levels, where each present edge
+/// carries one of `labels` (each label is a binary relation of the schema).
+/// Facts are inserted in source-layer order, so FactIds are topological along
+/// every walk — the order the RPQ scan-order construction needs, keeping
+/// generated workloads on the FPRAS route. `ensure_chain` forces one complete
+/// spine whose edge labels cycle through `labels` in order, so reachability
+/// RPQs like (a|b)+ never degenerate to probability 0.
+struct KgReachabilityOptions {
+  uint32_t layers = 3;      // edge layers (node levels = layers + 1)
+  uint32_t width = 3;       // nodes per level
+  std::vector<std::string> labels = {"a", "b"};
+  double density = 0.5;     // edge inclusion probability
+  bool ensure_chain = true;
+  uint64_t seed = 1;
+};
+Result<Database> MakeKgReachabilityDatabase(
+    const KgReachabilityOptions& options);
 
 /// Random facts for an arbitrary schema: for each relation, `facts_per_rel`
 /// tuples drawn uniformly (with replacement, then deduplicated) over a

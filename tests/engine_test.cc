@@ -18,6 +18,33 @@
 namespace pqe {
 namespace {
 
+// Everything goes through the single EvaluateRequest entry point; these
+// helpers unwrap the response envelope for assertion-dense test bodies.
+Result<PqeAnswer> EvalQuery(const PqeEngine& engine,
+                            const ConjunctiveQuery& query,
+                            const ProbabilisticDatabase& pdb) {
+  EvalResponse resp =
+      engine.EvaluateRequest(EvalRequest::ForQuery(query, pdb));
+  if (!resp.status.ok()) return resp.status;
+  return std::move(resp.answer);
+}
+
+Result<PqeAnswer> EvalUnion(const PqeEngine& engine, const UnionQuery& query,
+                            const ProbabilisticDatabase& pdb) {
+  EvalResponse resp =
+      engine.EvaluateRequest(EvalRequest::ForUnion(query, pdb));
+  if (!resp.status.ok()) return resp.status;
+  return std::move(resp.answer);
+}
+
+Result<double> EvalUr(const PqeEngine& engine, const ConjunctiveQuery& query,
+                      const Database& db) {
+  EvalResponse resp =
+      engine.EvaluateRequest(EvalRequest::ForUniformReliability(query, db));
+  if (!resp.status.ok()) return resp.status;
+  return resp.answer.probability;
+}
+
 ProbabilisticDatabase SmallPathPdb(const QueryInstance& qi, uint64_t seed) {
   LayeredGraphOptions opt;
   opt.width = 2;
@@ -36,7 +63,7 @@ TEST(EngineTest, AutoPicksSafePlanForHierarchical) {
   ProbabilityModel pm;
   ProbabilisticDatabase pdb = AttachProbabilities(std::move(db), pm);
   PqeEngine engine;
-  auto answer = engine.Evaluate(star.query, pdb).MoveValue();
+  auto answer = EvalQuery(engine, star.query, pdb).MoveValue();
   EXPECT_EQ(answer.method_used, PqeMethod::kSafePlan);
   EXPECT_TRUE(answer.is_exact);
 }
@@ -46,7 +73,7 @@ TEST(EngineTest, AutoPicksEnumerationForTinyUnsafe) {
   ProbabilisticDatabase pdb = SmallPathPdb(qi, 3);
   ASSERT_LE(pdb.NumFacts(), 16u);
   PqeEngine engine;
-  auto answer = engine.Evaluate(qi.query, pdb).MoveValue();
+  auto answer = EvalQuery(engine, qi.query, pdb).MoveValue();
   EXPECT_EQ(answer.method_used, PqeMethod::kEnumeration);
   EXPECT_TRUE(answer.is_exact);
 }
@@ -65,7 +92,7 @@ TEST(EngineTest, AutoPicksFprasForLargerUnsafe) {
   PqeEngine::Options opts;
   opts.epsilon = 0.25;
   PqeEngine engine(opts);
-  auto answer = engine.Evaluate(qi.query, pdb);
+  auto answer = EvalQuery(engine, qi.query, pdb);
   ASSERT_TRUE(answer.ok()) << answer.status().ToString();
   EXPECT_EQ(answer->method_used, PqeMethod::kFpras);
   EXPECT_FALSE(answer->is_exact);
@@ -87,7 +114,7 @@ TEST(EngineTest, AllMethodsAgreeOnSharedInstance) {
     opts.epsilon = 0.1;
     opts.seed = 99;
     PqeEngine engine(opts);
-    auto answer = engine.Evaluate(qi.query, pdb);
+    auto answer = EvalQuery(engine, qi.query, pdb);
     ASSERT_TRUE(answer.ok())
         << PqeMethodToString(method) << ": " << answer.status().ToString();
     EXPECT_NEAR(answer->probability / truth, 1.0, 0.3)
@@ -101,7 +128,7 @@ TEST(EngineTest, SafePlanForcedOnUnsafeFails) {
   PqeEngine::Options opts;
   opts.method = PqeMethod::kSafePlan;
   PqeEngine engine(opts);
-  EXPECT_EQ(engine.Evaluate(qi.query, pdb).status().code(),
+  EXPECT_EQ(EvalQuery(engine, qi.query, pdb).status().code(),
             StatusCode::kNotSupported);
 }
 
@@ -114,7 +141,7 @@ TEST(EngineTest, UniformReliabilityHelper) {
   auto db = MakeLayeredPathDatabase(qi, opt).MoveValue();
   auto truth = UniformReliabilityByEnumeration(db, qi.query).MoveValue();
   PqeEngine engine;
-  auto ur = engine.EvaluateUniformReliability(qi.query, db);
+  auto ur = EvalUr(engine, qi.query, db);
   ASSERT_TRUE(ur.ok());
   EXPECT_DOUBLE_EQ(*ur, truth.ToDouble());
 }
@@ -129,7 +156,7 @@ TEST(EngineTest, EvaluateUnionAgreesWithEnumeration) {
   ASSERT_TRUE(db.AddFactByName("F", {"c"}).ok());
   ProbabilisticDatabase pdb = ProbabilisticDatabase::Uniform(std::move(db));
   PqeEngine engine;
-  auto answer = engine.EvaluateUnion(u, pdb);
+  auto answer = EvalUnion(engine, u, pdb);
   ASSERT_TRUE(answer.ok()) << answer.status().ToString();
   EXPECT_TRUE(answer->is_exact);
   EXPECT_NEAR(answer->probability, 0.75, 1e-12);  // 1 - (1/2)(1/2)
@@ -150,7 +177,7 @@ TEST(EngineTest, EvaluateUnionLargerInstanceUsesLineage) {
   pm.seed = 8;
   ProbabilisticDatabase pdb = AttachProbabilities(std::move(db), pm);
   PqeEngine engine;
-  auto answer = engine.EvaluateUnion(u, pdb);
+  auto answer = EvalUnion(engine, u, pdb);
   ASSERT_TRUE(answer.ok()) << answer.status().ToString();
   EXPECT_EQ(answer->method_used, PqeMethod::kExactLineage);
   // Cross-check against the standalone exact union evaluator.
@@ -194,7 +221,7 @@ TEST(EngineTest, FprasAnswerCarriesStructuredStats) {
   opts.method = PqeMethod::kFpras;
   opts.epsilon = 0.3;
   PqeEngine engine(opts);
-  auto answer = engine.Evaluate(qi.query, pdb);
+  auto answer = EvalQuery(engine, qi.query, pdb);
   ASSERT_TRUE(answer.ok()) << answer.status().ToString();
   ASSERT_TRUE(answer->count_stats.has_value());
   EXPECT_GT(answer->count_stats->pool_entries, 0u);
@@ -214,7 +241,7 @@ TEST(EngineTest, KarpLubyAnswerCarriesStructuredStats) {
   PqeEngine::Options opts;
   opts.method = PqeMethod::kKarpLubyLineage;
   PqeEngine engine(opts);
-  auto answer = engine.Evaluate(qi.query, pdb);
+  auto answer = EvalQuery(engine, qi.query, pdb);
   ASSERT_TRUE(answer.ok()) << answer.status().ToString();
   ASSERT_TRUE(answer->karp_luby.has_value());
   EXPECT_GT(answer->karp_luby->samples, 0u);

@@ -342,8 +342,14 @@ TEST(FastKernelsTest, EngineFastModeEndToEnd) {
                        .MoveValue();
   PqeEngine exact_engine(exact_opts);
   PqeEngine fast_engine(fast_opts);
-  auto exact = exact_engine.Evaluate(qi.query, pdb).MoveValue();
-  auto fast = fast_engine.Evaluate(qi.query, pdb).MoveValue();
+  const EvalResponse exact_resp =
+      exact_engine.EvaluateRequest(EvalRequest::ForQuery(qi.query, pdb));
+  ASSERT_TRUE(exact_resp.status.ok()) << exact_resp.status.ToString();
+  const EvalResponse fast_resp =
+      fast_engine.EvaluateRequest(EvalRequest::ForQuery(qi.query, pdb));
+  ASSERT_TRUE(fast_resp.status.ok()) << fast_resp.status.ToString();
+  const PqeAnswer& exact = exact_resp.answer;
+  const PqeAnswer& fast = fast_resp.answer;
   ASSERT_GT(exact.probability, 0.0);
   ASSERT_GT(fast.probability, 0.0);
   // Both tiers target the same ε band; their ratio stays within the

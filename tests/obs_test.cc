@@ -565,8 +565,10 @@ TEST(PipelineTraceTest, FprasEvaluationEmitsExpectedSpans) {
   opts.epsilon = 0.3;
   opts.collect_trace = true;
   PqeEngine engine(opts);
-  auto answer = engine.Evaluate(qi.query, pdb);
-  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  const EvalResponse resp =
+      engine.EvaluateRequest(EvalRequest::ForQuery(qi.query, pdb));
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  const PqeAnswer* answer = &resp.answer;
 
   ASSERT_NE(answer->trace, nullptr);
   const obs::TraceSpan& root = answer->trace->root;
@@ -608,8 +610,10 @@ TEST(PipelineTraceTest, TreeFprasEvaluationEmitsDecompositionSpans) {
   opts.epsilon = 0.4;
   opts.collect_trace = true;
   PqeEngine engine(opts);
-  auto answer = engine.Evaluate(star.query, pdb);
-  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  const EvalResponse resp =
+      engine.EvaluateRequest(EvalRequest::ForQuery(star.query, pdb));
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  const PqeAnswer* answer = &resp.answer;
   ASSERT_NE(answer->trace, nullptr);
   if (!obs::TracingCompiledIn()) return;
   const obs::TraceSpan& root = answer->trace->root;
@@ -631,7 +635,10 @@ TEST(PipelineTraceTest, TraceAbsentWhenNotRequested) {
   ProbabilityModel pm;
   ProbabilisticDatabase pdb = AttachProbabilities(std::move(db), pm);
   PqeEngine engine;
-  auto answer = engine.Evaluate(qi.query, pdb).MoveValue();
+  const EvalResponse resp =
+      engine.EvaluateRequest(EvalRequest::ForQuery(qi.query, pdb));
+  ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+  const PqeAnswer& answer = resp.answer;
   EXPECT_EQ(answer.trace, nullptr);
   EXPECT_FALSE(RenderDiagnostics(answer).empty());
 }

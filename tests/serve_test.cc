@@ -106,17 +106,20 @@ TEST(OptionsBuilderTest, RejectsInconsistentPoolBounds) {
   EXPECT_FALSE(PqeEngine::Options::Builder().Repetitions(0).Build().ok());
 }
 
-// --- EvaluateRequest and the deprecated forwards --------------------------
+// --- EvaluateRequest ------------------------------------------------------
 
-TEST(EvaluateRequestTest, DeprecatedEvaluateForwardsBitIdentically) {
+TEST(EvaluateRequestTest, RepeatedRequestsAreBitIdentical) {
+  // The request envelope (with defaults) is the engine's only entry point;
+  // identical requests must produce identical answers.
   PathFixture fx = MakePathFixture(100);
   PqeEngine engine(ServeOptions());
-  auto old_api = engine.Evaluate(fx.qi.query, fx.pdb);
-  ASSERT_TRUE(old_api.ok()) << old_api.status().ToString();
+  const EvalResponse first =
+      engine.EvaluateRequest(EvalRequest::ForQuery(fx.qi.query, fx.pdb));
+  ASSERT_TRUE(first.status.ok()) << first.status.ToString();
   const EvalResponse resp =
       engine.EvaluateRequest(EvalRequest::ForQuery(fx.qi.query, fx.pdb));
   ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
-  ExpectSameAnswer(resp.answer, *old_api);
+  ExpectSameAnswer(resp.answer, first.answer);
 }
 
 TEST(EvaluateRequestTest, RejectsMissingPointers) {
